@@ -1,0 +1,67 @@
+// Extension: data-parallel multi-GPU scaling of the GIDS dataloader.
+//
+// The paper argues single-machine GIDS avoids the cost of multi-GPU
+// setups (§1); this sweep quantifies what those extra GPUs would buy:
+// each simulated GPU owns its own GIDS stack and SSD, shards the seed
+// stream, and pays a ring all-reduce per round. Reports iteration
+// throughput and scaling efficiency for 1-8 GPUs on the IGB-Full proxy,
+// over NVLink-class and PCIe-class interconnects.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "core/multi_gpu.h"
+
+namespace gids::bench {
+namespace {
+
+void BM_MultiGpuScaling(benchmark::State& state, double interconnect_bps,
+                        const char* interconnect) {
+  const int gpus = static_cast<int>(state.range(0));
+  ProxyConfig cfg;
+  cfg.spec = graph::DatasetSpec::IgbFull();
+  Rig rig = BuildRig(cfg);
+
+  core::MultiGpuOptions opts;
+  opts.num_gpus = gpus;
+  opts.interconnect_bps = interconnect_bps;
+  opts.model_bytes = 64ull << 20;
+  opts.loader.hot_node_order = &CachedPageRankOrder(rig.dataset);
+
+  double iters_per_sec = 0;
+  static double one_gpu_tput_nvlink = 0;
+  for (auto _ : state) {
+    auto result = core::RunMultiGpu(*rig.dataset, *rig.system, {10, 5, 5},
+                                    kProxyBatchSize, /*rounds=*/40, opts);
+    GIDS_CHECK(result.ok());
+    iters_per_sec = static_cast<double>(result->total_iterations) /
+                    NsToSec(result->total_ns);
+  }
+  if (gpus == 1) one_gpu_tput_nvlink = iters_per_sec;
+  state.counters["iters_per_sec"] = iters_per_sec;
+  std::string label = std::string(interconnect) + " x" + std::to_string(gpus);
+  ReportRow("ABL-MGPU", label + " throughput", iters_per_sec, 0,
+            "virtual iters/s");
+  if (one_gpu_tput_nvlink > 0 && gpus > 1) {
+    ReportRow("ABL-MGPU", label + " scaling efficiency",
+              iters_per_sec / (gpus * one_gpu_tput_nvlink), 0, "fraction");
+  }
+}
+
+BENCHMARK_CAPTURE(BM_MultiGpuScaling, nvlink, 300e9, "NVLink")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MultiGpuScaling, pcie, 32e9, "PCIe")
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Validation: the dataloaders' analytic per-iteration e2e accounting vs a
+// discrete-event list-scheduled pipeline over the same stage costs.
+//
+// Each loader reports e2e_ns per iteration using closed-form overlap rules
+// (serial for DGL-mmap, prep-pipelined for Ginex, decoupled for GIDS).
+// This bench replays the measured stage costs through sim::SimulatePipeline
+// under the matching policy and compares total virtual time — the two
+// should agree within a few percent, bounding the error the analytic
+// shortcut introduces into Figs. 13/14.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "sim/pipeline_des.h"
+
+namespace gids::bench {
+namespace {
+
+std::vector<sim::StageCosts> ToStageCosts(
+    const std::vector<loaders::IterationStats>& iters) {
+  std::vector<sim::StageCosts> out;
+  out.reserve(iters.size());
+  for (const auto& st : iters) {
+    out.push_back(sim::StageCosts{.sampling_ns = st.sampling_ns,
+                                  .aggregation_ns = st.aggregation_ns,
+                                  .transfer_ns = st.transfer_ns,
+                                  .training_ns = st.training_ns});
+  }
+  return out;
+}
+
+void Validate(benchmark::State& state, LoaderKind kind,
+              sim::PipelinePolicy policy, const char* label) {
+  ProxyConfig cfg;
+  cfg.spec = graph::DatasetSpec::IgbFull();
+  double analytic_ms = 0;
+  double des_ms = 0;
+  for (auto _ : state) {
+    Rig rig = BuildRig(cfg);
+    core::GidsOptions opts;
+    if (kind == LoaderKind::kGids) {
+      opts.hot_node_order = &CachedPageRankOrder(rig.dataset);
+    } else if (kind == LoaderKind::kBam) {
+      opts = core::GidsOptions::Bam();
+    }
+    auto loader = MakeLoader(kind, rig, &opts);
+    core::TrainRunResult result =
+        RunProtocol(rig, *loader, /*warmup=*/40, /*measure=*/60);
+    analytic_ms = NsToMs(result.measured.e2e_ns);
+    sim::PipelineResult des =
+        sim::SimulatePipeline(ToStageCosts(result.per_iteration), policy);
+    des_ms = NsToMs(des.makespan_ns);
+  }
+  double ratio = analytic_ms / des_ms;
+  state.counters["analytic_ms"] = analytic_ms;
+  state.counters["des_ms"] = des_ms;
+  state.counters["ratio"] = ratio;
+  ReportRow("ABL-PIPE", std::string(label) + " analytic total", analytic_ms,
+            0, "ms");
+  ReportRow("ABL-PIPE", std::string(label) + " DES makespan", des_ms, 0,
+            "ms");
+  ReportRow("ABL-PIPE", std::string(label) + " analytic/DES ratio", ratio,
+            1.0, "x (1.0 = perfect agreement)");
+}
+
+void BM_ValidateMmap(benchmark::State& state) {
+  Validate(state, LoaderKind::kMmap, sim::PipelinePolicy::kSerial,
+           "DGL-mmap (serial)");
+}
+void BM_ValidateGinex(benchmark::State& state) {
+  Validate(state, LoaderKind::kGinex,
+           sim::PipelinePolicy::kPrepOverlapsAggregation,
+           "Ginex (prep-pipelined)");
+}
+void BM_ValidateGids(benchmark::State& state) {
+  Validate(state, LoaderKind::kGids, sim::PipelinePolicy::kDecoupled,
+           "GIDS (decoupled)");
+}
+
+BENCHMARK(BM_ValidateMmap)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ValidateGinex)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ValidateGids)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

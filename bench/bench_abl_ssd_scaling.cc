@@ -1,0 +1,79 @@
+// Ablation: SSD-array scaling vs the constant CPU buffer (§3.3).
+//
+// BaM's answer to limited per-SSD bandwidth is attaching more SSDs; the
+// paper argues 4-5 Optane (or >10 980 Pro) drives are needed to saturate
+// PCIe, and positions the constant CPU buffer as the practical
+// single-SSD alternative. This sweep measures GIDS aggregation bandwidth
+// with 1..10 SSDs (CPU buffer off) against 1 SSD + 20% CPU buffer.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace gids::bench {
+namespace {
+
+double MeasureEffective(int n_ssd, bool cpu_buffer, sim::SsdSpec ssd) {
+  ProxyConfig cfg;
+  cfg.spec = graph::DatasetSpec::IgbFull();
+  cfg.ssd = std::move(ssd);
+  cfg.n_ssd = n_ssd;
+  Rig rig = BuildRig(cfg);
+  core::GidsOptions o;
+  o.use_window_buffering = false;
+  o.use_cpu_buffer = cpu_buffer;
+  o.cpu_buffer_fraction = 0.20;
+  if (cpu_buffer) o.hot_node_order = &CachedPageRankOrder(rig.dataset);
+  auto loader = MakeLoader(LoaderKind::kGids, rig, &o);
+  core::TrainRunResult result =
+      RunProtocol(rig, *loader, /*warmup=*/20, /*measure=*/30);
+  double sum = 0;
+  for (const auto& it : result.per_iteration) {
+    sum += it.effective_bandwidth_bps;
+  }
+  return sum / result.per_iteration.size() / 1e9;
+}
+
+void BM_SsdScaling(benchmark::State& state, sim::SsdSpec spec) {
+  const int n_ssd = static_cast<int>(state.range(0));
+  double gbps = 0;
+  for (auto _ : state) {
+    gbps = MeasureEffective(n_ssd, /*cpu_buffer=*/false, spec);
+  }
+  state.counters["effective_GBps"] = gbps;
+  ReportRow("ABL-SSD", spec.name + " x" + std::to_string(n_ssd) +
+                           " (no CPU buffer)",
+            gbps, 0, "GB/s");
+}
+
+void BM_OneSsdPlusCpuBuffer(benchmark::State& state, sim::SsdSpec spec) {
+  double gbps = 0;
+  for (auto _ : state) {
+    gbps = MeasureEffective(1, /*cpu_buffer=*/true, spec);
+  }
+  state.counters["effective_GBps"] = gbps;
+  ReportRow("ABL-SSD", spec.name + " x1 + 20% CPU buffer", gbps, 0, "GB/s");
+}
+
+BENCHMARK_CAPTURE(BM_SsdScaling, optane, sim::SsdSpec::IntelOptane())
+    ->DenseRange(1, 6, 1)
+    ->Arg(8)
+    ->Arg(10)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SsdScaling, samsung980pro, sim::SsdSpec::Samsung980Pro())
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_OneSsdPlusCpuBuffer, optane, sim::SsdSpec::IntelOptane())
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

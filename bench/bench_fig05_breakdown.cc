@@ -1,0 +1,70 @@
+// Reproduces Figure 5: GNN training-time breakdown (sampling, feature
+// aggregation, data transfer, training) for the baseline DGL dataloader
+// with memory-mapped feature files, across the four real-world datasets.
+//
+// Paper anchor: for the graphs that exceed CPU memory (IGB-Full,
+// IGBH-Full) the data-preparation stages dominate so thoroughly that the
+// training stage is "barely visible"; for ogbn-papers100M and MAG240M
+// (which fit in CPU memory) the breakdown is far less skewed.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace gids::bench {
+namespace {
+
+void BM_MmapBreakdown(benchmark::State& state, graph::DatasetSpec spec,
+                      double paper_min_prep_share) {
+  ProxyConfig cfg;
+  cfg.spec = spec;
+  Rig rig = BuildRig(cfg);
+  auto loader = MakeLoader(LoaderKind::kMmap, rig);
+
+  core::TrainRunResult result;
+  for (auto _ : state) {
+    result = RunProtocol(rig, *loader, /*warmup=*/250, /*measure=*/20);
+  }
+  const loaders::IterationStats& m = result.measured;
+  double total = static_cast<double>(m.sampling_ns + m.aggregation_ns +
+                                     m.transfer_ns + m.training_ns);
+  double sampling = m.sampling_ns / total;
+  double aggregation = m.aggregation_ns / total;
+  double transfer = m.transfer_ns / total;
+  double training = m.training_ns / total;
+
+  state.counters["sampling_share"] = sampling;
+  state.counters["aggregation_share"] = aggregation;
+  state.counters["transfer_share"] = transfer;
+  state.counters["training_share"] = training;
+  state.counters["iter_ms"] = result.mean_iteration_ms();
+
+  ReportRow("FIG05", spec.name + " sampling share", sampling, 0, "fraction");
+  ReportRow("FIG05", spec.name + " aggregation share", aggregation, 0,
+            "fraction");
+  ReportRow("FIG05", spec.name + " transfer share", transfer, 0, "fraction");
+  ReportRow("FIG05", spec.name + " training share", training, 0, "fraction");
+  ReportRow("FIG05", spec.name + " data-prep share", sampling + aggregation,
+            paper_min_prep_share, "fraction (paper value is a lower bound)");
+}
+
+BENCHMARK_CAPTURE(BM_MmapBreakdown, ogbn_papers100M,
+                  graph::DatasetSpec::OgbnPapers100M(), 0.5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MmapBreakdown, igb_full, graph::DatasetSpec::IgbFull(),
+                  0.9)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MmapBreakdown, mag240m, graph::DatasetSpec::Mag240M(),
+                  0.5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MmapBreakdown, igbh_full,
+                  graph::DatasetSpec::IgbhFull(), 0.9)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Reproduces Figure 8: achieved SSD bandwidth vs the number of overlapping
+// storage accesses, comparing the paper's analytic model (Eq. 2-3) against
+// the event-driven "measurement" (one GPU kernel with N threads each doing
+// one 4 KiB read), for Intel Optane and Samsung 980 Pro SSDs.
+//
+// Paper anchors: Optane reaches ~95% of peak IOPs around 812 (model) /
+// 1024 (measured) overlapping accesses; the 980 Pro's 30x higher latency
+// shifts its curve far to the right.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "sim/analytic.h"
+#include "sim/ssd_model.h"
+
+namespace gids::bench {
+namespace {
+
+sim::AccumulatorModelParams PaperParams() {
+  sim::AccumulatorModelParams p;
+  p.initial_ns = UsToNs(25);
+  p.termination_ns = UsToNs(5);
+  p.n_ssd = 1;
+  return p;
+}
+
+void BM_SsdBandwidthCurve(benchmark::State& state, sim::SsdSpec spec) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  const sim::AccumulatorModelParams params = PaperParams();
+  double model_gbps = 0;
+  double measured_gbps = 0;
+  for (auto _ : state) {
+    model_gbps = sim::ModelAchievedBandwidthBps(spec, n, params) / 1e9;
+    sim::SsdModel des(spec, /*seed=*/0xf18 + n);
+    sim::SsdBatchResult burst = des.SimulateBurst(n);
+    measured_gbps =
+        static_cast<double>(n) * spec.io_size_bytes /
+        NsToSec(burst.duration_ns + params.initial_ns + params.termination_ns) /
+        1e9;
+  }
+  state.counters["model_GBps"] = model_gbps;
+  state.counters["measured_GBps"] = measured_gbps;
+  state.counters["model_frac_of_peak"] =
+      model_gbps * 1e9 / spec.peak_read_bandwidth_bps();
+  ReportRow("FIG08", spec.name + " n=" + std::to_string(n) + " model",
+            model_gbps, 0, "GB/s");
+  ReportRow("FIG08", spec.name + " n=" + std::to_string(n) + " measured",
+            measured_gbps, 0, "GB/s");
+}
+
+void BM_RequiredAccesses(benchmark::State& state, sim::SsdSpec spec,
+                         double paper_value) {
+  uint64_t required = 0;
+  for (auto _ : state) {
+    required = sim::RequiredOverlappingAccesses(spec, 0.95, PaperParams());
+  }
+  state.counters["accesses_for_95pct"] = static_cast<double>(required);
+  ReportRow("FIG08", spec.name + " accesses for 95% peak",
+            static_cast<double>(required), paper_value, "accesses");
+}
+
+BENCHMARK_CAPTURE(BM_SsdBandwidthCurve, optane, sim::SsdSpec::IntelOptane())
+    ->RangeMultiplier(4)
+    ->Range(16, 1 << 17)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_SsdBandwidthCurve, samsung980pro,
+                  sim::SsdSpec::Samsung980Pro())
+    ->RangeMultiplier(4)
+    ->Range(16, 1 << 19)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_RequiredAccesses, optane, sim::SsdSpec::IntelOptane(),
+                  /*paper_value=*/812)
+    ->Iterations(1);
+
+BENCHMARK_CAPTURE(BM_RequiredAccesses, samsung980pro,
+                  sim::SsdSpec::Samsung980Pro(), /*paper_value=*/0)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

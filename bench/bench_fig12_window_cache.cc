@@ -1,0 +1,96 @@
+// Reproduces Figure 12: feature-aggregation performance of window
+// buffering (depth 16) vs the plain random-eviction cache across GPU
+// software cache sizes of 4, 8, and 16 GB (scaled), on the IGB-Full proxy.
+//
+// Paper anchors: window buffering wins by 1.20x / 1.18x / 1.12x at
+// 4 / 8 / 16 GB, and even the 16 GB plain cache performs worse than the
+// 4 GB cache with window buffering — the hit ratio with look-ahead
+// pinning is governed by the window depth, not the cache size.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace gids::bench {
+namespace {
+
+struct CacheResult {
+  double hit_ratio;
+  double agg_ms;
+};
+
+CacheResult MeasureCache(uint64_t cache_gb, bool window) {
+  ProxyConfig cfg;
+  cfg.spec = graph::DatasetSpec::IgbFull();
+  Rig rig = BuildRig(cfg);
+  core::GidsOptions o;
+  o.use_cpu_buffer = false;
+  o.use_window_buffering = window;
+  o.window_depth = 16;
+  // Scaled by the same 1/256 proxy rule as the dataset.
+  o.gpu_cache_bytes = static_cast<uint64_t>(
+      static_cast<double>(cache_gb * kGiB) * kProxyScale);
+  auto loader = MakeLoader(LoaderKind::kGids, rig, &o);
+  core::TrainRunResult result =
+      RunProtocol(rig, *loader, /*warmup=*/40, /*measure=*/40);
+  return CacheResult{
+      result.gpu_cache_hit_ratio(),
+      NsToMs(result.measured.aggregation_ns) /
+          static_cast<double>(result.per_iteration.size())};
+}
+
+void BM_WindowVsCacheSize(benchmark::State& state, double paper_speedup) {
+  const uint64_t cache_gb = static_cast<uint64_t>(state.range(0));
+  CacheResult plain{};
+  CacheResult window{};
+  for (auto _ : state) {
+    plain = MeasureCache(cache_gb, false);
+    window = MeasureCache(cache_gb, true);
+  }
+  state.counters["plain_hit_ratio"] = plain.hit_ratio;
+  state.counters["window_hit_ratio"] = window.hit_ratio;
+  state.counters["speedup"] = plain.agg_ms / std::max(window.agg_ms, 1e-9);
+
+  std::string size = std::to_string(cache_gb) + "GB";
+  ReportRow("FIG12", "plain cache hit ratio " + size, plain.hit_ratio, 0,
+            "fraction");
+  ReportRow("FIG12", "window-buffered hit ratio " + size, window.hit_ratio,
+            0, "fraction");
+  ReportRow("FIG12", "window buffering speedup " + size,
+            plain.agg_ms / std::max(window.agg_ms, 1e-9), paper_speedup,
+            "x");
+}
+
+void BM_SmallWindowBeatsLargePlain(benchmark::State& state) {
+  CacheResult window4{};
+  CacheResult plain16{};
+  for (auto _ : state) {
+    window4 = MeasureCache(4, true);
+    plain16 = MeasureCache(16, false);
+  }
+  state.counters["window4_agg_ms"] = window4.agg_ms;
+  state.counters["plain16_agg_ms"] = plain16.agg_ms;
+  ReportRow("FIG12", "4GB+window vs 16GB plain (agg time ratio)",
+            plain16.agg_ms / std::max(window4.agg_ms, 1e-9), 1.0,
+            "x (>1 reproduces the paper's claim)");
+}
+
+BENCHMARK_CAPTURE(BM_WindowVsCacheSize, gb4, 1.20)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WindowVsCacheSize, gb8, 1.18)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WindowVsCacheSize, gb16, 1.12)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SmallWindowBeatsLargePlain)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

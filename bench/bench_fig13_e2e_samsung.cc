@@ -1,0 +1,46 @@
+// Reproduces Figure 13: end-to-end GNN training time of the GIDS
+// dataloader vs the DGL-mmap, Ginex, and BaM baselines with Samsung
+// 980 Pro SSDs (GraphSAGE, 3-layer neighborhood sampling).
+//
+// Paper anchors (figure caption): GIDS achieves up to 582x, 10.62x, and
+// 3.09x speedups over DGL-mmap, Ginex, and BaM respectively. The giant
+// DGL gap comes from serial page faults paying the 980 Pro's ~324 us read
+// latency per miss; the gains on ogbn-papers100M and MAG240M are far
+// smaller because those datasets fit in CPU memory. Per-dataset headline
+// speedups below are the caption maxima, attributed to the
+// larger-than-memory datasets.
+#include "bench/e2e_common.h"
+
+namespace gids::bench {
+namespace {
+
+const sim::SsdSpec kSsd = sim::SsdSpec::Samsung980Pro();
+
+void BM_E2E(benchmark::State& state, E2ECase c) {
+  RunE2E(state, "FIG13", c, kSsd);
+}
+
+// Paper speedups: only the caption maxima are published; we attach them
+// to the datasets they come from (the terabyte-scale graphs) and report
+// the in-memory datasets without a paper anchor.
+BENCHMARK_CAPTURE(BM_E2E, ogbn_papers100M,
+                  E2ECase{graph::DatasetSpec::OgbnPapers100M(), 0, 0, 0})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_E2E, igb_full,
+                  E2ECase{graph::DatasetSpec::IgbFull(), 582.0, 10.62, 3.09})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_E2E, mag240m,
+                  E2ECase{graph::DatasetSpec::Mag240M(), 0, 0, 0})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_E2E, igbh_full,
+                  E2ECase{graph::DatasetSpec::IgbhFull(), 582.0, 0, 3.09})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

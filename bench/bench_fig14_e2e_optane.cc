@@ -1,0 +1,40 @@
+// Reproduces Figure 14: end-to-end GNN training time of the GIDS
+// dataloader vs the DGL-mmap, Ginex, and BaM baselines with Intel Optane
+// SSDs (GraphSAGE, 3-layer neighborhood sampling).
+//
+// Paper anchors (figure caption): GIDS achieves up to 17.28x, 37.21x, and
+// 3.23x speedups over DGL-mmap, Ginex, and BaM. The DGL gap is far
+// smaller than with the 980 Pro (Fig. 13) because Optane's ~11 us read
+// latency makes serial page faults ~30x cheaper.
+#include "bench/e2e_common.h"
+
+namespace gids::bench {
+namespace {
+
+const sim::SsdSpec kSsd = sim::SsdSpec::IntelOptane();
+
+void BM_E2E(benchmark::State& state, E2ECase c) {
+  RunE2E(state, "FIG14", c, kSsd);
+}
+
+BENCHMARK_CAPTURE(BM_E2E, ogbn_papers100M,
+                  E2ECase{graph::DatasetSpec::OgbnPapers100M(), 0, 0, 0})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_E2E, igb_full,
+                  E2ECase{graph::DatasetSpec::IgbFull(), 17.28, 37.21, 3.23})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_E2E, mag240m,
+                  E2ECase{graph::DatasetSpec::Mag240M(), 0, 0, 0})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_E2E, igbh_full,
+                  E2ECase{graph::DatasetSpec::IgbhFull(), 17.28, 0, 3.23})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Reproduces Figure 15: feature-aggregation time of the DGL, BaM, and
+// GIDS dataloaders for neighborhood sampling and LADIES layer-wise
+// sampling on the IGB-Full proxy (512 GB CPU memory pinned, 8 GB GPU
+// cache; Ginex cannot run LADIES and is excluded, §4.7).
+//
+// Paper anchors: with LADIES, GIDS achieves a 412x speedup over the DGL
+// dataloader and 1.92x over BaM.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace gids::bench {
+namespace {
+
+// Per-layer node budgets for LADIES chosen to match the neighborhood
+// sampler's per-iteration feature-request volume at the proxy scale.
+const std::vector<uint32_t> kLadiesLayers = {4096, 4096, 4096};
+
+double MeasureAggregationMs(LoaderKind kind, bool ladies,
+                            const sim::SsdSpec& ssd) {
+  ProxyConfig cfg;
+  cfg.spec = graph::DatasetSpec::IgbFull();
+  cfg.ssd = ssd;
+  Rig rig = ladies ? BuildLadiesRig(cfg, kLadiesLayers) : BuildRig(cfg);
+  core::GidsOptions opts;
+  if (kind == LoaderKind::kGids) {
+    opts.hot_node_order = &CachedPageRankOrder(rig.dataset);
+  } else if (kind == LoaderKind::kBam) {
+    opts = core::GidsOptions::Bam();
+  }
+  auto loader = MakeLoader(kind, rig, &opts);
+  core::TrainRunResult result =
+      RunProtocol(rig, *loader, /*warmup=*/60, /*measure=*/30);
+  return NsToMs(result.measured.aggregation_ns) /
+         static_cast<double>(result.per_iteration.size());
+}
+
+void BM_AggregationBySampler(benchmark::State& state, bool ladies,
+                             sim::SsdSpec ssd, double paper_dgl_speedup,
+                             double paper_bam_speedup) {
+  double dgl = 0;
+  double bam = 0;
+  double gids = 0;
+  for (auto _ : state) {
+    dgl = MeasureAggregationMs(LoaderKind::kMmap, ladies, ssd);
+    bam = MeasureAggregationMs(LoaderKind::kBam, ladies, ssd);
+    gids = MeasureAggregationMs(LoaderKind::kGids, ladies, ssd);
+  }
+  const char* mode = ladies ? "LADIES" : "neighborhood";
+  state.counters["dgl_ms"] = dgl;
+  state.counters["bam_ms"] = bam;
+  state.counters["gids_ms"] = gids;
+  ReportRow("FIG15", std::string(mode) + " DGL-mmap aggregation", dgl, 0,
+            "ms/iter");
+  ReportRow("FIG15", std::string(mode) + " BaM aggregation", bam, 0,
+            "ms/iter");
+  ReportRow("FIG15", std::string(mode) + " GIDS aggregation", gids, 0,
+            "ms/iter");
+  ReportRow("FIG15", std::string(mode) + " GIDS speedup vs DGL", dgl / gids,
+            paper_dgl_speedup, "x");
+  ReportRow("FIG15", std::string(mode) + " GIDS speedup vs BaM", bam / gids,
+            paper_bam_speedup, "x");
+}
+
+BENCHMARK_CAPTURE(BM_AggregationBySampler, neighborhood_980pro, false,
+                  sim::SsdSpec::Samsung980Pro(), 0, 0)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AggregationBySampler, ladies_980pro, true,
+                  sim::SsdSpec::Samsung980Pro(), 412.0, 1.92)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

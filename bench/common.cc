@@ -1,0 +1,141 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/check.h"
+#include "graph/pagerank.h"
+#include "loaders/ginex_loader.h"
+#include "loaders/mmap_loader.h"
+
+namespace gids::bench {
+namespace {
+
+std::shared_ptr<const graph::Dataset> CachedDataset(
+    const graph::DatasetSpec& spec, double scale, uint64_t seed) {
+  static std::map<std::string, std::shared_ptr<const graph::Dataset>> cache;
+  std::string key = spec.name + "/" + std::to_string(scale) + "/" +
+                    std::to_string(seed);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto built = graph::BuildDataset(spec, scale, seed);
+  GIDS_CHECK(built.ok());
+  auto ds = std::make_shared<graph::Dataset>(std::move(built).value());
+  cache.emplace(key, ds);
+  return ds;
+}
+
+Rig BuildRigCommon(const ProxyConfig& config) {
+  Rig rig;
+  rig.dataset = CachedDataset(config.spec, config.scale, config.seed);
+  sim::SystemConfig sys_cfg = sim::SystemConfig::Paper(config.ssd, config.n_ssd);
+  sys_cfg.memory_scale = config.memory_scale;
+  rig.system = std::make_unique<sim::SystemModel>(sys_cfg);
+  rig.seeds = std::make_unique<sampling::SeedIterator>(
+      rig.dataset->train_ids, config.batch_size, config.seed ^ 0x5eed);
+  return rig;
+}
+
+}  // namespace
+
+Rig BuildRig(const ProxyConfig& config) {
+  Rig rig = BuildRigCommon(config);
+  rig.sampler = std::make_unique<sampling::NeighborSampler>(
+      &rig.dataset->graph,
+      sampling::NeighborSamplerOptions{.fanouts = config.fanouts},
+      config.seed ^ 0x5a3e);
+  return rig;
+}
+
+Rig BuildLadiesRig(const ProxyConfig& config,
+                   std::vector<uint32_t> layer_sizes) {
+  Rig rig = BuildRigCommon(config);
+  rig.sampler = std::make_unique<sampling::LadiesSampler>(
+      &rig.dataset->graph,
+      sampling::LadiesSamplerOptions{.layer_sizes = std::move(layer_sizes)},
+      config.seed ^ 0x1ad1e5);
+  return rig;
+}
+
+const char* LoaderKindName(LoaderKind kind) {
+  switch (kind) {
+    case LoaderKind::kMmap:
+      return "DGL-mmap";
+    case LoaderKind::kGinex:
+      return "Ginex";
+    case LoaderKind::kBam:
+      return "BaM";
+    case LoaderKind::kGids:
+      return "GIDS";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<loaders::DataLoader> MakeLoader(
+    LoaderKind kind, Rig& rig, const core::GidsOptions* gids_options) {
+  const graph::Dataset* ds = rig.dataset.get();
+  switch (kind) {
+    case LoaderKind::kMmap:
+      return std::make_unique<loaders::MmapLoader>(
+          ds, rig.sampler.get(), rig.seeds.get(), rig.system.get(),
+          loaders::MmapLoaderOptions{.counting_mode = true});
+    case LoaderKind::kGinex:
+      return std::make_unique<loaders::GinexLoader>(
+          ds, rig.sampler.get(), rig.seeds.get(), rig.system.get(),
+          loaders::GinexLoaderOptions{.counting_mode = true});
+    case LoaderKind::kBam: {
+      core::GidsOptions opts =
+          gids_options != nullptr ? *gids_options : core::GidsOptions::Bam();
+      opts.counting_mode = true;
+      return std::make_unique<core::GidsLoader>(
+          ds, rig.sampler.get(), rig.seeds.get(), rig.system.get(), opts);
+    }
+    case LoaderKind::kGids: {
+      core::GidsOptions opts =
+          gids_options != nullptr ? *gids_options : core::GidsOptions{};
+      opts.counting_mode = true;
+      return std::make_unique<core::GidsLoader>(
+          ds, rig.sampler.get(), rig.seeds.get(), rig.system.get(), opts);
+    }
+  }
+  GIDS_CHECK(false);
+  return nullptr;
+}
+
+core::TrainRunResult RunProtocol(Rig& rig, loaders::DataLoader& loader,
+                                 uint64_t warmup, uint64_t measure) {
+  core::Trainer trainer(
+      rig.dataset.get(),
+      core::TrainerOptions{.warmup_iterations = warmup,
+                           .measure_iterations = measure});
+  auto result = trainer.Run(loader);
+  GIDS_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+const std::vector<graph::NodeId>& CachedPageRankOrder(
+    const std::shared_ptr<const graph::Dataset>& dataset) {
+  static std::map<const graph::Dataset*, std::vector<graph::NodeId>> cache;
+  auto it = cache.find(dataset.get());
+  if (it != cache.end()) return it->second;
+  std::vector<double> score = graph::WeightedReversePageRank(
+      dataset->graph, graph::PageRankOptions{});
+  auto [ins, _] =
+      cache.emplace(dataset.get(), graph::RankNodesByScore(score));
+  return ins->second;
+}
+
+void ReportRow(const std::string& experiment, const std::string& label,
+               double measured, double paper, const std::string& unit) {
+  if (paper > 0) {
+    std::printf("[%s] %-42s measured=%-12.4g paper=%-10.4g unit=%s\n",
+                experiment.c_str(), label.c_str(), measured, paper,
+                unit.c_str());
+  } else {
+    std::printf("[%s] %-42s measured=%-12.4g unit=%s\n", experiment.c_str(),
+                label.c_str(), measured, unit.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace gids::bench

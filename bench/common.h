@@ -1,0 +1,80 @@
+#ifndef GIDS_BENCH_COMMON_H_
+#define GIDS_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gids_loader.h"
+#include "core/trainer.h"
+#include "graph/dataset.h"
+#include "loaders/dataloader.h"
+#include "sampling/ladies_sampler.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/seed_iterator.h"
+#include "sim/system_model.h"
+
+namespace gids::bench {
+
+/// Default proxy scaling used across the benchmark suite (see DESIGN.md §2
+/// and EXPERIMENTS.md): dataset node counts, CPU memory, and GPU cache are
+/// all scaled by 1/256; the mini-batch is scaled so the minibatch/graph
+/// and cache/minibatch ratios match the paper's regime.
+inline constexpr double kProxyScale = 1.0 / 256.0;
+inline constexpr uint32_t kProxyBatchSize = 16;
+
+struct ProxyConfig {
+  graph::DatasetSpec spec = graph::DatasetSpec::IgbFull();
+  double scale = kProxyScale;
+  double memory_scale = kProxyScale;
+  uint32_t batch_size = kProxyBatchSize;
+  std::vector<int> fanouts = {10, 5, 5};
+  sim::SsdSpec ssd = sim::SsdSpec::IntelOptane();
+  int n_ssd = 1;
+  uint64_t seed = 42;
+};
+
+/// The assembled experiment pieces (dataset generation is cached across
+/// benchmarks within one binary; sampler/seed state is always fresh).
+struct Rig {
+  std::shared_ptr<const graph::Dataset> dataset;
+  std::unique_ptr<sim::SystemModel> system;
+  std::unique_ptr<sampling::Sampler> sampler;
+  std::unique_ptr<sampling::SeedIterator> seeds;
+};
+
+/// Builds a rig with a neighborhood sampler.
+Rig BuildRig(const ProxyConfig& config);
+
+/// Builds a rig with a LADIES sampler using `layer_sizes`.
+Rig BuildLadiesRig(const ProxyConfig& config,
+                   std::vector<uint32_t> layer_sizes);
+
+enum class LoaderKind { kMmap, kGinex, kBam, kGids };
+
+const char* LoaderKindName(LoaderKind kind);
+
+/// Constructs the requested dataloader over `rig` in counting mode.
+/// `gids_options` overrides the GIDS/BaM configuration when non-null
+/// (counting mode is forced on).
+std::unique_ptr<loaders::DataLoader> MakeLoader(
+    LoaderKind kind, Rig& rig,
+    const core::GidsOptions* gids_options = nullptr);
+
+/// Runs the paper's measurement protocol and returns aggregate stats.
+core::TrainRunResult RunProtocol(Rig& rig, loaders::DataLoader& loader,
+                                 uint64_t warmup, uint64_t measure);
+
+/// Returns (and caches) the weighted-reverse-PageRank hot-node ranking for
+/// a dataset, so bench variants don't recompute the power iteration.
+const std::vector<graph::NodeId>& CachedPageRankOrder(
+    const std::shared_ptr<const graph::Dataset>& dataset);
+
+/// Emits one comparison row to stdout in a stable grep-able format:
+///   [FIG13] IGB-Full/GIDS  measured=12.3  paper=10.0  unit=x
+void ReportRow(const std::string& experiment, const std::string& label,
+               double measured, double paper, const std::string& unit);
+
+}  // namespace gids::bench
+
+#endif  // GIDS_BENCH_COMMON_H_

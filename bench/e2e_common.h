@@ -1,0 +1,84 @@
+#ifndef GIDS_BENCH_E2E_COMMON_H_
+#define GIDS_BENCH_E2E_COMMON_H_
+
+// Shared implementation for the end-to-end training-time comparisons
+// (Figure 13 with Samsung 980 Pro SSDs, Figure 14 with Intel Optane).
+// Four dataloaders (DGL-mmap, Ginex, BaM, GIDS) over four real-world
+// dataset proxies; Ginex is skipped for heterogeneous graphs, matching
+// §4.1. IGBH-Full uses two SSDs (storage capacity, §4.6).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace gids::bench {
+
+struct E2ECase {
+  graph::DatasetSpec spec;
+  double paper_gids_vs_dgl;    // paper's speedup (0 = not reported)
+  double paper_gids_vs_ginex;
+  double paper_gids_vs_bam;
+};
+
+inline double MeasureE2EIterationMs(LoaderKind kind,
+                                    const graph::DatasetSpec& spec,
+                                    const sim::SsdSpec& ssd) {
+  ProxyConfig cfg;
+  cfg.spec = spec;
+  cfg.ssd = ssd;
+  cfg.n_ssd = spec.name == "IGBH-Full" ? 2 : 1;
+  Rig rig = BuildRig(cfg);
+  core::GidsOptions opts;  // used by BaM/GIDS only
+  if (kind == LoaderKind::kGids) {
+    opts.hot_node_order = &CachedPageRankOrder(rig.dataset);
+  } else if (kind == LoaderKind::kBam) {
+    opts = core::GidsOptions::Bam();
+  }
+  auto loader = MakeLoader(kind, rig, &opts);
+  // Scaled-down analogue of the paper's 1000-warmup / 100-measured
+  // protocol (§4.1); warm-up fills the page caches / software cache.
+  core::TrainRunResult result =
+      RunProtocol(rig, *loader, /*warmup=*/250, /*measure=*/30);
+  return result.mean_iteration_ms();
+}
+
+inline void RunE2E(benchmark::State& state, const char* figure,
+                   const E2ECase& c, const sim::SsdSpec& ssd) {
+  bool hetero = c.spec.kind == graph::GraphKind::kHeterogeneous;
+  double dgl_ms = 0;
+  double ginex_ms = 0;
+  double bam_ms = 0;
+  double gids_ms = 0;
+  for (auto _ : state) {
+    dgl_ms = MeasureE2EIterationMs(LoaderKind::kMmap, c.spec, ssd);
+    ginex_ms = hetero ? 0
+                      : MeasureE2EIterationMs(LoaderKind::kGinex, c.spec, ssd);
+    bam_ms = MeasureE2EIterationMs(LoaderKind::kBam, c.spec, ssd);
+    gids_ms = MeasureE2EIterationMs(LoaderKind::kGids, c.spec, ssd);
+  }
+  state.counters["dgl_ms"] = dgl_ms;
+  state.counters["ginex_ms"] = ginex_ms;
+  state.counters["bam_ms"] = bam_ms;
+  state.counters["gids_ms"] = gids_ms;
+  state.counters["gids_vs_dgl"] = dgl_ms / gids_ms;
+  state.counters["gids_vs_bam"] = bam_ms / gids_ms;
+
+  ReportRow(figure, c.spec.name + " DGL-mmap", dgl_ms, 0, "ms/iter");
+  if (!hetero) {
+    ReportRow(figure, c.spec.name + " Ginex", ginex_ms, 0, "ms/iter");
+  }
+  ReportRow(figure, c.spec.name + " BaM", bam_ms, 0, "ms/iter");
+  ReportRow(figure, c.spec.name + " GIDS", gids_ms, 0, "ms/iter");
+  ReportRow(figure, c.spec.name + " GIDS speedup vs DGL-mmap",
+            dgl_ms / gids_ms, c.paper_gids_vs_dgl, "x");
+  if (!hetero) {
+    ReportRow(figure, c.spec.name + " GIDS speedup vs Ginex",
+              ginex_ms / gids_ms, c.paper_gids_vs_ginex, "x");
+  }
+  ReportRow(figure, c.spec.name + " GIDS speedup vs BaM", bam_ms / gids_ms,
+            c.paper_gids_vs_bam, "x");
+}
+
+}  // namespace gids::bench
+
+#endif  // GIDS_BENCH_E2E_COMMON_H_

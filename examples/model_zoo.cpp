@@ -1,0 +1,75 @@
+// Model zoo: GraphSAGE vs GCN vs GAT, all trained through the same GIDS
+// dataloader on the same synthetic dataset. Demonstrates that the
+// dataloader is model-agnostic (§2.1: frameworks provide many
+// message-passing architectures; GIDS only changes how their input
+// features arrive) and compares convergence of the three architectures.
+//
+// Build & run:  ./build/examples/model_zoo
+#include <cstdio>
+
+#include "core/gids_loader.h"
+#include "core/trainer.h"
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/seed_iterator.h"
+#include "sim/system_model.h"
+
+namespace {
+
+double RunModel(gids::core::ModelKind kind, const char* name,
+                const gids::graph::Dataset& dataset,
+                const gids::sim::SystemModel& system) {
+  using namespace gids;
+  sampling::NeighborSampler sampler(&dataset.graph, {.fanouts = {10, 5}},
+                                    /*seed=*/2);
+  sampling::SeedIterator seeds(dataset.train_ids, /*batch_size=*/128,
+                               /*seed=*/3);
+  core::GidsLoader loader(&dataset, &sampler, &seeds, &system, {});
+
+  core::TrainerOptions opts;
+  opts.warmup_iterations = 0;
+  opts.measure_iterations = 60;
+  opts.functional_training = true;
+  opts.track_accuracy = true;
+  opts.model = kind;
+  opts.num_classes = 8;
+  opts.hidden_dim = 64;
+  core::Trainer trainer(&dataset, opts);
+  auto result = trainer.Run(loader);
+  GIDS_CHECK_OK(result.status());
+
+  double early_loss = 0;
+  double late_loss = 0;
+  double late_acc = 0;
+  for (int i = 0; i < 10; ++i) {
+    early_loss += result->losses[i] / 10;
+    late_loss += result->losses[50 + i] / 10;
+    late_acc += result->accuracies[50 + i] / 10;
+  }
+  std::printf("%-10s loss %.3f -> %.3f   batch accuracy %.1f%%\n", name,
+              early_loss, late_loss, 100 * late_acc);
+  return late_loss;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gids;
+  auto dataset_or = graph::BuildDataset(graph::DatasetSpec::IgbTiny(),
+                                        /*scale=*/0.5, /*seed=*/1);
+  GIDS_CHECK_OK(dataset_or.status());
+  graph::Dataset dataset = std::move(dataset_or).value();
+  sim::SystemConfig cfg =
+      sim::SystemConfig::Paper(sim::SsdSpec::IntelOptane());
+  cfg.memory_scale = 1.0 / 2048.0;
+  sim::SystemModel system(cfg);
+
+  std::printf("training 60 iterations of each architecture through GIDS\n"
+              "(IGB-tiny proxy, 2-layer sampling, batch 128)\n\n");
+  RunModel(core::ModelKind::kGraphSage, "GraphSAGE", dataset, system);
+  RunModel(core::ModelKind::kGcn, "GCN", dataset, system);
+  RunModel(core::ModelKind::kGat, "GAT", dataset, system);
+  std::printf("\nall three consume identical GIDS-gathered mini-batches;\n"
+              "only the message-passing update differs.\n");
+  return 0;
+}

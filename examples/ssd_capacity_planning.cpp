@@ -1,0 +1,57 @@
+// SSD capacity planning with the accumulator's analytic model (§3.2).
+//
+// Answers the deployment questions the paper raises in §3.3: how many
+// overlapping storage accesses must the dataloader keep in flight on a
+// given SSD to hit a target utilization (Eq. 2-3), and how many SSDs does
+// it take to saturate the GPU's PCIe ingress bandwidth?
+//
+// Build & run:  ./build/examples/ssd_capacity_planning
+#include <cstdio>
+
+#include "sim/analytic.h"
+#include "sim/link_models.h"
+#include "sim/ssd_model.h"
+
+int main() {
+  using namespace gids;
+  using namespace gids::sim;
+
+  AccumulatorModelParams params;  // T_i = 25 us, T_t = 5 us (paper §4.2)
+
+  for (const SsdSpec& spec :
+       {SsdSpec::IntelOptane(), SsdSpec::Samsung980Pro()}) {
+    std::printf("=== %s ===\n", spec.name.c_str());
+    std::printf("  peak: %.2f M IOPs @4KiB (%.2f GB/s), latency %.0f us, "
+                "internal parallelism ~%llu\n",
+                spec.peak_read_iops / 1e6,
+                spec.peak_read_bandwidth_bps() / 1e9,
+                NsToUs(spec.read_latency_ns),
+                static_cast<unsigned long long>(
+                    spec.internal_parallelism()));
+
+    std::printf("  overlapping accesses for target utilization "
+                "(Eq. 2-3):\n");
+    for (double target : {0.50, 0.80, 0.90, 0.95, 0.99}) {
+      std::printf("    %4.0f%% -> %8llu accesses\n", target * 100,
+                  static_cast<unsigned long long>(
+                      RequiredOverlappingAccesses(spec, target, params)));
+    }
+
+    // Verify against the event-driven device model at the 95% point.
+    uint64_t n95 = RequiredOverlappingAccesses(spec, 0.95, params);
+    SsdModel model(spec);
+    SsdBatchResult r = model.SimulateClosedLoop(200000, n95);
+    std::printf("  event-driven check at N=%llu: %.1f%% of peak IOPs\n",
+                static_cast<unsigned long long>(n95),
+                100.0 * r.achieved_iops / spec.peak_read_iops);
+
+    double pcie = LinkModel::PcieGen4x16().bandwidth_bps();
+    int ssds_for_pcie = static_cast<int>(
+        pcie / spec.peak_read_bandwidth_bps()) + 1;
+    std::printf("  SSDs to saturate PCIe Gen4 x16 (32 GB/s): ~%d\n",
+                ssds_for_pcie);
+    std::printf("  (the constant CPU buffer exists so one SSD plus CPU "
+                "memory can\n   approach that ceiling instead, §3.3)\n\n");
+  }
+  return 0;
+}

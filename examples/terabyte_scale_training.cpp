@@ -1,0 +1,113 @@
+// Large-scale scenario: train on a proxy of the terabyte-scale IGB-Full
+// dataset (269M nodes / 1.1 TB of features at paper scale, scaled 1/256
+// here together with the machine's memory capacities) and compare all four
+// dataloaders the paper evaluates: DGL-mmap, Ginex, BaM, and GIDS.
+//
+// This is the workload of the paper's Figs. 13/14 as a single runnable
+// program; pass "optane" (default) or "samsung" to pick the SSD.
+//
+// Build & run:  ./build/examples/terabyte_scale_training [optane|samsung]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "core/gids_loader.h"
+#include "core/trainer.h"
+#include "graph/dataset.h"
+#include "graph/pagerank.h"
+#include "loaders/ginex_loader.h"
+#include "loaders/mmap_loader.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/seed_iterator.h"
+#include "sim/system_model.h"
+
+namespace {
+
+constexpr double kScale = 1.0 / 256.0;
+
+struct RunOutput {
+  double iter_ms;
+  double hit_ratio;
+  uint64_t storage_reads;
+};
+
+RunOutput RunOne(const char* name, const gids::graph::Dataset& dataset,
+                 const gids::sim::SystemModel& system,
+                 const std::vector<gids::graph::NodeId>* hot_order) {
+  using namespace gids;
+  sampling::NeighborSampler sampler(&dataset.graph,
+                                    {.fanouts = {10, 5, 5}}, 11);
+  sampling::SeedIterator seeds(dataset.train_ids, /*batch_size=*/16, 13);
+
+  std::unique_ptr<loaders::DataLoader> loader;
+  if (std::strcmp(name, "DGL-mmap") == 0) {
+    loader = std::make_unique<loaders::MmapLoader>(
+        &dataset, &sampler, &seeds, &system,
+        loaders::MmapLoaderOptions{.counting_mode = true});
+  } else if (std::strcmp(name, "Ginex") == 0) {
+    loader = std::make_unique<loaders::GinexLoader>(
+        &dataset, &sampler, &seeds, &system,
+        loaders::GinexLoaderOptions{.counting_mode = true});
+  } else {
+    core::GidsOptions opts = std::strcmp(name, "BaM") == 0
+                                 ? core::GidsOptions::Bam()
+                                 : core::GidsOptions{};
+    opts.counting_mode = true;
+    if (std::strcmp(name, "GIDS") == 0) opts.hot_node_order = hot_order;
+    loader = std::make_unique<core::GidsLoader>(&dataset, &sampler, &seeds,
+                                                &system, opts);
+  }
+
+  core::Trainer trainer(&dataset, {.warmup_iterations = 200,
+                                   .measure_iterations = 30});
+  auto result = trainer.Run(*loader);
+  GIDS_CHECK_OK(result.status());
+  return RunOutput{result->mean_iteration_ms(),
+                   result->gpu_cache_hit_ratio(),
+                   result->measured.gather.storage_reads};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gids;
+  bool samsung = argc > 1 && std::strcmp(argv[1], "samsung") == 0;
+  sim::SsdSpec ssd = samsung ? sim::SsdSpec::Samsung980Pro()
+                             : sim::SsdSpec::IntelOptane();
+  std::printf("SSD: %s | dataset: IGB-Full proxy at 1/%d scale\n",
+              ssd.name.c_str(), static_cast<int>(1.0 / kScale));
+
+  auto dataset_or =
+      graph::BuildDataset(graph::DatasetSpec::IgbFull(), kScale, 42);
+  GIDS_CHECK_OK(dataset_or.status());
+  graph::Dataset dataset = std::move(dataset_or).value();
+  std::printf("proxy: %u nodes, %llu edges, %.2f GB features "
+              "(vs %.2f GB scaled CPU memory)\n\n",
+              dataset.graph.num_nodes(),
+              static_cast<unsigned long long>(dataset.graph.num_edges()),
+              static_cast<double>(dataset.feature_bytes()) / 1e9,
+              512.0 / 256.0);
+
+  sim::SystemConfig cfg = sim::SystemConfig::Paper(ssd);
+  cfg.memory_scale = kScale;
+  sim::SystemModel system(cfg);
+
+  std::vector<double> score =
+      graph::WeightedReversePageRank(dataset.graph, {});
+  std::vector<graph::NodeId> hot_order = graph::RankNodesByScore(score);
+
+  const char* loaders[] = {"DGL-mmap", "Ginex", "BaM", "GIDS"};
+  double dgl_ms = 0;
+  std::printf("%-10s %14s %14s %16s\n", "loader", "virt ms/iter",
+              "cache hit %", "storage reads");
+  for (const char* name : loaders) {
+    RunOutput out = RunOne(name, dataset, system, &hot_order);
+    if (std::strcmp(name, "DGL-mmap") == 0) dgl_ms = out.iter_ms;
+    std::printf("%-10s %14.3f %13.1f%% %16llu\n", name, out.iter_ms,
+                100.0 * out.hit_ratio,
+                static_cast<unsigned long long>(out.storage_reads));
+  }
+  std::printf("\nGIDS speedup over DGL-mmap: %.1fx\n",
+              dgl_ms / RunOne("GIDS", dataset, system, &hot_order).iter_ms);
+  return 0;
+}

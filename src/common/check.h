@@ -1,0 +1,42 @@
+#ifndef GIDS_COMMON_CHECK_H_
+#define GIDS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gids::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace gids::internal_check
+
+/// Aborts the process when `cond` is false. Used for invariants that
+/// indicate programming errors (never for recoverable I/O or user-input
+/// failures, which return Status instead).
+#define GIDS_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::gids::internal_check::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#define GIDS_CHECK_OK(status_expr)                                        \
+  do {                                                                    \
+    ::gids::Status _gids_chk = (status_expr);                             \
+    if (!_gids_chk.ok())                                                  \
+      ::gids::internal_check::CheckFailed(__FILE__, __LINE__,             \
+                                          _gids_chk.ToString().c_str());  \
+  } while (false)
+
+#ifndef NDEBUG
+#define GIDS_DCHECK(cond) GIDS_CHECK(cond)
+#else
+#define GIDS_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#endif
+
+#endif  // GIDS_COMMON_CHECK_H_

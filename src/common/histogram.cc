@@ -1,0 +1,110 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace gids {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value < (1ull << kSubBucketBits)) return static_cast<size_t>(value);
+  // Layout: octave o (>= 1) starts at index o << kSubBucketBits and covers
+  // values in [(16 + sub) << (o - 1), ...) for sub in [0, 16).
+  int msb = 63 - std::countl_zero(value);
+  int octave = msb - kSubBucketBits + 1;
+  uint64_t sub =
+      (value >> (msb - kSubBucketBits)) & ((1ull << kSubBucketBits) - 1);
+  size_t bucket =
+      (static_cast<size_t>(octave) << kSubBucketBits) + static_cast<size_t>(sub);
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t bucket) {
+  size_t octave = bucket >> kSubBucketBits;
+  uint64_t sub = bucket & ((1ull << kSubBucketBits) - 1);
+  if (octave == 0) return sub;
+  int shift = static_cast<int>(octave) - 1;
+  return ((1ull << kSubBucketBits) + sub) << shift;
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  sum_squares_ += static_cast<double>(value) * static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0.0;
+  double n = static_cast<double>(count_);
+  double mean = Mean();
+  double var = sum_squares_ / n - mean * mean;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t threshold =
+      static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_)));
+  threshold = std::max<uint64_t>(threshold, 1);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    cumulative += buckets_[i];
+    if (cumulative >= threshold) {
+      uint64_t lo = BucketLowerBound(i);
+      uint64_t hi =
+          i + 1 < kNumBuckets ? BucketLowerBound(i + 1) : max_;
+      hi = std::max(hi, lo);
+      // Interpolate within the bucket by rank.
+      uint64_t into = buckets_[i] - (cumulative - threshold);
+      double frac =
+          static_cast<double>(into) / static_cast<double>(buckets_[i]);
+      double v = static_cast<double>(lo) +
+                 frac * static_cast<double>(hi - lo);
+      return std::min(v, static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%.1f p99=%.1f max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(0.50), Percentile(0.99),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace gids

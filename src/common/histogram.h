@@ -1,0 +1,49 @@
+#ifndef GIDS_COMMON_HISTOGRAM_H_
+#define GIDS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gids {
+
+/// Log-bucketed histogram for latency/size distributions, in the style of
+/// RocksDB's HistogramImpl. Values are bucketed by powers of two scaled by
+/// a linear sub-bucket factor, giving ~4% relative resolution.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  /// Approximate quantile in [0, 1]; interpolates within the bucket.
+  double Percentile(double p) const;
+  double StdDev() const;
+
+  /// One-line summary: count/mean/p50/p99/max.
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(uint64_t value);
+  static uint64_t BucketLowerBound(size_t bucket);
+
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave.
+  static constexpr size_t kNumBuckets = (64 - kSubBucketBits) << kSubBucketBits;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  double sum_squares_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace gids
+
+#endif  // GIDS_COMMON_HISTOGRAM_H_

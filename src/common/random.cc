@@ -1,0 +1,41 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace gids {
+
+double Rng::Normal() {
+  // Box-Muller transform; guard against log(0).
+  double u1 = UniformDouble();
+  if (u1 <= 0.0) u1 = 1e-300;
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
+                                               Rng& rng) {
+  if (k >= n) {
+    std::vector<uint64_t> all(n);
+    std::iota(all.begin(), all.end(), 0ull);
+    return all;
+  }
+  // Floyd's algorithm: k iterations, each inserting a distinct element.
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> result;
+  seen.reserve(k * 2);
+  result.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = rng.UniformInt(j + 1);
+    if (seen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      seen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace gids

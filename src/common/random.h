@@ -1,0 +1,125 @@
+#ifndef GIDS_COMMON_RANDOM_H_
+#define GIDS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gids {
+
+/// SplitMix64: used for seeding and as a cheap standalone generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: the library-wide deterministic PRNG. All GIDS randomness
+/// (graph generation, sampling, eviction) flows through seeded instances of
+/// this class so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9f0c1e2d3b4a5968ull) { Seed(seed); }
+
+  /// Re-seeds the generator state from a single 64-bit seed via SplitMix64.
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ull; }
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t UniformInt(uint64_t bound) {
+    GIDS_DCHECK(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    GIDS_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (uncached; fine for our use).
+  double Normal();
+
+  /// Forks an independently-seeded child generator; children with distinct
+  /// `stream` values produce decorrelated sequences.
+  Rng Fork(uint64_t stream) const {
+    SplitMix64 sm(state_[0] ^ (stream * 0x9e3779b97f4a7c15ull) ^ state_[3]);
+    return Rng(sm.Next());
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Fisher-Yates shuffle of `items` using `rng`.
+template <typename T>
+void Shuffle(std::vector<T>& items, Rng& rng) {
+  for (size_t i = items.size(); i > 1; --i) {
+    size_t j = rng.UniformInt(i);
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+/// Samples `k` distinct values uniformly from [0, n) without replacement.
+/// If k >= n, returns all of [0, n) in order. Uses Floyd's algorithm for
+/// small k relative to n, reservoir-free and O(k) expected.
+std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
+                                               Rng& rng);
+
+}  // namespace gids
+
+#endif  // GIDS_COMMON_RANDOM_H_

@@ -1,0 +1,166 @@
+#ifndef GIDS_COMMON_STATUS_H_
+#define GIDS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gids {
+
+/// Error codes used across the GIDS library. Modeled after the RocksDB /
+/// Abseil status idiom: library code never throws; fallible operations
+/// return a Status (or StatusOr<T>) that callers must inspect.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kAlreadyExists = 8,
+  kIoError = 9,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
+/// ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. An OK status carries no
+/// message; error statuses carry a code and a context message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// Holds either a value of type T or an error Status. Accessing the value
+/// of an errored StatusOr aborts the process (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return 42;` / `return Status::NotFound(...)`).
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  T value_{};
+};
+
+namespace internal_status {
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!status_.ok()) internal_status::DieOnBadStatusAccess(status_);
+}
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define GIDS_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::gids::Status _gids_status = (expr);            \
+    if (!_gids_status.ok()) return _gids_status;     \
+  } while (false)
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the
+/// status, otherwise assigns the value to `lhs`.
+#define GIDS_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  auto GIDS_STATUS_CONCAT_(_gids_sor, __LINE__) = (rexpr); \
+  if (!GIDS_STATUS_CONCAT_(_gids_sor, __LINE__).ok())      \
+    return GIDS_STATUS_CONCAT_(_gids_sor, __LINE__).status(); \
+  lhs = std::move(GIDS_STATUS_CONCAT_(_gids_sor, __LINE__)).value()
+
+#define GIDS_STATUS_CONCAT_IMPL_(a, b) a##b
+#define GIDS_STATUS_CONCAT_(a, b) GIDS_STATUS_CONCAT_IMPL_(a, b)
+
+}  // namespace gids
+
+#endif  // GIDS_COMMON_STATUS_H_

@@ -1,0 +1,54 @@
+#ifndef GIDS_COMMON_THREAD_POOL_H_
+#define GIDS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gids {
+
+/// Fixed-size worker pool used by the CPU-side samplers and gather paths
+/// (the baseline DGL dataloader runs data preparation on host threads).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Splits [0, n) into one contiguous chunk per worker and runs
+  /// fn(begin, end) for each chunk; waits for completion.
+  void ParallelForChunked(
+      size_t n, const std::function<void(size_t begin, size_t end)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gids
+
+#endif  // GIDS_COMMON_THREAD_POOL_H_

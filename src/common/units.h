@@ -1,0 +1,42 @@
+#ifndef GIDS_COMMON_UNITS_H_
+#define GIDS_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace gids {
+
+/// Virtual time is tracked in integer nanoseconds throughout the simulator.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1000;
+inline constexpr TimeNs kNsPerMs = 1000 * 1000;
+inline constexpr TimeNs kNsPerSec = 1000 * 1000 * 1000;
+
+inline constexpr double NsToUs(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+inline constexpr double NsToMs(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+inline constexpr double NsToSec(TimeNs t) { return static_cast<double>(t) / kNsPerSec; }
+inline constexpr TimeNs UsToNs(double us) {
+  return static_cast<TimeNs>(us * static_cast<double>(kNsPerUs));
+}
+inline constexpr TimeNs MsToNs(double ms) {
+  return static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs));
+}
+inline constexpr TimeNs SecToNs(double s) {
+  return static_cast<TimeNs>(s * static_cast<double>(kNsPerSec));
+}
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+inline constexpr uint64_t kTiB = 1024ull * kGiB;
+
+/// Converts a byte count and duration to GB/s (decimal gigabytes, the unit
+/// used in the paper's bandwidth figures).
+inline constexpr double BytesPerNsToGBps(double bytes, TimeNs duration) {
+  if (duration <= 0) return 0.0;
+  return bytes / static_cast<double>(duration);  // B/ns == GB/s
+}
+
+}  // namespace gids
+
+#endif  // GIDS_COMMON_UNITS_H_

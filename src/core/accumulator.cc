@@ -1,0 +1,35 @@
+#include "core/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gids::core {
+
+StorageAccessAccumulator::StorageAccessAccumulator(const sim::SsdSpec& spec,
+                                                   Params params)
+    : params_(params) {
+  GIDS_CHECK(params_.target_fraction > 0 && params_.target_fraction < 1);
+  base_threshold_ = sim::RequiredOverlappingAccesses(
+      spec, params_.target_fraction, params_.model);
+}
+
+uint64_t StorageAccessAccumulator::CurrentThreshold() const {
+  double inflated =
+      static_cast<double>(base_threshold_) /
+      std::max(ssd_share_, params_.min_ssd_share);
+  return static_cast<uint64_t>(std::ceil(inflated));
+}
+
+void StorageAccessAccumulator::Observe(
+    const storage::FeatureGatherCounts& counts) {
+  uint64_t total = counts.total_page_requests();
+  if (total == 0) return;
+  double share = static_cast<double>(counts.storage_reads) /
+                 static_cast<double>(total);
+  double a = params_.share_smoothing;
+  ssd_share_ = a * share + (1.0 - a) * ssd_share_;
+}
+
+}  // namespace gids::core

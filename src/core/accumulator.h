@@ -1,0 +1,57 @@
+#ifndef GIDS_CORE_ACCUMULATOR_H_
+#define GIDS_CORE_ACCUMULATOR_H_
+
+#include <cstdint>
+
+#include "sim/analytic.h"
+#include "sim/ssd_model.h"
+#include "storage/feature_gather.h"
+
+namespace gids::core {
+
+/// The dynamic storage access accumulator (§3.2). From the SSD's measured
+/// characteristics it computes, via the paper's Eq. 2-3 model, how many
+/// *storage-bound* accesses must overlap to sustain `target_fraction` of
+/// peak IOPs; the GIDS loader then merges the data preparation of future
+/// iterations until the accumulated accesses cross the threshold.
+///
+/// Because some accesses are redirected to the GPU software cache or the
+/// constant CPU buffer, the accumulator tracks the observed SSD share of
+/// recent traffic and inflates the threshold so that the accesses that do
+/// reach the SSDs still meet the Eq. 2-3 requirement (§3.2 last paragraph).
+class StorageAccessAccumulator {
+ public:
+  struct Params {
+    double target_fraction = 0.95;
+    sim::AccumulatorModelParams model;  // T_i, T_t, n_ssd
+    /// Exponential smoothing factor for the observed SSD share.
+    double share_smoothing = 0.5;
+    /// Lower bound on the smoothed SSD share (keeps the threshold finite
+    /// when nearly all traffic is redirected).
+    double min_ssd_share = 0.02;
+  };
+
+  StorageAccessAccumulator(const sim::SsdSpec& spec, Params params);
+
+  /// Eq. 2-3 threshold on *storage-bound* overlapping accesses.
+  uint64_t base_threshold() const { return base_threshold_; }
+
+  /// Threshold on total node-page accesses, inflated by the estimated
+  /// redirect rate so the storage-bound share still meets base_threshold.
+  uint64_t CurrentThreshold() const;
+
+  /// Feeds back the functional traffic counts of a completed aggregation
+  /// group to update the SSD-share estimate.
+  void Observe(const storage::FeatureGatherCounts& counts);
+
+  double ssd_share_estimate() const { return ssd_share_; }
+
+ private:
+  Params params_;
+  uint64_t base_threshold_;
+  double ssd_share_ = 1.0;
+};
+
+}  // namespace gids::core
+
+#endif  // GIDS_CORE_ACCUMULATOR_H_

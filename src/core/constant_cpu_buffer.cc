@@ -1,0 +1,76 @@
+#include "core/constant_cpu_buffer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/pagerank.h"
+
+namespace gids::core {
+
+const char* HotMetricName(HotMetric metric) {
+  switch (metric) {
+    case HotMetric::kReversePageRank:
+      return "reverse-pagerank";
+    case HotMetric::kInDegree:
+      return "in-degree";
+    case HotMetric::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+ConstantCpuBuffer ConstantCpuBuffer::Build(const graph::CscGraph& graph,
+                                           const graph::FeatureStore& features,
+                                           uint64_t capacity_bytes,
+                                           HotMetric metric, uint64_t seed) {
+  GIDS_CHECK(graph.num_nodes() == features.num_nodes());
+  std::vector<graph::NodeId> order;
+  switch (metric) {
+    case HotMetric::kReversePageRank: {
+      std::vector<double> score =
+          graph::WeightedReversePageRank(graph, graph::PageRankOptions{});
+      order = graph::RankNodesByScore(score);
+      break;
+    }
+    case HotMetric::kInDegree:
+      order = graph::RankNodesByInDegree(graph);
+      break;
+    case HotMetric::kRandom: {
+      order.resize(graph.num_nodes());
+      for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) order[v] = v;
+      Rng rng(seed);
+      Shuffle(order, rng);
+      break;
+    }
+  }
+
+  uint64_t per_node = features.feature_bytes_per_node();
+  uint64_t budget_nodes = per_node == 0 ? 0 : capacity_bytes / per_node;
+  budget_nodes = std::min<uint64_t>(budget_nodes, order.size());
+
+  std::vector<bool> pinned(features.num_nodes(), false);
+  for (uint64_t i = 0; i < budget_nodes; ++i) pinned[order[i]] = true;
+  return ConstantCpuBuffer(&features, std::move(pinned), budget_nodes);
+}
+
+ConstantCpuBuffer ConstantCpuBuffer::FromNodeSet(
+    const graph::FeatureStore& features,
+    const std::vector<graph::NodeId>& nodes) {
+  std::vector<bool> pinned(features.num_nodes(), false);
+  uint64_t count = 0;
+  for (graph::NodeId v : nodes) {
+    GIDS_CHECK(v < features.num_nodes());
+    if (!pinned[v]) {
+      pinned[v] = true;
+      ++count;
+    }
+  }
+  return ConstantCpuBuffer(&features, std::move(pinned), count);
+}
+
+void ConstantCpuBuffer::Fill(graph::NodeId node, std::span<float> out) const {
+  GIDS_CHECK(Contains(node));
+  features_->FillFeature(node, out);
+}
+
+}  // namespace gids::core

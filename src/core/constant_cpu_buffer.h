@@ -1,0 +1,68 @@
+#ifndef GIDS_CORE_CONSTANT_CPU_BUFFER_H_
+#define GIDS_CORE_CONSTANT_CPU_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csc_graph.h"
+#include "graph/feature_store.h"
+#include "graph/types.h"
+#include "storage/feature_gather.h"
+
+namespace gids::core {
+
+/// How hot nodes are chosen for pinning in the constant CPU buffer (§3.3).
+enum class HotMetric {
+  kReversePageRank,  // the paper's default (Data Tiering metric)
+  kInDegree,         // cheap heuristic, ablation
+  kRandom,           // control: shows the ranking matters (Fig. 10)
+};
+
+const char* HotMetricName(HotMetric metric);
+
+/// The constant CPU buffer (§3.3): a user-sized region of pinned host
+/// memory holding the feature vectors of the hottest nodes. Feature
+/// gathers check it first; hits cross PCIe from DRAM instead of consuming
+/// SSD bandwidth, raising effective aggregation bandwidth toward the PCIe
+/// limit when SSDs are the bottleneck.
+class ConstantCpuBuffer : public storage::HotNodeBuffer {
+ public:
+  /// Pins the top-ranked nodes by `metric` until `capacity_bytes` of
+  /// feature data is pinned.
+  static ConstantCpuBuffer Build(const graph::CscGraph& graph,
+                                 const graph::FeatureStore& features,
+                                 uint64_t capacity_bytes, HotMetric metric,
+                                 uint64_t seed = 0xc0feb0f);
+
+  /// Pins an explicit node set (the paper lets users supply their own
+  /// hot-node metric).
+  static ConstantCpuBuffer FromNodeSet(
+      const graph::FeatureStore& features,
+      const std::vector<graph::NodeId>& nodes);
+
+  bool Contains(graph::NodeId node) const override {
+    return node < pinned_.size() && pinned_[node];
+  }
+  void Fill(graph::NodeId node, std::span<float> out) const override;
+
+  uint64_t num_pinned() const { return num_pinned_; }
+  uint64_t pinned_bytes() const {
+    return num_pinned_ * features_->feature_bytes_per_node();
+  }
+
+ private:
+  ConstantCpuBuffer(const graph::FeatureStore* features,
+                    std::vector<bool> pinned, uint64_t num_pinned)
+      : features_(features),
+        pinned_(std::move(pinned)),
+        num_pinned_(num_pinned) {}
+
+  const graph::FeatureStore* features_;
+  std::vector<bool> pinned_;
+  uint64_t num_pinned_;
+};
+
+}  // namespace gids::core
+
+#endif  // GIDS_CORE_CONSTANT_CPU_BUFFER_H_

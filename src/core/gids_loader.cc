@@ -1,0 +1,255 @@
+#include "core/gids_loader.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "sim/aggregation_model.h"
+
+namespace gids::core {
+
+GidsLoader::GidsLoader(const graph::Dataset* dataset,
+                       sampling::Sampler* sampler,
+                       sampling::SeedIterator* seeds,
+                       const sim::SystemModel* system, GidsOptions options)
+    : dataset_(dataset),
+      sampler_(sampler),
+      seeds_(seeds),
+      system_(system),
+      options_(std::move(options)) {
+  GIDS_CHECK(dataset_ != nullptr);
+  GIDS_CHECK(sampler_ != nullptr);
+  GIDS_CHECK(seeds_ != nullptr);
+  GIDS_CHECK(system_ != nullptr);
+  GIDS_CHECK(options_.window_depth >= 0);
+  GIDS_CHECK(options_.max_merged_iterations >= 1);
+
+  const graph::FeatureStore& fs = dataset_->features;
+  const sim::SystemConfig& cfg = system_->config();
+
+  // Feature data lives on the SSD array; the synthetic block device
+  // regenerates any page's ground-truth bytes on demand.
+  auto device = std::make_unique<storage::FunctionBlockDevice>(
+      fs.num_pages(), fs.page_bytes(),
+      [&fs](uint64_t lba, std::span<std::byte> out) { fs.FillPage(lba, out); });
+  storage_ = std::make_unique<storage::StorageArray>(
+      std::move(device), cfg.ssd, cfg.n_ssd, options_.io_queues,
+      options_.io_queue_depth);
+
+  uint64_t cache_bytes = options_.gpu_cache_bytes != 0
+                             ? options_.gpu_cache_bytes
+                             : cfg.scaled_gpu_cache_bytes();
+  cache_ = std::make_unique<storage::SoftwareCache>(
+      cache_bytes, fs.page_bytes(), options_.seed ^ 0xcac4e,
+      /*store_payloads=*/!options_.counting_mode);
+  bam_ = std::make_unique<storage::BamArray>(storage_.get(), cache_.get());
+
+  if (options_.use_cpu_buffer) {
+    uint64_t buffer_bytes = static_cast<uint64_t>(
+        options_.cpu_buffer_fraction * static_cast<double>(fs.total_bytes()));
+    if (options_.hot_node_order != nullptr) {
+      uint64_t budget_nodes =
+          std::min<uint64_t>(buffer_bytes / fs.feature_bytes_per_node(),
+                             options_.hot_node_order->size());
+      std::vector<graph::NodeId> pinned(
+          options_.hot_node_order->begin(),
+          options_.hot_node_order->begin() + budget_nodes);
+      cpu_buffer_ = std::make_unique<ConstantCpuBuffer>(
+          ConstantCpuBuffer::FromNodeSet(fs, pinned));
+    } else {
+      cpu_buffer_ = std::make_unique<ConstantCpuBuffer>(
+          ConstantCpuBuffer::Build(dataset_->graph, fs, buffer_bytes,
+                                   options_.hot_metric,
+                                   options_.seed ^ 0xb0f));
+    }
+  }
+  gatherer_ = std::make_unique<storage::FeatureGatherer>(&fs, bam_.get(),
+                                                         cpu_buffer_.get());
+  if (options_.use_window_buffering) {
+    window_ = std::make_unique<WindowBuffer>(cache_.get(), &fs,
+                                             cpu_buffer_.get());
+  }
+  StorageAccessAccumulator::Params acc_params;
+  acc_params.target_fraction = options_.accumulator_target;
+  // T_i spans "the beginning of feature aggregation until the first data
+  // is fetched from the SSD" (§3.2): kernel launch plus one device
+  // latency. Including the latency is what makes the threshold scale with
+  // SSD latency — high-latency SSDs demand more merged iterations.
+  acc_params.model.initial_ns =
+      cfg.gpu.kernel_launch_ns + cfg.ssd.read_latency_ns;
+  acc_params.model.termination_ns = cfg.gpu.kernel_termination_ns;
+  acc_params.model.n_ssd = cfg.n_ssd;
+  accumulator_ =
+      std::make_unique<StorageAccessAccumulator>(cfg.ssd, acc_params);
+}
+
+void GidsLoader::EnsureSampledAhead(size_t count) {
+  while (pending_.size() < count) {
+    Pending p;
+    std::vector<graph::NodeId> seed_batch = seeds_->NextBatch();
+    p.batch = sampler_->Sample(seed_batch);
+    std::vector<uint64_t> layer_edges = p.batch.LayerEdgeCounts();
+    p.sampling_ns = system_->gpu().SamplingTime(
+        layer_edges.data(), static_cast<int>(layer_edges.size()),
+        dataset_->graph.structure_bytes());
+    pending_.push_back(std::move(p));
+  }
+}
+
+void GidsLoader::RegisterWindow(size_t count) {
+  if (window_ == nullptr) return;
+  for (size_t i = 0; i < count && i < pending_.size(); ++i) {
+    if (!pending_[i].registered) {
+      window_->Register(pending_[i].batch);
+      pending_[i].registered = true;
+    }
+  }
+}
+
+Status GidsLoader::PrepareGroup() {
+  const graph::FeatureStore& fs = dataset_->features;
+  const double pages_per_node = fs.PagesPerNode();
+
+  if (resolved_window_depth_ == 0 && options_.use_window_buffering) {
+    if (options_.auto_window_depth) {
+      EnsureSampledAhead(1);
+      uint64_t minibatch_bytes =
+          static_cast<uint64_t>(pages_per_node *
+                                static_cast<double>(
+                                    pending_[0].batch.num_input_nodes())) *
+          fs.page_bytes();
+      resolved_window_depth_ =
+          AutoWindowDepth(cache_->capacity_lines() * fs.page_bytes(),
+                          minibatch_bytes);
+    } else {
+      resolved_window_depth_ = options_.window_depth;
+    }
+  }
+
+  // --- Accumulator: choose how many iterations to merge so the group's
+  // page accesses exceed the (redirect-adjusted) concurrency threshold.
+  size_t group = 1;
+  if (options_.use_accumulator) {
+    const uint64_t threshold = accumulator_->CurrentThreshold();
+    uint64_t est_pages = 0;
+    group = 0;
+    while (group < options_.max_merged_iterations) {
+      EnsureSampledAhead(group + 1);
+      est_pages += static_cast<uint64_t>(std::llround(
+          pages_per_node *
+          static_cast<double>(pending_[group].batch.num_input_nodes())));
+      ++group;
+      if (est_pages >= threshold) break;
+    }
+  }
+  size_t lookahead = options_.use_window_buffering
+                         ? static_cast<size_t>(resolved_window_depth_)
+                         : 0;
+  EnsureSampledAhead(group + lookahead);
+  RegisterWindow(group + lookahead);
+
+  // --- Gather every merged iteration (conceptually one aggregation
+  // kernel execution spanning the group).
+  std::vector<loaders::LoaderBatch> group_batches(group);
+  storage::FeatureGatherCounts group_counts;
+  TimeNs group_sampling = 0;
+  TimeNs group_training = 0;
+
+  for (size_t i = 0; i < group; ++i) {
+    Pending& p = pending_[i];
+    loaders::LoaderBatch& lb = group_batches[i];
+    loaders::IterationStats& st = lb.stats;
+    st.sampled_edges = p.batch.total_edges();
+    st.input_nodes = p.batch.num_input_nodes();
+    st.sampling_ns = p.sampling_ns;
+    st.merged_group = static_cast<uint32_t>(group);
+
+    const auto& nodes = p.batch.input_nodes();
+    if (options_.counting_mode) {
+      GIDS_RETURN_IF_ERROR(
+          gatherer_->GatherCountsOnly(nodes, &st.gather));
+    } else {
+      lb.features.resize(nodes.size() * fs.feature_dim());
+      GIDS_RETURN_IF_ERROR(gatherer_->Gather(
+          nodes, std::span<float>(lb.features), &st.gather));
+    }
+    st.training_ns = system_->gpu().TrainTime(st.input_nodes);
+    group_counts.Add(st.gather);
+    group_sampling += st.sampling_ns;
+    group_training += st.training_ns;
+    lb.batch = std::move(p.batch);
+  }
+  pending_.erase(pending_.begin(), pending_.begin() + group);
+
+  // --- Timing. One merged kernel with the accumulator; one kernel per
+  // iteration without it.
+  if (options_.use_accumulator) {
+    sim::AggregationCounts ac;
+    ac.gpu_cache_hits = group_counts.gpu_cache_hits;
+    ac.cpu_buffer_hits = group_counts.cpu_buffer_hits;
+    ac.ssd_reads = group_counts.storage_reads;
+    ac.page_bytes = fs.page_bytes();
+    ac.outstanding_accesses = std::min(
+        {group_counts.total_page_requests(), accumulator_->CurrentThreshold(),
+         storage_->queue_capacity()});
+    sim::AggregationTiming timing =
+        sim::ComputeAggregationTiming(*system_, ac);
+
+    // Preparation of future iterations and training of earlier ones
+    // overlap the storage waits; GPU compute (sampling + training)
+    // serializes on the SMs.
+    TimeNs group_e2e =
+        std::max(timing.total_ns, group_sampling + group_training);
+    TimeNs per_iter_e2e = group_e2e / static_cast<TimeNs>(group);
+    TimeNs per_iter_agg = timing.total_ns / static_cast<TimeNs>(group);
+    for (loaders::LoaderBatch& lb : group_batches) {
+      lb.stats.aggregation_ns = per_iter_agg;
+      lb.stats.e2e_ns = per_iter_e2e;
+      lb.stats.effective_bandwidth_bps = timing.effective_bandwidth_bps;
+      lb.stats.pcie_ingress_bps = timing.pcie_ingress_bps;
+    }
+  } else {
+    for (loaders::LoaderBatch& lb : group_batches) {
+      loaders::IterationStats& st = lb.stats;
+      sim::AggregationCounts ac;
+      ac.gpu_cache_hits = st.gather.gpu_cache_hits;
+      ac.cpu_buffer_hits = st.gather.cpu_buffer_hits;
+      ac.ssd_reads = st.gather.storage_reads;
+      ac.page_bytes = fs.page_bytes();
+      ac.outstanding_accesses = std::min(st.gather.total_page_requests(),
+                                         storage_->queue_capacity());
+      sim::AggregationTiming timing =
+          sim::ComputeAggregationTiming(*system_, ac);
+      st.aggregation_ns = timing.total_ns;
+      st.e2e_ns = st.sampling_ns + st.aggregation_ns + st.training_ns;
+      st.effective_bandwidth_bps = timing.effective_bandwidth_bps;
+      // Without decoupled stages the link idles while the sampling kernel
+      // runs, so the observed data-preparation ingress rate averages over
+      // sampling + aggregation (Fig. 9's no-accumulator bars).
+      TimeNs prep = st.sampling_ns + st.aggregation_ns;
+      st.pcie_ingress_bps =
+          prep > 0 ? static_cast<double>(timing.pcie_ingress_bytes) /
+                         NsToSec(prep)
+                   : 0.0;
+    }
+  }
+
+  accumulator_->Observe(group_counts);
+  for (loaders::LoaderBatch& lb : group_batches) {
+    ready_.push_back(std::move(lb));
+  }
+  return Status::OK();
+}
+
+StatusOr<loaders::LoaderBatch> GidsLoader::Next() {
+  if (ready_.empty()) {
+    GIDS_RETURN_IF_ERROR(PrepareGroup());
+  }
+  loaders::LoaderBatch out = std::move(ready_.front());
+  ready_.pop_front();
+  elapsed_ns_ += out.stats.e2e_ns;
+  ++iterations_;
+  return out;
+}
+
+}  // namespace gids::core

@@ -1,0 +1,132 @@
+#ifndef GIDS_CORE_GIDS_LOADER_H_
+#define GIDS_CORE_GIDS_LOADER_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "core/accumulator.h"
+#include "core/constant_cpu_buffer.h"
+#include "core/window_buffer.h"
+#include "graph/dataset.h"
+#include "loaders/dataloader.h"
+#include "sampling/sampler.h"
+#include "sampling/seed_iterator.h"
+#include "sim/system_model.h"
+#include "storage/bam_array.h"
+#include "storage/feature_gather.h"
+#include "storage/software_cache.h"
+#include "storage/storage_array.h"
+
+namespace gids::core {
+
+/// Configuration of the GIDS dataloader. Disabling all three techniques
+/// yields the plain BaM dataloader baseline (GPU-initiated storage access,
+/// random-eviction software cache, per-iteration kernels) that the paper
+/// compares against.
+struct GidsOptions {
+  bool use_accumulator = true;
+  double accumulator_target = 0.95;        // fraction of peak SSD IOPs
+  uint32_t max_merged_iterations = 16;     // batch-buffer memory bound
+
+  bool use_window_buffering = true;
+  int window_depth = 8;                    // paper default (§3.4)
+  /// Derive the depth from the cache-to-minibatch ratio at runtime
+  /// (AutoWindowDepth) instead of using window_depth.
+  bool auto_window_depth = false;
+
+  bool use_cpu_buffer = true;
+  double cpu_buffer_fraction = 0.10;       // of the feature data size
+  HotMetric hot_metric = HotMetric::kReversePageRank;
+  /// Optional user-supplied hot-node ranking (hottest first), overriding
+  /// hot_metric (§3.3: users may pin by alternative metrics). Must outlive
+  /// the loader.
+  const std::vector<graph::NodeId>* hot_node_order = nullptr;
+
+  /// GPU software cache size; 0 uses the system config's (scaled) value.
+  uint64_t gpu_cache_bytes = 0;
+
+  /// IO queue-pair geometry (BaM defaults). The aggregate depth caps the
+  /// outstanding storage accesses the accumulator can maintain.
+  uint32_t io_queues = 128;
+  uint32_t io_queue_depth = 1024;
+
+  /// Counting mode skips payload movement (timing-only runs).
+  bool counting_mode = false;
+
+  uint64_t seed = 0x61d5;
+  std::string display_name = "GIDS";
+
+  /// The plain BaM dataloader: all GIDS techniques disabled.
+  static GidsOptions Bam() {
+    GidsOptions o;
+    o.use_accumulator = false;
+    o.use_window_buffering = false;
+    o.use_cpu_buffer = false;
+    o.display_name = "BaM";
+    return o;
+  }
+};
+
+/// The GIDS dataloader (§3): GPU-side sampling over CPU-pinned structure,
+/// GPU-initiated feature fetches from the SSD array through the software
+/// cache, with the dynamic storage access accumulator, window buffering,
+/// and the constant CPU buffer layered on top.
+class GidsLoader : public loaders::DataLoader {
+ public:
+  GidsLoader(const graph::Dataset* dataset, sampling::Sampler* sampler,
+             sampling::SeedIterator* seeds, const sim::SystemModel* system,
+             GidsOptions options = {});
+
+  std::string_view name() const override { return options_.display_name; }
+  StatusOr<loaders::LoaderBatch> Next() override;
+  TimeNs elapsed_ns() const override { return elapsed_ns_; }
+  uint64_t iterations() const override { return iterations_; }
+
+  const GidsOptions& options() const { return options_; }
+  const storage::SoftwareCache& cache() const { return *cache_; }
+  storage::SoftwareCache& mutable_cache() { return *cache_; }
+  const StorageAccessAccumulator& accumulator() const { return *accumulator_; }
+  /// Effective look-ahead depth (resolved on first use in auto mode).
+  int window_depth() const { return resolved_window_depth_; }
+  const ConstantCpuBuffer* cpu_buffer() const { return cpu_buffer_.get(); }
+  const storage::StorageArray& storage_array() const { return *storage_; }
+
+ private:
+  struct Pending {
+    sampling::MiniBatch batch;
+    TimeNs sampling_ns = 0;
+    bool registered = false;  // entered the window buffer
+  };
+
+  /// Samples ahead until at least `count` mini-batches are pending.
+  void EnsureSampledAhead(size_t count);
+  /// Registers every pending batch in [0, count) with the window buffer.
+  void RegisterWindow(size_t count);
+  /// Prepares the next accumulator group into ready_.
+  Status PrepareGroup();
+
+  const graph::Dataset* dataset_;
+  sampling::Sampler* sampler_;
+  sampling::SeedIterator* seeds_;
+  const sim::SystemModel* system_;
+  GidsOptions options_;
+
+  std::unique_ptr<storage::StorageArray> storage_;
+  std::unique_ptr<storage::SoftwareCache> cache_;
+  std::unique_ptr<storage::BamArray> bam_;
+  std::unique_ptr<ConstantCpuBuffer> cpu_buffer_;
+  std::unique_ptr<storage::FeatureGatherer> gatherer_;
+  std::unique_ptr<WindowBuffer> window_;
+  std::unique_ptr<StorageAccessAccumulator> accumulator_;
+
+  std::deque<Pending> pending_;
+  std::deque<loaders::LoaderBatch> ready_;
+  int resolved_window_depth_ = 0;
+  TimeNs elapsed_ns_ = 0;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace gids::core
+
+#endif  // GIDS_CORE_GIDS_LOADER_H_

@@ -1,0 +1,99 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "gnn/gat.h"
+#include "gnn/gcn.h"
+#include "gnn/loss.h"
+#include "gnn/optimizer.h"
+
+namespace gids::core {
+
+Trainer::Trainer(const graph::Dataset* dataset, TrainerOptions options)
+    : dataset_(dataset), options_(options) {
+  GIDS_CHECK(dataset_ != nullptr);
+}
+
+StatusOr<TrainRunResult> Trainer::Run(loaders::DataLoader& loader) {
+  TrainRunResult result;
+
+  std::unique_ptr<gnn::Model> model;
+  std::unique_ptr<gnn::AdamOptimizer> optimizer;
+  Rng model_rng(options_.seed);
+
+  auto train_functionally = [&](const loaders::LoaderBatch& lb) -> Status {
+    if (lb.features.empty()) {
+      return Status::FailedPrecondition(
+          "functional training requires materialized features "
+          "(loader is in counting mode)");
+    }
+    if (model == nullptr) {
+      int layers = static_cast<int>(lb.batch.blocks.size());
+      if (options_.model == ModelKind::kGat) {
+        gnn::GatConfig cfg;
+        cfg.in_dim = dataset_->features.feature_dim();
+        cfg.hidden_dim = options_.hidden_dim;
+        cfg.num_classes = options_.num_classes;
+        cfg.num_layers = layers;
+        model = std::make_unique<gnn::GatModel>(cfg, model_rng);
+      } else if (options_.model == ModelKind::kGcn) {
+        gnn::GcnConfig cfg;
+        cfg.in_dim = dataset_->features.feature_dim();
+        cfg.hidden_dim = options_.hidden_dim;
+        cfg.num_classes = options_.num_classes;
+        cfg.num_layers = layers;
+        model = std::make_unique<gnn::GcnModel>(cfg, model_rng);
+      } else {
+        gnn::GraphSageConfig cfg;
+        cfg.in_dim = dataset_->features.feature_dim();
+        cfg.hidden_dim = options_.hidden_dim;
+        cfg.num_classes = options_.num_classes;
+        cfg.num_layers = layers;
+        model = std::make_unique<gnn::GraphSageModel>(cfg, model_rng);
+      }
+      optimizer =
+          std::make_unique<gnn::AdamOptimizer>(options_.learning_rate);
+    }
+    gnn::Tensor inputs = gnn::Tensor::FromData(
+        lb.batch.num_input_nodes(), dataset_->features.feature_dim(),
+        lb.features);
+    std::vector<uint32_t> labels = gnn::SyntheticLabels(
+        dataset_->features, lb.batch.seeds, options_.num_classes);
+    double loss = model->TrainStep(lb.batch, inputs, labels, *optimizer);
+    result.losses.push_back(loss);
+    if (options_.track_accuracy) {
+      gnn::Tensor logits = model->Forward(lb.batch, inputs);
+      result.accuracies.push_back(gnn::Accuracy(logits, labels));
+    }
+    return Status::OK();
+  };
+
+  for (uint64_t i = 0; i < options_.warmup_iterations; ++i) {
+    GIDS_ASSIGN_OR_RETURN(loaders::LoaderBatch lb, loader.Next());
+    result.warmup.Add(lb.stats);
+    if (options_.functional_training) {
+      GIDS_RETURN_IF_ERROR(train_functionally(lb));
+    }
+  }
+  result.losses.clear();  // report measured-phase losses/accuracies only
+  result.accuracies.clear();
+
+  for (uint64_t i = 0; i < options_.measure_iterations; ++i) {
+    GIDS_ASSIGN_OR_RETURN(loaders::LoaderBatch lb, loader.Next());
+    result.measured.Add(lb.stats);
+    result.per_iteration.push_back(lb.stats);
+    result.e2e_ns_histogram.Add(static_cast<uint64_t>(lb.stats.e2e_ns));
+    if (options_.functional_training) {
+      GIDS_RETURN_IF_ERROR(train_functionally(lb));
+    }
+  }
+  result.measured_e2e_ns = result.measured.e2e_ns;
+  if (!result.losses.empty()) {
+    result.first_loss = result.losses.front();
+    result.last_loss = result.losses.back();
+  }
+  return result;
+}
+
+}  // namespace gids::core

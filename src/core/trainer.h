@@ -1,0 +1,90 @@
+#ifndef GIDS_CORE_TRAINER_H_
+#define GIDS_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "gnn/graphsage_model.h"
+#include "graph/dataset.h"
+#include "loaders/dataloader.h"
+
+namespace gids::core {
+
+/// GNN architecture used by functional training.
+enum class ModelKind { kGraphSage, kGcn, kGat };
+
+/// Drives a dataloader through the paper's measurement protocol (§4.1):
+/// a warm-up phase (populating page caches / the GPU software cache),
+/// then a measured phase whose per-iteration stats are recorded.
+struct TrainerOptions {
+  uint64_t warmup_iterations = 10;
+  uint64_t measure_iterations = 100;
+
+  ModelKind model = ModelKind::kGraphSage;
+
+  /// Run the real GNN forward/backward/update on the gathered features
+  /// (requires the loader to materialize features, i.e. counting_mode
+  /// off). Virtual-time costs are identical either way; this flag makes
+  /// the pipeline end-to-end functional and reports losses.
+  bool functional_training = false;
+  /// With functional training, also evaluate post-update accuracy on each
+  /// mini-batch (an extra forward pass per iteration).
+  bool track_accuracy = false;
+  uint32_t num_classes = 16;
+  uint32_t hidden_dim = 128;  // paper model config (§4.1)
+  float learning_rate = 3e-3f;
+  uint64_t seed = 0x7ea1;
+};
+
+struct TrainRunResult {
+  loaders::IterationStats warmup;    // aggregate over warm-up iterations
+  loaders::IterationStats measured;  // aggregate over measured iterations
+  std::vector<loaders::IterationStats> per_iteration;  // measured phase
+
+  TimeNs measured_e2e_ns = 0;
+  double mean_iteration_ms() const {
+    return per_iteration.empty()
+               ? 0.0
+               : NsToMs(measured_e2e_ns) /
+                     static_cast<double>(per_iteration.size());
+  }
+
+  /// GPU software-cache style hit ratio over the measured phase:
+  /// hits / (hits + storage reads).
+  double gpu_cache_hit_ratio() const {
+    uint64_t h = measured.gather.gpu_cache_hits;
+    uint64_t m = measured.gather.storage_reads;
+    return h + m == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+  /// Losses per measured iteration (functional training only).
+  std::vector<double> losses;
+  double first_loss = 0;
+  double last_loss = 0;
+
+  /// Post-update mini-batch accuracies (track_accuracy only).
+  std::vector<double> accuracies;
+
+  /// Distribution of per-iteration e2e virtual time (nanoseconds) over the
+  /// measured phase; gives tail behaviour (p99) the means hide.
+  Histogram e2e_ns_histogram;
+};
+
+class Trainer {
+ public:
+  Trainer(const graph::Dataset* dataset, TrainerOptions options);
+
+  /// Runs warm-up + measurement against `loader`.
+  StatusOr<TrainRunResult> Run(loaders::DataLoader& loader);
+
+ private:
+  const graph::Dataset* dataset_;
+  TrainerOptions options_;
+};
+
+}  // namespace gids::core
+
+#endif  // GIDS_CORE_TRAINER_H_

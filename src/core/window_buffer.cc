@@ -1,0 +1,36 @@
+#include "core/window_buffer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gids::core {
+
+WindowBuffer::WindowBuffer(storage::SoftwareCache* cache,
+                           const graph::FeatureStore* layout,
+                           const storage::HotNodeBuffer* hot_buffer)
+    : cache_(cache), layout_(layout), hot_buffer_(hot_buffer) {
+  GIDS_CHECK(cache_ != nullptr);
+  GIDS_CHECK(layout_ != nullptr);
+}
+
+void WindowBuffer::Register(const sampling::MiniBatch& batch) {
+  for (graph::NodeId v : batch.input_nodes()) {
+    if (hot_buffer_ != nullptr && hot_buffer_->Contains(v)) continue;
+    auto range = layout_->PagesFor(v);
+    for (uint64_t page = range.first; page <= range.last; ++page) {
+      cache_->AddFutureReuse(page, 1);
+      ++registered_pages_;
+    }
+  }
+  ++registered_batches_;
+}
+
+int AutoWindowDepth(uint64_t cache_bytes, uint64_t minibatch_bytes) {
+  if (minibatch_bytes == 0) return 2;
+  uint64_t ratio = cache_bytes / std::max<uint64_t>(1, minibatch_bytes);
+  uint64_t depth = 2 * std::max<uint64_t>(1, ratio);
+  return static_cast<int>(std::clamp<uint64_t>(depth, 2, 32));
+}
+
+}  // namespace gids::core

@@ -1,0 +1,59 @@
+#ifndef GIDS_CORE_WINDOW_BUFFER_H_
+#define GIDS_CORE_WINDOW_BUFFER_H_
+
+#include <cstdint>
+
+#include "graph/feature_store.h"
+#include "sampling/minibatch.h"
+#include "storage/feature_gather.h"
+#include "storage/software_cache.h"
+
+namespace gids::core {
+
+/// Window buffering (§3.4, Fig. 6): the GIDS loader samples a configurable
+/// number of mini-batches ahead; for every node that will be accessed in
+/// those future mini-batches, the per-page future-reuse counter in the GPU
+/// software cache is incremented (step 3-4), putting cached lines into the
+/// "USE" state so the random eviction policy skips them (step 5). Each
+/// actual access during feature aggregation decrements the counter; at
+/// zero the line returns to "Safe to Evict".
+///
+/// Nodes served by the constant CPU buffer never enter the GPU cache, so
+/// they are excluded from registration.
+class WindowBuffer {
+ public:
+  WindowBuffer(storage::SoftwareCache* cache,
+               const graph::FeatureStore* layout,
+               const storage::HotNodeBuffer* hot_buffer = nullptr);
+
+  /// Registers one mini-batch that just became visible in the look-ahead
+  /// window. Must be called exactly once per mini-batch before its gather.
+  void Register(const sampling::MiniBatch& batch);
+
+  uint64_t registered_batches() const { return registered_batches_; }
+  uint64_t registered_pages() const { return registered_pages_; }
+
+  /// GPU-memory footprint of the sampled-node-id lists currently held for
+  /// look-ahead (the §3.4 trade-off: deeper windows cost GPU memory).
+  uint64_t IdListBytes(const sampling::MiniBatch& batch) const {
+    return batch.num_input_nodes() * sizeof(graph::NodeId);
+  }
+
+ private:
+  storage::SoftwareCache* cache_;
+  const graph::FeatureStore* layout_;
+  const storage::HotNodeBuffer* hot_buffer_;
+  uint64_t registered_batches_ = 0;
+  uint64_t registered_pages_ = 0;
+};
+
+/// Default window depth "based on the system environment" (§3.4): the
+/// look-ahead only beats random eviction once it sees further than what
+/// the cache would retain anyway (Fig. 11: depth 4 ~ random when the
+/// cache holds ~4 mini-batches), so the depth is set to twice the
+/// cache-to-minibatch ratio, clamped to [2, 32].
+int AutoWindowDepth(uint64_t cache_bytes, uint64_t minibatch_bytes);
+
+}  // namespace gids::core
+
+#endif  // GIDS_CORE_WINDOW_BUFFER_H_

@@ -1,0 +1,239 @@
+#include "gnn/gat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "gnn/loss.h"
+
+namespace gids::gnn {
+
+GatConv::GatConv(size_t in_dim, size_t out_dim, bool apply_relu, Rng& rng,
+                 float leaky_slope)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      apply_relu_(apply_relu),
+      leaky_slope_(leaky_slope),
+      weight_(Tensor::Xavier(in_dim, out_dim, rng)),
+      att_src_(Tensor::Xavier(1, out_dim, rng)),
+      att_dst_(Tensor::Xavier(1, out_dim, rng)),
+      bias_(1, out_dim),
+      g_weight_(in_dim, out_dim),
+      g_att_src_(1, out_dim),
+      g_att_dst_(1, out_dim),
+      g_bias_(1, out_dim) {}
+
+Tensor GatConv::Forward(const sampling::Block& block, const Tensor& h_src) {
+  GIDS_CHECK(h_src.rows() == block.src_nodes.size());
+  GIDS_CHECK(h_src.cols() == in_dim_);
+  const size_t n_src = block.src_nodes.size();
+  const uint32_t num_dst = block.num_dst;
+
+  Tensor z = Matmul(h_src, weight_);  // n_src x out_dim
+
+  // Attention dot products per node.
+  std::vector<float> s_src(n_src, 0.0f);
+  std::vector<float> s_dst(num_dst, 0.0f);
+  for (size_t i = 0; i < n_src; ++i) {
+    const float* zi = z.data() + i * out_dim_;
+    float acc = 0;
+    for (size_t j = 0; j < out_dim_; ++j) acc += zi[j] * att_src_(0, j);
+    s_src[i] = acc;
+  }
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    const float* zd = z.data() + static_cast<size_t>(d) * out_dim_;
+    float acc = 0;
+    for (size_t j = 0; j < out_dim_; ++j) acc += zd[j] * att_dst_(0, j);
+    s_dst[d] = acc;
+  }
+
+  // Group edges by destination, self loop first.
+  cached_edges_.assign(num_dst, DstEdges{});
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    cached_edges_[d].src.push_back(d);  // self loop
+  }
+  for (size_t e = 0; e < block.edge_src.size(); ++e) {
+    cached_edges_[block.edge_dst[e]].src.push_back(block.edge_src[e]);
+  }
+
+  Tensor out(num_dst, out_dim_);
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    DstEdges& edges = cached_edges_[d];
+    const size_t k = edges.src.size();
+    edges.pre.resize(k);
+    edges.alpha.resize(k);
+    float max_logit = -std::numeric_limits<float>::infinity();
+    for (size_t i = 0; i < k; ++i) {
+      float pre = s_src[edges.src[i]] + s_dst[d];
+      edges.pre[i] = pre;
+      float activated = pre > 0 ? pre : leaky_slope_ * pre;
+      edges.alpha[i] = activated;  // reuse as post-LeakyReLU logit for now
+      max_logit = std::max(max_logit, activated);
+    }
+    float denom = 0;
+    for (size_t i = 0; i < k; ++i) {
+      edges.alpha[i] = std::exp(edges.alpha[i] - max_logit);
+      denom += edges.alpha[i];
+    }
+    float* out_row = out.data() + static_cast<size_t>(d) * out_dim_;
+    for (size_t i = 0; i < k; ++i) {
+      edges.alpha[i] /= denom;
+      const float* zs = z.data() + static_cast<size_t>(edges.src[i]) * out_dim_;
+      for (size_t j = 0; j < out_dim_; ++j) {
+        out_row[j] += edges.alpha[i] * zs[j];
+      }
+    }
+    for (size_t j = 0; j < out_dim_; ++j) out_row[j] += bias_(0, j);
+  }
+  if (apply_relu_) ReluInPlace(out);
+
+  cached_h_ = h_src;
+  cached_z_ = std::move(z);
+  cached_out_ = out;
+  return out;
+}
+
+Tensor GatConv::Backward(const sampling::Block& block, const Tensor& d_out) {
+  const uint32_t num_dst = block.num_dst;
+  GIDS_CHECK(d_out.rows() == num_dst);
+  GIDS_CHECK(cached_edges_.size() == num_dst);
+  const size_t n_src = block.src_nodes.size();
+
+  Tensor dz_total(n_src, out_dim_);
+  std::vector<float> ds_src(n_src, 0.0f);
+  std::vector<float> ds_dst(num_dst, 0.0f);
+
+  Tensor g = apply_relu_ ? ReluBackward(d_out, cached_out_) : d_out;
+
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    const DstEdges& edges = cached_edges_[d];
+    const size_t k = edges.src.size();
+    const float* g_row = g.data() + static_cast<size_t>(d) * out_dim_;
+
+    // d(bias).
+    for (size_t j = 0; j < out_dim_; ++j) g_bias_(0, j) += g_row[j];
+
+    // d(alpha_i) = g . z_{src_i}; aggregation part of d(z_{src_i}).
+    std::vector<float> d_alpha(k);
+    for (size_t i = 0; i < k; ++i) {
+      const float* zs =
+          cached_z_.data() + static_cast<size_t>(edges.src[i]) * out_dim_;
+      float* dzs =
+          dz_total.data() + static_cast<size_t>(edges.src[i]) * out_dim_;
+      float acc = 0;
+      for (size_t j = 0; j < out_dim_; ++j) {
+        acc += g_row[j] * zs[j];
+        dzs[j] += edges.alpha[i] * g_row[j];
+      }
+      d_alpha[i] = acc;
+    }
+
+    // Softmax backward: de_i = alpha_i (d_alpha_i - sum_t alpha_t d_alpha_t).
+    float dot = 0;
+    for (size_t i = 0; i < k; ++i) dot += edges.alpha[i] * d_alpha[i];
+    for (size_t i = 0; i < k; ++i) {
+      float de = edges.alpha[i] * (d_alpha[i] - dot);
+      // LeakyReLU backward on the raw logit.
+      float dpre = edges.pre[i] > 0 ? de : leaky_slope_ * de;
+      ds_src[edges.src[i]] += dpre;
+      ds_dst[d] += dpre;
+    }
+  }
+
+  // s_src_i = z_i . a_src; s_dst_d = z_d . a_dst.
+  for (size_t i = 0; i < n_src; ++i) {
+    const float* zi = cached_z_.data() + i * out_dim_;
+    float* dzi = dz_total.data() + i * out_dim_;
+    for (size_t j = 0; j < out_dim_; ++j) {
+      dzi[j] += ds_src[i] * att_src_(0, j);
+      g_att_src_(0, j) += ds_src[i] * zi[j];
+    }
+  }
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    const float* zd = cached_z_.data() + static_cast<size_t>(d) * out_dim_;
+    float* dzd = dz_total.data() + static_cast<size_t>(d) * out_dim_;
+    for (size_t j = 0; j < out_dim_; ++j) {
+      dzd[j] += ds_dst[d] * att_dst_(0, j);
+      g_att_dst_(0, j) += ds_dst[d] * zd[j];
+    }
+  }
+
+  // z = h W.
+  g_weight_.Axpy(MatmulTN(cached_h_, dz_total), 1.0f);
+  return MatmulNT(dz_total, weight_);
+}
+
+void GatConv::ZeroGrad() {
+  g_weight_.Fill(0.0f);
+  g_att_src_.Fill(0.0f);
+  g_att_dst_.Fill(0.0f);
+  g_bias_.Fill(0.0f);
+}
+
+std::vector<Tensor*> GatConv::Params() {
+  return {&weight_, &att_src_, &att_dst_, &bias_};
+}
+std::vector<Tensor*> GatConv::Grads() {
+  return {&g_weight_, &g_att_src_, &g_att_dst_, &g_bias_};
+}
+
+GatModel::GatModel(const GatConfig& config, Rng& rng) : config_(config) {
+  GIDS_CHECK(config.num_layers >= 1);
+  GIDS_CHECK(config.in_dim > 0);
+  layers_.reserve(config.num_layers);
+  for (int l = 0; l < config.num_layers; ++l) {
+    size_t in = l == 0 ? config.in_dim : config.hidden_dim;
+    size_t out =
+        l + 1 == config.num_layers ? config.num_classes : config.hidden_dim;
+    layers_.emplace_back(in, out, l + 1 != config.num_layers, rng);
+  }
+}
+
+Tensor GatModel::Forward(const sampling::MiniBatch& batch,
+                         const Tensor& input_features) {
+  GIDS_CHECK(batch.blocks.size() == layers_.size());
+  Tensor h = input_features;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].Forward(batch.blocks[l], h);
+  }
+  return h;
+}
+
+double GatModel::TrainStep(const sampling::MiniBatch& batch,
+                           const Tensor& input_features,
+                           std::span<const uint32_t> labels,
+                           Optimizer& optimizer) {
+  ZeroGrad();
+  Tensor logits = Forward(batch, input_features);
+  Tensor d_logits;
+  double loss = SoftmaxCrossEntropy(logits, labels, &d_logits);
+  Tensor grad = d_logits;
+  for (size_t l = layers_.size(); l-- > 0;) {
+    grad = layers_[l].Backward(batch.blocks[l], grad);
+  }
+  optimizer.Step(Params(), Grads());
+  return loss;
+}
+
+std::vector<Tensor*> GatModel::Params() {
+  std::vector<Tensor*> out;
+  for (GatConv& layer : layers_) {
+    for (Tensor* p : layer.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> GatModel::Grads() {
+  std::vector<Tensor*> out;
+  for (GatConv& layer : layers_) {
+    for (Tensor* g : layer.Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+void GatModel::ZeroGrad() {
+  for (GatConv& layer : layers_) layer.ZeroGrad();
+}
+
+}  // namespace gids::gnn

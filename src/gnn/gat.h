@@ -1,0 +1,98 @@
+#ifndef GIDS_GNN_GAT_H_
+#define GIDS_GNN_GAT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/model.h"
+#include "sampling/minibatch.h"
+
+namespace gids::gnn {
+
+/// One single-head Graph Attention convolution (Velickovic et al., cited
+/// as [35] in the paper) over a sampled block with implicit self-loops:
+///
+///   z_v      = W h_v
+///   e_{u,v}  = LeakyReLU(a_src . z_u + a_dst . z_v)
+///   alpha    = softmax_u over {u in N(v)} ∪ {v} of e_{u,v}
+///   h'_v     = act( sum_u alpha_{u,v} z_u + b )
+///
+/// Full backward pass through the attention softmax. Completes the trio
+/// of architectures (SAGE / GCN / GAT) the paper's frameworks provide,
+/// all running on the same GIDS-gathered features.
+class GatConv {
+ public:
+  GatConv(size_t in_dim, size_t out_dim, bool apply_relu, Rng& rng,
+          float leaky_slope = 0.2f);
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+  Tensor Forward(const sampling::Block& block, const Tensor& h_src);
+  Tensor Backward(const sampling::Block& block, const Tensor& d_out);
+
+  void ZeroGrad();
+  /// {W, a_src, a_dst, b}.
+  std::vector<Tensor*> Params();
+  std::vector<Tensor*> Grads();
+
+ private:
+  /// Per-destination edge lists (self loop first), built in Forward.
+  struct DstEdges {
+    std::vector<uint32_t> src;    // local src indices (self first)
+    std::vector<float> pre;      // pre-LeakyReLU attention logits
+    std::vector<float> alpha;    // softmax weights
+  };
+
+  size_t in_dim_;
+  size_t out_dim_;
+  bool apply_relu_;
+  float leaky_slope_;
+
+  Tensor weight_;   // in_dim x out_dim
+  Tensor att_src_;  // 1 x out_dim
+  Tensor att_dst_;  // 1 x out_dim
+  Tensor bias_;     // 1 x out_dim
+
+  Tensor g_weight_;
+  Tensor g_att_src_;
+  Tensor g_att_dst_;
+  Tensor g_bias_;
+
+  // Forward caches.
+  Tensor cached_h_;    // n_src x in_dim (input)
+  Tensor cached_z_;    // n_src x out_dim (projected)
+  Tensor cached_out_;  // num_dst x out_dim (post-activation)
+  std::vector<DstEdges> cached_edges_;
+};
+
+/// Stacked GAT classifier mirroring GraphSageModel's structure.
+struct GatConfig {
+  size_t in_dim = 0;
+  size_t hidden_dim = 128;
+  size_t num_classes = 16;
+  int num_layers = 3;
+};
+
+class GatModel : public Model {
+ public:
+  GatModel(const GatConfig& config, Rng& rng);
+
+  Tensor Forward(const sampling::MiniBatch& batch,
+                 const Tensor& input_features) override;
+  double TrainStep(const sampling::MiniBatch& batch,
+                   const Tensor& input_features,
+                   std::span<const uint32_t> labels,
+                   Optimizer& optimizer) override;
+  std::vector<Tensor*> Params() override;
+  std::vector<Tensor*> Grads() override;
+  void ZeroGrad() override;
+
+ private:
+  GatConfig config_;
+  std::vector<GatConv> layers_;
+};
+
+}  // namespace gids::gnn
+
+#endif  // GIDS_GNN_GAT_H_

@@ -1,0 +1,178 @@
+#include "gnn/gcn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "gnn/loss.h"
+
+namespace gids::gnn {
+
+GcnConv::GcnConv(size_t in_dim, size_t out_dim, bool apply_relu, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      apply_relu_(apply_relu),
+      weight_(Tensor::Xavier(in_dim, out_dim, rng)),
+      bias_(1, out_dim),
+      g_weight_(in_dim, out_dim),
+      g_bias_(1, out_dim) {}
+
+void GcnConv::ComputeDegrees(const sampling::Block& block) {
+  src_degree_.assign(block.src_nodes.size(), 0);
+  dst_degree_.assign(block.num_dst, 0);
+  for (size_t e = 0; e < block.edge_src.size(); ++e) {
+    ++src_degree_[block.edge_src[e]];
+    ++dst_degree_[block.edge_dst[e]];
+  }
+  // Implicit self loops on destination nodes (which sit in the src
+  // prefix, so they contribute on both sides).
+  for (uint32_t d = 0; d < block.num_dst; ++d) {
+    ++src_degree_[d];
+    ++dst_degree_[d];
+  }
+}
+
+Tensor GcnConv::Aggregate(const sampling::Block& block,
+                          const Tensor& rows) const {
+  GIDS_CHECK(rows.rows() == block.src_nodes.size());
+  const size_t dim = rows.cols();
+  Tensor agg(block.num_dst, dim);
+  // Self loops.
+  for (uint32_t d = 0; d < block.num_dst; ++d) {
+    float w = 1.0f / static_cast<float>(dst_degree_[d]);  // sqrt(x)*sqrt(x)
+    const float* in = rows.data() + static_cast<size_t>(d) * dim;
+    float* out = agg.data() + static_cast<size_t>(d) * dim;
+    for (size_t j = 0; j < dim; ++j) out[j] += w * in[j];
+  }
+  // Sampled edges.
+  for (size_t e = 0; e < block.edge_src.size(); ++e) {
+    uint32_t s = block.edge_src[e];
+    uint32_t d = block.edge_dst[e];
+    float w = 1.0f / std::sqrt(static_cast<float>(src_degree_[s]) *
+                               static_cast<float>(dst_degree_[d]));
+    const float* in = rows.data() + static_cast<size_t>(s) * dim;
+    float* out = agg.data() + static_cast<size_t>(d) * dim;
+    for (size_t j = 0; j < dim; ++j) out[j] += w * in[j];
+  }
+  return agg;
+}
+
+Tensor GcnConv::AggregateBack(const sampling::Block& block,
+                              const Tensor& d_rows) const {
+  GIDS_CHECK(d_rows.rows() == block.num_dst);
+  const size_t dim = d_rows.cols();
+  Tensor d_src(block.src_nodes.size(), dim);
+  for (uint32_t d = 0; d < block.num_dst; ++d) {
+    float w = 1.0f / static_cast<float>(dst_degree_[d]);
+    const float* in = d_rows.data() + static_cast<size_t>(d) * dim;
+    float* out = d_src.data() + static_cast<size_t>(d) * dim;
+    for (size_t j = 0; j < dim; ++j) out[j] += w * in[j];
+  }
+  for (size_t e = 0; e < block.edge_src.size(); ++e) {
+    uint32_t s = block.edge_src[e];
+    uint32_t d = block.edge_dst[e];
+    float w = 1.0f / std::sqrt(static_cast<float>(src_degree_[s]) *
+                               static_cast<float>(dst_degree_[d]));
+    const float* in = d_rows.data() + static_cast<size_t>(d) * dim;
+    float* out = d_src.data() + static_cast<size_t>(s) * dim;
+    for (size_t j = 0; j < dim; ++j) out[j] += w * in[j];
+  }
+  return d_src;
+}
+
+Tensor GcnConv::Forward(const sampling::Block& block, const Tensor& h_src) {
+  GIDS_CHECK(h_src.cols() == in_dim_);
+  ComputeDegrees(block);
+  Tensor agg = Aggregate(block, h_src);
+  Tensor out = Matmul(agg, weight_);
+  for (uint32_t d = 0; d < block.num_dst; ++d) {
+    float* row = out.data() + static_cast<size_t>(d) * out_dim_;
+    for (size_t j = 0; j < out_dim_; ++j) row[j] += bias_(0, j);
+  }
+  if (apply_relu_) ReluInPlace(out);
+  cached_agg_ = std::move(agg);
+  cached_out_ = out;
+  cached_n_src_ = block.src_nodes.size();
+  return out;
+}
+
+Tensor GcnConv::Backward(const sampling::Block& block, const Tensor& d_out) {
+  GIDS_CHECK(d_out.rows() == block.num_dst);
+  GIDS_CHECK(cached_agg_.rows() == block.num_dst);
+  Tensor dz = apply_relu_ ? ReluBackward(d_out, cached_out_) : d_out;
+  g_weight_.Axpy(MatmulTN(cached_agg_, dz), 1.0f);
+  for (uint32_t d = 0; d < block.num_dst; ++d) {
+    const float* row = dz.data() + static_cast<size_t>(d) * out_dim_;
+    for (size_t j = 0; j < out_dim_; ++j) g_bias_(0, j) += row[j];
+  }
+  Tensor d_agg = MatmulNT(dz, weight_);
+  return AggregateBack(block, d_agg);
+}
+
+void GcnConv::ZeroGrad() {
+  g_weight_.Fill(0.0f);
+  g_bias_.Fill(0.0f);
+}
+
+std::vector<Tensor*> GcnConv::Params() { return {&weight_, &bias_}; }
+std::vector<Tensor*> GcnConv::Grads() { return {&g_weight_, &g_bias_}; }
+
+GcnModel::GcnModel(const GcnConfig& config, Rng& rng) : config_(config) {
+  GIDS_CHECK(config.num_layers >= 1);
+  GIDS_CHECK(config.in_dim > 0);
+  layers_.reserve(config.num_layers);
+  for (int l = 0; l < config.num_layers; ++l) {
+    size_t in = l == 0 ? config.in_dim : config.hidden_dim;
+    size_t out =
+        l + 1 == config.num_layers ? config.num_classes : config.hidden_dim;
+    layers_.emplace_back(in, out, l + 1 != config.num_layers, rng);
+  }
+}
+
+Tensor GcnModel::Forward(const sampling::MiniBatch& batch,
+                         const Tensor& input_features) {
+  GIDS_CHECK(batch.blocks.size() == layers_.size());
+  Tensor h = input_features;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].Forward(batch.blocks[l], h);
+  }
+  return h;
+}
+
+double GcnModel::TrainStep(const sampling::MiniBatch& batch,
+                           const Tensor& input_features,
+                           std::span<const uint32_t> labels,
+                           Optimizer& optimizer) {
+  ZeroGrad();
+  Tensor logits = Forward(batch, input_features);
+  Tensor d_logits;
+  double loss = SoftmaxCrossEntropy(logits, labels, &d_logits);
+  Tensor grad = d_logits;
+  for (size_t l = layers_.size(); l-- > 0;) {
+    grad = layers_[l].Backward(batch.blocks[l], grad);
+  }
+  optimizer.Step(Params(), Grads());
+  return loss;
+}
+
+std::vector<Tensor*> GcnModel::Params() {
+  std::vector<Tensor*> out;
+  for (GcnConv& layer : layers_) {
+    for (Tensor* p : layer.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> GcnModel::Grads() {
+  std::vector<Tensor*> out;
+  for (GcnConv& layer : layers_) {
+    for (Tensor* g : layer.Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+void GcnModel::ZeroGrad() {
+  for (GcnConv& layer : layers_) layer.ZeroGrad();
+}
+
+}  // namespace gids::gnn

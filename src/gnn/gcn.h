@@ -1,0 +1,90 @@
+#ifndef GIDS_GNN_GCN_H_
+#define GIDS_GNN_GCN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/model.h"
+#include "graph/feature_store.h"
+#include "sampling/minibatch.h"
+
+namespace gids::gnn {
+
+/// One GCN convolution (Kipf & Welling) over a sampled block with
+/// implicit self-loops and symmetric degree normalization computed on the
+/// in-block edges:
+///   h'_v = act( Σ_{u in N(v) ∪ {v}}  h_u W / sqrt((d_u+1)(d_v+1)) + b )
+/// where degrees are in-block degrees. The second GNN architecture the
+/// paper's frameworks (DGL/PyG) ship; exercises the same dataloader path
+/// as GraphSAGE with a different aggregation.
+class GcnConv {
+ public:
+  GcnConv(size_t in_dim, size_t out_dim, bool apply_relu, Rng& rng);
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+  Tensor Forward(const sampling::Block& block, const Tensor& h_src);
+  Tensor Backward(const sampling::Block& block, const Tensor& d_out);
+
+  void ZeroGrad();
+  std::vector<Tensor*> Params();
+  std::vector<Tensor*> Grads();
+
+ private:
+  /// Normalized aggregation of `rows` (n_src x dim) into (num_dst x dim).
+  Tensor Aggregate(const sampling::Block& block, const Tensor& rows) const;
+  /// Transpose of Aggregate: scatters (num_dst x dim) back to n_src rows.
+  Tensor AggregateBack(const sampling::Block& block,
+                       const Tensor& d_rows) const;
+  void ComputeDegrees(const sampling::Block& block);
+
+  size_t in_dim_;
+  size_t out_dim_;
+  bool apply_relu_;
+
+  Tensor weight_;  // in_dim x out_dim
+  Tensor bias_;    // 1 x out_dim
+  Tensor g_weight_;
+  Tensor g_bias_;
+
+  // Forward caches.
+  std::vector<uint32_t> src_degree_;  // in-block out-degree per src (+self)
+  std::vector<uint32_t> dst_degree_;  // in-block in-degree per dst (+self)
+  Tensor cached_agg_;   // num_dst x in_dim (normalized aggregation)
+  Tensor cached_out_;   // num_dst x out_dim (post-activation)
+  size_t cached_n_src_ = 0;
+};
+
+/// Stacked GCN classifier mirroring GraphSageModel's structure.
+struct GcnConfig {
+  size_t in_dim = 0;
+  size_t hidden_dim = 128;
+  size_t num_classes = 16;
+  int num_layers = 3;
+};
+
+class GcnModel : public Model {
+ public:
+  GcnModel(const GcnConfig& config, Rng& rng);
+
+  const GcnConfig& config() const { return config_; }
+
+  Tensor Forward(const sampling::MiniBatch& batch,
+                 const Tensor& input_features) override;
+  double TrainStep(const sampling::MiniBatch& batch,
+                   const Tensor& input_features,
+                   std::span<const uint32_t> labels,
+                   Optimizer& optimizer) override;
+  std::vector<Tensor*> Params() override;
+  std::vector<Tensor*> Grads() override;
+  void ZeroGrad() override;
+
+ private:
+  GcnConfig config_;
+  std::vector<GcnConv> layers_;
+};
+
+}  // namespace gids::gnn
+
+#endif  // GIDS_GNN_GCN_H_

@@ -1,0 +1,95 @@
+#include "gnn/graphsage_model.h"
+
+#include "common/check.h"
+#include "gnn/loss.h"
+
+namespace gids::gnn {
+
+GraphSageModel::GraphSageModel(const GraphSageConfig& config, Rng& rng)
+    : config_(config) {
+  GIDS_CHECK(config.num_layers >= 1);
+  GIDS_CHECK(config.in_dim > 0);
+  layers_.reserve(config.num_layers);
+  for (int l = 0; l < config.num_layers; ++l) {
+    size_t in = l == 0 ? config.in_dim : config.hidden_dim;
+    size_t out =
+        l + 1 == config.num_layers ? config.num_classes : config.hidden_dim;
+    bool relu = l + 1 != config.num_layers;
+    layers_.emplace_back(in, out, relu, rng);
+  }
+}
+
+Tensor GraphSageModel::Forward(const sampling::MiniBatch& batch,
+                               const Tensor& input_features) {
+  GIDS_CHECK(batch.blocks.size() == layers_.size());
+  Tensor h = input_features;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].Forward(batch.blocks[l], h);
+  }
+  return h;
+}
+
+double GraphSageModel::TrainStep(const sampling::MiniBatch& batch,
+                                 const Tensor& input_features,
+                                 std::span<const uint32_t> labels,
+                                 Optimizer& optimizer) {
+  ZeroGrad();
+  Tensor logits = Forward(batch, input_features);
+  Tensor d_logits;
+  double loss = SoftmaxCrossEntropy(logits, labels, &d_logits);
+  Tensor grad = d_logits;
+  for (size_t l = layers_.size(); l-- > 0;) {
+    grad = layers_[l].Backward(batch.blocks[l], grad);
+  }
+  optimizer.Step(Params(), Grads());
+  return loss;
+}
+
+std::vector<Tensor*> GraphSageModel::Params() {
+  std::vector<Tensor*> out;
+  for (SageConv& layer : layers_) {
+    for (Tensor* p : layer.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> GraphSageModel::Grads() {
+  std::vector<Tensor*> out;
+  for (SageConv& layer : layers_) {
+    for (Tensor* g : layer.Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+void GraphSageModel::ZeroGrad() {
+  for (SageConv& layer : layers_) layer.ZeroGrad();
+}
+
+uint32_t SyntheticLabel(const graph::FeatureStore& features,
+                        graph::NodeId node, uint32_t num_classes) {
+  GIDS_CHECK(num_classes > 0);
+  uint32_t limit = std::min(num_classes, features.feature_dim());
+  uint32_t best = 0;
+  float best_value = features.ExpectedElement(node, 0);
+  for (uint32_t j = 1; j < limit; ++j) {
+    float v = features.ExpectedElement(node, j);
+    if (v > best_value) {
+      best_value = v;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> SyntheticLabels(const graph::FeatureStore& features,
+                                      std::span<const graph::NodeId> nodes,
+                                      uint32_t num_classes) {
+  std::vector<uint32_t> labels;
+  labels.reserve(nodes.size());
+  for (graph::NodeId v : nodes) {
+    labels.push_back(SyntheticLabel(features, v, num_classes));
+  }
+  return labels;
+}
+
+}  // namespace gids::gnn

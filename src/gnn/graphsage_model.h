@@ -1,0 +1,70 @@
+#ifndef GIDS_GNN_GRAPHSAGE_MODEL_H_
+#define GIDS_GNN_GRAPHSAGE_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/model.h"
+#include "gnn/optimizer.h"
+#include "gnn/sage_conv.h"
+#include "gnn/tensor.h"
+#include "graph/feature_store.h"
+#include "sampling/minibatch.h"
+
+namespace gids::gnn {
+
+/// Stacked GraphSAGE classifier matching the paper's evaluation model:
+/// `num_layers` SAGEConv layers with hidden dimension 128 (Table / §4.1),
+/// final layer emitting class logits. The number of layers must match the
+/// sampler's layer count (one conv per block).
+struct GraphSageConfig {
+  size_t in_dim = 0;
+  size_t hidden_dim = 128;
+  size_t num_classes = 16;
+  int num_layers = 3;
+};
+
+class GraphSageModel : public Model {
+ public:
+  GraphSageModel(const GraphSageConfig& config, Rng& rng);
+
+  const GraphSageConfig& config() const { return config_; }
+
+  /// Forward pass: `input_features` has one row per blocks[0].src_nodes.
+  /// Returns logits, one row per seed.
+  Tensor Forward(const sampling::MiniBatch& batch,
+                 const Tensor& input_features) override;
+
+  /// One full training step (forward, loss, backward, optimizer update).
+  /// Returns the mini-batch loss.
+  double TrainStep(const sampling::MiniBatch& batch,
+                   const Tensor& input_features,
+                   std::span<const uint32_t> labels,
+                   Optimizer& optimizer) override;
+
+  std::vector<Tensor*> Params() override;
+  std::vector<Tensor*> Grads() override;
+  void ZeroGrad() override;
+
+ private:
+  GraphSageConfig config_;
+  std::vector<SageConv> layers_;
+};
+
+/// Deterministic learnable labels for the synthetic feature distribution:
+/// the label of node v is the argmax of its first `num_classes` feature
+/// elements, so the classification task is solvable from the inputs and
+/// training loss demonstrably decreases.
+uint32_t SyntheticLabel(const graph::FeatureStore& features,
+                        graph::NodeId node, uint32_t num_classes);
+
+/// Labels for a batch of nodes.
+std::vector<uint32_t> SyntheticLabels(const graph::FeatureStore& features,
+                                      std::span<const graph::NodeId> nodes,
+                                      uint32_t num_classes);
+
+}  // namespace gids::gnn
+
+#endif  // GIDS_GNN_GRAPHSAGE_MODEL_H_

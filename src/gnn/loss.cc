@@ -1,0 +1,58 @@
+#include "gnn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gids::gnn {
+
+double SoftmaxCrossEntropy(const Tensor& logits,
+                           std::span<const uint32_t> labels,
+                           Tensor* d_logits) {
+  GIDS_CHECK(labels.size() == logits.rows());
+  GIDS_CHECK(d_logits != nullptr);
+  *d_logits = Tensor(logits.rows(), logits.cols());
+  const size_t n = logits.rows();
+  const size_t c = logits.cols();
+  double loss = 0.0;
+  std::vector<double> probs(c);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    GIDS_CHECK(labels[i] < c);
+    double max_logit = row[0];
+    for (size_t j = 1; j < c; ++j) max_logit = std::max<double>(max_logit, row[j]);
+    double denom = 0.0;
+    for (size_t j = 0; j < c; ++j) {
+      probs[j] = std::exp(static_cast<double>(row[j]) - max_logit);
+      denom += probs[j];
+    }
+    loss -= std::log(probs[labels[i]] / denom);
+    float* drow = d_logits->data() + i * c;
+    for (size_t j = 0; j < c; ++j) {
+      double p = probs[j] / denom;
+      drow[j] = static_cast<float>(
+          (p - (j == labels[i] ? 1.0 : 0.0)) / static_cast<double>(n));
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+double Accuracy(const Tensor& logits, std::span<const uint32_t> labels) {
+  GIDS_CHECK(labels.size() == logits.rows());
+  const size_t n = logits.rows();
+  const size_t c = logits.cols();
+  if (n == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    size_t best = 0;
+    for (size_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace gids::gnn

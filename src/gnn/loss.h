@@ -1,0 +1,22 @@
+#ifndef GIDS_GNN_LOSS_H_
+#define GIDS_GNN_LOSS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "gnn/tensor.h"
+
+namespace gids::gnn {
+
+/// Mean softmax cross-entropy over a batch of logits. Returns the loss and
+/// writes d(loss)/d(logits) into `d_logits` (same shape as logits).
+double SoftmaxCrossEntropy(const Tensor& logits,
+                           std::span<const uint32_t> labels,
+                           Tensor* d_logits);
+
+/// Fraction of rows whose argmax matches the label.
+double Accuracy(const Tensor& logits, std::span<const uint32_t> labels);
+
+}  // namespace gids::gnn
+
+#endif  // GIDS_GNN_LOSS_H_

@@ -1,0 +1,40 @@
+#ifndef GIDS_GNN_MODEL_H_
+#define GIDS_GNN_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gnn/optimizer.h"
+#include "gnn/tensor.h"
+#include "sampling/minibatch.h"
+
+namespace gids::gnn {
+
+/// Interface of a mini-batch GNN classifier: one convolution per sampled
+/// block, logits for the seed nodes. Implemented by GraphSageModel
+/// (graphsage_model.h) and GcnModel (gcn.h).
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Forward pass over the batch's blocks; `input_features` has one row
+  /// per blocks[0].src_nodes. Returns logits, one row per seed.
+  virtual Tensor Forward(const sampling::MiniBatch& batch,
+                         const Tensor& input_features) = 0;
+
+  /// One training step (forward, loss, backward, optimizer update);
+  /// returns the mini-batch loss.
+  virtual double TrainStep(const sampling::MiniBatch& batch,
+                           const Tensor& input_features,
+                           std::span<const uint32_t> labels,
+                           Optimizer& optimizer) = 0;
+
+  virtual std::vector<Tensor*> Params() = 0;
+  virtual std::vector<Tensor*> Grads() = 0;
+  virtual void ZeroGrad() = 0;
+};
+
+}  // namespace gids::gnn
+
+#endif  // GIDS_GNN_MODEL_H_

@@ -1,0 +1,57 @@
+#include "gnn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gids::gnn {
+
+void SgdOptimizer::Step(const std::vector<Tensor*>& params,
+                        const std::vector<Tensor*>& grads) {
+  GIDS_CHECK(params.size() == grads.size());
+  if (momentum_ == 0.0f) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->Axpy(*grads[i], -lr_);
+    }
+    return;
+  }
+  if (velocity_.empty()) {
+    for (Tensor* p : params) velocity_.emplace_back(p->rows(), p->cols());
+  }
+  GIDS_CHECK(velocity_.size() == params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    velocity_[i].Scale(momentum_);
+    velocity_[i].Axpy(*grads[i], 1.0f);
+    params[i]->Axpy(velocity_[i], -lr_);
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<Tensor*>& params,
+                         const std::vector<Tensor*>& grads) {
+  GIDS_CHECK(params.size() == grads.size());
+  if (m_.empty()) {
+    for (Tensor* p : params) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+  }
+  GIDS_CHECK(m_.size() == params.size());
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    float* p = params[i]->data();
+    const float* g = grads[i]->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (size_t j = 0; j < params[i]->size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      double mhat = m[j] / bc1;
+      double vhat = v[j] / bc2;
+      p[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace gids::gnn

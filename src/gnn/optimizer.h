@@ -1,0 +1,56 @@
+#ifndef GIDS_GNN_OPTIMIZER_H_
+#define GIDS_GNN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "gnn/tensor.h"
+
+namespace gids::gnn {
+
+/// Optimizer interface over flat parameter/gradient lists.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update step; params[i] is updated from grads[i].
+  virtual void Step(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) = 0;
+};
+
+/// SGD with optional momentum.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(float lr, float momentum = 0.0f)
+      : lr_(lr), momentum_(momentum) {}
+
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba), the optimizer DGL examples default to.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                         float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace gids::gnn
+
+#endif  // GIDS_GNN_OPTIMIZER_H_

@@ -1,0 +1,117 @@
+#include "gnn/sage_conv.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gids::gnn {
+
+SageConv::SageConv(size_t in_dim, size_t out_dim, bool apply_relu, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      apply_relu_(apply_relu),
+      w_self_(Tensor::Xavier(in_dim, out_dim, rng)),
+      w_neigh_(Tensor::Xavier(in_dim, out_dim, rng)),
+      bias_(1, out_dim),
+      g_w_self_(in_dim, out_dim),
+      g_w_neigh_(in_dim, out_dim),
+      g_bias_(1, out_dim) {}
+
+Tensor SageConv::Forward(const sampling::Block& block, const Tensor& h_src) {
+  GIDS_CHECK(h_src.rows() == block.src_nodes.size());
+  GIDS_CHECK(h_src.cols() == in_dim_);
+  const uint32_t num_dst = block.num_dst;
+
+  // Mean aggregation of sampled in-neighbors per destination.
+  Tensor mean(num_dst, in_dim_);
+  cached_degree_.assign(num_dst, 0);
+  for (size_t e = 0; e < block.edge_src.size(); ++e) {
+    uint32_t s = block.edge_src[e];
+    uint32_t d = block.edge_dst[e];
+    GIDS_DCHECK(d < num_dst);
+    const float* src_row = h_src.data() + static_cast<size_t>(s) * in_dim_;
+    float* dst_row = mean.data() + static_cast<size_t>(d) * in_dim_;
+    for (size_t j = 0; j < in_dim_; ++j) dst_row[j] += src_row[j];
+    ++cached_degree_[d];
+  }
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    if (cached_degree_[d] > 1) {
+      float inv = 1.0f / static_cast<float>(cached_degree_[d]);
+      float* dst_row = mean.data() + static_cast<size_t>(d) * in_dim_;
+      for (size_t j = 0; j < in_dim_; ++j) dst_row[j] *= inv;
+    }
+  }
+
+  // Self features are the dst prefix of h_src.
+  Tensor self(num_dst, in_dim_);
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    std::copy_n(h_src.data() + static_cast<size_t>(d) * in_dim_, in_dim_,
+                self.data() + static_cast<size_t>(d) * in_dim_);
+  }
+
+  Tensor out = Matmul(self, w_self_);
+  Tensor neigh_part = Matmul(mean, w_neigh_);
+  out.Axpy(neigh_part, 1.0f);
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    float* row = out.data() + static_cast<size_t>(d) * out_dim_;
+    for (size_t j = 0; j < out_dim_; ++j) row[j] += bias_(0, j);
+  }
+  if (apply_relu_) ReluInPlace(out);
+
+  cached_self_ = std::move(self);
+  cached_mean_ = std::move(mean);
+  cached_out_ = out;
+  return out;
+}
+
+Tensor SageConv::Backward(const sampling::Block& block, const Tensor& d_out) {
+  const uint32_t num_dst = block.num_dst;
+  GIDS_CHECK(d_out.rows() == num_dst);
+  GIDS_CHECK(d_out.cols() == out_dim_);
+  GIDS_CHECK(cached_self_.rows() == num_dst);
+
+  Tensor dz = apply_relu_ ? ReluBackward(d_out, cached_out_) : d_out;
+
+  // Weight/bias gradients.
+  g_w_self_.Axpy(MatmulTN(cached_self_, dz), 1.0f);
+  g_w_neigh_.Axpy(MatmulTN(cached_mean_, dz), 1.0f);
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    const float* row = dz.data() + static_cast<size_t>(d) * out_dim_;
+    for (size_t j = 0; j < out_dim_; ++j) g_bias_(0, j) += row[j];
+  }
+
+  // Input gradients.
+  Tensor d_self = MatmulNT(dz, w_self_);    // num_dst x in_dim
+  Tensor d_mean = MatmulNT(dz, w_neigh_);   // num_dst x in_dim
+  Tensor d_src(block.src_nodes.size(), in_dim_);
+  for (uint32_t d = 0; d < num_dst; ++d) {
+    const float* self_row = d_self.data() + static_cast<size_t>(d) * in_dim_;
+    float* out_row = d_src.data() + static_cast<size_t>(d) * in_dim_;
+    for (size_t j = 0; j < in_dim_; ++j) out_row[j] += self_row[j];
+  }
+  for (size_t e = 0; e < block.edge_src.size(); ++e) {
+    uint32_t s = block.edge_src[e];
+    uint32_t d = block.edge_dst[e];
+    float inv = 1.0f / static_cast<float>(cached_degree_[d]);
+    const float* mean_row = d_mean.data() + static_cast<size_t>(d) * in_dim_;
+    float* src_row = d_src.data() + static_cast<size_t>(s) * in_dim_;
+    for (size_t j = 0; j < in_dim_; ++j) src_row[j] += inv * mean_row[j];
+  }
+  return d_src;
+}
+
+void SageConv::ZeroGrad() {
+  g_w_self_.Fill(0.0f);
+  g_w_neigh_.Fill(0.0f);
+  g_bias_.Fill(0.0f);
+}
+
+std::vector<Tensor*> SageConv::Params() {
+  return {&w_self_, &w_neigh_, &bias_};
+}
+
+std::vector<Tensor*> SageConv::Grads() {
+  return {&g_w_self_, &g_w_neigh_, &g_bias_};
+}
+
+}  // namespace gids::gnn

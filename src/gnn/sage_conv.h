@@ -1,0 +1,58 @@
+#ifndef GIDS_GNN_SAGE_CONV_H_
+#define GIDS_GNN_SAGE_CONV_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/tensor.h"
+#include "sampling/minibatch.h"
+
+namespace gids::gnn {
+
+/// One GraphSAGE convolution with the mean aggregator (Eq. 1 with
+/// f = ReLU(W_self h_v + W_neigh mean_{w in N(v)} h_w + b)):
+/// the standard DGL SAGEConv the paper trains with.
+class SageConv {
+ public:
+  SageConv(size_t in_dim, size_t out_dim, bool apply_relu, Rng& rng);
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+  /// Forward over one block: `h_src` has one row per block.src_nodes;
+  /// returns one row per destination node (the block's dst prefix).
+  Tensor Forward(const sampling::Block& block, const Tensor& h_src);
+
+  /// Backward: given d(output), returns d(h_src) and accumulates weight
+  /// gradients. Must follow the matching Forward (caches activations).
+  Tensor Backward(const sampling::Block& block, const Tensor& d_out);
+
+  void ZeroGrad();
+  /// Parameter/gradient access for the optimizer, in fixed order:
+  /// {W_self, W_neigh, b}.
+  std::vector<Tensor*> Params();
+  std::vector<Tensor*> Grads();
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  bool apply_relu_;
+
+  Tensor w_self_;   // in_dim x out_dim
+  Tensor w_neigh_;  // in_dim x out_dim
+  Tensor bias_;     // 1 x out_dim
+
+  Tensor g_w_self_;
+  Tensor g_w_neigh_;
+  Tensor g_bias_;
+
+  // Forward caches for backward.
+  Tensor cached_self_;   // num_dst x in_dim
+  Tensor cached_mean_;   // num_dst x in_dim
+  Tensor cached_out_;    // num_dst x out_dim (post-activation)
+  std::vector<uint32_t> cached_degree_;  // in-block degree per dst
+};
+
+}  // namespace gids::gnn
+
+#endif  // GIDS_GNN_SAGE_CONV_H_

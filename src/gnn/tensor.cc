@@ -1,0 +1,116 @@
+#include "gnn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace gids::gnn {
+
+Tensor Tensor::Xavier(size_t rows, size_t cols, Rng& rng) {
+  Tensor t(rows, cols);
+  double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (float& v : t.data_) {
+    v = static_cast<float>((rng.UniformDouble() * 2.0 - 1.0) * bound);
+  }
+  return t;
+}
+
+Tensor Tensor::FromData(size_t rows, size_t cols,
+                        std::span<const float> data) {
+  GIDS_CHECK(data.size() == rows * cols);
+  Tensor t(rows, cols);
+  std::memcpy(t.data_.data(), data.data(), data.size() * sizeof(float));
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Axpy(const Tensor& other, float scale) {
+  GIDS_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Tensor::Scale(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+double Tensor::L2NormSquared() const {
+  double sum = 0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return sum;
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  GIDS_CHECK(a.cols() == b.rows());
+  Tensor c(a.rows(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    float* ci = c.data() + i * n;
+    const float* ai = a.data() + i * k;
+    for (size_t p = 0; p < k; ++p) {
+      float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b.data() + p * n;
+      for (size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatmulTN(const Tensor& a, const Tensor& b) {
+  GIDS_CHECK(a.rows() == b.rows());
+  Tensor c(a.cols(), b.cols());
+  const size_t k = a.rows();
+  const size_t m = a.cols();
+  const size_t n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* ap = a.data() + p * m;
+    const float* bp = b.data() + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      float api = ap[i];
+      if (api == 0.0f) continue;
+      float* ci = c.data() + i * n;
+      for (size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatmulNT(const Tensor& a, const Tensor& b) {
+  GIDS_CHECK(a.cols() == b.cols());
+  Tensor c(a.rows(), b.rows());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* bj = b.data() + j * k;
+      float sum = 0.0f;
+      for (size_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
+      ci[j] = sum;
+    }
+  }
+  return c;
+}
+
+void ReluInPlace(Tensor& x) {
+  float* d = x.data();
+  for (size_t i = 0; i < x.size(); ++i) d[i] = std::max(0.0f, d[i]);
+}
+
+Tensor ReluBackward(const Tensor& dy, const Tensor& y) {
+  GIDS_CHECK(dy.rows() == y.rows() && dy.cols() == y.cols());
+  Tensor dx(dy.rows(), dy.cols());
+  for (size_t i = 0; i < dy.size(); ++i) {
+    dx.data()[i] = y.data()[i] > 0.0f ? dy.data()[i] : 0.0f;
+  }
+  return dx;
+}
+
+}  // namespace gids::gnn

@@ -1,0 +1,81 @@
+#ifndef GIDS_GNN_TENSOR_H_
+#define GIDS_GNN_TENSOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace gids::gnn {
+
+/// Dense row-major float32 matrix: the only tensor shape the GNN training
+/// substrate needs (node-feature batches and weight matrices).
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  static Tensor Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+
+  /// Glorot/Xavier-uniform initialization for weight matrices.
+  static Tensor Xavier(size_t rows, size_t cols, Rng& rng);
+
+  /// Wraps existing row-major data (copied).
+  static Tensor FromData(size_t rows, size_t cols,
+                         std::span<const float> data);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(size_t i, size_t j) {
+    GIDS_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  float operator()(size_t i, size_t j) const {
+    GIDS_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> row(size_t i) {
+    GIDS_DCHECK(i < rows_);
+    return std::span<float>(data_.data() + i * cols_, cols_);
+  }
+  std::span<const float> row(size_t i) const {
+    GIDS_DCHECK(i < rows_);
+    return std::span<const float>(data_.data() + i * cols_, cols_);
+  }
+
+  void Fill(float value);
+  /// this += scale * other (same shape).
+  void Axpy(const Tensor& other, float scale);
+  void Scale(float factor);
+  double L2NormSquared() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
+Tensor Matmul(const Tensor& a, const Tensor& b);
+/// C = A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
+Tensor MatmulTN(const Tensor& a, const Tensor& b);
+/// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+Tensor MatmulNT(const Tensor& a, const Tensor& b);
+
+/// In-place ReLU; returns activation mask applications via ReluBackward.
+void ReluInPlace(Tensor& x);
+/// dx = dy where forward output y > 0, else 0 (y is the post-ReLU value).
+Tensor ReluBackward(const Tensor& dy, const Tensor& y);
+
+}  // namespace gids::gnn
+
+#endif  // GIDS_GNN_TENSOR_H_

@@ -1,0 +1,67 @@
+#include "graph/csc_graph.h"
+
+#include <algorithm>
+
+namespace gids::graph {
+
+StatusOr<CscGraph> CscGraph::FromCsc(std::vector<EdgeIdx> indptr,
+                                     std::vector<NodeId> indices) {
+  if (indptr.empty()) {
+    return Status::InvalidArgument("indptr must have at least one entry");
+  }
+  if (indptr.front() != 0) {
+    return Status::InvalidArgument("indptr must start at 0");
+  }
+  if (indptr.back() != indices.size()) {
+    return Status::InvalidArgument("indptr must end at indices.size()");
+  }
+  for (size_t i = 1; i < indptr.size(); ++i) {
+    if (indptr[i] < indptr[i - 1]) {
+      return Status::InvalidArgument("indptr must be non-decreasing");
+    }
+  }
+  NodeId n = static_cast<NodeId>(indptr.size() - 1);
+  for (NodeId v : indices) {
+    if (v >= n) return Status::InvalidArgument("edge endpoint out of range");
+  }
+  return CscGraph(std::move(indptr), std::move(indices));
+}
+
+StatusOr<CscGraph> CscGraph::FromCoo(NodeId num_nodes,
+                                     std::span<const NodeId> src,
+                                     std::span<const NodeId> dst) {
+  if (src.size() != dst.size()) {
+    return Status::InvalidArgument("src and dst must have equal length");
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i] >= num_nodes || dst[i] >= num_nodes) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+  }
+  // Counting sort by destination column.
+  std::vector<EdgeIdx> indptr(static_cast<size_t>(num_nodes) + 1, 0);
+  for (NodeId d : dst) indptr[static_cast<size_t>(d) + 1]++;
+  for (size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
+  std::vector<NodeId> indices(src.size());
+  std::vector<EdgeIdx> cursor(indptr.begin(), indptr.end() - 1);
+  for (size_t i = 0; i < src.size(); ++i) {
+    indices[cursor[dst[i]]++] = src[i];
+  }
+  return CscGraph(std::move(indptr), std::move(indices));
+}
+
+std::vector<EdgeIdx> CscGraph::OutDegrees() const {
+  std::vector<EdgeIdx> deg(num_nodes(), 0);
+  for (NodeId s : indices_) deg[s]++;
+  return deg;
+}
+
+EdgeIdx CscGraph::MaxInDegree() const {
+  EdgeIdx best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    best = std::max(best, in_degree(v));
+  }
+  return best;
+}
+
+}  // namespace gids::graph

@@ -1,0 +1,76 @@
+#ifndef GIDS_GRAPH_CSC_GRAPH_H_
+#define GIDS_GRAPH_CSC_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace gids::graph {
+
+/// Directed graph in Compressed Sparse Column format, the layout DGL's
+/// GPU samplers consume: for each node v, `in_neighbors(v)` lists the
+/// sources of v's incoming edges. Neighborhood sampling expands a seed by
+/// sampling from its in-neighbors (the "reverse" direction used for
+/// message passing toward the seed).
+class CscGraph {
+ public:
+  CscGraph() = default;
+
+  /// Builds from raw CSC arrays. `indptr` must have num_nodes + 1 entries,
+  /// be non-decreasing, start at 0 and end at indices.size().
+  static StatusOr<CscGraph> FromCsc(std::vector<EdgeIdx> indptr,
+                                    std::vector<NodeId> indices);
+
+  /// Builds from a COO edge list (src -> dst): indices of column `dst`
+  /// hold all `src` values. Nodes are [0, num_nodes).
+  static StatusOr<CscGraph> FromCoo(NodeId num_nodes,
+                                    std::span<const NodeId> src,
+                                    std::span<const NodeId> dst);
+
+  NodeId num_nodes() const {
+    return indptr_.empty() ? 0 : static_cast<NodeId>(indptr_.size() - 1);
+  }
+  EdgeIdx num_edges() const { return indices_.size(); }
+
+  EdgeIdx in_degree(NodeId v) const {
+    GIDS_DCHECK(v < num_nodes());
+    return indptr_[v + 1] - indptr_[v];
+  }
+
+  std::span<const NodeId> in_neighbors(NodeId v) const {
+    GIDS_DCHECK(v < num_nodes());
+    return std::span<const NodeId>(indices_.data() + indptr_[v],
+                                   indptr_[v + 1] - indptr_[v]);
+  }
+
+  const std::vector<EdgeIdx>& indptr() const { return indptr_; }
+  const std::vector<NodeId>& indices() const { return indices_; }
+
+  /// In-memory footprint of the structure arrays (what gets pinned in CPU
+  /// memory by GIDS, §3.5).
+  uint64_t structure_bytes() const {
+    return indptr_.size() * sizeof(EdgeIdx) + indices_.size() * sizeof(NodeId);
+  }
+
+  /// Out-degrees (computed by one pass over indices).
+  std::vector<EdgeIdx> OutDegrees() const;
+
+  /// Maximum in-degree.
+  EdgeIdx MaxInDegree() const;
+
+ private:
+  CscGraph(std::vector<EdgeIdx> indptr, std::vector<NodeId> indices)
+      : indptr_(std::move(indptr)), indices_(std::move(indices)) {}
+
+  std::vector<EdgeIdx> indptr_;
+  std::vector<NodeId> indices_;
+};
+
+}  // namespace gids::graph
+
+#endif  // GIDS_GRAPH_CSC_GRAPH_H_

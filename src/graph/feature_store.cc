@@ -1,0 +1,75 @@
+#include "graph/feature_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace gids::graph {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+double FeatureStore::PagesPerNode() const {
+  if (num_nodes_ == 0) return 0;
+  uint64_t pages = 0;
+  // The layout repeats every lcm(feature_bytes, page_bytes); sampling one
+  // period is exact. Cap the period scan for pathological dims.
+  uint64_t fb = feature_bytes_per_node();
+  uint64_t period_nodes = page_bytes_ / std::gcd(fb, (uint64_t)page_bytes_);
+  period_nodes = std::min<uint64_t>(period_nodes, num_nodes_);
+  if (period_nodes == 0) period_nodes = 1;
+  for (NodeId v = 0; v < period_nodes; ++v) pages += PagesFor(v).count();
+  return static_cast<double>(pages) / static_cast<double>(period_nodes);
+}
+
+float FeatureStore::ExpectedElement(NodeId v, uint32_t j) const {
+  uint64_t h = Mix(content_seed_ ^ (static_cast<uint64_t>(v) * feature_dim_ + j));
+  // Map the top 24 bits to [-0.5, 0.5).
+  return static_cast<float>(h >> 40) * (1.0f / 16777216.0f) - 0.5f;
+}
+
+void FeatureStore::FillFeature(NodeId v, std::span<float> out) const {
+  GIDS_CHECK(out.size() >= feature_dim_);
+  for (uint32_t j = 0; j < feature_dim_; ++j) out[j] = ExpectedElement(v, j);
+}
+
+void FeatureStore::FillPage(uint64_t page, std::span<std::byte> out) const {
+  GIDS_CHECK(out.size() == page_bytes_);
+  std::memset(out.data(), 0, out.size());
+  uint64_t page_begin = page * page_bytes_;
+  uint64_t page_end = page_begin + page_bytes_;  // exclusive
+  uint64_t file_end = total_bytes();
+  if (page_begin >= file_end) return;
+  uint64_t fb = feature_bytes_per_node();
+  NodeId first_node = static_cast<NodeId>(page_begin / fb);
+  for (NodeId v = first_node; v < num_nodes_; ++v) {
+    uint64_t node_begin = static_cast<uint64_t>(v) * fb;
+    if (node_begin >= page_end) break;
+    uint64_t node_end = node_begin + fb;
+    uint64_t lo = std::max(node_begin, page_begin);
+    uint64_t hi = std::min(node_end, page_end);
+    for (uint64_t byte = lo; byte < hi;) {
+      uint32_t elem = static_cast<uint32_t>((byte - node_begin) / sizeof(float));
+      float value = ExpectedElement(v, elem);
+      uint64_t elem_begin = node_begin + elem * sizeof(float);
+      const std::byte* value_bytes = reinterpret_cast<const std::byte*>(&value);
+      // Copy the overlap of this element with the page window.
+      uint64_t copy_lo = std::max(elem_begin, lo);
+      uint64_t copy_hi = std::min(elem_begin + sizeof(float), hi);
+      std::memcpy(out.data() + (copy_lo - page_begin),
+                  value_bytes + (copy_lo - elem_begin), copy_hi - copy_lo);
+      byte = copy_hi;
+    }
+  }
+}
+
+}  // namespace gids::graph

@@ -1,0 +1,79 @@
+#include "graph/generator.h"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+namespace gids::graph {
+namespace {
+
+// Draws one R-MAT edge within an n x n adjacency matrix (n a power of two),
+// recursing one quadrant per bit level with multiplicative noise.
+std::pair<uint64_t, uint64_t> RmatEdge(int levels, const RmatParams& p,
+                                       Rng& rng) {
+  uint64_t row = 0;
+  uint64_t col = 0;
+  double a = p.a;
+  double b = p.b;
+  double c = p.c;
+  for (int level = 0; level < levels; ++level) {
+    double ab = a + b;
+    double abc = a + b + c;
+    double r = rng.UniformDouble();
+    uint64_t bit = 1ull << (levels - 1 - level);
+    if (r >= ab) row |= bit;
+    if ((r >= a && r < ab) || r >= abc) col |= bit;
+    if (p.noise > 0) {
+      // Perturb the quadrant probabilities, then renormalize.
+      double na = a * (1.0 - p.noise + 2.0 * p.noise * rng.UniformDouble());
+      double nb = b * (1.0 - p.noise + 2.0 * p.noise * rng.UniformDouble());
+      double nc = c * (1.0 - p.noise + 2.0 * p.noise * rng.UniformDouble());
+      double nd = (1.0 - a - b - c) *
+                  (1.0 - p.noise + 2.0 * p.noise * rng.UniformDouble());
+      double norm = na + nb + nc + nd;
+      a = na / norm;
+      b = nb / norm;
+      c = nc / norm;
+    }
+  }
+  return {row, col};
+}
+
+}  // namespace
+
+StatusOr<CscGraph> GenerateRmat(NodeId num_nodes, EdgeIdx num_edges,
+                                const RmatParams& params, Rng& rng) {
+  if (num_nodes == 0) return Status::InvalidArgument("num_nodes must be > 0");
+  double sum = params.a + params.b + params.c + params.d;
+  if (std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("RMAT probabilities must sum to 1");
+  }
+  int levels = 64 - std::countl_zero(static_cast<uint64_t>(num_nodes) - 1);
+  if (num_nodes == 1) levels = 0;
+
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+  src.reserve(num_edges);
+  dst.reserve(num_edges);
+  while (src.size() < num_edges) {
+    auto [row, col] = RmatEdge(levels, params, rng);
+    if (row >= num_nodes || col >= num_nodes) continue;  // rejection
+    src.push_back(static_cast<NodeId>(row));
+    dst.push_back(static_cast<NodeId>(col));
+  }
+  return CscGraph::FromCoo(num_nodes, src, dst);
+}
+
+StatusOr<CscGraph> GenerateUniform(NodeId num_nodes, EdgeIdx num_edges,
+                                   Rng& rng) {
+  if (num_nodes == 0) return Status::InvalidArgument("num_nodes must be > 0");
+  std::vector<NodeId> src(num_edges);
+  std::vector<NodeId> dst(num_edges);
+  for (EdgeIdx i = 0; i < num_edges; ++i) {
+    src[i] = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    dst[i] = static_cast<NodeId>(rng.UniformInt(num_nodes));
+  }
+  return CscGraph::FromCoo(num_nodes, src, dst);
+}
+
+}  // namespace gids::graph

@@ -1,0 +1,41 @@
+#ifndef GIDS_GRAPH_GENERATOR_H_
+#define GIDS_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/csc_graph.h"
+#include "graph/types.h"
+
+namespace gids::graph {
+
+/// R-MAT (recursive-matrix) random graph parameters. The default
+/// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) produces the heavy-tailed
+/// degree distribution characteristic of citation/web graphs like the
+/// IGB/MAG datasets; this skew is what makes reverse-PageRank hot-node
+/// pinning effective (§3.3).
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Probability noise added per recursion level to avoid exact
+  /// self-similarity artifacts.
+  double noise = 0.05;
+};
+
+/// Generates a directed R-MAT graph with `num_nodes` nodes (need not be a
+/// power of two; edges are rejected/remapped into range) and `num_edges`
+/// edges, returned in CSC form. Self-loops and multi-edges are kept, as in
+/// the standard Graph500 generator.
+StatusOr<CscGraph> GenerateRmat(NodeId num_nodes, EdgeIdx num_edges,
+                                const RmatParams& params, Rng& rng);
+
+/// Generates a uniform (Erdos-Renyi style) directed multigraph.
+StatusOr<CscGraph> GenerateUniform(NodeId num_nodes, EdgeIdx num_edges,
+                                   Rng& rng);
+
+}  // namespace gids::graph
+
+#endif  // GIDS_GRAPH_GENERATOR_H_

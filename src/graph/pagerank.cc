@@ -1,0 +1,60 @@
+#include "graph/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gids::graph {
+
+std::vector<double> WeightedReversePageRank(const CscGraph& graph,
+                                            const PageRankOptions& options) {
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return {};
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> score(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      auto nbrs = graph.in_neighbors(v);
+      if (nbrs.empty()) {
+        dangling += score[v];
+        continue;
+      }
+      double share = score[v] / static_cast<double>(nbrs.size());
+      for (NodeId u : nbrs) next[u] += share;
+    }
+    double base =
+        (1.0 - options.damping) * uniform + options.damping * dangling * uniform;
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double updated = base + options.damping * next[v];
+      delta += std::abs(updated - score[v]);
+      score[v] = updated;
+    }
+    if (delta < options.tolerance) break;
+  }
+  return score;
+}
+
+std::vector<NodeId> RankNodesByScore(const std::vector<double>& score) {
+  std::vector<NodeId> order(score.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&score](NodeId a, NodeId b) {
+    return score[a] > score[b];
+  });
+  return order;
+}
+
+std::vector<NodeId> RankNodesByInDegree(const CscGraph& graph) {
+  std::vector<NodeId> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&graph](NodeId a, NodeId b) {
+    return graph.in_degree(a) > graph.in_degree(b);
+  });
+  return order;
+}
+
+}  // namespace gids::graph

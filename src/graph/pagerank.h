@@ -1,0 +1,39 @@
+#ifndef GIDS_GRAPH_PAGERANK_H_
+#define GIDS_GRAPH_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csc_graph.h"
+#include "graph/types.h"
+
+namespace gids::graph {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 30;
+  double tolerance = 1e-7;  // L1 change per iteration to stop early
+};
+
+/// Weighted *reverse* PageRank, the hot-node metric used by the constant
+/// CPU buffer (§3.3, following Data Tiering [Min et al., KDD'22]).
+///
+/// Neighborhood sampling walks from a seed node to its *in*-neighbors, so
+/// the probability of a node's feature being accessed is approximated by a
+/// random walk along reversed sampling edges: each node v distributes its
+/// score uniformly across its in-neighbors (weight 1 / in_degree(v)).
+/// Since CscGraph stores in-neighbors directly, this is a push-style
+/// iteration over columns. Scores sum to 1.
+std::vector<double> WeightedReversePageRank(const CscGraph& graph,
+                                            const PageRankOptions& options);
+
+/// Returns node ids sorted by descending score (ties by ascending id).
+std::vector<NodeId> RankNodesByScore(const std::vector<double>& score);
+
+/// Returns node ids sorted by descending in-degree (a cheaper hot-node
+/// heuristic used as an ablation against reverse PageRank).
+std::vector<NodeId> RankNodesByInDegree(const CscGraph& graph);
+
+}  // namespace gids::graph
+
+#endif  // GIDS_GRAPH_PAGERANK_H_

@@ -1,0 +1,114 @@
+#include "graph/partition.h"
+
+#include <deque>
+#include <numeric>
+
+namespace gids::graph {
+namespace {
+
+uint64_t CountCutEdges(const CscGraph& graph,
+                       const std::vector<uint32_t>& part_of) {
+  uint64_t cut = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId u : graph.in_neighbors(v)) {
+      if (part_of[u] != part_of[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+PartitionResult Finish(const CscGraph& graph, uint32_t num_parts,
+                       std::vector<uint32_t> part_of) {
+  PartitionResult result;
+  result.num_parts = num_parts;
+  result.members.resize(num_parts);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    result.members[part_of[v]].push_back(v);
+  }
+  result.cut_edges = CountCutEdges(graph, part_of);
+  result.part_of = std::move(part_of);
+  return result;
+}
+
+}  // namespace
+
+StatusOr<PartitionResult> BfsPartition(const CscGraph& graph,
+                                       uint32_t num_parts, Rng& rng) {
+  if (num_parts == 0) return Status::InvalidArgument("num_parts must be > 0");
+  const NodeId n = graph.num_nodes();
+  if (num_parts > n) {
+    return Status::InvalidArgument("more parts than nodes");
+  }
+  constexpr uint32_t kUnassigned = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> part_of(n, kUnassigned);
+  // Visit order for picking fresh BFS seeds, shuffled for determinism in
+  // the rng rather than node-id bias.
+  std::vector<NodeId> seed_order(n);
+  std::iota(seed_order.begin(), seed_order.end(), 0u);
+  Shuffle(seed_order, rng);
+
+  uint64_t target = (static_cast<uint64_t>(n) + num_parts - 1) / num_parts;
+  size_t seed_cursor = 0;
+  std::deque<NodeId> frontier;
+  uint32_t part = 0;
+  uint64_t filled = 0;
+
+  auto next_unassigned = [&]() -> NodeId {
+    while (seed_cursor < seed_order.size()) {
+      NodeId v = seed_order[seed_cursor];
+      if (part_of[v] == kUnassigned) return v;
+      ++seed_cursor;
+    }
+    return kInvalidNode;
+  };
+
+  for (NodeId assigned = 0; assigned < n;) {
+    if (frontier.empty() || filled >= target) {
+      if (filled >= target && part + 1 < num_parts) {
+        ++part;
+        filled = 0;
+        frontier.clear();
+      }
+      NodeId seed = next_unassigned();
+      if (seed == kInvalidNode) break;
+      frontier.push_back(seed);
+      if (part_of[seed] == kUnassigned) {
+        part_of[seed] = part;
+        ++assigned;
+        ++filled;
+      }
+    }
+    NodeId v = frontier.front();
+    frontier.pop_front();
+    for (NodeId u : graph.in_neighbors(v)) {
+      if (part_of[u] != kUnassigned) continue;
+      if (filled >= target && part + 1 < num_parts) break;
+      part_of[u] = part;
+      ++assigned;
+      ++filled;
+      frontier.push_back(u);
+    }
+  }
+  // Any stragglers (isolated nodes after the last part filled).
+  for (NodeId v = 0; v < n; ++v) {
+    if (part_of[v] == kUnassigned) {
+      part_of[v] = static_cast<uint32_t>(rng.UniformInt(num_parts));
+    }
+  }
+  return Finish(graph, num_parts, std::move(part_of));
+}
+
+StatusOr<PartitionResult> RandomPartition(const CscGraph& graph,
+                                          uint32_t num_parts, Rng& rng) {
+  if (num_parts == 0) return Status::InvalidArgument("num_parts must be > 0");
+  if (num_parts > graph.num_nodes()) {
+    return Status::InvalidArgument("more parts than nodes");
+  }
+  std::vector<uint32_t> part_of(graph.num_nodes());
+  for (auto& p : part_of) {
+    p = static_cast<uint32_t>(rng.UniformInt(num_parts));
+  }
+  return Finish(graph, num_parts, std::move(part_of));
+}
+
+}  // namespace gids::graph

@@ -1,0 +1,234 @@
+#include "graph/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace gids::graph {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'I', 'D', 'S'};
+constexpr uint32_t kVersion = 1;
+
+// RAII FILE handle.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t bytes) {
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t bytes) {
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    return Status::IoError("short read / truncated file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePod(std::FILE* f, const T& value) {
+  return WriteBytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(T));
+}
+
+Status WriteString(std::FILE* f, const std::string& s) {
+  GIDS_RETURN_IF_ERROR(WritePod<uint64_t>(f, s.size()));
+  return WriteBytes(f, s.data(), s.size());
+}
+
+Status ReadString(std::FILE* f, std::string* s) {
+  uint64_t len = 0;
+  GIDS_RETURN_IF_ERROR(ReadPod(f, &len));
+  if (len > (1ull << 20)) return Status::IoError("implausible string length");
+  s->resize(len);
+  return ReadBytes(f, s->data(), len);
+}
+
+template <typename T>
+Status WriteVector(std::FILE* f, const std::vector<T>& v) {
+  GIDS_RETURN_IF_ERROR(WritePod<uint64_t>(f, v.size()));
+  return WriteBytes(f, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+Status ReadVector(std::FILE* f, std::vector<T>* v, uint64_t max_elems) {
+  uint64_t len = 0;
+  GIDS_RETURN_IF_ERROR(ReadPod(f, &len));
+  if (len > max_elems) return Status::IoError("implausible array length");
+  v->resize(len);
+  return ReadBytes(f, v->data(), len * sizeof(T));
+}
+
+constexpr uint64_t kMaxElems = 1ull << 36;  // 64 G entries sanity bound
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  GIDS_RETURN_IF_ERROR(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
+  GIDS_RETURN_IF_ERROR(WritePod(f.get(), kVersion));
+
+  const DatasetSpec& s = dataset.spec;
+  GIDS_RETURN_IF_ERROR(WriteString(f.get(), s.name));
+  GIDS_RETURN_IF_ERROR(
+      WritePod<uint8_t>(f.get(), static_cast<uint8_t>(s.kind)));
+  GIDS_RETURN_IF_ERROR(WritePod(f.get(), s.paper_num_nodes));
+  GIDS_RETURN_IF_ERROR(WritePod(f.get(), s.paper_num_edges));
+  GIDS_RETURN_IF_ERROR(WritePod(f.get(), s.feature_dim));
+  GIDS_RETURN_IF_ERROR(WritePod(f.get(), s.proxy_feature_dim));
+  GIDS_RETURN_IF_ERROR(WritePod(f.get(), s.train_fraction));
+  GIDS_RETURN_IF_ERROR(WritePod(f.get(), dataset.scale));
+
+  GIDS_RETURN_IF_ERROR(WriteVector(f.get(), dataset.graph.indptr()));
+  GIDS_RETURN_IF_ERROR(WriteVector(f.get(), dataset.graph.indices()));
+
+  GIDS_RETURN_IF_ERROR(
+      WritePod<uint32_t>(f.get(), dataset.features.num_nodes()));
+  GIDS_RETURN_IF_ERROR(
+      WritePod<uint32_t>(f.get(), dataset.features.feature_dim()));
+  GIDS_RETURN_IF_ERROR(
+      WritePod<uint32_t>(f.get(), dataset.features.page_bytes()));
+  GIDS_RETURN_IF_ERROR(
+      WritePod<uint64_t>(f.get(), dataset.features.content_seed()));
+
+  GIDS_RETURN_IF_ERROR(WriteVector(f.get(), dataset.train_ids));
+
+  GIDS_RETURN_IF_ERROR(
+      WritePod<uint64_t>(f.get(), dataset.node_types.size()));
+  for (const NodeTypeInfo& t : dataset.node_types) {
+    GIDS_RETURN_IF_ERROR(WriteString(f.get(), t.name));
+    GIDS_RETURN_IF_ERROR(WritePod(f.get(), t.offset));
+    GIDS_RETURN_IF_ERROR(WritePod(f.get(), t.count));
+  }
+  if (std::fflush(f.get()) != 0) return Status::IoError("flush failed");
+  return Status::OK();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  char magic[4];
+  GIDS_RETURN_IF_ERROR(ReadBytes(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a GIDS dataset file");
+  }
+  uint32_t version = 0;
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset file version " +
+                                   std::to_string(version));
+  }
+
+  Dataset ds;
+  uint8_t kind = 0;
+  GIDS_RETURN_IF_ERROR(ReadString(f.get(), &ds.spec.name));
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &kind));
+  ds.spec.kind = static_cast<GraphKind>(kind);
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &ds.spec.paper_num_nodes));
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &ds.spec.paper_num_edges));
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &ds.spec.feature_dim));
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &ds.spec.proxy_feature_dim));
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &ds.spec.train_fraction));
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &ds.scale));
+
+  std::vector<EdgeIdx> indptr;
+  std::vector<NodeId> indices;
+  GIDS_RETURN_IF_ERROR(ReadVector(f.get(), &indptr, kMaxElems));
+  GIDS_RETURN_IF_ERROR(ReadVector(f.get(), &indices, kMaxElems));
+  GIDS_ASSIGN_OR_RETURN(ds.graph, CscGraph::FromCsc(std::move(indptr),
+                                                    std::move(indices)));
+
+  uint32_t num_nodes = 0;
+  uint32_t dim = 0;
+  uint32_t page_bytes = 0;
+  uint64_t content_seed = 0;
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &num_nodes));
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &dim));
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &page_bytes));
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &content_seed));
+  if (num_nodes != ds.graph.num_nodes()) {
+    return Status::IoError("feature store / graph node count mismatch");
+  }
+  if (dim == 0 || page_bytes == 0 || page_bytes % sizeof(float) != 0) {
+    return Status::IoError("corrupt feature store parameters");
+  }
+  ds.features = FeatureStore(num_nodes, dim, page_bytes, content_seed);
+
+  GIDS_RETURN_IF_ERROR(ReadVector(f.get(), &ds.train_ids, kMaxElems));
+  for (NodeId v : ds.train_ids) {
+    if (v >= ds.graph.num_nodes()) {
+      return Status::IoError("train id out of range");
+    }
+  }
+
+  uint64_t num_types = 0;
+  GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &num_types));
+  if (num_types > 4096) return Status::IoError("implausible node type count");
+  for (uint64_t i = 0; i < num_types; ++i) {
+    NodeTypeInfo t;
+    GIDS_RETURN_IF_ERROR(ReadString(f.get(), &t.name));
+    GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &t.offset));
+    GIDS_RETURN_IF_ERROR(ReadPod(f.get(), &t.count));
+    ds.node_types.push_back(std::move(t));
+  }
+  return ds;
+}
+
+StatusOr<CscGraph> LoadCscFromRawArrays(const std::string& indptr_path,
+                                        const std::string& indices_path) {
+  File fp(std::fopen(indptr_path.c_str(), "rb"));
+  if (fp == nullptr) return Status::IoError("cannot open " + indptr_path);
+  std::fseek(fp.get(), 0, SEEK_END);
+  long fp_bytes = std::ftell(fp.get());
+  std::fseek(fp.get(), 0, SEEK_SET);
+  if (fp_bytes <= 0 || fp_bytes % sizeof(int64_t) != 0) {
+    return Status::InvalidArgument("indptr file must hold int64 entries");
+  }
+  std::vector<EdgeIdx> indptr(fp_bytes / sizeof(int64_t));
+  GIDS_RETURN_IF_ERROR(
+      ReadBytes(fp.get(), indptr.data(), static_cast<size_t>(fp_bytes)));
+
+  File fi(std::fopen(indices_path.c_str(), "rb"));
+  if (fi == nullptr) return Status::IoError("cannot open " + indices_path);
+  std::fseek(fi.get(), 0, SEEK_END);
+  long fi_bytes = std::ftell(fi.get());
+  std::fseek(fi.get(), 0, SEEK_SET);
+  if (fi_bytes < 0) return Status::IoError("cannot stat " + indices_path);
+  uint64_t num_edges = indptr.empty() ? 0 : indptr.back();
+
+  std::vector<NodeId> indices(num_edges);
+  if (static_cast<uint64_t>(fi_bytes) == num_edges * sizeof(int32_t)) {
+    GIDS_RETURN_IF_ERROR(
+        ReadBytes(fi.get(), indices.data(), static_cast<size_t>(fi_bytes)));
+  } else if (static_cast<uint64_t>(fi_bytes) == num_edges * sizeof(int64_t)) {
+    std::vector<int64_t> wide(num_edges);
+    GIDS_RETURN_IF_ERROR(
+        ReadBytes(fi.get(), wide.data(), static_cast<size_t>(fi_bytes)));
+    for (uint64_t i = 0; i < num_edges; ++i) {
+      if (wide[i] < 0 || wide[i] > 0xffffffffll) {
+        return Status::InvalidArgument("node id exceeds 32-bit range");
+      }
+      indices[i] = static_cast<NodeId>(wide[i]);
+    }
+  } else {
+    return Status::InvalidArgument(
+        "indices file size matches neither int32 nor int64 edge count");
+  }
+  return CscGraph::FromCsc(std::move(indptr), std::move(indices));
+}
+
+}  // namespace gids::graph

@@ -1,0 +1,37 @@
+#ifndef GIDS_GRAPH_SERIALIZATION_H_
+#define GIDS_GRAPH_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/csc_graph.h"
+#include "graph/dataset.h"
+
+namespace gids::graph {
+
+/// Binary dataset container (".gids" files): magic + version header, the
+/// dataset spec, CSC structure arrays, feature-store parameters, train
+/// ids, and node-type table. Little-endian, no alignment padding.
+///
+/// Feature *contents* are not stored — they are deterministic in the
+/// content seed, which is serialized with the FeatureStore parameters, so
+/// a saved dataset is a few bytes per edge rather than terabytes and its
+/// reloaded feature bytes are bit-identical. Real feature data can be
+/// attached by backing a StorageArray with a file-based BlockDevice
+/// instead.
+///
+/// These functions let expensive proxies (and real imported graphs) be
+/// generated once and reloaded across benchmark runs.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+StatusOr<Dataset> LoadDataset(const std::string& path);
+
+/// Imports a graph from raw on-disk CSC arrays, the layout DGL/PyG
+/// exports produce: `indptr_path` holds num_nodes+1 little-endian int64
+/// offsets, `indices_path` holds num_edges little-endian int32 (or int64,
+/// auto-detected from file size) source node ids.
+StatusOr<CscGraph> LoadCscFromRawArrays(const std::string& indptr_path,
+                                        const std::string& indices_path);
+
+}  // namespace gids::graph
+
+#endif  // GIDS_GRAPH_SERIALIZATION_H_

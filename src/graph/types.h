@@ -1,0 +1,20 @@
+#ifndef GIDS_GRAPH_TYPES_H_
+#define GIDS_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace gids::graph {
+
+/// Node identifier. 32 bits is sufficient for the scaled dataset proxies
+/// (the full-scale terabyte graphs are represented by their generators'
+/// parameters, never materialized).
+using NodeId = uint32_t;
+
+/// Index into edge arrays (can exceed 2^32 for the largest proxies).
+using EdgeIdx = uint64_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+}  // namespace gids::graph
+
+#endif  // GIDS_GRAPH_TYPES_H_

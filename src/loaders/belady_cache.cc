@@ -1,0 +1,85 @@
+#include "loaders/belady_cache.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace gids::loaders {
+namespace {
+
+constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+}  // namespace
+
+BeladyCache::BeladyCache(uint64_t capacity_pages) : capacity_(capacity_pages) {
+  GIDS_CHECK(capacity_ > 0);
+}
+
+BeladyCache::SuperbatchResult BeladyCache::ProcessSuperbatch(
+    const std::vector<std::vector<uint64_t>>& iteration_pages) {
+  SuperbatchResult result;
+  result.hits_per_iteration.assign(iteration_pages.size(), 0);
+  result.misses_per_iteration.assign(iteration_pages.size(), 0);
+
+  // Flatten the trace and precompute, for each position, the next position
+  // at which the same page is accessed (kNever if none).
+  std::vector<uint64_t> trace;
+  std::vector<size_t> iter_of;
+  for (size_t it = 0; it < iteration_pages.size(); ++it) {
+    for (uint64_t p : iteration_pages[it]) {
+      trace.push_back(p);
+      iter_of.push_back(it);
+    }
+  }
+  std::vector<uint64_t> next_use(trace.size(), kNever);
+  std::unordered_map<uint64_t, uint64_t> last_seen;
+  last_seen.reserve(trace.size());
+  for (size_t i = trace.size(); i-- > 0;) {
+    auto it = last_seen.find(trace[i]);
+    next_use[i] = it == last_seen.end() ? kNever : it->second;
+    last_seen[trace[i]] = i;
+  }
+  // first occurrence of each page == last_seen after the backward scan.
+  const auto& first_occurrence = last_seen;
+
+  // Re-key carried-over residents by their next use in this superbatch.
+  // Max-heap of (next_use, page); entries are validated lazily against
+  // resident_'s current value.
+  std::priority_queue<std::pair<uint64_t, uint64_t>> heap;
+  for (auto& [page, key] : resident_) {
+    auto fo = first_occurrence.find(page);
+    key = fo == first_occurrence.end() ? kNever : fo->second;
+    heap.emplace(key, page);
+  }
+
+  for (size_t i = 0; i < trace.size(); ++i) {
+    uint64_t page = trace[i];
+    auto res = resident_.find(page);
+    if (res != resident_.end()) {
+      ++result.hits_per_iteration[iter_of[i]];
+      res->second = next_use[i];
+      heap.emplace(next_use[i], page);
+      continue;
+    }
+    ++result.misses_per_iteration[iter_of[i]];
+    if (resident_.size() >= capacity_) {
+      // Evict the resident page with the farthest next use.
+      for (;;) {
+        GIDS_CHECK(!heap.empty());
+        auto [key, victim] = heap.top();
+        heap.pop();
+        auto vit = resident_.find(victim);
+        if (vit != resident_.end() && vit->second == key) {
+          resident_.erase(vit);
+          break;
+        }
+      }
+    }
+    resident_.emplace(page, next_use[i]);
+    heap.emplace(next_use[i], page);
+  }
+  return result;
+}
+
+}  // namespace gids::loaders

@@ -1,0 +1,43 @@
+#ifndef GIDS_LOADERS_BELADY_CACHE_H_
+#define GIDS_LOADERS_BELADY_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace gids::loaders {
+
+/// Belady's (MIN) optimal cache over page accesses with superbatch
+/// look-ahead, modeling Ginex's provably-optimal in-memory feature cache
+/// (Park et al., VLDB'22; §5 of the GIDS paper).
+///
+/// Ginex samples a whole superbatch up front, so the exact future access
+/// sequence *within the superbatch* is known; eviction picks the resident
+/// page whose next use is farthest (pages with no further use in the
+/// superbatch evict first). Residency carries across superbatches.
+class BeladyCache {
+ public:
+  explicit BeladyCache(uint64_t capacity_pages);
+
+  uint64_t capacity_pages() const { return capacity_; }
+  uint64_t resident_pages() const { return resident_.size(); }
+
+  struct SuperbatchResult {
+    std::vector<uint64_t> hits_per_iteration;
+    std::vector<uint64_t> misses_per_iteration;
+  };
+
+  /// Processes one superbatch given the page trace of each iteration
+  /// (in execution order). Returns per-iteration hit/miss counts.
+  SuperbatchResult ProcessSuperbatch(
+      const std::vector<std::vector<uint64_t>>& iteration_pages);
+
+ private:
+  uint64_t capacity_;
+  // page -> generation marker (see .cc); value meaning is internal.
+  std::unordered_map<uint64_t, uint64_t> resident_;
+};
+
+}  // namespace gids::loaders
+
+#endif  // GIDS_LOADERS_BELADY_CACHE_H_

@@ -1,0 +1,79 @@
+#ifndef GIDS_LOADERS_DATALOADER_H_
+#define GIDS_LOADERS_DATALOADER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sampling/minibatch.h"
+#include "storage/feature_gather.h"
+
+namespace gids::loaders {
+
+/// Virtual-time cost breakdown of one training iteration, as produced by a
+/// dataloader. `e2e_ns` is the iteration's contribution to end-to-end wall
+/// time after the loader's own pipelining/overlap rules (so the sum of
+/// e2e_ns over iterations is the Fig. 13/14 metric, while the stage fields
+/// feed the Fig. 5 breakdown).
+struct IterationStats {
+  TimeNs sampling_ns = 0;
+  TimeNs aggregation_ns = 0;
+  TimeNs transfer_ns = 0;
+  TimeNs training_ns = 0;
+  TimeNs e2e_ns = 0;
+
+  storage::FeatureGatherCounts gather;
+  uint64_t sampled_edges = 0;
+  uint64_t input_nodes = 0;
+  /// Iterations whose data preparation was merged into this iteration's
+  /// aggregation kernel by the accumulator (1 = no merging).
+  uint32_t merged_group = 1;
+
+  double effective_bandwidth_bps = 0;  // feature bytes / aggregation time
+  double pcie_ingress_bps = 0;         // PCIe bytes / aggregation time
+
+  void Add(const IterationStats& o) {
+    sampling_ns += o.sampling_ns;
+    aggregation_ns += o.aggregation_ns;
+    transfer_ns += o.transfer_ns;
+    training_ns += o.training_ns;
+    e2e_ns += o.e2e_ns;
+    gather.Add(o.gather);
+    sampled_edges += o.sampled_edges;
+    input_nodes += o.input_nodes;
+  }
+};
+
+/// One prepared training iteration: the sampled computational graph, its
+/// gathered input features (empty in counting mode), and the virtual-time
+/// cost of producing and training on it.
+struct LoaderBatch {
+  sampling::MiniBatch batch;
+  std::vector<float> features;  // input_nodes x feature_dim (may be empty)
+  IterationStats stats;
+};
+
+/// Common interface of the four dataloaders under evaluation (DGL-mmap,
+/// Ginex, BaM, GIDS). Next() runs one full iteration — data preparation
+/// plus (modeled) training — and reports its cost; functional byte
+/// movement is controlled by each loader's counting_mode flag.
+class DataLoader {
+ public:
+  virtual ~DataLoader() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Prepares and accounts the next training iteration.
+  virtual StatusOr<LoaderBatch> Next() = 0;
+
+  /// Total virtual time elapsed across all iterations served.
+  virtual TimeNs elapsed_ns() const = 0;
+
+  virtual uint64_t iterations() const = 0;
+};
+
+}  // namespace gids::loaders
+
+#endif  // GIDS_LOADERS_DATALOADER_H_

@@ -1,0 +1,93 @@
+#include "loaders/mmap_loader.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gids::loaders {
+
+MmapLoader::MmapLoader(const graph::Dataset* dataset,
+                       sampling::Sampler* sampler,
+                       sampling::SeedIterator* seeds,
+                       const sim::SystemModel* system,
+                       MmapLoaderOptions options)
+    : dataset_(dataset),
+      sampler_(sampler),
+      seeds_(seeds),
+      system_(system),
+      options_(options) {
+  GIDS_CHECK(dataset_ != nullptr);
+  GIDS_CHECK(sampler_ != nullptr);
+  GIDS_CHECK(seeds_ != nullptr);
+  GIDS_CHECK(system_ != nullptr);
+
+  // The OS page cache gets whatever CPU memory the pinned graph structure
+  // leaves free (§2.3: structure in CPU memory, features mmap'd).
+  uint64_t cpu_bytes = system_->config().scaled_cpu_memory_bytes();
+  uint64_t structure = dataset_->structure_bytes();
+  uint64_t page_bytes = dataset_->features.page_bytes();
+  uint64_t cache_bytes =
+      cpu_bytes > structure ? cpu_bytes - structure : page_bytes;
+  uint64_t capacity_pages = std::max<uint64_t>(1, cache_bytes / page_bytes);
+  page_cache_ = std::make_unique<OsPageCache>(capacity_pages);
+}
+
+StatusOr<LoaderBatch> MmapLoader::Next() {
+  LoaderBatch out;
+  std::vector<graph::NodeId> seed_batch = seeds_->NextBatch();
+  out.batch = sampler_->Sample(seed_batch);
+
+  IterationStats& st = out.stats;
+  st.sampled_edges = out.batch.total_edges();
+  st.input_nodes = out.batch.num_input_nodes();
+  st.sampling_ns = system_->cpu().SamplingTime(
+      st.sampled_edges, dataset_->graph.structure_bytes());
+
+  // Feature aggregation via the mmap'd file: walk every page of every
+  // input node through the OS page cache model.
+  const graph::FeatureStore& fs = dataset_->features;
+  uint64_t hits = 0;
+  uint64_t faults = 0;
+  for (graph::NodeId v : out.batch.input_nodes()) {
+    auto range = fs.PagesFor(v);
+    for (uint64_t page = range.first; page <= range.last; ++page) {
+      if (page_cache_->Access(page)) {
+        ++hits;
+      } else {
+        ++faults;
+      }
+    }
+  }
+  st.gather.nodes = st.input_nodes;
+  st.gather.cpu_buffer_hits = hits;  // served from the OS page cache
+  st.gather.storage_reads = faults;
+  uint64_t batch_bytes = st.input_nodes * fs.feature_bytes_per_node();
+  st.aggregation_ns = system_->cpu().MmapGatherTime(
+      batch_bytes, faults, system_->config().ssd);
+  st.transfer_ns = system_->pcie().TransferTime(batch_bytes);
+  st.training_ns = system_->gpu().TrainTime(st.input_nodes);
+
+  // All stages serialize in the mmap pipeline (Fig. 5's stacked bars).
+  st.e2e_ns =
+      st.sampling_ns + st.aggregation_ns + st.transfer_ns + st.training_ns;
+  if (st.aggregation_ns > 0) {
+    st.effective_bandwidth_bps = static_cast<double>(batch_bytes) /
+                                 NsToSec(st.aggregation_ns);
+  }
+
+  if (!options_.counting_mode) {
+    out.features.resize(st.input_nodes * fs.feature_dim());
+    const auto& nodes = out.batch.input_nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      fs.FillFeature(nodes[i],
+                     std::span<float>(out.features.data() + i * fs.feature_dim(),
+                                      fs.feature_dim()));
+    }
+  }
+
+  elapsed_ns_ += st.e2e_ns;
+  ++iterations_;
+  return out;
+}
+
+}  // namespace gids::loaders

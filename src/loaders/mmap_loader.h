@@ -1,0 +1,52 @@
+#ifndef GIDS_LOADERS_MMAP_LOADER_H_
+#define GIDS_LOADERS_MMAP_LOADER_H_
+
+#include <memory>
+
+#include "graph/dataset.h"
+#include "loaders/dataloader.h"
+#include "loaders/os_page_cache.h"
+#include "sampling/sampler.h"
+#include "sampling/seed_iterator.h"
+#include "sim/system_model.h"
+
+namespace gids::loaders {
+
+/// The paper's baseline: the DGL dataloader extended to memory-mapped
+/// feature files (§2.3, Fig. 4). The CPU samples the graph (structure is
+/// pinned in CPU memory) and gathers features through an mmap'd NumPy
+/// array; missing pages fault synchronously through the OS into the page
+/// cache, and the gathered mini-batch is copied to the GPU over PCIe
+/// before training. All four stages are serial.
+struct MmapLoaderOptions {
+  /// Skip materializing feature bytes (timing/counting runs).
+  bool counting_mode = false;
+};
+
+class MmapLoader : public DataLoader {
+ public:
+  MmapLoader(const graph::Dataset* dataset, sampling::Sampler* sampler,
+             sampling::SeedIterator* seeds, const sim::SystemModel* system,
+             MmapLoaderOptions options = {});
+
+  std::string_view name() const override { return "DGL-mmap"; }
+  StatusOr<LoaderBatch> Next() override;
+  TimeNs elapsed_ns() const override { return elapsed_ns_; }
+  uint64_t iterations() const override { return iterations_; }
+
+  const OsPageCache& page_cache() const { return *page_cache_; }
+
+ private:
+  const graph::Dataset* dataset_;
+  sampling::Sampler* sampler_;
+  sampling::SeedIterator* seeds_;
+  const sim::SystemModel* system_;
+  MmapLoaderOptions options_;
+  std::unique_ptr<OsPageCache> page_cache_;
+  TimeNs elapsed_ns_ = 0;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace gids::loaders
+
+#endif  // GIDS_LOADERS_MMAP_LOADER_H_

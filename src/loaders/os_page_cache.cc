@@ -1,0 +1,27 @@
+#include "loaders/os_page_cache.h"
+
+namespace gids::loaders {
+
+OsPageCache::OsPageCache(uint64_t capacity_pages) : capacity_(capacity_pages) {
+  GIDS_CHECK(capacity_ > 0);
+}
+
+bool OsPageCache::Access(uint64_t page) {
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++faults_;
+  if (map_.size() >= capacity_) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return false;
+}
+
+}  // namespace gids::loaders

@@ -1,0 +1,56 @@
+#include "sampling/cluster_sampler.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace gids::sampling {
+
+ClusterGcnSampler::ClusterGcnSampler(const graph::CscGraph* graph,
+                                     graph::PartitionResult partition,
+                                     ClusterSamplerOptions options,
+                                     uint64_t seed)
+    : graph_(graph), partition_(std::move(partition)), options_(options),
+      rng_(seed) {
+  GIDS_CHECK(graph_ != nullptr);
+  GIDS_CHECK(options_.num_layers >= 1);
+  GIDS_CHECK(options_.clusters_per_batch >= 1);
+  GIDS_CHECK(options_.clusters_per_batch <= partition_.num_parts);
+  GIDS_CHECK(partition_.part_of.size() == graph_->num_nodes());
+}
+
+MiniBatch ClusterGcnSampler::Sample(std::span<const graph::NodeId>) {
+  // Pick distinct clusters uniformly at random.
+  std::vector<uint64_t> picks = SampleWithoutReplacement(
+      partition_.num_parts, options_.clusters_per_batch, rng_);
+
+  // Union of member nodes, with local ids.
+  std::vector<graph::NodeId> nodes;
+  std::unordered_map<graph::NodeId, uint32_t> local;
+  for (uint64_t c : picks) {
+    for (graph::NodeId v : partition_.members[c]) {
+      local.emplace(v, static_cast<uint32_t>(nodes.size()));
+      nodes.push_back(v);
+    }
+  }
+
+  // Induced-subgraph edges (src and dst both inside the cluster union).
+  Block block;
+  block.src_nodes = nodes;
+  block.num_dst = static_cast<uint32_t>(nodes.size());
+  for (uint32_t d = 0; d < nodes.size(); ++d) {
+    for (graph::NodeId u : graph_->in_neighbors(nodes[d])) {
+      auto it = local.find(u);
+      if (it == local.end()) continue;  // edge cut by the partition
+      block.edge_src.push_back(it->second);
+      block.edge_dst.push_back(d);
+    }
+  }
+
+  MiniBatch batch;
+  batch.seeds = nodes;
+  batch.blocks.assign(options_.num_layers, block);
+  return batch;
+}
+
+}  // namespace gids::sampling

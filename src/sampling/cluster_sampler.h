@@ -1,0 +1,54 @@
+#ifndef GIDS_SAMPLING_CLUSTER_SAMPLER_H_
+#define GIDS_SAMPLING_CLUSTER_SAMPLER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csc_graph.h"
+#include "graph/partition.h"
+#include "sampling/sampler.h"
+
+namespace gids::sampling {
+
+/// Cluster-GCN-style subgraph sampling (Chiang et al., KDD'19; discussed
+/// in §4.7). The graph is pre-partitioned into clusters; each mini-batch
+/// is the subgraph induced by a random selection of `clusters_per_batch`
+/// clusters, and every GNN layer runs over the same induced subgraph.
+///
+/// The paper skips evaluating this family because METIS partitioning is
+/// impractical at IGB scale; this implementation pairs it with the O(V+E)
+/// BFS partitioner (graph/partition.h) as the extension experiment.
+///
+/// Sample() ignores its `seeds` argument (Cluster-GCN batches are chosen
+/// by cluster, not by seed list); the induced subgraph's nodes become the
+/// batch's seeds.
+struct ClusterSamplerOptions {
+  uint32_t clusters_per_batch = 1;
+  /// Number of GNN layers; each layer gets an identical induced-subgraph
+  /// block.
+  int num_layers = 3;
+};
+
+class ClusterGcnSampler : public Sampler {
+ public:
+  ClusterGcnSampler(const graph::CscGraph* graph,
+                    graph::PartitionResult partition,
+                    ClusterSamplerOptions options, uint64_t seed = 0xc1057e2);
+
+  std::string_view name() const override { return "Cluster-GCN"; }
+  int num_layers() const override { return options_.num_layers; }
+
+  MiniBatch Sample(std::span<const graph::NodeId> seeds) override;
+
+  const graph::PartitionResult& partition() const { return partition_; }
+
+ private:
+  const graph::CscGraph* graph_;
+  graph::PartitionResult partition_;
+  ClusterSamplerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace gids::sampling
+
+#endif  // GIDS_SAMPLING_CLUSTER_SAMPLER_H_

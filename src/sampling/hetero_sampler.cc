@@ -1,0 +1,88 @@
+#include "sampling/hetero_sampler.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace gids::sampling {
+
+HeteroNeighborSampler::HeteroNeighborSampler(
+    const graph::CscGraph* graph, std::vector<graph::NodeTypeInfo> node_types,
+    HeteroSamplerOptions options, uint64_t seed)
+    : graph_(graph),
+      node_types_(std::move(node_types)),
+      options_(std::move(options)),
+      rng_(seed) {
+  GIDS_CHECK(graph_ != nullptr);
+  GIDS_CHECK(!node_types_.empty());
+  GIDS_CHECK(!options_.fanouts.empty());
+  // Type ranges must be contiguous and cover the graph.
+  graph::NodeId covered = 0;
+  for (const auto& t : node_types_) {
+    GIDS_CHECK(t.offset == covered);
+    covered += t.count;
+  }
+  GIDS_CHECK(covered == graph_->num_nodes());
+  for (const auto& layer : options_.fanouts) {
+    GIDS_CHECK(layer.size() == node_types_.size());
+    for (int f : layer) GIDS_CHECK(f >= 0);
+  }
+}
+
+size_t HeteroNeighborSampler::TypeOf(graph::NodeId v) const {
+  GIDS_DCHECK(v < graph_->num_nodes());
+  // Few types (<= ~8): linear scan beats binary search.
+  for (size_t i = 0; i < node_types_.size(); ++i) {
+    if (v < node_types_[i].offset + node_types_[i].count) return i;
+  }
+  GIDS_CHECK(false);
+  return 0;
+}
+
+MiniBatch HeteroNeighborSampler::Sample(
+    std::span<const graph::NodeId> seeds) {
+  MiniBatch batch;
+  batch.seeds.assign(seeds.begin(), seeds.end());
+
+  std::vector<graph::NodeId> frontier(seeds.begin(), seeds.end());
+  std::vector<Block> blocks_seedward;
+
+  for (const std::vector<int>& layer_fanouts : options_.fanouts) {
+    Block block;
+    block.num_dst = static_cast<uint32_t>(frontier.size());
+    block.src_nodes = frontier;
+
+    std::unordered_map<graph::NodeId, uint32_t> local;
+    local.reserve(frontier.size() * 4);
+    for (uint32_t i = 0; i < frontier.size(); ++i) local[frontier[i]] = i;
+
+    for (uint32_t d = 0; d < block.num_dst; ++d) {
+      graph::NodeId v = frontier[d];
+      int fanout = layer_fanouts[TypeOf(v)];
+      if (fanout == 0) continue;  // this type is not expanded at this hop
+      auto nbrs = graph_->in_neighbors(v);
+      if (nbrs.empty()) continue;
+      auto emit = [&](graph::NodeId u) {
+        auto [it, inserted] = local.try_emplace(
+            u, static_cast<uint32_t>(block.src_nodes.size()));
+        if (inserted) block.src_nodes.push_back(u);
+        block.edge_src.push_back(it->second);
+        block.edge_dst.push_back(d);
+      };
+      if (nbrs.size() <= static_cast<size_t>(fanout)) {
+        for (graph::NodeId u : nbrs) emit(u);
+      } else {
+        std::vector<uint64_t> picks = SampleWithoutReplacement(
+            nbrs.size(), static_cast<uint64_t>(fanout), rng_);
+        for (uint64_t p : picks) emit(nbrs[p]);
+      }
+    }
+    frontier = block.src_nodes;
+    blocks_seedward.push_back(std::move(block));
+  }
+
+  batch.blocks.assign(blocks_seedward.rbegin(), blocks_seedward.rend());
+  return batch;
+}
+
+}  // namespace gids::sampling

@@ -1,0 +1,50 @@
+#ifndef GIDS_SAMPLING_HETERO_SAMPLER_H_
+#define GIDS_SAMPLING_HETERO_SAMPLER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csc_graph.h"
+#include "graph/dataset.h"
+#include "sampling/sampler.h"
+
+namespace gids::sampling {
+
+/// Neighborhood sampling for heterogeneous graphs (IGBH-Full, MAG240M):
+/// the fan-out applied when expanding a destination node depends on that
+/// node's type, mirroring DGL's per-edge-type fanout dicts. Node types
+/// are the contiguous id ranges of graph::NodeTypeInfo (paper/author/
+/// institute/fos in the IGBH proxy).
+struct HeteroSamplerOptions {
+  /// fanouts[layer][type_index]: maximum sampled in-neighbors of a
+  /// destination node of that type at that hop (seed-hop first). Every
+  /// inner vector must have one entry per node type.
+  std::vector<std::vector<int>> fanouts;
+};
+
+class HeteroNeighborSampler : public Sampler {
+ public:
+  HeteroNeighborSampler(const graph::CscGraph* graph,
+                        std::vector<graph::NodeTypeInfo> node_types,
+                        HeteroSamplerOptions options, uint64_t seed = 0x4e7e);
+
+  std::string_view name() const override { return "hetero-neighborhood"; }
+  int num_layers() const override {
+    return static_cast<int>(options_.fanouts.size());
+  }
+
+  MiniBatch Sample(std::span<const graph::NodeId> seeds) override;
+
+  /// Index into node_types for a node id (by range lookup).
+  size_t TypeOf(graph::NodeId v) const;
+
+ private:
+  const graph::CscGraph* graph_;
+  std::vector<graph::NodeTypeInfo> node_types_;
+  HeteroSamplerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace gids::sampling
+
+#endif  // GIDS_SAMPLING_HETERO_SAMPLER_H_

@@ -1,0 +1,87 @@
+#include "sampling/ladies_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace gids::sampling {
+
+LadiesSampler::LadiesSampler(const graph::CscGraph* graph,
+                             LadiesSamplerOptions options, uint64_t seed)
+    : graph_(graph), options_(std::move(options)), rng_(seed) {
+  GIDS_CHECK(graph_ != nullptr);
+  GIDS_CHECK(!options_.layer_sizes.empty());
+  for (uint32_t s : options_.layer_sizes) GIDS_CHECK(s > 0);
+}
+
+MiniBatch LadiesSampler::Sample(std::span<const graph::NodeId> seeds) {
+  MiniBatch batch;
+  batch.seeds.assign(seeds.begin(), seeds.end());
+
+  std::vector<graph::NodeId> frontier(seeds.begin(), seeds.end());
+  std::vector<Block> blocks_seedward;
+
+  for (uint32_t budget : options_.layer_sizes) {
+    // Importance weights over the union of in-neighborhoods.
+    std::unordered_map<graph::NodeId, double> weight;
+    weight.reserve(frontier.size() * 8);
+    for (graph::NodeId v : frontier) {
+      auto nbrs = graph_->in_neighbors(v);
+      if (nbrs.empty()) continue;
+      double w = 1.0 / static_cast<double>(nbrs.size());
+      double w2 = w * w;
+      for (graph::NodeId u : nbrs) weight[u] += w2;
+    }
+
+    // Weighted sampling without replacement (Efraimidis-Spirakis keys):
+    // keep the `budget` candidates with the smallest -log(U)/w.
+    std::vector<std::pair<double, graph::NodeId>> keyed;
+    keyed.reserve(weight.size());
+    for (const auto& [u, w] : weight) {
+      double uniform = rng_.UniformDouble();
+      if (uniform <= 0.0) uniform = 1e-300;
+      keyed.emplace_back(-std::log(uniform) / w, u);
+    }
+    uint32_t take = std::min<uint32_t>(budget, keyed.size());
+    std::partial_sort(keyed.begin(), keyed.begin() + take, keyed.end());
+
+    std::unordered_set<graph::NodeId> sampled;
+    sampled.reserve(take * 2);
+    for (uint32_t i = 0; i < take; ++i) sampled.insert(keyed[i].second);
+
+    // Build the block: dst = current frontier, srcs = frontier (self) plus
+    // sampled nodes with at least one edge into the frontier.
+    Block block;
+    block.num_dst = static_cast<uint32_t>(frontier.size());
+    block.src_nodes = frontier;
+    std::unordered_map<graph::NodeId, uint32_t> local;
+    local.reserve(frontier.size() + sampled.size());
+    for (uint32_t i = 0; i < frontier.size(); ++i) local[frontier[i]] = i;
+
+    for (uint32_t d = 0; d < block.num_dst; ++d) {
+      for (graph::NodeId u : graph_->in_neighbors(frontier[d])) {
+        if (!sampled.count(u)) continue;
+        auto [it, inserted] = local.try_emplace(
+            u, static_cast<uint32_t>(block.src_nodes.size()));
+        if (inserted) block.src_nodes.push_back(u);
+        block.edge_src.push_back(it->second);
+        block.edge_dst.push_back(d);
+      }
+    }
+
+    frontier = options_.include_self
+                   ? block.src_nodes
+                   : std::vector<graph::NodeId>(
+                         block.src_nodes.begin() + block.num_dst,
+                         block.src_nodes.end());
+    blocks_seedward.push_back(std::move(block));
+  }
+
+  batch.blocks.assign(blocks_seedward.rbegin(), blocks_seedward.rend());
+  return batch;
+}
+
+}  // namespace gids::sampling

@@ -1,0 +1,47 @@
+#ifndef GIDS_SAMPLING_LADIES_SAMPLER_H_
+#define GIDS_SAMPLING_LADIES_SAMPLER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csc_graph.h"
+#include "sampling/sampler.h"
+
+namespace gids::sampling {
+
+/// LADIES layer-dependent importance sampling (Zou et al., NeurIPS'19;
+/// §4.7 of the GIDS paper). Instead of sampling neighbors per node, each
+/// layer samples a fixed budget of nodes for the *whole layer* from the
+/// union of the current layer's in-neighborhoods, with probability
+/// proportional to the squared row-normalized adjacency column:
+///     p(u) ∝ Σ_{v in layer} (1 / in_degree(v))^2  over edges (u -> v).
+/// Sampled nodes are connected to every current-layer node they neighbor.
+struct LadiesSamplerOptions {
+  /// Per-layer node budgets, seed-hop first (like fanouts).
+  std::vector<uint32_t> layer_sizes;
+  /// Keep current-layer nodes in the next layer's source set (standard
+  /// LADIES keeps them so self information propagates).
+  bool include_self = true;
+};
+
+class LadiesSampler : public Sampler {
+ public:
+  LadiesSampler(const graph::CscGraph* graph, LadiesSamplerOptions options,
+                uint64_t seed = 0x1ad1e5);
+
+  std::string_view name() const override { return "LADIES"; }
+  int num_layers() const override {
+    return static_cast<int>(options_.layer_sizes.size());
+  }
+
+  MiniBatch Sample(std::span<const graph::NodeId> seeds) override;
+
+ private:
+  const graph::CscGraph* graph_;
+  LadiesSamplerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace gids::sampling
+
+#endif  // GIDS_SAMPLING_LADIES_SAMPLER_H_

@@ -1,0 +1,60 @@
+#ifndef GIDS_SAMPLING_MINIBATCH_H_
+#define GIDS_SAMPLING_MINIBATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gids::sampling {
+
+/// One layer of a sampled computational graph (a DGL-style message-flow
+/// block). Destination nodes are the first `num_dst` entries of
+/// `src_nodes`, so a node's own representation is always available to the
+/// next layer (GraphSAGE's self term).
+struct Block {
+  std::vector<graph::NodeId> src_nodes;  // dst nodes first, then new srcs
+  uint32_t num_dst = 0;
+  /// Edges in local coordinates: edge_src[i] indexes src_nodes,
+  /// edge_dst[i] indexes the dst prefix [0, num_dst).
+  std::vector<uint32_t> edge_src;
+  std::vector<uint32_t> edge_dst;
+
+  uint64_t num_edges() const { return edge_src.size(); }
+};
+
+/// A sampled mini-batch: `blocks[0]` is the input-most layer (its
+/// src_nodes are the nodes whose features must be gathered) and
+/// `blocks.back()`'s dst prefix equals the seeds.
+struct MiniBatch {
+  std::vector<graph::NodeId> seeds;
+  std::vector<Block> blocks;
+
+  /// Nodes whose feature vectors the aggregation stage must fetch.
+  const std::vector<graph::NodeId>& input_nodes() const {
+    return blocks.front().src_nodes;
+  }
+
+  uint64_t num_input_nodes() const {
+    return blocks.empty() ? 0 : blocks.front().src_nodes.size();
+  }
+
+  /// Edge count per block, input-most first (used by the sampling timing
+  /// models).
+  std::vector<uint64_t> LayerEdgeCounts() const {
+    std::vector<uint64_t> counts;
+    counts.reserve(blocks.size());
+    for (const Block& b : blocks) counts.push_back(b.num_edges());
+    return counts;
+  }
+
+  uint64_t total_edges() const {
+    uint64_t total = 0;
+    for (const Block& b : blocks) total += b.num_edges();
+    return total;
+  }
+};
+
+}  // namespace gids::sampling
+
+#endif  // GIDS_SAMPLING_MINIBATCH_H_

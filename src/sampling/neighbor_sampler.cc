@@ -1,0 +1,63 @@
+#include "sampling/neighbor_sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace gids::sampling {
+
+NeighborSampler::NeighborSampler(const graph::CscGraph* graph,
+                                 NeighborSamplerOptions options, uint64_t seed)
+    : graph_(graph), options_(std::move(options)), rng_(seed) {
+  GIDS_CHECK(graph_ != nullptr);
+  GIDS_CHECK(!options_.fanouts.empty());
+  for (int f : options_.fanouts) GIDS_CHECK(f > 0);
+}
+
+MiniBatch NeighborSampler::Sample(std::span<const graph::NodeId> seeds) {
+  MiniBatch batch;
+  batch.seeds.assign(seeds.begin(), seeds.end());
+
+  // Expand outward from the seeds; blocks are produced seed-layer first
+  // and reversed at the end so blocks[0] is input-most.
+  std::vector<graph::NodeId> frontier(seeds.begin(), seeds.end());
+  std::vector<Block> blocks_seedward;
+
+  for (int fanout : options_.fanouts) {
+    Block block;
+    block.num_dst = static_cast<uint32_t>(frontier.size());
+    block.src_nodes = frontier;  // dst prefix
+
+    std::unordered_map<graph::NodeId, uint32_t> local;
+    local.reserve(frontier.size() * (fanout + 1));
+    for (uint32_t i = 0; i < frontier.size(); ++i) local[frontier[i]] = i;
+
+    for (uint32_t d = 0; d < block.num_dst; ++d) {
+      graph::NodeId v = frontier[d];
+      auto nbrs = graph_->in_neighbors(v);
+      if (nbrs.empty()) continue;
+      auto emit = [&](graph::NodeId u) {
+        auto [it, inserted] =
+            local.try_emplace(u, static_cast<uint32_t>(block.src_nodes.size()));
+        if (inserted) block.src_nodes.push_back(u);
+        block.edge_src.push_back(it->second);
+        block.edge_dst.push_back(d);
+      };
+      if (nbrs.size() <= static_cast<size_t>(fanout)) {
+        for (graph::NodeId u : nbrs) emit(u);
+      } else {
+        std::vector<uint64_t> picks = SampleWithoutReplacement(
+            nbrs.size(), static_cast<uint64_t>(fanout), rng_);
+        for (uint64_t p : picks) emit(nbrs[p]);
+      }
+    }
+    frontier = block.src_nodes;  // next hop expands every node seen so far
+    blocks_seedward.push_back(std::move(block));
+  }
+
+  batch.blocks.assign(blocks_seedward.rbegin(), blocks_seedward.rend());
+  return batch;
+}
+
+}  // namespace gids::sampling

@@ -1,0 +1,40 @@
+#ifndef GIDS_SAMPLING_NEIGHBOR_SAMPLER_H_
+#define GIDS_SAMPLING_NEIGHBOR_SAMPLER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csc_graph.h"
+#include "sampling/sampler.h"
+
+namespace gids::sampling {
+
+/// GraphSAGE-style uniform neighborhood sampling (§2.2.2): each hop
+/// uniformly samples up to `fanouts[l]` in-neighbors of every frontier
+/// node without replacement. `fanouts` is ordered seed-hop first, e.g.
+/// {5, 5} samples 5 neighbors of each seed, then 5 of each of those.
+struct NeighborSamplerOptions {
+  std::vector<int> fanouts;
+};
+
+class NeighborSampler : public Sampler {
+ public:
+  NeighborSampler(const graph::CscGraph* graph,
+                  NeighborSamplerOptions options, uint64_t seed = 0x5a3e);
+
+  std::string_view name() const override { return "neighborhood"; }
+  int num_layers() const override {
+    return static_cast<int>(options_.fanouts.size());
+  }
+
+  MiniBatch Sample(std::span<const graph::NodeId> seeds) override;
+
+ private:
+  const graph::CscGraph* graph_;
+  NeighborSamplerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace gids::sampling
+
+#endif  // GIDS_SAMPLING_NEIGHBOR_SAMPLER_H_

@@ -1,0 +1,30 @@
+#ifndef GIDS_SAMPLING_SAMPLER_H_
+#define GIDS_SAMPLING_SAMPLER_H_
+
+#include <span>
+#include <string_view>
+
+#include "graph/types.h"
+#include "sampling/minibatch.h"
+
+namespace gids::sampling {
+
+/// Interface shared by the sampling strategies (uniform neighborhood
+/// sampling and LADIES layer-wise sampling). Samplers are deterministic in
+/// their construction seed; the same seed and seed-node sequence yields the
+/// same mini-batches regardless of which dataloader drives them, which is
+/// what makes cross-dataloader comparisons apples-to-apples.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual int num_layers() const = 0;
+
+  /// Builds the computational graph for one batch of seed nodes.
+  virtual MiniBatch Sample(std::span<const graph::NodeId> seeds) = 0;
+};
+
+}  // namespace gids::sampling
+
+#endif  // GIDS_SAMPLING_SAMPLER_H_

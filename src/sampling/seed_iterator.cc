@@ -1,0 +1,33 @@
+#include "sampling/seed_iterator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gids::sampling {
+
+SeedIterator::SeedIterator(std::vector<graph::NodeId> train_ids,
+                           uint32_t batch_size, uint64_t seed)
+    : train_ids_(std::move(train_ids)), batch_size_(batch_size), rng_(seed) {
+  GIDS_CHECK(!train_ids_.empty());
+  GIDS_CHECK(batch_size_ > 0);
+  ShuffleEpoch();
+}
+
+void SeedIterator::ShuffleEpoch() { Shuffle(train_ids_, rng_); }
+
+std::vector<graph::NodeId> SeedIterator::NextBatch() {
+  if (cursor_ >= train_ids_.size()) {
+    cursor_ = 0;
+    ++epoch_;
+    ShuffleEpoch();
+  }
+  size_t end = std::min(cursor_ + batch_size_, train_ids_.size());
+  std::vector<graph::NodeId> batch(train_ids_.begin() + cursor_,
+                                   train_ids_.begin() + end);
+  cursor_ = end;
+  ++batches_served_;
+  return batch;
+}
+
+}  // namespace gids::sampling

@@ -1,0 +1,44 @@
+#ifndef GIDS_SAMPLING_SEED_ITERATOR_H_
+#define GIDS_SAMPLING_SEED_ITERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/types.h"
+
+namespace gids::sampling {
+
+/// Cycles through the training node ids in shuffled mini-batches,
+/// reshuffling at each epoch boundary (standard mini-batch SGD order,
+/// §2.2.1). Deterministic in its seed.
+class SeedIterator {
+ public:
+  SeedIterator(std::vector<graph::NodeId> train_ids, uint32_t batch_size,
+               uint64_t seed = 0x5eed);
+
+  uint32_t batch_size() const { return batch_size_; }
+  uint64_t batches_served() const { return batches_served_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t batches_per_epoch() const {
+    return (train_ids_.size() + batch_size_ - 1) / batch_size_;
+  }
+
+  /// Returns the next batch of seed nodes (the final batch of an epoch may
+  /// be short).
+  std::vector<graph::NodeId> NextBatch();
+
+ private:
+  void ShuffleEpoch();
+
+  std::vector<graph::NodeId> train_ids_;
+  uint32_t batch_size_;
+  Rng rng_;
+  size_t cursor_ = 0;
+  uint64_t batches_served_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace gids::sampling
+
+#endif  // GIDS_SAMPLING_SEED_ITERATOR_H_

@@ -1,0 +1,59 @@
+#ifndef GIDS_SIM_AGGREGATION_MODEL_H_
+#define GIDS_SIM_AGGREGATION_MODEL_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "sim/system_model.h"
+
+namespace gids::sim {
+
+/// Inputs to the timing model for one feature-aggregation kernel execution
+/// (possibly covering several accumulator-merged iterations). All counts
+/// are produced *functionally* by the dataloaders — real cache lookups,
+/// real redirect decisions — never estimated.
+struct AggregationCounts {
+  uint64_t gpu_cache_hits = 0;   // served from the HBM software cache
+  uint64_t cpu_buffer_hits = 0;  // redirected to the constant CPU buffer
+  uint64_t ssd_reads = 0;        // storage accesses (cache-line granularity)
+  uint32_t page_bytes = 4096;
+
+  /// Concurrent node accesses the loader keeps in flight during this
+  /// execution (the accumulator's accumulated access count; without the
+  /// accumulator this is just the single iteration's access count).
+  uint64_t outstanding_accesses = 0;
+
+  uint64_t total_requests() const {
+    return gpu_cache_hits + cpu_buffer_hits + ssd_reads;
+  }
+};
+
+/// Timing breakdown for one aggregation kernel execution.
+struct AggregationTiming {
+  TimeNs total_ns = 0;
+  TimeNs ssd_ns = 0;        // storage path completion time (incl. T_i/T_t)
+  TimeNs pcie_floor_ns = 0; // lower bound from total PCIe ingress bytes
+  TimeNs hbm_ns = 0;        // cache-hit service time
+
+  double ssd_bandwidth_bps = 0;     // achieved SSD array read bandwidth
+  double pcie_ingress_bps = 0;      // Fig. 9 metric
+  double effective_bandwidth_bps = 0;  // Fig. 10 metric: all feature bytes/t
+
+  uint64_t pcie_ingress_bytes = 0;
+  uint64_t feature_bytes = 0;
+};
+
+/// Computes the duration of one aggregation kernel execution.
+///
+/// The three service paths run concurrently on the GPU (different warps
+/// issue to SSD, copy from pinned CPU memory, and read the HBM cache), so
+/// the execution time is the maximum of the per-path times and the shared
+/// PCIe-link floor. Redirecting accesses to the CPU buffer steals warp
+/// slots from the SSD submission path, modeled by
+/// SystemConfig::redirect_interference (§4.3).
+AggregationTiming ComputeAggregationTiming(const SystemModel& system,
+                                           const AggregationCounts& counts);
+
+}  // namespace gids::sim
+
+#endif  // GIDS_SIM_AGGREGATION_MODEL_H_

@@ -1,0 +1,61 @@
+#include "sim/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gids::sim {
+
+double ModelAchievedIops(const SsdSpec& spec, uint64_t n_access,
+                         const AccumulatorModelParams& params) {
+  GIDS_CHECK(params.n_ssd > 0);
+  if (n_access == 0) return 0;
+  double n = static_cast<double>(n_access);
+  double n_ssd = static_cast<double>(params.n_ssd);
+  double ts = n / (spec.peak_read_iops * n_ssd);
+  double total =
+      NsToSec(params.initial_ns) + ts + NsToSec(params.termination_ns);
+  return n / (n_ssd * total);
+}
+
+double ModelAchievedBandwidthBps(const SsdSpec& spec, uint64_t n_access,
+                                 const AccumulatorModelParams& params) {
+  return ModelAchievedIops(spec, n_access, params) *
+         static_cast<double>(spec.io_size_bytes) *
+         static_cast<double>(params.n_ssd);
+}
+
+uint64_t RequiredOverlappingAccesses(const SsdSpec& spec,
+                                     double target_fraction,
+                                     const AccumulatorModelParams& params) {
+  GIDS_CHECK(target_fraction > 0 && target_fraction < 1);
+  double overhead =
+      NsToSec(params.initial_ns) + NsToSec(params.termination_ns);
+  double n = target_fraction / (1.0 - target_fraction) * spec.peak_read_iops *
+             static_cast<double>(params.n_ssd) * overhead;
+  return static_cast<uint64_t>(std::ceil(n));
+}
+
+SsdBatchResult EstimateClosedLoop(const SsdSpec& spec, int n_ssd, uint64_t n,
+                                  uint64_t concurrency) {
+  GIDS_CHECK(n_ssd > 0);
+  SsdBatchResult r;
+  r.requests = n;
+  if (n == 0) return r;
+  concurrency = std::max<uint64_t>(concurrency, 1);
+  double window_per_ssd =
+      static_cast<double>(concurrency) / static_cast<double>(n_ssd);
+  double per_ssd_iops =
+      std::min(spec.peak_read_iops, window_per_ssd / NsToSec(spec.read_latency_ns));
+  double aggregate_iops = per_ssd_iops * static_cast<double>(n_ssd);
+  // Pipeline ramp: the first window of requests still pays full latency.
+  double secs =
+      static_cast<double>(n) / aggregate_iops + NsToSec(spec.read_latency_ns);
+  r.duration_ns = SecToNs(secs);
+  r.achieved_iops = static_cast<double>(n) / secs;
+  r.bandwidth_bps = r.achieved_iops * static_cast<double>(spec.io_size_bytes);
+  return r;
+}
+
+}  // namespace gids::sim

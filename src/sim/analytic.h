@@ -1,0 +1,58 @@
+#ifndef GIDS_SIM_ANALYTIC_H_
+#define GIDS_SIM_ANALYTIC_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "sim/ssd_model.h"
+
+namespace gids::sim {
+
+/// The paper's analytic model of storage-access overlap (§3.2, Eq. 2-3).
+///
+/// A feature-aggregation kernel has three phases: an initial phase T_i
+/// (kernel launch until the first page arrives), a steady state T_s at peak
+/// IOPs, and a termination phase T_t. With N_access requests spread over
+/// N_ssd devices:
+///
+///     T_s          = N_access / (IOP_peak * N_ssd)             (Eq. 3)
+///     IOP_achieved = N_access / (N_ssd * (T_i + T_s + T_t))    (Eq. 2)
+///
+/// The paper uses T_i = 25 us (kernel launch + initial software overheads)
+/// and T_t = 5 us for its validation in §4.2.
+struct AccumulatorModelParams {
+  TimeNs initial_ns = UsToNs(25);      // T_i
+  TimeNs termination_ns = UsToNs(5);   // T_t
+  int n_ssd = 1;
+};
+
+/// Per-SSD achieved IOPs predicted by Eq. 2-3 when `n_access` overlapping
+/// requests are maintained.
+double ModelAchievedIops(const SsdSpec& spec, uint64_t n_access,
+                         const AccumulatorModelParams& params);
+
+/// Aggregate achieved read bandwidth (bytes/sec) across all SSDs predicted
+/// by the model.
+double ModelAchievedBandwidthBps(const SsdSpec& spec, uint64_t n_access,
+                                 const AccumulatorModelParams& params);
+
+/// Inverts the model: the smallest N_access for which the per-SSD achieved
+/// IOPs reaches `target_fraction` (e.g. 0.95) of peak. This is the
+/// threshold the dynamic storage access accumulator maintains.
+///
+/// Solving Eq. 2-3 for IOP_achieved = f * IOP_peak gives
+///     N_access = f / (1 - f) * IOP_peak * N_ssd * (T_i + T_t).
+uint64_t RequiredOverlappingAccesses(const SsdSpec& spec,
+                                     double target_fraction,
+                                     const AccumulatorModelParams& params);
+
+/// Fast closed-form estimate of a closed-loop batch (used by the pipeline
+/// timing path where running the event-driven simulation for every
+/// iteration would be wasteful). Matches SsdModel::SimulateClosedLoop
+/// asymptotics: per-SSD throughput min(peak, window / latency).
+SsdBatchResult EstimateClosedLoop(const SsdSpec& spec, int n_ssd, uint64_t n,
+                                  uint64_t concurrency);
+
+}  // namespace gids::sim
+
+#endif  // GIDS_SIM_ANALYTIC_H_

@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gids::sim {
+
+void EventQueue::ScheduleAt(TimeNs when, Callback cb) {
+  GIDS_CHECK(when >= now_);
+  events_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::ScheduleAfter(TimeNs delay, Callback cb) {
+  GIDS_CHECK(delay >= 0);
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+TimeNs EventQueue::RunUntilIdle() {
+  while (!events_.empty()) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ev.cb(now_);
+  }
+  return now_;
+}
+
+TimeNs EventQueue::RunUntil(TimeNs deadline) {
+  while (!events_.empty() && events_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ev.cb(now_);
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace gids::sim

@@ -1,0 +1,59 @@
+#ifndef GIDS_SIM_EVENT_QUEUE_H_
+#define GIDS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace gids::sim {
+
+/// Minimal discrete-event simulation engine: a time-ordered queue of
+/// callbacks. Events scheduled for the same timestamp run in FIFO order
+/// (stable via a monotonically increasing sequence number), which keeps the
+/// simulation deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void(TimeNs now)>;
+
+  /// Schedules `cb` to run at absolute virtual time `when` (>= now).
+  void ScheduleAt(TimeNs when, Callback cb);
+
+  /// Schedules `cb` to run `delay` after the current time.
+  void ScheduleAfter(TimeNs delay, Callback cb);
+
+  /// Runs events until the queue is empty. Returns the time of the last
+  /// event executed (or the current time if none ran).
+  TimeNs RunUntilIdle();
+
+  /// Runs events with timestamp <= deadline. Returns the new current time
+  /// (== deadline if the queue still has later events).
+  TimeNs RunUntil(TimeNs deadline);
+
+  TimeNs now() const { return now_; }
+  size_t pending() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  struct Event {
+    TimeNs when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace gids::sim
+
+#endif  // GIDS_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,47 @@
+#include "sim/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gids::sim {
+
+TimeNs GpuModel::SamplingLayerTime(uint64_t edges,
+                                   uint64_t structure_bytes) const {
+  if (edges == 0) return spec_.kernel_launch_ns;
+  double miss_prob = 0.0;
+  if (structure_bytes > spec_.llc_bytes) {
+    miss_prob = 1.0 - static_cast<double>(spec_.llc_bytes) /
+                          static_cast<double>(structure_bytes);
+  }
+  double per_edge =
+      spec_.edge_sample_base_ns + miss_prob * spec_.uva_edge_penalty_ns;
+  double occupancy =
+      std::max(spec_.min_occupancy,
+               std::min(1.0, static_cast<double>(edges) /
+                                 static_cast<double>(
+                                     spec_.occupancy_saturation_edges)));
+  double ns = per_edge * static_cast<double>(edges) / occupancy;
+  return spec_.kernel_launch_ns + static_cast<TimeNs>(std::llround(ns));
+}
+
+TimeNs GpuModel::SamplingTime(const uint64_t* layer_edges, int layers,
+                              uint64_t structure_bytes) const {
+  TimeNs total = 0;
+  for (int l = 0; l < layers; ++l) {
+    total += SamplingLayerTime(layer_edges[l], structure_bytes);
+  }
+  return total;
+}
+
+TimeNs GpuModel::TrainTime(uint64_t feature_vectors) const {
+  double secs =
+      static_cast<double>(feature_vectors) / spec_.train_consume_rate;
+  return spec_.kernel_launch_ns + SecToNs(secs);
+}
+
+TimeNs GpuModel::RequestGenTime(uint64_t n) const {
+  double secs = static_cast<double>(n) / spec_.prep_request_rate;
+  return SecToNs(secs);
+}
+
+}  // namespace gids::sim

@@ -1,0 +1,161 @@
+#include "sim/pipeline_des.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+
+namespace gids::sim {
+namespace {
+
+// GPU-sampling look-ahead window for the decoupled policy (how many
+// future iterations the accumulator may prepare ahead of training).
+constexpr size_t kDecoupledLookahead = 16;
+
+struct Scheduler {
+  std::vector<TaskInterval>* timeline;
+
+  TimeNs Run(TimeNs& resource_free, TimeNs ready, TimeNs duration,
+             TimeNs* busy, TaskInterval::Resource resource,
+             const char* stage, uint32_t iteration) {
+    TimeNs start = std::max(resource_free, ready);
+    resource_free = start + duration;
+    *busy += duration;
+    if (timeline != nullptr && duration > 0) {
+      timeline->push_back(TaskInterval{resource, stage, iteration, start,
+                                       resource_free});
+    }
+    return resource_free;  // completion time
+  }
+};
+
+}  // namespace
+
+PipelineResult SimulatePipeline(std::span<const StageCosts> iterations,
+                                PipelinePolicy policy,
+                                std::vector<TaskInterval>* timeline) {
+  PipelineResult result;
+  const size_t n = iterations.size();
+  if (n == 0) return result;
+
+  TimeNs cpu_free = 0;
+  TimeNs io_free = 0;
+  TimeNs gpu_free = 0;
+  Scheduler sched{timeline};
+  using R = TaskInterval::Resource;
+
+  switch (policy) {
+    case PipelinePolicy::kSerial: {
+      TimeNs t = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const StageCosts& it = iterations[i];
+        uint32_t idx = static_cast<uint32_t>(i);
+        t = sched.Run(cpu_free, t, it.sampling_ns, &result.cpu_busy_ns,
+                      R::kCpu, "sampling", idx);
+        t = sched.Run(io_free, t, it.aggregation_ns + it.transfer_ns,
+                      &result.io_busy_ns, R::kIo, "aggregation+transfer",
+                      idx);
+        t = sched.Run(gpu_free, t, it.training_ns, &result.gpu_busy_ns,
+                      R::kGpu, "training", idx);
+      }
+      result.makespan_ns = t;
+      break;
+    }
+
+    case PipelinePolicy::kPrepOverlapsAggregation: {
+      TimeNs end = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const StageCosts& it = iterations[i];
+        uint32_t idx = static_cast<uint32_t>(i);
+        // CPU samples iteration i as soon as the CPU is free (runs ahead
+        // of aggregation/training of earlier iterations).
+        TimeNs sampled = sched.Run(cpu_free, 0, it.sampling_ns,
+                                   &result.cpu_busy_ns, R::kCpu, "sampling",
+                                   idx);
+        TimeNs transferred =
+            sched.Run(io_free, sampled, it.aggregation_ns + it.transfer_ns,
+                      &result.io_busy_ns, R::kIo, "aggregation+transfer",
+                      idx);
+        end = sched.Run(gpu_free, transferred, it.training_ns,
+                        &result.gpu_busy_ns, R::kGpu, "training", idx);
+      }
+      result.makespan_ns = end;
+      break;
+    }
+
+    case PipelinePolicy::kDecoupled: {
+      std::vector<TimeNs> sampled(n, 0);
+      size_t next_sample = 0;
+      TimeNs end = 0;
+      for (size_t i = 0; i < n; ++i) {
+        // GPU sampling kernels run ahead up to the look-ahead window,
+        // FIFO with training kernels on the same GPU.
+        size_t horizon = std::min(n, i + kDecoupledLookahead);
+        for (; next_sample < horizon; ++next_sample) {
+          sampled[next_sample] = sched.Run(
+              gpu_free, 0, iterations[next_sample].sampling_ns,
+              &result.gpu_busy_ns, R::kGpu, "sampling",
+              static_cast<uint32_t>(next_sample));
+        }
+        TimeNs aggregated = sched.Run(
+            io_free, sampled[i],
+            iterations[i].aggregation_ns + iterations[i].transfer_ns,
+            &result.io_busy_ns, R::kIo, "aggregation+transfer",
+            static_cast<uint32_t>(i));
+        end = sched.Run(gpu_free, aggregated, iterations[i].training_ns,
+                        &result.gpu_busy_ns, R::kGpu, "training",
+                        static_cast<uint32_t>(i));
+      }
+      result.makespan_ns = end;
+      break;
+    }
+  }
+  GIDS_CHECK(result.makespan_ns >= 0);
+  return result;
+}
+
+Status WriteChromeTrace(std::span<const TaskInterval> timeline,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> closer(f, &std::fclose);
+
+  auto track = [](TaskInterval::Resource r) {
+    switch (r) {
+      case TaskInterval::Resource::kCpu:
+        return 1;
+      case TaskInterval::Resource::kIo:
+        return 2;
+      case TaskInterval::Resource::kGpu:
+        return 3;
+    }
+    return 0;
+  };
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  std::fprintf(f,
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"args\":{\"name\":\"GIDS pipeline (virtual time)\"}},\n");
+  const char* names[] = {"", "CPU", "Storage+PCIe", "GPU"};
+  for (int tid = 1; tid <= 3; ++tid) {
+    std::fprintf(f,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%d,\"args\":{\"name\":\"%s\"}},\n",
+                 tid, names[tid]);
+  }
+  for (size_t i = 0; i < timeline.size(); ++i) {
+    const TaskInterval& t = timeline[i];
+    // Chrome tracing uses microseconds.
+    std::fprintf(f,
+                 "{\"name\":\"%s #%u\",\"cat\":\"stage\",\"ph\":\"X\","
+                 "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}%s\n",
+                 t.stage, t.iteration, track(t.resource),
+                 NsToUs(t.start_ns), NsToUs(t.end_ns - t.start_ns),
+                 i + 1 == timeline.size() ? "" : ",");
+  }
+  std::fprintf(f, "]}\n");
+  if (std::fflush(f) != 0) return Status::IoError("flush failed");
+  return Status::OK();
+}
+
+}  // namespace gids::sim

@@ -1,0 +1,90 @@
+#ifndef GIDS_SIM_PIPELINE_DES_H_
+#define GIDS_SIM_PIPELINE_DES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace gids::sim {
+
+/// Per-iteration stage costs fed to the pipeline simulator (taken from
+/// loaders::IterationStats).
+struct StageCosts {
+  TimeNs sampling_ns = 0;
+  TimeNs aggregation_ns = 0;
+  TimeNs transfer_ns = 0;
+  TimeNs training_ns = 0;
+};
+
+/// How a dataloader's stages may overlap across iterations.
+enum class PipelinePolicy {
+  /// DGL-mmap: every stage of iteration i completes before iteration i+1
+  /// starts (single synchronous loop).
+  kSerial,
+  /// Ginex: CPU sampling (+changeset) of future iterations overlaps the
+  /// aggregation/transfer/training of earlier ones (superbatch
+  /// pipelining); aggregation of i needs sampling of i.
+  kPrepOverlapsAggregation,
+  /// GIDS with the accumulator: GPU sampling and training share the GPU
+  /// (serialize with each other); storage aggregation runs concurrently
+  /// on the SSD/PCIe path; training of i needs aggregation of i.
+  kDecoupled,
+};
+
+/// Resource-level schedule of the whole run.
+struct PipelineResult {
+  TimeNs makespan_ns = 0;
+  TimeNs cpu_busy_ns = 0;   // host-side prep work
+  TimeNs io_busy_ns = 0;    // storage + PCIe aggregation/transfer path
+  TimeNs gpu_busy_ns = 0;   // GPU compute (sampling-on-GPU + training)
+
+  double cpu_utilization() const {
+    return makespan_ns == 0 ? 0
+                            : static_cast<double>(cpu_busy_ns) / makespan_ns;
+  }
+  double io_utilization() const {
+    return makespan_ns == 0 ? 0
+                            : static_cast<double>(io_busy_ns) / makespan_ns;
+  }
+  double gpu_utilization() const {
+    return makespan_ns == 0 ? 0
+                            : static_cast<double>(gpu_busy_ns) / makespan_ns;
+  }
+};
+
+/// One scheduled stage execution on a resource (for timeline export).
+struct TaskInterval {
+  enum class Resource : uint8_t { kCpu, kIo, kGpu };
+  Resource resource;
+  const char* stage;  // "sampling" | "aggregation+transfer" | "training"
+  uint32_t iteration;
+  TimeNs start_ns;
+  TimeNs end_ns;
+};
+
+/// List-schedules the iterations' stages over three resources under the
+/// policy's dependency rules and returns the makespan plus per-resource
+/// busy time. This is the discrete-event cross-check for the analytic
+/// per-iteration e2e accounting inside the dataloaders: the loaders'
+/// summed e2e_ns should approximate this makespan (see
+/// PipelineDesTest.*, bench_abl_pipeline_validation).
+///
+/// If `timeline` is non-null, every scheduled stage is appended to it in
+/// schedule order (zero-duration stages are skipped).
+PipelineResult SimulatePipeline(std::span<const StageCosts> iterations,
+                                PipelinePolicy policy,
+                                std::vector<TaskInterval>* timeline = nullptr);
+
+/// Writes a timeline as a Chrome-tracing JSON file (load via
+/// chrome://tracing or https://ui.perfetto.dev): one track per resource,
+/// one slice per stage execution. Returns IoError on write failure.
+Status WriteChromeTrace(std::span<const TaskInterval> timeline,
+                        const std::string& path);
+
+}  // namespace gids::sim
+
+#endif  // GIDS_SIM_PIPELINE_DES_H_

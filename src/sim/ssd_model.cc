@@ -1,0 +1,121 @@
+#include "sim/ssd_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gids::sim {
+
+uint64_t SsdSpec::internal_parallelism() const {
+  double k = peak_read_iops * NsToSec(read_latency_ns);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(k)));
+}
+
+SsdSpec SsdSpec::IntelOptane() {
+  SsdSpec s;
+  s.name = "Intel Optane SSD";
+  s.peak_read_iops = 1.5e6;
+  s.read_latency_ns = UsToNs(11);
+  s.latency_sigma = 0.20;
+  return s;
+}
+
+SsdSpec SsdSpec::Samsung980Pro() {
+  SsdSpec s;
+  s.name = "Samsung 980 Pro";
+  s.peak_read_iops = 700e3;
+  s.read_latency_ns = UsToNs(324);
+  s.latency_sigma = 0.30;
+  return s;
+}
+
+SsdModel::SsdModel(SsdSpec spec, uint64_t seed) : spec_(std::move(spec)) {
+  rng_.Seed(seed ^ 0x55dc0de5d15ull);
+}
+
+TimeNs SsdModel::SampleServiceTime() {
+  if (spec_.latency_sigma <= 0) return spec_.read_latency_ns;
+  // Lognormal with mean == read_latency_ns: X = L * exp(sigma*Z - sigma^2/2).
+  double sigma = spec_.latency_sigma;
+  double z = rng_.Normal();
+  double factor = std::exp(sigma * z - 0.5 * sigma * sigma);
+  double t = static_cast<double>(spec_.read_latency_ns) * factor;
+  return std::max<TimeNs>(1, static_cast<TimeNs>(t));
+}
+
+SsdBatchResult SsdModel::SimulateBurst(uint64_t n) {
+  return SimulateClosedLoop(n, n);
+}
+
+SsdBatchResult SsdModel::SimulateClosedLoop(uint64_t n, uint64_t concurrency) {
+  SsdBatchResult result;
+  result.requests = n;
+  if (n == 0) return result;
+  GIDS_CHECK(concurrency > 0);
+
+  const uint64_t k = spec_.internal_parallelism();
+  // Each of the k channels becomes free at heap top; requests beyond the
+  // closed-loop window are admitted only when an earlier request completes.
+  std::priority_queue<TimeNs, std::vector<TimeNs>, std::greater<TimeNs>>
+      channel_free;
+  for (uint64_t i = 0; i < k; ++i) channel_free.push(0);
+
+  // Completion times of in-window requests, min-heap: the closed loop
+  // admits request i at the completion time of request i - concurrency.
+  std::priority_queue<TimeNs, std::vector<TimeNs>, std::greater<TimeNs>>
+      window;
+  TimeNs last_completion = 0;
+
+  for (uint64_t i = 0; i < n; ++i) {
+    TimeNs submit = 0;
+    if (i >= concurrency) {
+      submit = window.top();
+      window.pop();
+    }
+    TimeNs channel = channel_free.top();
+    channel_free.pop();
+    TimeNs start = std::max(submit, channel);
+    TimeNs done = start + SampleServiceTime();
+    channel_free.push(done);
+    window.push(done);
+    last_completion = std::max(last_completion, done);
+  }
+
+  result.duration_ns = last_completion;
+  double secs = NsToSec(result.duration_ns);
+  result.achieved_iops = secs > 0 ? static_cast<double>(n) / secs : 0;
+  result.bandwidth_bps =
+      result.achieved_iops * static_cast<double>(spec_.io_size_bytes);
+  return result;
+}
+
+SsdBatchResult SimulateStripedClosedLoop(const SsdSpec& spec, int n_ssd,
+                                         uint64_t n, uint64_t concurrency,
+                                         uint64_t seed) {
+  GIDS_CHECK(n_ssd > 0);
+  SsdBatchResult agg;
+  agg.requests = n;
+  if (n == 0) return agg;
+  uint64_t per_ssd_conc =
+      std::max<uint64_t>(1, concurrency / static_cast<uint64_t>(n_ssd));
+  TimeNs max_duration = 0;
+  for (int d = 0; d < n_ssd; ++d) {
+    uint64_t share = n / static_cast<uint64_t>(n_ssd) +
+                     (static_cast<uint64_t>(d) < n % n_ssd ? 1 : 0);
+    if (share == 0) continue;
+    SsdModel model(spec, seed + static_cast<uint64_t>(d) * 0x9e37ull);
+    SsdBatchResult r = model.SimulateClosedLoop(share, per_ssd_conc);
+    max_duration = std::max(max_duration, r.duration_ns);
+  }
+  agg.duration_ns = max_duration;
+  double secs = NsToSec(max_duration);
+  agg.achieved_iops = secs > 0 ? static_cast<double>(n) / secs : 0;
+  agg.bandwidth_bps =
+      agg.achieved_iops * static_cast<double>(spec.io_size_bytes);
+  return agg;
+}
+
+}  // namespace gids::sim

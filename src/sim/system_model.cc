@@ -1,0 +1,20 @@
+#include "sim/system_model.h"
+
+namespace gids::sim {
+
+SystemConfig SystemConfig::Paper(SsdSpec ssd_spec, int n_ssd) {
+  SystemConfig c;
+  c.ssd = std::move(ssd_spec);
+  c.n_ssd = n_ssd;
+  return c;
+}
+
+SystemModel::SystemModel(SystemConfig config)
+    : config_(std::move(config)),
+      cpu_(config_.cpu),
+      gpu_(config_.gpu),
+      pcie_(LinkModel::PcieGen4x16()),
+      dram_(LinkModel::Ddr4Epyc()),
+      hbm_(LinkModel::HbmA100()) {}
+
+}  // namespace gids::sim

@@ -1,0 +1,37 @@
+#ifndef GIDS_SIM_VIRTUAL_CLOCK_H_
+#define GIDS_SIM_VIRTUAL_CLOCK_H_
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace gids::sim {
+
+/// Authoritative virtual timeline for one experiment run. All durations
+/// produced by the device models are accumulated here; wall-clock time never
+/// enters any measurement.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  TimeNs now() const { return now_; }
+
+  /// Advances the clock by `delta` (must be non-negative).
+  void Advance(TimeNs delta) {
+    GIDS_CHECK(delta >= 0);
+    now_ += delta;
+  }
+
+  /// Moves the clock forward to `t` if `t` is later than now.
+  void AdvanceTo(TimeNs t) {
+    if (t > now_) now_ = t;
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  TimeNs now_ = 0;
+};
+
+}  // namespace gids::sim
+
+#endif  // GIDS_SIM_VIRTUAL_CLOCK_H_

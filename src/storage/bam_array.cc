@@ -1,0 +1,49 @@
+#include "storage/bam_array.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace gids::storage {
+
+BamArray::BamArray(StorageArray* storage, SoftwareCache* cache)
+    : storage_(storage), cache_(cache) {
+  GIDS_CHECK(storage_ != nullptr);
+  if (cache_ != nullptr) {
+    GIDS_CHECK(cache_->line_bytes() == storage_->page_bytes());
+  }
+}
+
+Status BamArray::ReadPage(uint64_t page, std::span<std::byte> out,
+                          GatherCounts* counts) {
+  GIDS_CHECK(counts != nullptr);
+  if (out.size() != page_bytes()) {
+    return Status::InvalidArgument("output size must equal page size");
+  }
+  if (cache_ != nullptr) {
+    if (const std::byte* line = cache_->Lookup(page)) {
+      std::memcpy(out.data(), line, page_bytes());
+      ++counts->cache_hits;
+      return Status::OK();
+    }
+  }
+  GIDS_RETURN_IF_ERROR(storage_->ReadPage(page, out));
+  ++counts->storage_reads;
+  if (cache_ != nullptr) {
+    cache_->Insert(page, out);
+  }
+  return Status::OK();
+}
+
+void BamArray::TouchPage(uint64_t page, GatherCounts* counts) {
+  GIDS_CHECK(counts != nullptr);
+  if (cache_ != nullptr && cache_->Touch(page)) {
+    ++counts->cache_hits;
+    return;
+  }
+  storage_->NoteRead(page);
+  ++counts->storage_reads;
+  if (cache_ != nullptr) cache_->InsertMeta(page);
+}
+
+}  // namespace gids::storage

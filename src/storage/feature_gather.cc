@@ -1,0 +1,97 @@
+#include "storage/feature_gather.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace gids::storage {
+
+FeatureGatherer::FeatureGatherer(const graph::FeatureStore* layout,
+                                 BamArray* array,
+                                 const HotNodeBuffer* hot_buffer)
+    : layout_(layout), array_(array), hot_buffer_(hot_buffer) {
+  GIDS_CHECK(layout_ != nullptr);
+  GIDS_CHECK(array_ != nullptr);
+  GIDS_CHECK(layout_->page_bytes() == array_->page_bytes());
+  page_buf_.resize(layout_->page_bytes());
+}
+
+Status FeatureGatherer::Gather(std::span<const graph::NodeId> nodes,
+                               std::span<float> out,
+                               FeatureGatherCounts* counts) {
+  GIDS_CHECK(counts != nullptr);
+  const uint32_t dim = layout_->feature_dim();
+  if (out.size() < nodes.size() * dim) {
+    return Status::InvalidArgument("output buffer too small");
+  }
+  const uint64_t page_bytes = layout_->page_bytes();
+  const uint64_t feat_bytes = layout_->feature_bytes_per_node();
+
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    graph::NodeId v = nodes[i];
+    if (v >= layout_->num_nodes()) {
+      return Status::OutOfRange("node id beyond feature store");
+    }
+    ++counts->nodes;
+    std::span<float> row = out.subspan(i * dim, dim);
+
+    if (hot_buffer_ != nullptr && hot_buffer_->Contains(v)) {
+      hot_buffer_->Fill(v, row);
+      // Account the same page-granularity traffic this node would have
+      // cost on the storage path, now crossing PCIe from host DRAM.
+      counts->cpu_buffer_hits += layout_->PagesFor(v).count();
+      continue;
+    }
+
+    // Assemble the feature vector from its storage page(s).
+    auto range = layout_->PagesFor(v);
+    uint64_t node_begin = layout_->ByteOffset(v);
+    std::byte* row_bytes = reinterpret_cast<std::byte*>(row.data());
+    for (uint64_t page = range.first; page <= range.last; ++page) {
+      GatherCounts gc;
+      GIDS_RETURN_IF_ERROR(array_->ReadPage(
+          page, std::span<std::byte>(page_buf_.data(), page_bytes), &gc));
+      counts->gpu_cache_hits += gc.cache_hits;
+      counts->storage_reads += gc.storage_reads;
+      uint64_t page_begin = page * page_bytes;
+      uint64_t lo = std::max(node_begin, page_begin);
+      uint64_t hi = std::min(node_begin + feat_bytes, page_begin + page_bytes);
+      std::memcpy(row_bytes + (lo - node_begin),
+                  page_buf_.data() + (lo - page_begin), hi - lo);
+    }
+  }
+  return Status::OK();
+}
+
+Status FeatureGatherer::GatherCountsOnly(
+    std::span<const graph::NodeId> nodes, FeatureGatherCounts* counts) {
+  GIDS_CHECK(counts != nullptr);
+  for (graph::NodeId v : nodes) {
+    if (v >= layout_->num_nodes()) {
+      return Status::OutOfRange("node id beyond feature store");
+    }
+    ++counts->nodes;
+    auto range = layout_->PagesFor(v);
+    if (hot_buffer_ != nullptr && hot_buffer_->Contains(v)) {
+      counts->cpu_buffer_hits += range.count();
+      continue;
+    }
+    for (uint64_t page = range.first; page <= range.last; ++page) {
+      GatherCounts gc;
+      array_->TouchPage(page, &gc);
+      counts->gpu_cache_hits += gc.cache_hits;
+      counts->storage_reads += gc.storage_reads;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<float>> FeatureGatherer::Gather(
+    std::span<const graph::NodeId> nodes, FeatureGatherCounts* counts) {
+  std::vector<float> out(nodes.size() * layout_->feature_dim());
+  GIDS_RETURN_IF_ERROR(Gather(nodes, std::span<float>(out), counts));
+  return out;
+}
+
+}  // namespace gids::storage

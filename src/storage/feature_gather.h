@@ -1,0 +1,81 @@
+#ifndef GIDS_STORAGE_FEATURE_GATHER_H_
+#define GIDS_STORAGE_FEATURE_GATHER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/feature_store.h"
+#include "graph/types.h"
+#include "storage/bam_array.h"
+
+namespace gids::storage {
+
+/// Interface for a host-pinned hot-node feature buffer (implemented by
+/// core::ConstantCpuBuffer). Gathers check it before touching the cache or
+/// storage: hot nodes are served from CPU memory over PCIe (§3.3).
+class HotNodeBuffer {
+ public:
+  virtual ~HotNodeBuffer() = default;
+  virtual bool Contains(graph::NodeId node) const = 0;
+  /// Copies the node's feature vector into `out` (size >= feature_dim).
+  virtual void Fill(graph::NodeId node, std::span<float> out) const = 0;
+};
+
+/// Traffic counts for one feature gather, keyed by service path. These are
+/// the functional inputs to sim::ComputeAggregationTiming; one "request"
+/// is one storage-page-sized access (so nodes with page-spanning features
+/// count more than once, matching the paper's I/O accounting).
+struct FeatureGatherCounts {
+  uint64_t nodes = 0;
+  uint64_t cpu_buffer_hits = 0;  // page-equivalents served from CPU buffer
+  uint64_t gpu_cache_hits = 0;
+  uint64_t storage_reads = 0;
+
+  uint64_t total_page_requests() const {
+    return cpu_buffer_hits + gpu_cache_hits + storage_reads;
+  }
+  void Add(const FeatureGatherCounts& o) {
+    nodes += o.nodes;
+    cpu_buffer_hits += o.cpu_buffer_hits;
+    gpu_cache_hits += o.gpu_cache_hits;
+    storage_reads += o.storage_reads;
+  }
+};
+
+/// Gathers node feature vectors through the BaM path: constant CPU buffer
+/// (optional) -> GPU software cache -> SSD array. Output rows are float32
+/// feature vectors in the order of `nodes`.
+class FeatureGatherer {
+ public:
+  /// `hot_buffer` may be null (plain BaM gather).
+  FeatureGatherer(const graph::FeatureStore* layout, BamArray* array,
+                  const HotNodeBuffer* hot_buffer = nullptr);
+
+  const graph::FeatureStore& layout() const { return *layout_; }
+
+  /// Gathers features for `nodes` into `out` (size >= nodes.size() * dim).
+  Status Gather(std::span<const graph::NodeId> nodes, std::span<float> out,
+                FeatureGatherCounts* counts);
+
+  /// Convenience: gather into a freshly allocated buffer.
+  StatusOr<std::vector<float>> Gather(std::span<const graph::NodeId> nodes,
+                                      FeatureGatherCounts* counts);
+
+  /// Counting-mode gather: identical cache/CPU-buffer/storage decisions
+  /// and counts, no payload movement. Used where only the traffic counts
+  /// feed the timing models (terabyte-scale benchmark runs).
+  Status GatherCountsOnly(std::span<const graph::NodeId> nodes,
+                          FeatureGatherCounts* counts);
+
+ private:
+  const graph::FeatureStore* layout_;
+  BamArray* array_;
+  const HotNodeBuffer* hot_buffer_;
+  std::vector<std::byte> page_buf_;
+};
+
+}  // namespace gids::storage
+
+#endif  // GIDS_STORAGE_FEATURE_GATHER_H_

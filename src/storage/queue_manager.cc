@@ -1,0 +1,33 @@
+#include "storage/queue_manager.h"
+
+#include "common/check.h"
+
+namespace gids::storage {
+
+QueueManager::QueueManager(uint32_t num_queues, uint32_t depth_per_queue)
+    : depth_per_queue_(depth_per_queue) {
+  GIDS_CHECK(num_queues > 0);
+  GIDS_CHECK(depth_per_queue > 0);
+  queues_.reserve(num_queues);
+  for (uint32_t i = 0; i < num_queues; ++i) {
+    queues_.emplace_back(depth_per_queue);
+  }
+}
+
+Status QueueManager::RoundTrip(uint64_t lba) {
+  IoQueuePair& q = queues_[cursor_];
+  cursor_ = (cursor_ + 1) % queues_.size();
+  uint64_t tag = next_tag_++;
+  GIDS_RETURN_IF_ERROR(q.Submit(IoRequest{.lba = lba, .tag = tag}));
+  // Device side services the command immediately (latency is accounted by
+  // the timing models, not here).
+  auto popped = q.PopSubmitted(1);
+  GIDS_CHECK(popped.size() == 1);
+  q.Complete(popped[0].tag);
+  auto done = q.PollCompletion();
+  GIDS_CHECK(done.has_value() && *done == tag);
+  ++total_submissions_;
+  return Status::OK();
+}
+
+}  // namespace gids::storage

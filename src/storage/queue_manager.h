@@ -1,0 +1,48 @@
+#ifndef GIDS_STORAGE_QUEUE_MANAGER_H_
+#define GIDS_STORAGE_QUEUE_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/io_queue.h"
+
+namespace gids::storage {
+
+/// The per-GPU set of NVMe submission/completion queue pairs that BaM
+/// threads drive directly (BaM allocates queues in GPU memory and shards
+/// them across thread blocks). Requests are spread round-robin; the
+/// aggregate queue depth bounds how many storage accesses can be in
+/// flight, which caps what the accumulator can usefully maintain.
+class QueueManager {
+ public:
+  QueueManager(uint32_t num_queues, uint32_t depth_per_queue);
+
+  uint32_t num_queues() const {
+    return static_cast<uint32_t>(queues_.size());
+  }
+  uint32_t depth_per_queue() const { return depth_per_queue_; }
+  uint64_t total_depth() const {
+    return static_cast<uint64_t>(queues_.size()) * depth_per_queue_;
+  }
+
+  /// Functionally drives one read through a queue pair: submit on the
+  /// round-robin queue, device pops and completes, completion reaped.
+  /// The data plane is synchronous (bytes move in StorageArray); this
+  /// exercises the admission path and counts doorbell traffic.
+  Status RoundTrip(uint64_t lba);
+
+  uint64_t total_submissions() const { return total_submissions_; }
+  const IoQueuePair& queue(uint32_t i) const { return queues_[i]; }
+
+ private:
+  uint32_t depth_per_queue_;
+  std::vector<IoQueuePair> queues_;
+  uint32_t cursor_ = 0;
+  uint64_t total_submissions_ = 0;
+  uint64_t next_tag_ = 0;
+};
+
+}  // namespace gids::storage
+
+#endif  // GIDS_STORAGE_QUEUE_MANAGER_H_

@@ -1,0 +1,149 @@
+#include "storage/software_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace gids::storage {
+
+SoftwareCache::SoftwareCache(uint64_t capacity_bytes, uint32_t line_bytes,
+                             uint64_t seed, bool store_payloads)
+    : store_payloads_(store_payloads), line_bytes_(line_bytes), rng_(seed) {
+  GIDS_CHECK(line_bytes > 0);
+  uint64_t capacity_lines = capacity_bytes / line_bytes;
+  GIDS_CHECK(capacity_lines > 0);
+  lines_.resize(capacity_lines);
+  if (store_payloads_) data_.resize(capacity_lines * line_bytes);
+  index_.reserve(capacity_lines * 2);
+  free_slots_.reserve(capacity_lines);
+  for (size_t s = capacity_lines; s-- > 0;) free_slots_.push_back(s);
+}
+
+const std::byte* SoftwareCache::Lookup(uint64_t page) {
+  GIDS_CHECK(store_payloads_);
+  ++stats_.lookups;
+  auto it = index_.find(page);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    // A missing access still consumes one registered future reuse: the
+    // window counted this very access when the mini-batch entered the
+    // look-ahead window. Without this, miss-path counters never drain and
+    // lines pin forever.
+    ConsumeReuse(page, kNoSlot);
+    return nullptr;
+  }
+  ++stats_.hits;
+  ConsumeReuse(page, it->second);
+  return data_.data() + it->second * line_bytes_;
+}
+
+bool SoftwareCache::Touch(uint64_t page) {
+  ++stats_.lookups;
+  auto it = index_.find(page);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    ConsumeReuse(page, kNoSlot);
+    return false;
+  }
+  ++stats_.hits;
+  ConsumeReuse(page, it->second);
+  return true;
+}
+
+void SoftwareCache::ConsumeReuse(uint64_t page, size_t slot) {
+  auto reuse = future_reuse_.find(page);
+  if (reuse == future_reuse_.end()) return;
+  if (reuse->second > 0) --reuse->second;
+  if (reuse->second == 0) {
+    future_reuse_.erase(reuse);
+    if (slot != kNoSlot && lines_[slot].state == LineState::kUse) {
+      lines_[slot].state = LineState::kSafeToEvict;
+    }
+  }
+}
+
+size_t SoftwareCache::AcquireSlot(uint64_t page) {
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    // Random eviction with bounded probing: skip USE (pinned) lines.
+    bool found = false;
+    slot = 0;
+    for (int probe = 0; probe < max_probes_; ++probe) {
+      size_t candidate = rng_.UniformInt(lines_.size());
+      if (lines_[candidate].state == LineState::kSafeToEvict) {
+        slot = candidate;
+        found = true;
+        break;
+      }
+      ++stats_.pinned_probe_skips;
+    }
+    if (!found) {
+      ++stats_.bypasses;
+      return static_cast<size_t>(-1);
+    }
+    index_.erase(lines_[slot].page);
+    ++stats_.evictions;
+  }
+  lines_[slot].page = page;
+  uint32_t reuse = FutureReuseCount(page);
+  lines_[slot].state = reuse > 0 ? LineState::kUse : LineState::kSafeToEvict;
+  index_.emplace(page, slot);
+  ++stats_.insertions;
+  return slot;
+}
+
+bool SoftwareCache::Insert(uint64_t page, std::span<const std::byte> payload) {
+  GIDS_CHECK(store_payloads_);
+  GIDS_CHECK(payload.size() == line_bytes_);
+  auto it = index_.find(page);
+  if (it != index_.end()) {
+    std::memcpy(data_.data() + it->second * line_bytes_, payload.data(),
+                line_bytes_);
+    return true;
+  }
+  size_t slot = AcquireSlot(page);
+  if (slot == static_cast<size_t>(-1)) return false;
+  std::memcpy(data_.data() + slot * line_bytes_, payload.data(), line_bytes_);
+  return true;
+}
+
+bool SoftwareCache::InsertMeta(uint64_t page) {
+  if (index_.count(page) > 0) return true;
+  return AcquireSlot(page) != static_cast<size_t>(-1);
+}
+
+void SoftwareCache::AddFutureReuse(uint64_t page, uint32_t count) {
+  if (count == 0) return;
+  uint32_t& counter = future_reuse_[page];
+  counter += count;
+  auto it = index_.find(page);
+  if (it != index_.end()) {
+    lines_[it->second].state = LineState::kUse;
+  }
+}
+
+void SoftwareCache::ClearFutureReuse() {
+  future_reuse_.clear();
+  for (auto& line : lines_) {
+    if (line.state == LineState::kUse) line.state = LineState::kSafeToEvict;
+  }
+}
+
+uint64_t SoftwareCache::pinned_lines() const {
+  uint64_t n = 0;
+  for (const auto& line : lines_) {
+    if (line.state == LineState::kUse) ++n;
+  }
+  return n;
+}
+
+uint32_t SoftwareCache::FutureReuseCount(uint64_t page) const {
+  auto it = future_reuse_.find(page);
+  return it == future_reuse_.end() ? 0 : it->second;
+}
+
+}  // namespace gids::storage

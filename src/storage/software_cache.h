@@ -1,0 +1,144 @@
+#ifndef GIDS_STORAGE_SOFTWARE_CACHE_H_
+#define GIDS_STORAGE_SOFTWARE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace gids::storage {
+
+/// Per-line state of the BaM application-defined software cache (§3.4).
+/// "USE" lines hold feature vectors with a positive future-reuse counter
+/// (window buffering) and are skipped by eviction; "Safe to Evict" lines
+/// are fair game for the random eviction policy.
+enum class LineState : uint8_t {
+  kEmpty = 0,
+  kSafeToEvict = 1,
+  kUse = 2,
+};
+
+struct CacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t pinned_probe_skips = 0;  // eviction probe landed on a USE line
+  uint64_t bypasses = 0;            // no evictable line found; not cached
+
+  double HitRatio() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// BaM's application-defined GPU software cache with a customizable
+/// eviction policy — the substrate the GIDS window-buffering technique
+/// plugs into.
+///
+/// The cache is fully associative over fixed-size lines (4 KiB storage
+/// pages by default). The default eviction policy is BaM's random
+/// eviction: a bounded number of random probes looks for a line in the
+/// "Safe to Evict" state; if all probes land on pinned (USE) lines the
+/// insertion is bypassed (the paper's cache-line contention case, §3.4).
+///
+/// Window buffering drives the USE/Safe-to-Evict transitions through
+/// AddFutureReuse (look-ahead registration, Fig. 6 steps 3-5) and the
+/// consume-on-access decrement inside Lookup (Fig. 6's counter drain).
+///
+/// Line payloads are stored so gathers served from the cache are
+/// byte-checkable against the backing device.
+class SoftwareCache {
+ public:
+  /// `store_payloads` = false builds a metadata-only cache (same hits,
+  /// misses, eviction and pinning behaviour, no line payload memory); used
+  /// by the counting-mode gather path that drives the large-scale timing
+  /// benchmarks. Payload accessors (Lookup/Insert) require payload mode;
+  /// Touch/InsertMeta work in both.
+  SoftwareCache(uint64_t capacity_bytes, uint32_t line_bytes,
+                uint64_t seed = 0xcac4e, bool store_payloads = true);
+
+  uint64_t capacity_lines() const { return lines_.size(); }
+  uint32_t line_bytes() const { return line_bytes_; }
+  uint64_t resident_lines() const { return index_.size(); }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+  /// Looks up `page`. On a hit, returns the cached payload and (if the
+  /// line has a positive future-reuse counter) consumes one reuse: when
+  /// the counter drains to zero the line transitions back to Safe to
+  /// Evict. Returns nullptr on miss.
+  const std::byte* Lookup(uint64_t page);
+
+  /// True if `page` is resident (no stats or reuse-counter side effects).
+  bool Contains(uint64_t page) const { return index_.count(page) > 0; }
+
+  /// Metadata-mode lookup: identical hit/miss/reuse semantics to Lookup
+  /// but returns only whether the page was resident.
+  bool Touch(uint64_t page);
+
+  /// Metadata-mode insert: identical placement/eviction semantics to
+  /// Insert without a payload. Returns true if resident after the call.
+  bool InsertMeta(uint64_t page);
+
+  bool store_payloads() const { return store_payloads_; }
+
+  /// Inserts `page` with the given payload (size == line_bytes). If the
+  /// cache is full, random probing evicts a Safe-to-Evict victim; after
+  /// `max_probes` pinned probes the insertion is bypassed. Inserting a
+  /// resident page refreshes its payload.
+  /// Returns true if the page is resident after the call.
+  bool Insert(uint64_t page, std::span<const std::byte> payload);
+
+  /// Window buffering: registers `count` future reuses of `page`. Applies
+  /// to the resident line immediately, or is remembered and applied if the
+  /// page is inserted while reuses remain outstanding.
+  void AddFutureReuse(uint64_t page, uint32_t count);
+
+  /// Clears all future-reuse counters (dropping all pins).
+  void ClearFutureReuse();
+
+  /// Number of lines currently pinned in the USE state.
+  uint64_t pinned_lines() const;
+
+  /// Current future-reuse counter for a page (0 if none).
+  uint32_t FutureReuseCount(uint64_t page) const;
+
+  int max_probes() const { return max_probes_; }
+  void set_max_probes(int p) { max_probes_ = p; }
+
+ private:
+  struct Line {
+    uint64_t page = 0;
+    LineState state = LineState::kEmpty;
+  };
+
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  /// Decrements `page`'s future-reuse counter (if any); unpins the line at
+  /// `slot` when the counter drains. Pass kNoSlot for non-resident pages.
+  void ConsumeReuse(uint64_t page, size_t slot);
+  /// Shared placement logic; returns the slot or kNoSlot on bypass.
+  size_t AcquireSlot(uint64_t page);
+
+  bool store_payloads_;
+  uint32_t line_bytes_;
+  int max_probes_ = 32;
+  std::vector<Line> lines_;
+  std::vector<std::byte> data_;                      // slot payloads
+  std::unordered_map<uint64_t, size_t> index_;       // page -> slot
+  std::unordered_map<uint64_t, uint32_t> future_reuse_;  // page -> count
+  std::vector<size_t> free_slots_;
+  CacheStats stats_;
+  Rng rng_;
+};
+
+}  // namespace gids::storage
+
+#endif  // GIDS_STORAGE_SOFTWARE_CACHE_H_

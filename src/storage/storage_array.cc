@@ -1,0 +1,35 @@
+#include "storage/storage_array.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gids::storage {
+
+StorageArray::StorageArray(std::unique_ptr<BlockDevice> device,
+                           sim::SsdSpec spec, int n_ssd, uint32_t num_queues,
+                           uint32_t queue_depth)
+    : device_(std::move(device)),
+      spec_(std::move(spec)),
+      n_ssd_(n_ssd),
+      queues_(num_queues, queue_depth) {
+  GIDS_CHECK(device_ != nullptr);
+  GIDS_CHECK(n_ssd_ > 0);
+  per_device_reads_.assign(n_ssd_, 0);
+}
+
+Status StorageArray::ReadPage(uint64_t page, std::span<std::byte> out) {
+  GIDS_RETURN_IF_ERROR(queues_.RoundTrip(page));
+  GIDS_RETURN_IF_ERROR(device_->ReadBlock(page, out));
+  ++total_reads_;
+  ++per_device_reads_[DeviceFor(page)];
+  return Status::OK();
+}
+
+void StorageArray::ResetCounters() {
+  total_reads_ = 0;
+  std::fill(per_device_reads_.begin(), per_device_reads_.end(), 0);
+}
+
+}  // namespace gids::storage

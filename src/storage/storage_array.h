@@ -1,0 +1,73 @@
+#ifndef GIDS_STORAGE_STORAGE_ARRAY_H_
+#define GIDS_STORAGE_STORAGE_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "sim/ssd_model.h"
+#include "storage/block_device.h"
+#include "storage/queue_manager.h"
+
+namespace gids::storage {
+
+/// An array of `n_ssd` identical NVMe SSDs behind one logical page space,
+/// pages striped round-robin (page p lives on device p mod n_ssd). BaM
+/// scales collective bandwidth by attaching several SSDs to one GPU
+/// (§3.3); striping is what makes that scaling linear.
+///
+/// The data plane is one logical BlockDevice (striping does not change
+/// bytes); the control plane records per-device request counts so the
+/// timing models can split closed-loop windows across devices.
+class StorageArray {
+ public:
+  /// `num_queues`/`queue_depth` size the per-GPU IO queue pairs (BaM
+  /// defaults: 128 queues of depth 1024). The aggregate depth bounds the
+  /// outstanding storage accesses the accumulator can maintain.
+  StorageArray(std::unique_ptr<BlockDevice> device, sim::SsdSpec spec,
+               int n_ssd, uint32_t num_queues = 128,
+               uint32_t queue_depth = 1024);
+
+  uint32_t page_bytes() const { return device_->block_bytes(); }
+  uint64_t num_pages() const { return device_->num_blocks(); }
+  int n_ssd() const { return n_ssd_; }
+  const sim::SsdSpec& spec() const { return spec_; }
+
+  /// Functional read of one page.
+  Status ReadPage(uint64_t page, std::span<std::byte> out);
+
+  /// Counting-mode read: records the access and drives the queue pair
+  /// without moving bytes (used by the large-scale timing benchmarks).
+  void NoteRead(uint64_t page) {
+    GIDS_CHECK_OK(queues_.RoundTrip(page));
+    ++total_reads_;
+    ++per_device_reads_[DeviceFor(page)];
+  }
+
+  const QueueManager& queues() const { return queues_; }
+  /// Maximum storage accesses that can be in flight across all queues.
+  uint64_t queue_capacity() const { return queues_.total_depth(); }
+
+  /// Device index that owns `page` under round-robin striping.
+  int DeviceFor(uint64_t page) const {
+    return static_cast<int>(page % static_cast<uint64_t>(n_ssd_));
+  }
+
+  uint64_t total_reads() const { return total_reads_; }
+  uint64_t reads_on_device(int d) const { return per_device_reads_[d]; }
+  void ResetCounters();
+
+ private:
+  std::unique_ptr<BlockDevice> device_;
+  sim::SsdSpec spec_;
+  int n_ssd_;
+  QueueManager queues_;
+  uint64_t total_reads_ = 0;
+  std::vector<uint64_t> per_device_reads_;
+};
+
+}  // namespace gids::storage
+
+#endif  // GIDS_STORAGE_STORAGE_ARRAY_H_

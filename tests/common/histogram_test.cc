@@ -1,0 +1,110 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gids {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_NEAR(h.Percentile(0.5), 42.0, 3.0);
+}
+
+TEST(HistogramTest, ExactMeanAndBounds) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 500.5);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.UniformInt(100000));
+  double prev = 0;
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(prev, static_cast<double>(h.max()));
+}
+
+TEST(HistogramTest, PercentileApproximatesUniform) {
+  Histogram h;
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.UniformInt(1 << 20));
+  // Log-bucketing gives ~6% relative resolution.
+  EXPECT_NEAR(h.Percentile(0.5), (1 << 19), (1 << 19) * 0.10);
+  EXPECT_NEAR(h.Percentile(0.9), 0.9 * (1 << 20), (1 << 20) * 0.10);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.Add(10);
+  for (int i = 0; i < 100; ++i) b.Add(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, StdDevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Add(7);
+  EXPECT_NEAR(h.StdDev(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, StdDevOfTwoPoint) {
+  Histogram h;
+  h.Add(0);
+  h.Add(10);
+  EXPECT_NEAR(h.StdDev(), 5.0, 1e-9);
+}
+
+TEST(HistogramTest, HandlesLargeValues) {
+  Histogram h;
+  h.Add(1ull << 50);
+  h.Add(1ull << 51);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 1ull << 51);
+  EXPECT_GE(h.Percentile(1.0), static_cast<double>(1ull << 50));
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gids

@@ -1,0 +1,163 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace gids {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) counts[rng.UniformInt(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalHasZeroMeanUnitVariance) {
+  Rng rng(13);
+  constexpr int kN = 20000;
+  double sum = 0;
+  double sum2 = 0;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.1);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng base(42);
+  Rng a = base.Fork(1);
+  Rng b = base.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ShuffleTest, IsPermutation) {
+  Rng rng(3);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  Shuffle(shuffled, rng);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // astronomically unlikely to match
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Rng rng(21);
+  auto picks = SampleWithoutReplacement(1000, 50, rng);
+  EXPECT_EQ(picks.size(), 50u);
+  std::set<uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (uint64_t p : picks) EXPECT_LT(p, 1000u);
+}
+
+TEST(SampleWithoutReplacementTest, KAtLeastNReturnsAll) {
+  Rng rng(22);
+  auto picks = SampleWithoutReplacement(10, 10, rng);
+  EXPECT_EQ(picks.size(), 10u);
+  auto more = SampleWithoutReplacement(10, 25, rng);
+  EXPECT_EQ(more.size(), 10u);
+}
+
+TEST(SampleWithoutReplacementTest, MarginalsAreUniform) {
+  // Each element of [0, 20) should appear in a 5-of-20 sample with
+  // probability 1/4.
+  Rng rng(23);
+  std::vector<int> counts(20, 0);
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint64_t p : SampleWithoutReplacement(20, 5, rng)) counts[p]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kTrials), 0.25, 0.02);
+  }
+}
+
+class SampleSizesTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SampleSizesTest, AlwaysDistinct) {
+  Rng rng(31 + GetParam());
+  auto picks = SampleWithoutReplacement(123, GetParam(), rng);
+  std::set<uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), picks.size());
+  EXPECT_EQ(picks.size(), std::min<uint64_t>(GetParam(), 123));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SampleSizesTest,
+                         ::testing::Values(1, 2, 5, 50, 122, 123, 200));
+
+}  // namespace
+}  // namespace gids

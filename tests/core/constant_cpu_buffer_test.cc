@@ -1,0 +1,111 @@
+#include "core/constant_cpu_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/pagerank.h"
+
+namespace gids::core {
+namespace {
+
+TEST(ConstantCpuBufferTest, PinsWithinByteBudget) {
+  Rng rng(1);
+  auto g = graph::GenerateRmat(1024, 16384, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  graph::FeatureStore fs(1024, 1024);  // 4 KiB per node
+  uint64_t budget = 100 * 4096;
+  ConstantCpuBuffer buf = ConstantCpuBuffer::Build(
+      *g, fs, budget, HotMetric::kReversePageRank);
+  EXPECT_EQ(buf.num_pinned(), 100u);
+  EXPECT_LE(buf.pinned_bytes(), budget);
+}
+
+TEST(ConstantCpuBufferTest, ReversePageRankPinsTheHottestNodes) {
+  Rng rng(2);
+  auto g = graph::GenerateRmat(2048, 32768, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  graph::FeatureStore fs(2048, 1024);
+  ConstantCpuBuffer buf = ConstantCpuBuffer::Build(
+      *g, fs, 200 * 4096, HotMetric::kReversePageRank);
+  auto score = graph::WeightedReversePageRank(*g, graph::PageRankOptions{});
+  auto order = graph::RankNodesByScore(score);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(buf.Contains(order[i])) << "rank " << i;
+  }
+  EXPECT_FALSE(buf.Contains(order.back()));
+}
+
+TEST(ConstantCpuBufferTest, FillReturnsGroundTruth) {
+  Rng rng(3);
+  auto g = graph::GenerateRmat(256, 2048, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  graph::FeatureStore fs(256, 64);
+  ConstantCpuBuffer buf =
+      ConstantCpuBuffer::Build(*g, fs, fs.total_bytes(), HotMetric::kInDegree);
+  ASSERT_EQ(buf.num_pinned(), 256u);
+  std::vector<float> got(64);
+  std::vector<float> expected(64);
+  buf.Fill(77, got);
+  fs.FillFeature(77, expected);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ConstantCpuBufferTest, FromNodeSetDeduplicates) {
+  graph::FeatureStore fs(100, 64);
+  ConstantCpuBuffer buf =
+      ConstantCpuBuffer::FromNodeSet(fs, {1, 2, 2, 3, 1});
+  EXPECT_EQ(buf.num_pinned(), 3u);
+  EXPECT_TRUE(buf.Contains(1));
+  EXPECT_TRUE(buf.Contains(2));
+  EXPECT_TRUE(buf.Contains(3));
+  EXPECT_FALSE(buf.Contains(4));
+}
+
+TEST(ConstantCpuBufferTest, RandomMetricPinsBudgetedCount) {
+  Rng rng(4);
+  auto g = graph::GenerateRmat(512, 4096, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  graph::FeatureStore fs(512, 1024);
+  ConstantCpuBuffer buf =
+      ConstantCpuBuffer::Build(*g, fs, 50 * 4096, HotMetric::kRandom);
+  EXPECT_EQ(buf.num_pinned(), 50u);
+}
+
+TEST(ConstantCpuBufferTest, MetricNames) {
+  EXPECT_STREQ(HotMetricName(HotMetric::kReversePageRank),
+               "reverse-pagerank");
+  EXPECT_STREQ(HotMetricName(HotMetric::kInDegree), "in-degree");
+  EXPECT_STREQ(HotMetricName(HotMetric::kRandom), "random");
+}
+
+TEST(ConstantCpuBufferTest, ReversePageRankCapturesMoreTrafficThanRandom) {
+  // The Fig. 10 mechanism: for equal budgets, reverse-PageRank pinning
+  // redirects more sampled-access traffic than random pinning.
+  Rng rng(5);
+  auto g = graph::GenerateRmat(4096, 65536, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  graph::FeatureStore fs(4096, 1024);
+  uint64_t budget = 400 * 4096;  // ~10%
+  ConstantCpuBuffer by_rank = ConstantCpuBuffer::Build(
+      *g, fs, budget, HotMetric::kReversePageRank);
+  ConstantCpuBuffer by_random =
+      ConstantCpuBuffer::Build(*g, fs, budget, HotMetric::kRandom);
+
+  uint64_t rank_hits = 0;
+  uint64_t random_hits = 0;
+  uint64_t accesses = 0;
+  for (int t = 0; t < 30000; ++t) {
+    graph::NodeId seed = static_cast<graph::NodeId>(rng.UniformInt(4096));
+    auto nbrs = g->in_neighbors(seed);
+    if (nbrs.empty()) continue;
+    graph::NodeId u = nbrs[rng.UniformInt(nbrs.size())];
+    ++accesses;
+    if (by_rank.Contains(u)) ++rank_hits;
+    if (by_random.Contains(u)) ++random_hits;
+  }
+  ASSERT_GT(accesses, 0u);
+  EXPECT_GT(rank_hits, 2 * random_hits);
+}
+
+}  // namespace
+}  // namespace gids::core

@@ -1,0 +1,197 @@
+#include "core/gids_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gids::core {
+namespace {
+
+using gids::testing::LoaderRig;
+
+GidsOptions CountingOptions() {
+  GidsOptions o;
+  o.counting_mode = true;
+  return o;
+}
+
+TEST(GidsLoaderTest, ProducesBatchesWithStats) {
+  LoaderRig rig;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), CountingOptions());
+  auto b = loader.Next();
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->stats.input_nodes, 0u);
+  EXPECT_GT(b->stats.e2e_ns, 0);
+  EXPECT_GT(b->stats.aggregation_ns, 0);
+  EXPECT_EQ(b->stats.transfer_ns, 0);  // features land in GPU memory
+  EXPECT_EQ(loader.name(), "GIDS");
+}
+
+TEST(GidsLoaderTest, MaterializedFeaturesMatchGroundTruth) {
+  LoaderRig rig;
+  GidsOptions opts;  // full functional mode
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  auto b = loader.Next();
+  ASSERT_TRUE(b.ok());
+  const auto& fs = rig.dataset->features;
+  const auto& nodes = b->batch.input_nodes();
+  ASSERT_EQ(b->features.size(), nodes.size() * fs.feature_dim());
+  std::vector<float> expected(fs.feature_dim());
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    fs.FillFeature(nodes[i], expected);
+    for (uint32_t j = 0; j < fs.feature_dim(); ++j) {
+      ASSERT_EQ(b->features[i * fs.feature_dim() + j], expected[j])
+          << "node " << nodes[i];
+    }
+  }
+}
+
+TEST(GidsLoaderTest, BamPresetDisablesEverything) {
+  GidsOptions bam = GidsOptions::Bam();
+  EXPECT_FALSE(bam.use_accumulator);
+  EXPECT_FALSE(bam.use_window_buffering);
+  EXPECT_FALSE(bam.use_cpu_buffer);
+  LoaderRig rig;
+  bam.counting_mode = true;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), bam);
+  EXPECT_EQ(loader.name(), "BaM");
+  auto b = loader.Next();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->stats.merged_group, 1u);
+  EXPECT_EQ(b->stats.gather.cpu_buffer_hits, 0u);
+  EXPECT_EQ(loader.cpu_buffer(), nullptr);
+}
+
+TEST(GidsLoaderTest, AccumulatorMergesIterations) {
+  LoaderRig rig;  // batch 32, fanout (5,5): a few hundred accesses/iter
+  GidsOptions opts = CountingOptions();
+  opts.use_cpu_buffer = false;
+  opts.use_window_buffering = false;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  auto b = loader.Next();
+  ASSERT_TRUE(b.ok());
+  // Optane threshold ~855 accesses; per-iteration ~ a few hundred ->
+  // must merge more than one iteration.
+  EXPECT_GT(b->stats.merged_group, 1u);
+}
+
+TEST(GidsLoaderTest, CpuBufferRedirectsTraffic) {
+  LoaderRig rig;
+  GidsOptions with = CountingOptions();
+  with.cpu_buffer_fraction = 0.2;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), with);
+  uint64_t cpu_hits = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto b = loader.Next();
+    ASSERT_TRUE(b.ok());
+    cpu_hits += b->stats.gather.cpu_buffer_hits;
+  }
+  EXPECT_GT(cpu_hits, 0u);
+  ASSERT_NE(loader.cpu_buffer(), nullptr);
+  EXPECT_GT(loader.cpu_buffer()->num_pinned(), 0u);
+}
+
+TEST(GidsLoaderTest, WindowBufferingImprovesHitRatio) {
+  // Fig. 11's mechanism on a small rig: same traffic, better hit ratio
+  // with look-ahead pinning.
+  auto run = [](bool window, int depth) {
+    LoaderRig rig(0.01, 1.0 / 65536.0);
+    GidsOptions opts;
+    opts.counting_mode = true;
+    opts.use_cpu_buffer = false;
+    opts.use_window_buffering = window;
+    opts.window_depth = depth;
+    opts.gpu_cache_bytes = 96 * 4096;  // tiny cache to force pressure
+    GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                      rig.system.get(), opts);
+    uint64_t hits = 0;
+    uint64_t reads = 0;
+    for (int i = 0; i < 40; ++i) {
+      auto b = loader.Next();
+      GIDS_CHECK(b.ok());
+      hits += b->stats.gather.gpu_cache_hits;
+      reads += b->stats.gather.storage_reads;
+    }
+    return static_cast<double>(hits) / static_cast<double>(hits + reads);
+  };
+  double without = run(false, 0);
+  double with = run(true, 8);
+  EXPECT_GT(with, without);
+}
+
+TEST(GidsLoaderTest, FasterThanBamBaseline) {
+  // Fig. 13/14's per-loader ordering at small scale: GIDS < BaM in E2E.
+  LoaderRig gids_rig(0.01, 1.0 / 65536.0);
+  LoaderRig bam_rig(0.01, 1.0 / 65536.0);
+  GidsOptions gids_opts = CountingOptions();
+  GidsOptions bam_opts = GidsOptions::Bam();
+  bam_opts.counting_mode = true;
+  GidsLoader gids(gids_rig.dataset.get(), gids_rig.sampler.get(),
+                  gids_rig.seeds.get(), gids_rig.system.get(), gids_opts);
+  GidsLoader bam(bam_rig.dataset.get(), bam_rig.sampler.get(),
+                 bam_rig.seeds.get(), bam_rig.system.get(), bam_opts);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(gids.Next().ok());
+    ASSERT_TRUE(bam.Next().ok());
+  }
+  EXPECT_LT(gids.elapsed_ns(), bam.elapsed_ns());
+}
+
+TEST(GidsLoaderTest, CountingAndFullModeAgreeOnTraffic) {
+  LoaderRig a;
+  LoaderRig b;
+  GidsOptions full;
+  GidsOptions counting = CountingOptions();
+  GidsLoader full_loader(a.dataset.get(), a.sampler.get(), a.seeds.get(),
+                         a.system.get(), full);
+  GidsLoader count_loader(b.dataset.get(), b.sampler.get(), b.seeds.get(),
+                          b.system.get(), counting);
+  for (int i = 0; i < 8; ++i) {
+    auto fb = full_loader.Next();
+    auto cb = count_loader.Next();
+    ASSERT_TRUE(fb.ok());
+    ASSERT_TRUE(cb.ok());
+    EXPECT_EQ(fb->stats.gather.storage_reads, cb->stats.gather.storage_reads)
+        << "iteration " << i;
+    EXPECT_EQ(fb->stats.gather.gpu_cache_hits, cb->stats.gather.gpu_cache_hits)
+        << "iteration " << i;
+    EXPECT_EQ(fb->stats.e2e_ns, cb->stats.e2e_ns) << "iteration " << i;
+  }
+}
+
+TEST(GidsLoaderTest, DeterministicAcrossRuns) {
+  auto run = []() {
+    LoaderRig rig;
+    GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                      rig.system.get(), CountingOptions());
+    TimeNs total = 0;
+    for (int i = 0; i < 12; ++i) {
+      auto b = loader.Next();
+      GIDS_CHECK(b.ok());
+      total += b->stats.e2e_ns;
+    }
+    return total;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(GidsLoaderTest, AccumulatorRespectsMaxMergedIterations) {
+  LoaderRig rig;
+  GidsOptions opts = CountingOptions();
+  opts.max_merged_iterations = 2;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  for (int i = 0; i < 6; ++i) {
+    auto b = loader.Next();
+    ASSERT_TRUE(b.ok());
+    EXPECT_LE(b->stats.merged_group, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace gids::core

@@ -1,0 +1,99 @@
+#include "core/multi_gpu.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gids::core {
+namespace {
+
+using gids::testing::LoaderRig;
+
+TEST(MultiGpuTest, RunsRequestedRounds) {
+  LoaderRig rig;
+  MultiGpuOptions opts;
+  opts.num_gpus = 2;
+  auto result = RunMultiGpu(*rig.dataset, *rig.system, {5, 5}, 16,
+                            /*rounds=*/8, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rounds.size(), 8u);
+  EXPECT_EQ(result->total_iterations, 16u);
+  EXPECT_GT(result->total_ns, 0);
+}
+
+TEST(MultiGpuTest, RoundTimeIsSlowestGpuPlusAllreduce) {
+  LoaderRig rig;
+  MultiGpuOptions opts;
+  opts.num_gpus = 2;
+  auto result = RunMultiGpu(*rig.dataset, *rig.system, {5, 5}, 16, 4, opts);
+  ASSERT_TRUE(result.ok());
+  for (const auto& r : result->rounds) {
+    EXPECT_EQ(r.round_ns, r.slowest_gpu_ns + r.allreduce_ns);
+    EXPECT_GT(r.allreduce_ns, 0);
+  }
+}
+
+TEST(MultiGpuTest, SingleGpuHasNoTransferCost) {
+  LoaderRig rig;
+  MultiGpuOptions opts;
+  opts.num_gpus = 1;
+  opts.allreduce_latency_ns = UsToNs(20);
+  auto result = RunMultiGpu(*rig.dataset, *rig.system, {5, 5}, 16, 4, opts);
+  ASSERT_TRUE(result.ok());
+  // Only the fixed sync latency remains; no ring transfer term.
+  for (const auto& r : result->rounds) {
+    EXPECT_EQ(r.allreduce_ns, UsToNs(20));
+  }
+}
+
+TEST(MultiGpuTest, MoreGpusProcessMoreIterationsPerTime) {
+  // Throughput scaling: 4 GPUs complete 4x the iterations in (roughly,
+  // bounded by stragglers + all-reduce) comparable total time.
+  LoaderRig rig1;
+  LoaderRig rig4;
+  MultiGpuOptions one;
+  one.num_gpus = 1;
+  MultiGpuOptions four;
+  four.num_gpus = 4;
+  auto r1 = RunMultiGpu(*rig1.dataset, *rig1.system, {5, 5}, 16, 16, one);
+  auto r4 = RunMultiGpu(*rig4.dataset, *rig4.system, {5, 5}, 16, 16, four);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r4.ok());
+  double tput1 = static_cast<double>(r1->total_iterations) /
+                 NsToSec(r1->total_ns);
+  double tput4 = static_cast<double>(r4->total_iterations) /
+                 NsToSec(r4->total_ns);
+  EXPECT_GT(tput4, 2.0 * tput1);  // at least 50% scaling efficiency
+}
+
+TEST(MultiGpuTest, RejectsBadArguments) {
+  LoaderRig rig;
+  MultiGpuOptions opts;
+  opts.num_gpus = 0;
+  EXPECT_FALSE(
+      RunMultiGpu(*rig.dataset, *rig.system, {5, 5}, 16, 2, opts).ok());
+  opts.num_gpus = 1 << 20;  // more GPUs than seeds
+  EXPECT_FALSE(
+      RunMultiGpu(*rig.dataset, *rig.system, {5, 5}, 16, 2, opts).ok());
+}
+
+TEST(MultiGpuTest, SlowInterconnectHurts) {
+  LoaderRig nvlink_rig;
+  LoaderRig pcie_rig;
+  MultiGpuOptions nvlink;
+  nvlink.num_gpus = 4;
+  nvlink.model_bytes = 512ull << 20;  // a chunky model
+  nvlink.interconnect_bps = 300e9;
+  MultiGpuOptions pcie = nvlink;
+  pcie.interconnect_bps = 32e9;
+  auto fast = RunMultiGpu(*nvlink_rig.dataset, *nvlink_rig.system, {5, 5},
+                          16, 6, nvlink);
+  auto slow = RunMultiGpu(*pcie_rig.dataset, *pcie_rig.system, {5, 5}, 16,
+                          6, pcie);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_GT(slow->total_ns, fast->total_ns);
+}
+
+}  // namespace
+}  // namespace gids::core

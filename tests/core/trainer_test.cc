@@ -1,0 +1,176 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gids_loader.h"
+#include "loaders/mmap_loader.h"
+#include "tests/test_util.h"
+
+namespace gids::core {
+namespace {
+
+using gids::testing::LoaderRig;
+
+TEST(TrainerTest, RunsWarmupAndMeasurement) {
+  LoaderRig rig;
+  GidsOptions opts;
+  opts.counting_mode = true;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  Trainer trainer(rig.dataset.get(),
+                  {.warmup_iterations = 3, .measure_iterations = 5});
+  auto result = trainer.Run(loader);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_iteration.size(), 5u);
+  EXPECT_GT(result->measured_e2e_ns, 0);
+  EXPECT_GT(result->warmup.e2e_ns, 0);
+  EXPECT_EQ(loader.iterations(), 8u);
+}
+
+TEST(TrainerTest, FunctionalTrainingReportsDecreasingLoss) {
+  LoaderRig rig(/*dataset_scale=*/0.005, /*memory_scale=*/1.0 / 4096.0,
+                sim::SsdSpec::IntelOptane(), 1, /*batch_size=*/64);
+  GidsOptions opts;  // full mode: features materialized
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  TrainerOptions topts;
+  topts.warmup_iterations = 0;
+  topts.measure_iterations = 40;
+  topts.functional_training = true;
+  topts.num_classes = 8;
+  topts.hidden_dim = 32;
+  Trainer trainer(rig.dataset.get(), topts);
+  auto result = trainer.Run(loader);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->losses.size(), 40u);
+  // Average the first and last quarters to smooth batch noise.
+  double early = 0;
+  double late = 0;
+  for (int i = 0; i < 10; ++i) {
+    early += result->losses[i];
+    late += result->losses[30 + i];
+  }
+  EXPECT_LT(late, early) << "early=" << early / 10 << " late=" << late / 10;
+}
+
+TEST(TrainerTest, FunctionalTrainingRejectsCountingMode) {
+  LoaderRig rig;
+  GidsOptions opts;
+  opts.counting_mode = true;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  Trainer trainer(rig.dataset.get(), {.warmup_iterations = 0,
+                                      .measure_iterations = 1,
+                                      .functional_training = true});
+  auto result = trainer.Run(loader);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TrainerTest, HitRatioComputedFromMeasuredPhase) {
+  LoaderRig rig;
+  GidsOptions opts;
+  opts.counting_mode = true;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  Trainer trainer(rig.dataset.get(),
+                  {.warmup_iterations = 5, .measure_iterations = 10});
+  auto result = trainer.Run(loader);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->gpu_cache_hit_ratio(), 0.0);
+  EXPECT_LE(result->gpu_cache_hit_ratio(), 1.0);
+}
+
+TEST(TrainerTest, WorksWithBaselineLoaders) {
+  LoaderRig rig;
+  loaders::MmapLoader loader(rig.dataset.get(), rig.sampler.get(),
+                             rig.seeds.get(), rig.system.get(),
+                             {.counting_mode = true});
+  Trainer trainer(rig.dataset.get(),
+                  {.warmup_iterations = 2, .measure_iterations = 3});
+  auto result = trainer.Run(loader);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_iteration.size(), 3u);
+  EXPECT_GT(result->measured.transfer_ns, 0);
+}
+
+TEST(TrainerTest, GcnModelTrainsFunctionally) {
+  LoaderRig rig(/*dataset_scale=*/0.005, /*memory_scale=*/1.0 / 4096.0,
+                sim::SsdSpec::IntelOptane(), 1, /*batch_size=*/64);
+  GidsOptions opts;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  TrainerOptions topts;
+  topts.warmup_iterations = 0;
+  topts.measure_iterations = 30;
+  topts.functional_training = true;
+  topts.model = ModelKind::kGcn;
+  topts.num_classes = 8;
+  topts.hidden_dim = 32;
+  Trainer trainer(rig.dataset.get(), topts);
+  auto result = trainer.Run(loader);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->losses.size(), 30u);
+  double early = 0;
+  double late = 0;
+  for (int i = 0; i < 8; ++i) {
+    early += result->losses[i];
+    late += result->losses[22 + i];
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(TrainerTest, AccuracyTrackingProducesValues) {
+  LoaderRig rig(/*dataset_scale=*/0.005, /*memory_scale=*/1.0 / 4096.0,
+                sim::SsdSpec::IntelOptane(), 1, /*batch_size=*/64);
+  GidsOptions opts;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  TrainerOptions topts;
+  topts.warmup_iterations = 0;
+  topts.measure_iterations = 10;
+  topts.functional_training = true;
+  topts.track_accuracy = true;
+  topts.num_classes = 8;
+  topts.hidden_dim = 16;
+  Trainer trainer(rig.dataset.get(), topts);
+  auto result = trainer.Run(loader);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->accuracies.size(), 10u);
+  for (double a : result->accuracies) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(TrainerTest, E2eHistogramCoversMeasuredPhase) {
+  LoaderRig rig;
+  GidsOptions opts;
+  opts.counting_mode = true;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  Trainer trainer(rig.dataset.get(),
+                  {.warmup_iterations = 2, .measure_iterations = 12});
+  auto result = trainer.Run(loader);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->e2e_ns_histogram.count(), 12u);
+  EXPECT_GE(result->e2e_ns_histogram.Percentile(0.99),
+            result->e2e_ns_histogram.Percentile(0.50));
+}
+
+TEST(TrainerTest, MeanIterationMsConsistent) {
+  LoaderRig rig;
+  GidsOptions opts;
+  opts.counting_mode = true;
+  GidsLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), opts);
+  Trainer trainer(rig.dataset.get(),
+                  {.warmup_iterations = 0, .measure_iterations = 4});
+  auto result = trainer.Run(loader);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_iteration_ms(),
+              NsToMs(result->measured_e2e_ns) / 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gids::core

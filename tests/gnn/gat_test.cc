@@ -1,0 +1,180 @@
+#include "gnn/gat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/graphsage_model.h"
+#include "gnn/loss.h"
+#include "gnn/optimizer.h"
+#include "graph/generator.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace gids::gnn {
+namespace {
+
+sampling::Block TwoDstBlock() {
+  // src_nodes = {10, 11, 20, 21}; dst = {10, 11};
+  // edges: 20->10, 21->10, 20->11.
+  sampling::Block b;
+  b.src_nodes = {10, 11, 20, 21};
+  b.num_dst = 2;
+  b.edge_src = {2, 3, 2};
+  b.edge_dst = {0, 0, 1};
+  return b;
+}
+
+TEST(GatConvTest, ForwardShape) {
+  Rng rng(1);
+  GatConv conv(4, 3, /*apply_relu=*/false, rng);
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::Xavier(4, 4, rng);
+  Tensor out = conv.Forward(block, h);
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.cols(), 3u);
+}
+
+TEST(GatConvTest, AttentionWeightsAreConvex) {
+  // With W = I, uniform attention params, identical inputs: alpha must be
+  // uniform over (self + neighbors), so the output equals the input.
+  Rng rng(2);
+  GatConv conv(2, 2, /*apply_relu=*/false, rng);
+  auto params = conv.Params();
+  params[0]->Fill(0.0f);
+  (*params[0])(0, 0) = 1.0f;
+  (*params[0])(1, 1) = 1.0f;       // W = I
+  params[1]->Fill(0.3f);           // a_src uniform
+  params[2]->Fill(-0.2f);          // a_dst uniform
+  params[3]->Fill(0.0f);           // b = 0
+
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::FromData(
+      4, 2, std::vector<float>{5, -1, 5, -1, 5, -1, 5, -1});
+  Tensor out = conv.Forward(block, h);
+  // All z identical -> all logits identical -> uniform alpha -> mean = z.
+  EXPECT_NEAR(out(0, 0), 5.0f, 1e-4);
+  EXPECT_NEAR(out(0, 1), -1.0f, 1e-4);
+  EXPECT_NEAR(out(1, 0), 5.0f, 1e-4);
+}
+
+TEST(GatConvTest, IsolatedDstUsesOnlySelf) {
+  Rng rng(3);
+  GatConv conv(2, 2, /*apply_relu=*/false, rng);
+  auto params = conv.Params();
+  params[0]->Fill(0.0f);
+  (*params[0])(0, 0) = 1.0f;
+  (*params[0])(1, 1) = 1.0f;
+  params[3]->Fill(0.0f);
+  sampling::Block b;
+  b.src_nodes = {1};
+  b.num_dst = 1;  // no edges: only the self loop, alpha = 1
+  Tensor h = Tensor::FromData(1, 2, std::vector<float>{3, 4});
+  Tensor out = conv.Forward(b, h);
+  EXPECT_NEAR(out(0, 0), 3.0f, 1e-5);
+  EXPECT_NEAR(out(0, 1), 4.0f, 1e-5);
+}
+
+TEST(GatConvTest, GradientsMatchNumericalDifferences) {
+  Rng rng(4);
+  GatConv conv(3, 2, /*apply_relu=*/true, rng);
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::Xavier(4, 3, rng);
+
+  auto loss_fn = [&]() {
+    Tensor out = conv.Forward(block, h);
+    double loss = 0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      loss += 0.5 * out.data()[i] * out.data()[i];
+    }
+    return loss;
+  };
+
+  conv.ZeroGrad();
+  Tensor out = conv.Forward(block, h);
+  Tensor d_src = conv.Backward(block, out);
+
+  const double eps = 1e-3;
+  auto params = conv.Params();
+  auto grads = conv.Grads();
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor* p = params[pi];
+    for (size_t idx = 0; idx < p->size(); ++idx) {
+      float original = p->data()[idx];
+      p->data()[idx] = original + eps;
+      double plus = loss_fn();
+      p->data()[idx] = original - eps;
+      double minus = loss_fn();
+      p->data()[idx] = original;
+      double numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(grads[pi]->data()[idx], numeric,
+                  6e-2 + 0.06 * std::abs(numeric))
+          << "param " << pi << " index " << idx;
+    }
+  }
+  for (size_t idx = 0; idx < h.size(); ++idx) {
+    float original = h.data()[idx];
+    h.data()[idx] = original + eps;
+    double plus = loss_fn();
+    h.data()[idx] = original - eps;
+    double minus = loss_fn();
+    h.data()[idx] = original;
+    double numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR(d_src.data()[idx], numeric, 6e-2 + 0.06 * std::abs(numeric))
+        << "input index " << idx;
+  }
+}
+
+TEST(GatModelTest, TrainingReducesLoss) {
+  Rng rng(5);
+  auto g = graph::GenerateRmat(512, 8192, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  graph::FeatureStore fs(512, 32);
+  sampling::NeighborSampler sampler(&*g, {.fanouts = {5, 5}}, 6);
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId v = 0; v < 64; ++v) seeds.push_back(v * 7);
+  sampling::MiniBatch batch = sampler.Sample(seeds);
+
+  Tensor inputs(batch.num_input_nodes(), 32);
+  for (size_t i = 0; i < batch.input_nodes().size(); ++i) {
+    fs.FillFeature(batch.input_nodes()[i], inputs.row(i));
+  }
+  std::vector<uint32_t> labels = SyntheticLabels(fs, seeds, 8);
+
+  GatConfig cfg;
+  cfg.in_dim = 32;
+  cfg.hidden_dim = 32;
+  cfg.num_classes = 8;
+  cfg.num_layers = 2;
+  Rng model_rng(7);
+  GatModel model(cfg, model_rng);
+  AdamOptimizer opt(5e-3f);
+  double first = model.TrainStep(batch, inputs, labels, opt);
+  double last = first;
+  for (int step = 0; step < 80; ++step) {
+    last = model.TrainStep(batch, inputs, labels, opt);
+  }
+  EXPECT_LT(last, first * 0.6);
+}
+
+TEST(GatModelTest, ImplementsModelInterface) {
+  Rng rng(8);
+  GatConfig cfg;
+  cfg.in_dim = 8;
+  cfg.num_layers = 1;
+  std::unique_ptr<Model> model = std::make_unique<GatModel>(cfg, rng);
+  sampling::MiniBatch batch;
+  sampling::Block block;
+  block.src_nodes = {0, 1, 2};
+  block.num_dst = 2;
+  block.edge_src = {2};
+  block.edge_dst = {0};
+  batch.seeds = {0, 1};
+  batch.blocks.push_back(block);
+  Tensor inputs = Tensor::Xavier(3, 8, rng);
+  Tensor logits = model->Forward(batch, inputs);
+  EXPECT_EQ(logits.rows(), 2u);
+  EXPECT_EQ(model->Params().size(), 4u);
+}
+
+}  // namespace
+}  // namespace gids::gnn

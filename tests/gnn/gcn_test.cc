@@ -1,0 +1,186 @@
+#include "gnn/gcn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/graphsage_model.h"
+#include "gnn/loss.h"
+#include "graph/generator.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace gids::gnn {
+namespace {
+
+sampling::Block TwoDstBlock() {
+  // src_nodes = {10, 11, 20}; dst = {10, 11}; edges: 20->10, 20->11.
+  sampling::Block b;
+  b.src_nodes = {10, 11, 20};
+  b.num_dst = 2;
+  b.edge_src = {2, 2};
+  b.edge_dst = {0, 1};
+  return b;
+}
+
+TEST(GcnConvTest, ForwardShape) {
+  Rng rng(1);
+  GcnConv conv(4, 3, /*apply_relu=*/false, rng);
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::Xavier(3, 4, rng);
+  Tensor out = conv.Forward(block, h);
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.cols(), 3u);
+}
+
+TEST(GcnConvTest, SymmetricNormalizationIsExact) {
+  // With W = I and b = 0, check the aggregation weights by hand.
+  Rng rng(2);
+  GcnConv conv(1, 1, /*apply_relu=*/false, rng);
+  Tensor* w = conv.Params()[0];
+  conv.Params()[1]->Fill(0.0f);
+  (*w)(0, 0) = 1.0f;
+
+  sampling::Block block = TwoDstBlock();
+  // Degrees (with self loops): dst0: in=1 edge +1 self = 2; dst1: 2.
+  // src 20 (local 2): out-degree 2, no self (not in dst prefix).
+  // src 10/11: out 0 + self = 1.
+  Tensor h = Tensor::FromData(3, 1, std::vector<float>{1, 2, 4});
+  Tensor out = conv.Forward(block, h);
+  // out0 = h0 * 1/d0 + h2 / sqrt(ds2 * d0) = 1/2 + 4/sqrt(2*2) = 2.5
+  EXPECT_NEAR(out(0, 0), 0.5f + 4.0f / 2.0f, 1e-5);
+  // out1 = 2/2 + 4/sqrt(2*2) = 3.0
+  EXPECT_NEAR(out(1, 0), 1.0f + 2.0f, 1e-5);
+}
+
+TEST(GcnConvTest, GradientsMatchNumericalDifferences) {
+  Rng rng(3);
+  GcnConv conv(3, 2, /*apply_relu=*/true, rng);
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::Xavier(3, 3, rng);
+
+  auto loss_fn = [&]() {
+    Tensor out = conv.Forward(block, h);
+    double loss = 0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      loss += 0.5 * out.data()[i] * out.data()[i];
+    }
+    return loss;
+  };
+
+  conv.ZeroGrad();
+  Tensor out = conv.Forward(block, h);
+  Tensor d_src = conv.Backward(block, out);
+
+  const double eps = 1e-3;
+  auto params = conv.Params();
+  auto grads = conv.Grads();
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor* p = params[pi];
+    for (size_t idx = 0; idx < p->size(); ++idx) {
+      float original = p->data()[idx];
+      p->data()[idx] = original + eps;
+      double plus = loss_fn();
+      p->data()[idx] = original - eps;
+      double minus = loss_fn();
+      p->data()[idx] = original;
+      double numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(grads[pi]->data()[idx], numeric,
+                  5e-2 + 0.05 * std::abs(numeric))
+          << "param " << pi << " index " << idx;
+    }
+  }
+  for (size_t idx = 0; idx < h.size(); ++idx) {
+    float original = h.data()[idx];
+    h.data()[idx] = original + eps;
+    double plus = loss_fn();
+    h.data()[idx] = original - eps;
+    double minus = loss_fn();
+    h.data()[idx] = original;
+    double numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR(d_src.data()[idx], numeric, 5e-2 + 0.05 * std::abs(numeric))
+        << "input index " << idx;
+  }
+}
+
+TEST(GcnModelTest, ForwardShapeAndParamCount) {
+  Rng rng(4);
+  auto g = graph::GenerateRmat(256, 4096, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  sampling::NeighborSampler sampler(&*g, {.fanouts = {5, 5}}, 5);
+  std::vector<graph::NodeId> seeds = {1, 2, 3};
+  sampling::MiniBatch batch = sampler.Sample(seeds);
+
+  GcnConfig cfg;
+  cfg.in_dim = 16;
+  cfg.hidden_dim = 8;
+  cfg.num_classes = 4;
+  cfg.num_layers = 2;
+  Rng model_rng(6);
+  GcnModel model(cfg, model_rng);
+  EXPECT_EQ(model.Params().size(), 4u);  // {W, b} per layer
+
+  Tensor inputs = Tensor::Xavier(batch.num_input_nodes(), 16, model_rng);
+  Tensor logits = model.Forward(batch, inputs);
+  EXPECT_EQ(logits.rows(), 3u);
+  EXPECT_EQ(logits.cols(), 4u);
+}
+
+TEST(GcnModelTest, TrainingReducesLoss) {
+  Rng rng(7);
+  auto g = graph::GenerateRmat(512, 8192, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  graph::FeatureStore fs(512, 32);
+  sampling::NeighborSampler sampler(&*g, {.fanouts = {5, 5}}, 8);
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId v = 0; v < 64; ++v) seeds.push_back(v * 7);
+  sampling::MiniBatch batch = sampler.Sample(seeds);
+
+  Tensor inputs(batch.num_input_nodes(), 32);
+  for (size_t i = 0; i < batch.input_nodes().size(); ++i) {
+    fs.FillFeature(batch.input_nodes()[i], inputs.row(i));
+  }
+  std::vector<uint32_t> labels = SyntheticLabels(fs, seeds, 8);
+
+  GcnConfig cfg;
+  cfg.in_dim = 32;
+  cfg.hidden_dim = 32;
+  cfg.num_classes = 8;
+  cfg.num_layers = 2;
+  Rng model_rng(9);
+  GcnModel model(cfg, model_rng);
+  AdamOptimizer opt(1e-2f);
+  double first = model.TrainStep(batch, inputs, labels, opt);
+  double last = first;
+  for (int step = 0; step < 60; ++step) {
+    last = model.TrainStep(batch, inputs, labels, opt);
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(ModelInterfaceTest, PolymorphicUse) {
+  Rng rng(10);
+  GcnConfig gcn_cfg;
+  gcn_cfg.in_dim = 8;
+  gcn_cfg.num_layers = 1;
+  GraphSageConfig sage_cfg;
+  sage_cfg.in_dim = 8;
+  sage_cfg.num_layers = 1;
+  std::vector<std::unique_ptr<Model>> models;
+  models.push_back(std::make_unique<GcnModel>(gcn_cfg, rng));
+  models.push_back(std::make_unique<GraphSageModel>(sage_cfg, rng));
+
+  sampling::MiniBatch batch;
+  sampling::Block block;
+  block.src_nodes = {0, 1};
+  block.num_dst = 2;
+  batch.seeds = {0, 1};
+  batch.blocks.push_back(block);
+  Tensor inputs = Tensor::Xavier(2, 8, rng);
+  for (auto& m : models) {
+    Tensor logits = m->Forward(batch, inputs);
+    EXPECT_EQ(logits.rows(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace gids::gnn

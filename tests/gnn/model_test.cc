@@ -1,0 +1,167 @@
+#include "gnn/graphsage_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/loss.h"
+#include "gnn/optimizer.h"
+#include "graph/generator.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace gids::gnn {
+namespace {
+
+TEST(LossTest, SoftmaxCrossEntropyOfUniformLogits) {
+  Tensor logits = Tensor::Zeros(2, 4);
+  std::vector<uint32_t> labels = {0, 3};
+  Tensor d;
+  double loss = SoftmaxCrossEntropy(logits, labels, &d);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+  // Gradient rows sum to ~0 and are (p - onehot)/n.
+  EXPECT_NEAR(d(0, 0), (0.25 - 1.0) / 2, 1e-6);
+  EXPECT_NEAR(d(0, 1), 0.25 / 2, 1e-6);
+}
+
+TEST(LossTest, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits = Tensor::FromData(1, 3, std::vector<float>{10, 0, 0});
+  std::vector<uint32_t> labels = {0};
+  Tensor d;
+  EXPECT_LT(SoftmaxCrossEntropy(logits, labels, &d), 1e-3);
+}
+
+TEST(LossTest, NumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromData(1, 2, std::vector<float>{1e4f, -1e4f});
+  std::vector<uint32_t> labels = {0};
+  Tensor d;
+  double loss = SoftmaxCrossEntropy(logits, labels, &d);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-6);
+}
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Tensor logits =
+      Tensor::FromData(2, 3, std::vector<float>{1, 5, 2, 9, 0, 1});
+  std::vector<uint32_t> labels = {1, 2};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels), 0.5);
+}
+
+TEST(OptimizerTest, SgdStepMovesAgainstGradient) {
+  Tensor p = Tensor::FromData(1, 2, std::vector<float>{1.0f, -1.0f});
+  Tensor g = Tensor::FromData(1, 2, std::vector<float>{0.5f, -0.5f});
+  SgdOptimizer opt(0.1f);
+  opt.Step({&p}, {&g});
+  EXPECT_FLOAT_EQ(p(0, 0), 0.95f);
+  EXPECT_FLOAT_EQ(p(0, 1), -0.95f);
+}
+
+TEST(OptimizerTest, MomentumAccumulates) {
+  Tensor p = Tensor::Zeros(1, 1);
+  Tensor g = Tensor::FromData(1, 1, std::vector<float>{1.0f});
+  SgdOptimizer opt(0.1f, 0.9f);
+  opt.Step({&p}, {&g});
+  float after_one = p(0, 0);
+  opt.Step({&p}, {&g});
+  float second_step = p(0, 0) - after_one;
+  EXPECT_LT(second_step, after_one);          // both negative
+  EXPECT_GT(std::abs(second_step), std::abs(after_one));  // accelerating
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2.
+  Tensor x = Tensor::Zeros(1, 1);
+  AdamOptimizer opt(0.1f);
+  for (int i = 0; i < 500; ++i) {
+    Tensor g = Tensor::FromData(
+        1, 1, std::vector<float>{2.0f * (x(0, 0) - 3.0f)});
+    opt.Step({&x}, {&g});
+  }
+  EXPECT_NEAR(x(0, 0), 3.0f, 0.05f);
+}
+
+TEST(SyntheticLabelTest, DeterministicAndInRange) {
+  graph::FeatureStore fs(100, 64);
+  for (graph::NodeId v = 0; v < 100; ++v) {
+    uint32_t label = SyntheticLabel(fs, v, 16);
+    EXPECT_LT(label, 16u);
+    EXPECT_EQ(label, SyntheticLabel(fs, v, 16));
+  }
+}
+
+TEST(SyntheticLabelTest, LabelsAreSpread) {
+  graph::FeatureStore fs(2000, 64);
+  std::vector<int> counts(8, 0);
+  for (graph::NodeId v = 0; v < 2000; ++v) {
+    counts[SyntheticLabel(fs, v, 8)]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 100);  // roughly uniform over classes
+}
+
+TEST(GraphSageModelTest, ForwardShapeMatchesSeeds) {
+  Rng rng(1);
+  auto g = graph::GenerateRmat(256, 4096, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  sampling::NeighborSampler sampler(&*g, {.fanouts = {5, 5}}, 3);
+  std::vector<graph::NodeId> seeds = {1, 2, 3, 4, 5};
+  sampling::MiniBatch batch = sampler.Sample(seeds);
+
+  GraphSageConfig cfg;
+  cfg.in_dim = 32;
+  cfg.hidden_dim = 16;
+  cfg.num_classes = 4;
+  cfg.num_layers = 2;
+  Rng model_rng(2);
+  GraphSageModel model(cfg, model_rng);
+  Tensor inputs = Tensor::Xavier(batch.num_input_nodes(), 32, model_rng);
+  Tensor logits = model.Forward(batch, inputs);
+  EXPECT_EQ(logits.rows(), seeds.size());
+  EXPECT_EQ(logits.cols(), 4u);
+}
+
+TEST(GraphSageModelTest, TrainingReducesLossOnLearnableTask) {
+  // End-to-end learnability: labels are the argmax of the first features,
+  // so repeated training on the same mini-batch must drive loss down.
+  Rng rng(3);
+  auto g = graph::GenerateRmat(512, 8192, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  graph::FeatureStore fs(512, 32);
+  sampling::NeighborSampler sampler(&*g, {.fanouts = {5, 5}}, 5);
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId v = 0; v < 64; ++v) seeds.push_back(v * 7);
+  sampling::MiniBatch batch = sampler.Sample(seeds);
+
+  Tensor inputs(batch.num_input_nodes(), 32);
+  for (size_t i = 0; i < batch.input_nodes().size(); ++i) {
+    fs.FillFeature(batch.input_nodes()[i], inputs.row(i));
+  }
+  std::vector<uint32_t> labels = SyntheticLabels(fs, seeds, 8);
+
+  GraphSageConfig cfg;
+  cfg.in_dim = 32;
+  cfg.hidden_dim = 32;
+  cfg.num_classes = 8;
+  cfg.num_layers = 2;
+  Rng model_rng(7);
+  GraphSageModel model(cfg, model_rng);
+  AdamOptimizer opt(1e-2f);
+
+  double first = model.TrainStep(batch, inputs, labels, opt);
+  double last = first;
+  for (int step = 0; step < 60; ++step) {
+    last = model.TrainStep(batch, inputs, labels, opt);
+  }
+  EXPECT_LT(last, first * 0.5) << "first=" << first << " last=" << last;
+}
+
+TEST(GraphSageModelTest, ParamAndGradCounts) {
+  GraphSageConfig cfg;
+  cfg.in_dim = 8;
+  cfg.num_layers = 3;
+  Rng rng(9);
+  GraphSageModel model(cfg, rng);
+  EXPECT_EQ(model.Params().size(), 9u);  // 3 tensors per layer
+  EXPECT_EQ(model.Grads().size(), 9u);
+}
+
+}  // namespace
+}  // namespace gids::gnn

@@ -1,0 +1,160 @@
+#include "gnn/sage_conv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/loss.h"
+
+namespace gids::gnn {
+namespace {
+
+sampling::Block TwoDstBlock() {
+  // src_nodes = {10, 11, 20, 21}; dst = {10, 11};
+  // edges: 20->10, 21->10, 20->11.
+  sampling::Block b;
+  b.src_nodes = {10, 11, 20, 21};
+  b.num_dst = 2;
+  b.edge_src = {2, 3, 2};
+  b.edge_dst = {0, 0, 1};
+  return b;
+}
+
+TEST(SageConvTest, ForwardShape) {
+  Rng rng(1);
+  SageConv conv(4, 3, /*apply_relu=*/false, rng);
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::Xavier(4, 4, rng);
+  Tensor out = conv.Forward(block, h);
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.cols(), 3u);
+}
+
+TEST(SageConvTest, MeanAggregationIsExact) {
+  // With W_self = 0, W_neigh = I, bias = 0, the output equals the mean of
+  // sampled neighbor features.
+  Rng rng(2);
+  SageConv conv(2, 2, /*apply_relu=*/false, rng);
+  for (Tensor* p : conv.Params()) p->Fill(0.0f);
+  Tensor* w_neigh = conv.Params()[1];
+  (*w_neigh)(0, 0) = 1.0f;
+  (*w_neigh)(1, 1) = 1.0f;
+
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::FromData(
+      4, 2, std::vector<float>{0, 0, 0, 0, 2, 4, 6, 8});
+  Tensor out = conv.Forward(block, h);
+  // dst 0 aggregates srcs {2,4} and {6,8} -> mean {4,6}.
+  EXPECT_FLOAT_EQ(out(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 6.0f);
+  // dst 1 aggregates only {2,4}.
+  EXPECT_FLOAT_EQ(out(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out(1, 1), 4.0f);
+}
+
+TEST(SageConvTest, SelfTermIsExact) {
+  Rng rng(3);
+  SageConv conv(2, 2, /*apply_relu=*/false, rng);
+  for (Tensor* p : conv.Params()) p->Fill(0.0f);
+  Tensor* w_self = conv.Params()[0];
+  (*w_self)(0, 0) = 2.0f;
+  (*w_self)(1, 1) = 2.0f;
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::FromData(4, 2,
+                              std::vector<float>{1, 2, 3, 4, 0, 0, 0, 0});
+  Tensor out = conv.Forward(block, h);
+  EXPECT_FLOAT_EQ(out(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(out(1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(out(1, 1), 8.0f);
+}
+
+TEST(SageConvTest, ZeroDegreeDstGetsOnlySelfPlusBias) {
+  Rng rng(4);
+  SageConv conv(2, 2, /*apply_relu=*/false, rng);
+  for (Tensor* p : conv.Params()) p->Fill(0.0f);
+  Tensor* bias = conv.Params()[2];
+  (*bias)(0, 0) = 0.5f;
+  sampling::Block b;
+  b.src_nodes = {1};
+  b.num_dst = 1;
+  Tensor h = Tensor::FromData(1, 2, std::vector<float>{9, 9});
+  Tensor out = conv.Forward(b, h);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(out(0, 1), 0.0f);
+}
+
+// Numerical gradient check: perturb each parameter and input, compare the
+// analytic gradient against central differences under a quadratic loss.
+TEST(SageConvTest, GradientsMatchNumericalDifferences) {
+  Rng rng(5);
+  const size_t in_dim = 3;
+  const size_t out_dim = 2;
+  SageConv conv(in_dim, out_dim, /*apply_relu=*/true, rng);
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::Xavier(4, in_dim, rng);
+
+  auto loss_fn = [&]() {
+    Tensor out = conv.Forward(block, h);
+    double loss = 0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      loss += 0.5 * out.data()[i] * out.data()[i];
+    }
+    return loss;
+  };
+
+  // Analytic gradients: dL/dout = out.
+  conv.ZeroGrad();
+  Tensor out = conv.Forward(block, h);
+  Tensor d_src = conv.Backward(block, out);
+
+  const double eps = 1e-3;
+  // Check a handful of entries in every parameter tensor.
+  auto params = conv.Params();
+  auto grads = conv.Grads();
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor* p = params[pi];
+    for (size_t idx = 0; idx < p->size(); idx += std::max<size_t>(1, p->size() / 5)) {
+      float original = p->data()[idx];
+      p->data()[idx] = original + eps;
+      double plus = loss_fn();
+      p->data()[idx] = original - eps;
+      double minus = loss_fn();
+      p->data()[idx] = original;
+      double numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(grads[pi]->data()[idx], numeric, 5e-2 + 0.05 * std::abs(numeric))
+          << "param " << pi << " index " << idx;
+    }
+  }
+  // Check input gradients.
+  for (size_t idx = 0; idx < h.size(); idx += 2) {
+    float original = h.data()[idx];
+    h.data()[idx] = original + eps;
+    double plus = loss_fn();
+    h.data()[idx] = original - eps;
+    double minus = loss_fn();
+    h.data()[idx] = original;
+    double numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR(d_src.data()[idx], numeric, 5e-2 + 0.05 * std::abs(numeric))
+        << "input index " << idx;
+  }
+}
+
+TEST(SageConvTest, ZeroGradClears) {
+  Rng rng(6);
+  SageConv conv(2, 2, false, rng);
+  sampling::Block block = TwoDstBlock();
+  Tensor h = Tensor::Xavier(4, 2, rng);
+  Tensor out = conv.Forward(block, h);
+  conv.Backward(block, out);
+  bool any_nonzero = false;
+  for (Tensor* g : conv.Grads()) {
+    any_nonzero |= g->L2NormSquared() > 0;
+  }
+  EXPECT_TRUE(any_nonzero);
+  conv.ZeroGrad();
+  for (Tensor* g : conv.Grads()) EXPECT_DOUBLE_EQ(g->L2NormSquared(), 0.0);
+}
+
+}  // namespace
+}  // namespace gids::gnn

@@ -1,0 +1,132 @@
+#include "gnn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gids::gnn {
+namespace {
+
+TEST(TensorTest, ZerosAndShape) {
+  Tensor t = Tensor::Zeros(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(t(i, j), 0.0f);
+  }
+}
+
+TEST(TensorTest, FromDataRoundTrip) {
+  std::vector<float> data = {1, 2, 3, 4, 5, 6};
+  Tensor t = Tensor::FromData(2, 3, data);
+  EXPECT_EQ(t(0, 0), 1.0f);
+  EXPECT_EQ(t(0, 2), 3.0f);
+  EXPECT_EQ(t(1, 0), 4.0f);
+  EXPECT_EQ(t(1, 2), 6.0f);
+}
+
+TEST(TensorTest, XavierBoundsAndSpread) {
+  Rng rng(1);
+  Tensor t = Tensor::Xavier(64, 64, rng);
+  double bound = std::sqrt(6.0 / 128.0);
+  double sum = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t.data()[i]), bound);
+    sum += t.data()[i];
+  }
+  EXPECT_NEAR(sum / t.size(), 0.0, 0.02);
+}
+
+TEST(TensorTest, FillAxpyScale) {
+  Tensor a = Tensor::Zeros(2, 2);
+  a.Fill(1.0f);
+  Tensor b = Tensor::Zeros(2, 2);
+  b.Fill(2.0f);
+  a.Axpy(b, 0.5f);
+  EXPECT_EQ(a(0, 0), 2.0f);
+  a.Scale(0.25f);
+  EXPECT_EQ(a(1, 1), 0.5f);
+}
+
+TEST(TensorTest, L2NormSquared) {
+  Tensor t = Tensor::FromData(1, 3, std::vector<float>{3, 0, 4});
+  EXPECT_DOUBLE_EQ(t.L2NormSquared(), 25.0);
+}
+
+TEST(MatmulTest, KnownProduct) {
+  Tensor a = Tensor::FromData(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(3, 2, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = Matmul(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c(0, 0), 58.0f);
+  EXPECT_EQ(c(0, 1), 64.0f);
+  EXPECT_EQ(c(1, 0), 139.0f);
+  EXPECT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(MatmulTest, IdentityIsNoop) {
+  Tensor eye = Tensor::Zeros(3, 3);
+  for (int i = 0; i < 3; ++i) eye(i, i) = 1.0f;
+  Rng rng(2);
+  Tensor a = Tensor::Xavier(3, 3, rng);
+  Tensor c = Matmul(a, eye);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(c.data()[i], a.data()[i]);
+  }
+}
+
+TEST(MatmulTest, TransposedVariantsAgree) {
+  Rng rng(3);
+  Tensor a = Tensor::Xavier(4, 5, rng);
+  Tensor b = Tensor::Xavier(4, 6, rng);
+  // MatmulTN(a, b) == Matmul(a^T, b).
+  Tensor at = Tensor::Zeros(5, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 5; ++j) at(j, i) = a(i, j);
+  }
+  Tensor expected = Matmul(at, b);
+  Tensor got = MatmulTN(a, b);
+  ASSERT_EQ(got.rows(), 5u);
+  ASSERT_EQ(got.cols(), 6u);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-5);
+  }
+}
+
+TEST(MatmulTest, NtVariantAgrees) {
+  Rng rng(4);
+  Tensor a = Tensor::Xavier(3, 5, rng);
+  Tensor b = Tensor::Xavier(4, 5, rng);
+  Tensor bt = Tensor::Zeros(5, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 5; ++j) bt(j, i) = b(i, j);
+  }
+  Tensor expected = Matmul(a, bt);
+  Tensor got = MatmulNT(a, b);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-5);
+  }
+}
+
+TEST(ReluTest, ClampsNegatives) {
+  Tensor t = Tensor::FromData(1, 4, std::vector<float>{-1, 0, 2, -3});
+  ReluInPlace(t);
+  EXPECT_EQ(t(0, 0), 0.0f);
+  EXPECT_EQ(t(0, 1), 0.0f);
+  EXPECT_EQ(t(0, 2), 2.0f);
+  EXPECT_EQ(t(0, 3), 0.0f);
+}
+
+TEST(ReluTest, BackwardMasksByOutput) {
+  Tensor y = Tensor::FromData(1, 3, std::vector<float>{0, 2, 0});
+  Tensor dy = Tensor::FromData(1, 3, std::vector<float>{5, 5, 5});
+  Tensor dx = ReluBackward(dy, y);
+  EXPECT_EQ(dx(0, 0), 0.0f);
+  EXPECT_EQ(dx(0, 1), 5.0f);
+  EXPECT_EQ(dx(0, 2), 0.0f);
+}
+
+}  // namespace
+}  // namespace gids::gnn

@@ -1,0 +1,105 @@
+#include "graph/csc_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace gids::graph {
+namespace {
+
+CscGraph Triangle() {
+  // Edges: 0->1, 1->2, 2->0, 0->2.
+  std::vector<NodeId> src = {0, 1, 2, 0};
+  std::vector<NodeId> dst = {1, 2, 0, 2};
+  auto g = CscGraph::FromCoo(3, src, dst);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(CscGraphTest, FromCooBasicShape) {
+  CscGraph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+}
+
+TEST(CscGraphTest, InNeighborsHoldSources) {
+  CscGraph g = Triangle();
+  auto n2 = g.in_neighbors(2);
+  std::vector<NodeId> v(n2.begin(), n2.end());
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(g.in_neighbors(1)[0], 0u);
+}
+
+TEST(CscGraphTest, FromCscValidates) {
+  EXPECT_FALSE(CscGraph::FromCsc({}, {}).ok());
+  EXPECT_FALSE(CscGraph::FromCsc({1, 2}, {0, 0}).ok());   // must start at 0
+  EXPECT_FALSE(CscGraph::FromCsc({0, 1}, {0, 0}).ok());   // wrong end
+  EXPECT_FALSE(CscGraph::FromCsc({0, 2, 1}, {0, 0}).ok());  // decreasing
+  EXPECT_FALSE(CscGraph::FromCsc({0, 1}, {7}).ok());      // node out of range
+  EXPECT_TRUE(CscGraph::FromCsc({0, 1, 2}, {1, 0}).ok());
+}
+
+TEST(CscGraphTest, FromCooValidatesEndpoints) {
+  std::vector<NodeId> src = {0, 5};
+  std::vector<NodeId> dst = {1, 1};
+  EXPECT_FALSE(CscGraph::FromCoo(3, src, dst).ok());
+  std::vector<NodeId> src2 = {0};
+  std::vector<NodeId> dst2 = {0, 1};
+  EXPECT_FALSE(CscGraph::FromCoo(3, src2, dst2).ok());
+}
+
+TEST(CscGraphTest, EmptyGraph) {
+  auto g = CscGraph::FromCoo(5, {}, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 5u);
+  EXPECT_EQ(g->num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g->in_degree(v), 0u);
+}
+
+TEST(CscGraphTest, MultiEdgesPreserved) {
+  std::vector<NodeId> src = {0, 0, 0};
+  std::vector<NodeId> dst = {1, 1, 1};
+  auto g = CscGraph::FromCoo(2, src, dst);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->in_degree(1), 3u);
+}
+
+TEST(CscGraphTest, OutDegrees) {
+  CscGraph g = Triangle();
+  std::vector<EdgeIdx> out = g.OutDegrees();
+  EXPECT_EQ(out, (std::vector<EdgeIdx>{2, 1, 1}));
+}
+
+TEST(CscGraphTest, MaxInDegree) {
+  CscGraph g = Triangle();
+  EXPECT_EQ(g.MaxInDegree(), 2u);
+}
+
+TEST(CscGraphTest, StructureBytesAccounting) {
+  CscGraph g = Triangle();
+  EXPECT_EQ(g.structure_bytes(),
+            4 * sizeof(EdgeIdx) + 4 * sizeof(NodeId));
+}
+
+TEST(CscGraphTest, CooCscRoundTrip) {
+  // FromCoo output must satisfy FromCsc's invariants.
+  std::vector<NodeId> src = {3, 1, 2, 0, 3, 2};
+  std::vector<NodeId> dst = {0, 0, 1, 2, 2, 3};
+  auto g = CscGraph::FromCoo(4, src, dst);
+  ASSERT_TRUE(g.ok());
+  auto round = CscGraph::FromCsc(g->indptr(), g->indices());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->num_edges(), 6u);
+  // Edge multiset preserved.
+  uint64_t total_in = 0;
+  for (NodeId v = 0; v < 4; ++v) total_in += g->in_degree(v);
+  EXPECT_EQ(total_in, 6u);
+}
+
+}  // namespace
+}  // namespace gids::graph

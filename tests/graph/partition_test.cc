@@ -1,0 +1,120 @@
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generator.h"
+
+namespace gids::graph {
+namespace {
+
+TEST(BfsPartitionTest, EveryNodeAssignedExactlyOnce) {
+  Rng rng(1);
+  auto g = GenerateRmat(2048, 16384, RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  auto part = BfsPartition(*g, 8, rng);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->num_parts, 8u);
+  EXPECT_EQ(part->part_of.size(), g->num_nodes());
+  size_t total = 0;
+  for (const auto& m : part->members) total += m.size();
+  EXPECT_EQ(total, g->num_nodes());
+  for (uint32_t p : part->part_of) EXPECT_LT(p, 8u);
+}
+
+TEST(BfsPartitionTest, PartsAreRoughlyBalanced) {
+  Rng rng(2);
+  auto g = GenerateRmat(4096, 32768, RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  auto part = BfsPartition(*g, 16, rng);
+  ASSERT_TRUE(part.ok());
+  size_t target = g->num_nodes() / 16;
+  for (const auto& m : part->members) {
+    EXPECT_LE(m.size(), target * 2) << "part too large";
+  }
+}
+
+TEST(BfsPartitionTest, CutEdgesCountedConsistently) {
+  // A two-community graph with one bridge edge: BFS partitioning into two
+  // parts should cut very few edges.
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+  Rng rng(3);
+  auto add_clique_edges = [&](NodeId base, int count) {
+    for (int i = 0; i < count * 6; ++i) {
+      src.push_back(base + static_cast<NodeId>(rng.UniformInt(count)));
+      dst.push_back(base + static_cast<NodeId>(rng.UniformInt(count)));
+    }
+  };
+  add_clique_edges(0, 50);
+  add_clique_edges(50, 50);
+  src.push_back(0);
+  dst.push_back(50);  // bridge
+  auto g = CscGraph::FromCoo(100, src, dst);
+  ASSERT_TRUE(g.ok());
+  auto part = BfsPartition(*g, 2, rng);
+  ASSERT_TRUE(part.ok());
+  EXPECT_LT(part->CutFraction(*g), 0.25);
+}
+
+TEST(BfsPartitionTest, BeatsRandomOnLocality) {
+  Rng rng(4);
+  auto g = GenerateRmat(4096, 65536, RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  auto bfs = BfsPartition(*g, 32, rng);
+  auto random = RandomPartition(*g, 32, rng);
+  ASSERT_TRUE(bfs.ok());
+  ASSERT_TRUE(random.ok());
+  EXPECT_LT(bfs->cut_edges, random->cut_edges);
+}
+
+TEST(BfsPartitionTest, SinglePartHasNoCut) {
+  Rng rng(5);
+  auto g = GenerateRmat(256, 2048, RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  auto part = BfsPartition(*g, 1, rng);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->cut_edges, 0u);
+  EXPECT_EQ(part->members[0].size(), g->num_nodes());
+}
+
+TEST(BfsPartitionTest, RejectsBadArguments) {
+  Rng rng(6);
+  auto g = GenerateRmat(16, 64, RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(BfsPartition(*g, 0, rng).ok());
+  EXPECT_FALSE(BfsPartition(*g, 17, rng).ok());
+  EXPECT_FALSE(RandomPartition(*g, 0, rng).ok());
+}
+
+TEST(RandomPartitionTest, CutFractionNearExpectation) {
+  // Random assignment to k parts cuts ~ (1 - 1/k) of edges.
+  Rng rng(7);
+  auto g = GenerateUniform(4096, 65536, rng);
+  ASSERT_TRUE(g.ok());
+  auto part = RandomPartition(*g, 8, rng);
+  ASSERT_TRUE(part.ok());
+  EXPECT_NEAR(part->CutFraction(*g), 1.0 - 1.0 / 8.0, 0.02);
+}
+
+class PartCountTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PartCountTest, MembersMatchPartOf) {
+  Rng rng(100 + GetParam());
+  auto g = GenerateRmat(1024, 8192, RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  auto part = BfsPartition(*g, GetParam(), rng);
+  ASSERT_TRUE(part.ok());
+  for (uint32_t p = 0; p < part->num_parts; ++p) {
+    for (NodeId v : part->members[p]) {
+      ASSERT_EQ(part->part_of[v], p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartCountTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 1024));
+
+}  // namespace
+}  // namespace gids::graph

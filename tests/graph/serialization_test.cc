@@ -1,0 +1,182 @@
+#include "graph/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sampling/neighbor_sampler.h"
+#include "sampling/seed_iterator.h"
+
+namespace gids::graph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("gids_test_") + name))
+      .string();
+}
+
+struct TempFile {
+  explicit TempFile(const char* name) : path(TempPath(name)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(SerializationTest, SaveLoadRoundTrip) {
+  auto built = BuildDataset(DatasetSpec::IgbTiny(), 0.2, 7);
+  ASSERT_TRUE(built.ok());
+  TempFile file("roundtrip.gids");
+  ASSERT_TRUE(SaveDataset(*built, file.path).ok());
+
+  auto loaded = LoadDataset(file.path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->spec.name, built->spec.name);
+  EXPECT_EQ(loaded->spec.kind, built->spec.kind);
+  EXPECT_EQ(loaded->scale, built->scale);
+  EXPECT_EQ(loaded->graph.indptr(), built->graph.indptr());
+  EXPECT_EQ(loaded->graph.indices(), built->graph.indices());
+  EXPECT_EQ(loaded->train_ids, built->train_ids);
+  EXPECT_EQ(loaded->features.num_nodes(), built->features.num_nodes());
+  EXPECT_EQ(loaded->features.feature_dim(), built->features.feature_dim());
+  EXPECT_EQ(loaded->features.page_bytes(), built->features.page_bytes());
+}
+
+TEST(SerializationTest, HeterogeneousNodeTypesRoundTrip) {
+  auto built = BuildDataset(DatasetSpec::IgbhFull(), 2e-6, 9);
+  ASSERT_TRUE(built.ok());
+  TempFile file("hetero.gids");
+  ASSERT_TRUE(SaveDataset(*built, file.path).ok());
+  auto loaded = LoadDataset(file.path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->node_types.size(), built->node_types.size());
+  for (size_t i = 0; i < built->node_types.size(); ++i) {
+    EXPECT_EQ(loaded->node_types[i].name, built->node_types[i].name);
+    EXPECT_EQ(loaded->node_types[i].offset, built->node_types[i].offset);
+    EXPECT_EQ(loaded->node_types[i].count, built->node_types[i].count);
+  }
+}
+
+TEST(SerializationTest, RejectsMissingFile) {
+  auto loaded = LoadDataset("/nonexistent/dir/nothing.gids");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializationTest, RejectsWrongMagic) {
+  TempFile file("badmagic.gids");
+  std::FILE* f = std::fopen(file.path.c_str(), "wb");
+  std::fwrite("NOPE", 1, 4, f);
+  std::fclose(f);
+  auto loaded = LoadDataset(file.path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, RejectsTruncatedFile) {
+  auto built = BuildDataset(DatasetSpec::IgbTiny(), 0.05, 11);
+  ASSERT_TRUE(built.ok());
+  TempFile file("trunc.gids");
+  ASSERT_TRUE(SaveDataset(*built, file.path).ok());
+  // Truncate to half.
+  auto size = std::filesystem::file_size(file.path);
+  std::filesystem::resize_file(file.path, size / 2);
+  auto loaded = LoadDataset(file.path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializationTest, LoadedFeaturesAreBitIdentical) {
+  // The content seed is serialized, so reloaded feature values match the
+  // originals bit-for-bit.
+  auto built = BuildDataset(DatasetSpec::IgbTiny(), 0.05, 13);
+  ASSERT_TRUE(built.ok());
+  TempFile file("features.gids");
+  ASSERT_TRUE(SaveDataset(*built, file.path).ok());
+  auto loaded = LoadDataset(file.path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->features.content_seed(), built->features.content_seed());
+  EXPECT_EQ(loaded->features.total_bytes(), built->features.total_bytes());
+  for (NodeId v : {0u, 7u, 100u}) {
+    for (uint32_t j : {0u, 1u, 1023u}) {
+      ASSERT_EQ(loaded->features.ExpectedElement(v, j),
+                built->features.ExpectedElement(v, j));
+    }
+  }
+}
+
+TEST(SerializationTest, ReloadedDatasetDrivesIdenticalPipeline) {
+  // A saved-and-reloaded dataset must be indistinguishable to the
+  // sampling pipeline: same graph, same seeds, same mini-batches.
+  auto built = BuildDataset(DatasetSpec::IgbTiny(), 0.1, 21);
+  ASSERT_TRUE(built.ok());
+  TempFile file("pipeline.gids");
+  ASSERT_TRUE(SaveDataset(*built, file.path).ok());
+  auto loaded = LoadDataset(file.path);
+  ASSERT_TRUE(loaded.ok());
+
+  sampling::NeighborSampler sampler_a(&built->graph, {.fanouts = {5, 5}}, 9);
+  sampling::NeighborSampler sampler_b(&loaded->graph, {.fanouts = {5, 5}},
+                                      9);
+  sampling::SeedIterator seeds_a(built->train_ids, 16, 4);
+  sampling::SeedIterator seeds_b(loaded->train_ids, 16, 4);
+  for (int i = 0; i < 5; ++i) {
+    auto batch_a = sampler_a.Sample(seeds_a.NextBatch());
+    auto batch_b = sampler_b.Sample(seeds_b.NextBatch());
+    ASSERT_EQ(batch_a.seeds, batch_b.seeds);
+    ASSERT_EQ(batch_a.input_nodes(), batch_b.input_nodes());
+  }
+}
+
+TEST(LoadCscFromRawArraysTest, Int64IndptrInt32Indices) {
+  TempFile indptr_file("indptr.bin");
+  TempFile indices_file("indices.bin");
+  // Graph: 3 nodes; in-neighbors: node0 <- {1,2}, node1 <- {0}, node2 <- {}.
+  int64_t indptr[4] = {0, 2, 3, 3};
+  int32_t indices[3] = {1, 2, 0};
+  std::FILE* f = std::fopen(indptr_file.path.c_str(), "wb");
+  std::fwrite(indptr, sizeof(int64_t), 4, f);
+  std::fclose(f);
+  f = std::fopen(indices_file.path.c_str(), "wb");
+  std::fwrite(indices, sizeof(int32_t), 3, f);
+  std::fclose(f);
+
+  auto g = LoadCscFromRawArrays(indptr_file.path, indices_file.path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(g->in_degree(0), 2u);
+  EXPECT_EQ(g->in_neighbors(1)[0], 0u);
+}
+
+TEST(LoadCscFromRawArraysTest, Int64IndicesAutoDetected) {
+  TempFile indptr_file("indptr64.bin");
+  TempFile indices_file("indices64.bin");
+  int64_t indptr[3] = {0, 1, 2};
+  int64_t indices[2] = {1, 0};
+  std::FILE* f = std::fopen(indptr_file.path.c_str(), "wb");
+  std::fwrite(indptr, sizeof(int64_t), 3, f);
+  std::fclose(f);
+  f = std::fopen(indices_file.path.c_str(), "wb");
+  std::fwrite(indices, sizeof(int64_t), 2, f);
+  std::fclose(f);
+  auto g = LoadCscFromRawArrays(indptr_file.path, indices_file.path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(LoadCscFromRawArraysTest, RejectsSizeMismatch) {
+  TempFile indptr_file("indptr_bad.bin");
+  TempFile indices_file("indices_bad.bin");
+  int64_t indptr[3] = {0, 2, 4};  // claims 4 edges
+  int32_t indices[3] = {0, 1, 0};  // only 3 present
+  std::FILE* f = std::fopen(indptr_file.path.c_str(), "wb");
+  std::fwrite(indptr, sizeof(int64_t), 3, f);
+  std::fclose(f);
+  f = std::fopen(indices_file.path.c_str(), "wb");
+  std::fwrite(indices, sizeof(int32_t), 3, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadCscFromRawArrays(indptr_file.path, indices_file.path).ok());
+}
+
+}  // namespace
+}  // namespace gids::graph

@@ -1,0 +1,123 @@
+#include "loaders/mmap_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gids::loaders {
+namespace {
+
+using gids::testing::LoaderRig;
+
+TEST(MmapLoaderTest, ProducesBatchesWithStats) {
+  LoaderRig rig;
+  MmapLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get());
+  auto batch = loader.Next();
+  ASSERT_TRUE(batch.ok());
+  const IterationStats& st = batch->stats;
+  EXPECT_GT(st.input_nodes, 0u);
+  EXPECT_GT(st.sampling_ns, 0);
+  EXPECT_GT(st.aggregation_ns, 0);
+  EXPECT_GT(st.transfer_ns, 0);
+  EXPECT_GT(st.training_ns, 0);
+  EXPECT_EQ(st.e2e_ns, st.sampling_ns + st.aggregation_ns + st.transfer_ns +
+                           st.training_ns);
+}
+
+TEST(MmapLoaderTest, MaterializesGroundTruthFeatures) {
+  LoaderRig rig;
+  MmapLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get());
+  auto batch = loader.Next();
+  ASSERT_TRUE(batch.ok());
+  const auto& fs = rig.dataset->features;
+  const auto& nodes = batch->batch.input_nodes();
+  ASSERT_EQ(batch->features.size(), nodes.size() * fs.feature_dim());
+  std::vector<float> expected(fs.feature_dim());
+  for (size_t i = 0; i < std::min<size_t>(nodes.size(), 10); ++i) {
+    fs.FillFeature(nodes[i], expected);
+    for (uint32_t j = 0; j < fs.feature_dim(); ++j) {
+      ASSERT_EQ(batch->features[i * fs.feature_dim() + j], expected[j]);
+    }
+  }
+}
+
+TEST(MmapLoaderTest, CountingModeSkipsFeatures) {
+  LoaderRig rig;
+  MmapLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), {.counting_mode = true});
+  auto batch = loader.Next();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->features.empty());
+  EXPECT_GT(batch->stats.input_nodes, 0u);
+}
+
+TEST(MmapLoaderTest, PageCacheWarmsUp) {
+  // With CPU memory large enough for the whole feature file, faults
+  // should taper off across iterations.
+  LoaderRig rig(/*dataset_scale=*/0.01, /*memory_scale=*/1.0 / 64.0);
+  MmapLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), {.counting_mode = true});
+  uint64_t early_faults = 0;
+  uint64_t late_faults = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto b = loader.Next();
+    ASSERT_TRUE(b.ok());
+    if (i < 5) early_faults += b->stats.gather.storage_reads;
+    if (i >= 25) late_faults += b->stats.gather.storage_reads;
+  }
+  EXPECT_LT(late_faults, early_faults / 2);
+}
+
+TEST(MmapLoaderTest, CapacityMissesPersistWhenDatasetExceedsMemory) {
+  // With tiny CPU memory the page cache thrashes and faults never stop —
+  // the §2.3 regime that motivates GIDS.
+  LoaderRig rig(/*dataset_scale=*/0.01, /*memory_scale=*/1.0 / 65536.0);
+  MmapLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), {.counting_mode = true});
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(loader.Next().ok());
+  auto b = loader.Next();
+  ASSERT_TRUE(b.ok());
+  // Even fully warmed, a substantial share of accesses still faults.
+  uint64_t total = b->stats.gather.total_page_requests();
+  EXPECT_GT(b->stats.gather.storage_reads, total / 10);
+}
+
+TEST(MmapLoaderTest, SamsungSlowerThanOptane) {
+  // Serial page faults make aggregation latency-bound: the 980 Pro's
+  // ~30x higher latency must show up (Fig. 13 vs Fig. 14).
+  LoaderRig optane_rig(0.01, 1.0 / 65536.0, sim::SsdSpec::IntelOptane());
+  LoaderRig samsung_rig(0.01, 1.0 / 65536.0, sim::SsdSpec::Samsung980Pro());
+  MmapLoader optane(optane_rig.dataset.get(), optane_rig.sampler.get(),
+                    optane_rig.seeds.get(), optane_rig.system.get(),
+                    {.counting_mode = true});
+  MmapLoader samsung(samsung_rig.dataset.get(), samsung_rig.sampler.get(),
+                     samsung_rig.seeds.get(), samsung_rig.system.get(),
+                     {.counting_mode = true});
+  TimeNs optane_total = 0;
+  TimeNs samsung_total = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto a = optane.Next();
+    auto b = samsung.Next();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    optane_total += a->stats.aggregation_ns;
+    samsung_total += b->stats.aggregation_ns;
+  }
+  EXPECT_GT(samsung_total, 5 * optane_total);
+}
+
+TEST(MmapLoaderTest, ElapsedAccumulates) {
+  LoaderRig rig;
+  MmapLoader loader(rig.dataset.get(), rig.sampler.get(), rig.seeds.get(),
+                    rig.system.get(), {.counting_mode = true});
+  ASSERT_TRUE(loader.Next().ok());
+  TimeNs after_one = loader.elapsed_ns();
+  ASSERT_TRUE(loader.Next().ok());
+  EXPECT_GT(loader.elapsed_ns(), after_one);
+  EXPECT_EQ(loader.iterations(), 2u);
+}
+
+}  // namespace
+}  // namespace gids::loaders

@@ -1,0 +1,100 @@
+#include "sampling/cluster_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.h"
+
+namespace gids::sampling {
+namespace {
+
+using graph::CscGraph;
+using graph::NodeId;
+
+struct ClusterRig {
+  explicit ClusterRig(uint32_t parts = 8, uint32_t per_batch = 2) {
+    Rng rng(1);
+    auto built = graph::GenerateRmat(1024, 8192, graph::RmatParams{}, rng);
+    GIDS_CHECK(built.ok());
+    g = std::move(built).value();
+    auto part = graph::BfsPartition(g, parts, rng);
+    GIDS_CHECK(part.ok());
+    sampler = std::make_unique<ClusterGcnSampler>(
+        &g, std::move(part).value(),
+        ClusterSamplerOptions{.clusters_per_batch = per_batch,
+                              .num_layers = 2},
+        7);
+  }
+  CscGraph g;
+  std::unique_ptr<ClusterGcnSampler> sampler;
+};
+
+TEST(ClusterGcnSamplerTest, BatchIsClusterUnion) {
+  ClusterRig rig;
+  MiniBatch batch = rig.sampler->Sample({});
+  EXPECT_FALSE(batch.seeds.empty());
+  // All nodes in the batch belong to at most 2 distinct clusters.
+  std::set<uint32_t> clusters;
+  for (NodeId v : batch.seeds) {
+    clusters.insert(rig.sampler->partition().part_of[v]);
+  }
+  EXPECT_LE(clusters.size(), 2u);
+}
+
+TEST(ClusterGcnSamplerTest, EveryLayerSharesTheInducedSubgraph) {
+  ClusterRig rig;
+  MiniBatch batch = rig.sampler->Sample({});
+  ASSERT_EQ(batch.blocks.size(), 2u);
+  EXPECT_EQ(batch.blocks[0].src_nodes, batch.blocks[1].src_nodes);
+  EXPECT_EQ(batch.blocks[0].edge_src, batch.blocks[1].edge_src);
+  EXPECT_EQ(batch.blocks[0].num_dst, batch.blocks[0].src_nodes.size());
+}
+
+TEST(ClusterGcnSamplerTest, EdgesAreInduced) {
+  ClusterRig rig;
+  MiniBatch batch = rig.sampler->Sample({});
+  const Block& b = batch.blocks[0];
+  std::set<NodeId> members(b.src_nodes.begin(), b.src_nodes.end());
+  for (size_t e = 0; e < b.edge_src.size(); ++e) {
+    NodeId src = b.src_nodes[b.edge_src[e]];
+    NodeId dst = b.src_nodes[b.edge_dst[e]];
+    EXPECT_TRUE(members.count(src));
+    EXPECT_TRUE(members.count(dst));
+    // The edge exists in the original graph.
+    auto nbrs = rig.g.in_neighbors(dst);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), src), nbrs.end());
+  }
+}
+
+TEST(ClusterGcnSamplerTest, NoCrossClusterEdges) {
+  // Edges cut by the partition must not appear in the induced subgraph
+  // unless both endpoints are in the selected clusters.
+  ClusterRig rig(/*parts=*/8, /*per_batch=*/1);
+  MiniBatch batch = rig.sampler->Sample({});
+  const Block& b = batch.blocks[0];
+  uint32_t the_cluster =
+      rig.sampler->partition().part_of[batch.seeds.front()];
+  for (NodeId v : b.src_nodes) {
+    EXPECT_EQ(rig.sampler->partition().part_of[v], the_cluster);
+  }
+}
+
+TEST(ClusterGcnSamplerTest, CoversAllClustersOverTime) {
+  ClusterRig rig(/*parts=*/4, /*per_batch=*/1);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 64 && seen.size() < 4; ++i) {
+    MiniBatch batch = rig.sampler->Sample({});
+    seen.insert(rig.sampler->partition().part_of[batch.seeds.front()]);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ClusterGcnSamplerTest, NameAndLayers) {
+  ClusterRig rig;
+  EXPECT_EQ(rig.sampler->name(), "Cluster-GCN");
+  EXPECT_EQ(rig.sampler->num_layers(), 2);
+}
+
+}  // namespace
+}  // namespace gids::sampling

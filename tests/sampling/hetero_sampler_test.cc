@@ -1,0 +1,110 @@
+#include "sampling/hetero_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/dataset.h"
+
+namespace gids::sampling {
+namespace {
+
+using graph::NodeId;
+
+struct HeteroRig {
+  HeteroRig() {
+    auto built = graph::BuildDataset(graph::DatasetSpec::IgbhFull(), 2e-6, 3);
+    GIDS_CHECK(built.ok());
+    dataset = std::move(built).value();
+  }
+  graph::Dataset dataset;
+};
+
+TEST(HeteroNeighborSamplerTest, TypeOfMatchesRanges) {
+  HeteroRig rig;
+  HeteroSamplerOptions opts;
+  opts.fanouts = {{5, 5, 5, 5}};
+  HeteroNeighborSampler sampler(&rig.dataset.graph, rig.dataset.node_types,
+                                opts);
+  for (size_t t = 0; t < rig.dataset.node_types.size(); ++t) {
+    const auto& info = rig.dataset.node_types[t];
+    if (info.count == 0) continue;
+    EXPECT_EQ(sampler.TypeOf(info.offset), t);
+    EXPECT_EQ(sampler.TypeOf(info.offset + info.count - 1), t);
+  }
+}
+
+TEST(HeteroNeighborSamplerTest, PerTypeFanoutRespected) {
+  HeteroRig rig;
+  // Expand "paper" (type 0) nodes by up to 3; never expand anything else.
+  HeteroSamplerOptions opts;
+  opts.fanouts = {{3, 0, 0, 0}};
+  HeteroNeighborSampler sampler(&rig.dataset.graph, rig.dataset.node_types,
+                                opts, 7);
+
+  std::vector<NodeId> seeds;
+  const auto& papers = rig.dataset.node_types[0];
+  const auto& authors = rig.dataset.node_types[1];
+  for (NodeId v = papers.offset; v < papers.offset + 16; ++v) {
+    seeds.push_back(v);
+  }
+  for (NodeId v = authors.offset; v < authors.offset + 16; ++v) {
+    seeds.push_back(v);
+  }
+  MiniBatch batch = sampler.Sample(seeds);
+  const Block& b = batch.blocks[0];
+  std::map<uint32_t, int> edges_per_dst;
+  for (uint32_t e = 0; e < b.num_edges(); ++e) edges_per_dst[b.edge_dst[e]]++;
+  for (uint32_t d = 0; d < b.num_dst; ++d) {
+    NodeId v = b.src_nodes[d];
+    bool is_paper = sampler.TypeOf(v) == 0;
+    if (is_paper) {
+      EXPECT_LE(edges_per_dst[d], 3);
+    } else {
+      EXPECT_EQ(edges_per_dst[d], 0) << "non-paper node expanded";
+    }
+  }
+}
+
+TEST(HeteroNeighborSamplerTest, MultiLayerStructureInvariants) {
+  HeteroRig rig;
+  HeteroSamplerOptions opts;
+  opts.fanouts = {{5, 5, 2, 2}, {3, 3, 1, 1}};
+  HeteroNeighborSampler sampler(&rig.dataset.graph, rig.dataset.node_types,
+                                opts, 11);
+  std::vector<NodeId> seeds = {0, 1, 2, 3};
+  MiniBatch batch = sampler.Sample(seeds);
+  ASSERT_EQ(batch.blocks.size(), 2u);
+  const Block& last = batch.blocks.back();
+  ASSERT_EQ(last.num_dst, seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(last.src_nodes[i], seeds[i]);
+  }
+  // Block chaining: dst prefix of block 0 == src of block 1.
+  ASSERT_EQ(batch.blocks[0].num_dst, batch.blocks[1].src_nodes.size());
+}
+
+TEST(HeteroNeighborSamplerTest, DeterministicInSeed) {
+  HeteroRig rig;
+  HeteroSamplerOptions opts;
+  opts.fanouts = {{4, 4, 4, 4}};
+  HeteroNeighborSampler a(&rig.dataset.graph, rig.dataset.node_types, opts,
+                          42);
+  HeteroNeighborSampler b(&rig.dataset.graph, rig.dataset.node_types, opts,
+                          42);
+  std::vector<NodeId> seeds = {10, 20, 30};
+  EXPECT_EQ(a.Sample(seeds).input_nodes(), b.Sample(seeds).input_nodes());
+}
+
+TEST(HeteroNeighborSamplerTest, NameAndLayers) {
+  HeteroRig rig;
+  HeteroSamplerOptions opts;
+  opts.fanouts = {{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}};
+  HeteroNeighborSampler sampler(&rig.dataset.graph, rig.dataset.node_types,
+                                opts);
+  EXPECT_EQ(sampler.name(), "hetero-neighborhood");
+  EXPECT_EQ(sampler.num_layers(), 3);
+}
+
+}  // namespace
+}  // namespace gids::sampling

@@ -1,0 +1,146 @@
+#include "sampling/ladies_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/generator.h"
+#include "sampling/neighbor_sampler.h"
+
+namespace gids::sampling {
+namespace {
+
+using graph::CscGraph;
+using graph::NodeId;
+
+TEST(LadiesSamplerTest, LayerBudgetBoundsSampledNodes) {
+  Rng rng(1);
+  auto g = graph::GenerateRmat(2048, 32768, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  LadiesSampler sampler(&*g, {.layer_sizes = {64, 64}}, 3);
+  std::vector<NodeId> seeds;
+  for (NodeId v = 0; v < 16; ++v) seeds.push_back(v * 31);
+  MiniBatch batch = sampler.Sample(seeds);
+  ASSERT_EQ(batch.blocks.size(), 2u);
+  // Each block adds at most `budget` new nodes beyond its dst prefix.
+  for (const Block& b : batch.blocks) {
+    EXPECT_LE(b.src_nodes.size() - b.num_dst, 64u);
+  }
+}
+
+TEST(LadiesSamplerTest, SeedsAreOutermostDst) {
+  Rng rng(2);
+  auto g = graph::GenerateRmat(512, 8192, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  LadiesSampler sampler(&*g, {.layer_sizes = {32}}, 5);
+  std::vector<NodeId> seeds = {3, 14, 159};
+  MiniBatch batch = sampler.Sample(seeds);
+  const Block& last = batch.blocks.back();
+  ASSERT_EQ(last.num_dst, 3u);
+  EXPECT_EQ(last.src_nodes[0], 3u);
+  EXPECT_EQ(last.src_nodes[1], 14u);
+  EXPECT_EQ(last.src_nodes[2], 159u);
+}
+
+TEST(LadiesSamplerTest, EdgesConnectSampledToLayer) {
+  Rng rng(3);
+  auto g = graph::GenerateRmat(1024, 16384, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  LadiesSampler sampler(&*g, {.layer_sizes = {32, 32}}, 7);
+  std::vector<NodeId> seeds = {1, 2, 3, 4};
+  MiniBatch batch = sampler.Sample(seeds);
+  for (const Block& b : batch.blocks) {
+    for (size_t e = 0; e < b.edge_src.size(); ++e) {
+      ASSERT_LT(b.edge_src[e], b.src_nodes.size());
+      ASSERT_LT(b.edge_dst[e], b.num_dst);
+      // Edge must exist in the graph: src is an in-neighbor of dst.
+      NodeId src = b.src_nodes[b.edge_src[e]];
+      NodeId dst = b.src_nodes[b.edge_dst[e]];
+      auto nbrs = g->in_neighbors(dst);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), src), nbrs.end());
+    }
+  }
+}
+
+TEST(LadiesSamplerTest, HighInfluenceNodesSampledMoreOften) {
+  // A node that is an in-neighbor of every layer node has maximal
+  // importance weight and should be sampled nearly always.
+  // Build: hub 0 -> in-neighbor of everyone; plus sparse noise.
+  const NodeId n = 200;
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+  Rng noise(5);
+  for (NodeId v = 1; v < n; ++v) {
+    src.push_back(0);
+    dst.push_back(v);
+    // two random extra in-neighbors
+    for (int k = 0; k < 2; ++k) {
+      src.push_back(static_cast<NodeId>(1 + noise.UniformInt(n - 1)));
+      dst.push_back(v);
+    }
+  }
+  auto g = CscGraph::FromCoo(n, src, dst);
+  ASSERT_TRUE(g.ok());
+  LadiesSampler sampler(&*g, {.layer_sizes = {8}}, 11);
+  int hub_sampled = 0;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<NodeId> seeds = {static_cast<NodeId>(1 + t % (n - 1))};
+    MiniBatch batch = sampler.Sample(seeds);
+    const auto& srcs = batch.blocks[0].src_nodes;
+    if (std::find(srcs.begin(), srcs.end(), 0u) != srcs.end()) ++hub_sampled;
+  }
+  EXPECT_GT(hub_sampled, kTrials * 9 / 10);
+}
+
+TEST(LadiesSamplerTest, IncludeSelfKeepsFrontier) {
+  Rng rng(6);
+  auto g = graph::GenerateRmat(256, 4096, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  LadiesSampler sampler(&*g, {.layer_sizes = {16, 16}, .include_self = true},
+                        13);
+  std::vector<NodeId> seeds = {9};
+  MiniBatch batch = sampler.Sample(seeds);
+  // The seed must appear in the input layer (self propagation).
+  const auto& inputs = batch.input_nodes();
+  EXPECT_NE(std::find(inputs.begin(), inputs.end(), 9u), inputs.end());
+}
+
+TEST(LadiesSamplerTest, DeterministicForSameSeed) {
+  Rng rng(7);
+  auto g = graph::GenerateRmat(512, 8192, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  LadiesSampler a(&*g, {.layer_sizes = {16, 16}}, 99);
+  LadiesSampler b(&*g, {.layer_sizes = {16, 16}}, 99);
+  std::vector<NodeId> seeds = {4, 5, 6};
+  EXPECT_EQ(a.Sample(seeds).input_nodes(), b.Sample(seeds).input_nodes());
+}
+
+TEST(LadiesSamplerTest, NameAndLayers) {
+  Rng rng(8);
+  auto g = graph::GenerateRmat(64, 256, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  LadiesSampler sampler(&*g, {.layer_sizes = {4, 4}});
+  EXPECT_EQ(sampler.name(), "LADIES");
+  EXPECT_EQ(sampler.num_layers(), 2);
+}
+
+TEST(LadiesSamplerTest, LayerWiseTouchesFewerNodesThanNeighborhood) {
+  // The motivation for layer-wise sampling: a fixed per-layer budget
+  // avoids neighborhood explosion for large batches.
+  Rng rng(9);
+  auto g = graph::GenerateRmat(4096, 131072, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<NodeId> seeds;
+  for (NodeId v = 0; v < 256; ++v) seeds.push_back(v * 7);
+
+  LadiesSampler ladies(&*g, {.layer_sizes = {128, 128}}, 15);
+  NeighborSampler neighbor(&*g, {.fanouts = {10, 10}}, 15);
+  uint64_t ladies_nodes = ladies.Sample(seeds).num_input_nodes();
+  uint64_t neighbor_nodes = neighbor.Sample(seeds).num_input_nodes();
+  EXPECT_LT(ladies_nodes, neighbor_nodes);
+}
+
+}  // namespace
+}  // namespace gids::sampling

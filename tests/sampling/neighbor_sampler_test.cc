@@ -1,0 +1,185 @@
+#include "sampling/neighbor_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/generator.h"
+
+namespace gids::sampling {
+namespace {
+
+using graph::CscGraph;
+using graph::NodeId;
+
+CscGraph StarToCenter(NodeId leaves) {
+  // Every leaf is an in-neighbor of node 0.
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+  for (NodeId v = 1; v <= leaves; ++v) {
+    src.push_back(v);
+    dst.push_back(0);
+  }
+  auto g = CscGraph::FromCoo(leaves + 1, src, dst);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+// Validates the structural invariants every sampled batch must satisfy.
+void CheckBatchInvariants(const MiniBatch& batch,
+                          std::span<const NodeId> seeds, int layers) {
+  ASSERT_EQ(batch.blocks.size(), static_cast<size_t>(layers));
+  // Outermost block's dst prefix is the seeds.
+  const Block& last = batch.blocks.back();
+  ASSERT_EQ(last.num_dst, seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(last.src_nodes[i], seeds[i]);
+  }
+  for (size_t l = 0; l < batch.blocks.size(); ++l) {
+    const Block& b = batch.blocks[l];
+    ASSERT_LE(b.num_dst, b.src_nodes.size());
+    // dst prefix of block l equals src_nodes of block l+1.
+    if (l + 1 < batch.blocks.size()) {
+      const Block& next = batch.blocks[l + 1];
+      ASSERT_EQ(b.num_dst, next.src_nodes.size());
+      for (uint32_t i = 0; i < b.num_dst; ++i) {
+        EXPECT_EQ(b.src_nodes[i], next.src_nodes[i]);
+      }
+    }
+    // Edge endpoints in range; src_nodes unique.
+    for (size_t e = 0; e < b.edge_src.size(); ++e) {
+      ASSERT_LT(b.edge_src[e], b.src_nodes.size());
+      ASSERT_LT(b.edge_dst[e], b.num_dst);
+    }
+    std::set<NodeId> unique(b.src_nodes.begin(), b.src_nodes.end());
+    EXPECT_EQ(unique.size(), b.src_nodes.size());
+  }
+}
+
+TEST(NeighborSamplerTest, TwoHopExampleFromPaper) {
+  // Fig. 2: fanout 3 over two layers from one seed in a dense graph gives
+  // at most 1 + 3 + (4 * 3) nodes; with a complete-ish graph exactly
+  // 3 edges in the seed block.
+  Rng rng(1);
+  auto g = graph::GenerateUniform(100, 5000, rng);
+  ASSERT_TRUE(g.ok());
+  NeighborSampler sampler(&*g, {.fanouts = {3, 3}}, 7);
+  std::vector<NodeId> seeds = {5};
+  MiniBatch batch = sampler.Sample(seeds);
+  CheckBatchInvariants(batch, seeds, 2);
+  EXPECT_LE(batch.blocks.back().num_edges(), 3u);
+  // Total sampled subgraph size bounded by the fanout expansion.
+  EXPECT_LE(batch.num_input_nodes(), 1u + 3u + 12u);
+}
+
+TEST(NeighborSamplerTest, FanoutCapsSampledNeighbors) {
+  CscGraph g = StarToCenter(50);
+  NeighborSampler sampler(&g, {.fanouts = {10}}, 3);
+  std::vector<NodeId> seeds = {0};
+  MiniBatch batch = sampler.Sample(seeds);
+  EXPECT_EQ(batch.blocks[0].num_edges(), 10u);
+  // 10 distinct neighbors + the seed.
+  EXPECT_EQ(batch.num_input_nodes(), 11u);
+}
+
+TEST(NeighborSamplerTest, TakesAllNeighborsWhenFewerThanFanout) {
+  CscGraph g = StarToCenter(4);
+  NeighborSampler sampler(&g, {.fanouts = {10}}, 3);
+  std::vector<NodeId> seeds = {0};
+  MiniBatch batch = sampler.Sample(seeds);
+  EXPECT_EQ(batch.blocks[0].num_edges(), 4u);
+}
+
+TEST(NeighborSamplerTest, SampledNeighborsAreDistinct) {
+  // Without-replacement sampling: no duplicate (src, dst) pairs from one
+  // destination.
+  CscGraph g = StarToCenter(100);
+  NeighborSampler sampler(&g, {.fanouts = {20}}, 11);
+  std::vector<NodeId> seeds = {0};
+  MiniBatch batch = sampler.Sample(seeds);
+  std::set<uint32_t> srcs(batch.blocks[0].edge_src.begin(),
+                          batch.blocks[0].edge_src.end());
+  EXPECT_EQ(srcs.size(), 20u);
+}
+
+TEST(NeighborSamplerTest, UniformMarginals) {
+  // Every neighbor of the star center should be picked equally often.
+  CscGraph g = StarToCenter(20);
+  NeighborSampler sampler(&g, {.fanouts = {5}}, 13);
+  std::map<NodeId, int> counts;
+  constexpr int kTrials = 8000;
+  std::vector<NodeId> seeds = {0};
+  for (int t = 0; t < kTrials; ++t) {
+    MiniBatch batch = sampler.Sample(seeds);
+    const Block& b = batch.blocks[0];
+    for (uint32_t e = 0; e < b.num_edges(); ++e) {
+      counts[b.src_nodes[b.edge_src[e]]]++;
+    }
+  }
+  // Each of 20 leaves expected kTrials * 5/20 times.
+  for (NodeId v = 1; v <= 20; ++v) {
+    EXPECT_NEAR(counts[v], kTrials / 4, kTrials / 4 * 0.15) << "leaf " << v;
+  }
+}
+
+TEST(NeighborSamplerTest, ZeroDegreeSeedsYieldNoEdges) {
+  auto g = CscGraph::FromCoo(5, {}, {});
+  ASSERT_TRUE(g.ok());
+  NeighborSampler sampler(&*g, {.fanouts = {5, 5}}, 17);
+  std::vector<NodeId> seeds = {0, 3};
+  MiniBatch batch = sampler.Sample(seeds);
+  EXPECT_EQ(batch.total_edges(), 0u);
+  EXPECT_EQ(batch.num_input_nodes(), 2u);
+  CheckBatchInvariants(batch, seeds, 2);
+}
+
+TEST(NeighborSamplerTest, MultiLayerInvariantsOnRmat) {
+  Rng rng(19);
+  auto g = graph::GenerateRmat(2048, 32768, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  NeighborSampler sampler(&*g, {.fanouts = {10, 5, 5}}, 23);
+  std::vector<NodeId> seeds;
+  for (NodeId v = 0; v < 32; ++v) seeds.push_back(v * 11);
+  MiniBatch batch = sampler.Sample(seeds);
+  CheckBatchInvariants(batch, seeds, 3);
+  EXPECT_GE(batch.num_input_nodes(), seeds.size());
+}
+
+TEST(NeighborSamplerTest, LayerEdgeCountsMatchBlocks) {
+  Rng rng(29);
+  auto g = graph::GenerateRmat(512, 8192, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  NeighborSampler sampler(&*g, {.fanouts = {5, 5}}, 31);
+  std::vector<NodeId> seeds = {1, 2, 3};
+  MiniBatch batch = sampler.Sample(seeds);
+  auto counts = batch.LayerEdgeCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], batch.blocks[0].num_edges());
+  EXPECT_EQ(counts[1], batch.blocks[1].num_edges());
+  EXPECT_EQ(counts[0] + counts[1], batch.total_edges());
+}
+
+TEST(NeighborSamplerTest, DeterministicForSameSeed) {
+  Rng rng(37);
+  auto g = graph::GenerateRmat(512, 8192, graph::RmatParams{}, rng);
+  ASSERT_TRUE(g.ok());
+  NeighborSampler a(&*g, {.fanouts = {5, 5}}, 41);
+  NeighborSampler b(&*g, {.fanouts = {5, 5}}, 41);
+  std::vector<NodeId> seeds = {7, 8};
+  MiniBatch ba = a.Sample(seeds);
+  MiniBatch bb = b.Sample(seeds);
+  EXPECT_EQ(ba.input_nodes(), bb.input_nodes());
+  EXPECT_EQ(ba.blocks[0].edge_src, bb.blocks[0].edge_src);
+}
+
+TEST(NeighborSamplerTest, NameAndLayers) {
+  CscGraph g = StarToCenter(3);
+  NeighborSampler sampler(&g, {.fanouts = {2, 2, 2}});
+  EXPECT_EQ(sampler.name(), "neighborhood");
+  EXPECT_EQ(sampler.num_layers(), 3);
+}
+
+}  // namespace
+}  // namespace gids::sampling

@@ -1,0 +1,74 @@
+#include "sampling/seed_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gids::sampling {
+namespace {
+
+using graph::NodeId;
+
+std::vector<NodeId> Ids(int n) {
+  std::vector<NodeId> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = static_cast<NodeId>(i);
+  return ids;
+}
+
+TEST(SeedIteratorTest, BatchSizes) {
+  SeedIterator it(Ids(10), 4);
+  EXPECT_EQ(it.NextBatch().size(), 4u);
+  EXPECT_EQ(it.NextBatch().size(), 4u);
+  EXPECT_EQ(it.NextBatch().size(), 2u);  // short final batch
+  EXPECT_EQ(it.NextBatch().size(), 4u);  // next epoch
+}
+
+TEST(SeedIteratorTest, EpochCoversAllIdsExactlyOnce) {
+  SeedIterator it(Ids(100), 7);
+  std::multiset<NodeId> seen;
+  for (uint64_t b = 0; b < it.batches_per_epoch(); ++b) {
+    for (NodeId v : it.NextBatch()) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  for (NodeId v = 0; v < 100; ++v) EXPECT_EQ(seen.count(v), 1u);
+}
+
+TEST(SeedIteratorTest, EpochsReshuffle) {
+  SeedIterator it(Ids(64), 64);
+  std::vector<NodeId> first = it.NextBatch();
+  std::vector<NodeId> second = it.NextBatch();
+  EXPECT_TRUE(std::is_permutation(first.begin(), first.end(), second.begin()));
+  EXPECT_NE(first, second);
+}
+
+TEST(SeedIteratorTest, EpochCounter) {
+  SeedIterator it(Ids(8), 4);
+  EXPECT_EQ(it.epoch(), 0u);
+  it.NextBatch();
+  it.NextBatch();
+  EXPECT_EQ(it.epoch(), 0u);
+  it.NextBatch();  // wraps
+  EXPECT_EQ(it.epoch(), 1u);
+}
+
+TEST(SeedIteratorTest, BatchesServedCounter) {
+  SeedIterator it(Ids(8), 3);
+  for (int i = 0; i < 5; ++i) it.NextBatch();
+  EXPECT_EQ(it.batches_served(), 5u);
+}
+
+TEST(SeedIteratorTest, DeterministicInSeed) {
+  SeedIterator a(Ids(50), 5, 77);
+  SeedIterator b(Ids(50), 5, 77);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.NextBatch(), b.NextBatch());
+}
+
+TEST(SeedIteratorTest, BatchLargerThanIds) {
+  SeedIterator it(Ids(3), 10);
+  EXPECT_EQ(it.NextBatch().size(), 3u);
+  EXPECT_EQ(it.batches_per_epoch(), 1u);
+}
+
+}  // namespace
+}  // namespace gids::sampling

@@ -1,0 +1,113 @@
+#include "sim/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/ssd_model.h"
+
+namespace gids::sim {
+namespace {
+
+AccumulatorModelParams PaperParams(int n_ssd = 1) {
+  AccumulatorModelParams p;
+  p.initial_ns = UsToNs(25);
+  p.termination_ns = UsToNs(5);
+  p.n_ssd = n_ssd;
+  return p;
+}
+
+TEST(AnalyticModelTest, ZeroAccessesZeroIops) {
+  EXPECT_DOUBLE_EQ(
+      ModelAchievedIops(SsdSpec::IntelOptane(), 0, PaperParams()), 0.0);
+}
+
+TEST(AnalyticModelTest, AchievedIopsApproachesPeak) {
+  SsdSpec optane = SsdSpec::IntelOptane();
+  double at_100 = ModelAchievedIops(optane, 100, PaperParams());
+  double at_10k = ModelAchievedIops(optane, 10000, PaperParams());
+  double at_1m = ModelAchievedIops(optane, 1000000, PaperParams());
+  EXPECT_LT(at_100, at_10k);
+  EXPECT_LT(at_10k, at_1m);
+  EXPECT_LT(at_1m, optane.peak_read_iops);
+  EXPECT_GT(at_1m, 0.99 * optane.peak_read_iops);
+}
+
+TEST(AnalyticModelTest, RequiredAccessesMatchesPaperValidation) {
+  // §4.2: for 95% of Optane peak IOPs the model estimates ~812-860
+  // overlapping accesses (with T_i = 25 us, T_t = 5 us).
+  uint64_t n = RequiredOverlappingAccesses(SsdSpec::IntelOptane(), 0.95,
+                                           PaperParams());
+  EXPECT_GE(n, 700u);
+  EXPECT_LE(n, 900u);
+}
+
+TEST(AnalyticModelTest, RequiredAccessesInvertsTheModel) {
+  // Feeding the required count back into the model must achieve the target.
+  for (double target : {0.5, 0.8, 0.9, 0.95, 0.99}) {
+    for (const SsdSpec& spec :
+         {SsdSpec::IntelOptane(), SsdSpec::Samsung980Pro()}) {
+      uint64_t n = RequiredOverlappingAccesses(spec, target, PaperParams());
+      double achieved = ModelAchievedIops(spec, n, PaperParams());
+      EXPECT_NEAR(achieved / spec.peak_read_iops, target, 0.01)
+          << spec.name << " target=" << target;
+    }
+  }
+}
+
+TEST(AnalyticModelTest, HigherLatencySsdNeedsMoreAccesses) {
+  // The Samsung 980 Pro's threshold is lower in *absolute* IOPs terms but
+  // the per-SSD latency effect shows up through peak IOPs scaling; with
+  // equal peak the higher-overhead device would need more. Here we check
+  // the documented monotonicity in n_ssd instead: more SSDs => linearly
+  // more required accesses (§3.2).
+  SsdSpec optane = SsdSpec::IntelOptane();
+  uint64_t one = RequiredOverlappingAccesses(optane, 0.95, PaperParams(1));
+  uint64_t two = RequiredOverlappingAccesses(optane, 0.95, PaperParams(2));
+  uint64_t four = RequiredOverlappingAccesses(optane, 0.95, PaperParams(4));
+  EXPECT_NEAR(static_cast<double>(two) / one, 2.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(four) / one, 4.0, 0.01);
+}
+
+TEST(AnalyticModelTest, ModelTracksEventDrivenMeasurement) {
+  // Fig. 8's claim: the analytic model predicts the measured (simulated)
+  // bandwidth well, especially near peak.
+  SsdSpec spec = SsdSpec::IntelOptane();
+  AccumulatorModelParams params = PaperParams();
+  for (uint64_t n : {512ull, 1024ull, 4096ull, 16384ull}) {
+    double model_bw = ModelAchievedBandwidthBps(spec, n, params);
+    SsdModel des(spec, 99);
+    // The measured kernel keeps n accesses overlapped over many requests;
+    // add the launch overheads around the burst the way Eq. 2 counts them.
+    SsdBatchResult burst = des.SimulateBurst(n);
+    double measured_bw =
+        static_cast<double>(n) * spec.io_size_bytes /
+        NsToSec(burst.duration_ns + params.initial_ns + params.termination_ns);
+    EXPECT_NEAR(model_bw, measured_bw, 0.25 * model_bw) << "n=" << n;
+  }
+}
+
+TEST(EstimateClosedLoopTest, MatchesEventDrivenAsymptotics) {
+  SsdSpec spec = SsdSpec::IntelOptane();
+  for (uint64_t conc : {4ull, 17ull, 64ull, 1024ull}) {
+    SsdBatchResult est = EstimateClosedLoop(spec, 1, 100000, conc);
+    SsdModel des(spec, 7);
+    SsdBatchResult sim = des.SimulateClosedLoop(100000, conc);
+    EXPECT_NEAR(est.achieved_iops, sim.achieved_iops, 0.15 * sim.achieved_iops)
+        << "conc=" << conc;
+  }
+}
+
+TEST(EstimateClosedLoopTest, ScalesWithSsdCount) {
+  SsdSpec spec = SsdSpec::Samsung980Pro();
+  SsdBatchResult one = EstimateClosedLoop(spec, 1, 100000, 10000);
+  SsdBatchResult four = EstimateClosedLoop(spec, 4, 100000, 10000);
+  EXPECT_NEAR(four.bandwidth_bps / one.bandwidth_bps, 4.0, 0.2);
+}
+
+TEST(EstimateClosedLoopTest, EmptyBatch) {
+  SsdBatchResult r = EstimateClosedLoop(SsdSpec::IntelOptane(), 1, 0, 128);
+  EXPECT_EQ(r.duration_ns, 0);
+  EXPECT_EQ(r.requests, 0u);
+}
+
+}  // namespace
+}  // namespace gids::sim

@@ -1,0 +1,84 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gids::sim {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&order](TimeNs) { order.push_back(3); });
+  q.ScheduleAt(10, [&order](TimeNs) { order.push_back(1); });
+  q.ScheduleAt(20, [&order](TimeNs) { order.push_back(2); });
+  TimeNs end = q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(end, 30);
+}
+
+TEST(EventQueueTest, SameTimestampIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5, [&order, i](TimeNs) { order.push_back(i); });
+  }
+  q.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CallbackSeesCurrentTime) {
+  EventQueue q;
+  TimeNs seen = -1;
+  q.ScheduleAt(123, [&seen](TimeNs now) { seen = now; });
+  q.RunUntilIdle();
+  EXPECT_EQ(seen, 123);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<TimeNs> fired;
+  q.ScheduleAt(10, [&](TimeNs now) {
+    fired.push_back(now);
+    q.ScheduleAfter(5, [&](TimeNs later) { fired.push_back(later); });
+  });
+  q.RunUntilIdle();
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<TimeNs> fired;
+  q.ScheduleAt(10, [&fired](TimeNs t) { fired.push_back(t); });
+  q.ScheduleAt(50, [&fired](TimeNs t) { fired.push_back(t); });
+  TimeNs now = q.RunUntil(30);
+  EXPECT_EQ(now, 30);
+  EXPECT_EQ(fired, std::vector<TimeNs>{10});
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntilIdle();
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 50}));
+}
+
+TEST(EventQueueTest, EmptyAndPending) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.ScheduleAt(1, [](TimeNs) {});
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntilIdle();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  TimeNs second_fire = 0;
+  q.ScheduleAt(100, [&](TimeNs) {
+    q.ScheduleAfter(25, [&](TimeNs t) { second_fire = t; });
+  });
+  q.RunUntilIdle();
+  EXPECT_EQ(second_fire, 125);
+}
+
+}  // namespace
+}  // namespace gids::sim

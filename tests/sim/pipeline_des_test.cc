@@ -1,0 +1,201 @@
+#include "sim/pipeline_des.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace gids::sim {
+namespace {
+
+std::vector<StageCosts> Uniform(size_t n, TimeNs sample, TimeNs agg,
+                                TimeNs transfer, TimeNs train) {
+  return std::vector<StageCosts>(
+      n, StageCosts{.sampling_ns = sample,
+                    .aggregation_ns = agg,
+                    .transfer_ns = transfer,
+                    .training_ns = train});
+}
+
+TEST(PipelineDesTest, EmptyRun) {
+  PipelineResult r = SimulatePipeline({}, PipelinePolicy::kSerial);
+  EXPECT_EQ(r.makespan_ns, 0);
+}
+
+TEST(PipelineDesTest, SerialIsExactSum) {
+  auto iters = Uniform(10, 5, 7, 2, 3);
+  PipelineResult r = SimulatePipeline(iters, PipelinePolicy::kSerial);
+  EXPECT_EQ(r.makespan_ns, 10 * (5 + 7 + 2 + 3));
+  EXPECT_EQ(r.cpu_busy_ns, 50);
+  EXPECT_EQ(r.io_busy_ns, 90);
+  EXPECT_EQ(r.gpu_busy_ns, 30);
+}
+
+TEST(PipelineDesTest, PrepOverlapHidesSamplingBehindAggregation) {
+  // sampling 5, aggregation 20: with pipelining, samples run ahead and
+  // the IO path becomes the bottleneck: makespan ~= sample_0 + n*agg.
+  auto iters = Uniform(10, 5, 20, 0, 0);
+  PipelineResult r =
+      SimulatePipeline(iters, PipelinePolicy::kPrepOverlapsAggregation);
+  EXPECT_EQ(r.makespan_ns, 5 + 10 * 20);
+  // Serial would be n*(5+20).
+  PipelineResult serial = SimulatePipeline(iters, PipelinePolicy::kSerial);
+  EXPECT_EQ(serial.makespan_ns, 10 * 25);
+}
+
+TEST(PipelineDesTest, PrepOverlapBoundBySlowerSide) {
+  // Sampling slower than aggregation: CPU becomes the bottleneck.
+  auto iters = Uniform(10, 20, 5, 0, 0);
+  PipelineResult r =
+      SimulatePipeline(iters, PipelinePolicy::kPrepOverlapsAggregation);
+  EXPECT_EQ(r.makespan_ns, 10 * 20 + 5);
+}
+
+TEST(PipelineDesTest, DecoupledOverlapsEverything) {
+  // GPU work (sampling+training) far below aggregation: IO-bound run.
+  auto iters = Uniform(20, 1, 50, 0, 2);
+  PipelineResult r = SimulatePipeline(iters, PipelinePolicy::kDecoupled);
+  // Lower bound: sum of aggregations; small slack for the first sample.
+  EXPECT_GE(r.makespan_ns, 20 * 50);
+  EXPECT_LE(r.makespan_ns, 20 * 50 + 20 * 3 + 10);
+}
+
+TEST(PipelineDesTest, DecoupledGpuBoundWhenComputeDominates) {
+  auto iters = Uniform(20, 10, 1, 0, 30);
+  PipelineResult r = SimulatePipeline(iters, PipelinePolicy::kDecoupled);
+  // GPU serializes sampling + training: >= 20 * 40.
+  EXPECT_GE(r.makespan_ns, 20 * 40);
+  EXPECT_GT(r.gpu_utilization(), 0.9);
+}
+
+TEST(PipelineDesTest, SerialIsNeverFasterThanPipelined) {
+  for (TimeNs sample : {1, 10, 40}) {
+    for (TimeNs agg : {1, 15, 60}) {
+      auto iters = Uniform(12, sample, agg, 3, 8);
+      TimeNs serial =
+          SimulatePipeline(iters, PipelinePolicy::kSerial).makespan_ns;
+      TimeNs ginex =
+          SimulatePipeline(iters, PipelinePolicy::kPrepOverlapsAggregation)
+              .makespan_ns;
+      TimeNs gids =
+          SimulatePipeline(iters, PipelinePolicy::kDecoupled).makespan_ns;
+      EXPECT_GE(serial, ginex) << sample << "/" << agg;
+      EXPECT_GE(serial, gids) << sample << "/" << agg;
+    }
+  }
+}
+
+TEST(PipelineDesTest, UtilizationsBounded) {
+  auto iters = Uniform(30, 7, 13, 2, 5);
+  for (auto policy :
+       {PipelinePolicy::kSerial, PipelinePolicy::kPrepOverlapsAggregation,
+        PipelinePolicy::kDecoupled}) {
+    PipelineResult r = SimulatePipeline(iters, policy);
+    EXPECT_GT(r.makespan_ns, 0);
+    EXPECT_LE(r.cpu_utilization(), 1.0 + 1e-9);
+    EXPECT_LE(r.io_utilization(), 1.0 + 1e-9);
+    EXPECT_LE(r.gpu_utilization(), 1.0 + 1e-9);
+  }
+}
+
+TEST(PipelineDesTest, MakespanAtLeastCriticalResource) {
+  auto iters = Uniform(15, 4, 11, 1, 6);
+  for (auto policy :
+       {PipelinePolicy::kSerial, PipelinePolicy::kPrepOverlapsAggregation,
+        PipelinePolicy::kDecoupled}) {
+    PipelineResult r = SimulatePipeline(iters, policy);
+    EXPECT_GE(r.makespan_ns, r.io_busy_ns);
+    EXPECT_GE(r.makespan_ns, r.gpu_busy_ns);
+    EXPECT_GE(r.makespan_ns, r.cpu_busy_ns);
+  }
+}
+
+TEST(PipelineDesTest, TimelineCoversBusyTime) {
+  auto iters = Uniform(8, 4, 9, 1, 3);
+  std::vector<TaskInterval> timeline;
+  PipelineResult r = SimulatePipeline(
+      iters, PipelinePolicy::kPrepOverlapsAggregation, &timeline);
+  TimeNs cpu = 0;
+  TimeNs io = 0;
+  TimeNs gpu = 0;
+  for (const auto& t : timeline) {
+    ASSERT_LT(t.start_ns, t.end_ns);
+    ASSERT_LE(t.end_ns, r.makespan_ns);
+    TimeNs d = t.end_ns - t.start_ns;
+    switch (t.resource) {
+      case TaskInterval::Resource::kCpu:
+        cpu += d;
+        break;
+      case TaskInterval::Resource::kIo:
+        io += d;
+        break;
+      case TaskInterval::Resource::kGpu:
+        gpu += d;
+        break;
+    }
+  }
+  EXPECT_EQ(cpu, r.cpu_busy_ns);
+  EXPECT_EQ(io, r.io_busy_ns);
+  EXPECT_EQ(gpu, r.gpu_busy_ns);
+}
+
+TEST(PipelineDesTest, TimelineTasksDoNotOverlapPerResource) {
+  auto iters = Uniform(10, 3, 7, 2, 4);
+  std::vector<TaskInterval> timeline;
+  SimulatePipeline(iters, PipelinePolicy::kDecoupled, &timeline);
+  std::map<TaskInterval::Resource, TimeNs> last_end;
+  for (const auto& t : timeline) {
+    EXPECT_GE(t.start_ns, last_end[t.resource])
+        << "overlap on resource " << static_cast<int>(t.resource);
+    last_end[t.resource] = t.end_ns;
+  }
+}
+
+TEST(PipelineDesTest, ChromeTraceIsValidJson) {
+  auto iters = Uniform(4, 2, 5, 1, 3);
+  std::vector<TaskInterval> timeline;
+  SimulatePipeline(iters, PipelinePolicy::kSerial, &timeline);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "gids_trace_test.json")
+          .string();
+  ASSERT_TRUE(WriteChromeTrace(timeline, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("aggregation+transfer"), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(content.begin(), content.end(), '{'),
+            std::count(content.begin(), content.end(), '}'));
+  EXPECT_EQ(std::count(content.begin(), content.end(), '['),
+            std::count(content.begin(), content.end(), ']'));
+}
+
+TEST(PipelineDesTest, ChromeTraceRejectsBadPath) {
+  EXPECT_FALSE(WriteChromeTrace({}, "/nonexistent/dir/x.json").ok());
+}
+
+TEST(PipelineDesTest, HeterogeneousIterations) {
+  std::vector<StageCosts> iters;
+  for (int i = 0; i < 10; ++i) {
+    iters.push_back(StageCosts{.sampling_ns = i,
+                               .aggregation_ns = 10 - i,
+                               .transfer_ns = 1,
+                               .training_ns = 2});
+  }
+  PipelineResult serial = SimulatePipeline(iters, PipelinePolicy::kSerial);
+  TimeNs expected = 0;
+  for (const auto& it : iters) {
+    expected +=
+        it.sampling_ns + it.aggregation_ns + it.transfer_ns + it.training_ns;
+  }
+  EXPECT_EQ(serial.makespan_ns, expected);
+}
+
+}  // namespace
+}  // namespace gids::sim

@@ -1,0 +1,141 @@
+#include "sim/ssd_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/analytic.h"
+
+namespace gids::sim {
+namespace {
+
+TEST(SsdSpecTest, OptanePresetsMatchPaper) {
+  SsdSpec s = SsdSpec::IntelOptane();
+  EXPECT_DOUBLE_EQ(s.peak_read_iops, 1.5e6);
+  EXPECT_EQ(s.read_latency_ns, UsToNs(11));
+  EXPECT_EQ(s.io_size_bytes, 4096u);
+  // ~6 GB/s at 4 KiB, the paper's "equivalent to 6GB/s".
+  EXPECT_NEAR(s.peak_read_bandwidth_bps(), 6.1e9, 0.1e9);
+}
+
+TEST(SsdSpecTest, SamsungPresetsMatchPaper) {
+  SsdSpec s = SsdSpec::Samsung980Pro();
+  EXPECT_DOUBLE_EQ(s.peak_read_iops, 700e3);
+  EXPECT_EQ(s.read_latency_ns, UsToNs(324));
+  EXPECT_NEAR(s.peak_read_bandwidth_bps(), 2.87e9, 0.05e9);
+}
+
+TEST(SsdSpecTest, InternalParallelismIsIopsTimesLatency) {
+  SsdSpec optane = SsdSpec::IntelOptane();
+  // 1.5M * 11us = 16.5 -> 17 channels.
+  EXPECT_EQ(optane.internal_parallelism(), 17u);
+  SsdSpec samsung = SsdSpec::Samsung980Pro();
+  // 700K * 324us = 226.8 -> 227 channels.
+  EXPECT_EQ(samsung.internal_parallelism(), 227u);
+}
+
+TEST(SsdModelTest, EmptyBatchIsFree) {
+  SsdModel m(SsdSpec::IntelOptane());
+  SsdBatchResult r = m.SimulateBurst(0);
+  EXPECT_EQ(r.duration_ns, 0);
+  EXPECT_EQ(r.requests, 0u);
+}
+
+TEST(SsdModelTest, SingleRequestTakesAboutOneLatency) {
+  SsdSpec spec = SsdSpec::IntelOptane();
+  spec.latency_sigma = 0;  // deterministic service time
+  SsdModel m(spec);
+  SsdBatchResult r = m.SimulateBurst(1);
+  EXPECT_EQ(r.duration_ns, spec.read_latency_ns);
+}
+
+TEST(SsdModelTest, LargeBurstApproachesPeakIops) {
+  SsdModel m(SsdSpec::IntelOptane());
+  SsdBatchResult r = m.SimulateBurst(200000);
+  EXPECT_GT(r.achieved_iops, 0.97 * 1.5e6);
+  EXPECT_LT(r.achieved_iops, 1.05 * 1.5e6);
+}
+
+TEST(SsdModelTest, ThroughputNeverExceedsPeakByMuch) {
+  SsdModel m(SsdSpec::Samsung980Pro());
+  for (uint64_t n : {100ull, 1000ull, 50000ull}) {
+    SsdBatchResult r = m.SimulateBurst(n);
+    EXPECT_LT(r.achieved_iops, 1.10 * 700e3) << "n=" << n;
+  }
+}
+
+TEST(SsdModelTest, SmallConcurrencyLimitsThroughput) {
+  SsdSpec spec = SsdSpec::IntelOptane();
+  spec.latency_sigma = 0;
+  SsdModel m(spec);
+  // One outstanding request: throughput = 1 / latency ~= 90.9 K IOPs.
+  SsdBatchResult r = m.SimulateClosedLoop(5000, 1);
+  EXPECT_NEAR(r.achieved_iops, 1e9 / static_cast<double>(spec.read_latency_ns),
+              0.02e6);
+}
+
+TEST(SsdModelTest, ThroughputMonotoneInConcurrency) {
+  SsdModel m(SsdSpec::IntelOptane(), 77);
+  double prev = 0;
+  for (uint64_t conc : {1ull, 4ull, 16ull, 64ull, 256ull, 1024ull}) {
+    SsdBatchResult r = m.SimulateClosedLoop(50000, conc);
+    EXPECT_GE(r.achieved_iops, prev * 0.98) << "conc=" << conc;
+    prev = r.achieved_iops;
+  }
+  EXPECT_GT(prev, 0.9 * 1.5e6);  // saturates near peak
+}
+
+TEST(SsdModelTest, SamsungNeedsFarMoreConcurrencyThanOptane) {
+  // The key property behind the accumulator (§3.2): higher-latency SSDs
+  // demand more overlapping accesses for the same utilization.
+  SsdModel optane(SsdSpec::IntelOptane());
+  SsdModel samsung(SsdSpec::Samsung980Pro());
+  uint64_t conc = 64;
+  double optane_frac =
+      optane.SimulateClosedLoop(20000, conc).achieved_iops / 1.5e6;
+  double samsung_frac =
+      samsung.SimulateClosedLoop(20000, conc).achieved_iops / 700e3;
+  EXPECT_GT(optane_frac, 0.9);
+  EXPECT_LT(samsung_frac, 0.5);
+}
+
+TEST(SsdModelTest, DeterministicForSameSeed) {
+  SsdModel a(SsdSpec::IntelOptane(), 42);
+  SsdModel b(SsdSpec::IntelOptane(), 42);
+  SsdBatchResult ra = a.SimulateClosedLoop(1000, 64);
+  SsdBatchResult rb = b.SimulateClosedLoop(1000, 64);
+  EXPECT_EQ(ra.duration_ns, rb.duration_ns);
+}
+
+TEST(StripedTest, TwoSsdsDoubleBandwidth) {
+  SsdSpec spec = SsdSpec::IntelOptane();
+  SsdBatchResult one = SimulateStripedClosedLoop(spec, 1, 100000, 4096);
+  SsdBatchResult two = SimulateStripedClosedLoop(spec, 2, 100000, 4096);
+  EXPECT_NEAR(two.bandwidth_bps / one.bandwidth_bps, 2.0, 0.15);
+}
+
+TEST(StripedTest, BandwidthScalesLinearlyUpToFour) {
+  // §3.3: collective SSD bandwidth scales linearly with the number of SSDs.
+  SsdSpec spec = SsdSpec::IntelOptane();
+  double prev = 0;
+  for (int n : {1, 2, 3, 4}) {
+    SsdBatchResult r = SimulateStripedClosedLoop(spec, n, 200000, 8192);
+    EXPECT_NEAR(r.bandwidth_bps, n * 6.1e9, n * 0.4e9);
+    EXPECT_GT(r.bandwidth_bps, prev);
+    prev = r.bandwidth_bps;
+  }
+}
+
+class BurstSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BurstSweepTest, BandwidthConsistentWithDuration) {
+  SsdModel m(SsdSpec::IntelOptane(), GetParam());
+  SsdBatchResult r = m.SimulateBurst(GetParam() * 100 + 10);
+  double recomputed = static_cast<double>(r.requests) * 4096.0 /
+                      NsToSec(r.duration_ns);
+  EXPECT_NEAR(r.bandwidth_bps, recomputed, recomputed * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BurstSweepTest,
+                         ::testing::Values(1, 3, 10, 100, 500));
+
+}  // namespace
+}  // namespace gids::sim

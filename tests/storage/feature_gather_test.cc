@@ -1,0 +1,193 @@
+#include "storage/feature_gather.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "graph/feature_store.h"
+#include "storage/bam_array.h"
+#include "storage/software_cache.h"
+
+namespace gids::storage {
+namespace {
+
+struct GatherRig {
+  explicit GatherRig(uint32_t dim, graph::NodeId nodes = 100,
+                     uint64_t cache_bytes = 16 * 4096,
+                     const HotNodeBuffer* hot = nullptr)
+      : fs(nodes, dim) {
+    auto dev = std::make_unique<FunctionBlockDevice>(
+        fs.num_pages(), fs.page_bytes(),
+        [this](uint64_t lba, std::span<std::byte> out) {
+          fs.FillPage(lba, out);
+        });
+    array = std::make_unique<StorageArray>(std::move(dev),
+                                           sim::SsdSpec::IntelOptane(), 1);
+    cache = std::make_unique<SoftwareCache>(cache_bytes, fs.page_bytes());
+    bam = std::make_unique<BamArray>(array.get(), cache.get());
+    gatherer = std::make_unique<FeatureGatherer>(&fs, bam.get(), hot);
+  }
+
+  graph::FeatureStore fs;
+  std::unique_ptr<StorageArray> array;
+  std::unique_ptr<SoftwareCache> cache;
+  std::unique_ptr<BamArray> bam;
+  std::unique_ptr<FeatureGatherer> gatherer;
+};
+
+// A trivial hot buffer pinning even-numbered nodes.
+class EvenHotBuffer : public HotNodeBuffer {
+ public:
+  explicit EvenHotBuffer(const graph::FeatureStore* fs) : fs_(fs) {}
+  bool Contains(graph::NodeId node) const override { return node % 2 == 0; }
+  void Fill(graph::NodeId node, std::span<float> out) const override {
+    fs_->FillFeature(node, out);
+  }
+
+ private:
+  const graph::FeatureStore* fs_;
+};
+
+class GatherFidelityTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(GatherFidelityTest, BytesMatchGroundTruth) {
+  // End-to-end byte fidelity: features gathered through device + cache
+  // must equal the FeatureStore's ground truth for every layout class.
+  GatherRig rig(GetParam());
+  std::vector<graph::NodeId> nodes = {0, 17, 3, 17, 99, 50, 1};
+  FeatureGatherCounts counts;
+  auto gathered = rig.gatherer->Gather(nodes, &counts);
+  ASSERT_TRUE(gathered.ok());
+  const uint32_t dim = rig.fs.feature_dim();
+  std::vector<float> expected(dim);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    rig.fs.FillFeature(nodes[i], expected);
+    for (uint32_t j = 0; j < dim; ++j) {
+      ASSERT_EQ((*gathered)[i * dim + j], expected[j])
+          << "node " << nodes[i] << " elem " << j;
+    }
+  }
+  EXPECT_EQ(counts.nodes, nodes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperDims, GatherFidelityTest,
+                         ::testing::Values(128, 768, 1024));
+
+TEST(FeatureGatherTest, RepeatGatherHitsCache) {
+  GatherRig rig(1024);
+  std::vector<graph::NodeId> nodes = {1, 2, 3, 4};
+  FeatureGatherCounts first;
+  ASSERT_TRUE(rig.gatherer->Gather(nodes, &first).ok());
+  EXPECT_EQ(first.storage_reads, 4u);
+  EXPECT_EQ(first.gpu_cache_hits, 0u);
+  FeatureGatherCounts second;
+  ASSERT_TRUE(rig.gatherer->Gather(nodes, &second).ok());
+  EXPECT_EQ(second.storage_reads, 0u);
+  EXPECT_EQ(second.gpu_cache_hits, 4u);
+}
+
+TEST(FeatureGatherTest, SubPageNodesShareAPage) {
+  // dim 128: 8 nodes per page; gathering 8 page-mates costs one storage
+  // read plus seven cache hits.
+  GatherRig rig(128);
+  std::vector<graph::NodeId> nodes(8);
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  FeatureGatherCounts counts;
+  ASSERT_TRUE(rig.gatherer->Gather(nodes, &counts).ok());
+  EXPECT_EQ(counts.storage_reads, 1u);
+  EXPECT_EQ(counts.gpu_cache_hits, 7u);
+}
+
+TEST(FeatureGatherTest, PageSpanningNodesCostMore) {
+  // dim 768: pages-per-node = 1.5, so 4 aligned nodes touch 6 pages.
+  GatherRig rig(768);
+  std::vector<graph::NodeId> nodes = {0, 1, 2, 3};
+  FeatureGatherCounts counts;
+  ASSERT_TRUE(rig.gatherer->Gather(nodes, &counts).ok());
+  EXPECT_EQ(counts.total_page_requests(), 6u);
+}
+
+TEST(FeatureGatherTest, HotBufferRedirects) {
+  graph::FeatureStore probe(100, 1024);
+  EvenHotBuffer hot(&probe);
+  GatherRig rig(1024, 100, 16 * 4096, &hot);
+  std::vector<graph::NodeId> nodes = {0, 1, 2, 3};
+  FeatureGatherCounts counts;
+  auto gathered = rig.gatherer->Gather(nodes, &counts);
+  ASSERT_TRUE(gathered.ok());
+  EXPECT_EQ(counts.cpu_buffer_hits, 2u);
+  EXPECT_EQ(counts.storage_reads, 2u);
+  // Hot-buffer bytes are also correct.
+  std::vector<float> expected(1024);
+  rig.fs.FillFeature(0, expected);
+  for (uint32_t j = 0; j < 1024; ++j) {
+    ASSERT_EQ((*gathered)[j], expected[j]);
+  }
+}
+
+TEST(FeatureGatherTest, HotNodesNeverPolluteGpuCache) {
+  graph::FeatureStore probe(100, 1024);
+  EvenHotBuffer hot(&probe);
+  GatherRig rig(1024, 100, 16 * 4096, &hot);
+  std::vector<graph::NodeId> nodes = {0, 2, 4, 6};
+  FeatureGatherCounts counts;
+  ASSERT_TRUE(rig.gatherer->Gather(nodes, &counts).ok());
+  EXPECT_EQ(rig.cache->resident_lines(), 0u);
+}
+
+TEST(FeatureGatherTest, OutOfRangeNode) {
+  GatherRig rig(128);
+  std::vector<graph::NodeId> nodes = {1000};
+  FeatureGatherCounts counts;
+  std::vector<float> out(128);
+  EXPECT_EQ(rig.gatherer->Gather(nodes, std::span<float>(out), &counts).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FeatureGatherTest, SmallOutputBufferRejected) {
+  GatherRig rig(128);
+  std::vector<graph::NodeId> nodes = {1, 2};
+  std::vector<float> out(128);  // room for one node only
+  FeatureGatherCounts counts;
+  EXPECT_EQ(rig.gatherer->Gather(nodes, std::span<float>(out), &counts).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FeatureGatherTest, CountsOnlyMatchesFullGather) {
+  // The counting-mode path must make identical traffic decisions.
+  GatherRig full_rig(1024, 200, 8 * 4096);
+  GatherRig count_rig(1024, 200, 8 * 4096);
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<graph::NodeId> nodes;
+    for (int i = 0; i < 16; ++i) {
+      nodes.push_back(static_cast<graph::NodeId>(rng.UniformInt(200)));
+    }
+    FeatureGatherCounts a;
+    FeatureGatherCounts b;
+    ASSERT_TRUE(full_rig.gatherer->Gather(nodes, &a).ok());
+    ASSERT_TRUE(count_rig.gatherer->GatherCountsOnly(nodes, &b).ok());
+    ASSERT_EQ(a.gpu_cache_hits, b.gpu_cache_hits) << "round " << round;
+    ASSERT_EQ(a.storage_reads, b.storage_reads) << "round " << round;
+  }
+}
+
+TEST(BamArrayTest, CachelessArrayAlwaysReadsStorage) {
+  graph::FeatureStore fs(10, 1024);
+  auto dev = std::make_unique<FunctionBlockDevice>(
+      fs.num_pages(), fs.page_bytes(),
+      [&fs](uint64_t lba, std::span<std::byte> out) { fs.FillPage(lba, out); });
+  StorageArray arr(std::move(dev), sim::SsdSpec::IntelOptane(), 1);
+  BamArray bam(&arr, nullptr);
+  std::vector<std::byte> out(4096);
+  GatherCounts counts;
+  ASSERT_TRUE(bam.ReadPage(3, out, &counts).ok());
+  ASSERT_TRUE(bam.ReadPage(3, out, &counts).ok());
+  EXPECT_EQ(counts.storage_reads, 2u);
+  EXPECT_EQ(counts.cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace gids::storage

@@ -1,0 +1,75 @@
+#include "storage/io_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace gids::storage {
+namespace {
+
+TEST(IoQueuePairTest, SubmitAndComplete) {
+  IoQueuePair q(4);
+  EXPECT_TRUE(q.Submit({.lba = 10, .tag = 1}).ok());
+  EXPECT_EQ(q.outstanding(), 1u);
+  auto popped = q.PopSubmitted(10);
+  ASSERT_EQ(popped.size(), 1u);
+  EXPECT_EQ(popped[0].lba, 10u);
+  q.Complete(1);
+  auto done = q.PollCompletion();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, 1u);
+  EXPECT_EQ(q.outstanding(), 0u);
+}
+
+TEST(IoQueuePairTest, FullQueueRejects) {
+  IoQueuePair q(2);
+  EXPECT_TRUE(q.Submit({.lba = 0, .tag = 0}).ok());
+  EXPECT_TRUE(q.Submit({.lba = 1, .tag = 1}).ok());
+  EXPECT_TRUE(q.Full());
+  EXPECT_EQ(q.Submit({.lba = 2, .tag = 2}).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(IoQueuePairTest, DepthFreesAfterReap) {
+  IoQueuePair q(1);
+  ASSERT_TRUE(q.Submit({.lba = 0, .tag = 7}).ok());
+  q.PopSubmitted(1);
+  q.Complete(7);
+  EXPECT_TRUE(q.Full());  // still outstanding until reaped
+  ASSERT_TRUE(q.PollCompletion().has_value());
+  EXPECT_FALSE(q.Full());
+  EXPECT_TRUE(q.Submit({.lba = 1, .tag = 8}).ok());
+}
+
+TEST(IoQueuePairTest, PopRespectsMax) {
+  IoQueuePair q(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Submit({.lba = i, .tag = i}).ok());
+  }
+  auto first = q.PopSubmitted(3);
+  EXPECT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].tag, 0u);
+  auto rest = q.PopSubmitted(10);
+  EXPECT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].tag, 3u);
+}
+
+TEST(IoQueuePairTest, PollOnEmptyCompletion) {
+  IoQueuePair q(2);
+  EXPECT_FALSE(q.PollCompletion().has_value());
+}
+
+TEST(IoQueuePairTest, Counters) {
+  IoQueuePair q(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.Submit({.lba = i, .tag = i}).ok());
+  }
+  q.PopSubmitted(4);
+  for (uint64_t i = 0; i < 4; ++i) q.Complete(i);
+  while (q.PollCompletion().has_value()) {
+  }
+  EXPECT_EQ(q.total_submitted(), 4u);
+  EXPECT_EQ(q.total_completed(), 4u);
+  EXPECT_EQ(q.outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace gids::storage

@@ -1,0 +1,44 @@
+#include "storage/queue_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace gids::storage {
+namespace {
+
+TEST(QueueManagerTest, GeometryAndDepth) {
+  QueueManager qm(4, 16);
+  EXPECT_EQ(qm.num_queues(), 4u);
+  EXPECT_EQ(qm.depth_per_queue(), 16u);
+  EXPECT_EQ(qm.total_depth(), 64u);
+}
+
+TEST(QueueManagerTest, RoundTripCompletesCleanly) {
+  QueueManager qm(2, 4);
+  for (uint64_t lba = 0; lba < 100; ++lba) {
+    ASSERT_TRUE(qm.RoundTrip(lba).ok());
+  }
+  EXPECT_EQ(qm.total_submissions(), 100u);
+  for (uint32_t q = 0; q < qm.num_queues(); ++q) {
+    EXPECT_EQ(qm.queue(q).outstanding(), 0u);
+  }
+}
+
+TEST(QueueManagerTest, RoundRobinSpreadsLoad) {
+  QueueManager qm(4, 8);
+  for (uint64_t lba = 0; lba < 40; ++lba) {
+    ASSERT_TRUE(qm.RoundTrip(lba).ok());
+  }
+  for (uint32_t q = 0; q < 4; ++q) {
+    EXPECT_EQ(qm.queue(q).total_submitted(), 10u);
+  }
+}
+
+TEST(QueueManagerTest, DepthOneWorks) {
+  QueueManager qm(1, 1);
+  ASSERT_TRUE(qm.RoundTrip(7).ok());
+  ASSERT_TRUE(qm.RoundTrip(8).ok());
+  EXPECT_EQ(qm.total_submissions(), 2u);
+}
+
+}  // namespace
+}  // namespace gids::storage

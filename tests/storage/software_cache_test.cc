@@ -1,0 +1,183 @@
+#include "storage/software_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gids::storage {
+namespace {
+
+std::vector<std::byte> Payload(uint32_t line_bytes, uint8_t fill) {
+  return std::vector<std::byte>(line_bytes, std::byte{fill});
+}
+
+TEST(SoftwareCacheTest, MissThenHit) {
+  SoftwareCache cache(4 * 64, 64);
+  EXPECT_EQ(cache.Lookup(7), nullptr);
+  auto p = Payload(64, 0xab);
+  EXPECT_TRUE(cache.Insert(7, p));
+  const std::byte* line = cache.Lookup(7);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line[0], std::byte{0xab});
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SoftwareCacheTest, CapacityLines) {
+  SoftwareCache cache(10 * 128 + 100, 128);
+  EXPECT_EQ(cache.capacity_lines(), 10u);
+}
+
+TEST(SoftwareCacheTest, EvictsWhenFull) {
+  SoftwareCache cache(4 * 64, 64, /*seed=*/1);
+  for (uint64_t p = 0; p < 8; ++p) {
+    EXPECT_TRUE(cache.Insert(p, Payload(64, static_cast<uint8_t>(p))));
+  }
+  EXPECT_EQ(cache.resident_lines(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+}
+
+TEST(SoftwareCacheTest, ReinsertRefreshesPayload) {
+  SoftwareCache cache(4 * 64, 64);
+  ASSERT_TRUE(cache.Insert(1, Payload(64, 0x01)));
+  ASSERT_TRUE(cache.Insert(1, Payload(64, 0x02)));
+  EXPECT_EQ(cache.resident_lines(), 1u);
+  const std::byte* line = cache.Lookup(1);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line[0], std::byte{0x02});
+}
+
+TEST(SoftwareCacheTest, PinnedLinesAreNeverEvicted) {
+  // The window-buffering invariant (§3.4): lines in the USE state survive
+  // arbitrary insertion pressure.
+  SoftwareCache cache(8 * 64, 64, /*seed=*/2);
+  for (uint64_t p = 0; p < 4; ++p) {
+    cache.AddFutureReuse(p, 1);
+    ASSERT_TRUE(cache.Insert(p, Payload(64, 0xaa)));
+  }
+  EXPECT_EQ(cache.pinned_lines(), 4u);
+  // Hammer the cache with 200 other pages.
+  for (uint64_t p = 100; p < 300; ++p) {
+    cache.Insert(p, Payload(64, 0xbb));
+  }
+  for (uint64_t p = 0; p < 4; ++p) {
+    EXPECT_TRUE(cache.Contains(p)) << "pinned page " << p << " was evicted";
+  }
+}
+
+TEST(SoftwareCacheTest, ReuseCounterDrainsOnLookup) {
+  SoftwareCache cache(8 * 64, 64);
+  cache.AddFutureReuse(5, 2);
+  ASSERT_TRUE(cache.Insert(5, Payload(64, 0x1)));
+  EXPECT_EQ(cache.FutureReuseCount(5), 2u);
+  EXPECT_EQ(cache.pinned_lines(), 1u);
+  cache.Lookup(5);
+  EXPECT_EQ(cache.FutureReuseCount(5), 1u);
+  EXPECT_EQ(cache.pinned_lines(), 1u);  // still pinned
+  cache.Lookup(5);
+  EXPECT_EQ(cache.FutureReuseCount(5), 0u);
+  EXPECT_EQ(cache.pinned_lines(), 0u);  // back to Safe-to-Evict
+}
+
+TEST(SoftwareCacheTest, ReuseRegisteredBeforeInsertionPins) {
+  // Fig. 6 ordering: the window registers node IDs before their features
+  // are fetched; insertion must pick up the pending counter.
+  SoftwareCache cache(8 * 64, 64);
+  cache.AddFutureReuse(9, 3);
+  ASSERT_TRUE(cache.Insert(9, Payload(64, 0x9)));
+  EXPECT_EQ(cache.pinned_lines(), 1u);
+}
+
+TEST(SoftwareCacheTest, FullyPinnedCacheBypassesInsertions) {
+  SoftwareCache cache(2 * 64, 64, /*seed=*/3);
+  cache.AddFutureReuse(0, 1);
+  cache.AddFutureReuse(1, 1);
+  ASSERT_TRUE(cache.Insert(0, Payload(64, 0)));
+  ASSERT_TRUE(cache.Insert(1, Payload(64, 1)));
+  EXPECT_FALSE(cache.Insert(2, Payload(64, 2)));
+  EXPECT_GT(cache.stats().bypasses, 0u);
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(SoftwareCacheTest, ClearFutureReuseUnpinsEverything) {
+  SoftwareCache cache(4 * 64, 64);
+  cache.AddFutureReuse(0, 5);
+  ASSERT_TRUE(cache.Insert(0, Payload(64, 0)));
+  EXPECT_EQ(cache.pinned_lines(), 1u);
+  cache.ClearFutureReuse();
+  EXPECT_EQ(cache.pinned_lines(), 0u);
+  EXPECT_EQ(cache.FutureReuseCount(0), 0u);
+}
+
+TEST(SoftwareCacheTest, MetadataModeMatchesPayloadModeDecisions) {
+  // Touch/InsertMeta must produce the same hit/miss sequence as
+  // Lookup/Insert under the same seed and access pattern.
+  SoftwareCache with_data(16 * 64, 64, /*seed=*/42, /*store_payloads=*/true);
+  SoftwareCache meta_only(16 * 64, 64, /*seed=*/42, /*store_payloads=*/false);
+  Rng rng(9);
+  auto payload = Payload(64, 0x7);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t page = rng.UniformInt(64);
+    bool hit_a = with_data.Lookup(page) != nullptr;
+    if (!hit_a) with_data.Insert(page, payload);
+    bool hit_b = meta_only.Touch(page);
+    if (!hit_b) meta_only.InsertMeta(page);
+    ASSERT_EQ(hit_a, hit_b) << "diverged at access " << i;
+  }
+  EXPECT_EQ(with_data.stats().hits, meta_only.stats().hits);
+  EXPECT_EQ(with_data.stats().evictions, meta_only.stats().evictions);
+}
+
+TEST(SoftwareCacheTest, HitRatioStat) {
+  SoftwareCache cache(8 * 64, 64);
+  cache.Insert(1, Payload(64, 1));
+  cache.Lookup(1);  // hit
+  cache.Lookup(2);  // miss
+  cache.Lookup(1);  // hit
+  EXPECT_NEAR(cache.stats().HitRatio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(SoftwareCacheTest, ResetStats) {
+  SoftwareCache cache(8 * 64, 64);
+  cache.Lookup(1);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().lookups, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(SoftwareCacheTest, StressResidencyNeverExceedsCapacity) {
+  SoftwareCache cache(32 * 64, 64, /*seed=*/5, /*store_payloads=*/false);
+  Rng rng(6);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t page = rng.UniformInt(1000);
+    if (!cache.Touch(page)) cache.InsertMeta(page);
+    ASSERT_LE(cache.resident_lines(), cache.capacity_lines());
+  }
+}
+
+class WindowPinStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowPinStressTest, CounterConservation) {
+  // Register K future uses, then access exactly K times: the counter must
+  // be exactly zero afterwards (no leaks, no over-consumption).
+  const int k = GetParam();
+  SoftwareCache cache(64 * 64, 64, /*seed=*/7, /*store_payloads=*/false);
+  cache.AddFutureReuse(3, k);
+  cache.InsertMeta(3);
+  for (int i = 0; i < k; ++i) {
+    EXPECT_TRUE(cache.Touch(3));
+    EXPECT_EQ(cache.FutureReuseCount(3), static_cast<uint32_t>(k - 1 - i));
+  }
+  EXPECT_EQ(cache.pinned_lines(), 0u);
+  // Extra accesses must not underflow.
+  EXPECT_TRUE(cache.Touch(3));
+  EXPECT_EQ(cache.FutureReuseCount(3), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, WindowPinStressTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace gids::storage

@@ -1,0 +1,46 @@
+#ifndef GIDS_TESTS_TEST_UTIL_H_
+#define GIDS_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "graph/dataset.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/seed_iterator.h"
+#include "sim/system_model.h"
+
+namespace gids::testing {
+
+/// A small end-to-end rig shared by the loader tests: a scaled IGB-small
+/// proxy, a paper-shaped system model with scaled memory, a neighborhood
+/// sampler and a seed iterator.
+struct LoaderRig {
+  explicit LoaderRig(double dataset_scale = 0.01,
+                     double memory_scale = 1.0 / 4096.0,
+                     sim::SsdSpec ssd = sim::SsdSpec::IntelOptane(),
+                     int n_ssd = 1, uint32_t batch_size = 32,
+                     std::vector<int> fanouts = {5, 5}) {
+    auto built =
+        graph::BuildDataset(graph::DatasetSpec::IgbSmall(), dataset_scale, 7);
+    GIDS_CHECK(built.ok());
+    dataset = std::make_unique<graph::Dataset>(std::move(built).value());
+
+    sim::SystemConfig cfg = sim::SystemConfig::Paper(std::move(ssd), n_ssd);
+    cfg.memory_scale = memory_scale;
+    system = std::make_unique<sim::SystemModel>(cfg);
+
+    sampler = std::make_unique<sampling::NeighborSampler>(
+        &dataset->graph,
+        sampling::NeighborSamplerOptions{.fanouts = std::move(fanouts)}, 11);
+    seeds = std::make_unique<sampling::SeedIterator>(dataset->train_ids,
+                                                     batch_size, 13);
+  }
+
+  std::unique_ptr<graph::Dataset> dataset;
+  std::unique_ptr<sim::SystemModel> system;
+  std::unique_ptr<sampling::NeighborSampler> sampler;
+  std::unique_ptr<sampling::SeedIterator> seeds;
+};
+
+}  // namespace gids::testing
+
+#endif  // GIDS_TESTS_TEST_UTIL_H_

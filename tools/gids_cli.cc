@@ -1,0 +1,338 @@
+// gids_cli — command-line driver for the GIDS reproduction.
+//
+//   gids_cli generate --dataset IGB-Full --scale 0.0039 --out igb.gids
+//   gids_cli info     --in igb.gids
+//   gids_cli run      --dataset IGB-Full --scale 0.0039 --loader gids
+//                     --ssd optane --n-ssd 1 --batch 16 --fanout 10,5,5
+//                     --warmup 100 --measure 30 [--csv iters.csv]
+//                     [--no-accumulator] [--no-window] [--no-cpu-buffer]
+//                     [--cpu-buffer-frac 0.1] [--window-depth 8]
+//
+// `run` accepts either --dataset/--scale (generate on the fly) or
+// --in <file.gids> (load a saved proxy). Prints a per-stage summary and,
+// with --csv, writes per-iteration virtual-time stats for plotting.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gids_loader.h"
+#include "core/trainer.h"
+#include "graph/dataset.h"
+#include "graph/pagerank.h"
+#include "graph/serialization.h"
+#include "loaders/ginex_loader.h"
+#include "loaders/mmap_loader.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/seed_iterator.h"
+#include "sim/pipeline_des.h"
+#include "sim/system_model.h"
+
+namespace {
+
+using namespace gids;
+
+// --- Minimal flag parsing: --key value and boolean --key.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  bool GetBool(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+StatusOr<graph::DatasetSpec> SpecByName(const std::string& name) {
+  for (const auto& spec : graph::DatasetSpec::RealWorld()) {
+    if (spec.name == name) return spec;
+  }
+  for (const auto& spec : graph::DatasetSpec::IgbMicro()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("unknown dataset '" + name +
+                          "' (see bench_tab02_datasets for the catalog)");
+}
+
+StatusOr<graph::Dataset> ResolveDataset(const Flags& flags) {
+  if (flags.Has("in")) {
+    return graph::LoadDataset(flags.Get("in", ""));
+  }
+  GIDS_ASSIGN_OR_RETURN(graph::DatasetSpec spec,
+                        SpecByName(flags.Get("dataset", "IGB-tiny")));
+  return graph::BuildDataset(spec, flags.GetDouble("scale", 1.0 / 256),
+                             static_cast<uint64_t>(flags.GetInt("seed", 42)));
+}
+
+std::vector<int> ParseFanout(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(std::atoi(csv.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int CmdGenerate(const Flags& flags) {
+  auto dataset = ResolveDataset(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = flags.Get("out", "dataset.gids");
+  Status s = graph::SaveDataset(*dataset, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u nodes, %llu edges, dim %u\n", out.c_str(),
+              dataset->graph.num_nodes(),
+              static_cast<unsigned long long>(dataset->graph.num_edges()),
+              dataset->features.feature_dim());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  auto dataset = graph::LoadDataset(flags.Get("in", ""));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const graph::Dataset& ds = *dataset;
+  std::printf("name:           %s (scale %.6f)\n", ds.spec.name.c_str(),
+              ds.scale);
+  std::printf("kind:           %s\n",
+              ds.spec.kind == graph::GraphKind::kHeterogeneous
+                  ? "heterogeneous"
+                  : "homogeneous");
+  std::printf("nodes:          %u\n", ds.graph.num_nodes());
+  std::printf("edges:          %llu\n",
+              static_cast<unsigned long long>(ds.graph.num_edges()));
+  std::printf("feature dim:    %u (%.2f GB total)\n",
+              ds.features.feature_dim(),
+              static_cast<double>(ds.feature_bytes()) / 1e9);
+  std::printf("structure:      %.2f MB (pinned in CPU memory)\n",
+              static_cast<double>(ds.structure_bytes()) / 1e6);
+  std::printf("train ids:      %zu\n", ds.train_ids.size());
+  for (const auto& t : ds.node_types) {
+    std::printf("node type:      %-14s [%u, %u)\n", t.name.c_str(), t.offset,
+                t.offset + t.count);
+  }
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  auto dataset_or = ResolveDataset(flags);
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "%s\n", dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  graph::Dataset dataset = std::move(dataset_or).value();
+
+  std::string ssd_name = flags.Get("ssd", "optane");
+  sim::SsdSpec ssd = ssd_name == "samsung" ? sim::SsdSpec::Samsung980Pro()
+                                           : sim::SsdSpec::IntelOptane();
+  sim::SystemConfig cfg = sim::SystemConfig::Paper(
+      ssd, static_cast<int>(flags.GetInt("n-ssd", 1)));
+  cfg.memory_scale = flags.GetDouble("memory-scale", dataset.scale);
+  sim::SystemModel system(cfg);
+
+  sampling::NeighborSampler sampler(
+      &dataset.graph,
+      {.fanouts = ParseFanout(flags.Get("fanout", "10,5,5"))},
+      static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0x5a3e);
+  sampling::SeedIterator seeds(
+      dataset.train_ids, static_cast<uint32_t>(flags.GetInt("batch", 16)),
+      static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0x5eed);
+
+  std::string kind = flags.Get("loader", "gids");
+  std::unique_ptr<loaders::DataLoader> loader;
+  std::vector<graph::NodeId> hot_order;
+  if (kind == "mmap") {
+    loader = std::make_unique<loaders::MmapLoader>(
+        &dataset, &sampler, &seeds, &system,
+        loaders::MmapLoaderOptions{.counting_mode = true});
+  } else if (kind == "ginex") {
+    loader = std::make_unique<loaders::GinexLoader>(
+        &dataset, &sampler, &seeds, &system,
+        loaders::GinexLoaderOptions{.counting_mode = true});
+  } else if (kind == "bam" || kind == "gids") {
+    core::GidsOptions opts =
+        kind == "bam" ? core::GidsOptions::Bam() : core::GidsOptions{};
+    opts.counting_mode = true;
+    if (flags.GetBool("no-accumulator")) opts.use_accumulator = false;
+    if (flags.GetBool("no-window")) opts.use_window_buffering = false;
+    if (flags.GetBool("no-cpu-buffer")) opts.use_cpu_buffer = false;
+    opts.cpu_buffer_fraction = flags.GetDouble("cpu-buffer-frac", 0.10);
+    opts.window_depth =
+        static_cast<int>(flags.GetInt("window-depth", 8));
+    if (opts.use_cpu_buffer) {
+      auto score = graph::WeightedReversePageRank(dataset.graph, {});
+      hot_order = graph::RankNodesByScore(score);
+      opts.hot_node_order = &hot_order;
+    }
+    loader = std::make_unique<core::GidsLoader>(&dataset, &sampler, &seeds,
+                                                &system, opts);
+  } else {
+    std::fprintf(stderr, "unknown loader '%s' (mmap|ginex|bam|gids)\n",
+                 kind.c_str());
+    return 2;
+  }
+
+  core::Trainer trainer(
+      &dataset,
+      {.warmup_iterations =
+           static_cast<uint64_t>(flags.GetInt("warmup", 100)),
+       .measure_iterations =
+           static_cast<uint64_t>(flags.GetInt("measure", 30))});
+  auto result = trainer.Run(*loader);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const loaders::IterationStats& m = result->measured;
+  uint64_t n = result->per_iteration.size();
+  std::printf("loader:       %s on %s x%d\n",
+              std::string(loader->name()).c_str(), ssd.name.c_str(),
+              cfg.n_ssd);
+  std::printf("iterations:   %llu measured (after %ld warm-up)\n",
+              static_cast<unsigned long long>(n), flags.GetInt("warmup", 100));
+  std::printf("e2e:          %.3f virtual ms/iter\n",
+              result->mean_iteration_ms());
+  std::printf("  sampling    %.3f ms/iter\n", NsToMs(m.sampling_ns) / n);
+  std::printf("  aggregation %.3f ms/iter\n", NsToMs(m.aggregation_ns) / n);
+  std::printf("  transfer    %.3f ms/iter\n", NsToMs(m.transfer_ns) / n);
+  std::printf("  training    %.3f ms/iter\n", NsToMs(m.training_ns) / n);
+  std::printf("traffic:      %llu cache hits, %llu CPU-buffer hits, "
+              "%llu storage reads\n",
+              static_cast<unsigned long long>(m.gather.gpu_cache_hits),
+              static_cast<unsigned long long>(m.gather.cpu_buffer_hits),
+              static_cast<unsigned long long>(m.gather.storage_reads));
+  std::printf("cache hit:    %.1f%%\n",
+              100.0 * result->gpu_cache_hit_ratio());
+
+  if (flags.Has("trace")) {
+    // Replay the measured stage costs through the pipeline DES and export
+    // a chrome://tracing timeline of the run.
+    std::vector<sim::StageCosts> stages;
+    for (const auto& st : result->per_iteration) {
+      stages.push_back(sim::StageCosts{.sampling_ns = st.sampling_ns,
+                                       .aggregation_ns = st.aggregation_ns,
+                                       .transfer_ns = st.transfer_ns,
+                                       .training_ns = st.training_ns});
+    }
+    sim::PipelinePolicy policy =
+        kind == "mmap" ? sim::PipelinePolicy::kSerial
+        : kind == "ginex"
+            ? sim::PipelinePolicy::kPrepOverlapsAggregation
+            : sim::PipelinePolicy::kDecoupled;
+    std::vector<sim::TaskInterval> timeline;
+    sim::PipelineResult des = sim::SimulatePipeline(stages, policy, &timeline);
+    std::string path = flags.Get("trace", "pipeline_trace.json");
+    Status s = sim::WriteChromeTrace(timeline, path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (makespan %.3f ms; GPU %.0f%% / IO %.0f%% / "
+                "CPU %.0f%% utilized)\n",
+                path.c_str(), NsToMs(des.makespan_ns),
+                100 * des.gpu_utilization(), 100 * des.io_utilization(),
+                100 * des.cpu_utilization());
+  }
+
+  if (flags.Has("csv")) {
+    std::string path = flags.Get("csv", "iterations.csv");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "iter,e2e_ms,sampling_ms,aggregation_ms,transfer_ms,"
+                 "training_ms,input_nodes,cache_hits,cpu_buffer_hits,"
+                 "storage_reads,merged_group\n");
+    for (size_t i = 0; i < result->per_iteration.size(); ++i) {
+      const auto& st = result->per_iteration[i];
+      std::fprintf(
+          f, "%zu,%.6f,%.6f,%.6f,%.6f,%.6f,%llu,%llu,%llu,%llu,%u\n", i,
+          NsToMs(st.e2e_ns), NsToMs(st.sampling_ns),
+          NsToMs(st.aggregation_ns), NsToMs(st.transfer_ns),
+          NsToMs(st.training_ns),
+          static_cast<unsigned long long>(st.input_nodes),
+          static_cast<unsigned long long>(st.gather.gpu_cache_hits),
+          static_cast<unsigned long long>(st.gather.cpu_buffer_hits),
+          static_cast<unsigned long long>(st.gather.storage_reads),
+          st.merged_group);
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gids_cli <generate|info|run> [--flags]\n"
+      "  generate --dataset NAME --scale S [--seed N] --out FILE\n"
+      "  info     --in FILE\n"
+      "  run      (--dataset NAME --scale S | --in FILE)\n"
+      "           --loader mmap|ginex|bam|gids --ssd optane|samsung\n"
+      "           [--n-ssd N --batch B --fanout a,b,c --warmup W\n"
+      "            --measure M --csv FILE --trace FILE.json\n"
+      "            --no-accumulator --no-window --no-cpu-buffer\n"
+      "            --cpu-buffer-frac F --window-depth D]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  Flags flags(argc, argv, 2);
+  std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "run") return CmdRun(flags);
+  Usage();
+  return 2;
+}
