@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_accumulator.dir/bench_abl_accumulator.cc.o"
+  "CMakeFiles/bench_abl_accumulator.dir/bench_abl_accumulator.cc.o.d"
+  "bench_abl_accumulator"
+  "bench_abl_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cluster_gcn.dir/bench_abl_cluster_gcn.cc.o"
+  "CMakeFiles/bench_abl_cluster_gcn.dir/bench_abl_cluster_gcn.cc.o.d"
+  "bench_abl_cluster_gcn"
+  "bench_abl_cluster_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cluster_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_eviction.dir/bench_abl_eviction.cc.o"
+  "CMakeFiles/bench_abl_eviction.dir/bench_abl_eviction.cc.o.d"
+  "bench_abl_eviction"
+  "bench_abl_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_multi_gpu.dir/bench_abl_multi_gpu.cc.o"
+  "CMakeFiles/bench_abl_multi_gpu.dir/bench_abl_multi_gpu.cc.o.d"
+  "bench_abl_multi_gpu"
+  "bench_abl_multi_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

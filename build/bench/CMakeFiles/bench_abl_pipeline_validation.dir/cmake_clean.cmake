@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_pipeline_validation.dir/bench_abl_pipeline_validation.cc.o"
+  "CMakeFiles/bench_abl_pipeline_validation.dir/bench_abl_pipeline_validation.cc.o.d"
+  "bench_abl_pipeline_validation"
+  "bench_abl_pipeline_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_pipeline_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ssd_scaling.dir/bench_abl_ssd_scaling.cc.o"
+  "CMakeFiles/bench_abl_ssd_scaling.dir/bench_abl_ssd_scaling.cc.o.d"
+  "bench_abl_ssd_scaling"
+  "bench_abl_ssd_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ssd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_structure_placement.dir/bench_abl_structure_placement.cc.o"
+  "CMakeFiles/bench_abl_structure_placement.dir/bench_abl_structure_placement.cc.o.d"
+  "bench_abl_structure_placement"
+  "bench_abl_structure_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_structure_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

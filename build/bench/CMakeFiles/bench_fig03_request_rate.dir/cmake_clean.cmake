@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_request_rate.dir/bench_fig03_request_rate.cc.o"
+  "CMakeFiles/bench_fig03_request_rate.dir/bench_fig03_request_rate.cc.o.d"
+  "bench_fig03_request_rate"
+  "bench_fig03_request_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_request_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_sampling.dir/bench_fig07_sampling.cc.o"
+  "CMakeFiles/bench_fig07_sampling.dir/bench_fig07_sampling.cc.o.d"
+  "bench_fig07_sampling"
+  "bench_fig07_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

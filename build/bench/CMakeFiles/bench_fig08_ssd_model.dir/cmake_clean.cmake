@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_ssd_model.dir/bench_fig08_ssd_model.cc.o"
+  "CMakeFiles/bench_fig08_ssd_model.dir/bench_fig08_ssd_model.cc.o.d"
+  "bench_fig08_ssd_model"
+  "bench_fig08_ssd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_ssd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_accumulator.dir/bench_fig09_accumulator.cc.o"
+  "CMakeFiles/bench_fig09_accumulator.dir/bench_fig09_accumulator.cc.o.d"
+  "bench_fig09_accumulator"
+  "bench_fig09_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cpu_buffer.dir/bench_fig10_cpu_buffer.cc.o"
+  "CMakeFiles/bench_fig10_cpu_buffer.dir/bench_fig10_cpu_buffer.cc.o.d"
+  "bench_fig10_cpu_buffer"
+  "bench_fig10_cpu_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cpu_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_window_depth.dir/bench_fig11_window_depth.cc.o"
+  "CMakeFiles/bench_fig11_window_depth.dir/bench_fig11_window_depth.cc.o.d"
+  "bench_fig11_window_depth"
+  "bench_fig11_window_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_window_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_window_cache.dir/bench_fig12_window_cache.cc.o"
+  "CMakeFiles/bench_fig12_window_cache.dir/bench_fig12_window_cache.cc.o.d"
+  "bench_fig12_window_cache"
+  "bench_fig12_window_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_window_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_e2e_samsung.dir/bench_fig13_e2e_samsung.cc.o"
+  "CMakeFiles/bench_fig13_e2e_samsung.dir/bench_fig13_e2e_samsung.cc.o.d"
+  "bench_fig13_e2e_samsung"
+  "bench_fig13_e2e_samsung.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_e2e_samsung.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

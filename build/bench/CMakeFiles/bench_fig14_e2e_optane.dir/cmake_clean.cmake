@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_e2e_optane.dir/bench_fig14_e2e_optane.cc.o"
+  "CMakeFiles/bench_fig14_e2e_optane.dir/bench_fig14_e2e_optane.cc.o.d"
+  "bench_fig14_e2e_optane"
+  "bench_fig14_e2e_optane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_e2e_optane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

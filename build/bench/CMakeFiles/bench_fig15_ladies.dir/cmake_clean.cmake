@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_ladies.dir/bench_fig15_ladies.cc.o"
+  "CMakeFiles/bench_fig15_ladies.dir/bench_fig15_ladies.cc.o.d"
+  "bench_fig15_ladies"
+  "bench_fig15_ladies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ladies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

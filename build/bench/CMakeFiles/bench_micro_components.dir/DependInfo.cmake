@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_components.cc" "bench/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o" "gcc" "bench/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gids_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gids_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/loaders/CMakeFiles/gids_loaders.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gids_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gids_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gids_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gids_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gids_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gids_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

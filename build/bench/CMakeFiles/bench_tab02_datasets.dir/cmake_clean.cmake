@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_datasets.dir/bench_tab02_datasets.cc.o"
+  "CMakeFiles/bench_tab02_datasets.dir/bench_tab02_datasets.cc.o.d"
+  "bench_tab02_datasets"
+  "bench_tab02_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_datasize.dir/bench_tab04_datasize.cc.o"
+  "CMakeFiles/bench_tab04_datasize.dir/bench_tab04_datasize.cc.o.d"
+  "bench_tab04_datasize"
+  "bench_tab04_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

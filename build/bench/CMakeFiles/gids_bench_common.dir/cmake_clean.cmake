@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_bench_common.dir/common.cc.o"
+  "CMakeFiles/gids_bench_common.dir/common.cc.o.d"
+  "libgids_bench_common.a"
+  "libgids_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

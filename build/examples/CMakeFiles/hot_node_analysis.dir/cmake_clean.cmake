@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_node_analysis.dir/hot_node_analysis.cpp.o"
+  "CMakeFiles/hot_node_analysis.dir/hot_node_analysis.cpp.o.d"
+  "hot_node_analysis"
+  "hot_node_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_node_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

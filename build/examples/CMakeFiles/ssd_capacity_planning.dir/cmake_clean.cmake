@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_capacity_planning.dir/ssd_capacity_planning.cpp.o"
+  "CMakeFiles/ssd_capacity_planning.dir/ssd_capacity_planning.cpp.o.d"
+  "ssd_capacity_planning"
+  "ssd_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terabyte_scale_training.dir/terabyte_scale_training.cpp.o"
+  "CMakeFiles/terabyte_scale_training.dir/terabyte_scale_training.cpp.o.d"
+  "terabyte_scale_training"
+  "terabyte_scale_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terabyte_scale_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_common.dir/histogram.cc.o"
+  "CMakeFiles/gids_common.dir/histogram.cc.o.d"
+  "CMakeFiles/gids_common.dir/random.cc.o"
+  "CMakeFiles/gids_common.dir/random.cc.o.d"
+  "CMakeFiles/gids_common.dir/status.cc.o"
+  "CMakeFiles/gids_common.dir/status.cc.o.d"
+  "CMakeFiles/gids_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gids_common.dir/thread_pool.cc.o.d"
+  "libgids_common.a"
+  "libgids_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

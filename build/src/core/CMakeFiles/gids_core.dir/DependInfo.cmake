@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accumulator.cc" "src/core/CMakeFiles/gids_core.dir/accumulator.cc.o" "gcc" "src/core/CMakeFiles/gids_core.dir/accumulator.cc.o.d"
+  "/root/repo/src/core/constant_cpu_buffer.cc" "src/core/CMakeFiles/gids_core.dir/constant_cpu_buffer.cc.o" "gcc" "src/core/CMakeFiles/gids_core.dir/constant_cpu_buffer.cc.o.d"
+  "/root/repo/src/core/gids_loader.cc" "src/core/CMakeFiles/gids_core.dir/gids_loader.cc.o" "gcc" "src/core/CMakeFiles/gids_core.dir/gids_loader.cc.o.d"
+  "/root/repo/src/core/multi_gpu.cc" "src/core/CMakeFiles/gids_core.dir/multi_gpu.cc.o" "gcc" "src/core/CMakeFiles/gids_core.dir/multi_gpu.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/gids_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/gids_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/window_buffer.cc" "src/core/CMakeFiles/gids_core.dir/window_buffer.cc.o" "gcc" "src/core/CMakeFiles/gids_core.dir/window_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gids_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gids_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gids_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gids_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/loaders/CMakeFiles/gids_loaders.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gids_gnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

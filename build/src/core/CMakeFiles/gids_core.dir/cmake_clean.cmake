@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_core.dir/accumulator.cc.o"
+  "CMakeFiles/gids_core.dir/accumulator.cc.o.d"
+  "CMakeFiles/gids_core.dir/constant_cpu_buffer.cc.o"
+  "CMakeFiles/gids_core.dir/constant_cpu_buffer.cc.o.d"
+  "CMakeFiles/gids_core.dir/gids_loader.cc.o"
+  "CMakeFiles/gids_core.dir/gids_loader.cc.o.d"
+  "CMakeFiles/gids_core.dir/multi_gpu.cc.o"
+  "CMakeFiles/gids_core.dir/multi_gpu.cc.o.d"
+  "CMakeFiles/gids_core.dir/trainer.cc.o"
+  "CMakeFiles/gids_core.dir/trainer.cc.o.d"
+  "CMakeFiles/gids_core.dir/window_buffer.cc.o"
+  "CMakeFiles/gids_core.dir/window_buffer.cc.o.d"
+  "libgids_core.a"
+  "libgids_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

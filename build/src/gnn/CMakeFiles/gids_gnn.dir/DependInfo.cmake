@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/gat.cc" "src/gnn/CMakeFiles/gids_gnn.dir/gat.cc.o" "gcc" "src/gnn/CMakeFiles/gids_gnn.dir/gat.cc.o.d"
+  "/root/repo/src/gnn/gcn.cc" "src/gnn/CMakeFiles/gids_gnn.dir/gcn.cc.o" "gcc" "src/gnn/CMakeFiles/gids_gnn.dir/gcn.cc.o.d"
+  "/root/repo/src/gnn/graphsage_model.cc" "src/gnn/CMakeFiles/gids_gnn.dir/graphsage_model.cc.o" "gcc" "src/gnn/CMakeFiles/gids_gnn.dir/graphsage_model.cc.o.d"
+  "/root/repo/src/gnn/loss.cc" "src/gnn/CMakeFiles/gids_gnn.dir/loss.cc.o" "gcc" "src/gnn/CMakeFiles/gids_gnn.dir/loss.cc.o.d"
+  "/root/repo/src/gnn/optimizer.cc" "src/gnn/CMakeFiles/gids_gnn.dir/optimizer.cc.o" "gcc" "src/gnn/CMakeFiles/gids_gnn.dir/optimizer.cc.o.d"
+  "/root/repo/src/gnn/sage_conv.cc" "src/gnn/CMakeFiles/gids_gnn.dir/sage_conv.cc.o" "gcc" "src/gnn/CMakeFiles/gids_gnn.dir/sage_conv.cc.o.d"
+  "/root/repo/src/gnn/tensor.cc" "src/gnn/CMakeFiles/gids_gnn.dir/tensor.cc.o" "gcc" "src/gnn/CMakeFiles/gids_gnn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gids_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gids_sampling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

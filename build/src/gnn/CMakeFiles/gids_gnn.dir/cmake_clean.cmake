@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_gnn.dir/gat.cc.o"
+  "CMakeFiles/gids_gnn.dir/gat.cc.o.d"
+  "CMakeFiles/gids_gnn.dir/gcn.cc.o"
+  "CMakeFiles/gids_gnn.dir/gcn.cc.o.d"
+  "CMakeFiles/gids_gnn.dir/graphsage_model.cc.o"
+  "CMakeFiles/gids_gnn.dir/graphsage_model.cc.o.d"
+  "CMakeFiles/gids_gnn.dir/loss.cc.o"
+  "CMakeFiles/gids_gnn.dir/loss.cc.o.d"
+  "CMakeFiles/gids_gnn.dir/optimizer.cc.o"
+  "CMakeFiles/gids_gnn.dir/optimizer.cc.o.d"
+  "CMakeFiles/gids_gnn.dir/sage_conv.cc.o"
+  "CMakeFiles/gids_gnn.dir/sage_conv.cc.o.d"
+  "CMakeFiles/gids_gnn.dir/tensor.cc.o"
+  "CMakeFiles/gids_gnn.dir/tensor.cc.o.d"
+  "libgids_gnn.a"
+  "libgids_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

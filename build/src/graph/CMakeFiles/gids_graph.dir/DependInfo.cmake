@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csc_graph.cc" "src/graph/CMakeFiles/gids_graph.dir/csc_graph.cc.o" "gcc" "src/graph/CMakeFiles/gids_graph.dir/csc_graph.cc.o.d"
+  "/root/repo/src/graph/dataset.cc" "src/graph/CMakeFiles/gids_graph.dir/dataset.cc.o" "gcc" "src/graph/CMakeFiles/gids_graph.dir/dataset.cc.o.d"
+  "/root/repo/src/graph/feature_store.cc" "src/graph/CMakeFiles/gids_graph.dir/feature_store.cc.o" "gcc" "src/graph/CMakeFiles/gids_graph.dir/feature_store.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/graph/CMakeFiles/gids_graph.dir/generator.cc.o" "gcc" "src/graph/CMakeFiles/gids_graph.dir/generator.cc.o.d"
+  "/root/repo/src/graph/pagerank.cc" "src/graph/CMakeFiles/gids_graph.dir/pagerank.cc.o" "gcc" "src/graph/CMakeFiles/gids_graph.dir/pagerank.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/gids_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/gids_graph.dir/partition.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/graph/CMakeFiles/gids_graph.dir/serialization.cc.o" "gcc" "src/graph/CMakeFiles/gids_graph.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gids_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_graph.dir/csc_graph.cc.o"
+  "CMakeFiles/gids_graph.dir/csc_graph.cc.o.d"
+  "CMakeFiles/gids_graph.dir/dataset.cc.o"
+  "CMakeFiles/gids_graph.dir/dataset.cc.o.d"
+  "CMakeFiles/gids_graph.dir/feature_store.cc.o"
+  "CMakeFiles/gids_graph.dir/feature_store.cc.o.d"
+  "CMakeFiles/gids_graph.dir/generator.cc.o"
+  "CMakeFiles/gids_graph.dir/generator.cc.o.d"
+  "CMakeFiles/gids_graph.dir/pagerank.cc.o"
+  "CMakeFiles/gids_graph.dir/pagerank.cc.o.d"
+  "CMakeFiles/gids_graph.dir/partition.cc.o"
+  "CMakeFiles/gids_graph.dir/partition.cc.o.d"
+  "CMakeFiles/gids_graph.dir/serialization.cc.o"
+  "CMakeFiles/gids_graph.dir/serialization.cc.o.d"
+  "libgids_graph.a"
+  "libgids_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_loaders.dir/belady_cache.cc.o"
+  "CMakeFiles/gids_loaders.dir/belady_cache.cc.o.d"
+  "CMakeFiles/gids_loaders.dir/ginex_loader.cc.o"
+  "CMakeFiles/gids_loaders.dir/ginex_loader.cc.o.d"
+  "CMakeFiles/gids_loaders.dir/mmap_loader.cc.o"
+  "CMakeFiles/gids_loaders.dir/mmap_loader.cc.o.d"
+  "CMakeFiles/gids_loaders.dir/os_page_cache.cc.o"
+  "CMakeFiles/gids_loaders.dir/os_page_cache.cc.o.d"
+  "libgids_loaders.a"
+  "libgids_loaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_loaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

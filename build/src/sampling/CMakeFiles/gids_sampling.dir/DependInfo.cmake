@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/cluster_sampler.cc" "src/sampling/CMakeFiles/gids_sampling.dir/cluster_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/gids_sampling.dir/cluster_sampler.cc.o.d"
+  "/root/repo/src/sampling/hetero_sampler.cc" "src/sampling/CMakeFiles/gids_sampling.dir/hetero_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/gids_sampling.dir/hetero_sampler.cc.o.d"
+  "/root/repo/src/sampling/ladies_sampler.cc" "src/sampling/CMakeFiles/gids_sampling.dir/ladies_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/gids_sampling.dir/ladies_sampler.cc.o.d"
+  "/root/repo/src/sampling/neighbor_sampler.cc" "src/sampling/CMakeFiles/gids_sampling.dir/neighbor_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/gids_sampling.dir/neighbor_sampler.cc.o.d"
+  "/root/repo/src/sampling/seed_iterator.cc" "src/sampling/CMakeFiles/gids_sampling.dir/seed_iterator.cc.o" "gcc" "src/sampling/CMakeFiles/gids_sampling.dir/seed_iterator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gids_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

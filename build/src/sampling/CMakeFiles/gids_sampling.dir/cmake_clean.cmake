@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_sampling.dir/cluster_sampler.cc.o"
+  "CMakeFiles/gids_sampling.dir/cluster_sampler.cc.o.d"
+  "CMakeFiles/gids_sampling.dir/hetero_sampler.cc.o"
+  "CMakeFiles/gids_sampling.dir/hetero_sampler.cc.o.d"
+  "CMakeFiles/gids_sampling.dir/ladies_sampler.cc.o"
+  "CMakeFiles/gids_sampling.dir/ladies_sampler.cc.o.d"
+  "CMakeFiles/gids_sampling.dir/neighbor_sampler.cc.o"
+  "CMakeFiles/gids_sampling.dir/neighbor_sampler.cc.o.d"
+  "CMakeFiles/gids_sampling.dir/seed_iterator.cc.o"
+  "CMakeFiles/gids_sampling.dir/seed_iterator.cc.o.d"
+  "libgids_sampling.a"
+  "libgids_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/aggregation_model.cc" "src/sim/CMakeFiles/gids_sim.dir/aggregation_model.cc.o" "gcc" "src/sim/CMakeFiles/gids_sim.dir/aggregation_model.cc.o.d"
+  "/root/repo/src/sim/analytic.cc" "src/sim/CMakeFiles/gids_sim.dir/analytic.cc.o" "gcc" "src/sim/CMakeFiles/gids_sim.dir/analytic.cc.o.d"
+  "/root/repo/src/sim/cpu_model.cc" "src/sim/CMakeFiles/gids_sim.dir/cpu_model.cc.o" "gcc" "src/sim/CMakeFiles/gids_sim.dir/cpu_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/gids_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/gids_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/gpu_model.cc" "src/sim/CMakeFiles/gids_sim.dir/gpu_model.cc.o" "gcc" "src/sim/CMakeFiles/gids_sim.dir/gpu_model.cc.o.d"
+  "/root/repo/src/sim/pipeline_des.cc" "src/sim/CMakeFiles/gids_sim.dir/pipeline_des.cc.o" "gcc" "src/sim/CMakeFiles/gids_sim.dir/pipeline_des.cc.o.d"
+  "/root/repo/src/sim/ssd_model.cc" "src/sim/CMakeFiles/gids_sim.dir/ssd_model.cc.o" "gcc" "src/sim/CMakeFiles/gids_sim.dir/ssd_model.cc.o.d"
+  "/root/repo/src/sim/system_model.cc" "src/sim/CMakeFiles/gids_sim.dir/system_model.cc.o" "gcc" "src/sim/CMakeFiles/gids_sim.dir/system_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gids_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_sim.dir/aggregation_model.cc.o"
+  "CMakeFiles/gids_sim.dir/aggregation_model.cc.o.d"
+  "CMakeFiles/gids_sim.dir/analytic.cc.o"
+  "CMakeFiles/gids_sim.dir/analytic.cc.o.d"
+  "CMakeFiles/gids_sim.dir/cpu_model.cc.o"
+  "CMakeFiles/gids_sim.dir/cpu_model.cc.o.d"
+  "CMakeFiles/gids_sim.dir/event_queue.cc.o"
+  "CMakeFiles/gids_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/gids_sim.dir/gpu_model.cc.o"
+  "CMakeFiles/gids_sim.dir/gpu_model.cc.o.d"
+  "CMakeFiles/gids_sim.dir/pipeline_des.cc.o"
+  "CMakeFiles/gids_sim.dir/pipeline_des.cc.o.d"
+  "CMakeFiles/gids_sim.dir/ssd_model.cc.o"
+  "CMakeFiles/gids_sim.dir/ssd_model.cc.o.d"
+  "CMakeFiles/gids_sim.dir/system_model.cc.o"
+  "CMakeFiles/gids_sim.dir/system_model.cc.o.d"
+  "libgids_sim.a"
+  "libgids_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bam_array.cc" "src/storage/CMakeFiles/gids_storage.dir/bam_array.cc.o" "gcc" "src/storage/CMakeFiles/gids_storage.dir/bam_array.cc.o.d"
+  "/root/repo/src/storage/block_device.cc" "src/storage/CMakeFiles/gids_storage.dir/block_device.cc.o" "gcc" "src/storage/CMakeFiles/gids_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/storage/feature_gather.cc" "src/storage/CMakeFiles/gids_storage.dir/feature_gather.cc.o" "gcc" "src/storage/CMakeFiles/gids_storage.dir/feature_gather.cc.o.d"
+  "/root/repo/src/storage/io_queue.cc" "src/storage/CMakeFiles/gids_storage.dir/io_queue.cc.o" "gcc" "src/storage/CMakeFiles/gids_storage.dir/io_queue.cc.o.d"
+  "/root/repo/src/storage/queue_manager.cc" "src/storage/CMakeFiles/gids_storage.dir/queue_manager.cc.o" "gcc" "src/storage/CMakeFiles/gids_storage.dir/queue_manager.cc.o.d"
+  "/root/repo/src/storage/software_cache.cc" "src/storage/CMakeFiles/gids_storage.dir/software_cache.cc.o" "gcc" "src/storage/CMakeFiles/gids_storage.dir/software_cache.cc.o.d"
+  "/root/repo/src/storage/storage_array.cc" "src/storage/CMakeFiles/gids_storage.dir/storage_array.cc.o" "gcc" "src/storage/CMakeFiles/gids_storage.dir/storage_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gids_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gids_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_storage.dir/bam_array.cc.o"
+  "CMakeFiles/gids_storage.dir/bam_array.cc.o.d"
+  "CMakeFiles/gids_storage.dir/block_device.cc.o"
+  "CMakeFiles/gids_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/gids_storage.dir/feature_gather.cc.o"
+  "CMakeFiles/gids_storage.dir/feature_gather.cc.o.d"
+  "CMakeFiles/gids_storage.dir/io_queue.cc.o"
+  "CMakeFiles/gids_storage.dir/io_queue.cc.o.d"
+  "CMakeFiles/gids_storage.dir/queue_manager.cc.o"
+  "CMakeFiles/gids_storage.dir/queue_manager.cc.o.d"
+  "CMakeFiles/gids_storage.dir/software_cache.cc.o"
+  "CMakeFiles/gids_storage.dir/software_cache.cc.o.d"
+  "CMakeFiles/gids_storage.dir/storage_array.cc.o"
+  "CMakeFiles/gids_storage.dir/storage_array.cc.o.d"
+  "libgids_storage.a"
+  "libgids_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/accumulator_test.cc" "tests/CMakeFiles/core_test.dir/core/accumulator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/accumulator_test.cc.o.d"
+  "/root/repo/tests/core/constant_cpu_buffer_test.cc" "tests/CMakeFiles/core_test.dir/core/constant_cpu_buffer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/constant_cpu_buffer_test.cc.o.d"
+  "/root/repo/tests/core/gids_loader_test.cc" "tests/CMakeFiles/core_test.dir/core/gids_loader_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/gids_loader_test.cc.o.d"
+  "/root/repo/tests/core/multi_gpu_test.cc" "tests/CMakeFiles/core_test.dir/core/multi_gpu_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/multi_gpu_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_invariants_test.cc" "tests/CMakeFiles/core_test.dir/core/pipeline_invariants_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_invariants_test.cc.o.d"
+  "/root/repo/tests/core/sampler_matrix_test.cc" "tests/CMakeFiles/core_test.dir/core/sampler_matrix_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sampler_matrix_test.cc.o.d"
+  "/root/repo/tests/core/trainer_test.cc" "tests/CMakeFiles/core_test.dir/core/trainer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/trainer_test.cc.o.d"
+  "/root/repo/tests/core/window_buffer_test.cc" "tests/CMakeFiles/core_test.dir/core/window_buffer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/window_buffer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gids_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/loaders/CMakeFiles/gids_loaders.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gids_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gids_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gids_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gids_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gids_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gids_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

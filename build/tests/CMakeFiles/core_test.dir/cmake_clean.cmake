@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/accumulator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/accumulator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/constant_cpu_buffer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/constant_cpu_buffer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/gids_loader_test.cc.o"
+  "CMakeFiles/core_test.dir/core/gids_loader_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/multi_gpu_test.cc.o"
+  "CMakeFiles/core_test.dir/core/multi_gpu_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_invariants_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pipeline_invariants_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sampler_matrix_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sampler_matrix_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/trainer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/trainer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/window_buffer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/window_buffer_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_test.dir/gnn/gat_test.cc.o"
+  "CMakeFiles/gnn_test.dir/gnn/gat_test.cc.o.d"
+  "CMakeFiles/gnn_test.dir/gnn/gcn_test.cc.o"
+  "CMakeFiles/gnn_test.dir/gnn/gcn_test.cc.o.d"
+  "CMakeFiles/gnn_test.dir/gnn/model_test.cc.o"
+  "CMakeFiles/gnn_test.dir/gnn/model_test.cc.o.d"
+  "CMakeFiles/gnn_test.dir/gnn/sage_conv_test.cc.o"
+  "CMakeFiles/gnn_test.dir/gnn/sage_conv_test.cc.o.d"
+  "CMakeFiles/gnn_test.dir/gnn/tensor_test.cc.o"
+  "CMakeFiles/gnn_test.dir/gnn/tensor_test.cc.o.d"
+  "gnn_test"
+  "gnn_test.pdb"
+  "gnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

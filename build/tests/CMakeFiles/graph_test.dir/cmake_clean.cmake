@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph/csc_graph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/csc_graph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/dataset_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/dataset_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/feature_store_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/feature_store_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/generator_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/generator_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/pagerank_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/pagerank_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/partition_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/partition_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/serialization_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/serialization_test.cc.o.d"
+  "graph_test"
+  "graph_test.pdb"
+  "graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

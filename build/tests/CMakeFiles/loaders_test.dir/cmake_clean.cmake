@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loaders_test.dir/loaders/belady_cache_test.cc.o"
+  "CMakeFiles/loaders_test.dir/loaders/belady_cache_test.cc.o.d"
+  "CMakeFiles/loaders_test.dir/loaders/ginex_loader_test.cc.o"
+  "CMakeFiles/loaders_test.dir/loaders/ginex_loader_test.cc.o.d"
+  "CMakeFiles/loaders_test.dir/loaders/mmap_loader_test.cc.o"
+  "CMakeFiles/loaders_test.dir/loaders/mmap_loader_test.cc.o.d"
+  "CMakeFiles/loaders_test.dir/loaders/os_page_cache_test.cc.o"
+  "CMakeFiles/loaders_test.dir/loaders/os_page_cache_test.cc.o.d"
+  "loaders_test"
+  "loaders_test.pdb"
+  "loaders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loaders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sampling/cluster_sampler_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/cluster_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/cluster_sampler_test.cc.o.d"
+  "/root/repo/tests/sampling/hetero_sampler_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/hetero_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/hetero_sampler_test.cc.o.d"
+  "/root/repo/tests/sampling/ladies_sampler_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/ladies_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/ladies_sampler_test.cc.o.d"
+  "/root/repo/tests/sampling/neighbor_sampler_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/neighbor_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/neighbor_sampler_test.cc.o.d"
+  "/root/repo/tests/sampling/seed_iterator_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling/seed_iterator_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling/seed_iterator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gids_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/loaders/CMakeFiles/gids_loaders.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gids_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gids_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/gids_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gids_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gids_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gids_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

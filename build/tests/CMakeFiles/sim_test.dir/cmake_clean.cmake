@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/aggregation_model_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/aggregation_model_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/analytic_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/analytic_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/event_queue_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/event_queue_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/exec_model_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/exec_model_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/pipeline_des_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/pipeline_des_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/ssd_model_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/ssd_model_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

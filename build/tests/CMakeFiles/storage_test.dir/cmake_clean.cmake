@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/block_device_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/block_device_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/cache_fuzz_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/cache_fuzz_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/failure_injection_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/failure_injection_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/feature_gather_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/feature_gather_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/io_queue_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/io_queue_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/queue_manager_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/queue_manager_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/software_cache_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/software_cache_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/storage_array_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/storage_array_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

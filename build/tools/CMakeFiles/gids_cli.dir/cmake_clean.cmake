@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gids_cli.dir/gids_cli.cc.o"
+  "CMakeFiles/gids_cli.dir/gids_cli.cc.o.d"
+  "gids_cli"
+  "gids_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gids_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
