@@ -7,6 +7,7 @@
 #include "graph/pagerank.h"
 #include "loaders/ginex_loader.h"
 #include "loaders/mmap_loader.h"
+#include "obs/json.h"
 
 namespace gids::bench {
 namespace {
@@ -135,6 +136,16 @@ void ReportRow(const std::string& experiment, const std::string& label,
     std::printf("[%s] %-42s measured=%-12.4g unit=%s\n", experiment.c_str(),
                 label.c_str(), measured, unit.c_str());
   }
+  // Machine-readable twin of the row above, one JSON object per line, so
+  // result harvesting doesn't have to parse the padded human format.
+  std::printf(
+      "RESULT_JSON {\"experiment\":\"%s\",\"label\":\"%s\",\"measured\":%s",
+      obs::JsonEscape(experiment).c_str(), obs::JsonEscape(label).c_str(),
+      obs::JsonNumber(measured).c_str());
+  if (paper > 0) {
+    std::printf(",\"paper\":%s", obs::JsonNumber(paper).c_str());
+  }
+  std::printf(",\"unit\":\"%s\"}\n", obs::JsonEscape(unit).c_str());
   std::fflush(stdout);
 }
 

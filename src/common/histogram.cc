@@ -73,6 +73,8 @@ double Histogram::StdDev() const {
 double Histogram::Percentile(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return static_cast<double>(min_);
+  if (p >= 1.0) return static_cast<double>(max_);
   uint64_t threshold =
       static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_)));
   threshold = std::max<uint64_t>(threshold, 1);
@@ -91,10 +93,29 @@ double Histogram::Percentile(double p) const {
           static_cast<double>(into) / static_cast<double>(buckets_[i]);
       double v = static_cast<double>(lo) +
                  frac * static_cast<double>(hi - lo);
-      return std::min(v, static_cast<double>(max_));
+      // Bucket lower bounds can sit below the smallest recorded value (and
+      // the last bucket's range above the largest); clamp to what was
+      // actually observed.
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
     }
   }
   return static_cast<double>(max_);
+}
+
+std::string Histogram::ToJson() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%.6g,"
+      "\"stddev\":%.6g,\"p50\":%.6g,\"p90\":%.6g,\"p99\":%.6g,"
+      "\"p999\":%.6g}",
+      static_cast<unsigned long long>(count_),
+      static_cast<unsigned long long>(min()),
+      static_cast<unsigned long long>(max_), Mean(), StdDev(),
+      Percentile(0.50), Percentile(0.90), Percentile(0.99),
+      Percentile(0.999));
+  return buf;
 }
 
 std::string Histogram::ToString() const {

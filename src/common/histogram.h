@@ -22,12 +22,19 @@ class Histogram {
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double Mean() const;
-  /// Approximate quantile in [0, 1]; interpolates within the bucket.
+  /// Approximate quantile in [0, 1]; interpolates within the bucket and
+  /// clamps to the observed [min, max]. Percentile(0) is exactly min(),
+  /// Percentile(1) exactly max(); an empty histogram reports 0 everywhere.
   double Percentile(double p) const;
   double StdDev() const;
 
   /// One-line summary: count/mean/p50/p99/max.
   std::string ToString() const;
+
+  /// Compact JSON object:
+  /// {"count":..,"min":..,"max":..,"mean":..,"stddev":..,
+  ///  "p50":..,"p90":..,"p99":..,"p999":..}
+  std::string ToJson() const;
 
  private:
   static size_t BucketFor(uint64_t value);

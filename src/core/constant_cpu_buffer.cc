@@ -71,6 +71,25 @@ ConstantCpuBuffer ConstantCpuBuffer::FromNodeSet(
 void ConstantCpuBuffer::Fill(graph::NodeId node, std::span<float> out) const {
   GIDS_CHECK(Contains(node));
   features_->FillFeature(node, out);
+  if (fills_total_ != nullptr) {
+    fills_total_->Inc();
+    bytes_served_total_->Inc(features_->feature_bytes_per_node());
+  }
+}
+
+void ConstantCpuBuffer::BindMetrics(obs::MetricRegistry* registry,
+                                    const obs::Labels& labels) {
+  GIDS_CHECK(registry != nullptr);
+  using obs::MetricType;
+  registry->RegisterCallback(
+      "gids_cpu_buffer_pinned_nodes", labels, MetricType::kGauge,
+      [this] { return static_cast<double>(num_pinned()); });
+  registry->RegisterCallback(
+      "gids_cpu_buffer_pinned_bytes", labels, MetricType::kGauge,
+      [this] { return static_cast<double>(pinned_bytes()); });
+  fills_total_ = registry->GetCounter("gids_cpu_buffer_fills_total", labels);
+  bytes_served_total_ =
+      registry->GetCounter("gids_cpu_buffer_bytes_served_total", labels);
 }
 
 }  // namespace gids::core

@@ -8,6 +8,7 @@
 #include "graph/csc_graph.h"
 #include "graph/feature_store.h"
 #include "graph/types.h"
+#include "obs/metric_registry.h"
 #include "storage/feature_gather.h"
 
 namespace gids::core {
@@ -51,6 +52,13 @@ class ConstantCpuBuffer : public storage::HotNodeBuffer {
     return num_pinned_ * features_->feature_bytes_per_node();
   }
 
+  /// Exposes the buffer through `registry`: pinned-set gauges plus
+  /// redirect counters (nodes served and bytes crossing PCIe from host
+  /// DRAM) that Fill drives on every functional hit. Counting-mode runs
+  /// never call Fill; their redirect traffic is counted by the loader from
+  /// the gather counts instead.
+  void BindMetrics(obs::MetricRegistry* registry, const obs::Labels& labels);
+
  private:
   ConstantCpuBuffer(const graph::FeatureStore* features,
                     std::vector<bool> pinned, uint64_t num_pinned)
@@ -61,6 +69,8 @@ class ConstantCpuBuffer : public storage::HotNodeBuffer {
   const graph::FeatureStore* features_;
   std::vector<bool> pinned_;
   uint64_t num_pinned_;
+  obs::Counter* fills_total_ = nullptr;        // registry-owned
+  obs::Counter* bytes_served_total_ = nullptr;  // registry-owned
 };
 
 }  // namespace gids::core

@@ -81,6 +81,24 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   acc_params.model.n_ssd = cfg.n_ssd;
   accumulator_ =
       std::make_unique<StorageAccessAccumulator>(cfg.ssd, acc_params);
+
+  if (options_.metrics != nullptr || options_.trace != nullptr) {
+    observer_ = std::make_unique<loaders::LoaderObserver>(
+        options_.metrics, options_.trace, options_.display_name);
+  }
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry* reg = options_.metrics;
+    const obs::Labels& labels = observer_->labels();
+    cache_->BindMetrics(reg, labels);
+    storage_->BindMetrics(reg, labels);
+    if (cpu_buffer_ != nullptr) cpu_buffer_->BindMetrics(reg, labels);
+    if (window_ != nullptr) window_->BindMetrics(reg, labels);
+    groups_total_ = reg->GetCounter("gids_accumulator_groups_total", labels);
+    merged_group_hist_ =
+        reg->GetHistogram("gids_loader_merged_group_size", labels);
+    threshold_gauge_ = reg->GetGauge("gids_accumulator_threshold", labels);
+    window_depth_gauge_ = reg->GetGauge("gids_window_depth", labels);
+  }
 }
 
 void GidsLoader::EnsureSampledAhead(size_t count) {
@@ -235,6 +253,34 @@ Status GidsLoader::PrepareGroup() {
   }
 
   accumulator_->Observe(group_counts);
+
+  if (groups_total_ != nullptr) {
+    groups_total_->Inc();
+    merged_group_hist_->Observe(group);
+    threshold_gauge_->Set(
+        static_cast<double>(accumulator_->CurrentThreshold()));
+    window_depth_gauge_->Set(static_cast<double>(resolved_window_depth_));
+  }
+  if (observer_ != nullptr && observer_->trace() != nullptr) {
+    // PrepareGroup only runs with ready_ empty, so the observer's clock sits
+    // exactly at the virtual-time start of this group's first iteration.
+    observer_->Instant(
+        "accumulator_group_flush",
+        {{"merged_iterations", static_cast<double>(group)},
+         {"page_requests",
+          static_cast<double>(group_counts.total_page_requests())},
+         {"threshold",
+          static_cast<double>(accumulator_->CurrentThreshold())}});
+    uint64_t evictions = cache_->stats().evictions;
+    if (evictions > traced_evictions_) {
+      observer_->Instant(
+          "cache_evictions",
+          {{"count", static_cast<double>(evictions - traced_evictions_)},
+           {"pinned_lines", static_cast<double>(cache_->pinned_lines())}});
+    }
+    traced_evictions_ = evictions;
+  }
+
   for (loaders::LoaderBatch& lb : group_batches) {
     ready_.push_back(std::move(lb));
   }
@@ -249,6 +295,7 @@ StatusOr<loaders::LoaderBatch> GidsLoader::Next() {
   ready_.pop_front();
   elapsed_ns_ += out.stats.e2e_ns;
   ++iterations_;
+  if (observer_ != nullptr) observer_->RecordIteration(out.stats);
   return out;
 }
 

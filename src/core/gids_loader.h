@@ -10,6 +10,9 @@
 #include "core/window_buffer.h"
 #include "graph/dataset.h"
 #include "loaders/dataloader.h"
+#include "loaders/loader_obs.h"
+#include "obs/metric_registry.h"
+#include "obs/trace_recorder.h"
 #include "sampling/sampler.h"
 #include "sampling/seed_iterator.h"
 #include "sim/system_model.h"
@@ -53,6 +56,14 @@ struct GidsOptions {
 
   /// Counting mode skips payload movement (timing-only runs).
   bool counting_mode = false;
+
+  /// Optional observability sinks (see OBSERVABILITY.md). When set, the
+  /// loader binds every component (cache, storage array, CPU buffer,
+  /// window buffer) into the registry under {loader=<display_name>} and
+  /// records per-iteration spans / accumulator flush events in virtual
+  /// time. Both must outlive the loader.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 
   uint64_t seed = 0x61d5;
   std::string display_name = "GIDS";
@@ -125,6 +136,14 @@ class GidsLoader : public loaders::DataLoader {
   int resolved_window_depth_ = 0;
   TimeNs elapsed_ns_ = 0;
   uint64_t iterations_ = 0;
+
+  // Observability (all unset unless options_.metrics / options_.trace).
+  std::unique_ptr<loaders::LoaderObserver> observer_;
+  obs::Counter* groups_total_ = nullptr;
+  obs::HistogramMetric* merged_group_hist_ = nullptr;
+  obs::Gauge* threshold_gauge_ = nullptr;
+  obs::Gauge* window_depth_gauge_ = nullptr;
+  uint64_t traced_evictions_ = 0;
 };
 
 }  // namespace gids::core

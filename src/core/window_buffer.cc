@@ -26,6 +26,18 @@ void WindowBuffer::Register(const sampling::MiniBatch& batch) {
   ++registered_batches_;
 }
 
+void WindowBuffer::BindMetrics(obs::MetricRegistry* registry,
+                               const obs::Labels& labels) const {
+  GIDS_CHECK(registry != nullptr);
+  using obs::MetricType;
+  registry->RegisterCallback(
+      "gids_window_registered_batches_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(registered_batches_); });
+  registry->RegisterCallback(
+      "gids_window_registered_pages_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(registered_pages_); });
+}
+
 int AutoWindowDepth(uint64_t cache_bytes, uint64_t minibatch_bytes) {
   if (minibatch_bytes == 0) return 2;
   uint64_t ratio = cache_bytes / std::max<uint64_t>(1, minibatch_bytes);

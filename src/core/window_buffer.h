@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "graph/feature_store.h"
+#include "obs/metric_registry.h"
 #include "sampling/minibatch.h"
 #include "storage/feature_gather.h"
 #include "storage/software_cache.h"
@@ -38,6 +39,11 @@ class WindowBuffer {
   uint64_t IdListBytes(const sampling::MiniBatch& batch) const {
     return batch.num_input_nodes() * sizeof(graph::NodeId);
   }
+
+  /// Exposes registration counters through `registry`; the pinned-line
+  /// gauge itself lives with the cache (SoftwareCache::BindMetrics).
+  void BindMetrics(obs::MetricRegistry* registry,
+                   const obs::Labels& labels) const;
 
  private:
   storage::SoftwareCache* cache_;

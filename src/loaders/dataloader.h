@@ -1,6 +1,7 @@
 #ifndef GIDS_LOADERS_DATALOADER_H_
 #define GIDS_LOADERS_DATALOADER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -34,7 +35,23 @@ struct IterationStats {
   double effective_bandwidth_bps = 0;  // feature bytes / aggregation time
   double pcie_ingress_bps = 0;         // PCIe bytes / aggregation time
 
+  /// Folds `o` into this aggregate. Time and traffic fields sum; the
+  /// rate fields combine as aggregation-time-weighted means (so the
+  /// aggregate reports the run's average bandwidth, not a stale
+  /// per-iteration value); merged_group keeps the maximum group size seen.
   void Add(const IterationStats& o) {
+    const double w_self = static_cast<double>(aggregation_ns);
+    const double w_other = static_cast<double>(o.aggregation_ns);
+    if (w_self + w_other > 0) {
+      effective_bandwidth_bps =
+          (effective_bandwidth_bps * w_self +
+           o.effective_bandwidth_bps * w_other) /
+          (w_self + w_other);
+      pcie_ingress_bps =
+          (pcie_ingress_bps * w_self + o.pcie_ingress_bps * w_other) /
+          (w_self + w_other);
+    }
+    merged_group = std::max(merged_group, o.merged_group);
     sampling_ns += o.sampling_ns;
     aggregation_ns += o.aggregation_ns;
     transfer_ns += o.transfer_ns;

@@ -29,6 +29,19 @@ GinexLoader::GinexLoader(const graph::Dataset* dataset,
       cpu_bytes > structure ? cpu_bytes - structure : page_bytes;
   cache_ = std::make_unique<BeladyCache>(
       std::max<uint64_t>(1, cache_bytes / page_bytes));
+
+  if (options_.metrics != nullptr || options_.trace != nullptr) {
+    observer_ = std::make_unique<LoaderObserver>(
+        options_.metrics, options_.trace, std::string(name()));
+    if (options_.metrics != nullptr) {
+      superbatches_total_ = options_.metrics->GetCounter(
+          "gids_ginex_superbatches_total", observer_->labels());
+      options_.metrics->RegisterCallback(
+          "gids_belady_cache_resident_pages", observer_->labels(),
+          obs::MetricType::kGauge,
+          [this] { return static_cast<double>(cache_->resident_pages()); });
+    }
+  }
 }
 
 void GinexLoader::PrepareSuperbatch() {
@@ -99,6 +112,15 @@ void GinexLoader::PrepareSuperbatch() {
     }
     ready_.push_back(std::move(lb));
   }
+
+  if (superbatches_total_ != nullptr) superbatches_total_->Inc();
+  if (observer_ != nullptr) {
+    uint64_t pages = 0;
+    for (const auto& trace : traces) pages += trace.size();
+    observer_->Instant("superbatch_prepared",
+                       {{"iterations", static_cast<double>(n)},
+                        {"page_accesses", static_cast<double>(pages)}});
+  }
 }
 
 StatusOr<LoaderBatch> GinexLoader::Next() {
@@ -115,6 +137,7 @@ StatusOr<LoaderBatch> GinexLoader::Next() {
   ready_.pop_front();
   elapsed_ns_ += out.stats.e2e_ns;
   ++iterations_;
+  if (observer_ != nullptr) observer_->RecordIteration(out.stats);
   return out;
 }
 

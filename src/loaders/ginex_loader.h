@@ -7,6 +7,9 @@
 #include "graph/dataset.h"
 #include "loaders/belady_cache.h"
 #include "loaders/dataloader.h"
+#include "loaders/loader_obs.h"
+#include "obs/metric_registry.h"
+#include "obs/trace_recorder.h"
 #include "sampling/sampler.h"
 #include "sampling/seed_iterator.h"
 #include "sim/system_model.h"
@@ -30,6 +33,10 @@ struct GinexLoaderOptions {
   /// CPU cost per trace entry for the changeset (eviction-order)
   /// precomputation.
   TimeNs changeset_ns_per_access = 60;
+  /// Optional observability sinks (see OBSERVABILITY.md); both must
+  /// outlive the loader. Series are labeled {loader="Ginex"}.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class GinexLoader : public DataLoader {
@@ -54,6 +61,8 @@ class GinexLoader : public DataLoader {
   const sim::SystemModel* system_;
   GinexLoaderOptions options_;
   std::unique_ptr<BeladyCache> cache_;
+  std::unique_ptr<LoaderObserver> observer_;
+  obs::Counter* superbatches_total_ = nullptr;
 
   std::deque<LoaderBatch> ready_;
   TimeNs elapsed_ns_ = 0;

@@ -1,0 +1,104 @@
+#include "loaders/loader_obs.h"
+
+#include <algorithm>
+
+namespace gids::loaders {
+namespace {
+
+constexpr const char* kStageNames[] = {"sampling", "aggregation", "transfer",
+                                       "training"};
+constexpr const char* kPathNames[] = {"cpu_buffer", "gpu_cache", "storage"};
+
+}  // namespace
+
+LoaderObserver::LoaderObserver(obs::MetricRegistry* metrics,
+                               obs::TraceRecorder* trace,
+                               const std::string& loader_name)
+    : metrics_(metrics), trace_(trace), labels_{{"loader", loader_name}} {
+  if (metrics_ != nullptr) {
+    iterations_total_ =
+        metrics_->GetCounter("gids_loader_iterations_total", labels_);
+    for (int s = 0; s < kNumStages; ++s) {
+      obs::Labels stage_labels = labels_;
+      stage_labels.emplace_back("stage", kStageNames[s]);
+      stage_ns_total_[s] =
+          metrics_->GetCounter("gids_loader_stage_ns_total", stage_labels);
+    }
+    e2e_ns_total_ = metrics_->GetCounter("gids_loader_e2e_ns_total", labels_);
+    sampled_edges_total_ =
+        metrics_->GetCounter("gids_loader_sampled_edges_total", labels_);
+    for (int p = 0; p < 3; ++p) {
+      obs::Labels path_labels = labels_;
+      path_labels.emplace_back("path", kPathNames[p]);
+      gather_pages_total_[p] =
+          metrics_->GetCounter("gids_loader_gather_pages_total", path_labels);
+    }
+    e2e_ns_hist_ = metrics_->GetHistogram("gids_loader_e2e_ns", labels_);
+    input_nodes_hist_ =
+        metrics_->GetHistogram("gids_loader_input_nodes", labels_);
+  }
+  if (trace_ != nullptr) {
+    trace_->SetTrackName(kIterationTrack, loader_name + " iterations");
+    for (int s = 0; s < kNumStages; ++s) {
+      trace_->SetTrackName(1 + s, kStageNames[s]);
+    }
+  }
+}
+
+void LoaderObserver::RecordIteration(const IterationStats& stats) {
+  if (metrics_ != nullptr) {
+    iterations_total_->Inc();
+    const TimeNs stage_ns[kNumStages] = {stats.sampling_ns,
+                                         stats.aggregation_ns,
+                                         stats.transfer_ns, stats.training_ns};
+    for (int s = 0; s < kNumStages; ++s) {
+      stage_ns_total_[s]->Inc(static_cast<uint64_t>(stage_ns[s]));
+    }
+    e2e_ns_total_->Inc(static_cast<uint64_t>(stats.e2e_ns));
+    sampled_edges_total_->Inc(stats.sampled_edges);
+    gather_pages_total_[0]->Inc(stats.gather.cpu_buffer_hits);
+    gather_pages_total_[1]->Inc(stats.gather.gpu_cache_hits);
+    gather_pages_total_[2]->Inc(stats.gather.storage_reads);
+    e2e_ns_hist_->Observe(static_cast<uint64_t>(stats.e2e_ns));
+    input_nodes_hist_->Observe(stats.input_nodes);
+  }
+
+  if (trace_ != nullptr) {
+    const TimeNs t0 = clock_;
+    const double iter = static_cast<double>(iteration_index_);
+    trace_->AddSpan(
+        "iteration", "pipeline", kIterationTrack, t0, t0 + stats.e2e_ns,
+        {{"iteration", iter},
+         {"input_nodes", static_cast<double>(stats.input_nodes)},
+         {"sampled_edges", static_cast<double>(stats.sampled_edges)},
+         {"merged_group", static_cast<double>(stats.merged_group)},
+         {"gpu_cache_hits", static_cast<double>(stats.gather.gpu_cache_hits)},
+         {"cpu_buffer_hits",
+          static_cast<double>(stats.gather.cpu_buffer_hits)},
+         {"storage_reads", static_cast<double>(stats.gather.storage_reads)}});
+    const TimeNs stage_ns[kNumStages] = {stats.sampling_ns,
+                                         stats.aggregation_ns,
+                                         stats.transfer_ns, stats.training_ns};
+    TimeNs offset = 0;
+    for (int s = 0; s < kNumStages; ++s) {
+      if (stage_ns[s] <= 0) continue;
+      TimeNs start = std::max(t0 + offset, lane_cursor_[s]);
+      trace_->AddSpan(kStageNames[s], "stage", 1 + s, start,
+                      start + stage_ns[s], {{"iteration", iter}});
+      lane_cursor_[s] = start + stage_ns[s];
+      offset += stage_ns[s];
+    }
+  }
+
+  clock_ += stats.e2e_ns;
+  ++iteration_index_;
+}
+
+void LoaderObserver::Instant(const char* name, obs::TraceArgs args) {
+  if (trace_ != nullptr) {
+    trace_->AddInstant(name, "event", kIterationTrack, clock_,
+                       std::move(args));
+  }
+}
+
+}  // namespace gids::loaders

@@ -1,0 +1,78 @@
+#ifndef GIDS_LOADERS_LOADER_OBS_H_
+#define GIDS_LOADERS_LOADER_OBS_H_
+
+#include <string>
+
+#include "common/units.h"
+#include "loaders/dataloader.h"
+#include "obs/metric_registry.h"
+#include "obs/trace_recorder.h"
+
+namespace gids::loaders {
+
+/// Shared observability wiring for dataloaders, so the GIDS loader and the
+/// baselines (mmap, Ginex, BaM) export the same per-iteration series and
+/// comparisons are apples-to-apples:
+///
+///  - metrics (label {loader=<name>}): gids_loader_iterations_total,
+///    gids_loader_stage_ns_total{stage=...}, gids_loader_e2e_ns_total,
+///    gids_loader_sampled_edges_total,
+///    gids_loader_gather_pages_total{path=cpu_buffer|gpu_cache|storage}
+///    (path=cpu_buffer means "served host-side": the constant CPU buffer
+///    for GIDS, the OS page cache for mmap, the Belady cache for Ginex),
+///    and histograms gids_loader_e2e_ns / gids_loader_input_nodes;
+///
+///  - trace spans in virtual time: one "iteration" span per iteration on
+///    track 0 and one span per non-empty stage on the per-stage tracks
+///    1..4. Stage spans are laid out sequentially from the iteration
+///    start; when a loader's pipelining makes an iteration's stage work
+///    exceed its e2e share, the per-track cursor pushes the span right so
+///    spans on a track never overlap.
+///
+/// Both sinks are optional (null pointer disables that sink). Not
+/// thread-safe; one observer belongs to one loader's Next() pipeline.
+class LoaderObserver {
+ public:
+  LoaderObserver(obs::MetricRegistry* metrics, obs::TraceRecorder* trace,
+                 const std::string& loader_name);
+
+  /// Records one delivered iteration: bumps the metric series and lays the
+  /// iteration's spans onto the virtual-time timeline.
+  void RecordIteration(const IterationStats& stats);
+
+  /// Emits a thread-scoped instant event at the current virtual-clock
+  /// position (accumulator group flush, superbatch boundary, ...).
+  void Instant(const char* name, obs::TraceArgs args = {});
+
+  obs::MetricRegistry* metrics() const { return metrics_; }
+  obs::TraceRecorder* trace() const { return trace_; }
+  const obs::Labels& labels() const { return labels_; }
+
+  /// Virtual-time position where the next iteration's spans start (the sum
+  /// of all recorded iterations' e2e_ns).
+  TimeNs clock_ns() const { return clock_; }
+
+ private:
+  static constexpr int kIterationTrack = 0;
+  static constexpr int kNumStages = 4;  // sampling..training on tracks 1..4
+
+  obs::MetricRegistry* metrics_;
+  obs::TraceRecorder* trace_;
+  obs::Labels labels_;
+
+  obs::Counter* iterations_total_ = nullptr;
+  obs::Counter* stage_ns_total_[kNumStages] = {};
+  obs::Counter* e2e_ns_total_ = nullptr;
+  obs::Counter* sampled_edges_total_ = nullptr;
+  obs::Counter* gather_pages_total_[3] = {};  // cpu_buffer, gpu_cache, storage
+  obs::HistogramMetric* e2e_ns_hist_ = nullptr;
+  obs::HistogramMetric* input_nodes_hist_ = nullptr;
+
+  TimeNs clock_ = 0;
+  TimeNs lane_cursor_[kNumStages] = {};
+  uint64_t iteration_index_ = 0;
+};
+
+}  // namespace gids::loaders
+
+#endif  // GIDS_LOADERS_LOADER_OBS_H_

@@ -30,6 +30,18 @@ MmapLoader::MmapLoader(const graph::Dataset* dataset,
       cpu_bytes > structure ? cpu_bytes - structure : page_bytes;
   uint64_t capacity_pages = std::max<uint64_t>(1, cache_bytes / page_bytes);
   page_cache_ = std::make_unique<OsPageCache>(capacity_pages);
+
+  if (options_.metrics != nullptr || options_.trace != nullptr) {
+    observer_ = std::make_unique<LoaderObserver>(
+        options_.metrics, options_.trace, std::string(name()));
+    if (options_.metrics != nullptr) {
+      options_.metrics->RegisterCallback(
+          "gids_os_page_cache_resident_pages", observer_->labels(),
+          obs::MetricType::kGauge, [this] {
+            return static_cast<double>(page_cache_->resident_pages());
+          });
+    }
+  }
 }
 
 StatusOr<LoaderBatch> MmapLoader::Next() {
@@ -87,6 +99,7 @@ StatusOr<LoaderBatch> MmapLoader::Next() {
 
   elapsed_ns_ += st.e2e_ns;
   ++iterations_;
+  if (observer_ != nullptr) observer_->RecordIteration(st);
   return out;
 }
 

@@ -5,7 +5,10 @@
 
 #include "graph/dataset.h"
 #include "loaders/dataloader.h"
+#include "loaders/loader_obs.h"
 #include "loaders/os_page_cache.h"
+#include "obs/metric_registry.h"
+#include "obs/trace_recorder.h"
 #include "sampling/sampler.h"
 #include "sampling/seed_iterator.h"
 #include "sim/system_model.h"
@@ -21,6 +24,10 @@ namespace gids::loaders {
 struct MmapLoaderOptions {
   /// Skip materializing feature bytes (timing/counting runs).
   bool counting_mode = false;
+  /// Optional observability sinks (see OBSERVABILITY.md); both must
+  /// outlive the loader. Series are labeled {loader="DGL-mmap"}.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class MmapLoader : public DataLoader {
@@ -43,6 +50,7 @@ class MmapLoader : public DataLoader {
   const sim::SystemModel* system_;
   MmapLoaderOptions options_;
   std::unique_ptr<OsPageCache> page_cache_;
+  std::unique_ptr<LoaderObserver> observer_;
   TimeNs elapsed_ns_ = 0;
   uint64_t iterations_ = 0;
 };

@@ -1,0 +1,283 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gids::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    GIDS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value " +
+                                     Where());
+    }
+    return v;
+  }
+
+ private:
+  std::string Where() const { return "at offset " + std::to_string(pos_); }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON input");
+    }
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Status::InvalidArgument("unexpected character in JSON " + Where());
+  }
+
+  StatusOr<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWhitespace();
+      GIDS_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Status::InvalidArgument("expected ':' in JSON object " +
+                                       Where());
+      }
+      GIDS_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      v.object.emplace(std::move(key.string_value), std::move(member));
+      SkipWhitespace();
+      if (Consume('}')) return v;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or '}' in JSON object " +
+                                       Where());
+      }
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    while (true) {
+      GIDS_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+      v.array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return v;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or ']' in JSON array " +
+                                       Where());
+      }
+    }
+  }
+
+  StatusOr<JsonValue> ParseString() {
+    if (!Consume('"')) {
+      return Status::InvalidArgument("expected '\"' " + Where());
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string_value += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          v.string_value += esc;
+          break;
+        case 'n':
+          v.string_value += '\n';
+          break;
+        case 'r':
+          v.string_value += '\r';
+          break;
+        case 't':
+          v.string_value += '\t';
+          break;
+        case 'b':
+          v.string_value += '\b';
+          break;
+        case 'f':
+          v.string_value += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape " + Where());
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument("bad \\u escape " + Where());
+            }
+          }
+          // The exporters only emit \u00XX; decode the Latin-1 range and
+          // pass anything else through as '?' (fidelity is not needed).
+          v.string_value += code < 0x100 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Status::InvalidArgument("bad escape character " + Where());
+      }
+    }
+    return Status::InvalidArgument("unterminated JSON string " + Where());
+  }
+
+  StatusOr<JsonValue> ParseBool() {
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.bool_value = true;
+      return v;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    return Status::InvalidArgument("bad JSON literal " + Where());
+  }
+
+  StatusOr<JsonValue> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Status::InvalidArgument("bad JSON literal " + Where());
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double parsed = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad JSON number '" + token + "'");
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace gids::obs

@@ -1,0 +1,50 @@
+#ifndef GIDS_OBS_JSON_H_
+#define GIDS_OBS_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gids::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes are not
+/// added). Control characters are emitted as \u00XX sequences.
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double the way the exporters do: finite values via %.17g
+/// (round-trippable), non-finite values as 0 (JSON has no NaN/Inf).
+std::string JsonNumber(double value);
+
+/// Minimal JSON document model. The exporters emit JSON by hand (the
+/// documents are flat and the dependency footprint stays zero); this
+/// parser exists so tests and tooling can validate and inspect what was
+/// emitted without a third-party library.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace gids::obs
+
+#endif  // GIDS_OBS_JSON_H_

@@ -1,0 +1,218 @@
+#include "obs/metric_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace gids::obs {
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Labels Sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// name{k="v",...} — the Prometheus series syntax, also used as the
+/// instance key in JSON output.
+std::string SeriesName(const std::string& name, const Labels& labels,
+                       const std::string& extra_label = "") {
+  if (labels.empty() && extra_label.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + JsonEscape(v) + "\"";
+  }
+  if (!extra_label.empty()) {
+    if (!first) out += ",";
+    out += extra_label;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+MetricRegistry::Entry* MetricRegistry::FindOrCreateLocked(
+    const std::string& name, Labels labels, MetricType type) {
+  labels = Sorted(std::move(labels));
+  for (auto& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      GIDS_CHECK(e->type == type);  // one name+labels, one type
+      return e.get();
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->type = type;
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, std::move(labels), MetricType::kCounter);
+  GIDS_CHECK(e->callback == nullptr);
+  if (e->counter == nullptr) e->counter = std::make_unique<Counter>();
+  return e->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, std::move(labels), MetricType::kGauge);
+  GIDS_CHECK(e->callback == nullptr);
+  if (e->gauge == nullptr) e->gauge = std::make_unique<Gauge>();
+  return e->gauge.get();
+}
+
+HistogramMetric* MetricRegistry::GetHistogram(const std::string& name,
+                                              Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e =
+      FindOrCreateLocked(name, std::move(labels), MetricType::kHistogram);
+  if (e->histogram == nullptr) {
+    e->histogram = std::make_unique<HistogramMetric>();
+  }
+  return e->histogram.get();
+}
+
+void MetricRegistry::RegisterCallback(const std::string& name, Labels labels,
+                                      MetricType type,
+                                      std::function<double()> read) {
+  GIDS_CHECK(type != MetricType::kHistogram);
+  GIDS_CHECK(read != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, std::move(labels), type);
+  GIDS_CHECK(e->counter == nullptr && e->gauge == nullptr);
+  e->callback = std::move(read);
+}
+
+size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSnapshot s;
+    s.name = e->name;
+    s.labels = e->labels;
+    s.type = e->type;
+    if (e->callback != nullptr) {
+      s.value = e->callback();
+    } else if (e->counter != nullptr) {
+      s.value = static_cast<double>(e->counter->value());
+    } else if (e->gauge != nullptr) {
+      s.value = e->gauge->value();
+    } else if (e->histogram != nullptr) {
+      s.histogram = e->histogram->snapshot();
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+            });
+  return out;
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& s : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(s.name) + "\",\"type\":\"";
+    out += MetricTypeName(s.type);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first_label) out += ",";
+      first_label = false;
+      out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+    }
+    out += "}";
+    if (s.type == MetricType::kHistogram) {
+      out += ",\"histogram\":" + s.histogram.ToJson();
+    } else {
+      out += ",\"value\":" + JsonNumber(s.value);
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string MetricRegistry::ToPrometheusText() const {
+  std::string out;
+  std::string last_name;
+  for (const MetricSnapshot& s : Snapshot()) {
+    if (s.name != last_name) {
+      out += "# TYPE " + s.name + " ";
+      out += s.type == MetricType::kHistogram ? "summary"
+                                              : MetricTypeName(s.type);
+      out += "\n";
+      last_name = s.name;
+    }
+    if (s.type != MetricType::kHistogram) {
+      out += SeriesName(s.name, s.labels) + " " + JsonNumber(s.value) + "\n";
+      continue;
+    }
+    const Histogram& h = s.histogram;
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+      out += SeriesName(s.name, s.labels,
+                        "quantile=\"" + JsonNumber(q) + "\"") +
+             " " + JsonNumber(h.Percentile(q)) + "\n";
+    }
+    out += SeriesName(s.name + "_sum", s.labels) + " " +
+           JsonNumber(h.Mean() * static_cast<double>(h.count())) + "\n";
+    out += SeriesName(s.name + "_count", s.labels) + " " +
+           JsonNumber(static_cast<double>(h.count())) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MetricRegistry::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson());
+}
+
+Status MetricRegistry::WritePrometheusText(const std::string& path) const {
+  return WriteFile(path, ToPrometheusText());
+}
+
+}  // namespace gids::obs

@@ -1,0 +1,152 @@
+#ifndef GIDS_OBS_METRIC_REGISTRY_H_
+#define GIDS_OBS_METRIC_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+
+namespace gids::obs {
+
+/// (key, value) pairs distinguishing instances of one metric name, e.g.
+/// {{"loader", "GIDS"}, {"stage", "sampling"}}. Exported as Prometheus
+/// labels / JSON fields. Order-insensitive: the registry sorts them.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count. Increments are lock-free; safe to
+/// hammer from many threads (see MetricRegistryTest.ConcurrentCounters).
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value that can go up and down (queue depths, thresholds).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Thread-safe value-distribution metric over gids::Histogram (log-bucketed,
+/// ~4% relative resolution).
+class HistogramMetric {
+ public:
+  void Observe(uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Add(value);
+  }
+  Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histogram_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+/// One exported metric instance at snapshot time.
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  double value = 0;     // counters and gauges
+  Histogram histogram;  // histogram metrics only
+};
+
+/// Thread-safe registry of named, label-tagged metrics with JSON and
+/// Prometheus text exposition.
+///
+/// Two registration styles:
+///  - owned metrics (GetCounter/GetGauge/GetHistogram): the registry
+///    creates the metric on first use and returns a stable pointer the
+///    caller caches and drives directly from hot paths;
+///  - callback metrics (RegisterCallback): the value is pulled from the
+///    instrumented component at Snapshot() time, so components with
+///    existing local stats structs (CacheStats, queue counters, ...) are
+///    exported with zero hot-path overhead. Callbacks must stay valid for
+///    the registry's lifetime and are invoked without synchronization
+///    against the component, which matches the single-threaded loader
+///    pipelines they observe.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Returns the metric with this name + label set, creating it on first
+  /// use. Requesting an existing name+labels with a different type aborts
+  /// (programming error).
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  HistogramMetric* GetHistogram(const std::string& name, Labels labels = {});
+
+  /// Registers (or replaces) a pull-style metric whose value is read from
+  /// `read` at snapshot time. `type` must be kCounter or kGauge.
+  void RegisterCallback(const std::string& name, Labels labels,
+                        MetricType type, std::function<double()> read);
+
+  /// Number of registered metric instances.
+  size_t size() const;
+
+  /// Consistent point-in-time view of every metric, sorted by name then
+  /// labels.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// {"metrics":[{"name":...,"labels":{...},"type":...,...}]}; histograms
+  /// carry count/min/max/mean/stddev and p50/p90/p99/p999.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format. Histograms are exported
+  /// summary-style: quantile series plus _sum and _count.
+  std::string ToPrometheusText() const;
+
+  Status WriteJson(const std::string& path) const;
+  Status WritePrometheusText(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+    std::function<double()> callback;
+  };
+
+  /// Finds the entry for name+labels or creates one of `type`; aborts on a
+  /// type conflict. Caller must hold mu_.
+  Entry* FindOrCreateLocked(const std::string& name, Labels labels,
+                            MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace gids::obs
+
+#endif  // GIDS_OBS_METRIC_REGISTRY_H_

@@ -1,0 +1,100 @@
+#include "obs/trace_recorder.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace gids::obs {
+
+void TraceRecorder::SetTrackName(int tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_[tid] = std::move(name);
+}
+
+void TraceRecorder::AddSpan(std::string name, std::string category, int tid,
+                            TimeNs start_ns, TimeNs end_ns, TraceArgs args) {
+  if (end_ns <= start_ns) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'X', std::move(name), std::move(category), tid,
+                          start_ns, end_ns - start_ns, std::move(args)});
+}
+
+void TraceRecorder::AddInstant(std::string name, std::string category,
+                               int tid, TimeNs ts_ns, TraceArgs args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'i', std::move(name), std::move(category), tid,
+                          ts_ns, 0, std::move(args)});
+}
+
+void TraceRecorder::AddCounter(std::string name, TimeNs ts_ns, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'C', std::move(name), "counter", 0, ts_ns, 0,
+                          TraceArgs{{"value", value}}});
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto append = [&out, &first](const std::string& event_json) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += event_json;
+  };
+
+  append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"GIDS dataloader (virtual time)\"}}");
+  for (const auto& [tid, name] : track_names_) {
+    append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" + JsonEscape(name) +
+           "\"}}");
+  }
+
+  for (const Event& e : events_) {
+    std::string ev = "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+                     JsonEscape(e.category) + "\",\"ph\":\"";
+    ev += e.phase;
+    ev += "\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+          ",\"ts\":" + JsonNumber(NsToUs(e.ts_ns));
+    if (e.phase == 'X') {
+      ev += ",\"dur\":" + JsonNumber(NsToUs(e.dur_ns));
+    }
+    if (e.phase == 'i') {
+      ev += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (!e.args.empty()) {
+      ev += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) ev += ",";
+        first_arg = false;
+        ev += "\"" + JsonEscape(key) + "\":" + JsonNumber(value);
+      }
+      ev += "}";
+    }
+    ev += "}";
+    append(ev);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::string contents = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace gids::obs

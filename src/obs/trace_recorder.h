@@ -1,0 +1,75 @@
+#ifndef GIDS_OBS_TRACE_RECORDER_H_
+#define GIDS_OBS_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace gids::obs {
+
+/// Numeric arguments attached to a trace event (shown in the
+/// chrome://tracing slice detail pane).
+using TraceArgs = std::vector<std::pair<std::string, double>>;
+
+/// Records pipeline activity in the simulator's *virtual* time (TimeNs) and
+/// exports it as Chrome trace_event JSON (load via chrome://tracing or
+/// https://ui.perfetto.dev). Dataloaders emit one complete span ("X" phase
+/// event) per pipeline stage per iteration on per-stage tracks, plus
+/// instant events ("i") for point-in-time occurrences such as accumulator
+/// group flushes and cache evictions. Thread-safe; events may be appended
+/// out of timestamp order (the viewers sort).
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Names the track `tid` ("Sampling", "Storage+PCIe", ...).
+  void SetTrackName(int tid, std::string name);
+
+  /// Appends a complete span [start_ns, end_ns) on track `tid`. Spans with
+  /// end <= start are dropped (zero-width slices confuse the viewers).
+  void AddSpan(std::string name, std::string category, int tid,
+               TimeNs start_ns, TimeNs end_ns, TraceArgs args = {});
+
+  /// Appends a thread-scoped instant event at `ts_ns` on track `tid`.
+  void AddInstant(std::string name, std::string category, int tid,
+                  TimeNs ts_ns, TraceArgs args = {});
+
+  /// Appends a counter event ("C" phase): chrome://tracing renders these
+  /// as a stacked area chart of `value` over time.
+  void AddCounter(std::string name, TimeNs ts_ns, double value);
+
+  size_t num_events() const;
+
+  /// The complete document: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  /// Timestamps are exported in microseconds as the format requires.
+  std::string ToJson() const;
+
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' | 'i' | 'C'
+    std::string name;
+    std::string category;
+    int tid = 0;
+    TimeNs ts_ns = 0;
+    TimeNs dur_ns = 0;  // 'X' only
+    TraceArgs args;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<int, std::string> track_names_;
+};
+
+}  // namespace gids::obs
+
+#endif  // GIDS_OBS_TRACE_RECORDER_H_

@@ -35,6 +35,13 @@ class QueueManager {
   uint64_t total_submissions() const { return total_submissions_; }
   const IoQueuePair& queue(uint32_t i) const { return queues_[i]; }
 
+  /// Requests currently submitted but not yet reaped, summed over queues.
+  uint64_t outstanding() const {
+    uint64_t n = 0;
+    for (const IoQueuePair& q : queues_) n += q.outstanding();
+    return n;
+  }
+
  private:
   uint32_t depth_per_queue_;
   std::vector<IoQueuePair> queues_;

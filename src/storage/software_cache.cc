@@ -146,4 +146,33 @@ uint32_t SoftwareCache::FutureReuseCount(uint64_t page) const {
   return it == future_reuse_.end() ? 0 : it->second;
 }
 
+void SoftwareCache::BindMetrics(obs::MetricRegistry* registry,
+                                const obs::Labels& labels) const {
+  GIDS_CHECK(registry != nullptr);
+  using obs::MetricType;
+  auto counter = [&](const char* name, const uint64_t* field) {
+    registry->RegisterCallback(name, labels, MetricType::kCounter,
+                               [field] { return static_cast<double>(*field); });
+  };
+  counter("gids_cache_lookups_total", &stats_.lookups);
+  counter("gids_cache_hits_total", &stats_.hits);
+  counter("gids_cache_misses_total", &stats_.misses);
+  counter("gids_cache_insertions_total", &stats_.insertions);
+  counter("gids_cache_evictions_total", &stats_.evictions);
+  counter("gids_cache_pinned_probe_skips_total", &stats_.pinned_probe_skips);
+  counter("gids_cache_bypasses_total", &stats_.bypasses);
+  registry->RegisterCallback("gids_cache_hit_ratio", labels,
+                             MetricType::kGauge,
+                             [this] { return stats_.HitRatio(); });
+  registry->RegisterCallback(
+      "gids_cache_resident_lines", labels, MetricType::kGauge,
+      [this] { return static_cast<double>(resident_lines()); });
+  registry->RegisterCallback(
+      "gids_cache_pinned_lines", labels, MetricType::kGauge,
+      [this] { return static_cast<double>(pinned_lines()); });
+  registry->RegisterCallback(
+      "gids_cache_capacity_lines", labels, MetricType::kGauge,
+      [this] { return static_cast<double>(capacity_lines()); });
+}
+
 }  // namespace gids::storage

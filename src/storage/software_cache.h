@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "obs/metric_registry.h"
 
 namespace gids::storage {
 
@@ -69,6 +70,14 @@ class SoftwareCache {
   uint64_t resident_lines() const { return index_.size(); }
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
+
+  /// Exposes the cache through `registry` (pull-style: every CacheStats
+  /// field plus resident/pinned-line gauges is read at snapshot time, so
+  /// the hot paths keep driving only the local struct). `labels` tags the
+  /// series, e.g. {{"loader", "GIDS"}}. The registry must outlive the
+  /// cache's last snapshot.
+  void BindMetrics(obs::MetricRegistry* registry,
+                   const obs::Labels& labels) const;
 
   /// Looks up `page`. On a hit, returns the cached payload and (if the
   /// line has a positive future-reuse counter) consumes one reuse: when

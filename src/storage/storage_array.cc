@@ -24,7 +24,38 @@ Status StorageArray::ReadPage(uint64_t page, std::span<std::byte> out) {
   GIDS_RETURN_IF_ERROR(device_->ReadBlock(page, out));
   ++total_reads_;
   ++per_device_reads_[DeviceFor(page)];
+  if (request_bytes_hist_ != nullptr) {
+    request_bytes_hist_->Observe(page_bytes());
+  }
   return Status::OK();
+}
+
+void StorageArray::BindMetrics(obs::MetricRegistry* registry,
+                               const obs::Labels& labels) {
+  GIDS_CHECK(registry != nullptr);
+  using obs::MetricType;
+  registry->RegisterCallback(
+      "gids_storage_reads_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(total_reads_); });
+  for (int d = 0; d < n_ssd_; ++d) {
+    obs::Labels device_labels = labels;
+    device_labels.emplace_back("device", std::to_string(d));
+    registry->RegisterCallback(
+        "gids_storage_device_reads_total", std::move(device_labels),
+        MetricType::kCounter,
+        [this, d] { return static_cast<double>(per_device_reads_[d]); });
+  }
+  registry->RegisterCallback(
+      "gids_io_doorbells_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(queues_.total_submissions()); });
+  registry->RegisterCallback(
+      "gids_io_queue_outstanding", labels, MetricType::kGauge,
+      [this] { return static_cast<double>(queues_.outstanding()); });
+  registry->RegisterCallback(
+      "gids_io_queue_capacity", labels, MetricType::kGauge,
+      [this] { return static_cast<double>(queue_capacity()); });
+  request_bytes_hist_ =
+      registry->GetHistogram("gids_storage_request_bytes", labels);
 }
 
 void StorageArray::ResetCounters() {

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/status.h"
+#include "obs/metric_registry.h"
 #include "sim/ssd_model.h"
 #include "storage/block_device.h"
 #include "storage/queue_manager.h"
@@ -44,6 +45,9 @@ class StorageArray {
     GIDS_CHECK_OK(queues_.RoundTrip(page));
     ++total_reads_;
     ++per_device_reads_[DeviceFor(page)];
+    if (request_bytes_hist_ != nullptr) {
+      request_bytes_hist_->Observe(page_bytes());
+    }
   }
 
   const QueueManager& queues() const { return queues_; }
@@ -59,6 +63,11 @@ class StorageArray {
   uint64_t reads_on_device(int d) const { return per_device_reads_[d]; }
   void ResetCounters();
 
+  /// Exposes the array through `registry`: read counters (total and
+  /// per-device), queue-pair doorbell traffic, an outstanding-request
+  /// gauge, and a request-size histogram observed on every read.
+  void BindMetrics(obs::MetricRegistry* registry, const obs::Labels& labels);
+
  private:
   std::unique_ptr<BlockDevice> device_;
   sim::SsdSpec spec_;
@@ -66,6 +75,7 @@ class StorageArray {
   QueueManager queues_;
   uint64_t total_reads_ = 0;
   std::vector<uint64_t> per_device_reads_;
+  obs::HistogramMetric* request_bytes_hist_ = nullptr;  // registry-owned
 };
 
 }  // namespace gids::storage

@@ -106,5 +106,54 @@ TEST(HistogramTest, ToStringMentionsCount) {
   EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
 }
 
+TEST(HistogramTest, PercentileExtremesAreExactBounds) {
+  Histogram h;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) h.Add(100 + rng.UniformInt(100000));
+  // p=0 and p=1 must report the exact observed extremes, not bucket
+  // boundaries (interpolation would otherwise over/undershoot).
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), static_cast<double>(h.min()));
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), static_cast<double>(h.max()));
+  // Out-of-range p clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), static_cast<double>(h.min()));
+  EXPECT_DOUBLE_EQ(h.Percentile(1.5), static_cast<double>(h.max()));
+}
+
+TEST(HistogramTest, PercentileNeverLeavesObservedRange) {
+  Histogram h;
+  // All mass in one bucket whose upper bound far exceeds max().
+  for (int i = 0; i < 3; ++i) h.Add(1000);
+  for (double p : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, static_cast<double>(h.min())) << "p=" << p;
+    EXPECT_LE(v, static_cast<double>(h.max())) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, EmptyPercentileEdges) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.0);
+}
+
+TEST(HistogramTest, ToJsonEmpty) {
+  Histogram h;
+  std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\":0"), std::string::npos) << json;
+}
+
+TEST(HistogramTest, ToJsonCarriesSummaryFields) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Add(64);
+  std::string json = h.ToJson();
+  for (const char* key :
+       {"\"count\":10", "\"min\":64", "\"max\":64", "\"mean\":", "\"stddev\":",
+        "\"p50\":", "\"p90\":", "\"p99\":", "\"p999\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
 }  // namespace
 }  // namespace gids

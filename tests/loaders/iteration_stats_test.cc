@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "loaders/dataloader.h"
+
+namespace gids::loaders {
+namespace {
+
+IterationStats MakeStats(TimeNs aggregation_ns, double bandwidth_bps,
+                         double pcie_bps, uint32_t merged_group) {
+  IterationStats st;
+  st.aggregation_ns = aggregation_ns;
+  st.effective_bandwidth_bps = bandwidth_bps;
+  st.pcie_ingress_bps = pcie_bps;
+  st.merged_group = merged_group;
+  return st;
+}
+
+TEST(IterationStatsTest, AddSumsTimeAndTrafficFields) {
+  IterationStats a;
+  a.sampling_ns = 10;
+  a.aggregation_ns = 20;
+  a.transfer_ns = 30;
+  a.training_ns = 40;
+  a.e2e_ns = 70;
+  a.sampled_edges = 5;
+  a.input_nodes = 3;
+  IterationStats b = a;
+  a.Add(b);
+  EXPECT_EQ(a.sampling_ns, 20);
+  EXPECT_EQ(a.aggregation_ns, 40);
+  EXPECT_EQ(a.transfer_ns, 60);
+  EXPECT_EQ(a.training_ns, 80);
+  EXPECT_EQ(a.e2e_ns, 140);
+  EXPECT_EQ(a.sampled_edges, 10u);
+  EXPECT_EQ(a.input_nodes, 6u);
+}
+
+TEST(IterationStatsTest, AddKeepsMaxMergedGroup) {
+  IterationStats a = MakeStats(10, 0, 0, 4);
+  a.Add(MakeStats(10, 0, 0, 2));
+  EXPECT_EQ(a.merged_group, 4u);
+  a.Add(MakeStats(10, 0, 0, 9));
+  EXPECT_EQ(a.merged_group, 9u);
+}
+
+TEST(IterationStatsTest, AddWeightsBandwidthByAggregationTime) {
+  // 1 GB/s over 3 units of aggregation time + 5 GB/s over 1 unit
+  // averages to 2 GB/s, not 5 (the last value) or 3 (unweighted mean).
+  IterationStats a = MakeStats(3, 1e9, 2e9, 1);
+  a.Add(MakeStats(1, 5e9, 6e9, 1));
+  EXPECT_DOUBLE_EQ(a.effective_bandwidth_bps, 2e9);
+  EXPECT_DOUBLE_EQ(a.pcie_ingress_bps, 3e9);
+  EXPECT_EQ(a.aggregation_ns, 4);
+}
+
+TEST(IterationStatsTest, AddBandwidthAccumulatesAcrossManyIterations) {
+  IterationStats total;
+  for (int i = 0; i < 10; ++i) {
+    total.Add(MakeStats(2, 4e9, 8e9, 1));
+  }
+  // Identical iterations: the aggregate must report the common value.
+  EXPECT_DOUBLE_EQ(total.effective_bandwidth_bps, 4e9);
+  EXPECT_DOUBLE_EQ(total.pcie_ingress_bps, 8e9);
+}
+
+TEST(IterationStatsTest, AddWithZeroAggregationTimeKeepsExistingRates) {
+  IterationStats a = MakeStats(5, 3e9, 1e9, 1);
+  a.Add(MakeStats(0, 9e9, 9e9, 1));  // no aggregation work, no weight
+  EXPECT_DOUBLE_EQ(a.effective_bandwidth_bps, 3e9);
+  EXPECT_DOUBLE_EQ(a.pcie_ingress_bps, 1e9);
+  IterationStats both_zero = MakeStats(0, 0, 0, 1);
+  both_zero.Add(MakeStats(0, 0, 0, 1));  // degenerate: stays 0, no NaN
+  EXPECT_DOUBLE_EQ(both_zero.effective_bandwidth_bps, 0.0);
+}
+
+TEST(IterationStatsTest, AddFoldsGatherCounts) {
+  IterationStats a;
+  a.gather.nodes = 2;
+  a.gather.gpu_cache_hits = 3;
+  a.gather.cpu_buffer_hits = 4;
+  a.gather.storage_reads = 5;
+  IterationStats b = a;
+  a.Add(b);
+  EXPECT_EQ(a.gather.nodes, 4u);
+  EXPECT_EQ(a.gather.gpu_cache_hits, 6u);
+  EXPECT_EQ(a.gather.cpu_buffer_hits, 8u);
+  EXPECT_EQ(a.gather.storage_reads, 10u);
+}
+
+}  // namespace
+}  // namespace gids::loaders

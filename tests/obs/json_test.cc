@@ -1,0 +1,73 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace gids::obs {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("gids_loader_e2e_ns"), "gids_loader_e2e_ns");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonNumberTest, RoundTripsAndSanitizes) {
+  EXPECT_EQ(JsonNumber(0), "0");
+  EXPECT_EQ(JsonNumber(42), "42");
+  // JSON has no NaN/Inf; the exporters emit 0 instead of invalid tokens.
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "0");
+  double v = 0.1234567890123456789;
+  EXPECT_DOUBLE_EQ(std::stod(JsonNumber(v)), v);
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_DOUBLE_EQ(ParseJson("3.5")->number, 3.5);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value, "hi");
+  EXPECT_TRUE(ParseJson("true")->bool_value);
+  EXPECT_EQ(ParseJson("null")->type, JsonValue::Type::kNull);
+}
+
+TEST(JsonParseTest, ParsesNestedDocument) {
+  auto doc = ParseJson(
+      R"({"metrics":[{"name":"x","value":1},{"name":"y","value":-2.5}],)"
+      R"("ok":true})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* metrics = doc->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_EQ(metrics->array.size(), 2u);
+  EXPECT_EQ(metrics->array[0].Find("name")->string_value, "x");
+  EXPECT_DOUBLE_EQ(metrics->array[1].Find("value")->number, -2.5);
+  EXPECT_TRUE(doc->Find("ok")->bool_value);
+}
+
+TEST(JsonParseTest, DecodesStringEscapes) {
+  auto doc = ParseJson(R"("a\"b\\c\nA")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value, "a\"b\\c\nA");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("{'a':1}").ok());
+}
+
+TEST(JsonParseTest, RoundTripsEscapedStrings) {
+  std::string original = "quote\" slash\\ newline\n";
+  auto doc = ParseJson("\"" + JsonEscape(original) + "\"");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value, original);
+}
+
+}  // namespace
+}  // namespace gids::obs

@@ -1,0 +1,163 @@
+#include "obs/metric_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/json.h"
+
+namespace gids::obs {
+namespace {
+
+TEST(MetricRegistryTest, CounterGaugeHistogramBasics) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("requests_total", {{"loader", "GIDS"}});
+  c->Inc();
+  c->Inc(4);
+  EXPECT_EQ(c->value(), 5u);
+
+  Gauge* g = reg.GetGauge("queue_depth");
+  g->Set(3);
+  g->Add(-1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+
+  HistogramMetric* h = reg.GetHistogram("latency_ns");
+  h->Observe(100);
+  h->Observe(300);
+  EXPECT_EQ(h->snapshot().count(), 2u);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricRegistryTest, SameNameAndLabelsReturnsSameInstance) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("x", {{"k", "v"}});
+  // Label order must not matter.
+  Counter* b = reg.GetCounter("x", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  Counter* c2 =
+      reg.GetCounter("x", {{"b", "2"}, {"a", "1"}});
+  Counter* d = reg.GetCounter("x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(c2, d);
+  EXPECT_NE(a, c2);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricRegistryTest, CallbackMetricsPullAtSnapshotTime) {
+  MetricRegistry reg;
+  uint64_t source = 7;
+  reg.RegisterCallback("pulled_total", {}, MetricType::kCounter,
+                       [&source] { return static_cast<double>(source); });
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap[0].value, 7.0);
+  source = 42;  // later snapshots see the component's current state
+  EXPECT_DOUBLE_EQ(reg.Snapshot()[0].value, 42.0);
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedByNameThenLabels) {
+  MetricRegistry reg;
+  reg.GetCounter("zzz");
+  reg.GetCounter("aaa", {{"loader", "b"}});
+  reg.GetCounter("aaa", {{"loader", "a"}});
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "aaa");
+  EXPECT_EQ(snap[0].labels[0].second, "a");
+  EXPECT_EQ(snap[1].labels[0].second, "b");
+  EXPECT_EQ(snap[2].name, "zzz");
+}
+
+TEST(MetricRegistryTest, ConcurrentCountersKeepExactTotals) {
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  ThreadPool pool(kThreads);
+  // Every thread resolves the same series by name and hammers it, plus a
+  // per-thread series, so both the creation path and the increment path
+  // race.
+  pool.ParallelFor(kThreads, [&reg](size_t t) {
+    Counter* shared = reg.GetCounter("shared_total", {{"kind", "x"}});
+    Counter* own =
+        reg.GetCounter("per_thread_total", {{"t", std::to_string(t)}});
+    Gauge* gauge = reg.GetGauge("last_value");
+    HistogramMetric* hist = reg.GetHistogram("observed");
+    for (int i = 0; i < kIncrements; ++i) {
+      shared->Inc();
+      own->Inc(2);
+      gauge->Set(static_cast<double>(i));
+      hist->Observe(static_cast<uint64_t>(i));
+    }
+  });
+  EXPECT_EQ(reg.GetCounter("shared_total", {{"kind", "x"}})->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(
+        reg.GetCounter("per_thread_total", {{"t", std::to_string(t)}})->value(),
+        2u * kIncrements);
+  }
+  EXPECT_EQ(reg.GetHistogram("observed")->snapshot().count(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  // 2 shared + kThreads per-thread series.
+  EXPECT_EQ(reg.size(), 3u + kThreads);
+}
+
+TEST(MetricRegistryTest, ToJsonParsesAndCarriesValues) {
+  MetricRegistry reg;
+  reg.GetCounter("c_total", {{"loader", "GIDS"}})->Inc(9);
+  reg.GetGauge("g")->Set(2.5);
+  HistogramMetric* h = reg.GetHistogram("h_ns");
+  for (int i = 1; i <= 100; ++i) h->Observe(i);
+
+  auto doc = ParseJson(reg.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* metrics = doc->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->array.size(), 3u);
+
+  const JsonValue& counter = metrics->array[0];
+  EXPECT_EQ(counter.Find("name")->string_value, "c_total");
+  EXPECT_EQ(counter.Find("type")->string_value, "counter");
+  EXPECT_EQ(counter.Find("labels")->Find("loader")->string_value, "GIDS");
+  EXPECT_DOUBLE_EQ(counter.Find("value")->number, 9.0);
+
+  const JsonValue& gauge = metrics->array[1];
+  EXPECT_EQ(gauge.Find("type")->string_value, "gauge");
+  EXPECT_DOUBLE_EQ(gauge.Find("value")->number, 2.5);
+
+  const JsonValue& hist = metrics->array[2];
+  EXPECT_EQ(hist.Find("type")->string_value, "histogram");
+  const JsonValue* summary = hist.Find("histogram");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_DOUBLE_EQ(summary->Find("count")->number, 100.0);
+  EXPECT_DOUBLE_EQ(summary->Find("min")->number, 1.0);
+  EXPECT_DOUBLE_EQ(summary->Find("max")->number, 100.0);
+}
+
+TEST(MetricRegistryTest, PrometheusTextFormat) {
+  MetricRegistry reg;
+  reg.GetCounter("gids_reads_total", {{"loader", "GIDS"}, {"device", "0"}})
+      ->Inc(3);
+  reg.GetGauge("gids_depth")->Set(4);
+  HistogramMetric* h = reg.GetHistogram("gids_lat_ns");
+  h->Observe(10);
+  h->Observe(20);
+
+  std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE gids_reads_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("gids_reads_total{device=\"0\",loader=\"GIDS\"} 3"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE gids_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("gids_depth 4"), std::string::npos);
+  // Histograms export as summaries: quantile series plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE gids_lat_ns summary"), std::string::npos);
+  EXPECT_NE(text.find("gids_lat_ns{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("gids_lat_ns_sum 30"), std::string::npos);
+  EXPECT_NE(text.find("gids_lat_ns_count 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gids::obs

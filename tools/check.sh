@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds and tests both configurations: the default RelWithDebInfo tree and
+# the ASan/UBSan tree (CMakePresets.json). Run from the repository root:
+#
+#   tools/check.sh            # both presets
+#   tools/check.sh default    # one preset
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc)
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan-ubsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure"
+  cmake --preset "$preset"
+  echo "=== [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] test"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "=== all presets passed"

@@ -5,6 +5,8 @@
 //   gids_cli run      --dataset IGB-Full --scale 0.0039 --loader gids
 //                     --ssd optane --n-ssd 1 --batch 16 --fanout 10,5,5
 //                     --warmup 100 --measure 30 [--csv iters.csv]
+//                     [--metrics-json=metrics.json] [--metrics-prom=out.prom]
+//                     [--trace-json=trace.json]
 //                     [--no-accumulator] [--no-window] [--no-cpu-buffer]
 //                     [--cpu-buffer-frac 0.1] [--window-depth 8]
 //
@@ -26,6 +28,8 @@
 #include "graph/serialization.h"
 #include "loaders/ginex_loader.h"
 #include "loaders/mmap_loader.h"
+#include "obs/metric_registry.h"
+#include "obs/trace_recorder.h"
 #include "sampling/neighbor_sampler.h"
 #include "sampling/seed_iterator.h"
 #include "sim/pipeline_des.h"
@@ -35,7 +39,7 @@ namespace {
 
 using namespace gids;
 
-// --- Minimal flag parsing: --key value and boolean --key.
+// --- Minimal flag parsing: --key value, --key=value, and boolean --key.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
@@ -46,7 +50,11 @@ class Flags {
         std::exit(2);
       }
       std::string key = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "true";
@@ -180,17 +188,32 @@ int CmdRun(const Flags& flags) {
       dataset.train_ids, static_cast<uint32_t>(flags.GetInt("batch", 16)),
       static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0x5eed);
 
+  // Observability sinks (see OBSERVABILITY.md). Created whenever an
+  // export path was requested; the loaders self-instrument against them.
+  obs::MetricRegistry metrics;
+  obs::TraceRecorder trace;
+  obs::MetricRegistry* metrics_ptr =
+      flags.Has("metrics-json") || flags.Has("metrics-prom") ? &metrics
+                                                             : nullptr;
+  obs::TraceRecorder* trace_ptr =
+      flags.Has("trace-json") ? &trace : nullptr;
+
   std::string kind = flags.Get("loader", "gids");
   std::unique_ptr<loaders::DataLoader> loader;
   std::vector<graph::NodeId> hot_order;
   if (kind == "mmap") {
     loader = std::make_unique<loaders::MmapLoader>(
         &dataset, &sampler, &seeds, &system,
-        loaders::MmapLoaderOptions{.counting_mode = true});
+        loaders::MmapLoaderOptions{.counting_mode = true,
+                                   .metrics = metrics_ptr,
+                                   .trace = trace_ptr});
   } else if (kind == "ginex") {
-    loader = std::make_unique<loaders::GinexLoader>(
-        &dataset, &sampler, &seeds, &system,
-        loaders::GinexLoaderOptions{.counting_mode = true});
+    loaders::GinexLoaderOptions gopts;
+    gopts.counting_mode = true;
+    gopts.metrics = metrics_ptr;
+    gopts.trace = trace_ptr;
+    loader = std::make_unique<loaders::GinexLoader>(&dataset, &sampler,
+                                                    &seeds, &system, gopts);
   } else if (kind == "bam" || kind == "gids") {
     core::GidsOptions opts =
         kind == "bam" ? core::GidsOptions::Bam() : core::GidsOptions{};
@@ -206,6 +229,8 @@ int CmdRun(const Flags& flags) {
       hot_order = graph::RankNodesByScore(score);
       opts.hot_node_order = &hot_order;
     }
+    opts.metrics = metrics_ptr;
+    opts.trace = trace_ptr;
     loader = std::make_unique<core::GidsLoader>(&dataset, &sampler, &seeds,
                                                 &system, opts);
   } else {
@@ -246,6 +271,37 @@ int CmdRun(const Flags& flags) {
               static_cast<unsigned long long>(m.gather.storage_reads));
   std::printf("cache hit:    %.1f%%\n",
               100.0 * result->gpu_cache_hit_ratio());
+
+  if (flags.Has("metrics-json")) {
+    std::string path = flags.Get("metrics-json", "metrics.json");
+    Status s = metrics.WriteJson(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu series)\n", path.c_str(),
+                metrics.Snapshot().size());
+  }
+  if (flags.Has("metrics-prom")) {
+    std::string path = flags.Get("metrics-prom", "metrics.prom");
+    Status s = metrics.WritePrometheusText(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu series)\n", path.c_str(),
+                metrics.Snapshot().size());
+  }
+  if (flags.Has("trace-json")) {
+    std::string path = flags.Get("trace-json", "trace.json");
+    Status s = trace.WriteJson(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu events; open in chrome://tracing)\n",
+                path.c_str(), trace.num_events());
+  }
 
   if (flags.Has("trace")) {
     // Replay the measured stage costs through the pipeline DES and export
@@ -317,6 +373,8 @@ void Usage() {
       "           --loader mmap|ginex|bam|gids --ssd optane|samsung\n"
       "           [--n-ssd N --batch B --fanout a,b,c --warmup W\n"
       "            --measure M --csv FILE --trace FILE.json\n"
+      "            --metrics-json FILE --metrics-prom FILE\n"
+      "            --trace-json FILE (per-iteration virtual-time spans)\n"
       "            --no-accumulator --no-window --no-cpu-buffer\n"
       "            --cpu-buffer-frac F --window-depth D]\n");
 }
