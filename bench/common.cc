@@ -127,7 +127,8 @@ const std::vector<graph::NodeId>& CachedPageRankOrder(
 }
 
 void ReportRow(const std::string& experiment, const std::string& label,
-               double measured, double paper, const std::string& unit) {
+               double measured, double paper, const std::string& unit,
+               double wall_ms, int host_threads) {
   if (paper > 0) {
     std::printf("[%s] %-42s measured=%-12.4g paper=%-10.4g unit=%s\n",
                 experiment.c_str(), label.c_str(), measured, paper,
@@ -144,6 +145,12 @@ void ReportRow(const std::string& experiment, const std::string& label,
       obs::JsonNumber(measured).c_str());
   if (paper > 0) {
     std::printf(",\"paper\":%s", obs::JsonNumber(paper).c_str());
+  }
+  if (wall_ms >= 0) {
+    std::printf(",\"wall_ms\":%s", obs::JsonNumber(wall_ms).c_str());
+  }
+  if (host_threads >= 0) {
+    std::printf(",\"host_threads\":%d", host_threads);
   }
   std::printf(",\"unit\":\"%s\"}\n", obs::JsonEscape(unit).c_str());
   std::fflush(stdout);

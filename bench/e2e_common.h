@@ -20,9 +20,14 @@ struct E2ECase {
   double paper_gids_vs_bam;
 };
 
-inline double MeasureE2EIterationMs(LoaderKind kind,
-                                    const graph::DatasetSpec& spec,
-                                    const sim::SsdSpec& ssd) {
+struct E2EMeasurement {
+  double ms = 0;       // mean virtual-time ms per measured iteration
+  double wall_ms = 0;  // host wall-clock of the measured phase
+};
+
+inline E2EMeasurement MeasureE2EIterationMs(LoaderKind kind,
+                                            const graph::DatasetSpec& spec,
+                                            const sim::SsdSpec& ssd) {
   ProxyConfig cfg;
   cfg.spec = spec;
   cfg.ssd = ssd;
@@ -39,43 +44,43 @@ inline double MeasureE2EIterationMs(LoaderKind kind,
   // protocol (§4.1); warm-up fills the page caches / software cache.
   core::TrainRunResult result =
       RunProtocol(rig, *loader, /*warmup=*/250, /*measure=*/30);
-  return result.mean_iteration_ms();
+  return E2EMeasurement{result.mean_iteration_ms(), result.wall_ms};
 }
 
 inline void RunE2E(benchmark::State& state, const char* figure,
                    const E2ECase& c, const sim::SsdSpec& ssd) {
   bool hetero = c.spec.kind == graph::GraphKind::kHeterogeneous;
-  double dgl_ms = 0;
-  double ginex_ms = 0;
-  double bam_ms = 0;
-  double gids_ms = 0;
+  E2EMeasurement dgl, ginex, bam, gids;
   for (auto _ : state) {
-    dgl_ms = MeasureE2EIterationMs(LoaderKind::kMmap, c.spec, ssd);
-    ginex_ms = hetero ? 0
-                      : MeasureE2EIterationMs(LoaderKind::kGinex, c.spec, ssd);
-    bam_ms = MeasureE2EIterationMs(LoaderKind::kBam, c.spec, ssd);
-    gids_ms = MeasureE2EIterationMs(LoaderKind::kGids, c.spec, ssd);
+    dgl = MeasureE2EIterationMs(LoaderKind::kMmap, c.spec, ssd);
+    ginex = hetero ? E2EMeasurement{}
+                   : MeasureE2EIterationMs(LoaderKind::kGinex, c.spec, ssd);
+    bam = MeasureE2EIterationMs(LoaderKind::kBam, c.spec, ssd);
+    gids = MeasureE2EIterationMs(LoaderKind::kGids, c.spec, ssd);
   }
-  state.counters["dgl_ms"] = dgl_ms;
-  state.counters["ginex_ms"] = ginex_ms;
-  state.counters["bam_ms"] = bam_ms;
-  state.counters["gids_ms"] = gids_ms;
-  state.counters["gids_vs_dgl"] = dgl_ms / gids_ms;
-  state.counters["gids_vs_bam"] = bam_ms / gids_ms;
+  state.counters["dgl_ms"] = dgl.ms;
+  state.counters["ginex_ms"] = ginex.ms;
+  state.counters["bam_ms"] = bam.ms;
+  state.counters["gids_ms"] = gids.ms;
+  state.counters["gids_vs_dgl"] = dgl.ms / gids.ms;
+  state.counters["gids_vs_bam"] = bam.ms / gids.ms;
 
-  ReportRow(figure, c.spec.name + " DGL-mmap", dgl_ms, 0, "ms/iter");
+  ReportRow(figure, c.spec.name + " DGL-mmap", dgl.ms, 0, "ms/iter",
+            dgl.wall_ms);
   if (!hetero) {
-    ReportRow(figure, c.spec.name + " Ginex", ginex_ms, 0, "ms/iter");
+    ReportRow(figure, c.spec.name + " Ginex", ginex.ms, 0, "ms/iter",
+              ginex.wall_ms);
   }
-  ReportRow(figure, c.spec.name + " BaM", bam_ms, 0, "ms/iter");
-  ReportRow(figure, c.spec.name + " GIDS", gids_ms, 0, "ms/iter");
+  ReportRow(figure, c.spec.name + " BaM", bam.ms, 0, "ms/iter", bam.wall_ms);
+  ReportRow(figure, c.spec.name + " GIDS", gids.ms, 0, "ms/iter",
+            gids.wall_ms);
   ReportRow(figure, c.spec.name + " GIDS speedup vs DGL-mmap",
-            dgl_ms / gids_ms, c.paper_gids_vs_dgl, "x");
+            dgl.ms / gids.ms, c.paper_gids_vs_dgl, "x");
   if (!hetero) {
     ReportRow(figure, c.spec.name + " GIDS speedup vs Ginex",
-              ginex_ms / gids_ms, c.paper_gids_vs_ginex, "x");
+              ginex.ms / gids.ms, c.paper_gids_vs_ginex, "x");
   }
-  ReportRow(figure, c.spec.name + " GIDS speedup vs BaM", bam_ms / gids_ms,
+  ReportRow(figure, c.spec.name + " GIDS speedup vs BaM", bam.ms / gids.ms,
             c.paper_gids_vs_bam, "x");
 }
 

@@ -105,6 +105,15 @@ class Rng {
   uint64_t state_[4];
 };
 
+/// The RNG for iteration `iteration` of a deterministic stream rooted at
+/// `seed`: each iteration gets an independent, reproducible generator, so
+/// work items (e.g. the sampler calls for accumulator-merged future
+/// iterations) can run concurrently and out of order without changing any
+/// iteration's random sequence.
+inline Rng IterationRng(uint64_t seed, uint64_t iteration) {
+  return Rng(seed ^ SplitMix64(iteration).Next());
+}
+
 /// Fisher-Yates shuffle of `items` using `rng`.
 template <typename T>
 void Shuffle(std::vector<T>& items, Rng& rng) {

@@ -28,6 +28,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
   }
   task_available_.notify_one();
 }
@@ -35,6 +36,12 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -46,15 +53,56 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 void ThreadPool::ParallelForChunked(
     size_t n, const std::function<void(size_t begin, size_t end)>& fn) {
   if (n == 0) return;
-  size_t chunks = std::min(n, workers_.size());
-  size_t per_chunk = (n + chunks - 1) / chunks;
-  for (size_t c = 0; c < chunks; ++c) {
-    size_t begin = c * per_chunk;
-    size_t end = std::min(n, begin + per_chunk);
-    if (begin >= end) break;
-    Submit([&fn, begin, end] { fn(begin, end); });
+  auto state = std::make_shared<ForState>();
+  size_t target_chunks =
+      std::max<size_t>(1, workers_.size() * kChunksPerWorker);
+  state->chunk_size =
+      (n + std::min(n, target_chunks) - 1) / std::min(n, target_chunks);
+  state->num_chunks = (n + state->chunk_size - 1) / state->chunk_size;
+  state->n = n;
+  state->fn = &fn;
+
+  // Helpers hold a shared_ptr so a straggler that wakes up after the
+  // caller has returned still finds valid (if exhausted) state. They never
+  // touch `fn` once every chunk is claimed, so the reference stays safe.
+  size_t helpers = std::min(workers_.size(), state->num_chunks - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([this, state] { RunChunks(state); });
   }
-  Wait();
+  RunChunks(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] {
+    return state->chunks_done.load(std::memory_order_acquire) >=
+           state->num_chunks;
+  });
+  if (state->error != nullptr) {
+    std::exception_ptr error = state->error;
+    state->error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::RunChunks(const std::shared_ptr<ForState>& state) {
+  for (;;) {
+    size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->num_chunks) return;
+    size_t begin = c * state->chunk_size;
+    size_t end = std::min(state->n, begin + state->chunk_size);
+    try {
+      (*state->fn)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->error == nullptr) state->error = std::current_exception();
+    }
+    chunks_executed_.fetch_add(1, std::memory_order_relaxed);
+    if (state->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->num_chunks) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done_cv.notify_all();
+    }
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -70,8 +118,17 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     }
-    task();
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

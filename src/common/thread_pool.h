@@ -1,9 +1,13 @@
 #ifndef GIDS_COMMON_THREAD_POOL_H_
 #define GIDS_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -11,8 +15,24 @@
 
 namespace gids {
 
-/// Fixed-size worker pool used by the CPU-side samplers and gather paths
-/// (the baseline DGL dataloader runs data preparation on host threads).
+/// Fixed-size worker pool used by the CPU-side data-preparation pipeline
+/// (parallel sampling of accumulator groups, the sharded feature gather,
+/// and the GIDS loader's iteration prefetch).
+///
+/// Concurrency contract:
+///  - Submit/Wait: fire-and-forget tasks. The first exception thrown by a
+///    submitted task is captured and rethrown from the next Wait() call
+///    (the remaining tasks still run; the worker survives).
+///  - ParallelFor/ParallelForChunked: the *calling* thread participates in
+///    chunk execution, so nesting a ParallelFor inside a task running on
+///    this very pool cannot deadlock (the prefetch task preparing a group
+///    runs the group's parallel sample/gather on the same pool). The first
+///    exception thrown by the body is rethrown from the call itself, after
+///    every chunk has finished.
+///  - Dynamic chunking: ranges are split into more chunks than workers
+///    (kChunksPerWorker per thread) and claimed from a shared cursor, so a
+///    skewed chunk (e.g. a gather chunk full of page-spanning nodes) does
+///    not straggle the whole batch.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -26,19 +46,59 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed. Rethrows the first
+  /// exception captured from a submitted task since the previous Wait().
   void Wait();
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Runs fn(i) for i in [0, n) across the pool (caller included) and
+  /// waits for completion. Rethrows the first exception thrown by fn.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
-  /// Splits [0, n) into one contiguous chunk per worker and runs
-  /// fn(begin, end) for each chunk; waits for completion.
+  /// Splits [0, n) into dynamically claimed contiguous chunks and runs
+  /// fn(begin, end) for each; waits for completion. Rethrows the first
+  /// exception thrown by fn.
   void ParallelForChunked(
       size_t n, const std::function<void(size_t begin, size_t end)>& fn);
 
+  // --- Introspection (lock-free; feed the obs gauges, see
+  // obs::BindThreadPoolMetrics).
+
+  /// Tasks currently sitting in the queue, not yet claimed by a worker.
+  size_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  /// Workers currently executing a task.
+  size_t busy_workers() const {
+    return busy_workers_.load(std::memory_order_relaxed);
+  }
+  /// Total tasks executed by workers since construction.
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  /// Total chunks executed on behalf of ParallelFor/ParallelForChunked
+  /// (caller-run chunks included).
+  uint64_t chunks_executed() const {
+    return chunks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Chunks-per-worker factor used by the dynamic chunker.
+  static constexpr size_t kChunksPerWorker = 4;
+
  private:
+  struct ForState {
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> chunks_done{0};
+    size_t num_chunks = 0;
+    size_t chunk_size = 0;
+    size_t n = 0;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // first body exception; guarded by mu
+  };
+
   void WorkerLoop();
+  void RunChunks(const std::shared_ptr<ForState>& state);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -47,6 +107,12 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_error_;  // from submitted tasks; guarded by mu_
+
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<size_t> busy_workers_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> chunks_executed_{0};
 };
 
 }  // namespace gids

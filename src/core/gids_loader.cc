@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
+#include "obs/pool_metrics.h"
 #include "sim/aggregation_model.h"
 
 namespace gids::core {
@@ -41,8 +43,13 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
                              : cfg.scaled_gpu_cache_bytes();
   cache_ = std::make_unique<storage::SoftwareCache>(
       cache_bytes, fs.page_bytes(), options_.seed ^ 0xcac4e,
-      /*store_payloads=*/!options_.counting_mode);
+      /*store_payloads=*/!options_.counting_mode, options_.cache_shards);
   bam_ = std::make_unique<storage::BamArray>(storage_.get(), cache_.get());
+
+  if (options_.host_threads > 1 || options_.prefetch_depth > 0) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::max<uint32_t>(1, options_.host_threads));
+  }
 
   if (options_.use_cpu_buffer) {
     uint64_t buffer_bytes = static_cast<uint64_t>(
@@ -63,8 +70,8 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
                                    options_.seed ^ 0xb0f));
     }
   }
-  gatherer_ = std::make_unique<storage::FeatureGatherer>(&fs, bam_.get(),
-                                                         cpu_buffer_.get());
+  gatherer_ = std::make_unique<storage::FeatureGatherer>(
+      &fs, bam_.get(), cpu_buffer_.get(), pool_.get());
   if (options_.use_window_buffering) {
     window_ = std::make_unique<WindowBuffer>(cache_.get(), &fs,
                                              cpu_buffer_.get());
@@ -98,19 +105,62 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
         reg->GetHistogram("gids_loader_merged_group_size", labels);
     threshold_gauge_ = reg->GetGauge("gids_accumulator_threshold", labels);
     window_depth_gauge_ = reg->GetGauge("gids_window_depth", labels);
+    if (pool_ != nullptr) {
+      obs::BindThreadPoolMetrics(*pool_, reg, labels);
+    }
+  }
+}
+
+GidsLoader::~GidsLoader() {
+  {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    stopping_ = true;
+  }
+  if (pool_ != nullptr) {
+    // Drain the prefetch task before members it touches are destroyed.
+    try {
+      pool_->Wait();
+    } catch (...) {
+      // A throwing prefetch already surfaced (or will never be consumed);
+      // destruction must not rethrow.
+    }
+    pool_.reset();
   }
 }
 
 void GidsLoader::EnsureSampledAhead(size_t count) {
+  // Seed batches are drawn serially: the seed iterator is the one stateful
+  // input, and drawing in iteration order keeps the seed stream identical
+  // to a serial loader's.
   while (pending_.size() < count) {
     Pending p;
-    std::vector<graph::NodeId> seed_batch = seeds_->NextBatch();
-    p.batch = sampler_->Sample(seed_batch);
+    p.iteration = next_sample_iteration_++;
+    p.seeds = seeds_->NextBatch();
+    pending_.push_back(std::move(p));
+  }
+
+  std::vector<size_t> todo;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!pending_[i].sampled) todo.push_back(i);
+  }
+  if (todo.empty()) return;
+
+  auto sample_one = [this](Pending& p) {
+    p.batch = sampler_->SampleAt(p.seeds, p.iteration);
     std::vector<uint64_t> layer_edges = p.batch.LayerEdgeCounts();
     p.sampling_ns = system_->gpu().SamplingTime(
         layer_edges.data(), static_cast<int>(layer_edges.size()),
         dataset_->graph.structure_bytes());
-    pending_.push_back(std::move(p));
+    p.sampled = true;
+  };
+  if (pool_ != nullptr && sampler_->concurrent_safe() && todo.size() > 1) {
+    // Every iteration draws from its own RNG stream, so the merged future
+    // iterations (§3.2: independent by construction) sample concurrently
+    // without perturbing any iteration's batch.
+    pool_->ParallelFor(todo.size(),
+                       [&](size_t j) { sample_one(pending_[todo[j]]); });
+  } else {
+    for (size_t i : todo) sample_one(pending_[i]);
   }
 }
 
@@ -124,7 +174,7 @@ void GidsLoader::RegisterWindow(size_t count) {
   }
 }
 
-Status GidsLoader::PrepareGroup() {
+StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
   const graph::FeatureStore& fs = dataset_->features;
   const double pages_per_node = fs.PagesPerNode();
 
@@ -262,8 +312,10 @@ Status GidsLoader::PrepareGroup() {
     window_depth_gauge_->Set(static_cast<double>(resolved_window_depth_));
   }
   if (observer_ != nullptr && observer_->trace() != nullptr) {
-    // PrepareGroup only runs with ready_ empty, so the observer's clock sits
-    // exactly at the virtual-time start of this group's first iteration.
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    // Groups are prepared in consumption order (preparation is
+    // single-flight), so the observer's clock sits at the virtual-time
+    // start of this group's first unconsumed iteration.
     observer_->Instant(
         "accumulator_group_flush",
         {{"merged_iterations", static_cast<double>(group)},
@@ -281,21 +333,84 @@ Status GidsLoader::PrepareGroup() {
     traced_evictions_ = evictions;
   }
 
-  for (loaders::LoaderBatch& lb : group_batches) {
-    ready_.push_back(std::move(lb));
+  return group_batches;
+}
+
+void GidsLoader::MaybeLaunchPrefetch() {
+  if (options_.prefetch_depth == 0 || pool_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(stage_mu_);
+  if (prefetch_running_ || stopping_) return;
+  if (!prefetch_status_.ok()) return;
+  if (staged_.size() >= options_.prefetch_depth) return;
+  prefetch_running_ = true;
+  pool_->Submit([this] { PrefetchTask(); });
+}
+
+void GidsLoader::PrefetchTask() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(stage_mu_);
+      if (stopping_) {
+        prefetch_running_ = false;
+        stage_cv_.notify_all();
+        return;
+      }
+    }
+    auto result = PrepareGroupBatches();
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    if (!result.ok()) {
+      prefetch_status_ = result.status();
+      prefetch_running_ = false;
+      stage_cv_.notify_all();
+      return;
+    }
+    staged_.push_back(std::move(*result));
+    bool more = staged_.size() < options_.prefetch_depth && !stopping_;
+    if (!more) prefetch_running_ = false;
+    stage_cv_.notify_all();
+    if (!more) return;
   }
-  return Status::OK();
 }
 
 StatusOr<loaders::LoaderBatch> GidsLoader::Next() {
   if (ready_.empty()) {
-    GIDS_RETURN_IF_ERROR(PrepareGroup());
+    {
+      std::unique_lock<std::mutex> lock(stage_mu_);
+      if (prefetch_running_ || !staged_.empty()) {
+        stage_cv_.wait(lock, [this] {
+          return !staged_.empty() || !prefetch_running_;
+        });
+      }
+      if (!staged_.empty()) {
+        for (loaders::LoaderBatch& lb : staged_.front()) {
+          ready_.push_back(std::move(lb));
+        }
+        staged_.pop_front();
+      } else if (!prefetch_status_.ok()) {
+        Status s = prefetch_status_;
+        prefetch_status_ = Status::OK();
+        return s;
+      }
+    }
+    if (ready_.empty()) {
+      // No prefetch in flight (checked above), so inline preparation is
+      // exclusive.
+      auto group = PrepareGroupBatches();
+      GIDS_RETURN_IF_ERROR(group.status());
+      for (loaders::LoaderBatch& lb : *group) {
+        ready_.push_back(std::move(lb));
+      }
+    }
   }
+  MaybeLaunchPrefetch();
   loaders::LoaderBatch out = std::move(ready_.front());
   ready_.pop_front();
   elapsed_ns_ += out.stats.e2e_ns;
   ++iterations_;
-  if (observer_ != nullptr) observer_->RecordIteration(out.stats);
+  if (observer_ != nullptr) {
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    observer_->RecordIteration(out.stats);
+  }
   return out;
 }
 

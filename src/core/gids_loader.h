@@ -1,10 +1,14 @@
 #ifndef GIDS_CORE_GIDS_LOADER_H_
 #define GIDS_CORE_GIDS_LOADER_H_
 
+#include <condition_variable>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "core/accumulator.h"
 #include "core/constant_cpu_buffer.h"
 #include "core/window_buffer.h"
@@ -57,6 +61,22 @@ struct GidsOptions {
   /// Counting mode skips payload movement (timing-only runs).
   bool counting_mode = false;
 
+  /// Host-side data-preparation parallelism: worker threads for the
+  /// parallel sampling of accumulator-merged iterations and the sharded
+  /// feature gather. 1 keeps preparation on the calling thread. Results
+  /// are bit-identical across values (see DESIGN.md "Host parallelism").
+  uint32_t host_threads = 1;
+
+  /// Accumulator groups to prepare asynchronously ahead of consumption
+  /// (double buffering: iteration i trains while group i+1 samples and
+  /// gathers on the pool). 0 prepares groups inline in Next(). Any
+  /// nonzero value creates the host pool even with host_threads == 1.
+  uint32_t prefetch_depth = 0;
+
+  /// Software-cache shard count override; 0 uses the automatic policy
+  /// (power of two, >= 256 lines per shard, <= 64 shards).
+  uint32_t cache_shards = 0;
+
   /// Optional observability sinks (see OBSERVABILITY.md). When set, the
   /// loader binds every component (cache, storage array, CPU buffer,
   /// window buffer) into the registry under {loader=<display_name>} and
@@ -88,6 +108,7 @@ class GidsLoader : public loaders::DataLoader {
   GidsLoader(const graph::Dataset* dataset, sampling::Sampler* sampler,
              sampling::SeedIterator* seeds, const sim::SystemModel* system,
              GidsOptions options = {});
+  ~GidsLoader() override;
 
   std::string_view name() const override { return options_.display_name; }
   StatusOr<loaders::LoaderBatch> Next() override;
@@ -102,20 +123,36 @@ class GidsLoader : public loaders::DataLoader {
   int window_depth() const { return resolved_window_depth_; }
   const ConstantCpuBuffer* cpu_buffer() const { return cpu_buffer_.get(); }
   const storage::StorageArray& storage_array() const { return *storage_; }
+  /// The host data-preparation pool (null when host_threads == 1 and
+  /// prefetch is off).
+  const ThreadPool* host_pool() const { return pool_.get(); }
 
  private:
   struct Pending {
+    uint64_t iteration = 0;  // global iteration index (RNG stream key)
+    std::vector<graph::NodeId> seeds;
     sampling::MiniBatch batch;
     TimeNs sampling_ns = 0;
+    bool sampled = false;
     bool registered = false;  // entered the window buffer
   };
 
-  /// Samples ahead until at least `count` mini-batches are pending.
+  /// Samples ahead until at least `count` mini-batches are pending. Seed
+  /// batches are drawn serially (the seed iterator is stateful); the
+  /// sampler calls run on the pool when the sampler is concurrent-safe,
+  /// each iteration on its own deterministic RNG stream.
   void EnsureSampledAhead(size_t count);
   /// Registers every pending batch in [0, count) with the window buffer.
   void RegisterWindow(size_t count);
-  /// Prepares the next accumulator group into ready_.
-  Status PrepareGroup();
+  /// Prepares the next accumulator group. Never runs concurrently with
+  /// itself: Next() runs it inline only while no prefetch is in flight,
+  /// and the prefetch task is single-flight.
+  StatusOr<std::vector<loaders::LoaderBatch>> PrepareGroupBatches();
+  /// Launches the prefetch task if prefetching is on, none is running,
+  /// and the staging buffer has room.
+  void MaybeLaunchPrefetch();
+  /// Pool task: prepares groups until the staging buffer is full.
+  void PrefetchTask();
 
   const graph::Dataset* dataset_;
   sampling::Sampler* sampler_;
@@ -130,14 +167,28 @@ class GidsLoader : public loaders::DataLoader {
   std::unique_ptr<storage::FeatureGatherer> gatherer_;
   std::unique_ptr<WindowBuffer> window_;
   std::unique_ptr<StorageAccessAccumulator> accumulator_;
+  std::unique_ptr<ThreadPool> pool_;
 
   std::deque<Pending> pending_;
   std::deque<loaders::LoaderBatch> ready_;
+  uint64_t next_sample_iteration_ = 0;
   int resolved_window_depth_ = 0;
   TimeNs elapsed_ns_ = 0;
   uint64_t iterations_ = 0;
 
+  // Prefetch hand-off: the pool task pushes prepared groups into staged_;
+  // Next() drains them. stage_mu_ guards everything in this block.
+  std::mutex stage_mu_;
+  std::condition_variable stage_cv_;
+  std::deque<std::vector<loaders::LoaderBatch>> staged_;
+  Status prefetch_status_ = Status::OK();
+  bool prefetch_running_ = false;
+  bool stopping_ = false;
+
   // Observability (all unset unless options_.metrics / options_.trace).
+  // LoaderObserver is not thread-safe; obs_mu_ serializes the consumer
+  // thread's RecordIteration against the prefetch task's Instant calls.
+  std::mutex obs_mu_;
   std::unique_ptr<loaders::LoaderObserver> observer_;
   obs::Counter* groups_total_ = nullptr;
   obs::HistogramMetric* merged_group_hist_ = nullptr;

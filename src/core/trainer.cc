@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "gnn/gat.h"
@@ -79,6 +80,7 @@ StatusOr<TrainRunResult> Trainer::Run(loaders::DataLoader& loader) {
   result.losses.clear();  // report measured-phase losses/accuracies only
   result.accuracies.clear();
 
+  auto wall_start = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < options_.measure_iterations; ++i) {
     GIDS_ASSIGN_OR_RETURN(loaders::LoaderBatch lb, loader.Next());
     result.measured.Add(lb.stats);
@@ -88,6 +90,10 @@ StatusOr<TrainRunResult> Trainer::Run(loaders::DataLoader& loader) {
       GIDS_RETURN_IF_ERROR(train_functionally(lb));
     }
   }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
   result.measured_e2e_ns = result.measured.e2e_ns;
   if (!result.losses.empty()) {
     result.first_loss = result.losses.front();

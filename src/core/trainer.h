@@ -44,6 +44,10 @@ struct TrainRunResult {
   std::vector<loaders::IterationStats> per_iteration;  // measured phase
 
   TimeNs measured_e2e_ns = 0;
+  /// Host wall-clock time of the measured phase (actual elapsed time on
+  /// this machine, as opposed to the virtual-time e2e figures). This is
+  /// what the host-parallelism bench compares across thread counts.
+  double wall_ms = 0.0;
   double mean_iteration_ms() const {
     return per_iteration.empty()
                ? 0.0

@@ -1,0 +1,23 @@
+#ifndef GIDS_OBS_POOL_METRICS_H_
+#define GIDS_OBS_POOL_METRICS_H_
+
+#include "common/thread_pool.h"
+#include "obs/metric_registry.h"
+
+namespace gids::obs {
+
+/// Exposes a ThreadPool through `registry` (pull-style; see
+/// OBSERVABILITY.md "Host thread pool"):
+///   gids_host_pool_threads          gauge    worker count
+///   gids_host_pool_queue_depth      gauge    queued, unclaimed tasks
+///   gids_host_pool_busy_workers     gauge    workers executing a task
+///   gids_host_pool_utilization      gauge    busy_workers / threads
+///   gids_host_pool_tasks_total      counter  tasks executed by workers
+///   gids_host_pool_chunks_total     counter  ParallelFor chunks executed
+/// The pool must outlive the registry's last snapshot.
+void BindThreadPoolMetrics(const ThreadPool& pool, MetricRegistry* registry,
+                           const Labels& labels);
+
+}  // namespace gids::obs
+
+#endif  // GIDS_OBS_POOL_METRICS_H_

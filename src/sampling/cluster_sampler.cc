@@ -11,7 +11,7 @@ ClusterGcnSampler::ClusterGcnSampler(const graph::CscGraph* graph,
                                      ClusterSamplerOptions options,
                                      uint64_t seed)
     : graph_(graph), partition_(std::move(partition)), options_(options),
-      rng_(seed) {
+      seed_(seed) {
   GIDS_CHECK(graph_ != nullptr);
   GIDS_CHECK(options_.num_layers >= 1);
   GIDS_CHECK(options_.clusters_per_batch >= 1);
@@ -19,10 +19,12 @@ ClusterGcnSampler::ClusterGcnSampler(const graph::CscGraph* graph,
   GIDS_CHECK(partition_.part_of.size() == graph_->num_nodes());
 }
 
-MiniBatch ClusterGcnSampler::Sample(std::span<const graph::NodeId>) {
+MiniBatch ClusterGcnSampler::SampleAt(std::span<const graph::NodeId>,
+                                      uint64_t iteration) {
+  Rng rng = IterationRng(seed_, iteration);
   // Pick distinct clusters uniformly at random.
   std::vector<uint64_t> picks = SampleWithoutReplacement(
-      partition_.num_parts, options_.clusters_per_batch, rng_);
+      partition_.num_parts, options_.clusters_per_batch, rng);
 
   // Union of member nodes, with local ids.
   std::vector<graph::NodeId> nodes;

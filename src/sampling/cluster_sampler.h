@@ -38,7 +38,8 @@ class ClusterGcnSampler : public Sampler {
   std::string_view name() const override { return "Cluster-GCN"; }
   int num_layers() const override { return options_.num_layers; }
 
-  MiniBatch Sample(std::span<const graph::NodeId> seeds) override;
+  MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
+                     uint64_t iteration) override;
 
   const graph::PartitionResult& partition() const { return partition_; }
 
@@ -46,7 +47,7 @@ class ClusterGcnSampler : public Sampler {
   const graph::CscGraph* graph_;
   graph::PartitionResult partition_;
   ClusterSamplerOptions options_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 }  // namespace gids::sampling

@@ -12,7 +12,7 @@ HeteroNeighborSampler::HeteroNeighborSampler(
     : graph_(graph),
       node_types_(std::move(node_types)),
       options_(std::move(options)),
-      rng_(seed) {
+      seed_(seed) {
   GIDS_CHECK(graph_ != nullptr);
   GIDS_CHECK(!node_types_.empty());
   GIDS_CHECK(!options_.fanouts.empty());
@@ -39,8 +39,9 @@ size_t HeteroNeighborSampler::TypeOf(graph::NodeId v) const {
   return 0;
 }
 
-MiniBatch HeteroNeighborSampler::Sample(
-    std::span<const graph::NodeId> seeds) {
+MiniBatch HeteroNeighborSampler::SampleAt(
+    std::span<const graph::NodeId> seeds, uint64_t iteration) {
+  Rng rng = IterationRng(seed_, iteration);
   MiniBatch batch;
   batch.seeds.assign(seeds.begin(), seeds.end());
 
@@ -73,7 +74,7 @@ MiniBatch HeteroNeighborSampler::Sample(
         for (graph::NodeId u : nbrs) emit(u);
       } else {
         std::vector<uint64_t> picks = SampleWithoutReplacement(
-            nbrs.size(), static_cast<uint64_t>(fanout), rng_);
+            nbrs.size(), static_cast<uint64_t>(fanout), rng);
         for (uint64_t p : picks) emit(nbrs[p]);
       }
     }

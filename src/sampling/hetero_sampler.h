@@ -33,7 +33,8 @@ class HeteroNeighborSampler : public Sampler {
     return static_cast<int>(options_.fanouts.size());
   }
 
-  MiniBatch Sample(std::span<const graph::NodeId> seeds) override;
+  MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
+                     uint64_t iteration) override;
 
   /// Index into node_types for a node id (by range lookup).
   size_t TypeOf(graph::NodeId v) const;
@@ -42,7 +43,7 @@ class HeteroNeighborSampler : public Sampler {
   const graph::CscGraph* graph_;
   std::vector<graph::NodeTypeInfo> node_types_;
   HeteroSamplerOptions options_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 }  // namespace gids::sampling

@@ -11,13 +11,15 @@ namespace gids::sampling {
 
 LadiesSampler::LadiesSampler(const graph::CscGraph* graph,
                              LadiesSamplerOptions options, uint64_t seed)
-    : graph_(graph), options_(std::move(options)), rng_(seed) {
+    : graph_(graph), options_(std::move(options)), seed_(seed) {
   GIDS_CHECK(graph_ != nullptr);
   GIDS_CHECK(!options_.layer_sizes.empty());
   for (uint32_t s : options_.layer_sizes) GIDS_CHECK(s > 0);
 }
 
-MiniBatch LadiesSampler::Sample(std::span<const graph::NodeId> seeds) {
+MiniBatch LadiesSampler::SampleAt(std::span<const graph::NodeId> seeds,
+                                  uint64_t iteration) {
+  Rng rng = IterationRng(seed_, iteration);
   MiniBatch batch;
   batch.seeds.assign(seeds.begin(), seeds.end());
 
@@ -41,7 +43,7 @@ MiniBatch LadiesSampler::Sample(std::span<const graph::NodeId> seeds) {
     std::vector<std::pair<double, graph::NodeId>> keyed;
     keyed.reserve(weight.size());
     for (const auto& [u, w] : weight) {
-      double uniform = rng_.UniformDouble();
+      double uniform = rng.UniformDouble();
       if (uniform <= 0.0) uniform = 1e-300;
       keyed.emplace_back(-std::log(uniform) / w, u);
     }

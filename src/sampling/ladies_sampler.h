@@ -34,12 +34,13 @@ class LadiesSampler : public Sampler {
     return static_cast<int>(options_.layer_sizes.size());
   }
 
-  MiniBatch Sample(std::span<const graph::NodeId> seeds) override;
+  MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
+                     uint64_t iteration) override;
 
  private:
   const graph::CscGraph* graph_;
   LadiesSamplerOptions options_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 }  // namespace gids::sampling

@@ -9,13 +9,15 @@ namespace gids::sampling {
 
 NeighborSampler::NeighborSampler(const graph::CscGraph* graph,
                                  NeighborSamplerOptions options, uint64_t seed)
-    : graph_(graph), options_(std::move(options)), rng_(seed) {
+    : graph_(graph), options_(std::move(options)), seed_(seed) {
   GIDS_CHECK(graph_ != nullptr);
   GIDS_CHECK(!options_.fanouts.empty());
   for (int f : options_.fanouts) GIDS_CHECK(f > 0);
 }
 
-MiniBatch NeighborSampler::Sample(std::span<const graph::NodeId> seeds) {
+MiniBatch NeighborSampler::SampleAt(std::span<const graph::NodeId> seeds,
+                                    uint64_t iteration) {
+  Rng rng = IterationRng(seed_, iteration);
   MiniBatch batch;
   batch.seeds.assign(seeds.begin(), seeds.end());
 
@@ -24,12 +26,18 @@ MiniBatch NeighborSampler::Sample(std::span<const graph::NodeId> seeds) {
   std::vector<graph::NodeId> frontier(seeds.begin(), seeds.end());
   std::vector<Block> blocks_seedward;
 
+  // Reused across layers so each hop only rehashes, never reallocates
+  // from scratch.
+  std::unordered_map<graph::NodeId, uint32_t> local;
+
   for (int fanout : options_.fanouts) {
     Block block;
     block.num_dst = static_cast<uint32_t>(frontier.size());
     block.src_nodes = frontier;  // dst prefix
+    block.edge_src.reserve(static_cast<size_t>(block.num_dst) * fanout);
+    block.edge_dst.reserve(static_cast<size_t>(block.num_dst) * fanout);
 
-    std::unordered_map<graph::NodeId, uint32_t> local;
+    local.clear();
     local.reserve(frontier.size() * (fanout + 1));
     for (uint32_t i = 0; i < frontier.size(); ++i) local[frontier[i]] = i;
 
@@ -48,7 +56,7 @@ MiniBatch NeighborSampler::Sample(std::span<const graph::NodeId> seeds) {
         for (graph::NodeId u : nbrs) emit(u);
       } else {
         std::vector<uint64_t> picks = SampleWithoutReplacement(
-            nbrs.size(), static_cast<uint64_t>(fanout), rng_);
+            nbrs.size(), static_cast<uint64_t>(fanout), rng);
         for (uint64_t p : picks) emit(nbrs[p]);
       }
     }

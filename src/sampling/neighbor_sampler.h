@@ -27,12 +27,13 @@ class NeighborSampler : public Sampler {
     return static_cast<int>(options_.fanouts.size());
   }
 
-  MiniBatch Sample(std::span<const graph::NodeId> seeds) override;
+  MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
+                     uint64_t iteration) override;
 
  private:
   const graph::CscGraph* graph_;
   NeighborSamplerOptions options_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 }  // namespace gids::sampling

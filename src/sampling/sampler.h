@@ -1,6 +1,7 @@
 #ifndef GIDS_SAMPLING_SAMPLER_H_
 #define GIDS_SAMPLING_SAMPLER_H_
 
+#include <cstdint>
 #include <span>
 #include <string_view>
 
@@ -10,10 +11,11 @@
 namespace gids::sampling {
 
 /// Interface shared by the sampling strategies (uniform neighborhood
-/// sampling and LADIES layer-wise sampling). Samplers are deterministic in
-/// their construction seed; the same seed and seed-node sequence yields the
-/// same mini-batches regardless of which dataloader drives them, which is
-/// what makes cross-dataloader comparisons apples-to-apples.
+/// sampling, LADIES layer-wise sampling, hetero and Cluster-GCN variants).
+/// Samplers are deterministic in their construction seed; the same seed
+/// and seed-node sequence yields the same mini-batches regardless of which
+/// dataloader drives them, which is what makes cross-dataloader
+/// comparisons apples-to-apples.
 class Sampler {
  public:
   virtual ~Sampler() = default;
@@ -21,8 +23,33 @@ class Sampler {
   virtual std::string_view name() const = 0;
   virtual int num_layers() const = 0;
 
-  /// Builds the computational graph for one batch of seed nodes.
-  virtual MiniBatch Sample(std::span<const graph::NodeId> seeds) = 0;
+  /// Builds the computational graph for training iteration `iteration`.
+  /// All randomness derives from (construction seed, iteration) via an
+  /// independent RNG stream per iteration, so calls are stateless: the
+  /// GIDS loader samples the accumulator-merged future iterations
+  /// concurrently and out of order, yet every iteration's batch is the
+  /// one a serial in-order walk would have produced.
+  ///
+  /// Implementations that cannot honor that purity must override
+  /// concurrent_safe() to return false; such samplers are only driven
+  /// serially, with strictly increasing iterations.
+  virtual MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
+                             uint64_t iteration) = 0;
+
+  /// True when SampleAt is a pure function of (seed, iteration, seeds)
+  /// and safe to call from several threads at once.
+  virtual bool concurrent_safe() const { return true; }
+
+  /// Stateful convenience wrapper: SampleAt with an internal monotone
+  /// iteration counter starting at 0. Serial drivers (mmap/Ginex loaders,
+  /// benches) use this and stay comparable with loaders that index
+  /// iterations explicitly.
+  MiniBatch Sample(std::span<const graph::NodeId> seeds) {
+    return SampleAt(seeds, next_iteration_++);
+  }
+
+ private:
+  uint64_t next_iteration_ = 0;
 };
 
 }  // namespace gids::sampling

@@ -21,8 +21,9 @@ Status BamArray::ReadPage(uint64_t page, std::span<std::byte> out,
     return Status::InvalidArgument("output size must equal page size");
   }
   if (cache_ != nullptr) {
-    if (const std::byte* line = cache_->Lookup(page)) {
-      std::memcpy(out.data(), line, page_bytes());
+    // LookupInto copies under the owning shard's lock, so a concurrent
+    // insertion into the same shard cannot tear the payload.
+    if (cache_->LookupInto(page, out)) {
       ++counts->cache_hits;
       return Status::OK();
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/check.h"
 
@@ -9,82 +10,178 @@ namespace gids::storage {
 
 FeatureGatherer::FeatureGatherer(const graph::FeatureStore* layout,
                                  BamArray* array,
-                                 const HotNodeBuffer* hot_buffer)
-    : layout_(layout), array_(array), hot_buffer_(hot_buffer) {
+                                 const HotNodeBuffer* hot_buffer,
+                                 ThreadPool* pool)
+    : layout_(layout), array_(array), hot_buffer_(hot_buffer), pool_(pool) {
   GIDS_CHECK(layout_ != nullptr);
   GIDS_CHECK(array_ != nullptr);
   GIDS_CHECK(layout_->page_bytes() == array_->page_bytes());
-  page_buf_.resize(layout_->page_bytes());
+  if (array_->cache() == nullptr && pool_ != nullptr) {
+    while (cacheless_buckets_ < pool_->num_threads() * 2 &&
+           cacheless_buckets_ < 64) {
+      cacheless_buckets_ *= 2;
+    }
+  }
+}
+
+uint32_t FeatureGatherer::BucketFor(uint64_t page) const {
+  const SoftwareCache* cache = array_->cache();
+  if (cache != nullptr) return cache->ShardFor(page);
+  return static_cast<uint32_t>((page * 0x9e3779b97f4a7c15ull) >> 32) &
+         (cacheless_buckets_ - 1);
+}
+
+Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
+                                   float* out, FeatureGatherCounts* counts) {
+  GIDS_CHECK(counts != nullptr);
+  const size_t n = nodes.size();
+  if (n == 0) return Status::OK();
+  const uint32_t dim = layout_->feature_dim();
+  const uint64_t page_bytes = layout_->page_bytes();
+  const uint64_t feat_bytes = layout_->feature_bytes_per_node();
+  const SoftwareCache* cache = array_->cache();
+  const uint32_t buckets =
+      cache != nullptr ? cache->num_shards() : cacheless_buckets_;
+
+  // A single page access on behalf of one output row. Buckets collect
+  // accesses in global node order so each cache shard replays exactly the
+  // sequence the serial gather would have issued.
+  struct Access {
+    uint64_t page;
+    size_t node;  // index into `nodes`
+  };
+  struct ChunkOut {
+    std::vector<std::vector<Access>> per_bucket;
+    uint64_t cpu_hits = 0;
+    size_t first_bad = std::numeric_limits<size_t>::max();
+  };
+
+  const size_t workers = pool_ != nullptr ? pool_->num_threads() : 1;
+  const size_t target_chunks = std::min(
+      n, std::max<size_t>(1, workers * ThreadPool::kChunksPerWorker));
+  const size_t chunk_size = (n + target_chunks - 1) / target_chunks;
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  std::vector<ChunkOut> chunks(num_chunks);
+  auto phase1 = [&](size_t c) {
+    ChunkOut& co = chunks[c];
+    co.per_bucket.resize(buckets);
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    for (size_t i = begin; i < end; ++i) {
+      graph::NodeId v = nodes[i];
+      if (v >= layout_->num_nodes()) {
+        co.first_bad = std::min(co.first_bad, i);
+        continue;
+      }
+      auto range = layout_->PagesFor(v);
+      if (hot_buffer_ != nullptr && hot_buffer_->Contains(v)) {
+        if (out != nullptr) {
+          hot_buffer_->Fill(v, std::span<float>(out + i * dim, dim));
+        }
+        // Account the same page-granularity traffic this node would have
+        // cost on the storage path, now crossing PCIe from host DRAM.
+        co.cpu_hits += range.count();
+        continue;
+      }
+      for (uint64_t page = range.first; page <= range.last; ++page) {
+        co.per_bucket[BucketFor(page)].push_back(Access{page, i});
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(num_chunks, phase1);
+  } else {
+    for (size_t c = 0; c < num_chunks; ++c) phase1(c);
+  }
+
+  for (const ChunkOut& co : chunks) {
+    if (co.first_bad != std::numeric_limits<size_t>::max()) {
+      return Status::OutOfRange("node id beyond feature store");
+    }
+  }
+
+  // Concatenate chunk buckets in chunk order: chunks cover contiguous,
+  // increasing node ranges, so this restores global node order per bucket.
+  std::vector<std::vector<Access>> seq(buckets);
+  for (uint32_t b = 0; b < buckets; ++b) {
+    size_t total = 0;
+    for (const ChunkOut& co : chunks) total += co.per_bucket[b].size();
+    seq[b].reserve(total);
+    for (const ChunkOut& co : chunks) {
+      seq[b].insert(seq[b].end(), co.per_bucket[b].begin(),
+                    co.per_bucket[b].end());
+    }
+  }
+
+  struct BucketOut {
+    GatherCounts gc;
+    Status status = Status::OK();
+  };
+  std::vector<BucketOut> bucket_out(buckets);
+  auto phase2 = [&](size_t b) {
+    BucketOut& bo = bucket_out[b];
+    std::vector<std::byte> page_buf(out != nullptr ? page_bytes : 0);
+    for (const Access& a : seq[b]) {
+      GatherCounts gc;
+      if (out != nullptr) {
+        Status s = array_->ReadPage(
+            a.page, std::span<std::byte>(page_buf.data(), page_bytes), &gc);
+        if (!s.ok()) {
+          bo.status = std::move(s);
+          return;
+        }
+      } else {
+        array_->TouchPage(a.page, &gc);
+      }
+      bo.gc.cache_hits += gc.cache_hits;
+      bo.gc.storage_reads += gc.storage_reads;
+      if (out != nullptr) {
+        graph::NodeId v = nodes[a.node];
+        uint64_t node_begin = layout_->ByteOffset(v);
+        std::byte* row_bytes =
+            reinterpret_cast<std::byte*>(out + a.node * dim);
+        uint64_t page_begin = a.page * page_bytes;
+        uint64_t lo = std::max(node_begin, page_begin);
+        uint64_t hi =
+            std::min(node_begin + feat_bytes, page_begin + page_bytes);
+        std::memcpy(row_bytes + (lo - node_begin),
+                    page_buf.data() + (lo - page_begin), hi - lo);
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(buckets, phase2);
+  } else {
+    for (uint32_t b = 0; b < buckets; ++b) phase2(b);
+  }
+
+  for (uint32_t b = 0; b < buckets; ++b) {
+    if (!bucket_out[b].status.ok()) return bucket_out[b].status;
+  }
+
+  counts->nodes += n;
+  for (const ChunkOut& co : chunks) counts->cpu_buffer_hits += co.cpu_hits;
+  for (const BucketOut& bo : bucket_out) {
+    counts->gpu_cache_hits += bo.gc.cache_hits;
+    counts->storage_reads += bo.gc.storage_reads;
+  }
+  return Status::OK();
 }
 
 Status FeatureGatherer::Gather(std::span<const graph::NodeId> nodes,
                                std::span<float> out,
                                FeatureGatherCounts* counts) {
-  GIDS_CHECK(counts != nullptr);
   const uint32_t dim = layout_->feature_dim();
   if (out.size() < nodes.size() * dim) {
     return Status::InvalidArgument("output buffer too small");
   }
-  const uint64_t page_bytes = layout_->page_bytes();
-  const uint64_t feat_bytes = layout_->feature_bytes_per_node();
-
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    graph::NodeId v = nodes[i];
-    if (v >= layout_->num_nodes()) {
-      return Status::OutOfRange("node id beyond feature store");
-    }
-    ++counts->nodes;
-    std::span<float> row = out.subspan(i * dim, dim);
-
-    if (hot_buffer_ != nullptr && hot_buffer_->Contains(v)) {
-      hot_buffer_->Fill(v, row);
-      // Account the same page-granularity traffic this node would have
-      // cost on the storage path, now crossing PCIe from host DRAM.
-      counts->cpu_buffer_hits += layout_->PagesFor(v).count();
-      continue;
-    }
-
-    // Assemble the feature vector from its storage page(s).
-    auto range = layout_->PagesFor(v);
-    uint64_t node_begin = layout_->ByteOffset(v);
-    std::byte* row_bytes = reinterpret_cast<std::byte*>(row.data());
-    for (uint64_t page = range.first; page <= range.last; ++page) {
-      GatherCounts gc;
-      GIDS_RETURN_IF_ERROR(array_->ReadPage(
-          page, std::span<std::byte>(page_buf_.data(), page_bytes), &gc));
-      counts->gpu_cache_hits += gc.cache_hits;
-      counts->storage_reads += gc.storage_reads;
-      uint64_t page_begin = page * page_bytes;
-      uint64_t lo = std::max(node_begin, page_begin);
-      uint64_t hi = std::min(node_begin + feat_bytes, page_begin + page_bytes);
-      std::memcpy(row_bytes + (lo - node_begin),
-                  page_buf_.data() + (lo - page_begin), hi - lo);
-    }
-  }
-  return Status::OK();
+  return GatherImpl(nodes, out.data(), counts);
 }
 
 Status FeatureGatherer::GatherCountsOnly(
     std::span<const graph::NodeId> nodes, FeatureGatherCounts* counts) {
-  GIDS_CHECK(counts != nullptr);
-  for (graph::NodeId v : nodes) {
-    if (v >= layout_->num_nodes()) {
-      return Status::OutOfRange("node id beyond feature store");
-    }
-    ++counts->nodes;
-    auto range = layout_->PagesFor(v);
-    if (hot_buffer_ != nullptr && hot_buffer_->Contains(v)) {
-      counts->cpu_buffer_hits += range.count();
-      continue;
-    }
-    for (uint64_t page = range.first; page <= range.last; ++page) {
-      GatherCounts gc;
-      array_->TouchPage(page, &gc);
-      counts->gpu_cache_hits += gc.cache_hits;
-      counts->storage_reads += gc.storage_reads;
-    }
-  }
-  return Status::OK();
+  return GatherImpl(nodes, nullptr, counts);
 }
 
 StatusOr<std::vector<float>> FeatureGatherer::Gather(

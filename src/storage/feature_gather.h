@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "graph/feature_store.h"
 #include "graph/types.h"
 #include "storage/bam_array.h"
@@ -15,6 +16,7 @@ namespace gids::storage {
 /// Interface for a host-pinned hot-node feature buffer (implemented by
 /// core::ConstantCpuBuffer). Gathers check it before touching the cache or
 /// storage: hot nodes are served from CPU memory over PCIe (§3.3).
+/// Implementations must be safe for concurrent Contains/Fill calls.
 class HotNodeBuffer {
  public:
   virtual ~HotNodeBuffer() = default;
@@ -47,11 +49,27 @@ struct FeatureGatherCounts {
 /// Gathers node feature vectors through the BaM path: constant CPU buffer
 /// (optional) -> GPU software cache -> SSD array. Output rows are float32
 /// feature vectors in the order of `nodes`.
+///
+/// With a ThreadPool the gather runs as a shard-keyed two-phase pipeline
+/// that is bit-identical to the serial gather for any thread count:
+///   Phase 1 (parallel over node chunks): validate ids, serve hot nodes
+///     from the CPU buffer, and bucket every page access by the cache
+///     shard that owns it, preserving global node order within each
+///     bucket (chunks are contiguous and concatenated in index order).
+///   Phase 2 (parallel over shards): replay each shard's access sequence
+///     in order against the cache/storage path with a per-shard page
+///     scratch buffer, then reduce the per-shard counts.
+/// Because every cache shard still sees exactly the access sequence the
+/// serial gather would have produced, hits, evictions, and pin drains are
+/// independent of the thread count. One gather may run at a time; callers
+/// (GidsLoader) serialize gathers and parallelize within them.
 class FeatureGatherer {
  public:
-  /// `hot_buffer` may be null (plain BaM gather).
+  /// `hot_buffer` may be null (plain BaM gather). `pool` may be null
+  /// (serial gather; also the fallback for single-shard caches).
   FeatureGatherer(const graph::FeatureStore* layout, BamArray* array,
-                  const HotNodeBuffer* hot_buffer = nullptr);
+                  const HotNodeBuffer* hot_buffer = nullptr,
+                  ThreadPool* pool = nullptr);
 
   const graph::FeatureStore& layout() const { return *layout_; }
 
@@ -70,10 +88,20 @@ class FeatureGatherer {
                           FeatureGatherCounts* counts);
 
  private:
+  /// Shared two-phase implementation; `out` == nullptr is counting mode.
+  Status GatherImpl(std::span<const graph::NodeId> nodes, float* out,
+                    FeatureGatherCounts* counts);
+
+  /// Bucket that owns `page` in phase 2: the cache shard, or a fixed
+  /// power-of-two hash bucket when the array is cache-less (the storage
+  /// path is commutative, so cache-less bucketing is unconstrained).
+  uint32_t BucketFor(uint64_t page) const;
+
   const graph::FeatureStore* layout_;
   BamArray* array_;
   const HotNodeBuffer* hot_buffer_;
-  std::vector<std::byte> page_buf_;
+  ThreadPool* pool_;
+  uint32_t cacheless_buckets_ = 1;  // power of two
 };
 
 }  // namespace gids::storage

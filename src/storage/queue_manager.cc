@@ -15,6 +15,7 @@ QueueManager::QueueManager(uint32_t num_queues, uint32_t depth_per_queue)
 }
 
 Status QueueManager::RoundTrip(uint64_t lba) {
+  std::lock_guard<std::mutex> lock(mu_);
   IoQueuePair& q = queues_[cursor_];
   cursor_ = (cursor_ + 1) % queues_.size();
   uint64_t tag = next_tag_++;

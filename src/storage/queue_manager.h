@@ -1,7 +1,9 @@
 #ifndef GIDS_STORAGE_QUEUE_MANAGER_H_
 #define GIDS_STORAGE_QUEUE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -30,13 +32,21 @@ class QueueManager {
   /// round-robin queue, device pops and completes, completion reaped.
   /// The data plane is synchronous (bytes move in StorageArray); this
   /// exercises the admission path and counts doorbell traffic.
+  ///
+  /// Thread-safe; concurrent callers serialize on an internal mutex.
+  /// Which queue a given request lands on then depends on arrival order,
+  /// but nothing exported does: the doorbell total is an atomic sum and
+  /// every queue completes synchronously inside the call.
   Status RoundTrip(uint64_t lba);
 
-  uint64_t total_submissions() const { return total_submissions_; }
+  uint64_t total_submissions() const {
+    return total_submissions_.load(std::memory_order_relaxed);
+  }
   const IoQueuePair& queue(uint32_t i) const { return queues_[i]; }
 
   /// Requests currently submitted but not yet reaped, summed over queues.
   uint64_t outstanding() const {
+    std::lock_guard<std::mutex> lock(mu_);
     uint64_t n = 0;
     for (const IoQueuePair& q : queues_) n += q.outstanding();
     return n;
@@ -45,8 +55,9 @@ class QueueManager {
  private:
   uint32_t depth_per_queue_;
   std::vector<IoQueuePair> queues_;
+  mutable std::mutex mu_;  // guards queues_, cursor_, next_tag_
   uint32_t cursor_ = 0;
-  uint64_t total_submissions_ = 0;
+  std::atomic<uint64_t> total_submissions_{0};
   uint64_t next_tag_ = 0;
 };
 

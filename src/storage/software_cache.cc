@@ -7,169 +7,290 @@
 
 namespace gids::storage {
 
+uint32_t SoftwareCache::AutoShardCount(uint64_t capacity_lines) {
+  uint32_t shards = 1;
+  while (shards < 64 && capacity_lines / (shards * 2) >= 256) shards *= 2;
+  return shards;
+}
+
+namespace {
+
+uint32_t Log2Pow2(uint32_t v) {
+  uint32_t log = 0;
+  while ((1u << log) < v) ++log;
+  return log;
+}
+
+}  // namespace
+
 SoftwareCache::SoftwareCache(uint64_t capacity_bytes, uint32_t line_bytes,
-                             uint64_t seed, bool store_payloads)
-    : store_payloads_(store_payloads), line_bytes_(line_bytes), rng_(seed) {
+                             uint64_t seed, bool store_payloads,
+                             uint32_t num_shards)
+    : store_payloads_(store_payloads), line_bytes_(line_bytes) {
   GIDS_CHECK(line_bytes > 0);
-  uint64_t capacity_lines = capacity_bytes / line_bytes;
-  GIDS_CHECK(capacity_lines > 0);
-  lines_.resize(capacity_lines);
-  if (store_payloads_) data_.resize(capacity_lines * line_bytes);
-  index_.reserve(capacity_lines * 2);
-  free_slots_.reserve(capacity_lines);
-  for (size_t s = capacity_lines; s-- > 0;) free_slots_.push_back(s);
+  total_lines_ = capacity_bytes / line_bytes;
+  GIDS_CHECK(total_lines_ > 0);
+
+  uint32_t shards = num_shards == 0 ? AutoShardCount(total_lines_)
+                                    : num_shards;
+  // Round down to a power of two no larger than the line budget so every
+  // shard holds at least one line and ShardFor stays a mask.
+  while ((shards & (shards - 1)) != 0) shards &= shards - 1;
+  while (shards > total_lines_) shards /= 2;
+  shards = std::max<uint32_t>(1, shards);
+  shard_mask_ = shards - 1;
+  shard_shift_ = 64 - Log2Pow2(shards);
+
+  shards_.reserve(shards);
+  for (uint32_t k = 0; k < shards; ++k) {
+    // Even line split; the first (total % shards) shards take the
+    // remainder. Shard 0 keeps the raw seed so a single-shard cache
+    // reproduces the pre-sharding eviction sequence exactly.
+    uint64_t shard_lines =
+        total_lines_ / shards + (k < total_lines_ % shards ? 1 : 0);
+    auto sh = std::make_unique<Shard>();
+    sh->lines.resize(shard_lines);
+    if (store_payloads_) sh->data.resize(shard_lines * line_bytes_);
+    sh->index.reserve(shard_lines * 2);
+    sh->free_slots.reserve(shard_lines);
+    for (size_t s = shard_lines; s-- > 0;) sh->free_slots.push_back(s);
+    sh->rng = Rng(seed + 0x9e3779b97f4a7c15ull * k);
+    shards_.push_back(std::move(sh));
+  }
 }
 
 const std::byte* SoftwareCache::Lookup(uint64_t page) {
   GIDS_CHECK(store_payloads_);
-  ++stats_.lookups;
-  auto it = index_.find(page);
-  if (it == index_.end()) {
-    ++stats_.misses;
+  Shard& sh = shard_for(page);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ++sh.stats.lookups;
+  auto it = sh.index.find(page);
+  if (it == sh.index.end()) {
+    ++sh.stats.misses;
     // A missing access still consumes one registered future reuse: the
     // window counted this very access when the mini-batch entered the
     // look-ahead window. Without this, miss-path counters never drain and
     // lines pin forever.
-    ConsumeReuse(page, kNoSlot);
+    ConsumeReuseLocked(sh, page, kNoSlot);
     return nullptr;
   }
-  ++stats_.hits;
-  ConsumeReuse(page, it->second);
-  return data_.data() + it->second * line_bytes_;
+  ++sh.stats.hits;
+  ConsumeReuseLocked(sh, page, it->second);
+  return sh.data.data() + it->second * line_bytes_;
 }
 
-bool SoftwareCache::Touch(uint64_t page) {
-  ++stats_.lookups;
-  auto it = index_.find(page);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    ConsumeReuse(page, kNoSlot);
+bool SoftwareCache::LookupInto(uint64_t page, std::span<std::byte> out) {
+  GIDS_CHECK(store_payloads_);
+  GIDS_CHECK(out.size() == line_bytes_);
+  Shard& sh = shard_for(page);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ++sh.stats.lookups;
+  auto it = sh.index.find(page);
+  if (it == sh.index.end()) {
+    ++sh.stats.misses;
+    ConsumeReuseLocked(sh, page, kNoSlot);
     return false;
   }
-  ++stats_.hits;
-  ConsumeReuse(page, it->second);
+  ++sh.stats.hits;
+  ConsumeReuseLocked(sh, page, it->second);
+  std::memcpy(out.data(), sh.data.data() + it->second * line_bytes_,
+              line_bytes_);
   return true;
 }
 
-void SoftwareCache::ConsumeReuse(uint64_t page, size_t slot) {
-  auto reuse = future_reuse_.find(page);
-  if (reuse == future_reuse_.end()) return;
+bool SoftwareCache::Touch(uint64_t page) {
+  Shard& sh = shard_for(page);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ++sh.stats.lookups;
+  auto it = sh.index.find(page);
+  if (it == sh.index.end()) {
+    ++sh.stats.misses;
+    ConsumeReuseLocked(sh, page, kNoSlot);
+    return false;
+  }
+  ++sh.stats.hits;
+  ConsumeReuseLocked(sh, page, it->second);
+  return true;
+}
+
+bool SoftwareCache::Contains(uint64_t page) const {
+  const Shard& sh = shard_for(page);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.index.count(page) > 0;
+}
+
+void SoftwareCache::ConsumeReuseLocked(Shard& sh, uint64_t page, size_t slot) {
+  auto reuse = sh.future_reuse.find(page);
+  if (reuse == sh.future_reuse.end()) return;
   if (reuse->second > 0) --reuse->second;
   if (reuse->second == 0) {
-    future_reuse_.erase(reuse);
-    if (slot != kNoSlot && lines_[slot].state == LineState::kUse) {
-      lines_[slot].state = LineState::kSafeToEvict;
+    sh.future_reuse.erase(reuse);
+    if (slot != kNoSlot && sh.lines[slot].state == LineState::kUse) {
+      sh.lines[slot].state = LineState::kSafeToEvict;
     }
   }
 }
 
-size_t SoftwareCache::AcquireSlot(uint64_t page) {
+size_t SoftwareCache::AcquireSlotLocked(Shard& sh, uint64_t page) {
   size_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
+  if (!sh.free_slots.empty()) {
+    slot = sh.free_slots.back();
+    sh.free_slots.pop_back();
   } else {
     // Random eviction with bounded probing: skip USE (pinned) lines.
     bool found = false;
     slot = 0;
     for (int probe = 0; probe < max_probes_; ++probe) {
-      size_t candidate = rng_.UniformInt(lines_.size());
-      if (lines_[candidate].state == LineState::kSafeToEvict) {
+      size_t candidate = sh.rng.UniformInt(sh.lines.size());
+      if (sh.lines[candidate].state == LineState::kSafeToEvict) {
         slot = candidate;
         found = true;
         break;
       }
-      ++stats_.pinned_probe_skips;
+      ++sh.stats.pinned_probe_skips;
     }
     if (!found) {
-      ++stats_.bypasses;
-      return static_cast<size_t>(-1);
+      ++sh.stats.bypasses;
+      return kNoSlot;
     }
-    index_.erase(lines_[slot].page);
-    ++stats_.evictions;
+    sh.index.erase(sh.lines[slot].page);
+    ++sh.stats.evictions;
   }
-  lines_[slot].page = page;
-  uint32_t reuse = FutureReuseCount(page);
-  lines_[slot].state = reuse > 0 ? LineState::kUse : LineState::kSafeToEvict;
-  index_.emplace(page, slot);
-  ++stats_.insertions;
+  sh.lines[slot].page = page;
+  auto reuse = sh.future_reuse.find(page);
+  uint32_t pending = reuse == sh.future_reuse.end() ? 0 : reuse->second;
+  sh.lines[slot].state =
+      pending > 0 ? LineState::kUse : LineState::kSafeToEvict;
+  sh.index.emplace(page, slot);
+  ++sh.stats.insertions;
   return slot;
 }
 
 bool SoftwareCache::Insert(uint64_t page, std::span<const std::byte> payload) {
   GIDS_CHECK(store_payloads_);
   GIDS_CHECK(payload.size() == line_bytes_);
-  auto it = index_.find(page);
-  if (it != index_.end()) {
-    std::memcpy(data_.data() + it->second * line_bytes_, payload.data(),
+  Shard& sh = shard_for(page);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.index.find(page);
+  if (it != sh.index.end()) {
+    std::memcpy(sh.data.data() + it->second * line_bytes_, payload.data(),
                 line_bytes_);
     return true;
   }
-  size_t slot = AcquireSlot(page);
-  if (slot == static_cast<size_t>(-1)) return false;
-  std::memcpy(data_.data() + slot * line_bytes_, payload.data(), line_bytes_);
+  size_t slot = AcquireSlotLocked(sh, page);
+  if (slot == kNoSlot) return false;
+  std::memcpy(sh.data.data() + slot * line_bytes_, payload.data(),
+              line_bytes_);
   return true;
 }
 
 bool SoftwareCache::InsertMeta(uint64_t page) {
-  if (index_.count(page) > 0) return true;
-  return AcquireSlot(page) != static_cast<size_t>(-1);
+  Shard& sh = shard_for(page);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (sh.index.count(page) > 0) return true;
+  return AcquireSlotLocked(sh, page) != kNoSlot;
 }
 
 void SoftwareCache::AddFutureReuse(uint64_t page, uint32_t count) {
   if (count == 0) return;
-  uint32_t& counter = future_reuse_[page];
-  counter += count;
-  auto it = index_.find(page);
-  if (it != index_.end()) {
-    lines_[it->second].state = LineState::kUse;
+  Shard& sh = shard_for(page);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  sh.future_reuse[page] += count;
+  auto it = sh.index.find(page);
+  if (it != sh.index.end()) {
+    sh.lines[it->second].state = LineState::kUse;
   }
 }
 
 void SoftwareCache::ClearFutureReuse() {
-  future_reuse_.clear();
-  for (auto& line : lines_) {
-    if (line.state == LineState::kUse) line.state = LineState::kSafeToEvict;
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->future_reuse.clear();
+    for (auto& line : sh->lines) {
+      if (line.state == LineState::kUse) line.state = LineState::kSafeToEvict;
+    }
   }
+}
+
+uint64_t SoftwareCache::resident_lines() const {
+  uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    n += sh->index.size();
+  }
+  return n;
 }
 
 uint64_t SoftwareCache::pinned_lines() const {
   uint64_t n = 0;
-  for (const auto& line : lines_) {
-    if (line.state == LineState::kUse) ++n;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    for (const auto& line : sh->lines) {
+      if (line.state == LineState::kUse) ++n;
+    }
   }
   return n;
 }
 
 uint32_t SoftwareCache::FutureReuseCount(uint64_t page) const {
-  auto it = future_reuse_.find(page);
-  return it == future_reuse_.end() ? 0 : it->second;
+  const Shard& sh = shard_for(page);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.future_reuse.find(page);
+  return it == sh.future_reuse.end() ? 0 : it->second;
+}
+
+const CacheStats& SoftwareCache::stats() const {
+  CacheStats merged;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    merged.lookups += sh->stats.lookups;
+    merged.hits += sh->stats.hits;
+    merged.misses += sh->stats.misses;
+    merged.insertions += sh->stats.insertions;
+    merged.evictions += sh->stats.evictions;
+    merged.pinned_probe_skips += sh->stats.pinned_probe_skips;
+    merged.bypasses += sh->stats.bypasses;
+  }
+  merged_stats_ = merged;
+  return merged_stats_;
+}
+
+void SoftwareCache::ResetStats() {
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->stats = CacheStats{};
+  }
 }
 
 void SoftwareCache::BindMetrics(obs::MetricRegistry* registry,
                                 const obs::Labels& labels) const {
   GIDS_CHECK(registry != nullptr);
   using obs::MetricType;
-  auto counter = [&](const char* name, const uint64_t* field) {
-    registry->RegisterCallback(name, labels, MetricType::kCounter,
-                               [field] { return static_cast<double>(*field); });
+  auto counter = [&](const char* name, uint64_t CacheStats::* field) {
+    registry->RegisterCallback(
+        name, labels, MetricType::kCounter,
+        [this, field] { return static_cast<double>(stats().*field); });
   };
-  counter("gids_cache_lookups_total", &stats_.lookups);
-  counter("gids_cache_hits_total", &stats_.hits);
-  counter("gids_cache_misses_total", &stats_.misses);
-  counter("gids_cache_insertions_total", &stats_.insertions);
-  counter("gids_cache_evictions_total", &stats_.evictions);
-  counter("gids_cache_pinned_probe_skips_total", &stats_.pinned_probe_skips);
-  counter("gids_cache_bypasses_total", &stats_.bypasses);
+  counter("gids_cache_lookups_total", &CacheStats::lookups);
+  counter("gids_cache_hits_total", &CacheStats::hits);
+  counter("gids_cache_misses_total", &CacheStats::misses);
+  counter("gids_cache_insertions_total", &CacheStats::insertions);
+  counter("gids_cache_evictions_total", &CacheStats::evictions);
+  counter("gids_cache_pinned_probe_skips_total",
+          &CacheStats::pinned_probe_skips);
+  counter("gids_cache_bypasses_total", &CacheStats::bypasses);
   registry->RegisterCallback("gids_cache_hit_ratio", labels,
                              MetricType::kGauge,
-                             [this] { return stats_.HitRatio(); });
+                             [this] { return stats().HitRatio(); });
   registry->RegisterCallback(
       "gids_cache_resident_lines", labels, MetricType::kGauge,
       [this] { return static_cast<double>(resident_lines()); });
   registry->RegisterCallback(
       "gids_cache_pinned_lines", labels, MetricType::kGauge,
       [this] { return static_cast<double>(pinned_lines()); });
+  registry->RegisterCallback(
+      "gids_cache_num_shards", labels, MetricType::kGauge,
+      [this] { return static_cast<double>(num_shards()); });
   registry->RegisterCallback(
       "gids_cache_capacity_lines", labels, MetricType::kGauge,
       [this] { return static_cast<double>(capacity_lines()); });

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +57,18 @@ struct CacheStats {
 ///
 /// Line payloads are stored so gathers served from the cache are
 /// byte-checkable against the backing device.
+///
+/// Concurrency: the cache is lock-striped into power-of-two shards keyed
+/// by page id (multiplicative hash of the page number), each shard owning
+/// its own lines, index, future-reuse counters, stats, and eviction RNG.
+/// Operations on different shards never contend; operations on the same
+/// shard serialize under the shard mutex. The cache's observable state
+/// (hits, evictions, pins) is therefore a pure function of the *per-shard
+/// access sequences*: callers that want results independent of their
+/// thread count must present each shard's accesses in a canonical order
+/// (see FeatureGatherer's shard-keyed two-phase gather). Small caches
+/// (under 512 lines) auto-collapse to a single shard, which reproduces
+/// the pre-sharding serial cache bit for bit.
 class SoftwareCache {
  public:
   /// `store_payloads` = false builds a metadata-only cache (same hits,
@@ -62,20 +76,42 @@ class SoftwareCache {
   /// by the counting-mode gather path that drives the large-scale timing
   /// benchmarks. Payload accessors (Lookup/Insert) require payload mode;
   /// Touch/InsertMeta work in both.
+  ///
+  /// `num_shards` = 0 picks the shard count automatically (power of two,
+  /// at least 256 lines per shard, at most 64 shards). Explicit values
+  /// are clamped to a power of two no larger than the line capacity.
   SoftwareCache(uint64_t capacity_bytes, uint32_t line_bytes,
-                uint64_t seed = 0xcac4e, bool store_payloads = true);
+                uint64_t seed = 0xcac4e, bool store_payloads = true,
+                uint32_t num_shards = 0);
 
-  uint64_t capacity_lines() const { return lines_.size(); }
+  uint64_t capacity_lines() const { return total_lines_; }
   uint32_t line_bytes() const { return line_bytes_; }
-  uint64_t resident_lines() const { return index_.size(); }
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats{}; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint64_t resident_lines() const;
+
+  /// Shard index that owns `page`. Stable for the cache's lifetime; the
+  /// parallel gather uses it to bucket page accesses by owner shard.
+  uint32_t ShardFor(uint64_t page) const {
+    // Fibonacci hashing: top bits of the multiplied key are well mixed
+    // even for sequential page ids.
+    return shard_mask_ == 0
+               ? 0
+               : static_cast<uint32_t>((page * 0x9e3779b97f4a7c15ull) >>
+                                       shard_shift_) &
+                     shard_mask_;
+  }
+
+  /// Merged view of all shard stats. Takes every shard lock; intended for
+  /// quiescent points (end of iteration, test assertions), not hot paths.
+  const CacheStats& stats() const;
+  void ResetStats();
 
   /// Exposes the cache through `registry` (pull-style: every CacheStats
-  /// field plus resident/pinned-line gauges is read at snapshot time, so
-  /// the hot paths keep driving only the local struct). `labels` tags the
-  /// series, e.g. {{"loader", "GIDS"}}. The registry must outlive the
-  /// cache's last snapshot.
+  /// field plus resident/pinned-line gauges is read — and merged across
+  /// shards — at snapshot time, so the hot paths keep driving only the
+  /// shard-local structs). `labels` tags the series, e.g.
+  /// {{"loader", "GIDS"}}. The registry must outlive the cache's last
+  /// snapshot.
   void BindMetrics(obs::MetricRegistry* registry,
                    const obs::Labels& labels) const;
 
@@ -83,10 +119,19 @@ class SoftwareCache {
   /// line has a positive future-reuse counter) consumes one reuse: when
   /// the counter drains to zero the line transitions back to Safe to
   /// Evict. Returns nullptr on miss.
+  ///
+  /// The returned pointer is only stable until the next insertion into
+  /// the owning shard — serial callers only. Concurrent readers must use
+  /// LookupInto, which copies under the shard lock.
   const std::byte* Lookup(uint64_t page);
 
+  /// Concurrency-safe Lookup: on a hit, copies the payload into `out`
+  /// (size == line_bytes) while holding the shard lock and returns true.
+  /// Same stats and reuse-counter semantics as Lookup.
+  bool LookupInto(uint64_t page, std::span<std::byte> out);
+
   /// True if `page` is resident (no stats or reuse-counter side effects).
-  bool Contains(uint64_t page) const { return index_.count(page) > 0; }
+  bool Contains(uint64_t page) const;
 
   /// Metadata-mode lookup: identical hit/miss/reuse semantics to Lookup
   /// but returns only whether the page was resident.
@@ -99,7 +144,7 @@ class SoftwareCache {
   bool store_payloads() const { return store_payloads_; }
 
   /// Inserts `page` with the given payload (size == line_bytes). If the
-  /// cache is full, random probing evicts a Safe-to-Evict victim; after
+  /// shard is full, random probing evicts a Safe-to-Evict victim; after
   /// `max_probes` pinned probes the insertion is bypassed. Inserting a
   /// resident page refreshes its payload.
   /// Returns true if the page is resident after the call.
@@ -122,30 +167,54 @@ class SoftwareCache {
   int max_probes() const { return max_probes_; }
   void set_max_probes(int p) { max_probes_ = p; }
 
+  /// The automatic shard-count policy: double the shard count while every
+  /// shard would keep at least 256 lines, clamped to [1, 64].
+  static uint32_t AutoShardCount(uint64_t capacity_lines);
+
  private:
   struct Line {
     uint64_t page = 0;
     LineState state = LineState::kEmpty;
   };
 
+  /// One lock stripe. Each shard is an independent mini-cache over a
+  /// contiguous slice of the line budget with its own eviction RNG, so
+  /// its decisions depend only on the sequence of operations applied to
+  /// it — never on sibling shards or on which thread issued the call.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Line> lines;
+    std::vector<std::byte> data;                          // slot payloads
+    std::unordered_map<uint64_t, size_t> index;           // page -> slot
+    std::unordered_map<uint64_t, uint32_t> future_reuse;  // page -> count
+    std::vector<size_t> free_slots;
+    CacheStats stats;
+    Rng rng{0};
+  };
+
   static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  Shard& shard_for(uint64_t page) { return *shards_[ShardFor(page)]; }
+  const Shard& shard_for(uint64_t page) const {
+    return *shards_[ShardFor(page)];
+  }
 
   /// Decrements `page`'s future-reuse counter (if any); unpins the line at
   /// `slot` when the counter drains. Pass kNoSlot for non-resident pages.
-  void ConsumeReuse(uint64_t page, size_t slot);
+  /// Caller holds sh.mu.
+  static void ConsumeReuseLocked(Shard& sh, uint64_t page, size_t slot);
   /// Shared placement logic; returns the slot or kNoSlot on bypass.
-  size_t AcquireSlot(uint64_t page);
+  /// Caller holds sh.mu.
+  size_t AcquireSlotLocked(Shard& sh, uint64_t page);
 
   bool store_payloads_;
   uint32_t line_bytes_;
   int max_probes_ = 32;
-  std::vector<Line> lines_;
-  std::vector<std::byte> data_;                      // slot payloads
-  std::unordered_map<uint64_t, size_t> index_;       // page -> slot
-  std::unordered_map<uint64_t, uint32_t> future_reuse_;  // page -> count
-  std::vector<size_t> free_slots_;
-  CacheStats stats_;
-  Rng rng_;
+  uint64_t total_lines_ = 0;
+  uint32_t shard_mask_ = 0;   // num_shards - 1
+  uint32_t shard_shift_ = 64; // 64 - log2(num_shards)
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable CacheStats merged_stats_;  // scratch for stats()
 };
 
 }  // namespace gids::storage

@@ -16,14 +16,14 @@ StorageArray::StorageArray(std::unique_ptr<BlockDevice> device,
       queues_(num_queues, queue_depth) {
   GIDS_CHECK(device_ != nullptr);
   GIDS_CHECK(n_ssd_ > 0);
-  per_device_reads_.assign(n_ssd_, 0);
+  per_device_reads_ = std::make_unique<std::atomic<uint64_t>[]>(n_ssd_);
 }
 
 Status StorageArray::ReadPage(uint64_t page, std::span<std::byte> out) {
   GIDS_RETURN_IF_ERROR(queues_.RoundTrip(page));
   GIDS_RETURN_IF_ERROR(device_->ReadBlock(page, out));
-  ++total_reads_;
-  ++per_device_reads_[DeviceFor(page)];
+  total_reads_.fetch_add(1, std::memory_order_relaxed);
+  per_device_reads_[DeviceFor(page)].fetch_add(1, std::memory_order_relaxed);
   if (request_bytes_hist_ != nullptr) {
     request_bytes_hist_->Observe(page_bytes());
   }
@@ -43,7 +43,7 @@ void StorageArray::BindMetrics(obs::MetricRegistry* registry,
     registry->RegisterCallback(
         "gids_storage_device_reads_total", std::move(device_labels),
         MetricType::kCounter,
-        [this, d] { return static_cast<double>(per_device_reads_[d]); });
+        [this, d] { return static_cast<double>(reads_on_device(d)); });
   }
   registry->RegisterCallback(
       "gids_io_doorbells_total", labels, MetricType::kCounter,
@@ -59,8 +59,10 @@ void StorageArray::BindMetrics(obs::MetricRegistry* registry,
 }
 
 void StorageArray::ResetCounters() {
-  total_reads_ = 0;
-  std::fill(per_device_reads_.begin(), per_device_reads_.end(), 0);
+  total_reads_.store(0, std::memory_order_relaxed);
+  for (int d = 0; d < n_ssd_; ++d) {
+    per_device_reads_[d].store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace gids::storage

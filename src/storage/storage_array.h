@@ -1,6 +1,7 @@
 #ifndef GIDS_STORAGE_STORAGE_ARRAY_H_
 #define GIDS_STORAGE_STORAGE_ARRAY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -41,10 +42,13 @@ class StorageArray {
 
   /// Counting-mode read: records the access and drives the queue pair
   /// without moving bytes (used by the large-scale timing benchmarks).
+  /// Thread-safe: counters are atomic sums, so totals are independent of
+  /// the order concurrent gather shards issue their reads in.
   void NoteRead(uint64_t page) {
     GIDS_CHECK_OK(queues_.RoundTrip(page));
-    ++total_reads_;
-    ++per_device_reads_[DeviceFor(page)];
+    total_reads_.fetch_add(1, std::memory_order_relaxed);
+    per_device_reads_[DeviceFor(page)].fetch_add(1,
+                                                 std::memory_order_relaxed);
     if (request_bytes_hist_ != nullptr) {
       request_bytes_hist_->Observe(page_bytes());
     }
@@ -59,8 +63,12 @@ class StorageArray {
     return static_cast<int>(page % static_cast<uint64_t>(n_ssd_));
   }
 
-  uint64_t total_reads() const { return total_reads_; }
-  uint64_t reads_on_device(int d) const { return per_device_reads_[d]; }
+  uint64_t total_reads() const {
+    return total_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t reads_on_device(int d) const {
+    return per_device_reads_[d].load(std::memory_order_relaxed);
+  }
   void ResetCounters();
 
   /// Exposes the array through `registry`: read counters (total and
@@ -73,8 +81,8 @@ class StorageArray {
   sim::SsdSpec spec_;
   int n_ssd_;
   QueueManager queues_;
-  uint64_t total_reads_ = 0;
-  std::vector<uint64_t> per_device_reads_;
+  std::atomic<uint64_t> total_reads_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> per_device_reads_;
   obs::HistogramMetric* request_bytes_hist_ = nullptr;  // registry-owned
 };
 

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace gids {
@@ -78,6 +80,100 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+// Regression: a throwing task used to leave Wait() hanging (the in-flight
+// count was never decremented) and the exception was silently lost.
+TEST(ThreadPoolTest, SubmittedTaskExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  pool.Submit([&after] { after++; });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(after.load(), 1);  // remaining tasks still ran
+  // The pool is reusable after an exception; the error does not stick.
+  pool.Submit([&after] { after++; });
+  pool.Wait();
+  EXPECT_EQ(after.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  auto body = [&completed](size_t i) {
+    if (i == 37) throw std::runtime_error("body boom");
+    completed++;
+  };
+  EXPECT_THROW(pool.ParallelFor(100, body), std::runtime_error);
+  // Every chunk other than the throwing one still executed in full before
+  // the rethrow (the throw abandons only the rest of its own chunk), and
+  // the call waited for all of them.
+  size_t chunk_size = (100 + 4 * ThreadPool::kChunksPerWorker - 1) /
+                      (4 * ThreadPool::kChunksPerWorker);
+  EXPECT_GE(completed.load() + static_cast<int>(chunk_size), 100);
+  EXPECT_LT(completed.load(), 100);
+  // Pool remains usable afterwards.
+  std::atomic<int> ok{0};
+  pool.ParallelFor(10, [&ok](size_t) { ok++; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedRethrowsBodyException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelForChunked(
+                   50,
+                   [](size_t begin, size_t) {
+                     if (begin == 0) throw std::runtime_error("chunk boom");
+                   }),
+               std::runtime_error);
+}
+
+// Dynamic chunking: a range much larger than the worker count must be
+// split into multiple chunks per worker so a slow chunk cannot straggle
+// the whole batch.
+TEST(ThreadPoolTest, ParallelForUsesDynamicChunks) {
+  ThreadPool pool(4);
+  uint64_t before = pool.chunks_executed();
+  pool.ParallelFor(10000, [](size_t) {});
+  uint64_t chunks = pool.chunks_executed() - before;
+  EXPECT_GE(chunks, pool.num_threads());
+  EXPECT_LE(chunks, (pool.num_threads() + 1) * ThreadPool::kChunksPerWorker);
+}
+
+// Tiny ranges must not be over-split: n < chunk budget means one index
+// per chunk at most.
+TEST(ThreadPoolTest, ParallelForTinyRangeCoversAll) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  pool.ParallelFor(3, [&touched](size_t i) { touched[i].fetch_add(1); });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+// Regression: the GIDS prefetch task runs on the pool and calls
+// ParallelFor on the *same* pool for sampling/gather. Caller
+// participation means this cannot deadlock even when every worker is
+// occupied by the outer task.
+TEST(ThreadPoolTest, NestedParallelForFromPoolTaskDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&pool, &inner_total] {
+      pool.ParallelFor(25, [&inner_total](size_t) { inner_total++; });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(inner_total.load(), 4 * 25);
+}
+
+TEST(ThreadPoolTest, IntrospectionCountersAdvance) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  uint64_t tasks_before = pool.tasks_executed();
+  for (int i = 0; i < 10; ++i) pool.Submit([] {});
+  pool.Wait();
+  EXPECT_EQ(pool.tasks_executed() - tasks_before, 10u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.busy_workers(), 0u);
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Builds and tests both configurations: the default RelWithDebInfo tree and
-# the ASan/UBSan tree (CMakePresets.json). Run from the repository root:
+# Builds and tests every configuration: the default RelWithDebInfo tree,
+# the ASan/UBSan tree, and the ThreadSanitizer tree (CMakePresets.json).
+# The tsan preset builds only the concurrency test binary and runs the
+# `concurrency`-labelled tests (thread pool, sharded cache, parallel
+# gather, loader determinism). Run from the repository root:
 #
-#   tools/check.sh            # both presets
+#   tools/check.sh            # all presets
 #   tools/check.sh default    # one preset
 set -euo pipefail
 
@@ -10,7 +13,7 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc)
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(default asan-ubsan)
+  presets=(default asan-ubsan tsan)
 fi
 
 for preset in "${presets[@]}"; do

@@ -9,6 +9,7 @@
 //                     [--trace-json=trace.json]
 //                     [--no-accumulator] [--no-window] [--no-cpu-buffer]
 //                     [--cpu-buffer-frac 0.1] [--window-depth 8]
+//                     [--host-threads 8] [--prefetch-depth 1]
 //
 // `run` accepts either --dataset/--scale (generate on the fly) or
 // --in <file.gids> (load a saved proxy). Prints a per-stage summary and,
@@ -224,6 +225,10 @@ int CmdRun(const Flags& flags) {
     opts.cpu_buffer_fraction = flags.GetDouble("cpu-buffer-frac", 0.10);
     opts.window_depth =
         static_cast<int>(flags.GetInt("window-depth", 8));
+    opts.host_threads =
+        static_cast<uint32_t>(flags.GetInt("host-threads", 1));
+    opts.prefetch_depth =
+        static_cast<uint32_t>(flags.GetInt("prefetch-depth", 0));
     if (opts.use_cpu_buffer) {
       auto score = graph::WeightedReversePageRank(dataset.graph, {});
       hot_order = graph::RankNodesByScore(score);
@@ -376,7 +381,9 @@ void Usage() {
       "            --metrics-json FILE --metrics-prom FILE\n"
       "            --trace-json FILE (per-iteration virtual-time spans)\n"
       "            --no-accumulator --no-window --no-cpu-buffer\n"
-      "            --cpu-buffer-frac F --window-depth D]\n");
+      "            --cpu-buffer-frac F --window-depth D\n"
+      "            --host-threads N (parallel data prep, bam/gids)\n"
+      "            --prefetch-depth P (async group prefetch, bam/gids)]\n");
 }
 
 }  // namespace
