@@ -1,0 +1,87 @@
+// Ablation: storage fault injection vs the bounded-retry layer (FAULTS.md).
+//
+// Sweeps the per-attempt transient fault rate with the default retry
+// policy (4 retries, exponential virtual-time backoff) and reports how
+// much the retry layer absorbs: retries and backoff time grow with the
+// fault rate while dead letters — and therefore zero-filled
+// (degraded) nodes — stay at zero until faults outpace the retry budget.
+// The sweep is deterministic: every row is a pure function of the fault
+// seed, so reruns reproduce identical counters (the property
+// tests/storage/fault_injector_test.cc asserts at unit scale).
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace gids::bench {
+namespace {
+
+struct ResilienceRow {
+  double slowdown = 1.0;        // e2e vs fault-free
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;
+  uint64_t dead_letters = 0;
+  uint64_t degraded_nodes = 0;
+};
+
+ResilienceRow MeasureFaultRate(double fault_rate, TimeNs* baseline_e2e) {
+  ProxyConfig cfg;
+  cfg.spec = graph::DatasetSpec::IgbFull();
+  Rig rig = BuildRig(cfg);
+  core::GidsOptions o;
+  o.fault_rate = fault_rate;
+  o.fault_seed = 0xfa017;
+  auto loader = MakeLoader(LoaderKind::kGids, rig, &o);
+  core::TrainRunResult result =
+      RunProtocol(rig, *loader, /*warmup=*/10, /*measure=*/30);
+
+  ResilienceRow row;
+  auto* gids = dynamic_cast<core::GidsLoader*>(loader.get());
+  const storage::StorageArray& array = gids->storage_array();
+  row.retries = array.retries_total();
+  row.timeouts = array.timeouts_total();
+  row.dead_letters = array.dead_letters_total();
+  for (const auto& it : result.per_iteration) {
+    row.degraded_nodes += it.gather.degraded_nodes;
+  }
+  if (fault_rate == 0.0) *baseline_e2e = result.measured_e2e_ns;
+  row.slowdown = *baseline_e2e > 0
+                     ? static_cast<double>(result.measured_e2e_ns) /
+                           static_cast<double>(*baseline_e2e)
+                     : 1.0;
+  return row;
+}
+
+void BM_FaultResilience(benchmark::State& state) {
+  // rate = range / 1e4: 0, 0.1%, 1%, 5%, 20% per attempt.
+  const double fault_rate = static_cast<double>(state.range(0)) / 1e4;
+  static TimeNs baseline_e2e = 0;  // filled by the rate-0 row, which runs first
+  ResilienceRow row;
+  for (auto _ : state) {
+    row = MeasureFaultRate(fault_rate, &baseline_e2e);
+  }
+  state.counters["retries"] = static_cast<double>(row.retries);
+  state.counters["timeouts"] = static_cast<double>(row.timeouts);
+  state.counters["dead_letters"] = static_cast<double>(row.dead_letters);
+  state.counters["degraded_nodes"] = static_cast<double>(row.degraded_nodes);
+  char label[64];
+  std::snprintf(label, sizeof(label), "IGB-Full/GIDS fault-rate %.4f",
+                fault_rate);
+  ReportRow("ABL-FAULT", std::string(label) + " slowdown", row.slowdown, 0,
+            "x");
+  ReportRow("ABL-FAULT", std::string(label) + " degraded",
+            static_cast<double>(row.degraded_nodes), 0, "nodes");
+}
+
+BENCHMARK(BM_FaultResilience)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

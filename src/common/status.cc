@@ -27,6 +27,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

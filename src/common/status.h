@@ -22,6 +22,10 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 7,
   kAlreadyExists = 8,
   kIoError = 9,
+  /// A storage access failed transiently and its bounded retries were
+  /// exhausted (see FAULTS.md). Distinct from kIoError (a hard device
+  /// error): callers on the gather path may degrade on kUnavailable.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -70,6 +74,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

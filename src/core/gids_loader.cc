@@ -37,6 +37,22 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   storage_ = std::make_unique<storage::StorageArray>(
       std::move(device), cfg.ssd, cfg.n_ssd, options_.io_queues,
       options_.io_queue_depth);
+  storage::FaultOptions faults;
+  faults.fault_rate = options_.fault_rate;
+  faults.fault_seed = options_.fault_seed;
+  faults.latency_spike_rate = options_.latency_spike_rate;
+  faults.latency_spike_ns = options_.latency_spike_ns;
+  faults.stuck_queue_rate = options_.stuck_queue_rate;
+  faults.offline_device = options_.offline_device;
+  if (faults.enabled()) {
+    GIDS_CHECK(options_.offline_device < cfg.n_ssd);
+    storage::RetryPolicy retry;
+    retry.max_retries = options_.io_max_retries;
+    retry.backoff_initial_ns = options_.io_backoff_ns;
+    retry.backoff_cap_ns = options_.io_backoff_cap_ns;
+    retry.timeout_ns = options_.io_timeout_ns;
+    storage_->EnableFaultInjection(faults, retry);
+  }
 
   uint64_t cache_bytes = options_.gpu_cache_bytes != 0
                              ? options_.gpu_cache_bytes
@@ -222,6 +238,10 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
   storage::FeatureGatherCounts group_counts;
   TimeNs group_sampling = 0;
   TimeNs group_training = 0;
+  // Per-iteration fault/retry virtual-time penalty, snapshotted from the
+  // storage array's ledger around each gather (zero without injection).
+  std::vector<TimeNs> retry_penalty(group, 0);
+  TimeNs group_retry_penalty = 0;
 
   for (size_t i = 0; i < group; ++i) {
     Pending& p = pending_[i];
@@ -232,6 +252,7 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
     st.sampling_ns = p.sampling_ns;
     st.merged_group = static_cast<uint32_t>(group);
 
+    const uint64_t penalty_before = storage_->retry_penalty_ns_total();
     const auto& nodes = p.batch.input_nodes();
     if (options_.counting_mode) {
       GIDS_RETURN_IF_ERROR(
@@ -242,6 +263,9 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
           nodes, std::span<float>(lb.features), &st.gather));
     }
     st.training_ns = system_->gpu().TrainTime(st.input_nodes);
+    retry_penalty[i] = static_cast<TimeNs>(storage_->retry_penalty_ns_total() -
+                                           penalty_before);
+    group_retry_penalty += retry_penalty[i];
     group_counts.Add(st.gather);
     group_sampling += st.sampling_ns;
     group_training += st.training_ns;
@@ -262,6 +286,9 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
          storage_->queue_capacity()});
     sim::AggregationTiming timing =
         sim::ComputeAggregationTiming(*system_, ac);
+    // Retries, backoff, and latency spikes extend the merged kernel's
+    // storage phase (FAULTS.md); zero when fault injection is off.
+    timing.total_ns += group_retry_penalty;
 
     // Preparation of future iterations and training of earlier ones
     // overlap the storage waits; GPU compute (sampling + training)
@@ -277,7 +304,8 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
       lb.stats.pcie_ingress_bps = timing.pcie_ingress_bps;
     }
   } else {
-    for (loaders::LoaderBatch& lb : group_batches) {
+    for (size_t i = 0; i < group_batches.size(); ++i) {
+      loaders::LoaderBatch& lb = group_batches[i];
       loaders::IterationStats& st = lb.stats;
       sim::AggregationCounts ac;
       ac.gpu_cache_hits = st.gather.gpu_cache_hits;
@@ -288,7 +316,7 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
                                          storage_->queue_capacity());
       sim::AggregationTiming timing =
           sim::ComputeAggregationTiming(*system_, ac);
-      st.aggregation_ns = timing.total_ns;
+      st.aggregation_ns = timing.total_ns + retry_penalty[i];
       st.e2e_ns = st.sampling_ns + st.aggregation_ns + st.training_ns;
       st.effective_bandwidth_bps = timing.effective_bandwidth_bps;
       // Without decoupled stages the link idles while the sampling kernel

@@ -77,6 +77,33 @@ struct GidsOptions {
   /// (power of two, >= 256 lines per shard, <= 64 shards).
   uint32_t cache_shards = 0;
 
+  /// --- Storage fault injection & resilience (FAULTS.md). All defaults
+  /// keep the fault layer disabled: the storage read path is then
+  /// byte-for-byte the pre-fault fast path.
+  /// Per-attempt transient command-error probability on storage reads.
+  double fault_rate = 0.0;
+  /// Seed of the deterministic fault stream (decisions are pure functions
+  /// of (fault_seed, page, attempt); same seed => same faults, at any
+  /// host_threads value).
+  uint64_t fault_seed = 0xfa017;
+  /// Per-attempt latency-spike probability and magnitude; a spike that
+  /// pushes an attempt past io_timeout_ns becomes a timeout.
+  double latency_spike_rate = 0.0;
+  TimeNs latency_spike_ns = 500 * kNsPerUs;
+  /// Per-attempt probability that the submission queue stalls (the command
+  /// is abandoned at io_timeout_ns and retried).
+  double stuck_queue_rate = 0.0;
+  /// Striped SSD index to take offline (-1 = none); its pages always
+  /// exhaust retries and degrade.
+  int offline_device = -1;
+  /// Retry policy: attempts = io_max_retries + 1; exponential backoff
+  /// starting at io_backoff_ns (doubling, capped at io_backoff_cap_ns);
+  /// per-attempt command timeout io_timeout_ns. All in virtual time.
+  uint32_t io_max_retries = 4;
+  TimeNs io_timeout_ns = 1 * kNsPerMs;
+  TimeNs io_backoff_ns = 20 * kNsPerUs;
+  TimeNs io_backoff_cap_ns = 2 * kNsPerMs;
+
   /// Optional observability sinks (see OBSERVABILITY.md). When set, the
   /// loader binds every component (cache, storage array, CPU buffer,
   /// window buffer) into the registry under {loader=<display_name>} and

@@ -33,6 +33,8 @@ LoaderObserver::LoaderObserver(obs::MetricRegistry* metrics,
       gather_pages_total_[p] =
           metrics_->GetCounter("gids_loader_gather_pages_total", path_labels);
     }
+    degraded_nodes_total_ =
+        metrics_->GetCounter("gids_storage_degraded_nodes", labels_);
     e2e_ns_hist_ = metrics_->GetHistogram("gids_loader_e2e_ns", labels_);
     input_nodes_hist_ =
         metrics_->GetHistogram("gids_loader_input_nodes", labels_);
@@ -59,6 +61,7 @@ void LoaderObserver::RecordIteration(const IterationStats& stats) {
     gather_pages_total_[0]->Inc(stats.gather.cpu_buffer_hits);
     gather_pages_total_[1]->Inc(stats.gather.gpu_cache_hits);
     gather_pages_total_[2]->Inc(stats.gather.storage_reads);
+    degraded_nodes_total_->Inc(stats.gather.degraded_nodes);
     e2e_ns_hist_->Observe(static_cast<uint64_t>(stats.e2e_ns));
     input_nodes_hist_->Observe(stats.input_nodes);
   }

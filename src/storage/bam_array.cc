@@ -36,15 +36,16 @@ Status BamArray::ReadPage(uint64_t page, std::span<std::byte> out,
   return Status::OK();
 }
 
-void BamArray::TouchPage(uint64_t page, GatherCounts* counts) {
+Status BamArray::TouchPage(uint64_t page, GatherCounts* counts) {
   GIDS_CHECK(counts != nullptr);
   if (cache_ != nullptr && cache_->Touch(page)) {
     ++counts->cache_hits;
-    return;
+    return Status::OK();
   }
-  storage_->NoteRead(page);
+  GIDS_RETURN_IF_ERROR(storage_->NoteRead(page));
   ++counts->storage_reads;
   if (cache_ != nullptr) cache_->InsertMeta(page);
+  return Status::OK();
 }
 
 }  // namespace gids::storage

@@ -31,13 +31,18 @@ class BamArray {
   StorageArray* storage() const { return storage_; }
   SoftwareCache* cache() const { return cache_; }
 
-  /// Reads one page into `out`, counting cache/storage traffic.
+  /// Reads one page into `out`, counting cache/storage traffic. Under
+  /// fault injection, Status::Unavailable means the storage read exhausted
+  /// its retries (nothing was cached); the gather layer degrades the
+  /// affected rows instead of failing (see FAULTS.md).
   Status ReadPage(uint64_t page, std::span<std::byte> out,
                   GatherCounts* counts);
 
   /// Counting-mode access: identical cache behaviour (hit/miss, eviction,
-  /// reuse-counter consumption) without moving payload bytes.
-  void TouchPage(uint64_t page, GatherCounts* counts);
+  /// reuse-counter consumption) without moving payload bytes. Returns the
+  /// same fault/retry outcome ReadPage would (Status::Unavailable on
+  /// exhausted retries; failed reads insert no cache metadata).
+  Status TouchPage(uint64_t page, GatherCounts* counts);
 
  private:
   StorageArray* storage_;

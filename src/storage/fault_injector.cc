@@ -1,0 +1,83 @@
+#include "storage/fault_injector.h"
+
+namespace gids::storage {
+namespace {
+
+// Stream tags decorrelating the per-mode draws for one (page, attempt).
+constexpr uint64_t kStallStream = 0x57a11;
+constexpr uint64_t kFaultStream = 0xfa177;
+constexpr uint64_t kSpikeStream = 0x5b1fe;
+
+}  // namespace
+
+double FaultInjector::Draw(uint64_t page, uint32_t attempt,
+                           uint64_t mode) const {
+  // SplitMix64 over a mix of (seed, page, attempt, mode): a full-avalanche
+  // hash, so neighbouring pages/attempts draw independently.
+  SplitMix64 sm(options_.fault_seed ^ (page * 0x9e3779b97f4a7c15ull) ^
+                ((static_cast<uint64_t>(attempt) + 1) * 0xbf58476d1ce4e5b9ull) ^
+                (mode * 0x94d049bb133111ebull));
+  sm.Next();  // decouple from the raw key
+  return static_cast<double>(sm.Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+FaultInjector::Attempt FaultInjector::Peek(uint64_t page, int device,
+                                           uint32_t attempt,
+                                           TimeNs base_latency_ns) const {
+  Attempt a;
+  if (options_.offline_device >= 0 && device == options_.offline_device) {
+    a.outcome = Outcome::kOffline;
+    return a;
+  }
+  if (options_.stuck_queue_rate > 0.0 &&
+      Draw(page, attempt, kStallStream) < options_.stuck_queue_rate) {
+    a.outcome = Outcome::kTimeout;
+    a.extra_ns = retry_.timeout_ns > base_latency_ns
+                     ? retry_.timeout_ns - base_latency_ns
+                     : 0;
+    return a;
+  }
+  if (options_.fault_rate > 0.0 &&
+      Draw(page, attempt, kFaultStream) < options_.fault_rate) {
+    a.outcome = Outcome::kTransient;
+    return a;
+  }
+  if (options_.latency_spike_rate > 0.0 &&
+      Draw(page, attempt, kSpikeStream) < options_.latency_spike_rate) {
+    a.extra_ns = options_.latency_spike_ns;
+    if (base_latency_ns + a.extra_ns >= retry_.timeout_ns) {
+      // The spiked command overruns its timeout: the issuer gives up on it
+      // at the deadline and retries.
+      a.outcome = Outcome::kTimeout;
+      a.extra_ns = retry_.timeout_ns > base_latency_ns
+                       ? retry_.timeout_ns - base_latency_ns
+                       : 0;
+    }
+    return a;
+  }
+  return a;
+}
+
+FaultInjector::Attempt FaultInjector::Evaluate(uint64_t page, int device,
+                                               uint32_t attempt,
+                                               TimeNs base_latency_ns) {
+  Attempt a = Peek(page, device, attempt, base_latency_ns);
+  switch (a.outcome) {
+    case Outcome::kTransient:
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Outcome::kTimeout:
+      stalls_injected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Outcome::kOk:
+      if (a.extra_ns > 0) {
+        spikes_injected_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case Outcome::kOffline:
+      break;
+  }
+  return a;
+}
+
+}  // namespace gids::storage

@@ -1,0 +1,129 @@
+#ifndef GIDS_STORAGE_FAULT_INJECTOR_H_
+#define GIDS_STORAGE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace gids::storage {
+
+/// Bounded-retry policy for storage reads, expressed entirely in the
+/// simulator's virtual clock (see FAULTS.md). A read is attempted up to
+/// `max_retries + 1` times; between failed attempt k and attempt k + 1 the
+/// issuing thread backs off for BackoffNs(k) virtual nanoseconds
+/// (exponential, capped). An attempt whose (modeled) service time reaches
+/// `timeout_ns` counts as a timeout.
+struct RetryPolicy {
+  uint32_t max_retries = 4;
+  TimeNs backoff_initial_ns = 20 * kNsPerUs;  // first backoff (doubles)
+  TimeNs backoff_cap_ns = 2 * kNsPerMs;       // backoff ceiling
+  TimeNs timeout_ns = 1 * kNsPerMs;           // per-attempt command timeout
+
+  /// Backoff after failed attempt `attempt` (0-based):
+  /// min(backoff_initial_ns << attempt, backoff_cap_ns). Deterministic, so
+  /// retry timestamps are reproducible in virtual time.
+  TimeNs BackoffNs(uint32_t attempt) const {
+    TimeNs b = backoff_initial_ns;
+    for (uint32_t i = 0; i < attempt && b < backoff_cap_ns; ++i) b *= 2;
+    return b < backoff_cap_ns ? b : backoff_cap_ns;
+  }
+};
+
+/// Knobs of the deterministic storage fault model (FAULTS.md). All
+/// probabilities are per *attempt*; decisions are pure functions of
+/// (seed, page, attempt), never of wall-clock state or call order, so two
+/// runs with the same seed — at any host thread count — inject exactly the
+/// same faults.
+struct FaultOptions {
+  /// Probability that an attempt fails with a transient command error.
+  double fault_rate = 0.0;
+  /// Seed of the fault stream. Decorrelated from every other RNG stream in
+  /// the library (graph generation, sampling, eviction).
+  uint64_t fault_seed = 0xfa017;
+  /// Probability that an attempt is served slowly: `latency_spike_ns` is
+  /// added to the modeled service time. A spiked attempt whose total
+  /// service time reaches the retry policy's timeout is a timeout.
+  double latency_spike_rate = 0.0;
+  TimeNs latency_spike_ns = 500 * kNsPerUs;
+  /// Probability that an attempt's submission queue stalls: the command is
+  /// never completed and the issuer charges a full timeout before retrying.
+  double stuck_queue_rate = 0.0;
+  /// Striped device index that is offline (-1 = none). Every attempt
+  /// against a page owned by that device fails; reads of its pages always
+  /// exhaust their retries and degrade.
+  int offline_device = -1;
+
+  bool enabled() const {
+    return fault_rate > 0.0 || latency_spike_rate > 0.0 ||
+           stuck_queue_rate > 0.0 || offline_device >= 0;
+  }
+};
+
+/// Deterministic, seed-driven fault source for the storage stack.
+///
+/// Each (page, attempt) pair hashes to an independent uniform draw per
+/// fault mode, so: (a) outcomes are identical across runs and thread
+/// counts; (b) a retry of a transiently failed page is a fresh draw (the
+/// fault is transient, not sticky); (c) re-reading a page later in the run
+/// (after a cache eviction) replays the same outcome sequence, modeling a
+/// weak region of the medium. Thread-safe: decisions are stateless; the
+/// injection counters are atomic.
+class FaultInjector {
+ public:
+  enum class Outcome : uint8_t {
+    kOk = 0,         // attempt succeeds after `extra_ns` of added latency
+    kTransient = 1,  // command error after one service latency
+    kTimeout = 2,    // stuck queue or spike past the timeout
+    kOffline = 3,    // owning device is offline; fails until exhaustion
+  };
+
+  struct Attempt {
+    Outcome outcome = Outcome::kOk;
+    /// Virtual time this attempt consumed beyond the base service latency
+    /// (latency spike on success; timeout overrun on kTimeout).
+    TimeNs extra_ns = 0;
+  };
+
+  FaultInjector(const FaultOptions& options, const RetryPolicy& retry)
+      : options_(options), retry_(retry) {}
+
+  const FaultOptions& options() const { return options_; }
+  const RetryPolicy& retry() const { return retry_; }
+
+  /// Decides the fate of attempt `attempt` (0-based) of a read of `page`
+  /// owned by striped device `device`, whose fault-free service latency is
+  /// `base_latency_ns`. Also advances the injection counters.
+  Attempt Evaluate(uint64_t page, int device, uint32_t attempt,
+                   TimeNs base_latency_ns);
+
+  /// The decision Evaluate would make, without touching any counter. Used
+  /// by tests to locate pages with a wanted outcome pattern.
+  Attempt Peek(uint64_t page, int device, uint32_t attempt,
+               TimeNs base_latency_ns) const;
+
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t spikes_injected() const {
+    return spikes_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t stalls_injected() const {
+    return stalls_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Uniform [0, 1) draw for (page, attempt) in decorrelated stream `mode`.
+  double Draw(uint64_t page, uint32_t attempt, uint64_t mode) const;
+
+  FaultOptions options_;
+  RetryPolicy retry_;
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> spikes_injected_{0};
+  std::atomic<uint64_t> stalls_injected_{0};
+};
+
+}  // namespace gids::storage
+
+#endif  // GIDS_STORAGE_FAULT_INJECTOR_H_

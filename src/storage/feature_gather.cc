@@ -117,6 +117,7 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
   struct BucketOut {
     GatherCounts gc;
     Status status = Status::OK();
+    std::vector<size_t> degraded;  // node indices with a dead-lettered page
   };
   std::vector<BucketOut> bucket_out(buckets);
   auto phase2 = [&](size_t b) {
@@ -124,18 +125,30 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
     std::vector<std::byte> page_buf(out != nullptr ? page_bytes : 0);
     for (const Access& a : seq[b]) {
       GatherCounts gc;
+      bool degraded = false;
       if (out != nullptr) {
         Status s = array_->ReadPage(
             a.page, std::span<std::byte>(page_buf.data(), page_bytes), &gc);
-        if (!s.ok()) {
+        if (s.code() == StatusCode::kUnavailable) {
+          // Retries exhausted (FAULTS.md): serve the page as zeroes and
+          // flag the node rather than failing the whole gather.
+          degraded = true;
+        } else if (!s.ok()) {
           bo.status = std::move(s);
           return;
         }
       } else {
-        array_->TouchPage(a.page, &gc);
+        Status s = array_->TouchPage(a.page, &gc);
+        if (s.code() == StatusCode::kUnavailable) {
+          degraded = true;
+        } else if (!s.ok()) {
+          bo.status = std::move(s);
+          return;
+        }
       }
       bo.gc.cache_hits += gc.cache_hits;
       bo.gc.storage_reads += gc.storage_reads;
+      if (degraded) bo.degraded.push_back(a.node);
       if (out != nullptr) {
         graph::NodeId v = nodes[a.node];
         uint64_t node_begin = layout_->ByteOffset(v);
@@ -145,8 +158,12 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
         uint64_t lo = std::max(node_begin, page_begin);
         uint64_t hi =
             std::min(node_begin + feat_bytes, page_begin + page_bytes);
-        std::memcpy(row_bytes + (lo - node_begin),
-                    page_buf.data() + (lo - page_begin), hi - lo);
+        if (degraded) {
+          std::memset(row_bytes + (lo - node_begin), 0, hi - lo);
+        } else {
+          std::memcpy(row_bytes + (lo - node_begin),
+                      page_buf.data() + (lo - page_begin), hi - lo);
+        }
       }
     }
   };
@@ -165,6 +182,20 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
   for (const BucketOut& bo : bucket_out) {
     counts->gpu_cache_hits += bo.gc.cache_hits;
     counts->storage_reads += bo.gc.storage_reads;
+  }
+  // A node's pages may land in different buckets, so union the per-bucket
+  // degraded indices to count each degraded node exactly once. The union
+  // is order-independent: the count is identical at every thread count.
+  bool any_degraded = false;
+  for (const BucketOut& bo : bucket_out) any_degraded |= !bo.degraded.empty();
+  if (any_degraded) {
+    std::vector<size_t> degraded;
+    for (const BucketOut& bo : bucket_out) {
+      degraded.insert(degraded.end(), bo.degraded.begin(), bo.degraded.end());
+    }
+    std::sort(degraded.begin(), degraded.end());
+    counts->degraded_nodes += static_cast<uint64_t>(
+        std::unique(degraded.begin(), degraded.end()) - degraded.begin());
   }
   return Status::OK();
 }

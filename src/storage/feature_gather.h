@@ -34,6 +34,11 @@ struct FeatureGatherCounts {
   uint64_t cpu_buffer_hits = 0;  // page-equivalents served from CPU buffer
   uint64_t gpu_cache_hits = 0;
   uint64_t storage_reads = 0;
+  /// Nodes served incompletely because a storage read exhausted its
+  /// retries (FAULTS.md): the failed page slice of the row is zero-filled
+  /// and the node is counted here exactly once. 0 unless fault injection
+  /// is enabled and a read was dead-lettered.
+  uint64_t degraded_nodes = 0;
 
   uint64_t total_page_requests() const {
     return cpu_buffer_hits + gpu_cache_hits + storage_reads;
@@ -43,6 +48,7 @@ struct FeatureGatherCounts {
     cpu_buffer_hits += o.cpu_buffer_hits;
     gpu_cache_hits += o.gpu_cache_hits;
     storage_reads += o.storage_reads;
+    degraded_nodes += o.degraded_nodes;
   }
 };
 
@@ -63,6 +69,12 @@ struct FeatureGatherCounts {
 /// serial gather would have produced, hits, evictions, and pin drains are
 /// independent of the thread count. One gather may run at a time; callers
 /// (GidsLoader) serialize gathers and parallelize within them.
+///
+/// Degraded mode (FAULTS.md): a storage read that exhausted its retries
+/// (Status::Unavailable from the fault-injected array) does not fail the
+/// gather. The failed page's slice of each affected output row is
+/// zero-filled, the node is counted once in counts->degraded_nodes, and
+/// the gather completes. Hard device errors (kIoError) still abort.
 class FeatureGatherer {
  public:
   /// `hot_buffer` may be null (plain BaM gather). `pool` may be null

@@ -29,7 +29,9 @@ class IoQueuePair {
   bool Full() const { return outstanding_ == depth_; }
 
   /// Enqueues a request; fails with ResourceExhausted when the submission
-  /// queue is full (the GPU thread would spin-retry).
+  /// queue is full. Callers do not spin here: StorageArray's bounded-retry
+  /// loop (FAULTS.md) re-issues failed commands with exponential virtual-
+  /// time backoff and dead-letters a read once its retries are exhausted.
   Status Submit(const IoRequest& request);
 
   /// Device side: pops up to `max` submitted requests for service.

@@ -1,6 +1,7 @@
 #include "storage/storage_array.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -19,15 +20,87 @@ StorageArray::StorageArray(std::unique_ptr<BlockDevice> device,
   per_device_reads_ = std::make_unique<std::atomic<uint64_t>[]>(n_ssd_);
 }
 
-Status StorageArray::ReadPage(uint64_t page, std::span<std::byte> out) {
-  GIDS_RETURN_IF_ERROR(queues_.RoundTrip(page));
-  GIDS_RETURN_IF_ERROR(device_->ReadBlock(page, out));
-  total_reads_.fetch_add(1, std::memory_order_relaxed);
-  per_device_reads_[DeviceFor(page)].fetch_add(1, std::memory_order_relaxed);
-  if (request_bytes_hist_ != nullptr) {
-    request_bytes_hist_->Observe(page_bytes());
+void StorageArray::EnableFaultInjection(const FaultOptions& faults,
+                                        const RetryPolicy& retry) {
+  retry_ = retry;
+  injector_ = faults.enabled()
+                  ? std::make_unique<FaultInjector>(faults, retry)
+                  : nullptr;
+}
+
+Status StorageArray::IssueRead(uint64_t page, std::span<std::byte> out) {
+  if (injector_ == nullptr) {
+    // Fault-free fast path: one doorbell, one (optional) device read.
+    GIDS_RETURN_IF_ERROR(queues_.RoundTrip(page));
+    if (!out.empty()) {
+      GIDS_RETURN_IF_ERROR(device_->ReadBlock(page, out));
+    }
+    CountRead(page);
+    return Status::OK();
   }
-  return Status::OK();
+
+  // Bounded-retry loop. Every attempt is a fresh NVMe command (its own
+  // doorbell); failed attempts back off exponentially in virtual time.
+  // All decisions are pure functions of (fault_seed, page, attempt), so
+  // the loop's counters are identical across runs and thread counts.
+  const int device = DeviceFor(page);
+  const TimeNs base_latency = spec_.read_latency_ns;
+  TimeNs penalty_ns = 0;  // virtual time beyond one fault-free service
+  const uint32_t attempts = retry_.max_retries + 1;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    GIDS_RETURN_IF_ERROR(queues_.RoundTrip(page));
+    FaultInjector::Attempt a =
+        injector_->Evaluate(page, device, attempt, base_latency);
+    if (a.outcome == FaultInjector::Outcome::kOk) {
+      penalty_ns += a.extra_ns;  // latency spike on the winning attempt
+      if (!out.empty()) {
+        GIDS_RETURN_IF_ERROR(device_->ReadBlock(page, out));
+      }
+      CountRead(page);
+      if (penalty_ns > 0) {
+        retry_penalty_ns_total_.fetch_add(static_cast<uint64_t>(penalty_ns),
+                                          std::memory_order_relaxed);
+        if (retry_latency_hist_ != nullptr) {
+          retry_latency_hist_->Observe(static_cast<uint64_t>(penalty_ns));
+        }
+      }
+      return Status::OK();
+    }
+    // Failed attempt: charge what the command consumed before failing.
+    switch (a.outcome) {
+      case FaultInjector::Outcome::kTimeout:
+        timeouts_total_.fetch_add(1, std::memory_order_relaxed);
+        penalty_ns += base_latency + a.extra_ns;  // held until the deadline
+        break;
+      case FaultInjector::Outcome::kTransient:
+      case FaultInjector::Outcome::kOffline:
+        penalty_ns += base_latency;  // completed with an error status
+        break;
+      case FaultInjector::Outcome::kOk:
+        break;  // unreachable
+    }
+    if (attempt + 1 < attempts) {
+      retries_total_.fetch_add(1, std::memory_order_relaxed);
+      TimeNs backoff = retry_.BackoffNs(attempt);
+      retry_backoff_ns_total_.fetch_add(static_cast<uint64_t>(backoff),
+                                        std::memory_order_relaxed);
+      penalty_ns += backoff;
+    }
+  }
+  dead_letters_total_.fetch_add(1, std::memory_order_relaxed);
+  retry_penalty_ns_total_.fetch_add(static_cast<uint64_t>(penalty_ns),
+                                    std::memory_order_relaxed);
+  if (retry_latency_hist_ != nullptr) {
+    retry_latency_hist_->Observe(static_cast<uint64_t>(penalty_ns));
+  }
+  return Status::Unavailable("page " + std::to_string(page) + ": " +
+                             std::to_string(attempts) +
+                             " attempts failed (dead-lettered)");
+}
+
+Status StorageArray::ReadPage(uint64_t page, std::span<std::byte> out) {
+  GIDS_CHECK(!out.empty());
+  return IssueRead(page, out);
 }
 
 void StorageArray::BindMetrics(obs::MetricRegistry* registry,
@@ -54,12 +127,38 @@ void StorageArray::BindMetrics(obs::MetricRegistry* registry,
   registry->RegisterCallback(
       "gids_io_queue_capacity", labels, MetricType::kGauge,
       [this] { return static_cast<double>(queue_capacity()); });
+  registry->RegisterCallback(
+      "gids_storage_retries_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(retries_total()); });
+  registry->RegisterCallback(
+      "gids_storage_timeouts_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(timeouts_total()); });
+  registry->RegisterCallback(
+      "gids_storage_dead_letters_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(dead_letters_total()); });
+  registry->RegisterCallback(
+      "gids_storage_retry_backoff_ns_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(retry_backoff_ns_total()); });
+  registry->RegisterCallback(
+      "gids_storage_faults_injected_total", labels, MetricType::kCounter,
+      [this] {
+        return injector_ != nullptr
+                   ? static_cast<double>(injector_->faults_injected())
+                   : 0.0;
+      });
   request_bytes_hist_ =
       registry->GetHistogram("gids_storage_request_bytes", labels);
+  retry_latency_hist_ =
+      registry->GetHistogram("gids_storage_retry_latency_ns", labels);
 }
 
 void StorageArray::ResetCounters() {
   total_reads_.store(0, std::memory_order_relaxed);
+  retries_total_.store(0, std::memory_order_relaxed);
+  timeouts_total_.store(0, std::memory_order_relaxed);
+  dead_letters_total_.store(0, std::memory_order_relaxed);
+  retry_backoff_ns_total_.store(0, std::memory_order_relaxed);
+  retry_penalty_ns_total_.store(0, std::memory_order_relaxed);
   for (int d = 0; d < n_ssd_; ++d) {
     per_device_reads_[d].store(0, std::memory_order_relaxed);
   }

@@ -11,6 +11,7 @@
 #include "obs/metric_registry.h"
 #include "sim/ssd_model.h"
 #include "storage/block_device.h"
+#include "storage/fault_injector.h"
 #include "storage/queue_manager.h"
 
 namespace gids::storage {
@@ -23,6 +24,14 @@ namespace gids::storage {
 /// The data plane is one logical BlockDevice (striping does not change
 /// bytes); the control plane records per-device request counts so the
 /// timing models can split closed-loop windows across devices.
+///
+/// With fault injection enabled (EnableFaultInjection, FAULTS.md), every
+/// read runs a bounded-retry loop: failed attempts back off exponentially
+/// in virtual time and re-ring the doorbell; reads that exhaust their
+/// retries are dead-lettered and surface as Status::Unavailable, which the
+/// gather layer turns into a degraded (zero-filled, flagged) node instead
+/// of a failed epoch. Without an injector the read path is byte-for-byte
+/// the fault-free fast path.
 class StorageArray {
  public:
   /// `num_queues`/`queue_depth` size the per-GPU IO queue pairs (BaM
@@ -37,22 +46,26 @@ class StorageArray {
   int n_ssd() const { return n_ssd_; }
   const sim::SsdSpec& spec() const { return spec_; }
 
-  /// Functional read of one page.
+  /// Installs a deterministic fault injector + retry policy on the read
+  /// path. Call before issuing reads (not thread-safe against them).
+  void EnableFaultInjection(const FaultOptions& faults,
+                            const RetryPolicy& retry);
+  /// The installed injector, or nullptr when the array is fault-free.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Functional read of one page. Under fault injection, retries
+  /// transparently; Status::Unavailable means the retries were exhausted
+  /// (dead-lettered) and `out` holds no valid data.
   Status ReadPage(uint64_t page, std::span<std::byte> out);
 
   /// Counting-mode read: records the access and drives the queue pair
   /// without moving bytes (used by the large-scale timing benchmarks).
+  /// Identical retry/fault decisions to ReadPage, so counting and
+  /// functional runs report the same retry/timeout/dead-letter counters.
   /// Thread-safe: counters are atomic sums, so totals are independent of
   /// the order concurrent gather shards issue their reads in.
-  void NoteRead(uint64_t page) {
-    GIDS_CHECK_OK(queues_.RoundTrip(page));
-    total_reads_.fetch_add(1, std::memory_order_relaxed);
-    per_device_reads_[DeviceFor(page)].fetch_add(1,
-                                                 std::memory_order_relaxed);
-    if (request_bytes_hist_ != nullptr) {
-      request_bytes_hist_->Observe(page_bytes());
-    }
-  }
+  Status NoteRead(uint64_t page) { return IssueRead(page, {}); }
 
   const QueueManager& queues() const { return queues_; }
   /// Maximum storage accesses that can be in flight across all queues.
@@ -69,21 +82,72 @@ class StorageArray {
   uint64_t reads_on_device(int d) const {
     return per_device_reads_[d].load(std::memory_order_relaxed);
   }
+
+  /// Failed attempts that were retried (one per backoff taken).
+  uint64_t retries_total() const {
+    return retries_total_.load(std::memory_order_relaxed);
+  }
+  /// Attempts abandoned at the per-attempt timeout (stuck queue, or a
+  /// latency spike past the deadline).
+  uint64_t timeouts_total() const {
+    return timeouts_total_.load(std::memory_order_relaxed);
+  }
+  /// Reads abandoned after exhausting max_retries (surfaced to the caller
+  /// as Status::Unavailable).
+  uint64_t dead_letters_total() const {
+    return dead_letters_total_.load(std::memory_order_relaxed);
+  }
+  /// Virtual nanoseconds spent in retry backoff across all reads. Pure
+  /// function of (fault_seed, page set): reproducible run to run.
+  uint64_t retry_backoff_ns_total() const {
+    return retry_backoff_ns_total_.load(std::memory_order_relaxed);
+  }
+  /// Total virtual-time penalty of faults across all reads: backoff plus
+  /// failed-attempt service/timeout charges plus latency spikes. The
+  /// loader snapshots deltas of this ledger around each gather and folds
+  /// them into the iteration's aggregation time, so faults cost virtual
+  /// time end to end (FAULTS.md §2).
+  uint64_t retry_penalty_ns_total() const {
+    return retry_penalty_ns_total_.load(std::memory_order_relaxed);
+  }
+
   void ResetCounters();
 
   /// Exposes the array through `registry`: read counters (total and
   /// per-device), queue-pair doorbell traffic, an outstanding-request
-  /// gauge, and a request-size histogram observed on every read.
+  /// gauge, a request-size histogram observed on every read, and the
+  /// fault/retry series (gids_storage_retries_total, _timeouts_total,
+  /// _dead_letters_total, _faults_injected_total, retry-latency histogram).
   void BindMetrics(obs::MetricRegistry* registry, const obs::Labels& labels);
 
  private:
+  /// Shared fast/retry read path. An empty `out` span is counting mode.
+  Status IssueRead(uint64_t page, std::span<std::byte> out);
+  /// Post-success bookkeeping shared by both modes.
+  void CountRead(uint64_t page) {
+    total_reads_.fetch_add(1, std::memory_order_relaxed);
+    per_device_reads_[DeviceFor(page)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    if (request_bytes_hist_ != nullptr) {
+      request_bytes_hist_->Observe(page_bytes());
+    }
+  }
+
   std::unique_ptr<BlockDevice> device_;
   sim::SsdSpec spec_;
   int n_ssd_;
   QueueManager queues_;
+  std::unique_ptr<FaultInjector> injector_;  // null = fault-free fast path
+  RetryPolicy retry_;
   std::atomic<uint64_t> total_reads_{0};
+  std::atomic<uint64_t> retries_total_{0};
+  std::atomic<uint64_t> timeouts_total_{0};
+  std::atomic<uint64_t> dead_letters_total_{0};
+  std::atomic<uint64_t> retry_backoff_ns_total_{0};
+  std::atomic<uint64_t> retry_penalty_ns_total_{0};
   std::unique_ptr<std::atomic<uint64_t>[]> per_device_reads_;
-  obs::HistogramMetric* request_bytes_hist_ = nullptr;  // registry-owned
+  obs::HistogramMetric* request_bytes_hist_ = nullptr;   // registry-owned
+  obs::HistogramMetric* retry_latency_hist_ = nullptr;   // registry-owned
 };
 
 }  // namespace gids::storage

@@ -3,10 +3,12 @@
 # the ASan/UBSan tree, and the ThreadSanitizer tree (CMakePresets.json).
 # The tsan preset builds only the concurrency test binary and runs the
 # `concurrency`-labelled tests (thread pool, sharded cache, parallel
-# gather, loader determinism). Run from the repository root:
+# gather, loader determinism). Also runs the documentation lint
+# (tools/docs_lint.sh: dead intra-repo markdown links, undocumented
+# GidsOptions fields / gids_cli flags). Run from the repository root:
 #
-#   tools/check.sh            # all presets
-#   tools/check.sh default    # one preset
+#   tools/check.sh            # docs lint + all presets
+#   tools/check.sh default    # docs lint + one preset
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,6 +17,9 @@ presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(default asan-ubsan tsan)
 fi
+
+echo "=== docs lint"
+tools/docs_lint.sh
 
 for preset in "${presets[@]}"; do
   echo "=== [$preset] configure"

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Documentation lint, run as part of tools/check.sh:
+#
+#   1. Every relative markdown link in tracked *.md files must resolve to
+#      a file or directory in the repository (http(s)/mailto/anchor-only
+#      links are skipped; "#section" fragments are stripped first).
+#   2. Every GidsOptions field (src/core/gids_loader.h) and every
+#      gids_cli flag (tools/gids_cli.cc) must be mentioned in README.md
+#      or FAULTS.md, so new knobs cannot land undocumented.
+#
+#   tools/docs_lint.sh            # lint everything
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. intra-repo markdown links -----------------------------------------
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Markdown inline links: [text](target). One match per line via grep -o.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"                    # strip "#anchor"
+    [ -n "$path" ] || continue
+    case "$path" in
+      /*) resolved=".$path" ;;              # repo-absolute
+      *)  resolved="$dir/$path" ;;
+    esac
+    if [ ! -e "$resolved" ]; then
+      echo "docs-lint: dead link in $md -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done < <(git ls-files '*.md')
+
+# --- 2. every knob is documented ------------------------------------------
+doc_corpus=$(cat README.md FAULTS.md)
+
+# GidsOptions fields: lines like "  <type> name = default;" inside the
+# struct. Take the identifier immediately left of '='.
+fields=$(awk '/^struct GidsOptions \{/,/^\};/' src/core/gids_loader.h |
+  grep -E '^  [A-Za-z_].*=.*;' |
+  sed -E 's/ *=.*$//; s/.*[ *&]//')
+for field in $fields; do
+  if ! grep -qw -- "$field" <<<"$doc_corpus"; then
+    echo "docs-lint: GidsOptions::$field not documented in README.md or FAULTS.md"
+    fail=1
+  fi
+done
+
+# gids_cli flags: every name passed to the Flags accessors.
+flags=$(grep -oE 'flags\.(Get|Has)[A-Za-z]*\("[^"]+"' tools/gids_cli.cc |
+  grep -oE '"[^"]+"' | tr -d '"' | sort -u)
+for flag in $flags; do
+  if ! grep -q -- "--$flag" <<<"$doc_corpus"; then
+    echo "docs-lint: gids_cli flag --$flag not documented in README.md or FAULTS.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-lint: FAILED"
+  exit 1
+fi
+echo "docs-lint: OK ($(git ls-files '*.md' | wc -l) markdown files, $(wc -w <<<"$fields") option fields, $(wc -w <<<"$flags") CLI flags)"

@@ -229,6 +229,20 @@ int CmdRun(const Flags& flags) {
         static_cast<uint32_t>(flags.GetInt("host-threads", 1));
     opts.prefetch_depth =
         static_cast<uint32_t>(flags.GetInt("prefetch-depth", 0));
+    // Storage fault injection & retry policy (FAULTS.md).
+    opts.fault_rate = flags.GetDouble("fault-rate", 0.0);
+    opts.fault_seed =
+        static_cast<uint64_t>(flags.GetInt("fault-seed", 0xfa017));
+    opts.latency_spike_rate = flags.GetDouble("latency-spike-rate", 0.0);
+    opts.latency_spike_ns =
+        UsToNs(flags.GetDouble("latency-spike-us", 500.0));
+    opts.stuck_queue_rate = flags.GetDouble("stuck-queue-rate", 0.0);
+    opts.offline_device =
+        static_cast<int>(flags.GetInt("offline-device", -1));
+    opts.io_max_retries =
+        static_cast<uint32_t>(flags.GetInt("io-max-retries", 4));
+    opts.io_timeout_ns = UsToNs(flags.GetDouble("io-timeout-us", 1000.0));
+    opts.io_backoff_ns = UsToNs(flags.GetDouble("io-backoff-us", 20.0));
     if (opts.use_cpu_buffer) {
       auto score = graph::WeightedReversePageRank(dataset.graph, {});
       hot_order = graph::RankNodesByScore(score);
@@ -276,6 +290,11 @@ int CmdRun(const Flags& flags) {
               static_cast<unsigned long long>(m.gather.storage_reads));
   std::printf("cache hit:    %.1f%%\n",
               100.0 * result->gpu_cache_hit_ratio());
+  if (m.gather.degraded_nodes > 0) {
+    std::printf("degraded:     %llu nodes zero-filled after exhausted "
+                "retries (see FAULTS.md)\n",
+                static_cast<unsigned long long>(m.gather.degraded_nodes));
+  }
 
   if (flags.Has("metrics-json")) {
     std::string path = flags.Get("metrics-json", "metrics.json");
@@ -383,7 +402,12 @@ void Usage() {
       "            --no-accumulator --no-window --no-cpu-buffer\n"
       "            --cpu-buffer-frac F --window-depth D\n"
       "            --host-threads N (parallel data prep, bam/gids)\n"
-      "            --prefetch-depth P (async group prefetch, bam/gids)]\n");
+      "            --prefetch-depth P (async group prefetch, bam/gids)\n"
+      "            --fault-rate F --fault-seed N (storage fault injection)\n"
+      "            --latency-spike-rate F --latency-spike-us U\n"
+      "            --stuck-queue-rate F --offline-device D\n"
+      "            --io-max-retries R --io-timeout-us U --io-backoff-us U\n"
+      "            (retry/degraded-mode policy; see FAULTS.md)]\n");
 }
 
 }  // namespace
