@@ -81,6 +81,90 @@ BENCHMARK(BM_FaultResilience)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// Silent-corruption sweep (INTEGRITY.md): per-attempt corruption rate with
+// verify-on-read enabled. Reports what the integrity layer absorbs —
+// repairs (mismatched reads that re-read clean) grow with the rate while
+// corrupt nodes (unrepairable, zero-filled) stay at zero until corruption
+// outpaces the retry budget — and what verification costs: the overhead
+// row is the e2e slowdown vs the same run with the integrity layer off.
+struct CorruptionRow {
+  double overhead = 1.0;  // e2e vs verification-off
+  uint64_t verified = 0;
+  uint64_t mismatches = 0;
+  uint64_t repairs = 0;
+  uint64_t corrupt_nodes = 0;
+};
+
+CorruptionRow MeasureCorruptionRate(double corruption_rate,
+                                    TimeNs* baseline_e2e) {
+  ProxyConfig cfg;
+  cfg.spec = graph::DatasetSpec::IgbFull();
+  Rig rig = BuildRig(cfg);
+  core::GidsOptions o;
+  o.corruption_rate = corruption_rate;
+  o.fault_seed = 0xfa017;
+  o.verify_reads = true;
+  auto loader = MakeLoader(LoaderKind::kGids, rig, &o);
+  core::TrainRunResult result =
+      RunProtocol(rig, *loader, /*warmup=*/10, /*measure=*/30);
+
+  CorruptionRow row;
+  auto* gids = dynamic_cast<core::GidsLoader*>(loader.get());
+  const storage::StorageArray& array = gids->storage_array();
+  row.verified = array.verified_reads_total();
+  row.mismatches = array.checksum_mismatches_total();
+  row.repairs = array.integrity_repairs_total();
+  for (const auto& it : result.per_iteration) {
+    row.corrupt_nodes += it.gather.corrupt_nodes;
+  }
+  if (*baseline_e2e == 0) {
+    // Verification-off baseline, shared across the sweep.
+    Rig base_rig = BuildRig(cfg);
+    core::GidsOptions base;
+    auto base_loader = MakeLoader(LoaderKind::kGids, base_rig, &base);
+    *baseline_e2e =
+        RunProtocol(base_rig, *base_loader, 10, 30).measured_e2e_ns;
+  }
+  row.overhead = *baseline_e2e > 0
+                     ? static_cast<double>(result.measured_e2e_ns) /
+                           static_cast<double>(*baseline_e2e)
+                     : 1.0;
+  return row;
+}
+
+void BM_CorruptionResilience(benchmark::State& state) {
+  // rate = range / 1e4: 0, 0.1%, 1%, 5%, 20% per attempt.
+  const double corruption_rate = static_cast<double>(state.range(0)) / 1e4;
+  static TimeNs baseline_e2e = 0;  // verification-off run, measured once
+  CorruptionRow row;
+  for (auto _ : state) {
+    row = MeasureCorruptionRate(corruption_rate, &baseline_e2e);
+  }
+  state.counters["verified"] = static_cast<double>(row.verified);
+  state.counters["mismatches"] = static_cast<double>(row.mismatches);
+  state.counters["repairs"] = static_cast<double>(row.repairs);
+  state.counters["corrupt_nodes"] = static_cast<double>(row.corrupt_nodes);
+  char label[72];
+  std::snprintf(label, sizeof(label),
+                "IGB-Full/GIDS verify-reads corruption-rate %.4f",
+                corruption_rate);
+  ReportRow("ABL-INTEGRITY", std::string(label) + " overhead",
+            (row.overhead - 1.0) * 100.0, 0, "%");
+  ReportRow("ABL-INTEGRITY", std::string(label) + " repairs",
+            static_cast<double>(row.repairs), 0, "reads");
+  ReportRow("ABL-INTEGRITY", std::string(label) + " corrupt",
+            static_cast<double>(row.corrupt_nodes), 0, "nodes");
+}
+
+BENCHMARK(BM_CorruptionResilience)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace gids::bench
 

@@ -1,0 +1,66 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+
+namespace gids {
+namespace {
+
+// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+// Slice-by-8 tables: kTable[0] is the classic byte-at-a-time table;
+// kTable[k][b] advances byte b through k additional zero bytes, so eight
+// table lookups process one aligned 8-byte word.
+struct Tables {
+  uint32_t t[8][256];
+
+  constexpr Tables() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+constexpr Tables kTables;
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t s = crc ^ 0xffffffffu;
+
+  // Byte-align to 8 so the word loop can use a single memcpy-load per step.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    s = (s >> 8) ^ kTables.t[0][(s ^ *p++) & 0xff];
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    // Little-endian fold; on big-endian hosts fall back below. All current
+    // build targets are little-endian, matching the table layout.
+    word ^= s;
+    s = kTables.t[7][word & 0xff] ^ kTables.t[6][(word >> 8) & 0xff] ^
+        kTables.t[5][(word >> 16) & 0xff] ^ kTables.t[4][(word >> 24) & 0xff] ^
+        kTables.t[3][(word >> 32) & 0xff] ^ kTables.t[2][(word >> 40) & 0xff] ^
+        kTables.t[1][(word >> 48) & 0xff] ^ kTables.t[0][(word >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    s = (s >> 8) ^ kTables.t[0][(s ^ *p++) & 0xff];
+    --n;
+  }
+  return s ^ 0xffffffffu;
+}
+
+}  // namespace gids

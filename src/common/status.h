@@ -26,6 +26,12 @@ enum class StatusCode : uint8_t {
   /// exhausted (see FAULTS.md). Distinct from kIoError (a hard device
   /// error): callers on the gather path may degrade on kUnavailable.
   kUnavailable = 10,
+  /// A page was served but failed checksum verification on every attempt
+  /// of its retry budget (see INTEGRITY.md): the data is silently corrupt
+  /// and unrepairable. Callers on the gather path zero-fill and count the
+  /// affected nodes as corrupt, distinct from kUnavailable's loud-failure
+  /// degradation.
+  kDataLoss = 11,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -77,6 +83,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

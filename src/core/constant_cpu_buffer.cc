@@ -68,6 +68,41 @@ ConstantCpuBuffer ConstantCpuBuffer::FromNodeSet(
   return ConstantCpuBuffer(&features, std::move(pinned), count);
 }
 
+ConstantCpuBuffer::ScrubResult ConstantCpuBuffer::ScrubRows(
+    const storage::PageChecksummer& checksummer, uint64_t max_rows) {
+  ScrubResult r;
+  if (num_pinned_ == 0 || max_rows == 0) return r;
+  std::lock_guard<std::mutex> lock(scrub_->mu);
+  if (scrub_->nodes.empty()) {
+    scrub_->nodes.reserve(num_pinned_);
+    for (graph::NodeId v = 0; v < pinned_.size(); ++v) {
+      if (pinned_[v]) scrub_->nodes.push_back(v);
+    }
+    scrub_->crcs.assign(scrub_->nodes.size(), 0);
+    scrub_->crc_known.assign(scrub_->nodes.size(), false);
+  }
+  std::vector<float> row(features_->feature_dim());
+  const size_t n = scrub_->nodes.size();
+  // At most one full cycle per call; the cursor persists across calls.
+  for (size_t step = 0; step < n && r.rows < max_rows; ++step) {
+    size_t idx = scrub_->cursor;
+    scrub_->cursor = (scrub_->cursor + 1) % n;
+    graph::NodeId node = scrub_->nodes[idx];
+    features_->FillFeature(node, std::span<float>(row));
+    uint32_t crc = checksummer.Checksum(node, row.data(),
+                                        row.size() * sizeof(float));
+    if (!scrub_->crc_known[idx]) {
+      scrub_->crcs[idx] = crc;
+      scrub_->crc_known[idx] = true;
+    } else if (scrub_->crcs[idx] != crc) {
+      ++r.errors;
+      scrub_->crcs[idx] = crc;  // re-baseline the repaired row
+    }
+    ++r.rows;
+  }
+  return r;
+}
+
 void ConstantCpuBuffer::Fill(graph::NodeId node, std::span<float> out) const {
   GIDS_CHECK(Contains(node));
   features_->FillFeature(node, out);

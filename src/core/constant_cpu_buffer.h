@@ -2,6 +2,8 @@
 #define GIDS_CORE_CONSTANT_CPU_BUFFER_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/random.h"
@@ -10,6 +12,7 @@
 #include "graph/types.h"
 #include "obs/metric_registry.h"
 #include "storage/feature_gather.h"
+#include "storage/page_integrity.h"
 
 namespace gids::core {
 
@@ -52,6 +55,21 @@ class ConstantCpuBuffer : public storage::HotNodeBuffer {
     return num_pinned_ * features_->feature_bytes_per_node();
   }
 
+  /// Result of one ScrubRows sweep.
+  struct ScrubResult {
+    uint64_t rows = 0;    // pinned rows verified
+    uint64_t errors = 0;  // rows whose checksum changed between sweeps
+  };
+
+  /// Background-scrubber entry point (INTEGRITY.md): verifies up to
+  /// `max_rows` pinned feature rows against their node-tagged checksums,
+  /// resuming from a persistent cursor so successive sweeps cycle the
+  /// whole pinned set. The first visit of a row establishes its baseline
+  /// sum; later visits compare (and re-baseline on mismatch). Thread-safe
+  /// against Fill; one scrub runs at a time under an internal mutex.
+  ScrubResult ScrubRows(const storage::PageChecksummer& checksummer,
+                        uint64_t max_rows);
+
   /// Exposes the buffer through `registry`: pinned-set gauges plus
   /// redirect counters (nodes served and bytes crossing PCIe from host
   /// DRAM) that Fill drives on every functional hit. Counting-mode runs
@@ -71,6 +89,18 @@ class ConstantCpuBuffer : public storage::HotNodeBuffer {
   uint64_t num_pinned_;
   obs::Counter* fills_total_ = nullptr;        // registry-owned
   obs::Counter* bytes_served_total_ = nullptr;  // registry-owned
+  /// Scrubber state, populated lazily on the first ScrubRows call: the
+  /// pinned node ids in ascending order, their baseline checksums, and
+  /// the sweep cursor. Heap-allocated (the buffer is move-constructed by
+  /// its factories and std::mutex is not movable); guarded by its mutex.
+  struct ScrubState {
+    std::mutex mu;
+    std::vector<graph::NodeId> nodes;
+    std::vector<uint32_t> crcs;
+    std::vector<bool> crc_known;
+    size_t cursor = 0;
+  };
+  std::unique_ptr<ScrubState> scrub_ = std::make_unique<ScrubState>();
 };
 
 }  // namespace gids::core

@@ -44,6 +44,7 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   faults.latency_spike_ns = options_.latency_spike_ns;
   faults.stuck_queue_rate = options_.stuck_queue_rate;
   faults.offline_device = options_.offline_device;
+  faults.corruption_rate = options_.corruption_rate;
   if (faults.enabled()) {
     GIDS_CHECK(options_.offline_device < cfg.n_ssd);
     storage::RetryPolicy retry;
@@ -53,6 +54,13 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
     retry.timeout_ns = options_.io_timeout_ns;
     storage_->EnableFaultInjection(faults, retry);
   }
+  storage::IntegrityOptions integrity;
+  integrity.verify_reads = options_.verify_reads;
+  integrity.verify_cache_fill = options_.verify_cache_fill;
+  integrity.verify_cache_hit = options_.verify_cache_hit;
+  integrity.crc_seed = options_.crc_seed;
+  integrity.crc_verify_ns = options_.crc_verify_ns;
+  storage_->EnableIntegrity(integrity);
 
   uint64_t cache_bytes = options_.gpu_cache_bytes != 0
                              ? options_.gpu_cache_bytes
@@ -60,6 +68,12 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   cache_ = std::make_unique<storage::SoftwareCache>(
       cache_bytes, fs.page_bytes(), options_.seed ^ 0xcac4e,
       /*store_payloads=*/!options_.counting_mode, options_.cache_shards);
+  if (integrity.verify_cache_fill || integrity.verify_cache_hit ||
+      options_.scrub_pages_per_iter > 0) {
+    cache_->EnableIntegrity(&storage_->checksummer(),
+                            integrity.verify_cache_fill,
+                            integrity.verify_cache_hit);
+  }
   bam_ = std::make_unique<storage::BamArray>(storage_.get(), cache_.get());
 
   if (options_.host_threads > 1 || options_.prefetch_depth > 0) {
@@ -124,6 +138,19 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
     if (pool_ != nullptr) {
       obs::BindThreadPoolMetrics(*pool_, reg, labels);
     }
+    using obs::MetricType;
+    reg->RegisterCallback("gids_scrub_pages_total", labels,
+                          MetricType::kCounter, [this] {
+                            return static_cast<double>(scrub_pages_total_);
+                          });
+    reg->RegisterCallback("gids_scrub_errors_total", labels,
+                          MetricType::kCounter, [this] {
+                            return static_cast<double>(scrub_errors_total_);
+                          });
+    reg->RegisterCallback("gids_scrub_ns_total", labels, MetricType::kCounter,
+                          [this] {
+                            return static_cast<double>(scrub_ns_total_);
+                          });
   }
 }
 
@@ -328,6 +355,45 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
                          NsToSec(prep)
                    : 0.0;
     }
+  }
+
+  // --- Background scrubber (INTEGRITY.md): between iterations, walk a
+  // budget of resident cache lines (and pinned CPU-buffer rows) and
+  // re-verify their checksums, quarantining any line that rotted while
+  // resident. Runs inside the single-flight group preparation, so sweep
+  // order — and therefore every quarantine decision — is deterministic at
+  // any host_threads value. The sweep overlaps training in wall time and
+  // is accounted separately in virtual time (it does not extend e2e).
+  if (options_.scrub_pages_per_iter > 0) {
+    const uint64_t quota =
+        static_cast<uint64_t>(options_.scrub_pages_per_iter) * group;
+    const uint32_t shards = cache_->num_shards();
+    const uint64_t per_shard = (quota + shards - 1) / shards;
+    std::vector<storage::SoftwareCache::ScrubResult> shard_res(shards);
+    auto scrub_shard = [&](size_t s) {
+      shard_res[s] = cache_->ScrubShard(static_cast<uint32_t>(s), per_shard);
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(shards, scrub_shard);
+    } else {
+      for (uint32_t s = 0; s < shards; ++s) scrub_shard(s);
+    }
+    uint64_t scanned = 0;
+    uint64_t errors = 0;
+    for (const auto& r : shard_res) {
+      scanned += r.scanned;
+      errors += r.errors;
+    }
+    if (cpu_buffer_ != nullptr) {
+      ConstantCpuBuffer::ScrubResult rr =
+          cpu_buffer_->ScrubRows(storage_->checksummer(), quota);
+      scanned += rr.rows;
+      errors += rr.errors;
+    }
+    scrub_pages_total_.fetch_add(scanned, std::memory_order_relaxed);
+    scrub_errors_total_.fetch_add(errors, std::memory_order_relaxed);
+    scrub_ns_total_.fetch_add(scanned * options_.crc_verify_ns,
+                              std::memory_order_relaxed);
   }
 
   accumulator_->Observe(group_counts);

@@ -1,6 +1,7 @@
 #ifndef GIDS_CORE_GIDS_LOADER_H_
 #define GIDS_CORE_GIDS_LOADER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -103,6 +104,32 @@ struct GidsOptions {
   TimeNs io_timeout_ns = 1 * kNsPerMs;
   TimeNs io_backoff_ns = 20 * kNsPerUs;
   TimeNs io_backoff_cap_ns = 2 * kNsPerMs;
+
+  /// --- End-to-end data integrity (INTEGRITY.md). All defaults keep the
+  /// integrity layer disabled; the read path and benchmark output are
+  /// then bit-identical to the pre-integrity build.
+  /// Per-attempt probability that a successful storage read serves
+  /// silently corrupted bytes (no error status). Deterministic in
+  /// (fault_seed, page, attempt), like the loud fault modes.
+  double corruption_rate = 0.0;
+  /// Seed of the page-tagged CRC-32C checksum space.
+  uint64_t crc_seed = 0xc3c32c;
+  /// Verify every storage read against the page's write-time checksum;
+  /// mismatches re-read under the retry budget (repair) and dead-letter
+  /// as unrepairable corruption when the budget runs out.
+  bool verify_reads = false;
+  /// Verify page payloads as they are inserted into the software cache
+  /// (corrupt fills are rejected).
+  bool verify_cache_fill = false;
+  /// Re-verify resident cache lines on every hit; mismatched lines are
+  /// quarantined and re-read from storage.
+  bool verify_cache_hit = false;
+  /// Background scrubber budget: resident cache lines (plus pinned CPU
+  /// buffer rows) verified per merged iteration, walked in virtual time
+  /// between iterations. 0 disables the scrubber.
+  uint32_t scrub_pages_per_iter = 0;
+  /// Modeled virtual-time cost of one checksum verification.
+  TimeNs crc_verify_ns = 1 * kNsPerUs;
 
   /// Optional observability sinks (see OBSERVABILITY.md). When set, the
   /// loader binds every component (cache, storage array, CPU buffer,
@@ -215,6 +242,12 @@ class GidsLoader : public loaders::DataLoader {
   // Observability (all unset unless options_.metrics / options_.trace).
   // LoaderObserver is not thread-safe; obs_mu_ serializes the consumer
   // thread's RecordIteration against the prefetch task's Instant calls.
+  // Background-scrubber accounting (INTEGRITY.md). Atomic because the
+  // prefetch task scrubs while the consumer thread may snapshot metrics.
+  std::atomic<uint64_t> scrub_pages_total_{0};
+  std::atomic<uint64_t> scrub_errors_total_{0};
+  std::atomic<uint64_t> scrub_ns_total_{0};
+
   std::mutex obs_mu_;
   std::unique_ptr<loaders::LoaderObserver> observer_;
   obs::Counter* groups_total_ = nullptr;

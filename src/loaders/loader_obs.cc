@@ -35,6 +35,8 @@ LoaderObserver::LoaderObserver(obs::MetricRegistry* metrics,
     }
     degraded_nodes_total_ =
         metrics_->GetCounter("gids_storage_degraded_nodes", labels_);
+    corrupt_nodes_total_ =
+        metrics_->GetCounter("gids_storage_corrupt_nodes", labels_);
     e2e_ns_hist_ = metrics_->GetHistogram("gids_loader_e2e_ns", labels_);
     input_nodes_hist_ =
         metrics_->GetHistogram("gids_loader_input_nodes", labels_);
@@ -62,6 +64,7 @@ void LoaderObserver::RecordIteration(const IterationStats& stats) {
     gather_pages_total_[1]->Inc(stats.gather.gpu_cache_hits);
     gather_pages_total_[2]->Inc(stats.gather.storage_reads);
     degraded_nodes_total_->Inc(stats.gather.degraded_nodes);
+    corrupt_nodes_total_->Inc(stats.gather.corrupt_nodes);
     e2e_ns_hist_->Observe(static_cast<uint64_t>(stats.e2e_ns));
     input_nodes_hist_->Observe(stats.input_nodes);
   }

@@ -66,6 +66,7 @@ class LoaderObserver {
   obs::Counter* sampled_edges_total_ = nullptr;
   obs::Counter* gather_pages_total_[3] = {};  // cpu_buffer, gpu_cache, storage
   obs::Counter* degraded_nodes_total_ = nullptr;
+  obs::Counter* corrupt_nodes_total_ = nullptr;
   obs::HistogramMetric* e2e_ns_hist_ = nullptr;
   obs::HistogramMetric* input_nodes_hist_ = nullptr;
 

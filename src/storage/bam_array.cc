@@ -1,6 +1,7 @@
 #include "storage/bam_array.h"
 
 #include <cstring>
+#include <optional>
 
 #include "common/check.h"
 
@@ -22,16 +23,22 @@ Status BamArray::ReadPage(uint64_t page, std::span<std::byte> out,
   }
   if (cache_ != nullptr) {
     // LookupInto copies under the owning shard's lock, so a concurrent
-    // insertion into the same shard cannot tear the payload.
+    // insertion into the same shard cannot tear the payload. A hit-time
+    // integrity mismatch surfaces here as a miss (the line was
+    // quarantined) and falls through to the repairing storage read.
     if (cache_->LookupInto(page, out)) {
       ++counts->cache_hits;
       return Status::OK();
     }
   }
-  GIDS_RETURN_IF_ERROR(storage_->ReadPage(page, out));
+  StorageArray::ReadOutcome oc;
+  GIDS_RETURN_IF_ERROR(storage_->ReadPage(page, out, &oc));
   ++counts->storage_reads;
   if (cache_ != nullptr) {
-    cache_->Insert(page, out);
+    cache_->Insert(page, out,
+                   oc.crc_known ? std::optional<uint32_t>(oc.crc)
+                                : std::nullopt,
+                   oc.served_corrupt);
   }
   return Status::OK();
 }
@@ -42,9 +49,10 @@ Status BamArray::TouchPage(uint64_t page, GatherCounts* counts) {
     ++counts->cache_hits;
     return Status::OK();
   }
-  GIDS_RETURN_IF_ERROR(storage_->NoteRead(page));
+  StorageArray::ReadOutcome oc;
+  GIDS_RETURN_IF_ERROR(storage_->NoteRead(page, &oc));
   ++counts->storage_reads;
-  if (cache_ != nullptr) cache_->InsertMeta(page);
+  if (cache_ != nullptr) cache_->InsertMeta(page, oc.served_corrupt);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@ namespace {
 constexpr uint64_t kStallStream = 0x57a11;
 constexpr uint64_t kFaultStream = 0xfa177;
 constexpr uint64_t kSpikeStream = 0x5b1fe;
+constexpr uint64_t kCorruptStream = 0xc0994;
 
 }  // namespace
 
@@ -52,8 +53,16 @@ FaultInjector::Attempt FaultInjector::Peek(uint64_t page, int device,
       a.extra_ns = retry_.timeout_ns > base_latency_ns
                        ? retry_.timeout_ns - base_latency_ns
                        : 0;
+      return a;
     }
-    return a;
+  }
+  // Silent corruption rides only successful attempts: the command
+  // completed OK but the DMA'd bytes are wrong. A fresh draw per attempt
+  // means a detected-and-retried corrupt page usually verifies clean on
+  // the re-read (the transfer, not the medium, flipped the bits).
+  if (options_.corruption_rate > 0.0 &&
+      Draw(page, attempt, kCorruptStream) < options_.corruption_rate) {
+    a.corrupt = true;
   }
   return a;
 }
@@ -73,11 +82,42 @@ FaultInjector::Attempt FaultInjector::Evaluate(uint64_t page, int device,
       if (a.extra_ns > 0) {
         spikes_injected_.fetch_add(1, std::memory_order_relaxed);
       }
+      if (a.corrupt) {
+        pages_corrupted_.fetch_add(1, std::memory_order_relaxed);
+      }
       break;
     case Outcome::kOffline:
       break;
   }
   return a;
+}
+
+void FaultInjector::Corrupt(uint64_t page, uint32_t attempt,
+                            std::span<std::byte> data) const {
+  if (data.empty()) return;
+  // Derive burst position, length, and masks from the same decorrelated
+  // stream that decided the corruption, so the damage pattern is a pure
+  // function of (fault_seed, page, attempt).
+  SplitMix64 sm(options_.fault_seed ^ (page * 0x9e3779b97f4a7c15ull) ^
+                ((static_cast<uint64_t>(attempt) + 1) * 0xbf58476d1ce4e5b9ull) ^
+                (kCorruptStream * 0x94d049bb133111ebull));
+  sm.Next();  // aligns with Draw's key-decoupling step
+  sm.Next();  // skip the bits Draw consumed for the rate decision
+  const uint64_t r = sm.Next();
+  // Burst of 1-4 contiguous bytes: at most 32 flipped bits, inside
+  // CRC-32C's guaranteed burst-detection window, so verification can
+  // never miss an injected corruption.
+  const size_t burst = 1 + static_cast<size_t>(r & 3);
+  const size_t len = burst < data.size() ? burst : data.size();
+  const size_t start =
+      data.size() > len ? static_cast<size_t>((r >> 2) % (data.size() - len + 1))
+                        : 0;
+  uint64_t masks = sm.Next();
+  for (size_t i = 0; i < len; ++i) {
+    uint8_t mask = static_cast<uint8_t>(masks >> (i * 8));
+    if (mask == 0) mask = 0xa5;  // every byte of the burst must change
+    data[start + i] ^= static_cast<std::byte>(mask);
+  }
 }
 
 }  // namespace gids::storage

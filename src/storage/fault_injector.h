@@ -2,7 +2,9 @@
 #define GIDS_STORAGE_FAULT_INJECTOR_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "common/random.h"
 #include "common/units.h"
@@ -54,10 +56,19 @@ struct FaultOptions {
   /// against a page owned by that device fails; reads of its pages always
   /// exhaust their retries and degrade.
   int offline_device = -1;
+  /// Probability that a *successful* attempt serves silently corrupted
+  /// data: a short burst of bytes in the page is flipped and the command
+  /// still completes OK (no error status, no timeout). Invisible without
+  /// checksum verification (IntegrityOptions, INTEGRITY.md); with
+  /// verify-on-read a corrupt attempt is detected and re-read like any
+  /// other failed attempt. Evaluated after the loud modes — an attempt
+  /// that already failed loudly never also corrupts.
+  double corruption_rate = 0.0;
 
   bool enabled() const {
     return fault_rate > 0.0 || latency_spike_rate > 0.0 ||
-           stuck_queue_rate > 0.0 || offline_device >= 0;
+           stuck_queue_rate > 0.0 || offline_device >= 0 ||
+           corruption_rate > 0.0;
   }
 };
 
@@ -68,8 +79,12 @@ struct FaultOptions {
 /// counts; (b) a retry of a transiently failed page is a fresh draw (the
 /// fault is transient, not sticky); (c) re-reading a page later in the run
 /// (after a cache eviction) replays the same outcome sequence, modeling a
-/// weak region of the medium. Thread-safe: decisions are stateless; the
-/// injection counters are atomic.
+/// weak region of the medium. Besides the loud modes (transient error,
+/// timeout, offline device) the injector models *silent* corruption: a
+/// successful attempt may carry flipped bytes with no error signal
+/// (Attempt::corrupt; see INTEGRITY.md for the detection/repair side).
+/// Thread-safe: decisions are stateless; the injection counters are
+/// atomic.
 class FaultInjector {
  public:
   enum class Outcome : uint8_t {
@@ -84,6 +99,9 @@ class FaultInjector {
     /// Virtual time this attempt consumed beyond the base service latency
     /// (latency spike on success; timeout overrun on kTimeout).
     TimeNs extra_ns = 0;
+    /// kOk only: the served bytes are silently corrupted (the command
+    /// reported success). Meaningless for failed outcomes.
+    bool corrupt = false;
   };
 
   FaultInjector(const FaultOptions& options, const RetryPolicy& retry)
@@ -112,6 +130,20 @@ class FaultInjector {
   uint64_t stalls_injected() const {
     return stalls_injected_.load(std::memory_order_relaxed);
   }
+  uint64_t pages_corrupted() const {
+    return pages_corrupted_.load(std::memory_order_relaxed);
+  }
+
+  /// Applies the deterministic corruption pattern of (page, attempt) to
+  /// `data`: a contiguous burst of 1-4 bytes is XORed with nonzero masks.
+  /// The burst never exceeds 32 bits, which CRC-32C detects with
+  /// certainty — so a corrupted page always fails verification, and the
+  /// repair counters of a functional (byte-moving) run match a
+  /// counting-mode run exactly. Call only when Evaluate returned
+  /// corrupt = true; position and masks are pure functions of
+  /// (fault_seed, page, attempt).
+  void Corrupt(uint64_t page, uint32_t attempt,
+               std::span<std::byte> data) const;
 
  private:
   /// Uniform [0, 1) draw for (page, attempt) in decorrelated stream `mode`.
@@ -122,6 +154,7 @@ class FaultInjector {
   std::atomic<uint64_t> faults_injected_{0};
   std::atomic<uint64_t> spikes_injected_{0};
   std::atomic<uint64_t> stalls_injected_{0};
+  std::atomic<uint64_t> pages_corrupted_{0};
 };
 
 }  // namespace gids::storage

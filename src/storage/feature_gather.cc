@@ -118,6 +118,7 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
     GatherCounts gc;
     Status status = Status::OK();
     std::vector<size_t> degraded;  // node indices with a dead-lettered page
+    std::vector<size_t> corrupt;   // node indices with an unrepairable page
   };
   std::vector<BucketOut> bucket_out(buckets);
   auto phase2 = [&](size_t b) {
@@ -126,6 +127,7 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
     for (const Access& a : seq[b]) {
       GatherCounts gc;
       bool degraded = false;
+      bool corrupt = false;
       if (out != nullptr) {
         Status s = array_->ReadPage(
             a.page, std::span<std::byte>(page_buf.data(), page_bytes), &gc);
@@ -133,6 +135,10 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
           // Retries exhausted (FAULTS.md): serve the page as zeroes and
           // flag the node rather than failing the whole gather.
           degraded = true;
+        } else if (s.code() == StatusCode::kDataLoss) {
+          // Never verified clean (INTEGRITY.md): same zero-fill
+          // degradation, separate accounting.
+          corrupt = true;
         } else if (!s.ok()) {
           bo.status = std::move(s);
           return;
@@ -141,6 +147,8 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
         Status s = array_->TouchPage(a.page, &gc);
         if (s.code() == StatusCode::kUnavailable) {
           degraded = true;
+        } else if (s.code() == StatusCode::kDataLoss) {
+          corrupt = true;
         } else if (!s.ok()) {
           bo.status = std::move(s);
           return;
@@ -149,6 +157,7 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
       bo.gc.cache_hits += gc.cache_hits;
       bo.gc.storage_reads += gc.storage_reads;
       if (degraded) bo.degraded.push_back(a.node);
+      if (corrupt) bo.corrupt.push_back(a.node);
       if (out != nullptr) {
         graph::NodeId v = nodes[a.node];
         uint64_t node_begin = layout_->ByteOffset(v);
@@ -158,7 +167,7 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
         uint64_t lo = std::max(node_begin, page_begin);
         uint64_t hi =
             std::min(node_begin + feat_bytes, page_begin + page_bytes);
-        if (degraded) {
+        if (degraded || corrupt) {
           std::memset(row_bytes + (lo - node_begin), 0, hi - lo);
         } else {
           std::memcpy(row_bytes + (lo - node_begin),
@@ -184,19 +193,24 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
     counts->storage_reads += bo.gc.storage_reads;
   }
   // A node's pages may land in different buckets, so union the per-bucket
-  // degraded indices to count each degraded node exactly once. The union
-  // is order-independent: the count is identical at every thread count.
-  bool any_degraded = false;
-  for (const BucketOut& bo : bucket_out) any_degraded |= !bo.degraded.empty();
-  if (any_degraded) {
-    std::vector<size_t> degraded;
+  // degraded/corrupt indices to count each affected node exactly once.
+  // The union is order-independent: the count is identical at every
+  // thread count.
+  auto count_union = [&](std::vector<size_t> BucketOut::* field,
+                         uint64_t FeatureGatherCounts::* counter) {
+    bool any = false;
+    for (const BucketOut& bo : bucket_out) any |= !(bo.*field).empty();
+    if (!any) return;
+    std::vector<size_t> merged;
     for (const BucketOut& bo : bucket_out) {
-      degraded.insert(degraded.end(), bo.degraded.begin(), bo.degraded.end());
+      merged.insert(merged.end(), (bo.*field).begin(), (bo.*field).end());
     }
-    std::sort(degraded.begin(), degraded.end());
-    counts->degraded_nodes += static_cast<uint64_t>(
-        std::unique(degraded.begin(), degraded.end()) - degraded.begin());
-  }
+    std::sort(merged.begin(), merged.end());
+    counts->*counter += static_cast<uint64_t>(
+        std::unique(merged.begin(), merged.end()) - merged.begin());
+  };
+  count_union(&BucketOut::degraded, &FeatureGatherCounts::degraded_nodes);
+  count_union(&BucketOut::corrupt, &FeatureGatherCounts::corrupt_nodes);
   return Status::OK();
 }
 

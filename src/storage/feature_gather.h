@@ -39,6 +39,11 @@ struct FeatureGatherCounts {
   /// and the node is counted here exactly once. 0 unless fault injection
   /// is enabled and a read was dead-lettered.
   uint64_t degraded_nodes = 0;
+  /// Nodes served incompletely because a page never verified clean within
+  /// its retry budget (Status::DataLoss, INTEGRITY.md): unrepairable
+  /// silent corruption. Zero-filled and counted exactly once per node,
+  /// disjoint from degraded_nodes' loud-failure accounting.
+  uint64_t corrupt_nodes = 0;
 
   uint64_t total_page_requests() const {
     return cpu_buffer_hits + gpu_cache_hits + storage_reads;
@@ -49,6 +54,7 @@ struct FeatureGatherCounts {
     gpu_cache_hits += o.gpu_cache_hits;
     storage_reads += o.storage_reads;
     degraded_nodes += o.degraded_nodes;
+    corrupt_nodes += o.corrupt_nodes;
   }
 };
 
@@ -74,7 +80,10 @@ struct FeatureGatherCounts {
 /// (Status::Unavailable from the fault-injected array) does not fail the
 /// gather. The failed page's slice of each affected output row is
 /// zero-filled, the node is counted once in counts->degraded_nodes, and
-/// the gather completes. Hard device errors (kIoError) still abort.
+/// the gather completes. Unrepairable silent corruption (Status::DataLoss
+/// from a verifying array, INTEGRITY.md) degrades the same way but is
+/// counted separately in counts->corrupt_nodes. Hard device errors
+/// (kIoError) still abort.
 class FeatureGatherer {
  public:
   /// `hot_buffer` may be null (plain BaM gather). `pool` may be null

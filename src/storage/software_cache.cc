@@ -59,6 +59,33 @@ SoftwareCache::SoftwareCache(uint64_t capacity_bytes, uint32_t line_bytes,
   }
 }
 
+void SoftwareCache::EnableIntegrity(const PageChecksummer* checksummer,
+                                    bool verify_fill, bool verify_hit) {
+  checksummer_ = checksummer;
+  verify_fill_ = verify_fill;
+  verify_hit_ = verify_hit;
+}
+
+bool SoftwareCache::LineCorruptLocked(const Shard& sh, size_t slot) const {
+  const Line& line = sh.lines[slot];
+  if (line.corrupt_hint) return true;
+  if (store_payloads_ && line.has_crc && checksummer_ != nullptr) {
+    const std::byte* data = sh.data.data() + slot * line_bytes_;
+    return checksummer_->Checksum(line.page, data, line_bytes_) != line.crc;
+  }
+  return false;
+}
+
+void SoftwareCache::QuarantineLocked(Shard& sh, size_t slot) {
+  Line& line = sh.lines[slot];
+  sh.index.erase(line.page);
+  sh.free_slots.push_back(slot);
+  // The page's future_reuse entry is deliberately kept: the quarantined
+  // access path re-reads from storage and re-inserts, and the re-insert
+  // must re-pin the line or window buffering would lose its look-ahead.
+  line = Line{};
+}
+
 const std::byte* SoftwareCache::Lookup(uint64_t page) {
   GIDS_CHECK(store_payloads_);
   Shard& sh = shard_for(page);
@@ -71,6 +98,15 @@ const std::byte* SoftwareCache::Lookup(uint64_t page) {
     // window counted this very access when the mini-batch entered the
     // look-ahead window. Without this, miss-path counters never drain and
     // lines pin forever.
+    ConsumeReuseLocked(sh, page, kNoSlot);
+    return nullptr;
+  }
+  if (verify_hit_ && LineCorruptLocked(sh, it->second)) {
+    // Mismatched line: quarantine it and serve the access as a miss; the
+    // caller re-reads from storage (which repairs) and re-inserts.
+    ++sh.stats.quarantines;
+    QuarantineLocked(sh, it->second);
+    ++sh.stats.misses;
     ConsumeReuseLocked(sh, page, kNoSlot);
     return nullptr;
   }
@@ -87,6 +123,13 @@ bool SoftwareCache::LookupInto(uint64_t page, std::span<std::byte> out) {
   ++sh.stats.lookups;
   auto it = sh.index.find(page);
   if (it == sh.index.end()) {
+    ++sh.stats.misses;
+    ConsumeReuseLocked(sh, page, kNoSlot);
+    return false;
+  }
+  if (verify_hit_ && LineCorruptLocked(sh, it->second)) {
+    ++sh.stats.quarantines;
+    QuarantineLocked(sh, it->second);
     ++sh.stats.misses;
     ConsumeReuseLocked(sh, page, kNoSlot);
     return false;
@@ -108,9 +151,40 @@ bool SoftwareCache::Touch(uint64_t page) {
     ConsumeReuseLocked(sh, page, kNoSlot);
     return false;
   }
+  if (verify_hit_ && LineCorruptLocked(sh, it->second)) {
+    ++sh.stats.quarantines;
+    QuarantineLocked(sh, it->second);
+    ++sh.stats.misses;
+    ConsumeReuseLocked(sh, page, kNoSlot);
+    return false;
+  }
   ++sh.stats.hits;
   ConsumeReuseLocked(sh, page, it->second);
   return true;
+}
+
+SoftwareCache::ScrubResult SoftwareCache::ScrubShard(uint32_t shard,
+                                                     uint64_t max_lines) {
+  ScrubResult r;
+  if (shard >= shards_.size() || max_lines == 0) return r;
+  Shard& sh = *shards_[shard];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const size_t n = sh.lines.size();
+  // At most one full cycle per call: the sweep resumes where the last one
+  // stopped, so successive quotas cover the whole shard.
+  for (size_t step = 0; step < n && r.scanned < max_lines; ++step) {
+    size_t slot = sh.scrub_cursor;
+    sh.scrub_cursor = (sh.scrub_cursor + 1) % n;
+    if (sh.lines[slot].state == LineState::kEmpty) continue;
+    ++r.scanned;
+    if (LineCorruptLocked(sh, slot)) {
+      ++r.errors;
+      QuarantineLocked(sh, slot);
+    }
+  }
+  sh.stats.scrubbed_lines += r.scanned;
+  sh.stats.scrub_errors += r.errors;
+  return r;
 }
 
 bool SoftwareCache::Contains(uint64_t page) const {
@@ -157,6 +231,9 @@ size_t SoftwareCache::AcquireSlotLocked(Shard& sh, uint64_t page) {
     ++sh.stats.evictions;
   }
   sh.lines[slot].page = page;
+  sh.lines[slot].crc = 0;
+  sh.lines[slot].has_crc = false;
+  sh.lines[slot].corrupt_hint = false;
   auto reuse = sh.future_reuse.find(page);
   uint32_t pending = reuse == sh.future_reuse.end() ? 0 : reuse->second;
   sh.lines[slot].state =
@@ -166,29 +243,56 @@ size_t SoftwareCache::AcquireSlotLocked(Shard& sh, uint64_t page) {
   return slot;
 }
 
-bool SoftwareCache::Insert(uint64_t page, std::span<const std::byte> payload) {
+bool SoftwareCache::Insert(uint64_t page, std::span<const std::byte> payload,
+                           std::optional<uint32_t> crc, bool corrupt_hint) {
   GIDS_CHECK(store_payloads_);
   GIDS_CHECK(payload.size() == line_bytes_);
   Shard& sh = shard_for(page);
   std::lock_guard<std::mutex> lock(sh.mu);
-  auto it = sh.index.find(page);
-  if (it != sh.index.end()) {
-    std::memcpy(sh.data.data() + it->second * line_bytes_, payload.data(),
-                line_bytes_);
-    return true;
+  if (verify_fill_) {
+    bool bad = corrupt_hint;
+    if (!bad && crc.has_value() && checksummer_ != nullptr) {
+      bad = checksummer_->Checksum(page, payload.data(), payload.size()) !=
+            *crc;
+    }
+    if (bad) {
+      ++sh.stats.fill_rejects;
+      return false;
+    }
   }
-  size_t slot = AcquireSlotLocked(sh, page);
-  if (slot == kNoSlot) return false;
+  auto it = sh.index.find(page);
+  size_t slot;
+  if (it != sh.index.end()) {
+    slot = it->second;
+  } else {
+    slot = AcquireSlotLocked(sh, page);
+    if (slot == kNoSlot) return false;
+  }
   std::memcpy(sh.data.data() + slot * line_bytes_, payload.data(),
               line_bytes_);
+  sh.lines[slot].crc = crc.value_or(0);
+  sh.lines[slot].has_crc = crc.has_value();
+  sh.lines[slot].corrupt_hint = corrupt_hint;
   return true;
 }
 
-bool SoftwareCache::InsertMeta(uint64_t page) {
+bool SoftwareCache::InsertMeta(uint64_t page, bool corrupt_hint) {
   Shard& sh = shard_for(page);
   std::lock_guard<std::mutex> lock(sh.mu);
-  if (sh.index.count(page) > 0) return true;
-  return AcquireSlotLocked(sh, page) != kNoSlot;
+  if (verify_fill_ && corrupt_hint) {
+    ++sh.stats.fill_rejects;
+    return false;
+  }
+  auto it = sh.index.find(page);
+  size_t slot;
+  if (it != sh.index.end()) {
+    slot = it->second;
+  } else {
+    slot = AcquireSlotLocked(sh, page);
+    if (slot == kNoSlot) return false;
+  }
+  sh.lines[slot].corrupt_hint = corrupt_hint;
+  return true;
 }
 
 void SoftwareCache::AddFutureReuse(uint64_t page, uint32_t count) {
@@ -250,6 +354,10 @@ const CacheStats& SoftwareCache::stats() const {
     merged.evictions += sh->stats.evictions;
     merged.pinned_probe_skips += sh->stats.pinned_probe_skips;
     merged.bypasses += sh->stats.bypasses;
+    merged.quarantines += sh->stats.quarantines;
+    merged.fill_rejects += sh->stats.fill_rejects;
+    merged.scrubbed_lines += sh->stats.scrubbed_lines;
+    merged.scrub_errors += sh->stats.scrub_errors;
   }
   merged_stats_ = merged;
   return merged_stats_;
@@ -279,6 +387,10 @@ void SoftwareCache::BindMetrics(obs::MetricRegistry* registry,
   counter("gids_cache_pinned_probe_skips_total",
           &CacheStats::pinned_probe_skips);
   counter("gids_cache_bypasses_total", &CacheStats::bypasses);
+  counter("gids_cache_quarantines_total", &CacheStats::quarantines);
+  counter("gids_cache_fill_rejects_total", &CacheStats::fill_rejects);
+  counter("gids_cache_scrubbed_lines_total", &CacheStats::scrubbed_lines);
+  counter("gids_cache_scrub_errors_total", &CacheStats::scrub_errors);
   registry->RegisterCallback("gids_cache_hit_ratio", labels,
                              MetricType::kGauge,
                              [this] { return stats().HitRatio(); });

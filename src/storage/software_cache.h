@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "obs/metric_registry.h"
+#include "storage/page_integrity.h"
 
 namespace gids::storage {
 
@@ -33,6 +35,10 @@ struct CacheStats {
   uint64_t evictions = 0;
   uint64_t pinned_probe_skips = 0;  // eviction probe landed on a USE line
   uint64_t bypasses = 0;            // no evictable line found; not cached
+  uint64_t quarantines = 0;     // lines evicted on checksum mismatch at hit
+  uint64_t fill_rejects = 0;    // corrupt payloads refused at insert
+  uint64_t scrubbed_lines = 0;  // resident lines scanned by the scrubber
+  uint64_t scrub_errors = 0;    // scrubber-found mismatches (quarantined)
 
   double HitRatio() const {
     return lookups == 0 ? 0.0
@@ -83,6 +89,34 @@ class SoftwareCache {
   SoftwareCache(uint64_t capacity_bytes, uint32_t line_bytes,
                 uint64_t seed = 0xcac4e, bool store_payloads = true,
                 uint32_t num_shards = 0);
+
+  /// Installs the integrity verify points (INTEGRITY.md). Each cache line
+  /// carries the write-time checksum its payload arrived with (payload
+  /// mode) or a corrupt-hint bit (metadata mode). `verify_fill` rejects
+  /// corrupt payloads at Insert; `verify_hit` re-verifies resident lines
+  /// on every hit and quarantines mismatches (the hit becomes a miss, so
+  /// the caller re-reads from storage and re-inserts). `checksummer` must
+  /// outlive the cache and is required for payload-mode verification;
+  /// lines inserted without a checksum carry no verifiable sum and are
+  /// skipped by payload verification (their corrupt-hint bit is still
+  /// honored). Call before use (not thread-safe against concurrent
+  /// operations).
+  void EnableIntegrity(const PageChecksummer* checksummer, bool verify_fill,
+                       bool verify_hit);
+
+  /// Result of one ScrubShard sweep.
+  struct ScrubResult {
+    uint64_t scanned = 0;  // resident lines checked
+    uint64_t errors = 0;   // mismatched lines (quarantined)
+  };
+
+  /// Background-scrubber entry point: verifies up to `max_lines` resident
+  /// lines of shard `shard`, resuming from a persistent per-shard cursor
+  /// so successive sweeps cycle the whole shard. Mismatched lines are
+  /// quarantined exactly like a verify_hit mismatch (works even when
+  /// verify_hit itself is off). Takes the shard lock; safe to run
+  /// concurrently with other shards' traffic.
+  ScrubResult ScrubShard(uint32_t shard, uint64_t max_lines);
 
   uint64_t capacity_lines() const { return total_lines_; }
   uint32_t line_bytes() const { return line_bytes_; }
@@ -139,7 +173,11 @@ class SoftwareCache {
 
   /// Metadata-mode insert: identical placement/eviction semantics to
   /// Insert without a payload. Returns true if resident after the call.
-  bool InsertMeta(uint64_t page);
+  /// `corrupt_hint` mirrors the functional path's taint tracking: it
+  /// marks the (absent) payload as silently corrupt, so counting-mode
+  /// verify points make the same reject/quarantine decisions a functional
+  /// run's CRC compares would.
+  bool InsertMeta(uint64_t page, bool corrupt_hint = false);
 
   bool store_payloads() const { return store_payloads_; }
 
@@ -148,7 +186,15 @@ class SoftwareCache {
   /// `max_probes` pinned probes the insertion is bypassed. Inserting a
   /// resident page refreshes its payload.
   /// Returns true if the page is resident after the call.
-  bool Insert(uint64_t page, std::span<const std::byte> payload);
+  ///
+  /// `crc` is the payload's write-time checksum (StorageArray's
+  /// ReadOutcome), stored on the line for hit-time and scrub
+  /// verification; `corrupt_hint` tags a payload known to be silently
+  /// corrupt (verification off at the storage level). Callers outside the
+  /// integrity configuration can ignore both defaults.
+  bool Insert(uint64_t page, std::span<const std::byte> payload,
+              std::optional<uint32_t> crc = std::nullopt,
+              bool corrupt_hint = false);
 
   /// Window buffering: registers `count` future reuses of `page`. Applies
   /// to the resident line immediately, or is remembered and applied if the
@@ -175,6 +221,13 @@ class SoftwareCache {
   struct Line {
     uint64_t page = 0;
     LineState state = LineState::kEmpty;
+    /// Write-time checksum of the payload (valid when has_crc); hit-time
+    /// and scrub verification recompute the payload sum against it.
+    uint32_t crc = 0;
+    bool has_crc = false;
+    /// Counting-mode taint: the payload this line stands for was served
+    /// silently corrupt (see InsertMeta).
+    bool corrupt_hint = false;
   };
 
   /// One lock stripe. Each shard is an independent mini-cache over a
@@ -190,6 +243,7 @@ class SoftwareCache {
     std::vector<size_t> free_slots;
     CacheStats stats;
     Rng rng{0};
+    size_t scrub_cursor = 0;  // next line ScrubShard resumes from
   };
 
   static constexpr size_t kNoSlot = static_cast<size_t>(-1);
@@ -206,9 +260,21 @@ class SoftwareCache {
   /// Shared placement logic; returns the slot or kNoSlot on bypass.
   /// Caller holds sh.mu.
   size_t AcquireSlotLocked(Shard& sh, uint64_t page);
+  /// Removes the mismatched line at `slot` from the shard: index entry
+  /// erased, slot freed, line emptied. The page's future-reuse entry (if
+  /// any) survives, so a repairing re-insert re-pins the line and window
+  /// buffering keeps its look-ahead guarantees. Caller holds sh.mu.
+  void QuarantineLocked(Shard& sh, size_t slot);
+  /// True when the resident line at `slot` fails its integrity check
+  /// (payload CRC mismatch, or a counting-mode corrupt hint). Caller
+  /// holds sh.mu.
+  bool LineCorruptLocked(const Shard& sh, size_t slot) const;
 
   bool store_payloads_;
   uint32_t line_bytes_;
+  const PageChecksummer* checksummer_ = nullptr;  // null = no payload verify
+  bool verify_fill_ = false;
+  bool verify_hit_ = false;
   int max_probes_ = 32;
   uint64_t total_lines_ = 0;
   uint32_t shard_mask_ = 0;   // num_shards - 1

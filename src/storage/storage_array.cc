@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -28,12 +29,47 @@ void StorageArray::EnableFaultInjection(const FaultOptions& faults,
                   : nullptr;
 }
 
-Status StorageArray::IssueRead(uint64_t page, std::span<std::byte> out) {
-  if (injector_ == nullptr) {
+void StorageArray::EnableIntegrity(const IntegrityOptions& integrity) {
+  integrity_ = integrity;
+  checksummer_ = PageChecksummer(integrity.crc_seed);
+}
+
+void StorageArray::EnsureChecksumTable() {
+  std::call_once(checksums_once_, [this] {
+    checksums_ = std::make_unique<std::atomic<uint64_t>[]>(num_pages());
+  });
+}
+
+uint32_t StorageArray::ExpectedChecksum(uint64_t page) {
+  EnsureChecksumTable();
+  std::atomic<uint64_t>& slot = checksums_[page];
+  uint64_t memo = slot.load(std::memory_order_acquire);
+  if (memo != 0) return static_cast<uint32_t>(memo);
+  // First touch of this page: regenerate ground truth from the device
+  // (corruption is injected above the device layer, so these bytes are
+  // the clean, write-time contents) and memoize the sum. Racing threads
+  // compute the same value, so the unconditional store is benign.
+  thread_local std::vector<std::byte> scratch;
+  scratch.resize(page_bytes());
+  Status s = device_->ReadBlock(page, std::span<std::byte>(scratch));
+  GIDS_CHECK(s.ok());
+  uint32_t crc = checksummer_.Checksum(page, scratch.data(), scratch.size());
+  slot.store((1ull << 32) | crc, std::memory_order_release);
+  return crc;
+}
+
+Status StorageArray::IssueRead(uint64_t page, std::span<std::byte> out,
+                               ReadOutcome* oc) {
+  const bool verify = integrity_.verify_reads;
+  if (injector_ == nullptr && !verify) {
     // Fault-free fast path: one doorbell, one (optional) device read.
     GIDS_RETURN_IF_ERROR(queues_.RoundTrip(page));
     if (!out.empty()) {
       GIDS_RETURN_IF_ERROR(device_->ReadBlock(page, out));
+      if (oc != nullptr && integrity_.enabled()) {
+        oc->crc = ExpectedChecksum(page);
+        oc->crc_known = true;
+      }
     }
     CountRead(page);
     return Status::OK();
@@ -42,42 +78,85 @@ Status StorageArray::IssueRead(uint64_t page, std::span<std::byte> out) {
   // Bounded-retry loop. Every attempt is a fresh NVMe command (its own
   // doorbell); failed attempts back off exponentially in virtual time.
   // All decisions are pure functions of (fault_seed, page, attempt), so
-  // the loop's counters are identical across runs and thread counts.
+  // the loop's counters are identical across runs and thread counts. A
+  // checksum mismatch (verify_reads) is a failed attempt like a transient
+  // error: the wasted service is charged and the page is re-read.
   const int device = DeviceFor(page);
   const TimeNs base_latency = spec_.read_latency_ns;
   TimeNs penalty_ns = 0;  // virtual time beyond one fault-free service
   const uint32_t attempts = retry_.max_retries + 1;
+  bool saw_mismatch = false;
+  bool last_fail_mismatch = false;
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
     GIDS_RETURN_IF_ERROR(queues_.RoundTrip(page));
-    FaultInjector::Attempt a =
-        injector_->Evaluate(page, device, attempt, base_latency);
+    FaultInjector::Attempt a;
+    if (injector_ != nullptr) {
+      a = injector_->Evaluate(page, device, attempt, base_latency);
+    }
     if (a.outcome == FaultInjector::Outcome::kOk) {
-      penalty_ns += a.extra_ns;  // latency spike on the winning attempt
+      bool mismatch = false;
       if (!out.empty()) {
         GIDS_RETURN_IF_ERROR(device_->ReadBlock(page, out));
+        if (a.corrupt) injector_->Corrupt(page, attempt, out);
       }
-      CountRead(page);
-      if (penalty_ns > 0) {
-        retry_penalty_ns_total_.fetch_add(static_cast<uint64_t>(penalty_ns),
-                                          std::memory_order_relaxed);
-        if (retry_latency_hist_ != nullptr) {
-          retry_latency_hist_->Observe(static_cast<uint64_t>(penalty_ns));
+      if (verify) {
+        verified_reads_total_.fetch_add(1, std::memory_order_relaxed);
+        penalty_ns += integrity_.crc_verify_ns;
+        if (!out.empty()) {
+          // The injected burst is at most 32 bits, inside CRC-32C's
+          // guaranteed detection window: the compare fails exactly when
+          // the attempt was corrupt, matching counting mode below.
+          mismatch = checksummer_.Checksum(page, out.data(), out.size()) !=
+                     ExpectedChecksum(page);
+        } else {
+          mismatch = a.corrupt;
         }
       }
-      return Status::OK();
-    }
-    // Failed attempt: charge what the command consumed before failing.
-    switch (a.outcome) {
-      case FaultInjector::Outcome::kTimeout:
-        timeouts_total_.fetch_add(1, std::memory_order_relaxed);
-        penalty_ns += base_latency + a.extra_ns;  // held until the deadline
-        break;
-      case FaultInjector::Outcome::kTransient:
-      case FaultInjector::Outcome::kOffline:
-        penalty_ns += base_latency;  // completed with an error status
-        break;
-      case FaultInjector::Outcome::kOk:
-        break;  // unreachable
+      if (!mismatch) {
+        penalty_ns += a.extra_ns;  // latency spike on the winning attempt
+        if (oc != nullptr) {
+          // With verification off, corrupt bytes are served silently; the
+          // caching layer remembers the taint so later verify points (or
+          // the scrubber) can still catch it.
+          oc->served_corrupt = a.corrupt;
+          if (!out.empty() && integrity_.enabled()) {
+            oc->crc = ExpectedChecksum(page);
+            oc->crc_known = true;
+          }
+        }
+        CountRead(page);
+        if (saw_mismatch) {
+          integrity_repairs_total_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (penalty_ns > 0) {
+          retry_penalty_ns_total_.fetch_add(static_cast<uint64_t>(penalty_ns),
+                                            std::memory_order_relaxed);
+          if (retry_latency_hist_ != nullptr) {
+            retry_latency_hist_->Observe(static_cast<uint64_t>(penalty_ns));
+          }
+        }
+        return Status::OK();
+      }
+      // Served but corrupt: the whole attempt was wasted.
+      checksum_mismatches_total_.fetch_add(1, std::memory_order_relaxed);
+      saw_mismatch = true;
+      last_fail_mismatch = true;
+      penalty_ns += base_latency + a.extra_ns;
+    } else {
+      last_fail_mismatch = false;
+      // Failed attempt: charge what the command consumed before failing.
+      switch (a.outcome) {
+        case FaultInjector::Outcome::kTimeout:
+          timeouts_total_.fetch_add(1, std::memory_order_relaxed);
+          penalty_ns += base_latency + a.extra_ns;  // held to the deadline
+          break;
+        case FaultInjector::Outcome::kTransient:
+        case FaultInjector::Outcome::kOffline:
+          penalty_ns += base_latency;  // completed with an error status
+          break;
+        case FaultInjector::Outcome::kOk:
+          break;  // unreachable
+      }
     }
     if (attempt + 1 < attempts) {
       retries_total_.fetch_add(1, std::memory_order_relaxed);
@@ -93,14 +172,21 @@ Status StorageArray::IssueRead(uint64_t page, std::span<std::byte> out) {
   if (retry_latency_hist_ != nullptr) {
     retry_latency_hist_->Observe(static_cast<uint64_t>(penalty_ns));
   }
+  if (last_fail_mismatch) {
+    data_loss_total_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DataLoss("page " + std::to_string(page) + ": " +
+                            std::to_string(attempts) +
+                            " attempts failed verification (unrepairable)");
+  }
   return Status::Unavailable("page " + std::to_string(page) + ": " +
                              std::to_string(attempts) +
                              " attempts failed (dead-lettered)");
 }
 
-Status StorageArray::ReadPage(uint64_t page, std::span<std::byte> out) {
+Status StorageArray::ReadPage(uint64_t page, std::span<std::byte> out,
+                              ReadOutcome* oc) {
   GIDS_CHECK(!out.empty());
-  return IssueRead(page, out);
+  return IssueRead(page, out, oc);
 }
 
 void StorageArray::BindMetrics(obs::MetricRegistry* registry,
@@ -146,6 +232,25 @@ void StorageArray::BindMetrics(obs::MetricRegistry* registry,
                    ? static_cast<double>(injector_->faults_injected())
                    : 0.0;
       });
+  registry->RegisterCallback(
+      "gids_storage_pages_corrupted_total", labels, MetricType::kCounter,
+      [this] {
+        return injector_ != nullptr
+                   ? static_cast<double>(injector_->pages_corrupted())
+                   : 0.0;
+      });
+  registry->RegisterCallback(
+      "gids_storage_verified_reads_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(verified_reads_total()); });
+  registry->RegisterCallback(
+      "gids_storage_checksum_mismatches_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(checksum_mismatches_total()); });
+  registry->RegisterCallback(
+      "gids_storage_integrity_repairs_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(integrity_repairs_total()); });
+  registry->RegisterCallback(
+      "gids_storage_data_loss_total", labels, MetricType::kCounter,
+      [this] { return static_cast<double>(data_loss_total()); });
   request_bytes_hist_ =
       registry->GetHistogram("gids_storage_request_bytes", labels);
   retry_latency_hist_ =
@@ -159,6 +264,10 @@ void StorageArray::ResetCounters() {
   dead_letters_total_.store(0, std::memory_order_relaxed);
   retry_backoff_ns_total_.store(0, std::memory_order_relaxed);
   retry_penalty_ns_total_.store(0, std::memory_order_relaxed);
+  verified_reads_total_.store(0, std::memory_order_relaxed);
+  checksum_mismatches_total_.store(0, std::memory_order_relaxed);
+  integrity_repairs_total_.store(0, std::memory_order_relaxed);
+  data_loss_total_.store(0, std::memory_order_relaxed);
   for (int d = 0; d < n_ssd_; ++d) {
     per_device_reads_[d].store(0, std::memory_order_relaxed);
   }

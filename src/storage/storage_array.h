@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 
 #include "common/check.h"
@@ -12,6 +13,7 @@
 #include "sim/ssd_model.h"
 #include "storage/block_device.h"
 #include "storage/fault_injector.h"
+#include "storage/page_integrity.h"
 #include "storage/queue_manager.h"
 
 namespace gids::storage {
@@ -32,8 +34,32 @@ namespace gids::storage {
 /// gather layer turns into a degraded (zero-filled, flagged) node instead
 /// of a failed epoch. Without an injector the read path is byte-for-byte
 /// the fault-free fast path.
+///
+/// With integrity verification enabled (EnableIntegrity, INTEGRITY.md),
+/// every served attempt is checked against the page's write-time CRC-32C;
+/// a mismatch is a failed attempt like any other — it backs off and
+/// re-reads under the same retry budget. A read that eventually verifies
+/// clean after at least one mismatch counts as one integrity repair; a
+/// read whose final attempt still fails verification dead-letters as
+/// Status::DataLoss (unrepairable corruption) rather than kUnavailable.
 class StorageArray {
  public:
+  /// Side-channel of one read, consumed by the caching layer (BamArray).
+  struct ReadOutcome {
+    /// The winning attempt carried silent corruption that verification is
+    /// not configured to catch: the caller received (or, in counting
+    /// mode, would have received) wrong bytes. Never true when
+    /// verify_reads is on — corrupt attempts are then repaired or
+    /// dead-lettered before they can win.
+    bool served_corrupt = false;
+    /// Write-time checksum of the clean page, for carrying into the cache
+    /// line. Valid only when crc_known (functional reads with integrity
+    /// enabled; counting mode moves no bytes and tracks corrupt hints
+    /// instead).
+    uint32_t crc = 0;
+    bool crc_known = false;
+  };
+
   /// `num_queues`/`queue_depth` size the per-GPU IO queue pairs (BaM
   /// defaults: 128 queues of depth 1024). The aggregate depth bounds the
   /// outstanding storage accesses the accumulator can maintain.
@@ -54,18 +80,40 @@ class StorageArray {
   const FaultInjector* fault_injector() const { return injector_.get(); }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Installs the integrity layer (INTEGRITY.md): a page-tagged CRC-32C
+  /// checksummer plus the configured verify points. Call before issuing
+  /// reads (not thread-safe against them). With verify_reads the read
+  /// loop verifies every served attempt even when no fault injector is
+  /// installed (the verification cost is still modeled).
+  void EnableIntegrity(const IntegrityOptions& integrity);
+  const IntegrityOptions& integrity() const { return integrity_; }
+  const PageChecksummer& checksummer() const { return checksummer_; }
+
+  /// Write-time checksum of `page`'s clean contents, computed lazily from
+  /// the backing device (the device regenerates ground truth; corruption
+  /// is injected above it) and memoized. Thread-safe.
+  uint32_t ExpectedChecksum(uint64_t page);
+
   /// Functional read of one page. Under fault injection, retries
   /// transparently; Status::Unavailable means the retries were exhausted
-  /// (dead-lettered) and `out` holds no valid data.
-  Status ReadPage(uint64_t page, std::span<std::byte> out);
+  /// (dead-lettered) and `out` holds no valid data; Status::DataLoss means
+  /// the page was served but never verified clean (unrepairable silent
+  /// corruption). `oc`, if given, receives the integrity side-channel.
+  Status ReadPage(uint64_t page, std::span<std::byte> out,
+                  ReadOutcome* oc = nullptr);
 
   /// Counting-mode read: records the access and drives the queue pair
   /// without moving bytes (used by the large-scale timing benchmarks).
-  /// Identical retry/fault decisions to ReadPage, so counting and
-  /// functional runs report the same retry/timeout/dead-letter counters.
-  /// Thread-safe: counters are atomic sums, so totals are independent of
-  /// the order concurrent gather shards issue their reads in.
-  Status NoteRead(uint64_t page) { return IssueRead(page, {}); }
+  /// Identical retry/fault/verification decisions to ReadPage (corruption
+  /// detection is modeled off the injector's decision, which the CRC
+  /// compare reproduces exactly — see FaultInjector::Corrupt), so
+  /// counting and functional runs report the same retry/timeout/repair/
+  /// dead-letter counters. Thread-safe: counters are atomic sums, so
+  /// totals are independent of the order concurrent gather shards issue
+  /// their reads in.
+  Status NoteRead(uint64_t page, ReadOutcome* oc = nullptr) {
+    return IssueRead(page, {}, oc);
+  }
 
   const QueueManager& queues() const { return queues_; }
   /// Maximum storage accesses that can be in flight across all queues.
@@ -103,12 +151,33 @@ class StorageArray {
     return retry_backoff_ns_total_.load(std::memory_order_relaxed);
   }
   /// Total virtual-time penalty of faults across all reads: backoff plus
-  /// failed-attempt service/timeout charges plus latency spikes. The
-  /// loader snapshots deltas of this ledger around each gather and folds
-  /// them into the iteration's aggregation time, so faults cost virtual
-  /// time end to end (FAULTS.md §2).
+  /// failed-attempt service/timeout charges plus latency spikes plus
+  /// checksum-verification time. The loader snapshots deltas of this
+  /// ledger around each gather and folds them into the iteration's
+  /// aggregation time, so faults (and verify-on-read overhead) cost
+  /// virtual time end to end (FAULTS.md §2).
   uint64_t retry_penalty_ns_total() const {
     return retry_penalty_ns_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Served attempts that were checksum-verified (verify_reads).
+  uint64_t verified_reads_total() const {
+    return verified_reads_total_.load(std::memory_order_relaxed);
+  }
+  /// Verified attempts whose checksum did not match (each was retried or
+  /// dead-lettered).
+  uint64_t checksum_mismatches_total() const {
+    return checksum_mismatches_total_.load(std::memory_order_relaxed);
+  }
+  /// Reads that saw at least one checksum mismatch and still completed
+  /// with verified-clean data (the re-read repaired them).
+  uint64_t integrity_repairs_total() const {
+    return integrity_repairs_total_.load(std::memory_order_relaxed);
+  }
+  /// Reads dead-lettered because their final attempt failed verification
+  /// (surfaced as Status::DataLoss; a subset of dead_letters_total).
+  uint64_t data_loss_total() const {
+    return data_loss_total_.load(std::memory_order_relaxed);
   }
 
   void ResetCounters();
@@ -122,7 +191,9 @@ class StorageArray {
 
  private:
   /// Shared fast/retry read path. An empty `out` span is counting mode.
-  Status IssueRead(uint64_t page, std::span<std::byte> out);
+  Status IssueRead(uint64_t page, std::span<std::byte> out, ReadOutcome* oc);
+  /// Allocates the lazy expected-checksum table on first use.
+  void EnsureChecksumTable();
   /// Post-success bookkeeping shared by both modes.
   void CountRead(uint64_t page) {
     total_reads_.fetch_add(1, std::memory_order_relaxed);
@@ -139,12 +210,23 @@ class StorageArray {
   QueueManager queues_;
   std::unique_ptr<FaultInjector> injector_;  // null = fault-free fast path
   RetryPolicy retry_;
+  IntegrityOptions integrity_;
+  PageChecksummer checksummer_{IntegrityOptions{}.crc_seed};
+  /// Lazy memo of write-time checksums: 0 = not yet computed, else
+  /// (1 << 32) | crc. Allocated on first ExpectedChecksum call so
+  /// counting-mode runs over terabyte-scale page spaces never pay for it.
+  std::unique_ptr<std::atomic<uint64_t>[]> checksums_;
+  std::once_flag checksums_once_;
   std::atomic<uint64_t> total_reads_{0};
   std::atomic<uint64_t> retries_total_{0};
   std::atomic<uint64_t> timeouts_total_{0};
   std::atomic<uint64_t> dead_letters_total_{0};
   std::atomic<uint64_t> retry_backoff_ns_total_{0};
   std::atomic<uint64_t> retry_penalty_ns_total_{0};
+  std::atomic<uint64_t> verified_reads_total_{0};
+  std::atomic<uint64_t> checksum_mismatches_total_{0};
+  std::atomic<uint64_t> integrity_repairs_total_{0};
+  std::atomic<uint64_t> data_loss_total_{0};
   std::unique_ptr<std::atomic<uint64_t>[]> per_device_reads_;
   obs::HistogramMetric* request_bytes_hist_ = nullptr;   // registry-owned
   obs::HistogramMetric* retry_latency_hist_ = nullptr;   // registry-owned

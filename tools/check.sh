@@ -3,9 +3,13 @@
 # the ASan/UBSan tree, and the ThreadSanitizer tree (CMakePresets.json).
 # The tsan preset builds only the concurrency test binary and runs the
 # `concurrency`-labelled tests (thread pool, sharded cache, parallel
-# gather, loader determinism). Also runs the documentation lint
+# gather, loader determinism, corruption-counter determinism). The
+# asan-ubsan preset additionally re-runs the `integrity`-labelled tests
+# (CRC32C, corruption repair, scrubber) on their own so checksum-path
+# memory errors fail loudly. Also runs the documentation lint
 # (tools/docs_lint.sh: dead intra-repo markdown links, undocumented
-# GidsOptions fields / gids_cli flags). Run from the repository root:
+# GidsOptions / FaultOptions / IntegrityOptions fields, gids_cli flags).
+# Run from the repository root:
 #
 #   tools/check.sh            # docs lint + all presets
 #   tools/check.sh default    # docs lint + one preset
@@ -28,6 +32,10 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$jobs"
   echo "=== [$preset] test"
   ctest --preset "$preset" -j "$jobs"
+  if [ "$preset" = "asan-ubsan" ]; then
+    echo "=== [$preset] integrity-labelled tests"
+    ctest --preset "$preset" -j "$jobs" -L integrity
+  fi
 done
 
 echo "=== all presets passed"

@@ -4,9 +4,11 @@
 #   1. Every relative markdown link in tracked *.md files must resolve to
 #      a file or directory in the repository (http(s)/mailto/anchor-only
 #      links are skipped; "#section" fragments are stripped first).
-#   2. Every GidsOptions field (src/core/gids_loader.h) and every
-#      gids_cli flag (tools/gids_cli.cc) must be mentioned in README.md
-#      or FAULTS.md, so new knobs cannot land undocumented.
+#   2. Every GidsOptions field (src/core/gids_loader.h), every
+#      FaultOptions field (src/storage/fault_injector.h), every
+#      IntegrityOptions field (src/storage/page_integrity.h), and every
+#      gids_cli flag (tools/gids_cli.cc) must be mentioned in README.md,
+#      FAULTS.md or INTEGRITY.md, so new knobs cannot land undocumented.
 #
 #   tools/docs_lint.sh            # lint everything
 set -euo pipefail
@@ -36,18 +38,27 @@ while IFS= read -r md; do
 done < <(git ls-files '*.md')
 
 # --- 2. every knob is documented ------------------------------------------
-doc_corpus=$(cat README.md FAULTS.md)
+doc_corpus=$(cat README.md FAULTS.md INTEGRITY.md)
 
-# GidsOptions fields: lines like "  <type> name = default;" inside the
+# Option-struct fields: lines like "  <type> name = default;" inside the
 # struct. Take the identifier immediately left of '='.
-fields=$(awk '/^struct GidsOptions \{/,/^\};/' src/core/gids_loader.h |
-  grep -E '^  [A-Za-z_].*=.*;' |
-  sed -E 's/ *=.*$//; s/.*[ *&]//')
-for field in $fields; do
-  if ! grep -qw -- "$field" <<<"$doc_corpus"; then
-    echo "docs-lint: GidsOptions::$field not documented in README.md or FAULTS.md"
-    fail=1
-  fi
+struct_fields() {  # struct_fields <StructName> <header>
+  awk "/^struct $1 \\{/,/^\\};/" "$2" |
+    grep -E '^  [A-Za-z_].*=.*;' |
+    sed -E 's/ *=.*$//; s/.*[ *&]//'
+}
+fields=""
+for spec in "GidsOptions src/core/gids_loader.h" \
+            "FaultOptions src/storage/fault_injector.h" \
+            "IntegrityOptions src/storage/page_integrity.h"; do
+  set -- $spec
+  for field in $(struct_fields "$1" "$2"); do
+    fields="$fields $field"
+    if ! grep -qw -- "$field" <<<"$doc_corpus"; then
+      echo "docs-lint: $1::$field not documented in README.md, FAULTS.md or INTEGRITY.md"
+      fail=1
+    fi
+  done
 done
 
 # gids_cli flags: every name passed to the Flags accessors.
@@ -55,7 +66,7 @@ flags=$(grep -oE 'flags\.(Get|Has)[A-Za-z]*\("[^"]+"' tools/gids_cli.cc |
   grep -oE '"[^"]+"' | tr -d '"' | sort -u)
 for flag in $flags; do
   if ! grep -q -- "--$flag" <<<"$doc_corpus"; then
-    echo "docs-lint: gids_cli flag --$flag not documented in README.md or FAULTS.md"
+    echo "docs-lint: gids_cli flag --$flag not documented in README.md, FAULTS.md or INTEGRITY.md"
     fail=1
   fi
 done

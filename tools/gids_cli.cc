@@ -243,6 +243,15 @@ int CmdRun(const Flags& flags) {
         static_cast<uint32_t>(flags.GetInt("io-max-retries", 4));
     opts.io_timeout_ns = UsToNs(flags.GetDouble("io-timeout-us", 1000.0));
     opts.io_backoff_ns = UsToNs(flags.GetDouble("io-backoff-us", 20.0));
+    // End-to-end data integrity (INTEGRITY.md).
+    opts.corruption_rate = flags.GetDouble("corruption-rate", 0.0);
+    opts.crc_seed =
+        static_cast<uint64_t>(flags.GetInt("crc-seed", 0xc3c32c));
+    opts.verify_reads = flags.GetBool("verify-reads");
+    opts.verify_cache_fill = flags.GetBool("verify-cache-fill");
+    opts.verify_cache_hit = flags.GetBool("verify-cache-hit");
+    opts.scrub_pages_per_iter =
+        static_cast<uint32_t>(flags.GetInt("scrub-pages-per-iter", 0));
     if (opts.use_cpu_buffer) {
       auto score = graph::WeightedReversePageRank(dataset.graph, {});
       hot_order = graph::RankNodesByScore(score);
@@ -294,6 +303,25 @@ int CmdRun(const Flags& flags) {
     std::printf("degraded:     %llu nodes zero-filled after exhausted "
                 "retries (see FAULTS.md)\n",
                 static_cast<unsigned long long>(m.gather.degraded_nodes));
+  }
+  if (m.gather.corrupt_nodes > 0) {
+    std::printf("corrupt:      %llu nodes zero-filled after unrepairable "
+                "checksum mismatches (see INTEGRITY.md)\n",
+                static_cast<unsigned long long>(m.gather.corrupt_nodes));
+  }
+  if (auto* gids = dynamic_cast<core::GidsLoader*>(loader.get());
+      gids != nullptr) {
+    const storage::StorageArray& sa = gids->storage_array();
+    if (sa.verified_reads_total() > 0) {
+      std::printf("integrity:    %llu reads verified, %llu mismatches, "
+                  "%llu repaired, %llu lost (see INTEGRITY.md)\n",
+                  static_cast<unsigned long long>(sa.verified_reads_total()),
+                  static_cast<unsigned long long>(
+                      sa.checksum_mismatches_total()),
+                  static_cast<unsigned long long>(
+                      sa.integrity_repairs_total()),
+                  static_cast<unsigned long long>(sa.data_loss_total()));
+    }
   }
 
   if (flags.Has("metrics-json")) {
@@ -407,7 +435,11 @@ void Usage() {
       "            --latency-spike-rate F --latency-spike-us U\n"
       "            --stuck-queue-rate F --offline-device D\n"
       "            --io-max-retries R --io-timeout-us U --io-backoff-us U\n"
-      "            (retry/degraded-mode policy; see FAULTS.md)]\n");
+      "            (retry/degraded-mode policy; see FAULTS.md)\n"
+      "            --corruption-rate F --crc-seed N --verify-reads\n"
+      "            --verify-cache-fill --verify-cache-hit\n"
+      "            --scrub-pages-per-iter P\n"
+      "            (checksums & silent-corruption repair; INTEGRITY.md)]\n");
 }
 
 }  // namespace
