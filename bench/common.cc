@@ -128,7 +128,7 @@ const std::vector<graph::NodeId>& CachedPageRankOrder(
 
 void ReportRow(const std::string& experiment, const std::string& label,
                double measured, double paper, const std::string& unit,
-               double wall_ms, int host_threads) {
+               double wall_ms, int host_threads, double dedup_ratio) {
   if (paper > 0) {
     std::printf("[%s] %-42s measured=%-12.4g paper=%-10.4g unit=%s\n",
                 experiment.c_str(), label.c_str(), measured, paper,
@@ -151,6 +151,9 @@ void ReportRow(const std::string& experiment, const std::string& label,
   }
   if (host_threads >= 0) {
     std::printf(",\"host_threads\":%d", host_threads);
+  }
+  if (dedup_ratio >= 0) {
+    std::printf(",\"dedup_ratio\":%s", obs::JsonNumber(dedup_ratio).c_str());
   }
   std::printf(",\"unit\":\"%s\"}\n", obs::JsonEscape(unit).c_str());
   std::fflush(stdout);

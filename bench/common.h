@@ -73,11 +73,14 @@ const std::vector<graph::NodeId>& CachedPageRankOrder(
 /// Emits one comparison row to stdout in a stable grep-able format:
 ///   [FIG13] IGB-Full/GIDS  measured=12.3  paper=10.0  unit=x
 /// plus a machine-readable RESULT_JSON twin. `wall_ms` (host wall-clock
-/// milliseconds, TrainRunResult::wall_ms) and `host_threads` are added to
-/// the JSON when non-negative.
+/// milliseconds, TrainRunResult::wall_ms), `host_threads`, and
+/// `dedup_ratio` (coalesced page requests / total page requests, the
+/// coalescing gather's fold fraction) are added to the JSON when
+/// non-negative.
 void ReportRow(const std::string& experiment, const std::string& label,
                double measured, double paper, const std::string& unit,
-               double wall_ms = -1.0, int host_threads = -1);
+               double wall_ms = -1.0, int host_threads = -1,
+               double dedup_ratio = -1.0);
 
 }  // namespace gids::bench
 

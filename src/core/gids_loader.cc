@@ -101,7 +101,8 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
     }
   }
   gatherer_ = std::make_unique<storage::FeatureGatherer>(
-      &fs, bam_.get(), cpu_buffer_.get(), pool_.get());
+      &fs, bam_.get(), cpu_buffer_.get(), pool_.get(),
+      options_.coalesce_pages);
   if (options_.use_window_buffering) {
     window_ = std::make_unique<WindowBuffer>(cache_.get(), &fs,
                                              cpu_buffer_.get());
@@ -151,6 +152,19 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
                           [this] {
                             return static_cast<double>(scrub_ns_total_);
                           });
+    reg->RegisterCallback(
+        "gids_gather_coalesced_total", labels, MetricType::kCounter, [this] {
+          return static_cast<double>(gather_coalesced_total_);
+        });
+    // Fraction of page-granular demand folded away by coalescing: 0 with
+    // the flag off, approaches 1 as batches grow more duplicate-heavy.
+    reg->RegisterCallback(
+        "gids_gather_dedup_ratio", labels, MetricType::kGauge, [this] {
+          double requests = static_cast<double>(gather_requests_total_);
+          return requests > 0
+                     ? static_cast<double>(gather_coalesced_total_) / requests
+                     : 0.0;
+        });
   }
 }
 
@@ -272,31 +286,68 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
 
   for (size_t i = 0; i < group; ++i) {
     Pending& p = pending_[i];
-    loaders::LoaderBatch& lb = group_batches[i];
-    loaders::IterationStats& st = lb.stats;
+    loaders::IterationStats& st = group_batches[i].stats;
     st.sampled_edges = p.batch.total_edges();
     st.input_nodes = p.batch.num_input_nodes();
     st.sampling_ns = p.sampling_ns;
     st.merged_group = static_cast<uint32_t>(group);
-
-    const uint64_t penalty_before = storage_->retry_penalty_ns_total();
-    const auto& nodes = p.batch.input_nodes();
-    if (options_.counting_mode) {
-      GIDS_RETURN_IF_ERROR(
-          gatherer_->GatherCountsOnly(nodes, &st.gather));
-    } else {
-      lb.features.resize(nodes.size() * fs.feature_dim());
-      GIDS_RETURN_IF_ERROR(gatherer_->Gather(
-          nodes, std::span<float>(lb.features), &st.gather));
-    }
     st.training_ns = system_->gpu().TrainTime(st.input_nodes);
-    retry_penalty[i] = static_cast<TimeNs>(storage_->retry_penalty_ns_total() -
-                                           penalty_before);
-    group_retry_penalty += retry_penalty[i];
-    group_counts.Add(st.gather);
     group_sampling += st.sampling_ns;
     group_training += st.training_ns;
-    lb.batch = std::move(p.batch);
+  }
+
+  if (options_.coalesce_pages) {
+    // One coalescing scope spanning the merged group: repeats *across*
+    // iterations also collapse to a single round-trip per distinct page.
+    // GatherGroup's per-slice accounting keeps per-iteration stats exact
+    // (sums equal the group totals).
+    std::vector<storage::GatherSlice> slices(group);
+    std::vector<storage::FeatureGatherCounts> slice_counts(group);
+    for (size_t i = 0; i < group; ++i) {
+      const auto& nodes = pending_[i].batch.input_nodes();
+      if (options_.counting_mode) {
+        slices[i] = storage::GatherSlice{nodes, {}};
+      } else {
+        group_batches[i].features.resize(nodes.size() * fs.feature_dim());
+        slices[i] = storage::GatherSlice{
+            nodes, std::span<float>(group_batches[i].features)};
+      }
+    }
+    const uint64_t penalty_before = storage_->retry_penalty_ns_total();
+    GIDS_RETURN_IF_ERROR(gatherer_->GatherGroup(
+        slices, std::span<storage::FeatureGatherCounts>(slice_counts)));
+    // The retry/backoff ledger is group-scoped here (one gather call);
+    // only the non-accumulator branch reads per-iteration penalties, and
+    // it always runs with group == 1, so charging index 0 is exact.
+    group_retry_penalty = static_cast<TimeNs>(
+        storage_->retry_penalty_ns_total() - penalty_before);
+    retry_penalty[0] = group_retry_penalty;
+    for (size_t i = 0; i < group; ++i) {
+      group_batches[i].stats.gather = slice_counts[i];
+      group_counts.Add(slice_counts[i]);
+      group_batches[i].batch = std::move(pending_[i].batch);
+    }
+  } else {
+    for (size_t i = 0; i < group; ++i) {
+      Pending& p = pending_[i];
+      loaders::LoaderBatch& lb = group_batches[i];
+      loaders::IterationStats& st = lb.stats;
+      const uint64_t penalty_before = storage_->retry_penalty_ns_total();
+      const auto& nodes = p.batch.input_nodes();
+      if (options_.counting_mode) {
+        GIDS_RETURN_IF_ERROR(
+            gatherer_->GatherCountsOnly(nodes, &st.gather));
+      } else {
+        lb.features.resize(nodes.size() * fs.feature_dim());
+        GIDS_RETURN_IF_ERROR(gatherer_->Gather(
+            nodes, std::span<float>(lb.features), &st.gather));
+      }
+      retry_penalty[i] = static_cast<TimeNs>(
+          storage_->retry_penalty_ns_total() - penalty_before);
+      group_retry_penalty += retry_penalty[i];
+      group_counts.Add(st.gather);
+      lb.batch = std::move(p.batch);
+    }
   }
   pending_.erase(pending_.begin(), pending_.begin() + group);
 
@@ -308,9 +359,11 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
     ac.cpu_buffer_hits = group_counts.cpu_buffer_hits;
     ac.ssd_reads = group_counts.storage_reads;
     ac.page_bytes = fs.page_bytes();
+    // Only serviced requests occupy queue slots: coalesced-away accesses
+    // piggyback on a sibling's in-flight read and never hit a doorbell.
     ac.outstanding_accesses = std::min(
-        {group_counts.total_page_requests(), accumulator_->CurrentThreshold(),
-         storage_->queue_capacity()});
+        {group_counts.serviced_page_requests(),
+         accumulator_->CurrentThreshold(), storage_->queue_capacity()});
     sim::AggregationTiming timing =
         sim::ComputeAggregationTiming(*system_, ac);
     // Retries, backoff, and latency spikes extend the merged kernel's
@@ -339,7 +392,7 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
       ac.cpu_buffer_hits = st.gather.cpu_buffer_hits;
       ac.ssd_reads = st.gather.storage_reads;
       ac.page_bytes = fs.page_bytes();
-      ac.outstanding_accesses = std::min(st.gather.total_page_requests(),
+      ac.outstanding_accesses = std::min(st.gather.serviced_page_requests(),
                                          storage_->queue_capacity());
       sim::AggregationTiming timing =
           sim::ComputeAggregationTiming(*system_, ac);
@@ -395,6 +448,11 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
     scrub_ns_total_.fetch_add(scanned * options_.crc_verify_ns,
                               std::memory_order_relaxed);
   }
+
+  gather_coalesced_total_.fetch_add(group_counts.coalesced_requests,
+                                    std::memory_order_relaxed);
+  gather_requests_total_.fetch_add(group_counts.total_page_requests(),
+                                   std::memory_order_relaxed);
 
   accumulator_->Observe(group_counts);
 

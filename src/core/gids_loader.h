@@ -62,6 +62,15 @@ struct GidsOptions {
   /// Counting mode skips payload movement (timing-only runs).
   bool counting_mode = false;
 
+  /// Page-coalescing gather (DESIGN.md §10): each distinct storage page in
+  /// a merged group is serviced by exactly one cache/storage round-trip
+  /// and scattered to every requesting output row — duplicate nodes, rows
+  /// sharing a page, and repeats across accumulator-merged iterations all
+  /// collapse, the way concurrent same-page requests coalesce in the BaM
+  /// I/O stack (§2). Off (default) keeps the access-per-row path bit for
+  /// bit.
+  bool coalesce_pages = false;
+
   /// Host-side data-preparation parallelism: worker threads for the
   /// parallel sampling of accumulator-merged iterations and the sharded
   /// feature gather. 1 keeps preparation on the calling thread. Results
@@ -247,6 +256,11 @@ class GidsLoader : public loaders::DataLoader {
   std::atomic<uint64_t> scrub_pages_total_{0};
   std::atomic<uint64_t> scrub_errors_total_{0};
   std::atomic<uint64_t> scrub_ns_total_{0};
+
+  // Page-coalescing accounting (DESIGN.md §10), accumulated per prepared
+  // group. Atomic for the same prefetch-vs-snapshot reason as above.
+  std::atomic<uint64_t> gather_coalesced_total_{0};
+  std::atomic<uint64_t> gather_requests_total_{0};
 
   std::mutex obs_mu_;
   std::unique_ptr<loaders::LoaderObserver> observer_;

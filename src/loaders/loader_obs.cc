@@ -7,7 +7,8 @@ namespace {
 
 constexpr const char* kStageNames[] = {"sampling", "aggregation", "transfer",
                                        "training"};
-constexpr const char* kPathNames[] = {"cpu_buffer", "gpu_cache", "storage"};
+constexpr const char* kPathNames[] = {"cpu_buffer", "gpu_cache", "storage",
+                                      "coalesced"};
 
 }  // namespace
 
@@ -27,7 +28,7 @@ LoaderObserver::LoaderObserver(obs::MetricRegistry* metrics,
     e2e_ns_total_ = metrics_->GetCounter("gids_loader_e2e_ns_total", labels_);
     sampled_edges_total_ =
         metrics_->GetCounter("gids_loader_sampled_edges_total", labels_);
-    for (int p = 0; p < 3; ++p) {
+    for (int p = 0; p < 4; ++p) {
       obs::Labels path_labels = labels_;
       path_labels.emplace_back("path", kPathNames[p]);
       gather_pages_total_[p] =
@@ -63,6 +64,7 @@ void LoaderObserver::RecordIteration(const IterationStats& stats) {
     gather_pages_total_[0]->Inc(stats.gather.cpu_buffer_hits);
     gather_pages_total_[1]->Inc(stats.gather.gpu_cache_hits);
     gather_pages_total_[2]->Inc(stats.gather.storage_reads);
+    gather_pages_total_[3]->Inc(stats.gather.coalesced_requests);
     degraded_nodes_total_->Inc(stats.gather.degraded_nodes);
     corrupt_nodes_total_->Inc(stats.gather.corrupt_nodes);
     e2e_ns_hist_->Observe(static_cast<uint64_t>(stats.e2e_ns));

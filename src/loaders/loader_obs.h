@@ -17,9 +17,13 @@ namespace gids::loaders {
 ///  - metrics (label {loader=<name>}): gids_loader_iterations_total,
 ///    gids_loader_stage_ns_total{stage=...}, gids_loader_e2e_ns_total,
 ///    gids_loader_sampled_edges_total,
-///    gids_loader_gather_pages_total{path=cpu_buffer|gpu_cache|storage}
+///    gids_loader_gather_pages_total
+///    {path=cpu_buffer|gpu_cache|storage|coalesced}
 ///    (path=cpu_buffer means "served host-side": the constant CPU buffer
-///    for GIDS, the OS page cache for mmap, the Belady cache for Ginex),
+///    for GIDS, the OS page cache for mmap, the Belady cache for Ginex;
+///    path=coalesced counts page requests folded into a same-page
+///    sibling's round-trip by the coalescing gather, 0 unless
+///    coalesce_pages is on),
 ///    and histograms gids_loader_e2e_ns / gids_loader_input_nodes;
 ///
 ///  - trace spans in virtual time: one "iteration" span per iteration on
@@ -64,7 +68,8 @@ class LoaderObserver {
   obs::Counter* stage_ns_total_[kNumStages] = {};
   obs::Counter* e2e_ns_total_ = nullptr;
   obs::Counter* sampled_edges_total_ = nullptr;
-  obs::Counter* gather_pages_total_[3] = {};  // cpu_buffer, gpu_cache, storage
+  // cpu_buffer, gpu_cache, storage, coalesced
+  obs::Counter* gather_pages_total_[4] = {};
   obs::Counter* degraded_nodes_total_ = nullptr;
   obs::Counter* corrupt_nodes_total_ = nullptr;
   obs::HistogramMetric* e2e_ns_hist_ = nullptr;

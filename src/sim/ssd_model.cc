@@ -99,15 +99,25 @@ SsdBatchResult SimulateStripedClosedLoop(const SsdSpec& spec, int n_ssd,
   SsdBatchResult agg;
   agg.requests = n;
   if (n == 0) return agg;
-  uint64_t per_ssd_conc =
-      std::max<uint64_t>(1, concurrency / static_cast<uint64_t>(n_ssd));
+  GIDS_CHECK(concurrency > 0);
+  // With fewer outstanding requests than devices, only `concurrency`
+  // devices can hold a request at any instant; modeling every device with
+  // a window of one would overstate the aggregate window (n_ssd
+  // outstanding instead of `concurrency`). Collapse to that many active
+  // devices so a queue depth of 1 behaves like a single SSD.
+  const uint64_t active =
+      std::min<uint64_t>(static_cast<uint64_t>(n_ssd), concurrency);
   TimeNs max_duration = 0;
-  for (int d = 0; d < n_ssd; ++d) {
-    uint64_t share = n / static_cast<uint64_t>(n_ssd) +
-                     (static_cast<uint64_t>(d) < n % n_ssd ? 1 : 0);
+  for (uint64_t d = 0; d < active; ++d) {
+    uint64_t share = n / active + (d < n % active ? 1 : 0);
     if (share == 0) continue;
-    SsdModel model(spec, seed + static_cast<uint64_t>(d) * 0x9e37ull);
-    SsdBatchResult r = model.SimulateClosedLoop(share, per_ssd_conc);
+    // Distribute the closed-loop window like the request share: the first
+    // (concurrency % active) devices take the remainder, so e.g. 7
+    // outstanding over 4 SSDs models 2+2+2+1 instead of truncating to 1
+    // per device and dropping 3 requests from the window.
+    uint64_t conc = concurrency / active + (d < concurrency % active ? 1 : 0);
+    SsdModel model(spec, seed + d * 0x9e37ull);
+    SsdBatchResult r = model.SimulateClosedLoop(share, conc);
     max_duration = std::max(max_duration, r.duration_ns);
   }
   agg.duration_ns = max_duration;

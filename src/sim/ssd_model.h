@@ -85,8 +85,12 @@ class SsdModel {
 };
 
 /// Simulates `n` reads striped round-robin over `n_ssd` identical devices,
-/// with the closed-loop window `concurrency` split evenly across devices.
-/// Returns the aggregate result (duration = slowest device).
+/// with the closed-loop window `concurrency` distributed across devices
+/// like the request share (the first `concurrency % n_ssd` devices carry
+/// one extra outstanding request). When `concurrency < n_ssd` only
+/// `concurrency` devices are active — fewer outstanding requests than
+/// devices cannot keep every device busy. Returns the aggregate result
+/// (duration = slowest device).
 SsdBatchResult SimulateStripedClosedLoop(const SsdSpec& spec, int n_ssd,
                                          uint64_t n, uint64_t concurrency,
                                          uint64_t seed = 0x57717e);

@@ -16,7 +16,7 @@ BamArray::BamArray(StorageArray* storage, SoftwareCache* cache)
 }
 
 Status BamArray::ReadPage(uint64_t page, std::span<std::byte> out,
-                          GatherCounts* counts) {
+                          GatherCounts* counts, uint32_t reuses) {
   GIDS_CHECK(counts != nullptr);
   if (out.size() != page_bytes()) {
     return Status::InvalidArgument("output size must equal page size");
@@ -26,7 +26,7 @@ Status BamArray::ReadPage(uint64_t page, std::span<std::byte> out,
     // insertion into the same shard cannot tear the payload. A hit-time
     // integrity mismatch surfaces here as a miss (the line was
     // quarantined) and falls through to the repairing storage read.
-    if (cache_->LookupInto(page, out)) {
+    if (cache_->LookupInto(page, out, reuses)) {
       ++counts->cache_hits;
       return Status::OK();
     }
@@ -43,9 +43,10 @@ Status BamArray::ReadPage(uint64_t page, std::span<std::byte> out,
   return Status::OK();
 }
 
-Status BamArray::TouchPage(uint64_t page, GatherCounts* counts) {
+Status BamArray::TouchPage(uint64_t page, GatherCounts* counts,
+                           uint32_t reuses) {
   GIDS_CHECK(counts != nullptr);
-  if (cache_ != nullptr && cache_->Touch(page)) {
+  if (cache_ != nullptr && cache_->Touch(page, reuses)) {
     ++counts->cache_hits;
     return Status::OK();
   }

@@ -35,14 +35,20 @@ class BamArray {
   /// fault injection, Status::Unavailable means the storage read exhausted
   /// its retries (nothing was cached); the gather layer degrades the
   /// affected rows instead of failing (see FAULTS.md).
+  ///
+  /// `reuses` is how many registered window-buffer reuses this access
+  /// drains from the cache (SoftwareCache::LookupInto): the page-coalesced
+  /// gather services one read on behalf of `reuses` coalesced requests.
+  /// The default of 1 is the plain uncoalesced access.
   Status ReadPage(uint64_t page, std::span<std::byte> out,
-                  GatherCounts* counts);
+                  GatherCounts* counts, uint32_t reuses = 1);
 
   /// Counting-mode access: identical cache behaviour (hit/miss, eviction,
   /// reuse-counter consumption) without moving payload bytes. Returns the
   /// same fault/retry outcome ReadPage would (Status::Unavailable on
-  /// exhausted retries; failed reads insert no cache metadata).
-  Status TouchPage(uint64_t page, GatherCounts* counts);
+  /// exhausted retries; failed reads insert no cache metadata). `reuses`
+  /// as in ReadPage.
+  Status TouchPage(uint64_t page, GatherCounts* counts, uint32_t reuses = 1);
 
  private:
   StorageArray* storage_;

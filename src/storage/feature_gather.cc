@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 
@@ -11,8 +13,12 @@ namespace gids::storage {
 FeatureGatherer::FeatureGatherer(const graph::FeatureStore* layout,
                                  BamArray* array,
                                  const HotNodeBuffer* hot_buffer,
-                                 ThreadPool* pool)
-    : layout_(layout), array_(array), hot_buffer_(hot_buffer), pool_(pool) {
+                                 ThreadPool* pool, bool coalesce_pages)
+    : layout_(layout),
+      array_(array),
+      hot_buffer_(hot_buffer),
+      pool_(pool),
+      coalesce_pages_(coalesce_pages) {
   GIDS_CHECK(layout_ != nullptr);
   GIDS_CHECK(array_ != nullptr);
   GIDS_CHECK(layout_->page_bytes() == array_->page_bytes());
@@ -31,11 +37,23 @@ uint32_t FeatureGatherer::BucketFor(uint64_t page) const {
          (cacheless_buckets_ - 1);
 }
 
-Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
-                                   float* out, FeatureGatherCounts* counts) {
-  GIDS_CHECK(counts != nullptr);
-  const size_t n = nodes.size();
+Status FeatureGatherer::GatherImpl(
+    std::span<const GatherSlice> slices,
+    std::span<FeatureGatherCounts> per_slice_counts) {
+  GIDS_CHECK(per_slice_counts.size() == slices.size());
+  const uint32_t num_slices = static_cast<uint32_t>(slices.size());
+  // Slice-major global node order: slice s's nodes occupy global indices
+  // [slice_begin[s], slice_begin[s + 1]). This is the canonical order the
+  // serial uncoalesced gather replays, so a one-slice group is
+  // bit-identical to the pre-group Gather.
+  std::vector<size_t> slice_begin(num_slices + 1, 0);
+  for (uint32_t s = 0; s < num_slices; ++s) {
+    slice_begin[s + 1] = slice_begin[s] + slices[s].nodes.size();
+  }
+  const size_t n = slice_begin.back();
   if (n == 0) return Status::OK();
+  bool functional = false;
+  for (const GatherSlice& sl : slices) functional |= !sl.out.empty();
   const uint32_t dim = layout_->feature_dim();
   const uint64_t page_bytes = layout_->page_bytes();
   const uint64_t feat_bytes = layout_->feature_bytes_per_node();
@@ -48,12 +66,13 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
   // sequence the serial gather would have issued.
   struct Access {
     uint64_t page;
-    size_t node;  // index into `nodes`
+    uint32_t slice;  // index into `slices`
+    size_t node;     // index into that slice's `nodes`
   };
   struct ChunkOut {
     std::vector<std::vector<Access>> per_bucket;
-    uint64_t cpu_hits = 0;
-    size_t first_bad = std::numeric_limits<size_t>::max();
+    std::vector<uint64_t> cpu_hits;  // per slice
+    bool bad_node = false;
   };
 
   const size_t workers = pool_ != nullptr ? pool_->num_threads() : 1;
@@ -66,26 +85,36 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
   auto phase1 = [&](size_t c) {
     ChunkOut& co = chunks[c];
     co.per_bucket.resize(buckets);
+    co.cpu_hits.resize(num_slices, 0);
     const size_t begin = c * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
-    for (size_t i = begin; i < end; ++i) {
-      graph::NodeId v = nodes[i];
+    // Locate the slice holding the chunk's first node, then walk forward;
+    // chunks may straddle slice boundaries.
+    uint32_t s = static_cast<uint32_t>(
+        std::upper_bound(slice_begin.begin(), slice_begin.end(), begin) -
+        slice_begin.begin() - 1);
+    for (size_t g = begin; g < end; ++g) {
+      while (g >= slice_begin[s + 1]) ++s;
+      const GatherSlice& sl = slices[s];
+      const size_t i = g - slice_begin[s];
+      graph::NodeId v = sl.nodes[i];
       if (v >= layout_->num_nodes()) {
-        co.first_bad = std::min(co.first_bad, i);
+        co.bad_node = true;
         continue;
       }
       auto range = layout_->PagesFor(v);
       if (hot_buffer_ != nullptr && hot_buffer_->Contains(v)) {
-        if (out != nullptr) {
-          hot_buffer_->Fill(v, std::span<float>(out + i * dim, dim));
+        if (functional) {
+          hot_buffer_->Fill(
+              v, std::span<float>(sl.out.data() + i * dim, dim));
         }
         // Account the same page-granularity traffic this node would have
         // cost on the storage path, now crossing PCIe from host DRAM.
-        co.cpu_hits += range.count();
+        co.cpu_hits[s] += range.count();
         continue;
       }
       for (uint64_t page = range.first; page <= range.last; ++page) {
-        co.per_bucket[BucketFor(page)].push_back(Access{page, i});
+        co.per_bucket[BucketFor(page)].push_back(Access{page, s, i});
       }
     }
   };
@@ -96,13 +125,12 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
   }
 
   for (const ChunkOut& co : chunks) {
-    if (co.first_bad != std::numeric_limits<size_t>::max()) {
-      return Status::OutOfRange("node id beyond feature store");
-    }
+    if (co.bad_node) return Status::OutOfRange("node id beyond feature store");
   }
 
   // Concatenate chunk buckets in chunk order: chunks cover contiguous,
-  // increasing node ranges, so this restores global node order per bucket.
+  // increasing global node ranges, so this restores slice-major node order
+  // per bucket.
   std::vector<std::vector<Access>> seq(buckets);
   for (uint32_t b = 0; b < buckets; ++b) {
     size_t total = 0;
@@ -114,65 +142,120 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
     }
   }
 
+  // (slice, node) identifies one output row across the group.
+  using RowId = std::pair<uint32_t, size_t>;
   struct BucketOut {
-    GatherCounts gc;
+    std::vector<GatherCounts> gc;        // per slice
+    std::vector<uint64_t> coalesced;     // per slice: folded-away accesses
+    std::vector<uint64_t> distinct;      // per slice: groups serviced
     Status status = Status::OK();
-    std::vector<size_t> degraded;  // node indices with a dead-lettered page
-    std::vector<size_t> corrupt;   // node indices with an unrepairable page
+    std::vector<RowId> degraded;  // rows with a dead-lettered page
+    std::vector<RowId> corrupt;   // rows with an unrepairable page
   };
   std::vector<BucketOut> bucket_out(buckets);
+
+  // Copies (or zero-fills) the intersection of `a`'s page and its row.
+  auto scatter = [&](const Access& a, const std::byte* page_buf, bool zero) {
+    const GatherSlice& sl = slices[a.slice];
+    graph::NodeId v = sl.nodes[a.node];
+    uint64_t node_begin = layout_->ByteOffset(v);
+    std::byte* row_bytes =
+        reinterpret_cast<std::byte*>(sl.out.data() + a.node * dim);
+    uint64_t page_begin = a.page * page_bytes;
+    uint64_t lo = std::max(node_begin, page_begin);
+    uint64_t hi = std::min(node_begin + feat_bytes, page_begin + page_bytes);
+    if (zero) {
+      std::memset(row_bytes + (lo - node_begin), 0, hi - lo);
+    } else {
+      std::memcpy(row_bytes + (lo - node_begin),
+                  page_buf + (lo - page_begin), hi - lo);
+    }
+  };
+  // Services `page` once through the cache/storage path, charging `slice`
+  // and draining `reuses` window pins. Returns false when the bucket must
+  // abort (bo.status set).
+  auto service = [&](BucketOut& bo, uint64_t page, uint32_t slice,
+                     uint32_t reuses, std::byte* page_buf, bool* degraded,
+                     bool* corrupt) {
+    GatherCounts gc;
+    Status s =
+        functional
+            ? array_->ReadPage(
+                  page, std::span<std::byte>(page_buf, page_bytes), &gc,
+                  reuses)
+            : array_->TouchPage(page, &gc, reuses);
+    if (s.code() == StatusCode::kUnavailable) {
+      // Retries exhausted (FAULTS.md): serve the page as zeroes and flag
+      // the rows rather than failing the whole gather.
+      *degraded = true;
+    } else if (s.code() == StatusCode::kDataLoss) {
+      // Never verified clean (INTEGRITY.md): same zero-fill degradation,
+      // separate accounting.
+      *corrupt = true;
+    } else if (!s.ok()) {
+      bo.status = std::move(s);
+      return false;
+    }
+    bo.gc[slice].cache_hits += gc.cache_hits;
+    bo.gc[slice].storage_reads += gc.storage_reads;
+    return true;
+  };
+
   auto phase2 = [&](size_t b) {
     BucketOut& bo = bucket_out[b];
-    std::vector<std::byte> page_buf(out != nullptr ? page_bytes : 0);
+    bo.gc.resize(num_slices);
+    bo.coalesced.resize(num_slices, 0);
+    bo.distinct.resize(num_slices, 0);
+    std::vector<std::byte> page_buf(functional ? page_bytes : 0);
+    if (!coalesce_pages_) {
+      for (const Access& a : seq[b]) {
+        bool degraded = false;
+        bool corrupt = false;
+        if (!service(bo, a.page, a.slice, 1, page_buf.data(), &degraded,
+                     &corrupt)) {
+          return;
+        }
+        if (degraded) bo.degraded.push_back({a.slice, a.node});
+        if (corrupt) bo.corrupt.push_back({a.slice, a.node});
+        if (functional) scatter(a, page_buf.data(), degraded || corrupt);
+      }
+      return;
+    }
+    // Coalescing: group the bucket's canonical sequence by page in
+    // first-occurrence order (a pure function of the sequence, so still
+    // bit-identical at any thread count), service each distinct page once
+    // — charged to the first requester's slice, draining every member's
+    // window pin — and fan the payload, or the degraded zero-fill, out to
+    // every requesting row.
+    std::vector<uint64_t> order;
+    std::unordered_map<uint64_t, std::vector<Access>> groups;
+    order.reserve(seq[b].size());
     for (const Access& a : seq[b]) {
-      GatherCounts gc;
+      auto [it, inserted] = groups.try_emplace(a.page);
+      if (inserted) order.push_back(a.page);
+      it->second.push_back(a);
+    }
+    for (uint64_t page : order) {
+      const std::vector<Access>& members = groups[page];
       bool degraded = false;
       bool corrupt = false;
-      if (out != nullptr) {
-        Status s = array_->ReadPage(
-            a.page, std::span<std::byte>(page_buf.data(), page_bytes), &gc);
-        if (s.code() == StatusCode::kUnavailable) {
-          // Retries exhausted (FAULTS.md): serve the page as zeroes and
-          // flag the node rather than failing the whole gather.
-          degraded = true;
-        } else if (s.code() == StatusCode::kDataLoss) {
-          // Never verified clean (INTEGRITY.md): same zero-fill
-          // degradation, separate accounting.
-          corrupt = true;
-        } else if (!s.ok()) {
-          bo.status = std::move(s);
-          return;
-        }
-      } else {
-        Status s = array_->TouchPage(a.page, &gc);
-        if (s.code() == StatusCode::kUnavailable) {
-          degraded = true;
-        } else if (s.code() == StatusCode::kDataLoss) {
-          corrupt = true;
-        } else if (!s.ok()) {
-          bo.status = std::move(s);
-          return;
-        }
+      if (!service(bo, page, members.front().slice,
+                   static_cast<uint32_t>(members.size()), page_buf.data(),
+                   &degraded, &corrupt)) {
+        return;
       }
-      bo.gc.cache_hits += gc.cache_hits;
-      bo.gc.storage_reads += gc.storage_reads;
-      if (degraded) bo.degraded.push_back(a.node);
-      if (corrupt) bo.corrupt.push_back(a.node);
-      if (out != nullptr) {
-        graph::NodeId v = nodes[a.node];
-        uint64_t node_begin = layout_->ByteOffset(v);
-        std::byte* row_bytes =
-            reinterpret_cast<std::byte*>(out + a.node * dim);
-        uint64_t page_begin = a.page * page_bytes;
-        uint64_t lo = std::max(node_begin, page_begin);
-        uint64_t hi =
-            std::min(node_begin + feat_bytes, page_begin + page_bytes);
-        if (degraded || corrupt) {
-          std::memset(row_bytes + (lo - node_begin), 0, hi - lo);
-        } else {
-          std::memcpy(row_bytes + (lo - node_begin),
-                      page_buf.data() + (lo - page_begin), hi - lo);
-        }
+      // A dead-lettered group charges no traffic counter at all — exactly
+      // like the uncoalesced path, where a failed access shows up only in
+      // degraded/corrupt_nodes. This keeps total_page_requests() (the
+      // accumulator's denominator) identical with coalescing on or off.
+      const bool served = !degraded && !corrupt;
+      if (served) ++bo.distinct[members.front().slice];
+      for (size_t m = 0; m < members.size(); ++m) {
+        const Access& a = members[m];
+        if (m > 0 && served) ++bo.coalesced[a.slice];
+        if (degraded) bo.degraded.push_back({a.slice, a.node});
+        if (corrupt) bo.corrupt.push_back({a.slice, a.node});
+        if (functional) scatter(a, page_buf.data(), degraded || corrupt);
       }
     }
   };
@@ -186,28 +269,40 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
     if (!bucket_out[b].status.ok()) return bucket_out[b].status;
   }
 
-  counts->nodes += n;
-  for (const ChunkOut& co : chunks) counts->cpu_buffer_hits += co.cpu_hits;
-  for (const BucketOut& bo : bucket_out) {
-    counts->gpu_cache_hits += bo.gc.cache_hits;
-    counts->storage_reads += bo.gc.storage_reads;
+  for (uint32_t s = 0; s < num_slices; ++s) {
+    per_slice_counts[s].nodes += slices[s].nodes.size();
   }
-  // A node's pages may land in different buckets, so union the per-bucket
-  // degraded/corrupt indices to count each affected node exactly once.
-  // The union is order-independent: the count is identical at every
-  // thread count.
-  auto count_union = [&](std::vector<size_t> BucketOut::* field,
+  for (const ChunkOut& co : chunks) {
+    for (uint32_t s = 0; s < num_slices; ++s) {
+      per_slice_counts[s].cpu_buffer_hits += co.cpu_hits[s];
+    }
+  }
+  for (const BucketOut& bo : bucket_out) {
+    for (uint32_t s = 0; s < num_slices; ++s) {
+      per_slice_counts[s].gpu_cache_hits += bo.gc[s].cache_hits;
+      per_slice_counts[s].storage_reads += bo.gc[s].storage_reads;
+      per_slice_counts[s].coalesced_requests += bo.coalesced[s];
+      per_slice_counts[s].distinct_pages += bo.distinct[s];
+    }
+  }
+  // A row's pages may land in different buckets, so union the per-bucket
+  // degraded/corrupt row ids to count each affected row exactly once, in
+  // its own slice. The union is order-independent: the counts are
+  // identical at every thread count and with coalescing on or off.
+  auto count_union = [&](std::vector<RowId> BucketOut::* field,
                          uint64_t FeatureGatherCounts::* counter) {
     bool any = false;
     for (const BucketOut& bo : bucket_out) any |= !(bo.*field).empty();
     if (!any) return;
-    std::vector<size_t> merged;
+    std::vector<RowId> merged;
     for (const BucketOut& bo : bucket_out) {
       merged.insert(merged.end(), (bo.*field).begin(), (bo.*field).end());
     }
     std::sort(merged.begin(), merged.end());
-    counts->*counter += static_cast<uint64_t>(
-        std::unique(merged.begin(), merged.end()) - merged.begin());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    for (const RowId& row : merged) {
+      per_slice_counts[row.first].*counter += 1;
+    }
   };
   count_union(&BucketOut::degraded, &FeatureGatherCounts::degraded_nodes);
   count_union(&BucketOut::corrupt, &FeatureGatherCounts::corrupt_nodes);
@@ -217,16 +312,44 @@ Status FeatureGatherer::GatherImpl(std::span<const graph::NodeId> nodes,
 Status FeatureGatherer::Gather(std::span<const graph::NodeId> nodes,
                                std::span<float> out,
                                FeatureGatherCounts* counts) {
+  GIDS_CHECK(counts != nullptr);
   const uint32_t dim = layout_->feature_dim();
   if (out.size() < nodes.size() * dim) {
     return Status::InvalidArgument("output buffer too small");
   }
-  return GatherImpl(nodes, out.data(), counts);
+  GatherSlice slice{nodes, out};
+  return GatherImpl(std::span<const GatherSlice>(&slice, 1),
+                    std::span<FeatureGatherCounts>(counts, 1));
 }
 
 Status FeatureGatherer::GatherCountsOnly(
     std::span<const graph::NodeId> nodes, FeatureGatherCounts* counts) {
-  return GatherImpl(nodes, nullptr, counts);
+  GIDS_CHECK(counts != nullptr);
+  GatherSlice slice{nodes, {}};
+  return GatherImpl(std::span<const GatherSlice>(&slice, 1),
+                    std::span<FeatureGatherCounts>(counts, 1));
+}
+
+Status FeatureGatherer::GatherGroup(
+    std::span<const GatherSlice> slices,
+    std::span<FeatureGatherCounts> per_slice_counts) {
+  if (per_slice_counts.size() != slices.size()) {
+    return Status::InvalidArgument("one counts entry per slice required");
+  }
+  const uint32_t dim = layout_->feature_dim();
+  bool functional = false;
+  for (const GatherSlice& sl : slices) functional |= !sl.out.empty();
+  for (const GatherSlice& sl : slices) {
+    if (sl.nodes.empty()) continue;
+    if (functional && sl.out.empty()) {
+      return Status::InvalidArgument(
+          "group mixes functional and counting slices");
+    }
+    if (functional && sl.out.size() < sl.nodes.size() * dim) {
+      return Status::InvalidArgument("output buffer too small");
+    }
+  }
+  return GatherImpl(slices, per_slice_counts);
 }
 
 StatusOr<std::vector<float>> FeatureGatherer::Gather(

@@ -34,6 +34,21 @@ struct FeatureGatherCounts {
   uint64_t cpu_buffer_hits = 0;  // page-equivalents served from CPU buffer
   uint64_t gpu_cache_hits = 0;
   uint64_t storage_reads = 0;
+  /// Page requests folded into another request for the same page by the
+  /// coalescing gather (§2's GPU-side access coalescing): they reached the
+  /// cache/storage path but were satisfied by a sibling's round-trip, so
+  /// they appear in total_page_requests() (demand the accumulator merged)
+  /// but not in serviced_page_requests() (traffic the devices saw).
+  /// Members of a dead-lettered group charge nothing here — a failed
+  /// access appears in no traffic counter, with coalescing on or off.
+  /// Always 0 with coalescing off.
+  uint64_t coalesced_requests = 0;
+  /// Distinct pages serviced by the coalescing gather — the number of
+  /// successfully serviced coalesced groups, equal to the cache/storage
+  /// round-trips actually made (gpu_cache_hits + storage_reads on the
+  /// coalescing path; dead-lettered groups count nowhere). 0 with
+  /// coalescing off (the grouping is never computed).
+  uint64_t distinct_pages = 0;
   /// Nodes served incompletely because a storage read exhausted its
   /// retries (FAULTS.md): the failed page slice of the row is zero-filled
   /// and the node is counted here exactly once. 0 unless fault injection
@@ -45,7 +60,19 @@ struct FeatureGatherCounts {
   /// disjoint from degraded_nodes' loud-failure accounting.
   uint64_t corrupt_nodes = 0;
 
+  /// Page-granular demand: every access the mini-batch generated,
+  /// including ones coalesced away. This is what the accumulator's
+  /// storage-share EMA divides by (Eq. 2) — coalescing lowers the share,
+  /// which raises the merge threshold, exactly the feedback the paper's
+  /// design wants (fewer SSD reads per merged batch => merge more).
   uint64_t total_page_requests() const {
+    return cpu_buffer_hits + gpu_cache_hits + storage_reads +
+           coalesced_requests;
+  }
+  /// Page requests that cost a real round-trip (CPU buffer, cache, or
+  /// SSD). This is what bounds in-flight storage traffic
+  /// (outstanding_accesses) and what the devices bill for.
+  uint64_t serviced_page_requests() const {
     return cpu_buffer_hits + gpu_cache_hits + storage_reads;
   }
   void Add(const FeatureGatherCounts& o) {
@@ -53,9 +80,19 @@ struct FeatureGatherCounts {
     cpu_buffer_hits += o.cpu_buffer_hits;
     gpu_cache_hits += o.gpu_cache_hits;
     storage_reads += o.storage_reads;
+    coalesced_requests += o.coalesced_requests;
+    distinct_pages += o.distinct_pages;
     degraded_nodes += o.degraded_nodes;
     corrupt_nodes += o.corrupt_nodes;
   }
+};
+
+/// One node list and its destination rows within a grouped gather. An
+/// empty `out` selects counting mode (no payload movement); all slices of
+/// one GatherGroup call must agree on the mode.
+struct GatherSlice {
+  std::span<const graph::NodeId> nodes;
+  std::span<float> out;
 };
 
 /// Gathers node feature vectors through the BaM path: constant CPU buffer
@@ -76,6 +113,19 @@ struct FeatureGatherCounts {
 /// independent of the thread count. One gather may run at a time; callers
 /// (GidsLoader) serialize gathers and parallelize within them.
 ///
+/// Page coalescing (DESIGN.md §10): with `coalesce_pages` on, phase 2
+/// groups each shard's replayed access sequence by page (first-occurrence
+/// order) and services every distinct page with exactly one cache/storage
+/// round-trip, scattering the payload to all requesting output rows.
+/// Duplicate nodes in a mini-batch, rows whose features share a page, and
+/// repeats across accumulator-merged iterations (GatherGroup) all collapse
+/// into one SSD read — the paper's premise that concurrent same-page
+/// requests coalesce in the BaM I/O stack (§2). The coalesced service
+/// drains all member window-buffer pins at once (BamArray's `reuses`), so
+/// end-of-gather cache state matches the uncoalesced books. Grouping is a
+/// pure function of the canonical per-shard sequence, so results stay
+/// bit-identical at any thread count.
+///
 /// Degraded mode (FAULTS.md): a storage read that exhausted its retries
 /// (Status::Unavailable from the fault-injected array) does not fail the
 /// gather. The failed page's slice of each affected output row is
@@ -83,16 +133,26 @@ struct FeatureGatherCounts {
 /// the gather completes. Unrepairable silent corruption (Status::DataLoss
 /// from a verifying array, INTEGRITY.md) degrades the same way but is
 /// counted separately in counts->corrupt_nodes. Hard device errors
-/// (kIoError) still abort.
+/// (kIoError) still abort. Under coalescing a failed page degrades every
+/// row that shares it — the same set an uncoalesced gather flags, because
+/// fault outcomes are a pure function of (seed, page, attempt) and nothing
+/// is cached on failure, so duplicate uncoalesced re-reads replay the
+/// identical outcome.
 class FeatureGatherer {
  public:
   /// `hot_buffer` may be null (plain BaM gather). `pool` may be null
   /// (serial gather; also the fallback for single-shard caches).
+  /// `coalesce_pages` enables the page-coalescing phase 2 (default off:
+  /// every access round-trips individually, the pre-coalescing behaviour).
   FeatureGatherer(const graph::FeatureStore* layout, BamArray* array,
                   const HotNodeBuffer* hot_buffer = nullptr,
-                  ThreadPool* pool = nullptr);
+                  ThreadPool* pool = nullptr, bool coalesce_pages = false);
 
   const graph::FeatureStore& layout() const { return *layout_; }
+
+  bool coalesce_pages() const { return coalesce_pages_; }
+  /// Not thread-safe against a running gather; flip between gathers only.
+  void set_coalesce_pages(bool on) { coalesce_pages_ = on; }
 
   /// Gathers features for `nodes` into `out` (size >= nodes.size() * dim).
   Status Gather(std::span<const graph::NodeId> nodes, std::span<float> out,
@@ -108,10 +168,27 @@ class FeatureGatherer {
   Status GatherCountsOnly(std::span<const graph::NodeId> nodes,
                           FeatureGatherCounts* counts);
 
+  /// Gathers several node lists as one coalescing scope: the accumulator's
+  /// merged iterations present their batches together so repeats *across*
+  /// iterations also collapse to one round-trip per distinct page. Slices
+  /// are processed in order (slice-major node order), so with coalescing
+  /// off this is bit-identical to calling Gather once per slice. All
+  /// slices must share one mode (every `out` sized >= nodes * dim, or
+  /// every `out` empty for counting).
+  ///
+  /// `per_slice_counts` (size == slices.size()) receives each slice's
+  /// share, added in: a serviced round-trip is charged to the slice of the
+  /// group's first requester, later members charge coalesced_requests to
+  /// their own slice, and degraded/corrupt rows are counted in their own
+  /// slice. Summing the entries yields the group totals.
+  Status GatherGroup(std::span<const GatherSlice> slices,
+                     std::span<FeatureGatherCounts> per_slice_counts);
+
  private:
-  /// Shared two-phase implementation; `out` == nullptr is counting mode.
-  Status GatherImpl(std::span<const graph::NodeId> nodes, float* out,
-                    FeatureGatherCounts* counts);
+  /// Shared two-phase implementation; empty `out` spans select counting
+  /// mode (validated by the public entry points).
+  Status GatherImpl(std::span<const GatherSlice> slices,
+                    std::span<FeatureGatherCounts> per_slice_counts);
 
   /// Bucket that owns `page` in phase 2: the cache shard, or a fixed
   /// power-of-two hash bucket when the array is cache-less (the storage
@@ -122,6 +199,7 @@ class FeatureGatherer {
   BamArray* array_;
   const HotNodeBuffer* hot_buffer_;
   ThreadPool* pool_;
+  bool coalesce_pages_ = false;
   uint32_t cacheless_buckets_ = 1;  // power of two
 };
 

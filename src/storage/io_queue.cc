@@ -21,7 +21,8 @@ Status IoQueuePair::Submit(const IoRequest& request) {
 }
 
 std::vector<IoRequest> IoQueuePair::PopSubmitted(uint32_t max) {
-  uint32_t take = std::min<uint32_t>(max, submission_.size());
+  uint32_t take =
+      static_cast<uint32_t>(std::min<size_t>(max, submission_.size()));
   std::vector<IoRequest> out(submission_.begin(), submission_.begin() + take);
   submission_.erase(submission_.begin(), submission_.begin() + take);
   return out;

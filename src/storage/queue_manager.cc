@@ -17,9 +17,13 @@ QueueManager::QueueManager(uint32_t num_queues, uint32_t depth_per_queue)
 Status QueueManager::RoundTrip(uint64_t lba) {
   std::lock_guard<std::mutex> lock(mu_);
   IoQueuePair& q = queues_[cursor_];
+  // Submit before touching any manager state: a full queue returns
+  // ResourceExhausted and must leave the cursor and tag counter exactly
+  // where they were, so the caller's retry lands on the same queue with
+  // the same tag instead of silently skipping a queue and burning a tag.
+  GIDS_RETURN_IF_ERROR(q.Submit(IoRequest{.lba = lba, .tag = next_tag_}));
   cursor_ = (cursor_ + 1) % queues_.size();
   uint64_t tag = next_tag_++;
-  GIDS_RETURN_IF_ERROR(q.Submit(IoRequest{.lba = lba, .tag = tag}));
   // Device side services the command immediately (latency is accounted by
   // the timing models, not here).
   auto popped = q.PopSubmitted(1);

@@ -44,6 +44,11 @@ class QueueManager {
   }
   const IoQueuePair& queue(uint32_t i) const { return queues_[i]; }
 
+  /// Device-side access to a queue pair (filling a queue externally,
+  /// draining stuck commands in tests). The caller must not race this
+  /// against concurrent RoundTrip calls on the same queue.
+  IoQueuePair& mutable_queue(uint32_t i) { return queues_[i]; }
+
   /// Requests currently submitted but not yet reaped, summed over queues.
   uint64_t outstanding() const {
     std::lock_guard<std::mutex> lock(mu_);

@@ -98,7 +98,7 @@ const std::byte* SoftwareCache::Lookup(uint64_t page) {
     // window counted this very access when the mini-batch entered the
     // look-ahead window. Without this, miss-path counters never drain and
     // lines pin forever.
-    ConsumeReuseLocked(sh, page, kNoSlot);
+    ConsumeReuseLocked(sh, page, kNoSlot, 1);
     return nullptr;
   }
   if (verify_hit_ && LineCorruptLocked(sh, it->second)) {
@@ -107,15 +107,16 @@ const std::byte* SoftwareCache::Lookup(uint64_t page) {
     ++sh.stats.quarantines;
     QuarantineLocked(sh, it->second);
     ++sh.stats.misses;
-    ConsumeReuseLocked(sh, page, kNoSlot);
+    ConsumeReuseLocked(sh, page, kNoSlot, 1);
     return nullptr;
   }
   ++sh.stats.hits;
-  ConsumeReuseLocked(sh, page, it->second);
+  ConsumeReuseLocked(sh, page, it->second, 1);
   return sh.data.data() + it->second * line_bytes_;
 }
 
-bool SoftwareCache::LookupInto(uint64_t page, std::span<std::byte> out) {
+bool SoftwareCache::LookupInto(uint64_t page, std::span<std::byte> out,
+                               uint32_t reuses) {
   GIDS_CHECK(store_payloads_);
   GIDS_CHECK(out.size() == line_bytes_);
   Shard& sh = shard_for(page);
@@ -124,42 +125,42 @@ bool SoftwareCache::LookupInto(uint64_t page, std::span<std::byte> out) {
   auto it = sh.index.find(page);
   if (it == sh.index.end()) {
     ++sh.stats.misses;
-    ConsumeReuseLocked(sh, page, kNoSlot);
+    ConsumeReuseLocked(sh, page, kNoSlot, reuses);
     return false;
   }
   if (verify_hit_ && LineCorruptLocked(sh, it->second)) {
     ++sh.stats.quarantines;
     QuarantineLocked(sh, it->second);
     ++sh.stats.misses;
-    ConsumeReuseLocked(sh, page, kNoSlot);
+    ConsumeReuseLocked(sh, page, kNoSlot, reuses);
     return false;
   }
   ++sh.stats.hits;
-  ConsumeReuseLocked(sh, page, it->second);
+  ConsumeReuseLocked(sh, page, it->second, reuses);
   std::memcpy(out.data(), sh.data.data() + it->second * line_bytes_,
               line_bytes_);
   return true;
 }
 
-bool SoftwareCache::Touch(uint64_t page) {
+bool SoftwareCache::Touch(uint64_t page, uint32_t reuses) {
   Shard& sh = shard_for(page);
   std::lock_guard<std::mutex> lock(sh.mu);
   ++sh.stats.lookups;
   auto it = sh.index.find(page);
   if (it == sh.index.end()) {
     ++sh.stats.misses;
-    ConsumeReuseLocked(sh, page, kNoSlot);
+    ConsumeReuseLocked(sh, page, kNoSlot, reuses);
     return false;
   }
   if (verify_hit_ && LineCorruptLocked(sh, it->second)) {
     ++sh.stats.quarantines;
     QuarantineLocked(sh, it->second);
     ++sh.stats.misses;
-    ConsumeReuseLocked(sh, page, kNoSlot);
+    ConsumeReuseLocked(sh, page, kNoSlot, reuses);
     return false;
   }
   ++sh.stats.hits;
-  ConsumeReuseLocked(sh, page, it->second);
+  ConsumeReuseLocked(sh, page, it->second, reuses);
   return true;
 }
 
@@ -193,10 +194,11 @@ bool SoftwareCache::Contains(uint64_t page) const {
   return sh.index.count(page) > 0;
 }
 
-void SoftwareCache::ConsumeReuseLocked(Shard& sh, uint64_t page, size_t slot) {
+void SoftwareCache::ConsumeReuseLocked(Shard& sh, uint64_t page, size_t slot,
+                                       uint32_t count) {
   auto reuse = sh.future_reuse.find(page);
   if (reuse == sh.future_reuse.end()) return;
-  if (reuse->second > 0) --reuse->second;
+  reuse->second -= std::min(reuse->second, count);
   if (reuse->second == 0) {
     sh.future_reuse.erase(reuse);
     if (slot != kNoSlot && sh.lines[slot].state == LineState::kUse) {

@@ -162,14 +162,22 @@ class SoftwareCache {
   /// Concurrency-safe Lookup: on a hit, copies the payload into `out`
   /// (size == line_bytes) while holding the shard lock and returns true.
   /// Same stats and reuse-counter semantics as Lookup.
-  bool LookupInto(uint64_t page, std::span<std::byte> out);
+  ///
+  /// `reuses` is the number of window-buffer future-reuse registrations
+  /// this access stands for: a page-coalesced gather services one access
+  /// on behalf of `reuses` registered (node, page) requests and must drain
+  /// all of them at once, or lines would stay pinned forever (see
+  /// DESIGN.md §10). The default of 1 is the uncoalesced access.
+  bool LookupInto(uint64_t page, std::span<std::byte> out,
+                  uint32_t reuses = 1);
 
   /// True if `page` is resident (no stats or reuse-counter side effects).
   bool Contains(uint64_t page) const;
 
   /// Metadata-mode lookup: identical hit/miss/reuse semantics to Lookup
-  /// but returns only whether the page was resident.
-  bool Touch(uint64_t page);
+  /// but returns only whether the page was resident. `reuses` as in
+  /// LookupInto (future reuses drained by this access).
+  bool Touch(uint64_t page, uint32_t reuses = 1);
 
   /// Metadata-mode insert: identical placement/eviction semantics to
   /// Insert without a payload. Returns true if resident after the call.
@@ -253,10 +261,11 @@ class SoftwareCache {
     return *shards_[ShardFor(page)];
   }
 
-  /// Decrements `page`'s future-reuse counter (if any); unpins the line at
-  /// `slot` when the counter drains. Pass kNoSlot for non-resident pages.
-  /// Caller holds sh.mu.
-  static void ConsumeReuseLocked(Shard& sh, uint64_t page, size_t slot);
+  /// Decrements `page`'s future-reuse counter (if any) by up to `count`;
+  /// unpins the line at `slot` when the counter drains. Pass kNoSlot for
+  /// non-resident pages. Caller holds sh.mu.
+  static void ConsumeReuseLocked(Shard& sh, uint64_t page, size_t slot,
+                                 uint32_t count);
   /// Shared placement logic; returns the slot or kNoSlot on bypass.
   /// Caller holds sh.mu.
   size_t AcquireSlotLocked(Shard& sh, uint64_t page);

@@ -124,6 +124,30 @@ TEST(StripedTest, BandwidthScalesLinearlyUpToFour) {
   }
 }
 
+TEST(StripedTest, QueueDepthOneMatchesSingleSsd) {
+  // With one outstanding request, only one device can hold it at a time:
+  // a 4-SSD stripe must behave exactly like a single SSD, not like four
+  // devices each granted a (phantom) window of one.
+  SsdSpec spec = SsdSpec::IntelOptane();
+  spec.latency_sigma = 0;
+  SsdBatchResult striped = SimulateStripedClosedLoop(spec, 4, 64, 1);
+  SsdBatchResult single = SsdModel(spec).SimulateClosedLoop(64, 1);
+  EXPECT_EQ(striped.duration_ns, single.duration_ns);
+  EXPECT_EQ(striped.duration_ns, 64 * spec.read_latency_ns);
+}
+
+TEST(StripedTest, RemainderConcurrencyNotTruncated) {
+  // 3 outstanding over 2 SSDs must model windows of 2+1, not truncate
+  // 3/2 to 1 per device. Shares split 1001/1000; device 0 pipelines two
+  // deep (ceil(1001/2) = 501 rounds), device 1 runs serial (1000 rounds),
+  // so the stripe finishes in 1000 latencies. The old truncating window
+  // gave 1001 serial rounds on device 0 instead.
+  SsdSpec spec = SsdSpec::IntelOptane();
+  spec.latency_sigma = 0;
+  SsdBatchResult r = SimulateStripedClosedLoop(spec, 2, 2001, 3);
+  EXPECT_EQ(r.duration_ns, 1000 * spec.read_latency_ns);
+}
+
 class BurstSweepTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BurstSweepTest, BandwidthConsistentWithDuration) {

@@ -174,6 +174,173 @@ TEST(FeatureGatherTest, CountsOnlyMatchesFullGather) {
   }
 }
 
+// --- Page coalescing (DESIGN.md §10). ---------------------------------
+
+TEST(CoalescingGatherTest, RepeatedNodeServedOnce) {
+  // dim 1024: node i occupies exactly page i. The same node three times
+  // costs one storage round-trip; the two duplicates are folded away, not
+  // served as cache hits.
+  GatherRig rig(1024);
+  rig.gatherer->set_coalesce_pages(true);
+  std::vector<graph::NodeId> nodes = {5, 5, 5};
+  FeatureGatherCounts counts;
+  auto out = rig.gatherer->Gather(nodes, &counts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(counts.storage_reads, 1u);
+  EXPECT_EQ(counts.gpu_cache_hits, 0u);
+  EXPECT_EQ(counts.coalesced_requests, 2u);
+  EXPECT_EQ(counts.distinct_pages, 1u);
+  EXPECT_EQ(counts.total_page_requests(), 3u);
+  EXPECT_EQ(counts.serviced_page_requests(), 1u);
+  // The one payload fans out to every requesting row.
+  std::vector<float> expected(1024);
+  rig.fs.FillFeature(5, expected);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (uint32_t j = 0; j < 1024; ++j) {
+      ASSERT_EQ((*out)[i * 1024 + j], expected[j]) << "row " << i;
+    }
+  }
+}
+
+TEST(CoalescingGatherTest, PageSpanningRowsShareBoundaryPages) {
+  // dim 768: nodes 0..3 generate 6 page accesses over 3 distinct pages
+  // (each interior page is shared by two adjacent rows). Coalescing must
+  // service each page once and still fill both rows' slices correctly.
+  GatherRig rig(768);
+  rig.gatherer->set_coalesce_pages(true);
+  std::vector<graph::NodeId> nodes = {0, 1, 2, 3};
+  FeatureGatherCounts counts;
+  auto out = rig.gatherer->Gather(nodes, &counts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(counts.total_page_requests(), 6u);
+  EXPECT_EQ(counts.serviced_page_requests(), 3u);
+  EXPECT_EQ(counts.coalesced_requests, 3u);
+  EXPECT_EQ(counts.distinct_pages, 3u);
+
+  // Byte-identical to the uncoalesced gather of the same batch.
+  GatherRig plain(768);
+  FeatureGatherCounts pc;
+  auto pout = plain.gatherer->Gather(nodes, &pc);
+  ASSERT_TRUE(pout.ok());
+  EXPECT_EQ(*out, *pout);
+  EXPECT_EQ(pc.total_page_requests(), counts.total_page_requests());
+  EXPECT_EQ(pc.coalesced_requests, 0u);
+}
+
+TEST(CoalescingGatherTest, OffByDefaultAndCountersStayZero) {
+  GatherRig rig(128);
+  EXPECT_FALSE(rig.gatherer->coalesce_pages());
+  std::vector<graph::NodeId> nodes = {0, 1, 0, 9, 9, 9};
+  FeatureGatherCounts counts;
+  ASSERT_TRUE(rig.gatherer->Gather(nodes, &counts).ok());
+  EXPECT_EQ(counts.coalesced_requests, 0u);
+  EXPECT_EQ(counts.distinct_pages, 0u);
+  EXPECT_EQ(counts.total_page_requests(), counts.serviced_page_requests());
+}
+
+TEST(CoalescingGatherTest, CountsOnlyMatchesFullGather) {
+  GatherRig full_rig(1024, 200, 8 * 4096);
+  GatherRig count_rig(1024, 200, 8 * 4096);
+  full_rig.gatherer->set_coalesce_pages(true);
+  count_rig.gatherer->set_coalesce_pages(true);
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<graph::NodeId> nodes;
+    for (int i = 0; i < 16; ++i) {
+      nodes.push_back(static_cast<graph::NodeId>(rng.UniformInt(200)));
+    }
+    FeatureGatherCounts a;
+    FeatureGatherCounts b;
+    ASSERT_TRUE(full_rig.gatherer->Gather(nodes, &a).ok());
+    ASSERT_TRUE(count_rig.gatherer->GatherCountsOnly(nodes, &b).ok());
+    ASSERT_EQ(a.gpu_cache_hits, b.gpu_cache_hits) << "round " << round;
+    ASSERT_EQ(a.storage_reads, b.storage_reads) << "round " << round;
+    ASSERT_EQ(a.coalesced_requests, b.coalesced_requests) << "round " << round;
+    ASSERT_EQ(a.distinct_pages, b.distinct_pages) << "round " << round;
+  }
+}
+
+TEST(GatherGroupTest, MatchesPerSliceGathersWhenCoalescingOff) {
+  // With coalescing off, one grouped call over two slices is bit-identical
+  // (bytes and per-slice counts) to two sequential Gather calls.
+  GatherRig grouped(1024, 100, 8 * 4096);
+  GatherRig sequential(1024, 100, 8 * 4096);
+  std::vector<graph::NodeId> first = {3, 7, 3, 50};
+  std::vector<graph::NodeId> second = {7, 12, 3};
+  const uint32_t dim = 1024;
+
+  std::vector<float> out_a(first.size() * dim);
+  std::vector<float> out_b(second.size() * dim);
+  std::vector<GatherSlice> slices = {{first, std::span<float>(out_a)},
+                                     {second, std::span<float>(out_b)}};
+  std::vector<FeatureGatherCounts> per_slice(2);
+  ASSERT_TRUE(grouped.gatherer->GatherGroup(slices, per_slice).ok());
+
+  FeatureGatherCounts ca, cb;
+  auto ref_a = sequential.gatherer->Gather(first, &ca);
+  auto ref_b = sequential.gatherer->Gather(second, &cb);
+  ASSERT_TRUE(ref_a.ok());
+  ASSERT_TRUE(ref_b.ok());
+  EXPECT_EQ(out_a, *ref_a);
+  EXPECT_EQ(out_b, *ref_b);
+  EXPECT_EQ(per_slice[0].storage_reads, ca.storage_reads);
+  EXPECT_EQ(per_slice[0].gpu_cache_hits, ca.gpu_cache_hits);
+  EXPECT_EQ(per_slice[1].storage_reads, cb.storage_reads);
+  EXPECT_EQ(per_slice[1].gpu_cache_hits, cb.gpu_cache_hits);
+  EXPECT_EQ(per_slice[0].nodes, first.size());
+  EXPECT_EQ(per_slice[1].nodes, second.size());
+}
+
+TEST(GatherGroupTest, CoalescesAcrossSlices) {
+  // The accumulator-merged case: the same node in two merged iterations
+  // costs one round-trip. The serviced read is charged to the slice of the
+  // first requester; the later slice books a coalesced request.
+  GatherRig rig(1024);
+  rig.gatherer->set_coalesce_pages(true);
+  std::vector<graph::NodeId> first = {7};
+  std::vector<graph::NodeId> second = {7};
+  std::vector<float> out_a(1024);
+  std::vector<float> out_b(1024);
+  std::vector<GatherSlice> slices = {{first, std::span<float>(out_a)},
+                                     {second, std::span<float>(out_b)}};
+  std::vector<FeatureGatherCounts> per_slice(2);
+  ASSERT_TRUE(rig.gatherer->GatherGroup(slices, per_slice).ok());
+
+  EXPECT_EQ(per_slice[0].storage_reads, 1u);
+  EXPECT_EQ(per_slice[0].distinct_pages, 1u);
+  EXPECT_EQ(per_slice[0].coalesced_requests, 0u);
+  EXPECT_EQ(per_slice[1].storage_reads, 0u);
+  EXPECT_EQ(per_slice[1].gpu_cache_hits, 0u);
+  EXPECT_EQ(per_slice[1].coalesced_requests, 1u);
+  EXPECT_EQ(rig.array->total_reads(), 1u);
+
+  std::vector<float> expected(1024);
+  rig.fs.FillFeature(7, expected);
+  EXPECT_EQ(out_a, expected);
+  EXPECT_EQ(out_b, expected);
+}
+
+TEST(GatherGroupTest, RejectsMixedModesAndBadSizes) {
+  GatherRig rig(128);
+  std::vector<graph::NodeId> nodes = {1, 2};
+  std::vector<float> out(2 * 128);
+  std::vector<GatherSlice> mixed = {{nodes, std::span<float>(out)},
+                                    {nodes, {}}};
+  std::vector<FeatureGatherCounts> per_slice(2);
+  EXPECT_EQ(rig.gatherer->GatherGroup(mixed, per_slice).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<float> small(128);  // room for one of the two nodes
+  std::vector<GatherSlice> short_buf = {{nodes, std::span<float>(small)}};
+  std::vector<FeatureGatherCounts> one(1);
+  EXPECT_EQ(rig.gatherer->GatherGroup(short_buf, one).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<GatherSlice> ok_slices = {{nodes, std::span<float>(out)}};
+  EXPECT_EQ(rig.gatherer->GatherGroup(ok_slices, per_slice).code(),
+            StatusCode::kInvalidArgument);  // counts span size mismatch
+}
+
 TEST(BamArrayTest, CachelessArrayAlwaysReadsStorage) {
   graph::FeatureStore fs(10, 1024);
   auto dev = std::make_unique<FunctionBlockDevice>(

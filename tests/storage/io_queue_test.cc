@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace gids::storage {
 namespace {
 
@@ -50,6 +52,22 @@ TEST(IoQueuePairTest, PopRespectsMax) {
   auto rest = q.PopSubmitted(10);
   EXPECT_EQ(rest.size(), 2u);
   EXPECT_EQ(rest[0].tag, 3u);
+}
+
+TEST(IoQueuePairTest, PopAtExactDepthBoundary) {
+  // A queue filled to exactly depth_ must pop every entry whether max is
+  // the depth itself or far beyond the buffered count (the clamp is
+  // min(max, buffered), computed in size_t and narrowed explicitly).
+  IoQueuePair q(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.Submit({.lba = i, .tag = i}).ok());
+  }
+  ASSERT_TRUE(q.Full());
+  auto popped = q.PopSubmitted(4);
+  ASSERT_EQ(popped.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(popped[i].tag, i);
+  // Buffer drained: a huge max clamps to zero, not to garbage.
+  EXPECT_TRUE(q.PopSubmitted(std::numeric_limits<uint32_t>::max()).empty());
 }
 
 TEST(IoQueuePairTest, PollOnEmptyCompletion) {

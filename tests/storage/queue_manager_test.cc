@@ -33,6 +33,29 @@ TEST(QueueManagerTest, RoundRobinSpreadsLoad) {
   }
 }
 
+TEST(QueueManagerTest, FullQueueRejectsWithoutAdvancingCursor) {
+  QueueManager qm(2, 1);
+  // Fill queue 0 from the device side so the next RoundTrip submission is
+  // rejected by admission control.
+  ASSERT_TRUE(qm.mutable_queue(0).Submit({.lba = 99, .tag = 1000}).ok());
+  EXPECT_EQ(qm.RoundTrip(1).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(qm.total_submissions(), 0u);
+  // Drain the stuck command; the retry must land on queue 0 again — a
+  // failed submission leaves the round-robin cursor where it was instead
+  // of silently skipping to queue 1.
+  auto popped = qm.mutable_queue(0).PopSubmitted(1);
+  ASSERT_EQ(popped.size(), 1u);
+  qm.mutable_queue(0).Complete(popped[0].tag);
+  ASSERT_TRUE(qm.mutable_queue(0).PollCompletion().has_value());
+  ASSERT_TRUE(qm.RoundTrip(1).ok());
+  EXPECT_EQ(qm.queue(0).total_submitted(), 2u);  // stuck fill + the retry
+  EXPECT_EQ(qm.queue(1).total_submitted(), 0u);
+  // Round-robin resumes normally after the successful retry.
+  ASSERT_TRUE(qm.RoundTrip(2).ok());
+  EXPECT_EQ(qm.queue(1).total_submitted(), 1u);
+  EXPECT_EQ(qm.total_submissions(), 2u);
+}
+
 TEST(QueueManagerTest, DepthOneWorks) {
   QueueManager qm(1, 1);
   ASSERT_TRUE(qm.RoundTrip(7).ok());

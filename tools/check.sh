@@ -3,10 +3,12 @@
 # the ASan/UBSan tree, and the ThreadSanitizer tree (CMakePresets.json).
 # The tsan preset builds only the concurrency test binary and runs the
 # `concurrency`-labelled tests (thread pool, sharded cache, parallel
-# gather, loader determinism, corruption-counter determinism). The
-# asan-ubsan preset additionally re-runs the `integrity`-labelled tests
-# (CRC32C, corruption repair, scrubber) on their own so checksum-path
-# memory errors fail loudly. Also runs the documentation lint
+# gather, coalescing determinism, loader determinism, corruption-counter
+# determinism). The asan-ubsan preset additionally re-runs the
+# `integrity`-labelled tests (CRC32C, corruption repair, scrubber) and the
+# `coalescing`-labelled tests (page-coalescing gather determinism and
+# fault fan-out) on their own so checksum- and scatter-path memory errors
+# fail loudly. Also runs the documentation lint
 # (tools/docs_lint.sh: dead intra-repo markdown links, undocumented
 # GidsOptions / FaultOptions / IntegrityOptions fields, gids_cli flags).
 # Run from the repository root:
@@ -35,6 +37,8 @@ for preset in "${presets[@]}"; do
   if [ "$preset" = "asan-ubsan" ]; then
     echo "=== [$preset] integrity-labelled tests"
     ctest --preset "$preset" -j "$jobs" -L integrity
+    echo "=== [$preset] coalescing-labelled tests"
+    ctest --preset "$preset" -j "$jobs" -L coalescing
   fi
 done
 

@@ -229,6 +229,7 @@ int CmdRun(const Flags& flags) {
         static_cast<uint32_t>(flags.GetInt("host-threads", 1));
     opts.prefetch_depth =
         static_cast<uint32_t>(flags.GetInt("prefetch-depth", 0));
+    opts.coalesce_pages = flags.GetBool("coalesce-pages");
     // Storage fault injection & retry policy (FAULTS.md).
     opts.fault_rate = flags.GetDouble("fault-rate", 0.0);
     opts.fault_seed =
@@ -431,6 +432,7 @@ void Usage() {
       "            --cpu-buffer-frac F --window-depth D\n"
       "            --host-threads N (parallel data prep, bam/gids)\n"
       "            --prefetch-depth P (async group prefetch, bam/gids)\n"
+      "            --coalesce-pages (one round-trip per distinct page)\n"
       "            --fault-rate F --fault-seed N (storage fault injection)\n"
       "            --latency-spike-rate F --latency-spike-us U\n"
       "            --stuck-queue-rate F --offline-device D\n"
