@@ -77,6 +77,13 @@ const std::vector<graph::NodeId>& CachedPageRankOrder(
 /// `dedup_ratio` (coalesced page requests / total page requests, the
 /// coalescing gather's fold fraction) are added to the JSON when
 /// non-negative.
+///
+/// RESULT_JSON schema contract (enforced by tools/bench_compare.py, the
+/// regression gate in tools/check.sh): `experiment`, `label`, `measured`,
+/// and `unit` are required on every row; `paper`, `wall_ms`,
+/// `host_threads`, and `dedup_ratio` are optional. Only `measured` is
+/// compared against bench/baselines/ — it is virtual-time and therefore
+/// deterministic, unlike `wall_ms`.
 void ReportRow(const std::string& experiment, const std::string& label,
                double measured, double paper, const std::string& unit,
                double wall_ms = -1.0, int host_threads = -1,

@@ -40,12 +40,27 @@ void Histogram::Add(uint64_t value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  // An empty `other` must be a no-op; its min_ sentinel (~0) and max_ (0)
+  // happen to be absorbed by the min/max folds below, but returning early
+  // keeps that correctness independent of the sentinel encoding.
+  if (other.count_ == 0) return;
   for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
   sum_ += other.sum_;
   sum_squares_ += other.sum_squares_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+std::vector<Histogram::Bucket> Histogram::NonEmptyBuckets() const {
+  std::vector<Bucket> out;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    uint64_t upper =
+        i + 1 < kNumBuckets ? BucketLowerBound(i + 1) - 1 : ~0ull;
+    out.push_back(Bucket{upper, buckets_[i]});
+  }
+  return out;
 }
 
 void Histogram::Clear() {

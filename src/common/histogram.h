@@ -15,8 +15,21 @@ class Histogram {
   Histogram();
 
   void Add(uint64_t value);
+  /// Folds `other` into this histogram. Safe for every emptiness
+  /// combination (empty + empty, empty + x, x + empty: min/max track the
+  /// union of observed values) and for self-merge (doubles every count).
   void Merge(const Histogram& other);
   void Clear();
+
+  /// One occupied log bucket, for cumulative exposition (Prometheus
+  /// `_bucket{le=...}`). `upper_bound` is inclusive: the largest value the
+  /// bucket can hold.
+  struct Bucket {
+    uint64_t upper_bound = 0;
+    uint64_t count = 0;
+  };
+  /// The occupied buckets in increasing value order.
+  std::vector<Bucket> NonEmptyBuckets() const;
 
   uint64_t count() const { return count_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }

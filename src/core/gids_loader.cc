@@ -120,15 +120,19 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   accumulator_ =
       std::make_unique<StorageAccessAccumulator>(cfg.ssd, acc_params);
 
-  if (options_.metrics != nullptr || options_.trace != nullptr) {
+  if (options_.metrics != nullptr || options_.trace != nullptr ||
+      options_.timeline != nullptr || options_.exemplars != nullptr) {
     observer_ = std::make_unique<loaders::LoaderObserver>(
-        options_.metrics, options_.trace, options_.display_name);
+        options_.metrics, options_.trace, options_.display_name,
+        options_.timeline, options_.exemplars);
   }
   if (options_.metrics != nullptr) {
     obs::MetricRegistry* reg = options_.metrics;
     const obs::Labels& labels = observer_->labels();
     cache_->BindMetrics(reg, labels);
-    storage_->BindMetrics(reg, labels);
+    storage_->BindMetrics(reg, labels,
+                          /*attribution_series=*/options_.timeline != nullptr ||
+                              options_.exemplars != nullptr);
     if (cpu_buffer_ != nullptr) cpu_buffer_->BindMetrics(reg, labels);
     if (window_ != nullptr) window_->BindMetrics(reg, labels);
     groups_total_ = reg->GetCounter("gids_accumulator_groups_total", labels);
@@ -181,8 +185,16 @@ GidsLoader::~GidsLoader() {
       // A throwing prefetch already surfaced (or will never be consumed);
       // destruction must not rethrow.
     }
-    pool_.reset();
   }
+  if (options_.metrics != nullptr && observer_ != nullptr) {
+    // The registry outlives the loader, but the pull-style callbacks bound
+    // above read members that are about to be destroyed (including the
+    // drained-but-live thread pool). Materialize their final values so a
+    // post-destruction Snapshot() reads frozen numbers instead of calling
+    // through dangling pointers.
+    options_.metrics->UnbindAll(observer_->labels());
+  }
+  pool_.reset();
 }
 
 void GidsLoader::EnsureSampledAhead(size_t count) {
@@ -281,8 +293,14 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
   TimeNs group_training = 0;
   // Per-iteration fault/retry virtual-time penalty, snapshotted from the
   // storage array's ledger around each gather (zero without injection).
+  // The crc/degraded sub-ledgers partition the penalty for the cost
+  // ledger: penalty = crc_verify + degraded + backoff/spike rest.
   std::vector<TimeNs> retry_penalty(group, 0);
+  std::vector<TimeNs> crc_penalty(group, 0);
+  std::vector<TimeNs> degraded_penalty(group, 0);
   TimeNs group_retry_penalty = 0;
+  TimeNs group_crc_penalty = 0;
+  TimeNs group_degraded_penalty = 0;
 
   for (size_t i = 0; i < group; ++i) {
     Pending& p = pending_[i];
@@ -314,6 +332,8 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
       }
     }
     const uint64_t penalty_before = storage_->retry_penalty_ns_total();
+    const uint64_t crc_before = storage_->crc_verify_ns_total();
+    const uint64_t degraded_before = storage_->degraded_penalty_ns_total();
     GIDS_RETURN_IF_ERROR(gatherer_->GatherGroup(
         slices, std::span<storage::FeatureGatherCounts>(slice_counts)));
     // The retry/backoff ledger is group-scoped here (one gather call);
@@ -322,6 +342,12 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
     group_retry_penalty = static_cast<TimeNs>(
         storage_->retry_penalty_ns_total() - penalty_before);
     retry_penalty[0] = group_retry_penalty;
+    group_crc_penalty =
+        static_cast<TimeNs>(storage_->crc_verify_ns_total() - crc_before);
+    crc_penalty[0] = group_crc_penalty;
+    group_degraded_penalty = static_cast<TimeNs>(
+        storage_->degraded_penalty_ns_total() - degraded_before);
+    degraded_penalty[0] = group_degraded_penalty;
     for (size_t i = 0; i < group; ++i) {
       group_batches[i].stats.gather = slice_counts[i];
       group_counts.Add(slice_counts[i]);
@@ -333,6 +359,8 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
       loaders::LoaderBatch& lb = group_batches[i];
       loaders::IterationStats& st = lb.stats;
       const uint64_t penalty_before = storage_->retry_penalty_ns_total();
+      const uint64_t crc_before = storage_->crc_verify_ns_total();
+      const uint64_t degraded_before = storage_->degraded_penalty_ns_total();
       const auto& nodes = p.batch.input_nodes();
       if (options_.counting_mode) {
         GIDS_RETURN_IF_ERROR(
@@ -345,6 +373,12 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
       retry_penalty[i] = static_cast<TimeNs>(
           storage_->retry_penalty_ns_total() - penalty_before);
       group_retry_penalty += retry_penalty[i];
+      crc_penalty[i] =
+          static_cast<TimeNs>(storage_->crc_verify_ns_total() - crc_before);
+      group_crc_penalty += crc_penalty[i];
+      degraded_penalty[i] = static_cast<TimeNs>(
+          storage_->degraded_penalty_ns_total() - degraded_before);
+      group_degraded_penalty += degraded_penalty[i];
       group_counts.Add(st.gather);
       lb.batch = std::move(p.batch);
     }
@@ -377,11 +411,30 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
         std::max(timing.total_ns, group_sampling + group_training);
     TimeNs per_iter_e2e = group_e2e / static_cast<TimeNs>(group);
     TimeNs per_iter_agg = timing.total_ns / static_cast<TimeNs>(group);
+    // Cost-ledger attribution (OBSERVABILITY.md): the kernel-phase times
+    // and fault penalties are group-scoped, so each iteration is billed an
+    // equal integer share; sampling/training stay per-iteration exact. The
+    // signed overlap credit absorbs both the path concurrency and the
+    // integer-division residue, making Sum() == e2e_ns exact.
+    const TimeNs g = static_cast<TimeNs>(group);
+    const TimeNs group_backoff_penalty =
+        group_retry_penalty - group_crc_penalty - group_degraded_penalty;
     for (loaders::LoaderBatch& lb : group_batches) {
       lb.stats.aggregation_ns = per_iter_agg;
       lb.stats.e2e_ns = per_iter_e2e;
       lb.stats.effective_bandwidth_bps = timing.effective_bandwidth_bps;
       lb.stats.pcie_ingress_bps = timing.pcie_ingress_bps;
+      obs::IterationLedger& led = lb.stats.ledger;
+      led.sampling_ns = lb.stats.sampling_ns;
+      led.training_ns = lb.stats.training_ns;
+      led.cache_hit_ns = timing.hbm_ns / g;
+      led.cpu_buffer_ns = timing.dram_ns / g;
+      led.storage_ns = timing.ssd_ns / g;
+      led.transfer_ns = timing.pcie_floor_ns / g;
+      led.crc_verify_ns = group_crc_penalty / g;
+      led.degraded_fill_ns = group_degraded_penalty / g;
+      led.retry_backoff_ns = group_backoff_penalty / g;
+      led.overlap_credit_ns = led.PositiveSum() - lb.stats.e2e_ns;
     }
   } else {
     for (size_t i = 0; i < group_batches.size(); ++i) {
@@ -399,6 +452,21 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
       st.aggregation_ns = timing.total_ns + retry_penalty[i];
       st.e2e_ns = st.sampling_ns + st.aggregation_ns + st.training_ns;
       st.effective_bandwidth_bps = timing.effective_bandwidth_bps;
+      // Per-iteration kernel: the path times are iteration-scoped, so the
+      // overlap credit is exactly the concurrency the max() hid (plus the
+      // floor-of-1 when the kernel moved no data).
+      obs::IterationLedger& led = st.ledger;
+      led.sampling_ns = st.sampling_ns;
+      led.training_ns = st.training_ns;
+      led.cache_hit_ns = timing.hbm_ns;
+      led.cpu_buffer_ns = timing.dram_ns;
+      led.storage_ns = timing.ssd_ns;
+      led.transfer_ns = timing.pcie_floor_ns;
+      led.crc_verify_ns = crc_penalty[i];
+      led.degraded_fill_ns = degraded_penalty[i];
+      led.retry_backoff_ns =
+          retry_penalty[i] - crc_penalty[i] - degraded_penalty[i];
+      led.overlap_credit_ns = led.PositiveSum() - st.e2e_ns;
       // Without decoupled stages the link idles while the sampling kernel
       // runs, so the observed data-preparation ingress rate averages over
       // sampling + aggregation (Fig. 9's no-accumulator bars).

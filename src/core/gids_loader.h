@@ -16,7 +16,9 @@
 #include "graph/dataset.h"
 #include "loaders/dataloader.h"
 #include "loaders/loader_obs.h"
+#include "obs/exemplar.h"
 #include "obs/metric_registry.h"
+#include "obs/time_series.h"
 #include "obs/trace_recorder.h"
 #include "sampling/sampler.h"
 #include "sampling/seed_iterator.h"
@@ -147,6 +149,14 @@ struct GidsOptions {
   /// time. Both must outlive the loader.
   obs::MetricRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  /// Optional attribution sinks (OBSERVABILITY.md "Tail-latency
+  /// attribution"). When either is set the loader feeds every iteration's
+  /// (end time, e2e, cost ledger) sample into them and additionally
+  /// exports the ledger metric series and per-span ledger args; when both
+  /// are null the metric/trace output is byte-identical to a build without
+  /// the attribution layer. Must outlive the loader.
+  obs::TimeSeries* timeline = nullptr;
+  obs::ExemplarReservoir* exemplars = nullptr;
 
   uint64_t seed = 0x61d5;
   std::string display_name = "GIDS";

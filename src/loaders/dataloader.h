@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/ledger.h"
 #include "sampling/minibatch.h"
 #include "storage/feature_gather.h"
 
@@ -35,6 +36,10 @@ struct IterationStats {
   double effective_bandwidth_bps = 0;  // feature bytes / aggregation time
   double pcie_ingress_bps = 0;         // PCIe bytes / aggregation time
 
+  /// Component-level attribution of e2e_ns (OBSERVABILITY.md): every
+  /// loader fills this so that ledger.Sum() == e2e_ns exactly.
+  obs::IterationLedger ledger;
+
   /// Folds `o` into this aggregate. Time and traffic fields sum; the
   /// rate fields combine as aggregation-time-weighted means (so the
   /// aggregate reports the run's average bandwidth, not a stale
@@ -60,6 +65,7 @@ struct IterationStats {
     gather.Add(o.gather);
     sampled_edges += o.sampled_edges;
     input_nodes += o.input_nodes;
+    ledger.Add(o.ledger);
   }
 };
 

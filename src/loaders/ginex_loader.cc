@@ -30,9 +30,11 @@ GinexLoader::GinexLoader(const graph::Dataset* dataset,
   cache_ = std::make_unique<BeladyCache>(
       std::max<uint64_t>(1, cache_bytes / page_bytes));
 
-  if (options_.metrics != nullptr || options_.trace != nullptr) {
+  if (options_.metrics != nullptr || options_.trace != nullptr ||
+      options_.timeline != nullptr || options_.exemplars != nullptr) {
     observer_ = std::make_unique<LoaderObserver>(
-        options_.metrics, options_.trace, std::string(name()));
+        options_.metrics, options_.trace, std::string(name()),
+        options_.timeline, options_.exemplars);
     if (options_.metrics != nullptr) {
       superbatches_total_ = options_.metrics->GetCounter(
           "gids_ginex_superbatches_total", observer_->labels());
@@ -41,6 +43,12 @@ GinexLoader::GinexLoader(const graph::Dataset* dataset,
           obs::MetricType::kGauge,
           [this] { return static_cast<double>(cache_->resident_pages()); });
     }
+  }
+}
+
+GinexLoader::~GinexLoader() {
+  if (options_.metrics != nullptr && observer_ != nullptr) {
+    options_.metrics->UnbindAll(observer_->labels());
   }
 }
 
@@ -100,6 +108,17 @@ void GinexLoader::PrepareSuperbatch() {
       st.effective_bandwidth_bps =
           static_cast<double>(batch_bytes) / NsToSec(st.aggregation_ns);
     }
+
+    // Cost ledger: changeset precomputation bills as sampling-side CPU
+    // work; the overlap credit is exactly the pipelined min(sampling +
+    // changeset, aggregation) that the max() above hid.
+    obs::IterationLedger& led = st.ledger;
+    led.sampling_ns = st.sampling_ns + changeset_ns;
+    led.cpu_buffer_ns = copy_ns;
+    led.storage_ns = read_ns;
+    led.transfer_ns = st.transfer_ns;
+    led.training_ns = st.training_ns;
+    led.overlap_credit_ns = led.PositiveSum() - st.e2e_ns;
 
     if (!options_.counting_mode) {
       lb.features.resize(st.input_nodes * fs.feature_dim());

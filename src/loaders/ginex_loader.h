@@ -33,10 +33,15 @@ struct GinexLoaderOptions {
   /// CPU cost per trace entry for the changeset (eviction-order)
   /// precomputation.
   TimeNs changeset_ns_per_access = 60;
-  /// Optional observability sinks (see OBSERVABILITY.md); both must
+  /// Optional observability sinks (see OBSERVABILITY.md); all must
   /// outlive the loader. Series are labeled {loader="Ginex"}.
   obs::MetricRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  /// Optional attribution sinks ("Tail-latency attribution"): when set the
+  /// loader feeds per-iteration cost-ledger samples into them and exports
+  /// the ledger metric series.
+  obs::TimeSeries* timeline = nullptr;
+  obs::ExemplarReservoir* exemplars = nullptr;
 };
 
 class GinexLoader : public DataLoader {
@@ -44,6 +49,9 @@ class GinexLoader : public DataLoader {
   GinexLoader(const graph::Dataset* dataset, sampling::Sampler* sampler,
               sampling::SeedIterator* seeds, const sim::SystemModel* system,
               GinexLoaderOptions options = {});
+  /// Freezes this loader's pull-style metric series in the registry (see
+  /// MetricRegistry::UnbindAll) before the members they read die.
+  ~GinexLoader() override;
 
   std::string_view name() const override { return "Ginex"; }
   StatusOr<LoaderBatch> Next() override;

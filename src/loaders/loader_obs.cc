@@ -14,8 +14,30 @@ constexpr const char* kPathNames[] = {"cpu_buffer", "gpu_cache", "storage",
 
 LoaderObserver::LoaderObserver(obs::MetricRegistry* metrics,
                                obs::TraceRecorder* trace,
-                               const std::string& loader_name)
-    : metrics_(metrics), trace_(trace), labels_{{"loader", loader_name}} {
+                               const std::string& loader_name,
+                               obs::TimeSeries* timeline,
+                               obs::ExemplarReservoir* exemplars)
+    : metrics_(metrics),
+      trace_(trace),
+      timeline_(timeline),
+      exemplars_(exemplars),
+      attribution_(timeline != nullptr || exemplars != nullptr),
+      labels_{{"loader", loader_name}} {
+  if (metrics_ != nullptr && attribution_) {
+    for (int c = 0; c < obs::IterationLedger::kNumComponents - 1; ++c) {
+      obs::Labels component_labels = labels_;
+      component_labels.emplace_back("component",
+                                    obs::IterationLedger::ComponentName(c));
+      ledger_ns_total_[c] =
+          metrics_->GetCounter("gids_ledger_ns_total", component_labels);
+    }
+    metrics_->RegisterCallback(
+        "gids_ledger_overlap_credit_ns_total", labels_,
+        obs::MetricType::kGauge, [this] {
+          return static_cast<double>(
+              overlap_credit_ns_sum_.load(std::memory_order_relaxed));
+        });
+  }
   if (metrics_ != nullptr) {
     iterations_total_ =
         metrics_->GetCounter("gids_loader_iterations_total", labels_);
@@ -69,21 +91,38 @@ void LoaderObserver::RecordIteration(const IterationStats& stats) {
     corrupt_nodes_total_->Inc(stats.gather.corrupt_nodes);
     e2e_ns_hist_->Observe(static_cast<uint64_t>(stats.e2e_ns));
     input_nodes_hist_->Observe(stats.input_nodes);
+    if (attribution_) {
+      for (int c = 0; c < obs::IterationLedger::kNumComponents - 1; ++c) {
+        ledger_ns_total_[c]->Inc(
+            static_cast<uint64_t>(stats.ledger.component(c)));
+      }
+      overlap_credit_ns_sum_.fetch_add(stats.ledger.overlap_credit_ns,
+                                       std::memory_order_relaxed);
+    }
   }
 
   if (trace_ != nullptr) {
     const TimeNs t0 = clock_;
     const double iter = static_cast<double>(iteration_index_);
-    trace_->AddSpan(
-        "iteration", "pipeline", kIterationTrack, t0, t0 + stats.e2e_ns,
-        {{"iteration", iter},
-         {"input_nodes", static_cast<double>(stats.input_nodes)},
-         {"sampled_edges", static_cast<double>(stats.sampled_edges)},
-         {"merged_group", static_cast<double>(stats.merged_group)},
-         {"gpu_cache_hits", static_cast<double>(stats.gather.gpu_cache_hits)},
-         {"cpu_buffer_hits",
-          static_cast<double>(stats.gather.cpu_buffer_hits)},
-         {"storage_reads", static_cast<double>(stats.gather.storage_reads)}});
+    obs::TraceArgs iteration_args = {
+        {"iteration", iter},
+        {"input_nodes", static_cast<double>(stats.input_nodes)},
+        {"sampled_edges", static_cast<double>(stats.sampled_edges)},
+        {"merged_group", static_cast<double>(stats.merged_group)},
+        {"gpu_cache_hits", static_cast<double>(stats.gather.gpu_cache_hits)},
+        {"cpu_buffer_hits",
+         static_cast<double>(stats.gather.cpu_buffer_hits)},
+        {"storage_reads", static_cast<double>(stats.gather.storage_reads)}};
+    if (attribution_) {
+      for (int c = 0; c < obs::IterationLedger::kNumComponents; ++c) {
+        iteration_args.emplace_back(
+            std::string("ledger_") + obs::IterationLedger::ComponentName(c) +
+                "_ns",
+            static_cast<double>(stats.ledger.component(c)));
+      }
+    }
+    trace_->AddSpan("iteration", "pipeline", kIterationTrack, t0,
+                    t0 + stats.e2e_ns, std::move(iteration_args));
     const TimeNs stage_ns[kNumStages] = {stats.sampling_ns,
                                          stats.aggregation_ns,
                                          stats.transfer_ns, stats.training_ns};
@@ -96,6 +135,19 @@ void LoaderObserver::RecordIteration(const IterationStats& stats) {
       lane_cursor_[s] = start + stage_ns[s];
       offset += stage_ns[s];
     }
+  }
+
+  if (attribution_) {
+    obs::IterationSample sample;
+    sample.iteration = iteration_index_;
+    sample.end_ns = clock_ + stats.e2e_ns;
+    sample.e2e_ns = stats.e2e_ns;
+    sample.gpu_cache_hits = stats.gather.gpu_cache_hits;
+    sample.cpu_buffer_hits = stats.gather.cpu_buffer_hits;
+    sample.storage_reads = stats.gather.storage_reads;
+    sample.ledger = stats.ledger;
+    if (timeline_ != nullptr) timeline_->Record(sample);
+    if (exemplars_ != nullptr) exemplars_->Offer(sample);
   }
 
   clock_ += stats.e2e_ns;

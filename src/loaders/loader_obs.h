@@ -1,11 +1,15 @@
 #ifndef GIDS_LOADERS_LOADER_OBS_H_
 #define GIDS_LOADERS_LOADER_OBS_H_
 
+#include <atomic>
 #include <string>
 
 #include "common/units.h"
 #include "loaders/dataloader.h"
+#include "obs/exemplar.h"
+#include "obs/ledger.h"
 #include "obs/metric_registry.h"
+#include "obs/time_series.h"
 #include "obs/trace_recorder.h"
 
 namespace gids::loaders {
@@ -33,12 +37,22 @@ namespace gids::loaders {
 ///    exceed its e2e share, the per-track cursor pushes the span right so
 ///    spans on a track never overlap.
 ///
-/// Both sinks are optional (null pointer disables that sink). Not
+/// With either attribution sink set (`timeline` / `exemplars`,
+/// OBSERVABILITY.md "Tail-latency attribution"), every iteration's
+/// (end time, e2e, cost ledger) sample feeds the sinks, the per-component
+/// ledger series (gids_ledger_ns_total{component=...} plus the signed
+/// gids_ledger_overlap_credit_ns_total) are exported, and the iteration
+/// span carries ledger_* args. With both null, none of that exists and the
+/// metric/trace output is byte-identical to the pre-attribution layer.
+///
+/// All sinks are optional (null pointer disables that sink). Not
 /// thread-safe; one observer belongs to one loader's Next() pipeline.
 class LoaderObserver {
  public:
   LoaderObserver(obs::MetricRegistry* metrics, obs::TraceRecorder* trace,
-                 const std::string& loader_name);
+                 const std::string& loader_name,
+                 obs::TimeSeries* timeline = nullptr,
+                 obs::ExemplarReservoir* exemplars = nullptr);
 
   /// Records one delivered iteration: bumps the metric series and lays the
   /// iteration's spans onto the virtual-time timeline.
@@ -50,6 +64,8 @@ class LoaderObserver {
 
   obs::MetricRegistry* metrics() const { return metrics_; }
   obs::TraceRecorder* trace() const { return trace_; }
+  obs::TimeSeries* timeline() const { return timeline_; }
+  obs::ExemplarReservoir* exemplars() const { return exemplars_; }
   const obs::Labels& labels() const { return labels_; }
 
   /// Virtual-time position where the next iteration's spans start (the sum
@@ -62,6 +78,9 @@ class LoaderObserver {
 
   obs::MetricRegistry* metrics_;
   obs::TraceRecorder* trace_;
+  obs::TimeSeries* timeline_;
+  obs::ExemplarReservoir* exemplars_;
+  bool attribution_;  // either attribution sink present
   obs::Labels labels_;
 
   obs::Counter* iterations_total_ = nullptr;
@@ -74,6 +93,14 @@ class LoaderObserver {
   obs::Counter* corrupt_nodes_total_ = nullptr;
   obs::HistogramMetric* e2e_ns_hist_ = nullptr;
   obs::HistogramMetric* input_nodes_hist_ = nullptr;
+
+  // Attribution series (created only with metrics_ && attribution_): one
+  // counter per positive ledger component, and a signed accumulator behind
+  // the overlap-credit callback (credits can exceed the positive residue
+  // of a small merged iteration, so the running sum may dip negative).
+  obs::Counter* ledger_ns_total_[obs::IterationLedger::kNumComponents - 1] =
+      {};
+  std::atomic<int64_t> overlap_credit_ns_sum_{0};
 
   TimeNs clock_ = 0;
   TimeNs lane_cursor_[kNumStages] = {};

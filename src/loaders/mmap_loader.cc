@@ -31,9 +31,11 @@ MmapLoader::MmapLoader(const graph::Dataset* dataset,
   uint64_t capacity_pages = std::max<uint64_t>(1, cache_bytes / page_bytes);
   page_cache_ = std::make_unique<OsPageCache>(capacity_pages);
 
-  if (options_.metrics != nullptr || options_.trace != nullptr) {
+  if (options_.metrics != nullptr || options_.trace != nullptr ||
+      options_.timeline != nullptr || options_.exemplars != nullptr) {
     observer_ = std::make_unique<LoaderObserver>(
-        options_.metrics, options_.trace, std::string(name()));
+        options_.metrics, options_.trace, std::string(name()),
+        options_.timeline, options_.exemplars);
     if (options_.metrics != nullptr) {
       options_.metrics->RegisterCallback(
           "gids_os_page_cache_resident_pages", observer_->labels(),
@@ -41,6 +43,12 @@ MmapLoader::MmapLoader(const graph::Dataset* dataset,
             return static_cast<double>(page_cache_->resident_pages());
           });
     }
+  }
+}
+
+MmapLoader::~MmapLoader() {
+  if (options_.metrics != nullptr && observer_ != nullptr) {
+    options_.metrics->UnbindAll(observer_->labels());
   }
 }
 
@@ -86,6 +94,19 @@ StatusOr<LoaderBatch> MmapLoader::Next() {
     st.effective_bandwidth_bps = static_cast<double>(batch_bytes) /
                                  NsToSec(st.aggregation_ns);
   }
+
+  // Cost ledger: the aggregation stage splits into the page-cache copy
+  // floor (what a fully resident run would cost) and the fault-driven
+  // storage residual; every stage serializes, so no overlap credit.
+  obs::IterationLedger& led = st.ledger;
+  led.sampling_ns = st.sampling_ns;
+  led.cpu_buffer_ns = std::min(
+      st.aggregation_ns,
+      system_->cpu().MmapGatherTime(batch_bytes, 0, system_->config().ssd));
+  led.storage_ns = st.aggregation_ns - led.cpu_buffer_ns;
+  led.transfer_ns = st.transfer_ns;
+  led.training_ns = st.training_ns;
+  led.overlap_credit_ns = led.PositiveSum() - st.e2e_ns;
 
   if (!options_.counting_mode) {
     out.features.resize(st.input_nodes * fs.feature_dim());

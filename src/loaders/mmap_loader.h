@@ -24,10 +24,15 @@ namespace gids::loaders {
 struct MmapLoaderOptions {
   /// Skip materializing feature bytes (timing/counting runs).
   bool counting_mode = false;
-  /// Optional observability sinks (see OBSERVABILITY.md); both must
+  /// Optional observability sinks (see OBSERVABILITY.md); all must
   /// outlive the loader. Series are labeled {loader="DGL-mmap"}.
   obs::MetricRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  /// Optional attribution sinks ("Tail-latency attribution"): when set the
+  /// loader feeds per-iteration cost-ledger samples into them and exports
+  /// the ledger metric series.
+  obs::TimeSeries* timeline = nullptr;
+  obs::ExemplarReservoir* exemplars = nullptr;
 };
 
 class MmapLoader : public DataLoader {
@@ -35,6 +40,9 @@ class MmapLoader : public DataLoader {
   MmapLoader(const graph::Dataset* dataset, sampling::Sampler* sampler,
              sampling::SeedIterator* seeds, const sim::SystemModel* system,
              MmapLoaderOptions options = {});
+  /// Freezes this loader's pull-style metric series in the registry (see
+  /// MetricRegistry::UnbindAll) before the members they read die.
+  ~MmapLoader() override;
 
   std::string_view name() const override { return "DGL-mmap"; }
   StatusOr<LoaderBatch> Next() override;

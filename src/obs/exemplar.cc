@@ -1,0 +1,63 @@
+#include "obs/exemplar.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace gids::obs {
+
+ExemplarReservoir::ExemplarReservoir(size_t capacity) : capacity_(capacity) {
+  GIDS_CHECK(capacity_ > 0);
+  heap_.reserve(capacity_);
+}
+
+bool ExemplarReservoir::Outranks(const IterationSample& a,
+                                 const IterationSample& b) {
+  if (a.e2e_ns != b.e2e_ns) return a.e2e_ns > b.e2e_ns;
+  return a.iteration < b.iteration;
+}
+
+void ExemplarReservoir::Offer(const IterationSample& sample) {
+  ++offered_;
+  // std::push_heap with this comparator keeps the *weakest* retained
+  // sample at heap_[0].
+  auto weaker = [](const IterationSample& a, const IterationSample& b) {
+    return Outranks(a, b);
+  };
+  if (heap_.size() < capacity_) {
+    heap_.push_back(sample);
+    std::push_heap(heap_.begin(), heap_.end(), weaker);
+    return;
+  }
+  if (!Outranks(sample, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), weaker);
+  heap_.back() = sample;
+  std::push_heap(heap_.begin(), heap_.end(), weaker);
+}
+
+std::vector<IterationSample> ExemplarReservoir::Snapshot() const {
+  std::vector<IterationSample> out = heap_;
+  std::sort(out.begin(), out.end(), Outranks);
+  return out;
+}
+
+std::string ExemplarReservoir::ToJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const IterationSample& s : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"iteration\":" + JsonNumber(static_cast<double>(s.iteration));
+    out += ",\"end_ns\":" + JsonNumber(static_cast<double>(s.end_ns));
+    out += ",\"e2e_ns\":" + JsonNumber(static_cast<double>(s.e2e_ns));
+    out += ",\"dominant\":\"";
+    out += IterationLedger::ComponentName(s.ledger.DominantComponent());
+    out += "\",\"ledger\":" + s.ledger.ToJson();
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace gids::obs

@@ -1,0 +1,54 @@
+#ifndef GIDS_OBS_EXEMPLAR_H_
+#define GIDS_OBS_EXEMPLAR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/ledger.h"
+
+namespace gids::obs {
+
+/// Bounded reservoir of the slowest iterations seen so far, each retained
+/// with its full IterationSample (iteration id + ledger snapshot) so the
+/// tail of `gids_loader_e2e_ns` is directly inspectable: "*why* was
+/// iteration 4183 at p99.9" is answered by its ledger's dominant
+/// component, not guessed from aggregates (OBSERVABILITY.md "Exemplars").
+///
+/// Offer() is O(log k) against the top-K heap; ties on e2e_ns keep the
+/// earlier iteration (first-seen wins), so the retained set is a pure
+/// function of the sample stream — deterministic at any host_threads.
+///
+/// Not thread-safe: owned by one loader's observer, like TimeSeries.
+class ExemplarReservoir {
+ public:
+  explicit ExemplarReservoir(size_t capacity);
+
+  /// Considers one completed iteration for retention.
+  void Offer(const IterationSample& sample);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return heap_.size(); }
+  uint64_t offered() const { return offered_; }
+
+  /// The retained iterations, slowest first (ties: earlier iteration
+  /// first).
+  std::vector<IterationSample> Snapshot() const;
+
+  /// [{"iteration":..,"end_ns":..,"e2e_ns":..,"dominant":"storage",
+  ///   "ledger":{...}}, ...] slowest first.
+  std::string ToJson() const;
+
+ private:
+  /// True when `a` outranks `b` (slower, or equally slow but earlier).
+  static bool Outranks(const IterationSample& a, const IterationSample& b);
+
+  size_t capacity_;
+  uint64_t offered_ = 0;
+  /// Min-heap on (e2e_ns, -iteration): heap_[0] is the weakest retained
+  /// sample, the one the next faster-than-it offer evicts.
+  std::vector<IterationSample> heap_;
+};
+
+}  // namespace gids::obs
+
+#endif  // GIDS_OBS_EXEMPLAR_H_

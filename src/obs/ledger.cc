@@ -1,0 +1,63 @@
+#include "obs/ledger.h"
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace gids::obs {
+
+namespace {
+
+constexpr const char* kComponentNames[IterationLedger::kNumComponents] = {
+    "sampling",      "cache_hit",  "cpu_buffer",    "storage",
+    "retry_backoff", "crc_verify", "degraded_fill", "transfer",
+    "training",      "overlap_credit"};
+
+}  // namespace
+
+const char* IterationLedger::ComponentName(int i) {
+  GIDS_CHECK(i >= 0 && i < kNumComponents);
+  return kComponentNames[i];
+}
+
+TimeNs IterationLedger::component(int i) const {
+  switch (i) {
+    case 0: return sampling_ns;
+    case 1: return cache_hit_ns;
+    case 2: return cpu_buffer_ns;
+    case 3: return storage_ns;
+    case 4: return retry_backoff_ns;
+    case 5: return crc_verify_ns;
+    case 6: return degraded_fill_ns;
+    case 7: return transfer_ns;
+    case 8: return training_ns;
+    case 9: return overlap_credit_ns;
+  }
+  GIDS_CHECK(false);
+  return 0;
+}
+
+int IterationLedger::DominantComponent() const {
+  int best = 0;
+  TimeNs best_v = component(0);
+  for (int i = 1; i < kNumComponents - 1; ++i) {  // overlap_credit excluded
+    if (component(i) > best_v) {
+      best = i;
+      best_v = component(i);
+    }
+  }
+  return best;
+}
+
+std::string IterationLedger::ToJson() const {
+  std::string out = "{";
+  for (int i = 0; i < kNumComponents; ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += kComponentNames[i];
+    out += "_ns\":" + JsonNumber(static_cast<double>(component(i)));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gids::obs

@@ -1,0 +1,93 @@
+#ifndef GIDS_OBS_LEDGER_H_
+#define GIDS_OBS_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace gids::obs {
+
+/// Attribution of one training iteration's `e2e_ns` into named components
+/// (OBSERVABILITY.md "Per-iteration cost ledger"). Every dataloader fills
+/// one of these alongside its IterationStats, with the hard invariant
+///
+///   Sum() == e2e_ns   (exactly, in integer virtual nanoseconds)
+///
+/// where Sum() is the sum of the nine positive components minus
+/// `overlap_credit_ns`. The positive components are *per-path* costs: the
+/// three gather service paths run concurrently in the GIDS aggregation
+/// kernel, so their times can legitimately add up to more than the
+/// iteration's wall share — the excess is what pipelining hid, and it is
+/// returned in `overlap_credit_ns`. The credit is signed: it dips slightly
+/// negative when an iteration is billed group-shared e2e it did not fill
+/// with its own work (accumulator groups split cost per iteration by
+/// integer division, and a small iteration inside a large group carries
+/// part of its siblings' wall time).
+struct IterationLedger {
+  TimeNs sampling_ns = 0;       // sampling kernel (Ginex: + changeset prep)
+  TimeNs cache_hit_ns = 0;      // HBM software-cache service time
+  TimeNs cpu_buffer_ns = 0;     // host-side service (CPU buffer, page/Belady cache)
+  TimeNs storage_ns = 0;        // fault-free storage-path completion time
+  TimeNs retry_backoff_ns = 0;  // retry backoff + failed-attempt charges + spikes
+  TimeNs crc_verify_ns = 0;     // checksum-verification time (INTEGRITY.md)
+  TimeNs degraded_fill_ns = 0;  // penalty of dead-lettered reads (zero-filled)
+  TimeNs transfer_ns = 0;       // PCIe batch transfer / shared-link floor
+  TimeNs training_ns = 0;       // modeled GNN compute
+  TimeNs overlap_credit_ns = 0; // concurrency savings; subtracted (signed)
+
+  /// Component count including overlap_credit (always the last index).
+  static constexpr int kNumComponents = 10;
+  /// Stable metric-label name of component `i` ("sampling", "cache_hit",
+  /// ..., "overlap_credit").
+  static const char* ComponentName(int i);
+  /// Value of component `i`, same order as ComponentName.
+  TimeNs component(int i) const;
+
+  /// Sum of the nine positive components (everything but overlap_credit).
+  TimeNs PositiveSum() const {
+    return sampling_ns + cache_hit_ns + cpu_buffer_ns + storage_ns +
+           retry_backoff_ns + crc_verify_ns + degraded_fill_ns + transfer_ns +
+           training_ns;
+  }
+  /// The invariant quantity: PositiveSum() - overlap_credit_ns == e2e_ns.
+  TimeNs Sum() const { return PositiveSum() - overlap_credit_ns; }
+
+  /// Index of the largest positive component — "what dominated this
+  /// iteration" for the tail report. Ties break toward the earlier index.
+  int DominantComponent() const;
+
+  void Add(const IterationLedger& o) {
+    sampling_ns += o.sampling_ns;
+    cache_hit_ns += o.cache_hit_ns;
+    cpu_buffer_ns += o.cpu_buffer_ns;
+    storage_ns += o.storage_ns;
+    retry_backoff_ns += o.retry_backoff_ns;
+    crc_verify_ns += o.crc_verify_ns;
+    degraded_fill_ns += o.degraded_fill_ns;
+    transfer_ns += o.transfer_ns;
+    training_ns += o.training_ns;
+    overlap_credit_ns += o.overlap_credit_ns;
+  }
+
+  /// {"sampling_ns":..,...,"overlap_credit_ns":..} in component order.
+  std::string ToJson() const;
+};
+
+/// One delivered iteration as the attribution sinks see it: position on
+/// the virtual-time axis, tail metric, hit/miss traffic, and the cost
+/// ledger. Built by loaders::LoaderObserver; consumed by TimeSeries and
+/// ExemplarReservoir.
+struct IterationSample {
+  uint64_t iteration = 0;  // loader-global iteration index
+  TimeNs end_ns = 0;       // virtual clock when the iteration completed
+  TimeNs e2e_ns = 0;
+  uint64_t gpu_cache_hits = 0;
+  uint64_t cpu_buffer_hits = 0;
+  uint64_t storage_reads = 0;
+  IterationLedger ledger;
+};
+
+}  // namespace gids::obs
+
+#endif  // GIDS_OBS_LEDGER_H_

@@ -102,6 +102,28 @@ void MetricRegistry::RegisterCallback(const std::string& name, Labels labels,
   Entry* e = FindOrCreateLocked(name, std::move(labels), type);
   GIDS_CHECK(e->counter == nullptr && e->gauge == nullptr);
   e->callback = std::move(read);
+  e->frozen = false;  // a new component re-binds a previously frozen entry
+}
+
+void MetricRegistry::UnbindAll() { UnbindAll(Labels{}); }
+
+void MetricRegistry::UnbindAll(const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->callback == nullptr) continue;
+    bool match = true;
+    for (const auto& want : labels) {
+      if (std::find(e->labels.begin(), e->labels.end(), want) ==
+          e->labels.end()) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    e->frozen_value = e->callback();
+    e->frozen = true;
+    e->callback = nullptr;
+  }
 }
 
 size_t MetricRegistry::size() const {
@@ -120,6 +142,8 @@ std::vector<MetricSnapshot> MetricRegistry::Snapshot() const {
     s.type = e->type;
     if (e->callback != nullptr) {
       s.value = e->callback();
+    } else if (e->frozen) {
+      s.value = e->frozen_value;
     } else if (e->counter != nullptr) {
       s.value = static_cast<double>(e->counter->value());
     } else if (e->gauge != nullptr) {
@@ -163,14 +187,15 @@ std::string MetricRegistry::ToJson() const {
   return out;
 }
 
-std::string MetricRegistry::ToPrometheusText() const {
+std::string MetricRegistry::ToPrometheusText(bool cumulative_buckets) const {
   std::string out;
   std::string last_name;
   for (const MetricSnapshot& s : Snapshot()) {
     if (s.name != last_name) {
       out += "# TYPE " + s.name + " ";
-      out += s.type == MetricType::kHistogram ? "summary"
-                                              : MetricTypeName(s.type);
+      out += s.type == MetricType::kHistogram
+                 ? (cumulative_buckets ? "histogram" : "summary")
+                 : MetricTypeName(s.type);
       out += "\n";
       last_name = s.name;
     }
@@ -179,10 +204,28 @@ std::string MetricRegistry::ToPrometheusText() const {
       continue;
     }
     const Histogram& h = s.histogram;
-    for (double q : {0.5, 0.9, 0.99, 0.999}) {
-      out += SeriesName(s.name, s.labels,
-                        "quantile=\"" + JsonNumber(q) + "\"") +
-             " " + JsonNumber(h.Percentile(q)) + "\n";
+    if (cumulative_buckets) {
+      // Native Prometheus histogram exposition: cumulative counts with
+      // inclusive upper bounds, one series per non-empty log bucket (the
+      // cumulative sums make the skipped empty buckets redundant).
+      uint64_t cumulative = 0;
+      for (const Histogram::Bucket& b : h.NonEmptyBuckets()) {
+        cumulative += b.count;
+        out += SeriesName(
+                   s.name + "_bucket", s.labels,
+                   "le=\"" +
+                       JsonNumber(static_cast<double>(b.upper_bound)) +
+                       "\"") +
+               " " + JsonNumber(static_cast<double>(cumulative)) + "\n";
+      }
+      out += SeriesName(s.name + "_bucket", s.labels, "le=\"+Inf\"") + " " +
+             JsonNumber(static_cast<double>(h.count())) + "\n";
+    } else {
+      for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        out += SeriesName(s.name, s.labels,
+                          "quantile=\"" + JsonNumber(q) + "\"") +
+               " " + JsonNumber(h.Percentile(q)) + "\n";
+      }
     }
     out += SeriesName(s.name + "_sum", s.labels) + " " +
            JsonNumber(h.Mean() * static_cast<double>(h.count())) + "\n";
@@ -211,8 +254,9 @@ Status MetricRegistry::WriteJson(const std::string& path) const {
   return WriteFile(path, ToJson());
 }
 
-Status MetricRegistry::WritePrometheusText(const std::string& path) const {
-  return WriteFile(path, ToPrometheusText());
+Status MetricRegistry::WritePrometheusText(const std::string& path,
+                                           bool cumulative_buckets) const {
+  return WriteFile(path, ToPrometheusText(cumulative_buckets));
 }
 
 }  // namespace gids::obs

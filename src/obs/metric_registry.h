@@ -109,6 +109,18 @@ class MetricRegistry {
   void RegisterCallback(const std::string& name, Labels labels,
                         MetricType type, std::function<double()> read);
 
+  /// Materializes every pull-style callback into a frozen final value and
+  /// drops the callback, so snapshots taken after the instrumented
+  /// component is destroyed read the last observed value instead of
+  /// calling into freed memory (the lifetime footgun documented in
+  /// OBSERVABILITY.md). The loaders call this from their destructors with
+  /// their own label set. A frozen entry can be re-bound by a later
+  /// RegisterCallback for the same name + labels.
+  void UnbindAll();
+  /// Label-filtered variant: freezes only entries whose label set contains
+  /// every (key, value) pair of `labels`.
+  void UnbindAll(const Labels& labels);
+
   /// Number of registered metric instances.
   size_t size() const;
 
@@ -121,11 +133,17 @@ class MetricRegistry {
   std::string ToJson() const;
 
   /// Prometheus text exposition format. Histograms are exported
-  /// summary-style: quantile series plus _sum and _count.
-  std::string ToPrometheusText() const;
+  /// summary-style by default: quantile series plus _sum and _count.
+  /// With `cumulative_buckets` (opt-in, `gids_cli run --prom-buckets`)
+  /// they are exported as native Prometheus histograms instead —
+  /// cumulative `_bucket{le="..."}` series over the log-bucket boundaries
+  /// plus `le="+Inf"`, `_sum` and `_count` — so real Prometheus/Grafana
+  /// can aggregate quantiles across runs (histogram_quantile).
+  std::string ToPrometheusText(bool cumulative_buckets = false) const;
 
   Status WriteJson(const std::string& path) const;
-  Status WritePrometheusText(const std::string& path) const;
+  Status WritePrometheusText(const std::string& path,
+                             bool cumulative_buckets = false) const;
 
  private:
   struct Entry {
@@ -136,6 +154,9 @@ class MetricRegistry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<HistogramMetric> histogram;
     std::function<double()> callback;
+    /// UnbindAll() replaces a callback with its materialized last value.
+    bool frozen = false;
+    double frozen_value = 0;
   };
 
   /// Finds the entry for name+labels or creates one of `type`; aborts on a

@@ -1,0 +1,150 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace gids::obs {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+}  // namespace
+
+std::string TimelineDocToJson(const std::string& loader_name,
+                              const TimeSeries& series,
+                              const ExemplarReservoir& exemplars) {
+  Histogram run = series.MergedHistogram();
+  std::string out = "{\"loader\":\"" + JsonEscape(loader_name) + "\"";
+  out += ",\"timeline\":" + series.ToJson();
+  out += ",\"exemplars\":" + exemplars.ToJson();
+  out += ",\"run\":{\"iterations\":" +
+         JsonNumber(static_cast<double>(series.total_iterations()));
+  out += ",\"e2e_ns\":" + run.ToJson() + "}}\n";
+  return out;
+}
+
+Status WriteTimelineJson(const std::string& path,
+                         const std::string& loader_name,
+                         const TimeSeries& series,
+                         const ExemplarReservoir& exemplars) {
+  return WriteFile(path, TimelineDocToJson(loader_name, series, exemplars));
+}
+
+StatusOr<std::string> RenderTimelineReport(std::string_view timeline_json,
+                                           size_t top_k) {
+  GIDS_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(timeline_json));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("timeline document is not a JSON object");
+  }
+  const JsonValue* loader = doc.Find("loader");
+  const JsonValue* timeline = doc.Find("timeline");
+  const JsonValue* exemplars = doc.Find("exemplars");
+  if (loader == nullptr || !loader->is_string() || timeline == nullptr ||
+      !timeline->is_object() || exemplars == nullptr ||
+      !exemplars->is_array()) {
+    return Status::InvalidArgument(
+        "timeline document missing loader/timeline/exemplars");
+  }
+  const JsonValue* windows = timeline->Find("windows");
+  const JsonValue* window_ns = timeline->Find("window_ns");
+  if (windows == nullptr || !windows->is_array() || window_ns == nullptr ||
+      !window_ns->is_number()) {
+    return Status::InvalidArgument(
+        "timeline document missing windows/window_ns");
+  }
+
+  char buf[512];
+  std::string out;
+  const JsonValue* run = doc.Find("run");
+  double run_iters =
+      run != nullptr ? NumberOr(run->Find("iterations"), 0) : 0;
+  std::snprintf(buf, sizeof(buf),
+                "loader: %s  windows: %zu x %.3f ms  iterations: %.0f\n",
+                loader->string_value.c_str(), windows->array.size(),
+                NsToMs(static_cast<TimeNs>(window_ns->number)), run_iters);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "%10s %10s %6s %10s %6s %10s %10s %10s %10s\n", "window",
+                "start_ms", "iters", "iters/s", "hit%", "p50_ms", "p99_ms",
+                "roll_p50", "roll_p99");
+  out += buf;
+  for (const JsonValue& w : windows->array) {
+    if (!w.is_object()) {
+      return Status::InvalidArgument("window entry is not an object");
+    }
+    std::snprintf(
+        buf, sizeof(buf),
+        "%10.0f %10.3f %6.0f %10.1f %6.1f %10.3f %10.3f %10.3f %10.3f\n",
+        NumberOr(w.Find("index"), 0),
+        NsToMs(static_cast<TimeNs>(NumberOr(w.Find("start_ns"), 0))),
+        NumberOr(w.Find("iterations"), 0),
+        NumberOr(w.Find("throughput_ips"), 0),
+        100.0 * NumberOr(w.Find("hit_ratio"), 0),
+        NsToMs(static_cast<TimeNs>(NumberOr(w.Find("p50_ns"), 0))),
+        NsToMs(static_cast<TimeNs>(NumberOr(w.Find("p99_ns"), 0))),
+        NsToMs(static_cast<TimeNs>(NumberOr(w.Find("rolling_p50_ns"), 0))),
+        NsToMs(static_cast<TimeNs>(NumberOr(w.Find("rolling_p99_ns"), 0))));
+    out += buf;
+  }
+
+  size_t shown = std::min(top_k, exemplars->array.size());
+  std::snprintf(buf, sizeof(buf),
+                "tail iterations (top %zu by e2e, dominant ledger "
+                "component first):\n",
+                shown);
+  out += buf;
+  for (size_t i = 0; i < shown; ++i) {
+    const JsonValue& ex = exemplars->array[i];
+    if (!ex.is_object()) {
+      return Status::InvalidArgument("exemplar entry is not an object");
+    }
+    const JsonValue* dominant = ex.Find("dominant");
+    const JsonValue* ledger = ex.Find("ledger");
+    if (dominant == nullptr || !dominant->is_string() || ledger == nullptr ||
+        !ledger->is_object()) {
+      return Status::InvalidArgument("exemplar missing dominant/ledger");
+    }
+    std::snprintf(buf, sizeof(buf), "  #%-8.0f e2e=%8.3f ms  dominant=%s  (",
+                  NumberOr(ex.Find("iteration"), 0),
+                  NsToMs(static_cast<TimeNs>(NumberOr(ex.Find("e2e_ns"), 0))),
+                  dominant->string_value.c_str());
+    out += buf;
+    // The three largest positive components, in ledger order of weight.
+    std::vector<std::pair<double, std::string>> comps;
+    for (int c = 0; c < IterationLedger::kNumComponents - 1; ++c) {
+      std::string name = IterationLedger::ComponentName(c);
+      double v = NumberOr(ledger->Find(name + "_ns"), 0);
+      if (v > 0) comps.emplace_back(v, name);
+    }
+    std::stable_sort(comps.begin(), comps.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    for (size_t c = 0; c < comps.size() && c < 3; ++c) {
+      if (c > 0) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%s %.3f ms", comps[c].second.c_str(),
+                    NsToMs(static_cast<TimeNs>(comps[c].first)));
+      out += buf;
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace gids::obs

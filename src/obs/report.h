@@ -1,0 +1,40 @@
+#ifndef GIDS_OBS_REPORT_H_
+#define GIDS_OBS_REPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/exemplar.h"
+#include "obs/time_series.h"
+
+namespace gids::obs {
+
+/// The complete timeline document written by `gids_cli run
+/// --timeline-json` and read back by `gids_cli report` (schema in
+/// OBSERVABILITY.md "Timeline JSON"):
+///
+///   {"loader":"GIDS",
+///    "timeline":{"window_ns":..,"windows":[...]},   // TimeSeries::ToJson
+///    "exemplars":[...],                             // ExemplarReservoir
+///    "run":{"iterations":..,"e2e_ns":{histogram}}}
+std::string TimelineDocToJson(const std::string& loader_name,
+                              const TimeSeries& series,
+                              const ExemplarReservoir& exemplars);
+
+Status WriteTimelineJson(const std::string& path,
+                         const std::string& loader_name,
+                         const TimeSeries& series,
+                         const ExemplarReservoir& exemplars);
+
+/// Renders a timeline document as the human-readable attribution report
+/// printed by `gids_cli report`: one line per window (throughput, hit
+/// ratio, per-window and rolling tail latency) followed by the top-K tail
+/// iterations, each named by its dominant ledger component. Returns
+/// InvalidArgument on schema violations.
+StatusOr<std::string> RenderTimelineReport(std::string_view timeline_json,
+                                           size_t top_k);
+
+}  // namespace gids::obs
+
+#endif  // GIDS_OBS_REPORT_H_

@@ -1,0 +1,129 @@
+#include "obs/time_series.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace gids::obs {
+
+double TimeSeries::Window::hit_ratio() const {
+  uint64_t hits = gpu_cache_hits;
+  uint64_t total = gpu_cache_hits + storage_reads;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+TimeSeries::TimeSeries(TimeNs window_ns) : window_ns_(window_ns) {
+  GIDS_CHECK(window_ns_ > 0);
+}
+
+void TimeSeries::Record(const IterationSample& sample) {
+  GIDS_CHECK(sample.end_ns >= 0);
+  // An iteration completing exactly on a boundary belongs to the window it
+  // filled, not the one it starts.
+  TimeNs at = sample.end_ns > 0 ? sample.end_ns - 1 : 0;
+  uint64_t index = static_cast<uint64_t>(at / window_ns_);
+  if (windows_.empty() || windows_.back().index != index) {
+    GIDS_CHECK(windows_.empty() || windows_.back().index < index);
+    Window w;
+    w.index = index;
+    windows_.push_back(std::move(w));
+  }
+  Window& w = windows_.back();
+  w.iterations++;
+  w.gpu_cache_hits += sample.gpu_cache_hits;
+  w.cpu_buffer_hits += sample.cpu_buffer_hits;
+  w.storage_reads += sample.storage_reads;
+  w.e2e_ns.Add(static_cast<uint64_t>(sample.e2e_ns));
+  w.ledger.Add(sample.ledger);
+  total_iterations_++;
+}
+
+Histogram TimeSeries::MergedHistogram() const {
+  Histogram merged;
+  for (const Window& w : windows_) merged.Merge(w.e2e_ns);
+  return merged;
+}
+
+std::string TimeSeries::ToJson() const {
+  std::string out = "{\"window_ns\":" +
+                    JsonNumber(static_cast<double>(window_ns_)) +
+                    ",\"windows\":[";
+  Histogram rolling;
+  bool first = true;
+  for (const Window& w : windows_) {
+    rolling.Merge(w.e2e_ns);
+    if (!first) out += ",";
+    first = false;
+    TimeNs start_ns = static_cast<TimeNs>(w.index) * window_ns_;
+    double secs = NsToSec(window_ns_);
+    out += "{\"index\":" + JsonNumber(static_cast<double>(w.index));
+    out += ",\"start_ns\":" + JsonNumber(static_cast<double>(start_ns));
+    out += ",\"end_ns\":" +
+           JsonNumber(static_cast<double>(start_ns + window_ns_));
+    out += ",\"iterations\":" + JsonNumber(static_cast<double>(w.iterations));
+    out += ",\"throughput_ips\":" +
+           JsonNumber(static_cast<double>(w.iterations) / secs);
+    out += ",\"hit_ratio\":" + JsonNumber(w.hit_ratio());
+    out += ",\"gpu_cache_hits\":" +
+           JsonNumber(static_cast<double>(w.gpu_cache_hits));
+    out += ",\"cpu_buffer_hits\":" +
+           JsonNumber(static_cast<double>(w.cpu_buffer_hits));
+    out += ",\"storage_reads\":" +
+           JsonNumber(static_cast<double>(w.storage_reads));
+    out += ",\"p50_ns\":" + JsonNumber(w.e2e_ns.Percentile(0.50));
+    out += ",\"p90_ns\":" + JsonNumber(w.e2e_ns.Percentile(0.90));
+    out += ",\"p99_ns\":" + JsonNumber(w.e2e_ns.Percentile(0.99));
+    out += ",\"rolling_p50_ns\":" + JsonNumber(rolling.Percentile(0.50));
+    out += ",\"rolling_p90_ns\":" + JsonNumber(rolling.Percentile(0.90));
+    out += ",\"rolling_p99_ns\":" + JsonNumber(rolling.Percentile(0.99));
+    out += ",\"ledger\":" + w.ledger.ToJson();
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TimeSeries::ToCsv() const {
+  std::string out =
+      "index,start_ns,end_ns,iterations,throughput_ips,hit_ratio,"
+      "gpu_cache_hits,cpu_buffer_hits,storage_reads,"
+      "p50_ns,p90_ns,p99_ns,rolling_p50_ns,rolling_p90_ns,rolling_p99_ns";
+  for (int i = 0; i < IterationLedger::kNumComponents; ++i) {
+    out += ",";
+    out += IterationLedger::ComponentName(i);
+    out += "_ns";
+  }
+  out += "\n";
+  Histogram rolling;
+  for (const Window& w : windows_) {
+    rolling.Merge(w.e2e_ns);
+    TimeNs start_ns = static_cast<TimeNs>(w.index) * window_ns_;
+    double secs = NsToSec(window_ns_);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%llu,%lld,%lld,%llu,%.6g,%.6g,%llu,%llu,%llu,"
+        "%.6g,%.6g,%.6g,%.6g,%.6g,%.6g",
+        static_cast<unsigned long long>(w.index),
+        static_cast<long long>(start_ns),
+        static_cast<long long>(start_ns + window_ns_),
+        static_cast<unsigned long long>(w.iterations),
+        static_cast<double>(w.iterations) / secs, w.hit_ratio(),
+        static_cast<unsigned long long>(w.gpu_cache_hits),
+        static_cast<unsigned long long>(w.cpu_buffer_hits),
+        static_cast<unsigned long long>(w.storage_reads),
+        w.e2e_ns.Percentile(0.50), w.e2e_ns.Percentile(0.90),
+        w.e2e_ns.Percentile(0.99), rolling.Percentile(0.50),
+        rolling.Percentile(0.90), rolling.Percentile(0.99));
+    out += buf;
+    for (int i = 0; i < IterationLedger::kNumComponents; ++i) {
+      out += "," + std::to_string(static_cast<long long>(w.ledger.component(i)));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gids::obs

@@ -1,0 +1,80 @@
+#ifndef GIDS_OBS_TIME_SERIES_H_
+#define GIDS_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/units.h"
+#include "obs/ledger.h"
+
+namespace gids::obs {
+
+/// Windowed aggregator keyed on the *virtual* clock (TimeNs): iterations
+/// are rolled into fixed-width windows by completion time, each window
+/// keeping rolling counters (iterations, gather traffic, ledger sums) and
+/// a Histogram snapshot of e2e latency. Export as a JSON or CSV timeline
+/// of throughput, hit ratio, and per-window + rolling (cumulative)
+/// p50/p90/p99 e2e latency — the time dimension the whole-run aggregates
+/// in MetricRegistry cannot show (OBSERVABILITY.md "Timeline").
+///
+/// Windows are stored sparsely (only windows that saw an iteration), so a
+/// narrow width over a long run costs memory proportional to iterations,
+/// not to elapsed virtual time. Merging every window's histogram
+/// reproduces the run histogram exactly, which is what makes the rolling
+/// quantiles of the last window equal the run's quantiles.
+///
+/// Not thread-safe: one TimeSeries belongs to one loader's observer, which
+/// already serializes RecordIteration.
+class TimeSeries {
+ public:
+  struct Window {
+    uint64_t index = 0;       // window start = index * window_ns
+    uint64_t iterations = 0;
+    uint64_t gpu_cache_hits = 0;
+    uint64_t cpu_buffer_hits = 0;
+    uint64_t storage_reads = 0;
+    Histogram e2e_ns;         // per-window e2e distribution
+    IterationLedger ledger;   // per-window component sums
+
+    /// hits / (hits + storage reads), the GPU software-cache hit ratio.
+    double hit_ratio() const;
+  };
+
+  explicit TimeSeries(TimeNs window_ns);
+
+  /// Folds one completed iteration into the window containing its
+  /// completion time (`sample.end_ns`). Completion times must be
+  /// non-decreasing (the loader clock is monotone).
+  void Record(const IterationSample& sample);
+
+  TimeNs window_ns() const { return window_ns_; }
+  const std::vector<Window>& windows() const { return windows_; }
+  uint64_t total_iterations() const { return total_iterations_; }
+
+  /// The run-level e2e distribution: the merge of every window histogram.
+  Histogram MergedHistogram() const;
+
+  /// {"window_ns":..,"windows":[{"index":..,"start_ns":..,"end_ns":..,
+  ///   "iterations":..,"throughput_ips":..,"hit_ratio":..,
+  ///   "p50_ns":..,"p90_ns":..,"p99_ns":..,
+  ///   "rolling_p50_ns":..,"rolling_p90_ns":..,"rolling_p99_ns":..,
+  ///   "ledger":{...}}, ...]}
+  /// The rolling quantiles are over the merge of all windows up to and
+  /// including this one, so the last window's rolling values equal the
+  /// run histogram's quantiles.
+  std::string ToJson() const;
+
+  /// Same timeline as CSV: one header line, one row per window.
+  std::string ToCsv() const;
+
+ private:
+  TimeNs window_ns_;
+  std::vector<Window> windows_;
+  uint64_t total_iterations_ = 0;
+};
+
+}  // namespace gids::obs
+
+#endif  // GIDS_OBS_TIME_SERIES_H_

@@ -56,10 +56,9 @@ AggregationTiming ComputeAggregationTiming(const SystemModel& system,
                         ? system.pcie().TransferTime(t.pcie_ingress_bytes)
                         : 0;
   t.hbm_ns = hbm_bytes > 0 ? system.hbm().TransferTime(hbm_bytes) : 0;
-  TimeNs dram_floor =
-      cpu_bytes > 0 ? system.dram().TransferTime(cpu_bytes) : 0;
+  t.dram_ns = cpu_bytes > 0 ? system.dram().TransferTime(cpu_bytes) : 0;
 
-  t.total_ns = std::max({t.ssd_ns, t.pcie_floor_ns, t.hbm_ns, dram_floor,
+  t.total_ns = std::max({t.ssd_ns, t.pcie_floor_ns, t.hbm_ns, t.dram_ns,
                          static_cast<TimeNs>(1)});
 
   double secs = NsToSec(t.total_ns);

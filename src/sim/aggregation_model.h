@@ -34,6 +34,7 @@ struct AggregationTiming {
   TimeNs ssd_ns = 0;        // storage path completion time (incl. T_i/T_t)
   TimeNs pcie_floor_ns = 0; // lower bound from total PCIe ingress bytes
   TimeNs hbm_ns = 0;        // cache-hit service time
+  TimeNs dram_ns = 0;       // CPU-buffer service time (host DRAM reads)
 
   double ssd_bandwidth_bps = 0;     // achieved SSD array read bandwidth
   double pcie_ingress_bps = 0;      // Fig. 9 metric

@@ -84,6 +84,7 @@ Status StorageArray::IssueRead(uint64_t page, std::span<std::byte> out,
   const int device = DeviceFor(page);
   const TimeNs base_latency = spec_.read_latency_ns;
   TimeNs penalty_ns = 0;  // virtual time beyond one fault-free service
+  TimeNs crc_ns = 0;      // checksum-verification share of penalty_ns
   const uint32_t attempts = retry_.max_retries + 1;
   bool saw_mismatch = false;
   bool last_fail_mismatch = false;
@@ -102,6 +103,7 @@ Status StorageArray::IssueRead(uint64_t page, std::span<std::byte> out,
       if (verify) {
         verified_reads_total_.fetch_add(1, std::memory_order_relaxed);
         penalty_ns += integrity_.crc_verify_ns;
+        crc_ns += integrity_.crc_verify_ns;
         if (!out.empty()) {
           // The injected burst is at most 32 bits, inside CRC-32C's
           // guaranteed detection window: the compare fails exactly when
@@ -131,6 +133,10 @@ Status StorageArray::IssueRead(uint64_t page, std::span<std::byte> out,
         if (penalty_ns > 0) {
           retry_penalty_ns_total_.fetch_add(static_cast<uint64_t>(penalty_ns),
                                             std::memory_order_relaxed);
+          if (crc_ns > 0) {
+            crc_verify_ns_total_.fetch_add(static_cast<uint64_t>(crc_ns),
+                                           std::memory_order_relaxed);
+          }
           if (retry_latency_hist_ != nullptr) {
             retry_latency_hist_->Observe(static_cast<uint64_t>(penalty_ns));
           }
@@ -169,6 +175,15 @@ Status StorageArray::IssueRead(uint64_t page, std::span<std::byte> out,
   dead_letters_total_.fetch_add(1, std::memory_order_relaxed);
   retry_penalty_ns_total_.fetch_add(static_cast<uint64_t>(penalty_ns),
                                     std::memory_order_relaxed);
+  if (crc_ns > 0) {
+    crc_verify_ns_total_.fetch_add(static_cast<uint64_t>(crc_ns),
+                                   std::memory_order_relaxed);
+  }
+  // The non-CRC remainder of a dead-lettered read's penalty is the cost of
+  // the attempts wasted on a page the caller will zero-fill (degraded
+  // service). The ledger attributes it separately from ordinary retries.
+  degraded_penalty_ns_total_.fetch_add(
+      static_cast<uint64_t>(penalty_ns - crc_ns), std::memory_order_relaxed);
   if (retry_latency_hist_ != nullptr) {
     retry_latency_hist_->Observe(static_cast<uint64_t>(penalty_ns));
   }
@@ -190,7 +205,8 @@ Status StorageArray::ReadPage(uint64_t page, std::span<std::byte> out,
 }
 
 void StorageArray::BindMetrics(obs::MetricRegistry* registry,
-                               const obs::Labels& labels) {
+                               const obs::Labels& labels,
+                               bool attribution_series) {
   GIDS_CHECK(registry != nullptr);
   using obs::MetricType;
   registry->RegisterCallback(
@@ -251,6 +267,14 @@ void StorageArray::BindMetrics(obs::MetricRegistry* registry,
   registry->RegisterCallback(
       "gids_storage_data_loss_total", labels, MetricType::kCounter,
       [this] { return static_cast<double>(data_loss_total()); });
+  if (attribution_series) {
+    registry->RegisterCallback(
+        "gids_storage_crc_verify_ns_total", labels, MetricType::kCounter,
+        [this] { return static_cast<double>(crc_verify_ns_total()); });
+    registry->RegisterCallback(
+        "gids_storage_degraded_penalty_ns_total", labels, MetricType::kCounter,
+        [this] { return static_cast<double>(degraded_penalty_ns_total()); });
+  }
   request_bytes_hist_ =
       registry->GetHistogram("gids_storage_request_bytes", labels);
   retry_latency_hist_ =
@@ -264,6 +288,8 @@ void StorageArray::ResetCounters() {
   dead_letters_total_.store(0, std::memory_order_relaxed);
   retry_backoff_ns_total_.store(0, std::memory_order_relaxed);
   retry_penalty_ns_total_.store(0, std::memory_order_relaxed);
+  crc_verify_ns_total_.store(0, std::memory_order_relaxed);
+  degraded_penalty_ns_total_.store(0, std::memory_order_relaxed);
   verified_reads_total_.store(0, std::memory_order_relaxed);
   checksum_mismatches_total_.store(0, std::memory_order_relaxed);
   integrity_repairs_total_.store(0, std::memory_order_relaxed);

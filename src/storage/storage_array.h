@@ -159,6 +159,19 @@ class StorageArray {
   uint64_t retry_penalty_ns_total() const {
     return retry_penalty_ns_total_.load(std::memory_order_relaxed);
   }
+  /// Checksum-verification share of retry_penalty_ns_total: crc_verify_ns
+  /// per verified attempt, across successful and dead-lettered reads.
+  /// Disjoint sub-ledger for the iteration cost ledger (OBSERVABILITY.md):
+  /// retry_penalty = crc_verify + degraded_penalty + backoff/spike rest.
+  uint64_t crc_verify_ns_total() const {
+    return crc_verify_ns_total_.load(std::memory_order_relaxed);
+  }
+  /// Non-CRC share of the penalty charged by reads that exhausted their
+  /// retries and were dead-lettered (the attempts wasted on pages the
+  /// caller ultimately zero-filled). Disjoint from crc_verify_ns_total.
+  uint64_t degraded_penalty_ns_total() const {
+    return degraded_penalty_ns_total_.load(std::memory_order_relaxed);
+  }
 
   /// Served attempts that were checksum-verified (verify_reads).
   uint64_t verified_reads_total() const {
@@ -187,7 +200,11 @@ class StorageArray {
   /// gauge, a request-size histogram observed on every read, and the
   /// fault/retry series (gids_storage_retries_total, _timeouts_total,
   /// _dead_letters_total, _faults_injected_total, retry-latency histogram).
-  void BindMetrics(obs::MetricRegistry* registry, const obs::Labels& labels);
+  /// With `attribution_series` the penalty sub-ledgers are also exported
+  /// (gids_storage_crc_verify_ns_total, _degraded_penalty_ns_total); off by
+  /// default so runs without attribution sinks keep their exact metric set.
+  void BindMetrics(obs::MetricRegistry* registry, const obs::Labels& labels,
+                   bool attribution_series = false);
 
  private:
   /// Shared fast/retry read path. An empty `out` span is counting mode.
@@ -223,6 +240,8 @@ class StorageArray {
   std::atomic<uint64_t> dead_letters_total_{0};
   std::atomic<uint64_t> retry_backoff_ns_total_{0};
   std::atomic<uint64_t> retry_penalty_ns_total_{0};
+  std::atomic<uint64_t> crc_verify_ns_total_{0};
+  std::atomic<uint64_t> degraded_penalty_ns_total_{0};
   std::atomic<uint64_t> verified_reads_total_{0};
   std::atomic<uint64_t> checksum_mismatches_total_{0};
   std::atomic<uint64_t> integrity_repairs_total_{0};

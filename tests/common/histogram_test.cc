@@ -144,6 +144,83 @@ TEST(HistogramTest, ToJsonEmpty) {
   EXPECT_NE(json.find("\"max\":0"), std::string::npos) << json;
 }
 
+TEST(HistogramTest, MergeEmptyIntoEmptyStaysEmpty) {
+  Histogram a;
+  Histogram b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MergeEmptyIntoPopulatedIsIdentity) {
+  Histogram a;
+  Histogram empty;
+  for (uint64_t v : {10u, 20u, 30u}) a.Add(v);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+}
+
+TEST(HistogramTest, MergePopulatedIntoEmptyCopies) {
+  Histogram a;
+  Histogram b;
+  for (uint64_t v : {100u, 200u}) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 200u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 150.0);
+  EXPECT_NEAR(a.StdDev(), 50.0, 1e-9);
+}
+
+TEST(HistogramTest, SelfMergeDoublesEveryMoment) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  double mean = h.Mean();
+  double stddev = h.StdDev();
+  h.Merge(h);
+  EXPECT_EQ(h.count(), 200u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), mean);
+  EXPECT_NEAR(h.StdDev(), stddev, 1e-6);
+}
+
+TEST(HistogramTest, MergeAfterClearMatchesFresh) {
+  Histogram a;
+  a.Add(1 << 20);  // large value: min/max must not leak through Clear
+  a.Clear();
+  Histogram b;
+  b.Add(50);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 50u);
+  EXPECT_EQ(a.max(), 50u);
+}
+
+TEST(HistogramTest, NonEmptyBucketsCoverAllCounts) {
+  Histogram h;
+  for (uint64_t v : {1u, 1u, 17u, 300u, 300u, 70000u}) h.Add(v);
+  auto buckets = h.NonEmptyBuckets();
+  ASSERT_FALSE(buckets.empty());
+  uint64_t total = 0;
+  uint64_t prev_bound = 0;
+  for (const auto& b : buckets) {
+    EXPECT_GT(b.count, 0u);
+    EXPECT_GT(b.upper_bound, prev_bound);  // strictly increasing
+    prev_bound = b.upper_bound;
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+  // Inclusive upper bounds: every observed value fits under the last one.
+  EXPECT_GE(buckets.back().upper_bound, h.max());
+  EXPECT_TRUE(Histogram().NonEmptyBuckets().empty());
+}
+
 TEST(HistogramTest, ToJsonCarriesSummaryFields) {
   Histogram h;
   for (int i = 0; i < 10; ++i) h.Add(64);

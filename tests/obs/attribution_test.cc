@@ -1,0 +1,284 @@
+// Unit tests for the tail-latency attribution layer: IterationLedger,
+// the windowed TimeSeries, the ExemplarReservoir, and the report renderer
+// (OBSERVABILITY.md "Tail-latency attribution").
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/exemplar.h"
+#include "obs/json.h"
+#include "obs/ledger.h"
+#include "obs/report.h"
+#include "obs/time_series.h"
+
+namespace gids::obs {
+namespace {
+
+IterationSample MakeSample(uint64_t iteration, TimeNs end_ns, TimeNs e2e_ns) {
+  IterationSample s;
+  s.iteration = iteration;
+  s.end_ns = end_ns;
+  s.e2e_ns = e2e_ns;
+  // A simple exactly-balanced ledger: all e2e billed to storage.
+  s.ledger.storage_ns = e2e_ns;
+  return s;
+}
+
+TEST(IterationLedgerTest, SumSubtractsOverlapCredit) {
+  IterationLedger led;
+  led.sampling_ns = 100;
+  led.storage_ns = 400;
+  led.transfer_ns = 50;
+  led.training_ns = 150;
+  led.overlap_credit_ns = 100;  // sampling overlapped aggregation
+  EXPECT_EQ(led.PositiveSum(), 700);
+  EXPECT_EQ(led.Sum(), 600);
+  // Negative credit (group-shared billing residue) adds to the sum.
+  led.overlap_credit_ns = -3;
+  EXPECT_EQ(led.Sum(), 703);
+}
+
+TEST(IterationLedgerTest, ComponentAccessorsMatchFields) {
+  IterationLedger led;
+  for (int i = 0; i < IterationLedger::kNumComponents; ++i) {
+    EXPECT_EQ(led.component(i), 0) << IterationLedger::ComponentName(i);
+  }
+  led.sampling_ns = 1;
+  led.cache_hit_ns = 2;
+  led.cpu_buffer_ns = 3;
+  led.storage_ns = 4;
+  led.retry_backoff_ns = 5;
+  led.crc_verify_ns = 6;
+  led.degraded_fill_ns = 7;
+  led.transfer_ns = 8;
+  led.training_ns = 9;
+  led.overlap_credit_ns = 10;
+  for (int i = 0; i < IterationLedger::kNumComponents; ++i) {
+    EXPECT_EQ(led.component(i), i + 1);
+    EXPECT_NE(IterationLedger::ComponentName(i), nullptr);
+  }
+  EXPECT_STREQ(IterationLedger::ComponentName(0), "sampling");
+  EXPECT_STREQ(
+      IterationLedger::ComponentName(IterationLedger::kNumComponents - 1),
+      "overlap_credit");
+}
+
+TEST(IterationLedgerTest, DominantComponentIgnoresCreditAndBreaksTiesEarly) {
+  IterationLedger led;
+  led.storage_ns = 500;
+  led.training_ns = 300;
+  led.overlap_credit_ns = 10000;  // credit can never be "dominant"
+  EXPECT_STREQ(IterationLedger::ComponentName(led.DominantComponent()),
+               "storage");
+  led.sampling_ns = 500;  // ties break toward the earlier component
+  EXPECT_STREQ(IterationLedger::ComponentName(led.DominantComponent()),
+               "sampling");
+}
+
+TEST(IterationLedgerTest, ToJsonCarriesEveryComponent) {
+  IterationLedger led;
+  led.crc_verify_ns = 77;
+  led.overlap_credit_ns = -5;
+  auto doc = ParseJson(led.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  for (int i = 0; i < IterationLedger::kNumComponents; ++i) {
+    std::string key =
+        std::string(IterationLedger::ComponentName(i)) + "_ns";
+    const JsonValue* v = doc->Find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_DOUBLE_EQ(v->number, static_cast<double>(led.component(i))) << key;
+  }
+}
+
+TEST(TimeSeriesTest, BucketsByCompletionTime) {
+  TimeSeries ts(/*window_ns=*/1000);
+  ts.Record(MakeSample(0, 100, 100));
+  ts.Record(MakeSample(1, 999, 200));   // still window 0 (end is exclusive)
+  ts.Record(MakeSample(2, 1000, 300));  // window 0: covers (0, 1000]
+  ts.Record(MakeSample(3, 1001, 400));  // window 1
+  ts.Record(MakeSample(4, 5500, 500));  // window 5 (sparse gap)
+  ASSERT_EQ(ts.windows().size(), 3u);
+  EXPECT_EQ(ts.windows()[0].index, 0u);
+  EXPECT_EQ(ts.windows()[0].iterations, 3u);
+  EXPECT_EQ(ts.windows()[1].index, 1u);
+  EXPECT_EQ(ts.windows()[1].iterations, 1u);
+  EXPECT_EQ(ts.windows()[2].index, 5u);
+  EXPECT_EQ(ts.total_iterations(), 5u);
+}
+
+TEST(TimeSeriesTest, WindowsAccumulateTrafficAndLedger) {
+  TimeSeries ts(1000);
+  IterationSample s = MakeSample(0, 500, 100);
+  s.gpu_cache_hits = 8;
+  s.cpu_buffer_hits = 3;
+  s.storage_reads = 2;
+  ts.Record(s);
+  s.iteration = 1;
+  s.end_ns = 600;
+  ts.Record(s);
+  const TimeSeries::Window& w = ts.windows()[0];
+  EXPECT_EQ(w.gpu_cache_hits, 16u);
+  EXPECT_EQ(w.cpu_buffer_hits, 6u);
+  EXPECT_EQ(w.storage_reads, 4u);
+  EXPECT_DOUBLE_EQ(w.hit_ratio(), 16.0 / 20.0);
+  EXPECT_EQ(w.ledger.storage_ns, 200);
+  EXPECT_EQ(w.e2e_ns.count(), 2u);
+}
+
+TEST(TimeSeriesTest, MergedHistogramEqualsRunDistribution) {
+  TimeSeries ts(750);
+  Histogram run;
+  Rng rng(21);
+  TimeNs clock = 0;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    TimeNs e2e = 50 + static_cast<TimeNs>(rng.UniformInt(10000));
+    clock += e2e;
+    ts.Record(MakeSample(i, clock, e2e));
+    run.Add(static_cast<uint64_t>(e2e));
+  }
+  Histogram merged = ts.MergedHistogram();
+  EXPECT_EQ(merged.count(), run.count());
+  EXPECT_EQ(merged.min(), run.min());
+  EXPECT_EQ(merged.max(), run.max());
+  EXPECT_DOUBLE_EQ(merged.Mean(), run.Mean());
+  for (double p : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), run.Percentile(p)) << p;
+  }
+}
+
+TEST(TimeSeriesTest, RollingQuantilesConvergeToRunQuantiles) {
+  TimeSeries ts(500);
+  Histogram run;
+  Rng rng(31);
+  TimeNs clock = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    TimeNs e2e = 100 + static_cast<TimeNs>(rng.UniformInt(5000));
+    clock += e2e;
+    ts.Record(MakeSample(i, clock, e2e));
+    run.Add(static_cast<uint64_t>(e2e));
+  }
+  auto doc = ParseJson(ts.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_DOUBLE_EQ(doc->Find("window_ns")->number, 500.0);
+  const JsonValue* windows = doc->Find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_FALSE(windows->array.empty());
+  // The last window's rolling quantiles are the run's quantiles — the
+  // acceptance criterion for the timeline export.
+  const JsonValue& last = windows->array.back();
+  EXPECT_DOUBLE_EQ(last.Find("rolling_p50_ns")->number, run.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(last.Find("rolling_p90_ns")->number, run.Percentile(0.9));
+  EXPECT_DOUBLE_EQ(last.Find("rolling_p99_ns")->number, run.Percentile(0.99));
+  // Every window carries the full schema.
+  for (const JsonValue& w : windows->array) {
+    for (const char* key :
+         {"index", "start_ns", "end_ns", "iterations", "throughput_ips",
+          "hit_ratio", "p50_ns", "p90_ns", "p99_ns", "rolling_p50_ns",
+          "rolling_p90_ns", "rolling_p99_ns", "ledger"}) {
+      EXPECT_NE(w.Find(key), nullptr) << key;
+    }
+    EXPECT_GT(w.Find("iterations")->number, 0.0);  // sparse storage
+  }
+}
+
+TEST(TimeSeriesTest, CsvHasHeaderAndOneRowPerWindow) {
+  TimeSeries ts(1000);
+  ts.Record(MakeSample(0, 10, 10));
+  ts.Record(MakeSample(1, 2500, 20));
+  std::string csv = ts.ToCsv();
+  size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 3u);  // header + 2 windows
+  EXPECT_EQ(csv.rfind("index,start_ns,", 0), 0u) << csv;
+}
+
+TEST(ExemplarReservoirTest, KeepsSlowestK) {
+  ExemplarReservoir res(3);
+  TimeNs clock = 0;
+  for (uint64_t i = 0; i < 100; ++i) {
+    TimeNs e2e = 100 + static_cast<TimeNs>((i * 37) % 83);
+    clock += e2e;
+    res.Offer(MakeSample(i, clock, e2e));
+  }
+  // Worst three of 100 + (i*37 % 83): values 182 (i where mod = 82), etc.
+  auto snap = res.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(res.offered(), 100u);
+  EXPECT_GE(snap[0].e2e_ns, snap[1].e2e_ns);
+  EXPECT_GE(snap[1].e2e_ns, snap[2].e2e_ns);
+  // No offered sample is slower than the weakest retained one.
+  for (uint64_t i = 0; i < 100; ++i) {
+    TimeNs e2e = 100 + static_cast<TimeNs>((i * 37) % 83);
+    EXPECT_LE(e2e, snap[0].e2e_ns);
+  }
+}
+
+TEST(ExemplarReservoirTest, TiesKeepEarlierIteration) {
+  ExemplarReservoir res(2);
+  res.Offer(MakeSample(0, 100, 500));
+  res.Offer(MakeSample(1, 200, 500));
+  res.Offer(MakeSample(2, 300, 500));  // tie: must NOT evict 0 or 1
+  auto snap = res.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].iteration, 0u);
+  EXPECT_EQ(snap[1].iteration, 1u);
+}
+
+TEST(ExemplarReservoirTest, ToJsonNamesDominantComponent) {
+  ExemplarReservoir res(2);
+  IterationSample s = MakeSample(7, 100, 900);
+  s.ledger.storage_ns = 0;
+  s.ledger.crc_verify_ns = 900;
+  res.Offer(s);
+  auto doc = ParseJson("{\"x\":" + res.ToJson() + "}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* arr = doc->Find("x");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->array.size(), 1u);
+  EXPECT_EQ(arr->array[0].Find("dominant")->string_value, "crc_verify");
+  EXPECT_DOUBLE_EQ(arr->array[0].Find("iteration")->number, 7.0);
+  EXPECT_NE(arr->array[0].Find("ledger"), nullptr);
+}
+
+TEST(ReportTest, RendersTimelineAndTail) {
+  TimeSeries ts(1000);
+  ExemplarReservoir res(2);
+  TimeNs clock = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    TimeNs e2e = i == 13 ? 9000 : 400;  // one obvious tail iteration
+    clock += e2e;
+    IterationSample s = MakeSample(i, clock, e2e);
+    if (i == 13) {
+      s.ledger.storage_ns = 0;
+      s.ledger.retry_backoff_ns = 9000;
+    }
+    ts.Record(s);
+    res.Offer(s);
+  }
+  std::string doc = TimelineDocToJson("GIDS", ts, res);
+  auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("loader")->string_value, "GIDS");
+  ASSERT_NE(parsed->Find("timeline"), nullptr);
+  ASSERT_NE(parsed->Find("exemplars"), nullptr);
+  ASSERT_NE(parsed->Find("run"), nullptr);
+
+  auto report = RenderTimelineReport(doc, 2);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The tail section must name iteration 13 and its dominant component.
+  EXPECT_NE(report->find("13"), std::string::npos) << *report;
+  EXPECT_NE(report->find("retry_backoff"), std::string::npos) << *report;
+  EXPECT_NE(report->find("GIDS"), std::string::npos) << *report;
+}
+
+TEST(ReportTest, RejectsSchemaViolations) {
+  EXPECT_FALSE(RenderTimelineReport("not json", 3).ok());
+  EXPECT_FALSE(RenderTimelineReport("{\"loader\":\"X\"}", 3).ok());
+  EXPECT_FALSE(
+      RenderTimelineReport("{\"timeline\":{\"windows\":[]}}", 3).ok());
+}
+
+}  // namespace
+}  // namespace gids::obs

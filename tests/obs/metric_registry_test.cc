@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "common/thread_pool.h"
@@ -157,6 +158,101 @@ TEST(MetricRegistryTest, PrometheusTextFormat) {
   EXPECT_NE(text.find("gids_lat_ns{quantile=\"0.5\"}"), std::string::npos);
   EXPECT_NE(text.find("gids_lat_ns_sum 30"), std::string::npos);
   EXPECT_NE(text.find("gids_lat_ns_count 2"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, UnbindAllFreezesCallbackValues) {
+  MetricRegistry reg;
+  // Simulates the loader-destructor footgun: the callback reads a
+  // component that is about to die.
+  auto component = std::make_unique<uint64_t>(11);
+  uint64_t* raw = component.get();
+  reg.RegisterCallback("pulled_total", {{"loader", "GIDS"}},
+                       MetricType::kCounter,
+                       [raw] { return static_cast<double>(*raw); });
+  reg.UnbindAll({{"loader", "GIDS"}});
+  component.reset();  // callback target gone
+  // Snapshot after destruction must read the frozen value, not call
+  // through the dangling pointer.
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap[0].value, 11.0);
+  EXPECT_NE(reg.ToJson().find("pulled_total"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, UnbindAllFiltersByLabelSuperset) {
+  MetricRegistry reg;
+  uint64_t a = 1;
+  uint64_t b = 2;
+  reg.RegisterCallback("v", {{"loader", "GIDS"}, {"shard", "0"}},
+                       MetricType::kGauge,
+                       [&a] { return static_cast<double>(a); });
+  reg.RegisterCallback("v", {{"loader", "BaM"}}, MetricType::kGauge,
+                       [&b] { return static_cast<double>(b); });
+  // Freezing {loader=GIDS} must catch the {loader=GIDS, shard=0} entry
+  // (superset match) and leave the BaM series live.
+  reg.UnbindAll({{"loader", "GIDS"}});
+  a = 100;
+  b = 200;
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  for (const auto& m : snap) {
+    if (m.labels[0].second == "GIDS") {
+      EXPECT_DOUBLE_EQ(m.value, 1.0);  // frozen before the bump
+    } else {
+      EXPECT_DOUBLE_EQ(m.value, 200.0);  // still live
+    }
+  }
+}
+
+TEST(MetricRegistryTest, RegisterCallbackRebindsFrozenEntry) {
+  MetricRegistry reg;
+  uint64_t first = 5;
+  reg.RegisterCallback("v", {}, MetricType::kGauge,
+                       [&first] { return static_cast<double>(first); });
+  reg.UnbindAll();
+  EXPECT_DOUBLE_EQ(reg.Snapshot()[0].value, 5.0);
+  // A second component (e.g. a new loader with the same labels) can take
+  // the series over; the frozen value is replaced by the live callback.
+  uint64_t second = 9;
+  reg.RegisterCallback("v", {}, MetricType::kGauge,
+                       [&second] { return static_cast<double>(second); });
+  EXPECT_DOUBLE_EQ(reg.Snapshot()[0].value, 9.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistryTest, PrometheusCumulativeBuckets) {
+  MetricRegistry reg;
+  HistogramMetric* h = reg.GetHistogram("gids_lat_ns", {{"loader", "GIDS"}});
+  h->Observe(10);
+  h->Observe(10);
+  h->Observe(5000);
+
+  std::string text = reg.ToPrometheusText(/*cumulative_buckets=*/true);
+  EXPECT_NE(text.find("# TYPE gids_lat_ns histogram"), std::string::npos)
+      << text;
+  // No summary-style quantile series in bucket mode.
+  EXPECT_EQ(text.find("quantile="), std::string::npos) << text;
+  EXPECT_NE(text.find("gids_lat_ns_sum"), std::string::npos);
+  EXPECT_NE(text.find("gids_lat_ns_count"), std::string::npos);
+  // The +Inf bucket closes the series and carries the total count, and
+  // counts are cumulative (non-decreasing) in le order.
+  EXPECT_NE(text.find("le=\"+Inf\"} 3"), std::string::npos) << text;
+  uint64_t prev = 0;
+  size_t pos = 0;
+  int buckets = 0;
+  while ((pos = text.find("_bucket{", pos)) != std::string::npos) {
+    size_t brace = text.find("} ", pos);
+    ASSERT_NE(brace, std::string::npos);
+    uint64_t count = std::stoull(text.substr(brace + 2));
+    EXPECT_GE(count, prev) << text;
+    prev = count;
+    ++buckets;
+    pos = brace;
+  }
+  EXPECT_GE(buckets, 3);  // two occupied buckets + le="+Inf"
+  // Default mode is untouched: still summary-style.
+  EXPECT_NE(reg.ToPrometheusText().find("quantile=\"0.5\""),
+            std::string::npos);
 }
 
 }  // namespace

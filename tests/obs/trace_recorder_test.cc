@@ -8,7 +8,9 @@
 
 #include "core/gids_loader.h"
 #include "obs/json.h"
+#include "obs/ledger.h"
 #include "obs/metric_registry.h"
+#include "obs/time_series.h"
 #include "tests/test_util.h"
 
 namespace gids::obs {
@@ -150,6 +152,67 @@ TEST(TraceRecorderTest, GidsLoaderExportsConsistentTraceAndMetrics) {
   ASSERT_FALSE(iter_spans.empty());
   EXPECT_DOUBLE_EQ(iter_spans.front().first, 0.0);
   EXPECT_NEAR(iter_spans.back().second, NsToUs(loader.elapsed_ns()), 1e-6);
+}
+
+// Same non-overlap contract with the page-coalescing gather and the
+// attribution sinks on: coalescing changes per-iteration aggregation
+// shares inside merged groups (one round-trip per distinct page), which
+// is exactly the case where stage sums most exceed the pipelined e2e and
+// the per-track cursor has to push spans right. With a timeline sink
+// attached, every iteration span must also carry its ledger args.
+TEST(TraceRecorderTest, CoalescedSpansDoNotOverlapAndCarryLedgerArgs) {
+  gids::testing::LoaderRig rig;
+  TraceRecorder trace;
+  TimeSeries timeline(200 * kNsPerUs);
+  core::GidsOptions opts;
+  opts.counting_mode = true;
+  opts.coalesce_pages = true;
+  opts.trace = &trace;
+  opts.timeline = &timeline;
+  core::GidsLoader loader(rig.dataset.get(), rig.sampler.get(),
+                          rig.seeds.get(), rig.system.get(), opts);
+
+  constexpr int kIterations = 24;
+  TimeNs ledger_sum = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    auto batch = loader.Next();
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ledger_sum += batch->stats.ledger.Sum();
+  }
+  EXPECT_EQ(ledger_sum, loader.elapsed_ns());
+
+  auto doc = ParseJson(trace.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  std::map<int, std::vector<std::pair<double, double>>> spans_by_tid;
+  int iteration_spans = 0;
+  for (const JsonValue& e : doc->Find("traceEvents")->array) {
+    if (e.Find("ph")->string_value != "X") continue;
+    int tid = static_cast<int>(e.Find("tid")->number);
+    double ts = e.Find("ts")->number;
+    spans_by_tid[tid].emplace_back(ts, ts + e.Find("dur")->number);
+    if (e.Find("name")->string_value == "iteration") {
+      ++iteration_spans;
+      // Attribution is on: the span args carry the full ledger.
+      const JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      for (int c = 0; c < IterationLedger::kNumComponents; ++c) {
+        std::string key = std::string("ledger_") +
+                          IterationLedger::ComponentName(c) + "_ns";
+        EXPECT_NE(args->Find(key), nullptr) << key;
+      }
+    }
+  }
+  EXPECT_EQ(iteration_spans, kIterations);
+  ASSERT_GE(spans_by_tid.size(), 2u);  // iteration track + stage tracks
+  for (auto& [tid, spans] : spans_by_tid) {
+    std::sort(spans.begin(), spans.end());
+    for (size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-6)
+          << "overlapping spans on track " << tid;
+    }
+  }
+  EXPECT_EQ(timeline.total_iterations(),
+            static_cast<uint64_t>(kIterations));
 }
 
 }  // namespace

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff RESULT_JSON rows against a committed baseline.
+
+Every bench binary prints one machine-readable line per result row:
+
+    RESULT_JSON {"experiment":"FIG13","label":"...","measured":1.63,
+                 "unit":"ms/iter", ...}
+
+The required keys are `experiment`, `label`, `measured`, and `unit`
+(`paper`, `wall_ms`, `host_threads`, `dedup_ratio` are optional); rows
+missing any required key fail the schema check. The `measured` values are
+*virtual-time* results — deterministic run to run — so any drift is a real
+behavior change, not noise. `wall_ms` is host wall-clock and is never
+compared.
+
+Usage:
+
+    # Gate: parse logs, compare to the baseline, exit 1 on regression.
+    bench_fig13_e2e_samsung > fig13.log
+    tools/bench_compare.py --baseline bench/baselines/seed.json fig13.log ...
+
+    # Refresh the baseline from the same logs (e.g. after an intended
+    # behavior change; commit the result).
+    tools/bench_compare.py --baseline bench/baselines/seed.json --update \
+        fig13.log ...
+
+Baseline schema (JSON):
+
+    {"tolerances": {"FIG13": 0.10, "default": 0.10},
+     "rows": [{"experiment": ..., "label": ..., "measured": ..., "unit": ...}]}
+
+A row regresses when |measured - baseline| / |baseline| exceeds the
+experiment's tolerance (two-sided: silent speedups also fail, so the
+baseline stays honest). Rows present in the baseline but absent from the
+logs fail as lost coverage; rows only in the logs are reported but pass
+(the next --update picks them up).
+"""
+
+import argparse
+import json
+import sys
+
+RESULT_PREFIX = "RESULT_JSON "
+REQUIRED_KEYS = ("experiment", "label", "measured", "unit")
+DEFAULT_TOLERANCE = 0.10
+
+
+def parse_rows(paths):
+    """Extracts and schema-checks RESULT_JSON rows from bench log files."""
+    rows = {}
+    errors = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line.startswith(RESULT_PREFIX):
+                    continue
+                where = f"{path}:{lineno}"
+                try:
+                    obj = json.loads(line[len(RESULT_PREFIX):])
+                except json.JSONDecodeError as e:
+                    errors.append(f"{where}: unparseable RESULT_JSON: {e}")
+                    continue
+                missing = [k for k in REQUIRED_KEYS if k not in obj]
+                if missing:
+                    errors.append(
+                        f"{where}: RESULT_JSON missing required key(s) "
+                        f"{missing}: {line}")
+                    continue
+                if not isinstance(obj["measured"], (int, float)):
+                    errors.append(f"{where}: 'measured' is not a number")
+                    continue
+                key = (obj["experiment"], obj["label"])
+                if key in rows:
+                    errors.append(
+                        f"{where}: duplicate row {key[0]!r}/{key[1]!r}")
+                    continue
+                rows[key] = obj
+    return rows, errors
+
+
+def compare(rows, baseline):
+    tolerances = baseline.get("tolerances", {})
+    default_tol = tolerances.get("default", DEFAULT_TOLERANCE)
+    failures = []
+    checked = 0
+    for base in baseline.get("rows", []):
+        key = (base["experiment"], base["label"])
+        tol = tolerances.get(base["experiment"], default_tol)
+        row = rows.get(key)
+        if row is None:
+            failures.append(
+                f"MISSING  [{key[0]}] {key[1]}: in baseline but not in the "
+                f"logs (lost coverage)")
+            continue
+        checked += 1
+        want, got = base["measured"], row["measured"]
+        if want == 0:
+            if got != 0:
+                failures.append(
+                    f"REGRESS  [{key[0]}] {key[1]}: baseline 0, got {got:g}")
+            continue
+        rel = abs(got - want) / abs(want)
+        if rel > tol:
+            failures.append(
+                f"REGRESS  [{key[0]}] {key[1]}: measured {got:g} vs "
+                f"baseline {want:g} ({100 * rel:.1f}% > {100 * tol:.0f}%)")
+    new_rows = [k for k in rows if k not in
+                {(b["experiment"], b["label"]) for b in
+                 baseline.get("rows", [])}]
+    return failures, checked, new_rows
+
+
+def write_baseline(path, rows, tolerances):
+    doc = {
+        "tolerances": tolerances,
+        "rows": [
+            {"experiment": k[0], "label": k[1],
+             "measured": rows[k]["measured"], "unit": rows[k]["unit"]}
+            for k in sorted(rows)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("logs", nargs="+", help="bench log files to scan")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (bench/baselines/*.json)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the logs instead of "
+                         "comparing (keeps existing tolerances)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="override the default relative tolerance")
+    args = ap.parse_args()
+
+    rows, errors = parse_rows(args.logs)
+    for e in errors:
+        print(f"SCHEMA   {e}", file=sys.stderr)
+    if not rows:
+        print("no RESULT_JSON rows found in the logs", file=sys.stderr)
+        return 1
+
+    if args.update:
+        tolerances = {"default": args.tolerance or DEFAULT_TOLERANCE}
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as f:
+                tolerances = json.load(f).get("tolerances", tolerances)
+        except (OSError, json.JSONDecodeError):
+            pass
+        if args.tolerance is not None:
+            tolerances["default"] = args.tolerance
+        write_baseline(args.baseline, rows, tolerances)
+        print(f"wrote {args.baseline} ({len(rows)} rows)")
+        return 1 if errors else 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"cannot read baseline {args.baseline}: {e}", file=sys.stderr)
+        return 1
+
+    if args.tolerance is not None:
+        baseline.setdefault("tolerances", {})["default"] = args.tolerance
+    failures, checked, new_rows = compare(rows, baseline)
+    for f_ in failures:
+        print(f_, file=sys.stderr)
+    for k in sorted(new_rows):
+        print(f"NEW      [{k[0]}] {k[1]}: not in baseline (run --update to "
+              f"adopt)")
+    if failures or errors:
+        print(f"bench_compare: {len(failures)} regression(s), "
+              f"{len(errors)} schema error(s) over {checked} checked row(s)",
+              file=sys.stderr)
+        return 1
+    print(f"bench_compare: {checked} row(s) within tolerance "
+          f"({len(new_rows)} new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

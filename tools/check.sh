@@ -11,6 +11,11 @@
 # fail loudly. Also runs the documentation lint
 # (tools/docs_lint.sh: dead intra-repo markdown links, undocumented
 # GidsOptions / FaultOptions / IntegrityOptions fields, gids_cli flags).
+# The default preset additionally runs the bench regression gate: the
+# FIG03/FIG13 headline benches are replayed and their RESULT_JSON rows
+# diffed against bench/baselines/seed.json with tools/bench_compare.py
+# (virtual-time `measured` values are deterministic, so the gate fails on
+# any >10% drift, schema violation, or lost row).
 # Run from the repository root:
 #
 #   tools/check.sh            # docs lint + all presets
@@ -39,6 +44,15 @@ for preset in "${presets[@]}"; do
     ctest --preset "$preset" -j "$jobs" -L integrity
     echo "=== [$preset] coalescing-labelled tests"
     ctest --preset "$preset" -j "$jobs" -L coalescing
+  fi
+  if [ "$preset" = "default" ]; then
+    echo "=== [$preset] bench regression gate"
+    benchlog=$(mktemp -d)
+    build/bench/bench_fig03_request_rate > "$benchlog/fig03.log"
+    build/bench/bench_fig13_e2e_samsung > "$benchlog/fig13.log"
+    python3 tools/bench_compare.py --baseline bench/baselines/seed.json \
+      "$benchlog/fig03.log" "$benchlog/fig13.log"
+    rm -rf "$benchlog"
   fi
 done
 

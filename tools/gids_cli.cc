@@ -6,14 +6,21 @@
 //                     --ssd optane --n-ssd 1 --batch 16 --fanout 10,5,5
 //                     --warmup 100 --measure 30 [--csv iters.csv]
 //                     [--metrics-json=metrics.json] [--metrics-prom=out.prom]
-//                     [--trace-json=trace.json]
+//                     [--prom-buckets] [--trace-json=trace.json]
+//                     [--timeline-json=t.json] [--timeline-csv=t.csv]
+//                     [--timeline-window-us 1000] [--report-top-k 5]
 //                     [--no-accumulator] [--no-window] [--no-cpu-buffer]
 //                     [--cpu-buffer-frac 0.1] [--window-depth 8]
 //                     [--host-threads 8] [--prefetch-depth 1]
+//   gids_cli report   --in t.json [--report-top-k 5]
 //
 // `run` accepts either --dataset/--scale (generate on the fly) or
 // --in <file.gids> (load a saved proxy). Prints a per-stage summary and,
 // with --csv, writes per-iteration virtual-time stats for plotting.
+// `report` renders a --timeline-json document as the tail-latency
+// attribution report (windowed timeline + top-K slowest iterations with
+// their dominant cost-ledger component; see OBSERVABILITY.md).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +36,10 @@
 #include "graph/serialization.h"
 #include "loaders/ginex_loader.h"
 #include "loaders/mmap_loader.h"
+#include "obs/exemplar.h"
 #include "obs/metric_registry.h"
+#include "obs/report.h"
+#include "obs/time_series.h"
 #include "obs/trace_recorder.h"
 #include "sampling/neighbor_sampler.h"
 #include "sampling/seed_iterator.h"
@@ -199,6 +209,22 @@ int CmdRun(const Flags& flags) {
   obs::TraceRecorder* trace_ptr =
       flags.Has("trace-json") ? &trace : nullptr;
 
+  // Tail-latency attribution sinks (OBSERVABILITY.md): a windowed
+  // time-series over the virtual clock plus a top-K reservoir of the
+  // slowest iterations. Only created when a timeline export was requested,
+  // so runs without one keep their exact metric/trace output.
+  const bool want_timeline =
+      flags.Has("timeline-json") || flags.Has("timeline-csv");
+  const size_t report_top_k = static_cast<size_t>(
+      std::max<long>(1, flags.GetInt("report-top-k", 5)));
+  std::unique_ptr<obs::TimeSeries> timeline;
+  std::unique_ptr<obs::ExemplarReservoir> exemplars;
+  if (want_timeline) {
+    timeline = std::make_unique<obs::TimeSeries>(
+        UsToNs(flags.GetDouble("timeline-window-us", 1000.0)));
+    exemplars = std::make_unique<obs::ExemplarReservoir>(report_top_k);
+  }
+
   std::string kind = flags.Get("loader", "gids");
   std::unique_ptr<loaders::DataLoader> loader;
   std::vector<graph::NodeId> hot_order;
@@ -207,12 +233,16 @@ int CmdRun(const Flags& flags) {
         &dataset, &sampler, &seeds, &system,
         loaders::MmapLoaderOptions{.counting_mode = true,
                                    .metrics = metrics_ptr,
-                                   .trace = trace_ptr});
+                                   .trace = trace_ptr,
+                                   .timeline = timeline.get(),
+                                   .exemplars = exemplars.get()});
   } else if (kind == "ginex") {
     loaders::GinexLoaderOptions gopts;
     gopts.counting_mode = true;
     gopts.metrics = metrics_ptr;
     gopts.trace = trace_ptr;
+    gopts.timeline = timeline.get();
+    gopts.exemplars = exemplars.get();
     loader = std::make_unique<loaders::GinexLoader>(&dataset, &sampler,
                                                     &seeds, &system, gopts);
   } else if (kind == "bam" || kind == "gids") {
@@ -260,6 +290,8 @@ int CmdRun(const Flags& flags) {
     }
     opts.metrics = metrics_ptr;
     opts.trace = trace_ptr;
+    opts.timeline = timeline.get();
+    opts.exemplars = exemplars.get();
     loader = std::make_unique<core::GidsLoader>(&dataset, &sampler, &seeds,
                                                 &system, opts);
   } else {
@@ -337,7 +369,9 @@ int CmdRun(const Flags& flags) {
   }
   if (flags.Has("metrics-prom")) {
     std::string path = flags.Get("metrics-prom", "metrics.prom");
-    Status s = metrics.WritePrometheusText(path);
+    // --prom-buckets switches histograms from quantile summaries to native
+    // cumulative _bucket{le=...} exposition (OBSERVABILITY.md).
+    Status s = metrics.WritePrometheusText(path, flags.GetBool("prom-buckets"));
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -354,6 +388,36 @@ int CmdRun(const Flags& flags) {
     }
     std::printf("wrote %s (%zu events; open in chrome://tracing)\n",
                 path.c_str(), trace.num_events());
+  }
+  if (flags.Has("timeline-json")) {
+    std::string path = flags.Get("timeline-json", "timeline.json");
+    Status s = obs::WriteTimelineJson(path, std::string(loader->name()),
+                                      *timeline, *exemplars);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu windows, %zu exemplars; render with "
+                "`gids_cli report --in %s`)\n",
+                path.c_str(), timeline->windows().size(), exemplars->size(),
+                path.c_str());
+  }
+  if (flags.Has("timeline-csv")) {
+    std::string path = flags.Get("timeline-csv", "timeline.csv");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::string csv = timeline->ToCsv();
+    size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+    int close_rc = std::fclose(f);
+    if (written != csv.size() || close_rc != 0) {
+      std::fprintf(stderr, "short write to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu windows)\n", path.c_str(),
+                timeline->windows().size());
   }
 
   if (flags.Has("trace")) {
@@ -416,18 +480,54 @@ int CmdRun(const Flags& flags) {
   return 0;
 }
 
+int CmdReport(const Flags& flags) {
+  std::string path = flags.Get("in", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "report requires --in <timeline.json>\n");
+    return 2;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string doc;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    doc.append(buf, got);
+  }
+  std::fclose(f);
+  auto report = obs::RenderTimelineReport(
+      doc, static_cast<size_t>(
+               std::max<long>(1, flags.GetInt("report-top-k", 5))));
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(report->c_str(), stdout);
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: gids_cli <generate|info|run> [--flags]\n"
+      "usage: gids_cli <generate|info|run|report> [--flags]\n"
       "  generate --dataset NAME --scale S [--seed N] --out FILE\n"
       "  info     --in FILE\n"
+      "  report   --in TIMELINE.json [--report-top-k K]\n"
+      "           (tail-latency attribution from a --timeline-json run)\n"
       "  run      (--dataset NAME --scale S | --in FILE)\n"
       "           --loader mmap|ginex|bam|gids --ssd optane|samsung\n"
       "           [--n-ssd N --batch B --fanout a,b,c --warmup W\n"
       "            --measure M --csv FILE --trace FILE.json\n"
       "            --metrics-json FILE --metrics-prom FILE\n"
+      "            --prom-buckets (cumulative _bucket{le=...} exposition)\n"
       "            --trace-json FILE (per-iteration virtual-time spans)\n"
+      "            --timeline-json FILE --timeline-csv FILE\n"
+      "            --timeline-window-us U --report-top-k K\n"
+      "            (windowed timeline + cost-ledger exemplars;\n"
+      "             OBSERVABILITY.md)\n"
       "            --no-accumulator --no-window --no-cpu-buffer\n"
       "            --cpu-buffer-frac F --window-depth D\n"
       "            --host-threads N (parallel data prep, bam/gids)\n"
@@ -456,6 +556,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "info") return CmdInfo(flags);
   if (cmd == "run") return CmdRun(flags);
+  if (cmd == "report") return CmdReport(flags);
   Usage();
   return 2;
 }
