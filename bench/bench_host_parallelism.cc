@@ -14,6 +14,12 @@
 //
 // Speedups scale with the cores actually available; on a single-core
 // machine the sweep degenerates to ~1x, which is reported honestly.
+//
+// The sweep also enforces the zero-allocation hot-path contract
+// (DESIGN.md §11): consumed batches are recycled, the workspace pool is
+// prewarmed after warm-up, and every row reports `steady_state_allocs` —
+// the pool-allocation delta across the measured phase — which
+// tools/bench_compare.py requires to be exactly 0.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -23,6 +29,7 @@
 
 #include "bench/common.h"
 #include "common/check.h"
+#include "common/workspace_pool.h"
 
 namespace gids::bench {
 namespace {
@@ -71,6 +78,7 @@ struct SweepPoint {
   uint32_t host_threads;
   double wall_ms;
   uint64_t fingerprint;
+  uint64_t steady_state_allocs;
 };
 
 SweepPoint RunPoint(const ProxyConfig& cfg, uint32_t host_threads,
@@ -85,23 +93,33 @@ SweepPoint RunPoint(const ProxyConfig& cfg, uint32_t host_threads,
 
   // Warm-up (outside the timed window, like RunProtocol) still feeds the
   // fingerprint: cache state after warm-up must match across thread
-  // counts for the measured phase to be comparable at all.
+  // counts for the measured phase to be comparable at all. Consumed
+  // batches are recycled back to the loader, and the workspace pool is
+  // prewarmed after warm-up, so the measured phase exercises the
+  // zero-allocation hot path (DESIGN.md §11); Recycle() is semantics-free,
+  // so the fingerprints are unaffected.
   Fingerprint fp;
   for (uint64_t i = 0; i < warmup; ++i) {
     auto lb = loader->Next();
     GIDS_CHECK(lb.ok());
     fp.MixBatch(*lb);
+    loader->Recycle(std::move(*lb));
   }
+  WorkspacePool& ws_pool = WorkspacePool::Default();
+  ws_pool.Prewarm();
+  const uint64_t allocs_before = ws_pool.allocs_total();
   auto start = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < measure; ++i) {
     auto lb = loader->Next();
     GIDS_CHECK(lb.ok());
     fp.MixBatch(*lb);
+    loader->Recycle(std::move(*lb));
   }
   double wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();
-  return SweepPoint{host_threads, wall_ms, fp.value()};
+  return SweepPoint{host_threads, wall_ms, fp.value(),
+                    ws_pool.allocs_total() - allocs_before};
 }
 
 void BM_HostParallelism(benchmark::State& state) {
@@ -137,10 +155,19 @@ void BM_HostParallelism(benchmark::State& state) {
         "GIDS data prep, " + std::to_string(p.host_threads) + " threads";
     state.counters["t" + std::to_string(p.host_threads) + "_ms"] = p.wall_ms;
     ReportRow("HOSTPAR", label + " wall", p.wall_ms / kMeasure, 0, "ms/iter",
-              p.wall_ms, static_cast<int>(p.host_threads));
+              p.wall_ms, static_cast<int>(p.host_threads), -1.0,
+              static_cast<int64_t>(p.steady_state_allocs));
     ReportRow("HOSTPAR", label + " speedup vs serial", speedup, 0,
               "x (bounded by available cores)", p.wall_ms,
               static_cast<int>(p.host_threads));
+    // Deterministic twin of the steady_state_allocs field above, baselined
+    // at 0 in bench/baselines/seed.json so the zero-allocation contract is
+    // also covered by the lost-row check: any allocation during the
+    // measured phase — or the row disappearing — fails the gate.
+    ReportRow("HOSTPAR", label + " steady-state allocs",
+              static_cast<double>(p.steady_state_allocs), 0, "allocs", -1.0,
+              static_cast<int>(p.host_threads), -1.0,
+              static_cast<int64_t>(p.steady_state_allocs));
   }
   ReportRow("HOSTPAR", "batches bit-identical across thread counts", 1, 0,
             "bool");

@@ -128,7 +128,8 @@ const std::vector<graph::NodeId>& CachedPageRankOrder(
 
 void ReportRow(const std::string& experiment, const std::string& label,
                double measured, double paper, const std::string& unit,
-               double wall_ms, int host_threads, double dedup_ratio) {
+               double wall_ms, int host_threads, double dedup_ratio,
+               int64_t steady_state_allocs) {
   if (paper > 0) {
     std::printf("[%s] %-42s measured=%-12.4g paper=%-10.4g unit=%s\n",
                 experiment.c_str(), label.c_str(), measured, paper,
@@ -154,6 +155,10 @@ void ReportRow(const std::string& experiment, const std::string& label,
   }
   if (dedup_ratio >= 0) {
     std::printf(",\"dedup_ratio\":%s", obs::JsonNumber(dedup_ratio).c_str());
+  }
+  if (steady_state_allocs >= 0) {
+    std::printf(",\"steady_state_allocs\":%lld",
+                static_cast<long long>(steady_state_allocs));
   }
   std::printf(",\"unit\":\"%s\"}\n", obs::JsonEscape(unit).c_str());
   std::fflush(stdout);

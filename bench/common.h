@@ -73,21 +73,24 @@ const std::vector<graph::NodeId>& CachedPageRankOrder(
 /// Emits one comparison row to stdout in a stable grep-able format:
 ///   [FIG13] IGB-Full/GIDS  measured=12.3  paper=10.0  unit=x
 /// plus a machine-readable RESULT_JSON twin. `wall_ms` (host wall-clock
-/// milliseconds, TrainRunResult::wall_ms), `host_threads`, and
-/// `dedup_ratio` (coalesced page requests / total page requests, the
-/// coalescing gather's fold fraction) are added to the JSON when
-/// non-negative.
+/// milliseconds, TrainRunResult::wall_ms), `host_threads`, `dedup_ratio`
+/// (coalesced page requests / total page requests, the coalescing
+/// gather's fold fraction), and `steady_state_allocs` (workspace-pool
+/// allocations observed during the measured phase after warmup+Prewarm;
+/// DESIGN.md §11) are added to the JSON when non-negative.
 ///
 /// RESULT_JSON schema contract (enforced by tools/bench_compare.py, the
 /// regression gate in tools/check.sh): `experiment`, `label`, `measured`,
 /// and `unit` are required on every row; `paper`, `wall_ms`,
-/// `host_threads`, and `dedup_ratio` are optional. Only `measured` is
-/// compared against bench/baselines/ — it is virtual-time and therefore
-/// deterministic, unlike `wall_ms`.
+/// `host_threads`, `dedup_ratio`, and `steady_state_allocs` are optional.
+/// Only `measured` is compared against bench/baselines/ — it is
+/// virtual-time and therefore deterministic, unlike `wall_ms` — except
+/// that any row carrying `steady_state_allocs` fails the gate outright
+/// when the value is nonzero (the zero-allocation hot-path contract).
 void ReportRow(const std::string& experiment, const std::string& label,
                double measured, double paper, const std::string& unit,
                double wall_ms = -1.0, int host_threads = -1,
-               double dedup_ratio = -1.0);
+               double dedup_ratio = -1.0, int64_t steady_state_allocs = -1);
 
 }  // namespace gids::bench
 

@@ -1,8 +1,7 @@
 #include "common/random.h"
 
+#include <algorithm>
 #include <cmath>
-#include <numeric>
-#include <unordered_set>
 
 namespace gids {
 
@@ -16,25 +15,9 @@ double Rng::Normal() {
 
 std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
                                                Rng& rng) {
-  if (k >= n) {
-    std::vector<uint64_t> all(n);
-    std::iota(all.begin(), all.end(), 0ull);
-    return all;
-  }
-  // Floyd's algorithm: k iterations, each inserting a distinct element.
-  std::unordered_set<uint64_t> seen;
   std::vector<uint64_t> result;
-  seen.reserve(k * 2);
-  result.reserve(k);
-  for (uint64_t j = n - k; j < n; ++j) {
-    uint64_t t = rng.UniformInt(j + 1);
-    if (seen.insert(t).second) {
-      result.push_back(t);
-    } else {
-      seen.insert(j);
-      result.push_back(j);
-    }
-  }
+  result.reserve(std::min(n, k));
+  SampleWithoutReplacementInto(n, k, rng, result);
   return result;
 }
 

@@ -123,6 +123,36 @@ void Shuffle(std::vector<T>& items, Rng& rng) {
   }
 }
 
+/// Samples `k` distinct values uniformly from [0, n) without replacement
+/// into `out` (cleared first). If k >= n, emits all of [0, n) in order.
+/// Floyd's algorithm; the duplicate check is a linear scan over the <= k
+/// values emitted so far, which beats a hash set for the fanout-sized k
+/// (~10) the samplers use and allocates nothing when `out` has capacity.
+/// Draws exactly the same UniformInt sequence — and emits exactly the same
+/// values — as the std::vector overload below.
+template <typename OutVec>
+void SampleWithoutReplacementInto(uint64_t n, uint64_t k, Rng& rng,
+                                  OutVec& out) {
+  out.clear();
+  if (k >= n) {
+    for (uint64_t v = 0; v < n; ++v) out.push_back(v);
+    return;
+  }
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = rng.UniformInt(j + 1);
+    bool dup = false;
+    for (uint64_t prev : out) {
+      if (prev == t) {
+        dup = true;
+        break;
+      }
+    }
+    // When t collides with an earlier pick, Floyd's substitutes j itself —
+    // j is new by construction (every earlier value is < j).
+    out.push_back(dup ? j : t);
+  }
+}
+
 /// Samples `k` distinct values uniformly from [0, n) without replacement.
 /// If k >= n, returns all of [0, n) in order. Uses Floyd's algorithm for
 /// small k relative to n, reservoir-free and O(k) expected.

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/pool_metrics.h"
+#include "obs/workspace_metrics.h"
 #include "sim/aggregation_model.h"
 
 namespace gids::core {
@@ -25,6 +26,10 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   GIDS_CHECK(system_ != nullptr);
   GIDS_CHECK(options_.window_depth >= 0);
   GIDS_CHECK(options_.max_merged_iterations >= 1);
+
+  // The workspace pool is process-wide; the flag is the escape hatch that
+  // turns every acquire into plain malloc/free (bit-identical results).
+  WorkspacePool::Default().set_enabled(options_.workspace_pool);
 
   const graph::FeatureStore& fs = dataset_->features;
   const sim::SystemConfig& cfg = system_->config();
@@ -141,8 +146,10 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
     threshold_gauge_ = reg->GetGauge("gids_accumulator_threshold", labels);
     window_depth_gauge_ = reg->GetGauge("gids_window_depth", labels);
     if (pool_ != nullptr) {
-      obs::BindThreadPoolMetrics(*pool_, reg, labels);
+      pool_metrics_binding_ = obs::BindThreadPoolMetrics(*pool_, reg, labels);
     }
+    ws_metrics_binding_ =
+        obs::BindWorkspacePoolMetrics(WorkspacePool::Default(), reg, labels);
     using obs::MetricType;
     reg->RegisterCallback("gids_scrub_pages_total", labels,
                           MetricType::kCounter, [this] {
@@ -194,7 +201,26 @@ GidsLoader::~GidsLoader() {
     // through dangling pointers.
     options_.metrics->UnbindAll(observer_->labels());
   }
+  // Freeze before the pool they read is destroyed (UnbindAll above already
+  // froze them when an observer exists; these are idempotent).
+  pool_metrics_binding_.Unbind();
+  ws_metrics_binding_.Unbind();
   pool_.reset();
+}
+
+void GidsLoader::Recycle(loaders::LoaderBatch&& batch) {
+  // Bounded so a caller that recycles without consuming can't grow the
+  // banks without limit; the steady state holds at most one group's worth.
+  constexpr size_t kMaxBanked = 256;
+  batch.batch.Reset();
+  batch.features.clear();
+  std::lock_guard<std::mutex> lock(recycle_mu_);
+  if (batch_free_.size() < kMaxBanked) {
+    batch_free_.push_back(std::move(batch.batch));
+  }
+  if (features_free_.size() < kMaxBanked) {
+    features_free_.push_back(std::move(batch.features));
+  }
 }
 
 void GidsLoader::EnsureSampledAhead(size_t count) {
@@ -202,34 +228,55 @@ void GidsLoader::EnsureSampledAhead(size_t count) {
   // input, and drawing in iteration order keeps the seed stream identical
   // to a serial loader's.
   while (pending_.size() < count) {
+    // Reuse a parked Pending (seeds + block capacity) when one exists;
+    // otherwise adopt a recycled MiniBatch so its blocks seed the new one.
     Pending p;
+    if (!pending_free_.empty()) {
+      p = std::move(pending_free_.back());
+      pending_free_.pop_back();
+      p.sampled = false;
+      p.registered = false;
+    }
+    if (p.batch.blocks.empty()) {
+      // A parked Pending's batch was moved into a LoaderBatch; its block
+      // storage comes back through Recycle().
+      std::lock_guard<std::mutex> lock(recycle_mu_);
+      if (!batch_free_.empty()) {
+        p.batch = std::move(batch_free_.back());
+        batch_free_.pop_back();
+      }
+    }
     p.iteration = next_sample_iteration_++;
-    p.seeds = seeds_->NextBatch();
+    seeds_->NextBatchInto(p.seeds);
     pending_.push_back(std::move(p));
   }
 
-  std::vector<size_t> todo;
+  sample_todo_.clear();
   for (size_t i = 0; i < pending_.size(); ++i) {
-    if (!pending_[i].sampled) todo.push_back(i);
+    if (!pending_[i].sampled) sample_todo_.push_back(i);
   }
-  if (todo.empty()) return;
+  if (sample_todo_.empty()) return;
 
   auto sample_one = [this](Pending& p) {
-    p.batch = sampler_->SampleAt(p.seeds, p.iteration);
-    std::vector<uint64_t> layer_edges = p.batch.LayerEdgeCounts();
+    sampler_->SampleAtInto(p.seeds, p.iteration, &p.batch);
+    // Per-call workspace (not a member): sample_one runs concurrently.
+    Workspace<uint64_t> layer_edges;
+    p.batch.LayerEdgeCountsInto(layer_edges);
     p.sampling_ns = system_->gpu().SamplingTime(
         layer_edges.data(), static_cast<int>(layer_edges.size()),
         dataset_->graph.structure_bytes());
     p.sampled = true;
   };
-  if (pool_ != nullptr && sampler_->concurrent_safe() && todo.size() > 1) {
+  if (pool_ != nullptr && sampler_->concurrent_safe() &&
+      sample_todo_.size() > 1) {
     // Every iteration draws from its own RNG stream, so the merged future
     // iterations (§3.2: independent by construction) sample concurrently
     // without perturbing any iteration's batch.
-    pool_->ParallelFor(todo.size(),
-                       [&](size_t j) { sample_one(pending_[todo[j]]); });
+    pool_->ParallelFor(sample_todo_.size(), [&](size_t j) {
+      sample_one(pending_[sample_todo_[j]]);
+    });
   } else {
-    for (size_t i : todo) sample_one(pending_[i]);
+    for (size_t i : sample_todo_) sample_one(pending_[i]);
   }
 }
 
@@ -288,6 +335,15 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
   // --- Gather every merged iteration (conceptually one aggregation
   // kernel execution spanning the group).
   std::vector<loaders::LoaderBatch> group_batches(group);
+  // Rebuild each batch's feature storage from the recycle bank (its
+  // capacity survives the round trip through the consumer).
+  if (!options_.counting_mode) {
+    std::lock_guard<std::mutex> lock(recycle_mu_);
+    for (size_t i = 0; i < group && !features_free_.empty(); ++i) {
+      group_batches[i].features = std::move(features_free_.back());
+      features_free_.pop_back();
+    }
+  }
   storage::FeatureGatherCounts group_counts;
   TimeNs group_sampling = 0;
   TimeNs group_training = 0;
@@ -295,9 +351,16 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
   // storage array's ledger around each gather (zero without injection).
   // The crc/degraded sub-ledgers partition the penalty for the cost
   // ledger: penalty = crc_verify + degraded + backoff/spike rest.
-  std::vector<TimeNs> retry_penalty(group, 0);
-  std::vector<TimeNs> crc_penalty(group, 0);
-  std::vector<TimeNs> degraded_penalty(group, 0);
+  // Workspace resize value-initializes, so these start at zero each call.
+  Workspace<TimeNs>& retry_penalty = retry_penalty_;
+  Workspace<TimeNs>& crc_penalty = crc_penalty_;
+  Workspace<TimeNs>& degraded_penalty = degraded_penalty_;
+  retry_penalty.clear();
+  retry_penalty.resize(group);
+  crc_penalty.clear();
+  crc_penalty.resize(group);
+  degraded_penalty.clear();
+  degraded_penalty.resize(group);
   TimeNs group_retry_penalty = 0;
   TimeNs group_crc_penalty = 0;
   TimeNs group_degraded_penalty = 0;
@@ -319,8 +382,12 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
     // iterations also collapse to a single round-trip per distinct page.
     // GatherGroup's per-slice accounting keeps per-iteration stats exact
     // (sums equal the group totals).
-    std::vector<storage::GatherSlice> slices(group);
-    std::vector<storage::FeatureGatherCounts> slice_counts(group);
+    Workspace<storage::GatherSlice>& slices = gather_slices_;
+    Workspace<storage::FeatureGatherCounts>& slice_counts = slice_counts_;
+    slices.clear();
+    slices.resize(group);
+    slice_counts.clear();
+    slice_counts.resize(group);
     for (size_t i = 0; i < group; ++i) {
       const auto& nodes = pending_[i].batch.input_nodes();
       if (options_.counting_mode) {
@@ -335,7 +402,9 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
     const uint64_t crc_before = storage_->crc_verify_ns_total();
     const uint64_t degraded_before = storage_->degraded_penalty_ns_total();
     GIDS_RETURN_IF_ERROR(gatherer_->GatherGroup(
-        slices, std::span<storage::FeatureGatherCounts>(slice_counts)));
+        std::span<const storage::GatherSlice>(slices.data(), slices.size()),
+        std::span<storage::FeatureGatherCounts>(slice_counts.data(),
+                                                slice_counts.size())));
     // The retry/backoff ledger is group-scoped here (one gather call);
     // only the non-accumulator branch reads per-iteration penalties, and
     // it always runs with group == 1, so charging index 0 is exact.
@@ -381,6 +450,13 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
       group_degraded_penalty += degraded_penalty[i];
       group_counts.Add(st.gather);
       lb.batch = std::move(p.batch);
+    }
+  }
+  for (size_t i = 0; i < group; ++i) {
+    // Park consumed Pendings so their seeds vectors keep their capacity
+    // (the batch was moved into the LoaderBatch above).
+    if (pending_free_.size() < options_.max_merged_iterations * 2) {
+      pending_free_.push_back(std::move(pending_[i]));
     }
   }
   pending_.erase(pending_.begin(), pending_.begin() + group);
@@ -490,7 +566,10 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
         static_cast<uint64_t>(options_.scrub_pages_per_iter) * group;
     const uint32_t shards = cache_->num_shards();
     const uint64_t per_shard = (quota + shards - 1) / shards;
-    std::vector<storage::SoftwareCache::ScrubResult> shard_res(shards);
+    Workspace<storage::SoftwareCache::ScrubResult>& shard_res =
+        scrub_results_;
+    shard_res.clear();
+    shard_res.resize(shards);
     auto scrub_shard = [&](size_t s) {
       shard_res[s] = cache_->ScrubShard(static_cast<uint32_t>(s), per_shard);
     };

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "common/workspace_pool.h"
 #include "core/accumulator.h"
 #include "core/constant_cpu_buffer.h"
 #include "core/window_buffer.h"
@@ -88,6 +89,18 @@ struct GidsOptions {
   /// Software-cache shard count override; 0 uses the automatic policy
   /// (power of two, >= 256 lines per shard, <= 64 shards).
   uint32_t cache_shards = 0;
+
+  /// Size-bucketed workspace pooling for the data-preparation hot path
+  /// (DESIGN.md §11): sampler scratch, gather staging, and penalty/slice
+  /// vectors draw pow2-class blocks from the process-wide WorkspacePool,
+  /// and consumed LoaderBatches handed back via Recycle() reseed the next
+  /// iteration's seed/block/feature storage, so a steady-state epoch
+  /// performs zero heap allocations (gids_ws_allocs_total stays flat).
+  /// Off is the escape hatch (`gids_cli --no-workspace-pool`): every
+  /// workspace acquire falls through to malloc/free, with bit-identical
+  /// results. The flag sets the process-wide pool mode, so all loaders in
+  /// one process should agree on it.
+  bool workspace_pool = true;
 
   /// --- Storage fault injection & resilience (FAULTS.md). All defaults
   /// keep the fault layer disabled: the storage read path is then
@@ -185,6 +198,10 @@ class GidsLoader : public loaders::DataLoader {
 
   std::string_view name() const override { return options_.display_name; }
   StatusOr<loaders::LoaderBatch> Next() override;
+  /// Banks the consumed batch's seed/block/feature storage for reuse by a
+  /// later iteration (the zero-allocation loop, DESIGN.md §11). Safe to
+  /// call from the consumer thread while a prefetch task prepares groups.
+  void Recycle(loaders::LoaderBatch&& batch) override;
   TimeNs elapsed_ns() const override { return elapsed_ns_; }
   uint64_t iterations() const override { return iterations_; }
 
@@ -244,6 +261,28 @@ class GidsLoader : public loaders::DataLoader {
 
   std::deque<Pending> pending_;
   std::deque<loaders::LoaderBatch> ready_;
+  /// Consumed Pendings parked for reuse: their seeds vector and MiniBatch
+  /// blocks keep their capacity across iterations. Touched only by the
+  /// single-flight group preparation, so no lock.
+  std::vector<Pending> pending_free_;
+  /// Recycle() deposits; group preparation withdraws. Guarded by
+  /// recycle_mu_ because the consumer thread recycles while the prefetch
+  /// task prepares.
+  std::mutex recycle_mu_;
+  std::vector<sampling::MiniBatch> batch_free_;
+  std::vector<std::vector<float>> features_free_;
+
+  // Group-preparation scratch, reused across calls (single-flight, like
+  // the gatherer's members): pool-backed so steady-state groups allocate
+  // nothing.
+  Workspace<size_t> sample_todo_;
+  Workspace<TimeNs> retry_penalty_;
+  Workspace<TimeNs> crc_penalty_;
+  Workspace<TimeNs> degraded_penalty_;
+  Workspace<storage::GatherSlice> gather_slices_;
+  Workspace<storage::FeatureGatherCounts> slice_counts_;
+  Workspace<storage::SoftwareCache::ScrubResult> scrub_results_;
+
   uint64_t next_sample_iteration_ = 0;
   int resolved_window_depth_ = 0;
   TimeNs elapsed_ns_ = 0;
@@ -274,6 +313,11 @@ class GidsLoader : public loaders::DataLoader {
 
   std::mutex obs_mu_;
   std::unique_ptr<loaders::LoaderObserver> observer_;
+  // Pull-metric lifetimes (OBSERVABILITY.md): destroying these freezes the
+  // thread-pool / workspace-pool gauges to their final values even when
+  // the registry outlives the loader.
+  obs::PullBinding pool_metrics_binding_;
+  obs::PullBinding ws_metrics_binding_;
   obs::Counter* groups_total_ = nullptr;
   obs::HistogramMetric* merged_group_hist_ = nullptr;
   obs::Gauge* threshold_gauge_ = nullptr;

@@ -76,6 +76,7 @@ StatusOr<TrainRunResult> Trainer::Run(loaders::DataLoader& loader) {
     if (options_.functional_training) {
       GIDS_RETURN_IF_ERROR(train_functionally(lb));
     }
+    loader.Recycle(std::move(lb));
   }
   result.losses.clear();  // report measured-phase losses/accuracies only
   result.accuracies.clear();
@@ -89,6 +90,7 @@ StatusOr<TrainRunResult> Trainer::Run(loaders::DataLoader& loader) {
     if (options_.functional_training) {
       GIDS_RETURN_IF_ERROR(train_functionally(lb));
     }
+    loader.Recycle(std::move(lb));
   }
   result.wall_ms =
       std::chrono::duration<double, std::milli>(

@@ -91,6 +91,13 @@ class DataLoader {
   /// Prepares and accounts the next training iteration.
   virtual StatusOr<LoaderBatch> Next() = 0;
 
+  /// Hands a consumed batch back for buffer reuse: loaders that override
+  /// this clear the batch and feed its seed/block/feature storage into the
+  /// next Next(), closing the zero-allocation loop (DESIGN.md §11).
+  /// Optional — callers that drop batches instead lose only the reuse, and
+  /// the default is a no-op. The batch must no longer be read afterwards.
+  virtual void Recycle(LoaderBatch&& batch) { (void)batch; }
+
   /// Total virtual time elapsed across all iterations served.
   virtual TimeNs elapsed_ns() const = 0;
 

@@ -52,15 +52,39 @@ GinexLoader::~GinexLoader() {
   }
 }
 
+void GinexLoader::Recycle(LoaderBatch&& batch) {
+  constexpr size_t kMaxBanked = 256;
+  batch.batch.Reset();
+  batch.features.clear();
+  if (batch_free_.size() < kMaxBanked) {
+    batch_free_.push_back(std::move(batch.batch));
+  }
+  if (features_free_.size() < kMaxBanked) {
+    features_free_.push_back(std::move(batch.features));
+  }
+}
+
 void GinexLoader::PrepareSuperbatch() {
   const graph::FeatureStore& fs = dataset_->features;
   const uint32_t n = options_.superbatch_iterations;
 
   std::vector<LoaderBatch> batches(n);
-  std::vector<std::vector<uint64_t>> traces(n);
+  for (uint32_t i = 0; i < n && !batch_free_.empty(); ++i) {
+    batches[i].batch = std::move(batch_free_.back());
+    batch_free_.pop_back();
+  }
+  if (!options_.counting_mode) {
+    for (uint32_t i = 0; i < n && !features_free_.empty(); ++i) {
+      batches[i].features = std::move(features_free_.back());
+      features_free_.pop_back();
+    }
+  }
+  std::vector<std::vector<uint64_t>>& traces = traces_;
+  if (traces.size() != n) traces.resize(n);
+  for (auto& t : traces) t.clear();
   for (uint32_t i = 0; i < n; ++i) {
-    std::vector<graph::NodeId> seed_batch = seeds_->NextBatch();
-    batches[i].batch = sampler_->Sample(seed_batch);
+    seeds_->NextBatchInto(seed_scratch_);
+    sampler_->SampleInto(seed_scratch_, &batches[i].batch);
     IterationStats& st = batches[i].stats;
     st.sampled_edges = batches[i].batch.total_edges();
     st.input_nodes = batches[i].batch.num_input_nodes();

@@ -55,6 +55,10 @@ class GinexLoader : public DataLoader {
 
   std::string_view name() const override { return "Ginex"; }
   StatusOr<LoaderBatch> Next() override;
+  /// Banks the consumed batch's block/feature storage for the next
+  /// superbatch (the zero-allocation loop, DESIGN.md §11). The loader is
+  /// serial: Recycle and Next run on the consumer thread.
+  void Recycle(LoaderBatch&& batch) override;
   TimeNs elapsed_ns() const override { return elapsed_ns_; }
   uint64_t iterations() const override { return iterations_; }
 
@@ -71,6 +75,13 @@ class GinexLoader : public DataLoader {
   std::unique_ptr<BeladyCache> cache_;
   std::unique_ptr<LoaderObserver> observer_;
   obs::Counter* superbatches_total_ = nullptr;
+
+  /// Reused superbatch scratch (page traces keep their capacity across
+  /// superbatches) plus the Recycle() banks (serial loader: no lock).
+  std::vector<graph::NodeId> seed_scratch_;
+  std::vector<std::vector<uint64_t>> traces_;
+  std::vector<sampling::MiniBatch> batch_free_;
+  std::vector<std::vector<float>> features_free_;
 
   std::deque<LoaderBatch> ready_;
   TimeNs elapsed_ns_ = 0;

@@ -52,10 +52,30 @@ MmapLoader::~MmapLoader() {
   }
 }
 
+void MmapLoader::Recycle(LoaderBatch&& batch) {
+  constexpr size_t kMaxBanked = 256;
+  batch.batch.Reset();
+  batch.features.clear();
+  if (batch_free_.size() < kMaxBanked) {
+    batch_free_.push_back(std::move(batch.batch));
+  }
+  if (features_free_.size() < kMaxBanked) {
+    features_free_.push_back(std::move(batch.features));
+  }
+}
+
 StatusOr<LoaderBatch> MmapLoader::Next() {
   LoaderBatch out;
-  std::vector<graph::NodeId> seed_batch = seeds_->NextBatch();
-  out.batch = sampler_->Sample(seed_batch);
+  if (!batch_free_.empty()) {
+    out.batch = std::move(batch_free_.back());
+    batch_free_.pop_back();
+  }
+  if (!features_free_.empty()) {
+    out.features = std::move(features_free_.back());
+    features_free_.pop_back();
+  }
+  seeds_->NextBatchInto(seed_scratch_);
+  sampler_->SampleInto(seed_scratch_, &out.batch);
 
   IterationStats& st = out.stats;
   st.sampled_edges = out.batch.total_edges();

@@ -46,6 +46,10 @@ class MmapLoader : public DataLoader {
 
   std::string_view name() const override { return "DGL-mmap"; }
   StatusOr<LoaderBatch> Next() override;
+  /// Banks the consumed batch's block/feature storage for the next Next()
+  /// (the zero-allocation loop, DESIGN.md §11). The loader is serial:
+  /// Recycle and Next run on the consumer thread.
+  void Recycle(LoaderBatch&& batch) override;
   TimeNs elapsed_ns() const override { return elapsed_ns_; }
   uint64_t iterations() const override { return iterations_; }
 
@@ -59,6 +63,10 @@ class MmapLoader : public DataLoader {
   MmapLoaderOptions options_;
   std::unique_ptr<OsPageCache> page_cache_;
   std::unique_ptr<LoaderObserver> observer_;
+  /// Reused seed scratch plus the Recycle() banks (serial loader: no lock).
+  std::vector<graph::NodeId> seed_scratch_;
+  std::vector<sampling::MiniBatch> batch_free_;
+  std::vector<std::vector<float>> features_free_;
   TimeNs elapsed_ns_ = 0;
   uint64_t iterations_ = 0;
 };

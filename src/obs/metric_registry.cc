@@ -126,6 +126,26 @@ void MetricRegistry::UnbindAll(const Labels& labels) {
   }
 }
 
+void MetricRegistry::UnbindNamed(const std::string& name,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->callback == nullptr || e->name != name) continue;
+    bool match = true;
+    for (const auto& want : labels) {
+      if (std::find(e->labels.begin(), e->labels.end(), want) ==
+          e->labels.end()) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    e->frozen_value = e->callback();
+    e->frozen = true;
+    e->callback = nullptr;
+  }
+}
+
 size_t MetricRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

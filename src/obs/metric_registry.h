@@ -120,6 +120,11 @@ class MetricRegistry {
   /// Label-filtered variant: freezes only entries whose label set contains
   /// every (key, value) pair of `labels`.
   void UnbindAll(const Labels& labels);
+  /// Name + label-filtered variant: freezes only the pull entries with
+  /// exactly this metric name whose labels contain every pair of `labels`.
+  /// Used by PullBinding to freeze one component's metrics when that
+  /// component (not the whole loader) is destroyed.
+  void UnbindNamed(const std::string& name, const Labels& labels);
 
   /// Number of registered metric instances.
   size_t size() const;
@@ -166,6 +171,61 @@ class MetricRegistry {
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// RAII handle over a set of pull-style callbacks bound into one registry:
+/// destroying (or Unbind()-ing) the binding freezes exactly the named
+/// entries via UnbindNamed, so a component whose metrics were bound with
+/// RegisterCallback can die before the registry's last snapshot without
+/// leaving dangling callbacks (OBSERVABILITY.md "Lifetime"). Move-only;
+/// the default-constructed state is empty and freezes nothing. Destroy the
+/// binding before (or when) the instrumented component is destroyed.
+class PullBinding {
+ public:
+  PullBinding() = default;
+  PullBinding(MetricRegistry* registry, Labels labels)
+      : registry_(registry), labels_(std::move(labels)) {}
+  PullBinding(const PullBinding&) = delete;
+  PullBinding& operator=(const PullBinding&) = delete;
+  PullBinding(PullBinding&& o) noexcept
+      : registry_(o.registry_),
+        labels_(std::move(o.labels_)),
+        names_(std::move(o.names_)) {
+    o.registry_ = nullptr;
+    o.names_.clear();
+  }
+  PullBinding& operator=(PullBinding&& o) noexcept {
+    if (this != &o) {
+      Unbind();
+      registry_ = o.registry_;
+      labels_ = std::move(o.labels_);
+      names_ = std::move(o.names_);
+      o.registry_ = nullptr;
+      o.names_.clear();
+    }
+    return *this;
+  }
+  ~PullBinding() { Unbind(); }
+
+  /// Records `name` as owned by this binding. The caller must have
+  /// registered the callback under the binding's label set.
+  void Track(std::string name) { names_.push_back(std::move(name)); }
+
+  /// Freezes every tracked entry now (idempotent; also safe if the
+  /// registry already froze them via UnbindAll).
+  void Unbind() {
+    if (registry_ == nullptr) return;
+    for (const auto& name : names_) registry_->UnbindNamed(name, labels_);
+    names_.clear();
+    registry_ = nullptr;
+  }
+
+  bool bound() const { return registry_ != nullptr; }
+
+ private:
+  MetricRegistry* registry_ = nullptr;
+  Labels labels_;
+  std::vector<std::string> names_;
 };
 
 }  // namespace gids::obs

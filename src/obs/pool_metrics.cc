@@ -1,33 +1,38 @@
 #include "obs/pool_metrics.h"
 
+#include <functional>
+#include <utility>
+
 #include "common/check.h"
 
 namespace gids::obs {
 
-void BindThreadPoolMetrics(const ThreadPool& pool, MetricRegistry* registry,
-                           const Labels& labels) {
+PullBinding BindThreadPoolMetrics(const ThreadPool& pool,
+                                  MetricRegistry* registry,
+                                  const Labels& labels) {
   GIDS_CHECK(registry != nullptr);
   const ThreadPool* p = &pool;
-  registry->RegisterCallback(
-      "gids_host_pool_threads", labels, MetricType::kGauge,
-      [p] { return static_cast<double>(p->num_threads()); });
-  registry->RegisterCallback(
-      "gids_host_pool_queue_depth", labels, MetricType::kGauge,
-      [p] { return static_cast<double>(p->queue_depth()); });
-  registry->RegisterCallback(
-      "gids_host_pool_busy_workers", labels, MetricType::kGauge,
-      [p] { return static_cast<double>(p->busy_workers()); });
-  registry->RegisterCallback(
-      "gids_host_pool_utilization", labels, MetricType::kGauge, [p] {
-        return static_cast<double>(p->busy_workers()) /
-               static_cast<double>(p->num_threads());
-      });
-  registry->RegisterCallback(
-      "gids_host_pool_tasks_total", labels, MetricType::kCounter,
-      [p] { return static_cast<double>(p->tasks_executed()); });
-  registry->RegisterCallback(
-      "gids_host_pool_chunks_total", labels, MetricType::kCounter,
-      [p] { return static_cast<double>(p->chunks_executed()); });
+  PullBinding binding(registry, labels);
+  auto bind = [&](const char* name, MetricType type,
+                  std::function<double()> read) {
+    registry->RegisterCallback(name, labels, type, std::move(read));
+    binding.Track(name);
+  };
+  bind("gids_host_pool_threads", MetricType::kGauge,
+       [p] { return static_cast<double>(p->num_threads()); });
+  bind("gids_host_pool_queue_depth", MetricType::kGauge,
+       [p] { return static_cast<double>(p->queue_depth()); });
+  bind("gids_host_pool_busy_workers", MetricType::kGauge,
+       [p] { return static_cast<double>(p->busy_workers()); });
+  bind("gids_host_pool_utilization", MetricType::kGauge, [p] {
+    return static_cast<double>(p->busy_workers()) /
+           static_cast<double>(p->num_threads());
+  });
+  bind("gids_host_pool_tasks_total", MetricType::kCounter,
+       [p] { return static_cast<double>(p->tasks_executed()); });
+  bind("gids_host_pool_chunks_total", MetricType::kCounter,
+       [p] { return static_cast<double>(p->chunks_executed()); });
+  return binding;
 }
 
 }  // namespace gids::obs

@@ -14,9 +14,13 @@ namespace gids::obs {
 ///   gids_host_pool_utilization      gauge    busy_workers / threads
 ///   gids_host_pool_tasks_total      counter  tasks executed by workers
 ///   gids_host_pool_chunks_total     counter  ParallelFor chunks executed
-/// The pool must outlive the registry's last snapshot.
-void BindThreadPoolMetrics(const ThreadPool& pool, MetricRegistry* registry,
-                           const Labels& labels);
+/// Returns a PullBinding whose destruction freezes these entries to their
+/// last values, so a pool destroyed before the registry's final snapshot
+/// leaves frozen gauges behind instead of dangling callbacks. The pool
+/// must outlive the returned binding.
+[[nodiscard]] PullBinding BindThreadPoolMetrics(const ThreadPool& pool,
+                                               MetricRegistry* registry,
+                                               const Labels& labels);
 
 }  // namespace gids::obs
 

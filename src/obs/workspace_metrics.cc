@@ -1,0 +1,44 @@
+#include "obs/workspace_metrics.h"
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gids::obs {
+
+PullBinding BindWorkspacePoolMetrics(const WorkspacePool& pool,
+                                     MetricRegistry* registry,
+                                     const Labels& labels) {
+  GIDS_CHECK(registry != nullptr);
+  const WorkspacePool* p = &pool;
+  PullBinding binding(registry, labels);
+  auto bind = [&](const std::string& name, Labels entry_labels,
+                  MetricType type, std::function<double()> read) {
+    registry->RegisterCallback(name, std::move(entry_labels), type,
+                               std::move(read));
+    binding.Track(name);
+  };
+  bind("gids_ws_acquires_total", labels, MetricType::kCounter,
+       [p] { return static_cast<double>(p->acquires_total()); });
+  bind("gids_ws_pool_hits_total", labels, MetricType::kCounter,
+       [p] { return static_cast<double>(p->hits_total()); });
+  bind("gids_ws_allocs_total", labels, MetricType::kCounter,
+       [p] { return static_cast<double>(p->allocs_total()); });
+  bind("gids_ws_bytes_outstanding", labels, MetricType::kGauge,
+       [p] { return static_cast<double>(p->bytes_outstanding()); });
+  bind("gids_ws_thread_caches", labels, MetricType::kGauge,
+       [p] { return static_cast<double>(p->live_thread_caches()); });
+  for (uint32_t b = 0; b < WorkspacePool::kNumBuckets; ++b) {
+    Labels bucket_labels = labels;
+    bucket_labels.emplace_back(
+        "bucket", std::to_string(WorkspacePool::BucketBytes(b)));
+    bind("gids_ws_allocs_total", std::move(bucket_labels),
+         MetricType::kCounter,
+         [p, b] { return static_cast<double>(p->allocs_total(b)); });
+  }
+  return binding;
+}
+
+}  // namespace gids::obs

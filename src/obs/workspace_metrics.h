@@ -1,0 +1,28 @@
+#ifndef GIDS_OBS_WORKSPACE_METRICS_H_
+#define GIDS_OBS_WORKSPACE_METRICS_H_
+
+#include "common/workspace_pool.h"
+#include "obs/metric_registry.h"
+
+namespace gids::obs {
+
+/// Exposes a WorkspacePool through `registry` (pull-style; see
+/// OBSERVABILITY.md "Workspace pool"):
+///   gids_ws_acquires_total     counter  workspace blocks handed out
+///   gids_ws_pool_hits_total    counter  acquires served without malloc
+///   gids_ws_allocs_total       counter  acquires that fell through to malloc
+///   gids_ws_bytes_outstanding  gauge    bytes currently acquired
+///   gids_ws_thread_caches      gauge    live per-thread cache registrations
+/// plus one gids_ws_allocs_total{bucket="<bytes>"} series per power-of-two
+/// size class, so a bench can prove which class (if any) is still
+/// allocating in the steady state. The zero-allocation gate
+/// (bench_host_parallelism) asserts gids_ws_allocs_total stays flat after
+/// the warmup epoch. Returns a PullBinding whose destruction freezes the
+/// entries; the pool must outlive the returned binding.
+[[nodiscard]] PullBinding BindWorkspacePoolMetrics(const WorkspacePool& pool,
+                                                  MetricRegistry* registry,
+                                                  const Labels& labels);
+
+}  // namespace gids::obs
+
+#endif  // GIDS_OBS_WORKSPACE_METRICS_H_

@@ -1,8 +1,7 @@
 #include "sampling/cluster_sampler.h"
 
-#include <unordered_map>
-
 #include "common/check.h"
+#include "common/workspace_pool.h"
 
 namespace gids::sampling {
 
@@ -19,40 +18,56 @@ ClusterGcnSampler::ClusterGcnSampler(const graph::CscGraph* graph,
   GIDS_CHECK(partition_.part_of.size() == graph_->num_nodes());
 }
 
-MiniBatch ClusterGcnSampler::SampleAt(std::span<const graph::NodeId>,
-                                      uint64_t iteration) {
+void ClusterGcnSampler::SampleAtInto(std::span<const graph::NodeId>,
+                                     uint64_t iteration, MiniBatch* out) {
   Rng rng = IterationRng(seed_, iteration);
-  // Pick distinct clusters uniformly at random.
-  std::vector<uint64_t> picks = SampleWithoutReplacement(
-      partition_.num_parts, options_.clusters_per_batch, rng);
-
-  // Union of member nodes, with local ids.
-  std::vector<graph::NodeId> nodes;
-  std::unordered_map<graph::NodeId, uint32_t> local;
-  for (uint64_t c : picks) {
-    for (graph::NodeId v : partition_.members[c]) {
-      local.emplace(v, static_cast<uint32_t>(nodes.size()));
-      nodes.push_back(v);
-    }
+  out->Reset();
+  if (out->blocks.size() != static_cast<size_t>(options_.num_layers)) {
+    out->blocks.resize(options_.num_layers);
+    for (Block& b : out->blocks) b.Reset();
   }
 
+  // Pick distinct clusters uniformly at random.
+  Workspace<uint64_t> picks;
+  SampleWithoutReplacementInto(partition_.num_parts,
+                               options_.clusters_per_batch, rng, picks);
+
+  // Union of member nodes, with local ids (partition members are
+  // disjoint, so every node is new).
+  PooledFlatMap<graph::NodeId, uint32_t> local;
+  size_t member_total = 0;
+  for (uint64_t c : picks) member_total += partition_.members[c].size();
+  local.Reset(member_total);
+
+  // The induced subgraph is identical for every layer: build layer 0 in
+  // place, then copy it into the other recycled blocks.
+  Block& block = out->blocks[0];
+  for (uint64_t c : picks) {
+    for (graph::NodeId v : partition_.members[c]) {
+      local.TryEmplace(v, static_cast<uint32_t>(block.src_nodes.size()));
+      block.src_nodes.push_back(v);
+    }
+  }
+  block.num_dst = static_cast<uint32_t>(block.src_nodes.size());
+
   // Induced-subgraph edges (src and dst both inside the cluster union).
-  Block block;
-  block.src_nodes = nodes;
-  block.num_dst = static_cast<uint32_t>(nodes.size());
-  for (uint32_t d = 0; d < nodes.size(); ++d) {
-    for (graph::NodeId u : graph_->in_neighbors(nodes[d])) {
-      auto it = local.find(u);
-      if (it == local.end()) continue;  // edge cut by the partition
-      block.edge_src.push_back(it->second);
+  for (uint32_t d = 0; d < block.num_dst; ++d) {
+    for (graph::NodeId u : graph_->in_neighbors(block.src_nodes[d])) {
+      uint32_t* it = local.Find(u);
+      if (it == nullptr) continue;  // edge cut by the partition
+      block.edge_src.push_back(*it);
       block.edge_dst.push_back(d);
     }
   }
 
-  MiniBatch batch;
-  batch.seeds = nodes;
-  batch.blocks.assign(options_.num_layers, block);
-  return batch;
+  out->seeds.assign(block.src_nodes.begin(), block.src_nodes.end());
+  for (int l = 1; l < options_.num_layers; ++l) {
+    Block& b = out->blocks[l];
+    b.src_nodes.assign(block.src_nodes.begin(), block.src_nodes.end());
+    b.num_dst = block.num_dst;
+    b.edge_src.assign(block.edge_src.begin(), block.edge_src.end());
+    b.edge_dst.assign(block.edge_dst.begin(), block.edge_dst.end());
+  }
 }
 
 }  // namespace gids::sampling

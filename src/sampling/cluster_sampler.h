@@ -38,8 +38,8 @@ class ClusterGcnSampler : public Sampler {
   std::string_view name() const override { return "Cluster-GCN"; }
   int num_layers() const override { return options_.num_layers; }
 
-  MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
-                     uint64_t iteration) override;
+  void SampleAtInto(std::span<const graph::NodeId> seeds, uint64_t iteration,
+                    MiniBatch* out) override;
 
   const graph::PartitionResult& partition() const { return partition_; }
 

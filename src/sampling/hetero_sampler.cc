@@ -1,8 +1,9 @@
 #include "sampling/hetero_sampler.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "common/check.h"
+#include "common/workspace_pool.h"
 
 namespace gids::sampling {
 
@@ -39,23 +40,39 @@ size_t HeteroNeighborSampler::TypeOf(graph::NodeId v) const {
   return 0;
 }
 
-MiniBatch HeteroNeighborSampler::SampleAt(
-    std::span<const graph::NodeId> seeds, uint64_t iteration) {
+void HeteroNeighborSampler::SampleAtInto(std::span<const graph::NodeId> seeds,
+                                         uint64_t iteration, MiniBatch* out) {
   Rng rng = IterationRng(seed_, iteration);
-  MiniBatch batch;
-  batch.seeds.assign(seeds.begin(), seeds.end());
+  out->Reset();
+  out->seeds.assign(seeds.begin(), seeds.end());
 
-  std::vector<graph::NodeId> frontier(seeds.begin(), seeds.end());
-  std::vector<Block> blocks_seedward;
+  const int num_layers = static_cast<int>(options_.fanouts.size());
+  if (out->blocks.size() != static_cast<size_t>(num_layers)) {
+    out->blocks.resize(num_layers);
+    for (Block& b : out->blocks) b.Reset();
+  }
 
-  for (const std::vector<int>& layer_fanouts : options_.fanouts) {
-    Block block;
+  Workspace<graph::NodeId> frontier;
+  Workspace<uint64_t> picks;
+  PooledFlatMap<graph::NodeId, uint32_t> local;
+
+  frontier.assign(seeds.begin(), seeds.end());
+
+  for (int l = 0; l < num_layers; ++l) {
+    const std::vector<int>& layer_fanouts = options_.fanouts[l];
+    Block& block = out->blocks[num_layers - 1 - l];
     block.num_dst = static_cast<uint32_t>(frontier.size());
-    block.src_nodes = frontier;
+    block.src_nodes.assign(frontier.begin(), frontier.end());
 
-    std::unordered_map<graph::NodeId, uint32_t> local;
-    local.reserve(frontier.size() * 4);
-    for (uint32_t i = 0; i < frontier.size(); ++i) local[frontier[i]] = i;
+    // Exact upper bound on distinct map entries: every dst plus at most
+    // the layer's largest per-type fanout new sources per dst (the old
+    // `frontier * 4` guess re-hashed whenever real fanout exceeded 3).
+    int max_fanout = *std::max_element(layer_fanouts.begin(),
+                                       layer_fanouts.end());
+    local.Reset(frontier.size() * (static_cast<size_t>(max_fanout) + 1));
+    for (uint32_t i = 0; i < frontier.size(); ++i) {
+      local.TryEmplace(frontier[i], i);
+    }
 
     for (uint32_t d = 0; d < block.num_dst; ++d) {
       graph::NodeId v = frontier[d];
@@ -64,26 +81,22 @@ MiniBatch HeteroNeighborSampler::SampleAt(
       auto nbrs = graph_->in_neighbors(v);
       if (nbrs.empty()) continue;
       auto emit = [&](graph::NodeId u) {
-        auto [it, inserted] = local.try_emplace(
+        auto [slot, inserted] = local.TryEmplace(
             u, static_cast<uint32_t>(block.src_nodes.size()));
         if (inserted) block.src_nodes.push_back(u);
-        block.edge_src.push_back(it->second);
+        block.edge_src.push_back(*slot);
         block.edge_dst.push_back(d);
       };
       if (nbrs.size() <= static_cast<size_t>(fanout)) {
         for (graph::NodeId u : nbrs) emit(u);
       } else {
-        std::vector<uint64_t> picks = SampleWithoutReplacement(
-            nbrs.size(), static_cast<uint64_t>(fanout), rng);
+        SampleWithoutReplacementInto(nbrs.size(),
+                                     static_cast<uint64_t>(fanout), rng, picks);
         for (uint64_t p : picks) emit(nbrs[p]);
       }
     }
-    frontier = block.src_nodes;
-    blocks_seedward.push_back(std::move(block));
+    frontier.assign(block.src_nodes.begin(), block.src_nodes.end());
   }
-
-  batch.blocks.assign(blocks_seedward.rbegin(), blocks_seedward.rend());
-  return batch;
 }
 
 }  // namespace gids::sampling

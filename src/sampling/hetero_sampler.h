@@ -33,8 +33,8 @@ class HeteroNeighborSampler : public Sampler {
     return static_cast<int>(options_.fanouts.size());
   }
 
-  MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
-                     uint64_t iteration) override;
+  void SampleAtInto(std::span<const graph::NodeId> seeds, uint64_t iteration,
+                    MiniBatch* out) override;
 
   /// Index into node_types for a node id (by range lookup).
   size_t TypeOf(graph::NodeId v) const;

@@ -2,88 +2,139 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/check.h"
+#include "common/workspace_pool.h"
 
 namespace gids::sampling {
+namespace {
+
+/// (Efraimidis-Spirakis key, candidate) with the same lexicographic order
+/// std::pair would give; a plain struct so it can live in a Workspace.
+struct Keyed {
+  double key;
+  graph::NodeId node;
+  bool operator<(const Keyed& o) const {
+    return key < o.key || (!(o.key < key) && node < o.node);
+  }
+};
+
+}  // namespace
 
 LadiesSampler::LadiesSampler(const graph::CscGraph* graph,
                              LadiesSamplerOptions options, uint64_t seed)
-    : graph_(graph), options_(std::move(options)), seed_(seed) {
+    : graph_(graph),
+      options_(std::move(options)),
+      seed_(seed),
+      weight_hwm_(options_.layer_sizes.size()) {
   GIDS_CHECK(graph_ != nullptr);
   GIDS_CHECK(!options_.layer_sizes.empty());
   for (uint32_t s : options_.layer_sizes) GIDS_CHECK(s > 0);
 }
 
-MiniBatch LadiesSampler::SampleAt(std::span<const graph::NodeId> seeds,
-                                  uint64_t iteration) {
+void LadiesSampler::SampleAtInto(std::span<const graph::NodeId> seeds,
+                                 uint64_t iteration, MiniBatch* out) {
   Rng rng = IterationRng(seed_, iteration);
-  MiniBatch batch;
-  batch.seeds.assign(seeds.begin(), seeds.end());
+  out->Reset();
+  out->seeds.assign(seeds.begin(), seeds.end());
 
-  std::vector<graph::NodeId> frontier(seeds.begin(), seeds.end());
-  std::vector<Block> blocks_seedward;
+  const int num_layers = static_cast<int>(options_.layer_sizes.size());
+  if (out->blocks.size() != static_cast<size_t>(num_layers)) {
+    out->blocks.resize(num_layers);
+    for (Block& b : out->blocks) b.Reset();
+  }
 
-  for (uint32_t budget : options_.layer_sizes) {
-    // Importance weights over the union of in-neighborhoods.
-    std::unordered_map<graph::NodeId, double> weight;
-    weight.reserve(frontier.size() * 8);
+  const double avg_in_degree =
+      graph_->num_nodes() == 0
+          ? 0.0
+          : static_cast<double>(graph_->num_edges()) / graph_->num_nodes();
+
+  // Per-call pooled scratch (concurrent-safe; served by the thread cache
+  // in steady state). `weight_order` keeps the candidate union in
+  // first-touch order — frontier-major, neighbor-list order — which is the
+  // canonical iteration order for the key draws below, independent of any
+  // hash-table layout.
+  Workspace<graph::NodeId> frontier;
+  PooledFlatMap<graph::NodeId, double> weight;
+  Workspace<graph::NodeId> weight_order;
+  Workspace<Keyed> keyed;
+  PooledFlatMap<graph::NodeId, uint8_t> sampled;
+  PooledFlatMap<graph::NodeId, uint32_t> local;
+
+  frontier.assign(seeds.begin(), seeds.end());
+
+  for (int l = 0; l < num_layers; ++l) {
+    const uint32_t budget = options_.layer_sizes[l];
+    // Importance weights over the union of in-neighborhoods. Size the
+    // table from the larger of a degree-derived estimate and the peak
+    // union seen at this layer so far, so steady state never rehashes.
+    uint64_t derived = static_cast<uint64_t>(
+        static_cast<double>(frontier.size()) * std::max(avg_in_degree, 1.0));
+    derived = std::min<uint64_t>(derived, graph_->num_nodes());
+    uint64_t expect = std::max(
+        derived, weight_hwm_[l].load(std::memory_order_relaxed));
+    weight.Reset(expect);
+    weight_order.clear();
     for (graph::NodeId v : frontier) {
       auto nbrs = graph_->in_neighbors(v);
       if (nbrs.empty()) continue;
       double w = 1.0 / static_cast<double>(nbrs.size());
       double w2 = w * w;
-      for (graph::NodeId u : nbrs) weight[u] += w2;
+      for (graph::NodeId u : nbrs) {
+        auto [slot, inserted] = weight.TryEmplace(u, 0.0);
+        if (inserted) weight_order.push_back(u);
+        *slot += w2;
+      }
     }
+    AtomicFetchMax(weight_hwm_[l], weight_order.size());
 
     // Weighted sampling without replacement (Efraimidis-Spirakis keys):
-    // keep the `budget` candidates with the smallest -log(U)/w.
-    std::vector<std::pair<double, graph::NodeId>> keyed;
-    keyed.reserve(weight.size());
-    for (const auto& [u, w] : weight) {
+    // keep the `budget` candidates with the smallest -log(U)/w, drawing
+    // one uniform per candidate in first-touch order.
+    keyed.clear();
+    keyed.reserve(weight_order.size());
+    for (graph::NodeId u : weight_order) {
       double uniform = rng.UniformDouble();
       if (uniform <= 0.0) uniform = 1e-300;
-      keyed.emplace_back(-std::log(uniform) / w, u);
+      keyed.push_back({-std::log(uniform) / *weight.Find(u), u});
     }
     uint32_t take = std::min<uint32_t>(budget, keyed.size());
     std::partial_sort(keyed.begin(), keyed.begin() + take, keyed.end());
 
-    std::unordered_set<graph::NodeId> sampled;
-    sampled.reserve(take * 2);
-    for (uint32_t i = 0; i < take; ++i) sampled.insert(keyed[i].second);
+    sampled.Reset(take);
+    for (uint32_t i = 0; i < take; ++i) {
+      sampled.TryEmplace(keyed[i].node, 1);
+    }
 
     // Build the block: dst = current frontier, srcs = frontier (self) plus
-    // sampled nodes with at least one edge into the frontier.
-    Block block;
+    // sampled nodes with at least one edge into the frontier. Written
+    // directly into its final slot (blocks[0] input-most).
+    Block& block = out->blocks[num_layers - 1 - l];
     block.num_dst = static_cast<uint32_t>(frontier.size());
-    block.src_nodes = frontier;
-    std::unordered_map<graph::NodeId, uint32_t> local;
-    local.reserve(frontier.size() + sampled.size());
-    for (uint32_t i = 0; i < frontier.size(); ++i) local[frontier[i]] = i;
+    block.src_nodes.assign(frontier.begin(), frontier.end());
+    local.Reset(frontier.size() + take);
+    for (uint32_t i = 0; i < frontier.size(); ++i) {
+      local.TryEmplace(frontier[i], i);
+    }
 
     for (uint32_t d = 0; d < block.num_dst; ++d) {
       for (graph::NodeId u : graph_->in_neighbors(frontier[d])) {
-        if (!sampled.count(u)) continue;
-        auto [it, inserted] = local.try_emplace(
+        if (sampled.Find(u) == nullptr) continue;
+        auto [slot, inserted] = local.TryEmplace(
             u, static_cast<uint32_t>(block.src_nodes.size()));
         if (inserted) block.src_nodes.push_back(u);
-        block.edge_src.push_back(it->second);
+        block.edge_src.push_back(*slot);
         block.edge_dst.push_back(d);
       }
     }
 
-    frontier = options_.include_self
-                   ? block.src_nodes
-                   : std::vector<graph::NodeId>(
-                         block.src_nodes.begin() + block.num_dst,
-                         block.src_nodes.end());
-    blocks_seedward.push_back(std::move(block));
+    if (options_.include_self) {
+      frontier.assign(block.src_nodes.begin(), block.src_nodes.end());
+    } else {
+      frontier.assign(block.src_nodes.begin() + block.num_dst,
+                      block.src_nodes.end());
+    }
   }
-
-  batch.blocks.assign(blocks_seedward.rbegin(), blocks_seedward.rend());
-  return batch;
 }
 
 }  // namespace gids::sampling

@@ -1,6 +1,7 @@
 #ifndef GIDS_SAMPLING_LADIES_SAMPLER_H_
 #define GIDS_SAMPLING_LADIES_SAMPLER_H_
 
+#include <atomic>
 #include <vector>
 
 #include "common/random.h"
@@ -34,13 +35,18 @@ class LadiesSampler : public Sampler {
     return static_cast<int>(options_.layer_sizes.size());
   }
 
-  MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
-                     uint64_t iteration) override;
+  void SampleAtInto(std::span<const graph::NodeId> seeds, uint64_t iteration,
+                    MiniBatch* out) override;
 
  private:
   const graph::CscGraph* graph_;
   LadiesSamplerOptions options_;
   uint64_t seed_;
+  /// Cross-iteration high-water marks of the candidate-union size per
+  /// layer (seed-hop first). Sizing the weight table from the observed
+  /// peak instead of the old `frontier * 8` guess stops steady-state
+  /// re-growth; relaxed atomics because SampleAtInto runs concurrently.
+  mutable std::vector<std::atomic<uint64_t>> weight_hwm_;
 };
 
 }  // namespace gids::sampling

@@ -21,6 +21,15 @@ struct Block {
   std::vector<uint32_t> edge_dst;
 
   uint64_t num_edges() const { return edge_src.size(); }
+
+  /// Empties the block but keeps the vectors' capacity, so recycled
+  /// batches re-sample without reallocating (the zero-allocation path).
+  void Reset() {
+    src_nodes.clear();
+    num_dst = 0;
+    edge_src.clear();
+    edge_dst.clear();
+  }
 };
 
 /// A sampled mini-batch: `blocks[0]` is the input-most layer (its
@@ -46,6 +55,22 @@ struct MiniBatch {
     counts.reserve(blocks.size());
     for (const Block& b : blocks) counts.push_back(b.num_edges());
     return counts;
+  }
+
+  /// LayerEdgeCounts into a reusable vector-like container (cleared
+  /// first); the hot loop's allocation-free variant.
+  template <typename OutVec>
+  void LayerEdgeCountsInto(OutVec& counts) const {
+    counts.clear();
+    for (const Block& b : blocks) counts.push_back(b.num_edges());
+  }
+
+  /// Empties seeds and blocks but keeps every vector's capacity — blocks
+  /// are Reset, not erased, so a recycled batch sampled at the same layer
+  /// count reuses all of its edge/node storage.
+  void Reset() {
+    seeds.clear();
+    for (Block& b : blocks) b.Reset();
   }
 
   uint64_t total_edges() const {

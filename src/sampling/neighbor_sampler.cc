@@ -1,9 +1,9 @@
 #include "sampling/neighbor_sampler.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
+#include "common/workspace_pool.h"
 
 namespace gids::sampling {
 
@@ -15,57 +15,65 @@ NeighborSampler::NeighborSampler(const graph::CscGraph* graph,
   for (int f : options_.fanouts) GIDS_CHECK(f > 0);
 }
 
-MiniBatch NeighborSampler::SampleAt(std::span<const graph::NodeId> seeds,
-                                    uint64_t iteration) {
+void NeighborSampler::SampleAtInto(std::span<const graph::NodeId> seeds,
+                                   uint64_t iteration, MiniBatch* out) {
   Rng rng = IterationRng(seed_, iteration);
-  MiniBatch batch;
-  batch.seeds.assign(seeds.begin(), seeds.end());
+  out->Reset();
+  out->seeds.assign(seeds.begin(), seeds.end());
 
-  // Expand outward from the seeds; blocks are produced seed-layer first
-  // and reversed at the end so blocks[0] is input-most.
-  std::vector<graph::NodeId> frontier(seeds.begin(), seeds.end());
-  std::vector<Block> blocks_seedward;
+  const int num_layers = static_cast<int>(options_.fanouts.size());
+  if (out->blocks.size() != static_cast<size_t>(num_layers)) {
+    out->blocks.resize(num_layers);
+    for (Block& b : out->blocks) b.Reset();
+  }
 
-  // Reused across layers so each hop only rehashes, never reallocates
-  // from scratch.
-  std::unordered_map<graph::NodeId, uint32_t> local;
+  // Per-call pooled scratch (SampleAtInto must stay concurrent-safe, so no
+  // member scratch); steady-state acquires hit the thread cache.
+  Workspace<graph::NodeId> frontier;
+  Workspace<uint64_t> picks;
+  PooledFlatMap<graph::NodeId, uint32_t> local;
 
-  for (int fanout : options_.fanouts) {
-    Block block;
+  frontier.assign(seeds.begin(), seeds.end());
+
+  // Expand outward from the seeds, writing each hop directly into its
+  // final slot: hop l (seed side) is blocks[num_layers - 1 - l], so
+  // blocks[0] ends up input-most with no reverse copy.
+  for (int l = 0; l < num_layers; ++l) {
+    const int fanout = options_.fanouts[l];
+    Block& block = out->blocks[num_layers - 1 - l];
     block.num_dst = static_cast<uint32_t>(frontier.size());
-    block.src_nodes = frontier;  // dst prefix
+    block.src_nodes.assign(frontier.begin(), frontier.end());  // dst prefix
+    // Exact upper bounds: every dst contributes at most `fanout` edges,
+    // and the local map holds at most dst + dst*fanout distinct nodes.
     block.edge_src.reserve(static_cast<size_t>(block.num_dst) * fanout);
     block.edge_dst.reserve(static_cast<size_t>(block.num_dst) * fanout);
-
-    local.clear();
-    local.reserve(frontier.size() * (fanout + 1));
-    for (uint32_t i = 0; i < frontier.size(); ++i) local[frontier[i]] = i;
+    local.Reset(frontier.size() * (static_cast<size_t>(fanout) + 1));
+    for (uint32_t i = 0; i < frontier.size(); ++i) {
+      local.TryEmplace(frontier[i], i);
+    }
 
     for (uint32_t d = 0; d < block.num_dst; ++d) {
       graph::NodeId v = frontier[d];
       auto nbrs = graph_->in_neighbors(v);
       if (nbrs.empty()) continue;
       auto emit = [&](graph::NodeId u) {
-        auto [it, inserted] =
-            local.try_emplace(u, static_cast<uint32_t>(block.src_nodes.size()));
+        auto [slot, inserted] =
+            local.TryEmplace(u, static_cast<uint32_t>(block.src_nodes.size()));
         if (inserted) block.src_nodes.push_back(u);
-        block.edge_src.push_back(it->second);
+        block.edge_src.push_back(*slot);
         block.edge_dst.push_back(d);
       };
       if (nbrs.size() <= static_cast<size_t>(fanout)) {
         for (graph::NodeId u : nbrs) emit(u);
       } else {
-        std::vector<uint64_t> picks = SampleWithoutReplacement(
-            nbrs.size(), static_cast<uint64_t>(fanout), rng);
+        SampleWithoutReplacementInto(nbrs.size(),
+                                     static_cast<uint64_t>(fanout), rng, picks);
         for (uint64_t p : picks) emit(nbrs[p]);
       }
     }
-    frontier = block.src_nodes;  // next hop expands every node seen so far
-    blocks_seedward.push_back(std::move(block));
+    // Next hop expands every node seen so far.
+    frontier.assign(block.src_nodes.begin(), block.src_nodes.end());
   }
-
-  batch.blocks.assign(blocks_seedward.rbegin(), blocks_seedward.rend());
-  return batch;
 }
 
 }  // namespace gids::sampling

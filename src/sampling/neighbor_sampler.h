@@ -27,8 +27,8 @@ class NeighborSampler : public Sampler {
     return static_cast<int>(options_.fanouts.size());
   }
 
-  MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
-                     uint64_t iteration) override;
+  void SampleAtInto(std::span<const graph::NodeId> seeds, uint64_t iteration,
+                    MiniBatch* out) override;
 
  private:
   const graph::CscGraph* graph_;

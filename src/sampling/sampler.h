@@ -23,29 +23,43 @@ class Sampler {
   virtual std::string_view name() const = 0;
   virtual int num_layers() const = 0;
 
-  /// Builds the computational graph for training iteration `iteration`.
-  /// All randomness derives from (construction seed, iteration) via an
-  /// independent RNG stream per iteration, so calls are stateless: the
-  /// GIDS loader samples the accumulator-merged future iterations
-  /// concurrently and out of order, yet every iteration's batch is the
-  /// one a serial in-order walk would have produced.
+  /// Builds the computational graph for training iteration `iteration`
+  /// into `*out` (previous contents are discarded; block/edge vector
+  /// capacity is reused — the zero-allocation hot path feeds each loader's
+  /// recycled MiniBatch back through here). All randomness derives from
+  /// (construction seed, iteration) via an independent RNG stream per
+  /// iteration, so calls are stateless: the GIDS loader samples the
+  /// accumulator-merged future iterations concurrently and out of order,
+  /// yet every iteration's batch is the one a serial in-order walk would
+  /// have produced.
   ///
   /// Implementations that cannot honor that purity must override
   /// concurrent_safe() to return false; such samplers are only driven
   /// serially, with strictly increasing iterations.
-  virtual MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
-                             uint64_t iteration) = 0;
+  virtual void SampleAtInto(std::span<const graph::NodeId> seeds,
+                            uint64_t iteration, MiniBatch* out) = 0;
 
-  /// True when SampleAt is a pure function of (seed, iteration, seeds)
+  /// SampleAtInto returning a fresh MiniBatch.
+  MiniBatch SampleAt(std::span<const graph::NodeId> seeds,
+                     uint64_t iteration) {
+    MiniBatch batch;
+    SampleAtInto(seeds, iteration, &batch);
+    return batch;
+  }
+
+  /// True when SampleAtInto is a pure function of (seed, iteration, seeds)
   /// and safe to call from several threads at once.
   virtual bool concurrent_safe() const { return true; }
 
-  /// Stateful convenience wrapper: SampleAt with an internal monotone
+  /// Stateful convenience wrappers: SampleAtInto with an internal monotone
   /// iteration counter starting at 0. Serial drivers (mmap/Ginex loaders,
-  /// benches) use this and stay comparable with loaders that index
+  /// benches) use these and stay comparable with loaders that index
   /// iterations explicitly.
   MiniBatch Sample(std::span<const graph::NodeId> seeds) {
     return SampleAt(seeds, next_iteration_++);
+  }
+  void SampleInto(std::span<const graph::NodeId> seeds, MiniBatch* out) {
+    SampleAtInto(seeds, next_iteration_++, out);
   }
 
  private:

@@ -17,16 +17,9 @@ SeedIterator::SeedIterator(std::vector<graph::NodeId> train_ids,
 void SeedIterator::ShuffleEpoch() { Shuffle(train_ids_, rng_); }
 
 std::vector<graph::NodeId> SeedIterator::NextBatch() {
-  if (cursor_ >= train_ids_.size()) {
-    cursor_ = 0;
-    ++epoch_;
-    ShuffleEpoch();
-  }
-  size_t end = std::min(cursor_ + batch_size_, train_ids_.size());
-  std::vector<graph::NodeId> batch(train_ids_.begin() + cursor_,
-                                   train_ids_.begin() + end);
-  cursor_ = end;
-  ++batches_served_;
+  std::vector<graph::NodeId> batch;
+  batch.reserve(batch_size_);
+  NextBatchInto(batch);
   return batch;
 }
 

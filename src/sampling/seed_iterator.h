@@ -28,6 +28,24 @@ class SeedIterator {
   /// be short).
   std::vector<graph::NodeId> NextBatch();
 
+  /// NextBatch into a reusable vector-like container (cleared first); the
+  /// loaders' allocation-free variant — a recycled seeds vector keeps its
+  /// capacity across iterations.
+  template <typename OutVec>
+  void NextBatchInto(OutVec& out) {
+    if (cursor_ >= train_ids_.size()) {
+      cursor_ = 0;
+      ++epoch_;
+      ShuffleEpoch();
+    }
+    size_t end = std::min(cursor_ + static_cast<size_t>(batch_size_),
+                          train_ids_.size());
+    out.clear();
+    for (size_t i = cursor_; i < end; ++i) out.push_back(train_ids_[i]);
+    cursor_ = end;
+    ++batches_served_;
+  }
+
  private:
   void ShuffleEpoch();
 

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <limits>
-#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
@@ -41,16 +39,20 @@ Status FeatureGatherer::GatherImpl(
     std::span<const GatherSlice> slices,
     std::span<FeatureGatherCounts> per_slice_counts) {
   GIDS_CHECK(per_slice_counts.size() == slices.size());
+  // Scratch members are shared across calls; stray concurrent callers
+  // serialize here (uncontended in the loader's single-flight pipeline).
+  std::lock_guard<std::mutex> gather_lock(gather_mu_);
   const uint32_t num_slices = static_cast<uint32_t>(slices.size());
   // Slice-major global node order: slice s's nodes occupy global indices
   // [slice_begin[s], slice_begin[s + 1]). This is the canonical order the
   // serial uncoalesced gather replays, so a one-slice group is
   // bit-identical to the pre-group Gather.
-  std::vector<size_t> slice_begin(num_slices + 1, 0);
+  slice_begin_.clear();
+  slice_begin_.resize(num_slices + 1);
   for (uint32_t s = 0; s < num_slices; ++s) {
-    slice_begin[s + 1] = slice_begin[s] + slices[s].nodes.size();
+    slice_begin_[s + 1] = slice_begin_[s] + slices[s].nodes.size();
   }
-  const size_t n = slice_begin.back();
+  const size_t n = slice_begin_[num_slices];
   if (n == 0) return Status::OK();
   bool functional = false;
   for (const GatherSlice& sl : slices) functional |= !sl.out.empty();
@@ -61,42 +63,35 @@ Status FeatureGatherer::GatherImpl(
   const uint32_t buckets =
       cache != nullptr ? cache->num_shards() : cacheless_buckets_;
 
-  // A single page access on behalf of one output row. Buckets collect
-  // accesses in global node order so each cache shard replays exactly the
-  // sequence the serial gather would have issued.
-  struct Access {
-    uint64_t page;
-    uint32_t slice;  // index into `slices`
-    size_t node;     // index into that slice's `nodes`
-  };
-  struct ChunkOut {
-    std::vector<std::vector<Access>> per_bucket;
-    std::vector<uint64_t> cpu_hits;  // per slice
-    bool bad_node = false;
-  };
-
   const size_t workers = pool_ != nullptr ? pool_->num_threads() : 1;
   const size_t target_chunks = std::min(
       n, std::max<size_t>(1, workers * ThreadPool::kChunksPerWorker));
   const size_t chunk_size = (n + target_chunks - 1) / target_chunks;
   const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
 
-  std::vector<ChunkOut> chunks(num_chunks);
+  // Phase 1 (parallel over contiguous node chunks): validate ids, serve
+  // hot nodes from the CPU buffer, and record every page access — with
+  // its owning bucket — in node order into the chunk's flat scratch.
+  chunks_.resize(num_chunks);
   auto phase1 = [&](size_t c) {
-    ChunkOut& co = chunks[c];
+    ChunkScratch& co = chunks_[c];
+    co.accesses.clear();
+    co.cpu_hits.clear();
+    co.cpu_hits.resize(num_slices);
+    co.per_bucket.clear();
     co.per_bucket.resize(buckets);
-    co.cpu_hits.resize(num_slices, 0);
+    co.bad_node = false;
     const size_t begin = c * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
     // Locate the slice holding the chunk's first node, then walk forward;
     // chunks may straddle slice boundaries.
     uint32_t s = static_cast<uint32_t>(
-        std::upper_bound(slice_begin.begin(), slice_begin.end(), begin) -
-        slice_begin.begin() - 1);
+        std::upper_bound(slice_begin_.begin(), slice_begin_.end(), begin) -
+        slice_begin_.begin() - 1);
     for (size_t g = begin; g < end; ++g) {
-      while (g >= slice_begin[s + 1]) ++s;
+      while (g >= slice_begin_[s + 1]) ++s;
       const GatherSlice& sl = slices[s];
-      const size_t i = g - slice_begin[s];
+      const size_t i = g - slice_begin_[s];
       graph::NodeId v = sl.nodes[i];
       if (v >= layout_->num_nodes()) {
         co.bad_node = true;
@@ -114,7 +109,9 @@ Status FeatureGatherer::GatherImpl(
         continue;
       }
       for (uint64_t page = range.first; page <= range.last; ++page) {
-        co.per_bucket[BucketFor(page)].push_back(Access{page, s, i});
+        uint32_t b = BucketFor(page);
+        co.accesses.push_back(Access{page, i, s, b});
+        ++co.per_bucket[b];
       }
     }
   };
@@ -124,35 +121,56 @@ Status FeatureGatherer::GatherImpl(
     for (size_t c = 0; c < num_chunks; ++c) phase1(c);
   }
 
-  for (const ChunkOut& co : chunks) {
+  for (const ChunkScratch& co : chunks_) {
     if (co.bad_node) return Status::OutOfRange("node id beyond feature store");
   }
 
-  // Concatenate chunk buckets in chunk order: chunks cover contiguous,
-  // increasing global node ranges, so this restores slice-major node order
-  // per bucket.
-  std::vector<std::vector<Access>> seq(buckets);
+  // Lay the per-bucket sequences out contiguously in seq_: bucket b owns
+  // [bucket_begin_[b], bucket_begin_[b + 1]), filled chunk-major. Chunks
+  // cover contiguous, increasing global node ranges, so each bucket's
+  // span is in slice-major node order — exactly the sequence the serial
+  // gather would have issued to that cache shard.
+  bucket_begin_.clear();
+  bucket_begin_.resize(buckets + 1);
+  size_t total_accesses = 0;
   for (uint32_t b = 0; b < buckets; ++b) {
-    size_t total = 0;
-    for (const ChunkOut& co : chunks) total += co.per_bucket[b].size();
-    seq[b].reserve(total);
-    for (const ChunkOut& co : chunks) {
-      seq[b].insert(seq[b].end(), co.per_bucket[b].begin(),
-                    co.per_bucket[b].end());
+    bucket_begin_[b] = total_accesses;
+    for (const ChunkScratch& co : chunks_) total_accesses += co.per_bucket[b];
+  }
+  bucket_begin_[buckets] = total_accesses;
+  seq_.resize(total_accesses);
+  // Turn each chunk's per-bucket counts into its write cursors, then
+  // scatter in parallel: every (chunk, bucket) cell owns a disjoint range.
+  for (uint32_t b = 0; b < buckets; ++b) {
+    uint64_t running = bucket_begin_[b];
+    for (ChunkScratch& co : chunks_) {
+      uint64_t count = co.per_bucket[b];
+      co.per_bucket[b] = running;
+      running += count;
     }
   }
-
-  // (slice, node) identifies one output row across the group.
-  using RowId = std::pair<uint32_t, size_t>;
-  struct BucketOut {
-    std::vector<GatherCounts> gc;        // per slice
-    std::vector<uint64_t> coalesced;     // per slice: folded-away accesses
-    std::vector<uint64_t> distinct;      // per slice: groups serviced
-    Status status = Status::OK();
-    std::vector<RowId> degraded;  // rows with a dead-lettered page
-    std::vector<RowId> corrupt;   // rows with an unrepairable page
+  auto scatter_chunk = [&](size_t c) {
+    ChunkScratch& co = chunks_[c];
+    for (const Access& a : co.accesses) {
+      seq_[co.per_bucket[a.bucket]++] = a;
+    }
   };
-  std::vector<BucketOut> bucket_out(buckets);
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(num_chunks, scatter_chunk);
+  } else {
+    for (size_t c = 0; c < num_chunks; ++c) scatter_chunk(c);
+  }
+
+  // Per-bucket result cells, flat (buckets x num_slices), zeroed each
+  // call without releasing capacity.
+  bucket_gc_.clear();
+  bucket_gc_.resize(static_cast<size_t>(buckets) * num_slices);
+  bucket_coalesced_.clear();
+  bucket_coalesced_.resize(static_cast<size_t>(buckets) * num_slices);
+  bucket_distinct_.clear();
+  bucket_distinct_.resize(static_cast<size_t>(buckets) * num_slices);
+  bucket_status_.assign(buckets, Status::OK());
+  bucket_scratch_.resize(buckets);
 
   // Copies (or zero-fills) the intersection of `a`'s page and its row.
   auto scatter = [&](const Access& a, const std::byte* page_buf, bool zero) {
@@ -173,8 +191,8 @@ Status FeatureGatherer::GatherImpl(
   };
   // Services `page` once through the cache/storage path, charging `slice`
   // and draining `reuses` window pins. Returns false when the bucket must
-  // abort (bo.status set).
-  auto service = [&](BucketOut& bo, uint64_t page, uint32_t slice,
+  // abort (bucket_status_[b] set).
+  auto service = [&](uint32_t b, uint64_t page, uint32_t slice,
                      uint32_t reuses, std::byte* page_buf, bool* degraded,
                      bool* corrupt) {
     GatherCounts gc;
@@ -193,31 +211,34 @@ Status FeatureGatherer::GatherImpl(
       // separate accounting.
       *corrupt = true;
     } else if (!s.ok()) {
-      bo.status = std::move(s);
+      bucket_status_[b] = std::move(s);
       return false;
     }
-    bo.gc[slice].cache_hits += gc.cache_hits;
-    bo.gc[slice].storage_reads += gc.storage_reads;
+    GatherCounts& cell = bucket_gc_[static_cast<size_t>(b) * num_slices +
+                                    slice];
+    cell.cache_hits += gc.cache_hits;
+    cell.storage_reads += gc.storage_reads;
     return true;
   };
 
   auto phase2 = [&](size_t b) {
-    BucketOut& bo = bucket_out[b];
-    bo.gc.resize(num_slices);
-    bo.coalesced.resize(num_slices, 0);
-    bo.distinct.resize(num_slices, 0);
-    std::vector<std::byte> page_buf(functional ? page_bytes : 0);
+    BucketScratch& bs = bucket_scratch_[b];
+    bs.degraded.clear();
+    bs.corrupt.clear();
+    bs.page_buf.resize(functional ? page_bytes : 0);
+    std::span<const Access> span(seq_.data() + bucket_begin_[b],
+                                 bucket_begin_[b + 1] - bucket_begin_[b]);
     if (!coalesce_pages_) {
-      for (const Access& a : seq[b]) {
+      for (const Access& a : span) {
         bool degraded = false;
         bool corrupt = false;
-        if (!service(bo, a.page, a.slice, 1, page_buf.data(), &degraded,
-                     &corrupt)) {
+        if (!service(static_cast<uint32_t>(b), a.page, a.slice, 1,
+                     bs.page_buf.data(), &degraded, &corrupt)) {
           return;
         }
-        if (degraded) bo.degraded.push_back({a.slice, a.node});
-        if (corrupt) bo.corrupt.push_back({a.slice, a.node});
-        if (functional) scatter(a, page_buf.data(), degraded || corrupt);
+        if (degraded) bs.degraded.push_back({a.slice, a.node});
+        if (corrupt) bs.corrupt.push_back({a.slice, a.node});
+        if (functional) scatter(a, bs.page_buf.data(), degraded || corrupt);
       }
       return;
     }
@@ -226,21 +247,41 @@ Status FeatureGatherer::GatherImpl(
     // bit-identical at any thread count), service each distinct page once
     // — charged to the first requester's slice, draining every member's
     // window pin — and fan the payload, or the degraded zero-fill, out to
-    // every requesting row.
-    std::vector<uint64_t> order;
-    std::unordered_map<uint64_t, std::vector<Access>> groups;
-    order.reserve(seq[b].size());
-    for (const Access& a : seq[b]) {
-      auto [it, inserted] = groups.try_emplace(a.page);
-      if (inserted) order.push_back(a.page);
-      it->second.push_back(a);
+    // every requesting row. Members are ordered within each group by a
+    // counting sort, i.e. they keep their sequence order.
+    bs.group_of.Reset(span.size());
+    bs.group_pages.clear();
+    bs.group_counts.clear();
+    for (const Access& a : span) {
+      auto [gid, inserted] = bs.group_of.TryEmplace(
+          a.page, static_cast<uint32_t>(bs.group_pages.size()));
+      if (inserted) {
+        bs.group_pages.push_back(a.page);
+        bs.group_counts.push_back(0);
+      }
+      ++bs.group_counts[*gid];
     }
-    for (uint64_t page : order) {
-      const std::vector<Access>& members = groups[page];
+    const size_t num_groups = bs.group_pages.size();
+    bs.group_cursor.clear();
+    bs.group_cursor.resize(num_groups);
+    uint64_t running = 0;
+    for (size_t g = 0; g < num_groups; ++g) {
+      bs.group_cursor[g] = running;
+      running += bs.group_counts[g];
+    }
+    bs.members.resize(span.size());
+    for (uint64_t i = 0; i < span.size(); ++i) {
+      bs.members[bs.group_cursor[*bs.group_of.Find(span[i].page)]++] = i;
+    }
+    // group_cursor[g] is now group g's end offset in members.
+    for (size_t g = 0; g < num_groups; ++g) {
+      const uint64_t count = bs.group_counts[g];
+      const uint64_t begin = bs.group_cursor[g] - count;
+      const Access& first = span[bs.members[begin]];
       bool degraded = false;
       bool corrupt = false;
-      if (!service(bo, page, members.front().slice,
-                   static_cast<uint32_t>(members.size()), page_buf.data(),
+      if (!service(static_cast<uint32_t>(b), bs.group_pages[g], first.slice,
+                   static_cast<uint32_t>(count), bs.page_buf.data(),
                    &degraded, &corrupt)) {
         return;
       }
@@ -249,13 +290,15 @@ Status FeatureGatherer::GatherImpl(
       // degraded/corrupt_nodes. This keeps total_page_requests() (the
       // accumulator's denominator) identical with coalescing on or off.
       const bool served = !degraded && !corrupt;
-      if (served) ++bo.distinct[members.front().slice];
-      for (size_t m = 0; m < members.size(); ++m) {
-        const Access& a = members[m];
-        if (m > 0 && served) ++bo.coalesced[a.slice];
-        if (degraded) bo.degraded.push_back({a.slice, a.node});
-        if (corrupt) bo.corrupt.push_back({a.slice, a.node});
-        if (functional) scatter(a, page_buf.data(), degraded || corrupt);
+      if (served) {
+        ++bucket_distinct_[b * num_slices + first.slice];
+      }
+      for (uint64_t m = 0; m < count; ++m) {
+        const Access& a = span[bs.members[begin + m]];
+        if (m > 0 && served) ++bucket_coalesced_[b * num_slices + a.slice];
+        if (degraded) bs.degraded.push_back({a.slice, a.node});
+        if (corrupt) bs.corrupt.push_back({a.slice, a.node});
+        if (functional) scatter(a, bs.page_buf.data(), degraded || corrupt);
       }
     }
   };
@@ -266,46 +309,51 @@ Status FeatureGatherer::GatherImpl(
   }
 
   for (uint32_t b = 0; b < buckets; ++b) {
-    if (!bucket_out[b].status.ok()) return bucket_out[b].status;
+    if (!bucket_status_[b].ok()) return bucket_status_[b];
   }
 
   for (uint32_t s = 0; s < num_slices; ++s) {
     per_slice_counts[s].nodes += slices[s].nodes.size();
   }
-  for (const ChunkOut& co : chunks) {
+  for (const ChunkScratch& co : chunks_) {
     for (uint32_t s = 0; s < num_slices; ++s) {
       per_slice_counts[s].cpu_buffer_hits += co.cpu_hits[s];
     }
   }
-  for (const BucketOut& bo : bucket_out) {
+  for (uint32_t b = 0; b < buckets; ++b) {
     for (uint32_t s = 0; s < num_slices; ++s) {
-      per_slice_counts[s].gpu_cache_hits += bo.gc[s].cache_hits;
-      per_slice_counts[s].storage_reads += bo.gc[s].storage_reads;
-      per_slice_counts[s].coalesced_requests += bo.coalesced[s];
-      per_slice_counts[s].distinct_pages += bo.distinct[s];
+      const size_t cell = static_cast<size_t>(b) * num_slices + s;
+      per_slice_counts[s].gpu_cache_hits += bucket_gc_[cell].cache_hits;
+      per_slice_counts[s].storage_reads += bucket_gc_[cell].storage_reads;
+      per_slice_counts[s].coalesced_requests += bucket_coalesced_[cell];
+      per_slice_counts[s].distinct_pages += bucket_distinct_[cell];
     }
   }
   // A row's pages may land in different buckets, so union the per-bucket
   // degraded/corrupt row ids to count each affected row exactly once, in
   // its own slice. The union is order-independent: the counts are
   // identical at every thread count and with coalescing on or off.
-  auto count_union = [&](std::vector<RowId> BucketOut::* field,
+  auto count_union = [&](std::vector<RowId> BucketScratch::* field,
                          uint64_t FeatureGatherCounts::* counter) {
     bool any = false;
-    for (const BucketOut& bo : bucket_out) any |= !(bo.*field).empty();
-    if (!any) return;
-    std::vector<RowId> merged;
-    for (const BucketOut& bo : bucket_out) {
-      merged.insert(merged.end(), (bo.*field).begin(), (bo.*field).end());
+    for (const BucketScratch& bs : bucket_scratch_) {
+      any |= !(bs.*field).empty();
     }
-    std::sort(merged.begin(), merged.end());
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-    for (const RowId& row : merged) {
+    if (!any) return;
+    merged_rows_.clear();
+    for (const BucketScratch& bs : bucket_scratch_) {
+      merged_rows_.insert(merged_rows_.end(), (bs.*field).begin(),
+                          (bs.*field).end());
+    }
+    std::sort(merged_rows_.begin(), merged_rows_.end());
+    merged_rows_.erase(std::unique(merged_rows_.begin(), merged_rows_.end()),
+                       merged_rows_.end());
+    for (const RowId& row : merged_rows_) {
       per_slice_counts[row.first].*counter += 1;
     }
   };
-  count_union(&BucketOut::degraded, &FeatureGatherCounts::degraded_nodes);
-  count_union(&BucketOut::corrupt, &FeatureGatherCounts::corrupt_nodes);
+  count_union(&BucketScratch::degraded, &FeatureGatherCounts::degraded_nodes);
+  count_union(&BucketScratch::corrupt, &FeatureGatherCounts::corrupt_nodes);
   return Status::OK();
 }
 

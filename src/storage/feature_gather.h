@@ -2,11 +2,14 @@
 #define GIDS_STORAGE_FEATURE_GATHER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/workspace_pool.h"
 #include "graph/feature_store.h"
 #include "graph/types.h"
 #include "storage/bam_array.h"
@@ -195,12 +198,60 @@ class FeatureGatherer {
   /// path is commutative, so cache-less bucketing is unconstrained).
   uint32_t BucketFor(uint64_t page) const;
 
+  /// One page access on behalf of one output row (bucket precomputed in
+  /// phase 1 so the scatter into per-bucket sequences is a flat copy).
+  struct Access {
+    uint64_t page;
+    uint64_t node;   // index into the slice's `nodes`
+    uint32_t slice;  // index into `slices`
+    uint32_t bucket;
+  };
+  /// (slice, node) identifies one output row across the group.
+  using RowId = std::pair<uint32_t, uint64_t>;
+
+  struct ChunkScratch {
+    Workspace<Access> accesses;      // this chunk's accesses, node order
+    Workspace<uint64_t> cpu_hits;    // per slice
+    Workspace<uint64_t> per_bucket;  // access count per bucket
+    bool bad_node = false;
+  };
+  struct BucketScratch {
+    Workspace<std::byte> page_buf;
+    // Coalescing-group scratch: distinct pages in first-occurrence order
+    // and their members via counting sort (seq order within each group).
+    PooledFlatMap<uint64_t, uint32_t> group_of;  // page -> group id
+    Workspace<uint64_t> group_pages;
+    Workspace<uint64_t> group_counts;
+    Workspace<uint64_t> group_cursor;
+    Workspace<uint64_t> members;  // indices into the bucket's seq span
+    // Fault paths are rare; plain vectors (empty in the steady state the
+    // zero-allocation gate measures).
+    std::vector<RowId> degraded;
+    std::vector<RowId> corrupt;
+  };
+
   const graph::FeatureStore* layout_;
   BamArray* array_;
   const HotNodeBuffer* hot_buffer_;
   ThreadPool* pool_;
   bool coalesce_pages_ = false;
   uint32_t cacheless_buckets_ = 1;  // power of two
+
+  // Reusable gather scratch, pool-backed so steady-state gathers allocate
+  // nothing. gather_mu_ serializes GatherImpl: the loader already runs one
+  // gather at a time (class contract above), and the mutex keeps stray
+  // concurrent callers correct instead of racing on the scratch.
+  std::mutex gather_mu_;
+  Workspace<uint64_t> slice_begin_;
+  std::vector<ChunkScratch> chunks_;
+  Workspace<Access> seq_;          // per-bucket contiguous, node order
+  Workspace<uint64_t> bucket_begin_;  // buckets + 1 offsets into seq_
+  Workspace<GatherCounts> bucket_gc_;      // buckets x num_slices
+  Workspace<uint64_t> bucket_coalesced_;   // buckets x num_slices
+  Workspace<uint64_t> bucket_distinct_;    // buckets x num_slices
+  std::vector<Status> bucket_status_;
+  std::vector<BucketScratch> bucket_scratch_;
+  std::vector<RowId> merged_rows_;  // count_union scratch (fault paths)
 };
 
 }  // namespace gids::storage

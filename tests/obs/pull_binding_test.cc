@@ -1,0 +1,104 @@
+// PullBinding / UnbindNamed: the RAII freeze path for pull-style metric
+// callbacks (OBSERVABILITY.md "Lifetime"). A component whose gauges were
+// bound with RegisterCallback can die before the registry's last snapshot;
+// destroying its binding freezes exactly its entries, leaving the rest of
+// the registry live.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "common/workspace_pool.h"
+#include "obs/metric_registry.h"
+#include "obs/pool_metrics.h"
+#include "obs/workspace_metrics.h"
+
+namespace gids::obs {
+namespace {
+
+double SnapshotValue(const MetricRegistry& registry, const std::string& name,
+                     size_t num_labels) {
+  for (const MetricSnapshot& s : registry.Snapshot()) {
+    if (s.name == name && s.labels.size() == num_labels) return s.value;
+  }
+  ADD_FAILURE() << "metric " << name << " not found";
+  return -1;
+}
+
+TEST(PullBindingTest, UnbindNamedFreezesOnlyThatName) {
+  MetricRegistry registry;
+  int live_value = 1;
+  Labels labels = {{"loader", "T"}};
+  registry.RegisterCallback("a_total", labels, MetricType::kCounter,
+                            [&] { return static_cast<double>(live_value); });
+  registry.RegisterCallback("b_total", labels, MetricType::kCounter,
+                            [&] { return static_cast<double>(live_value); });
+  registry.UnbindNamed("a_total", labels);
+  live_value = 7;
+  EXPECT_EQ(SnapshotValue(registry, "a_total", 1), 1.0);  // frozen
+  EXPECT_EQ(SnapshotValue(registry, "b_total", 1), 7.0);  // still live
+}
+
+TEST(PullBindingTest, SnapshotAfterThreadPoolDestruction) {
+  MetricRegistry registry;
+  Labels labels = {{"loader", "T"}};
+  PullBinding binding;
+  {
+    ThreadPool pool(3);
+    binding = BindThreadPoolMetrics(pool, &registry, labels);
+    EXPECT_EQ(SnapshotValue(registry, "gids_host_pool_threads", 1), 3.0);
+    binding.Unbind();  // freeze before the pool dies
+  }
+  // The pool is gone; the snapshot reads the frozen final value instead of
+  // calling through a dangling pointer.
+  EXPECT_EQ(SnapshotValue(registry, "gids_host_pool_threads", 1), 3.0);
+  EXPECT_FALSE(binding.bound());
+}
+
+TEST(PullBindingTest, DestructorFreezesAutomatically) {
+  MetricRegistry registry;
+  Labels labels = {{"loader", "T"}};
+  {
+    ThreadPool pool(2);
+    PullBinding binding = BindThreadPoolMetrics(pool, &registry, labels);
+    // binding (then pool) destroyed at scope exit, in that order.
+  }
+  EXPECT_EQ(SnapshotValue(registry, "gids_host_pool_threads", 1), 2.0);
+}
+
+TEST(PullBindingTest, MoveTransfersOwnership) {
+  MetricRegistry registry;
+  Labels labels = {{"loader", "T"}};
+  ThreadPool pool(2);
+  PullBinding a = BindThreadPoolMetrics(pool, &registry, labels);
+  PullBinding b = std::move(a);
+  EXPECT_FALSE(a.bound());
+  EXPECT_TRUE(b.bound());
+  b.Unbind();
+  EXPECT_EQ(SnapshotValue(registry, "gids_host_pool_threads", 1), 2.0);
+}
+
+TEST(PullBindingTest, WorkspacePoolMetricsExportAndFreeze) {
+  MetricRegistry registry;
+  Labels labels = {{"loader", "T"}};
+  WorkspacePool pool;
+  PullBinding binding = BindWorkspacePoolMetrics(pool, &registry, labels);
+  {
+    Workspace<uint64_t> ws(&pool);
+    ws.resize(100);
+  }
+  EXPECT_GE(SnapshotValue(registry, "gids_ws_acquires_total", 1), 1.0);
+  // Per-class alloc series carry a bucket label on top of the base set.
+  bool found_bucket_series = false;
+  for (const MetricSnapshot& s : registry.Snapshot()) {
+    if (s.name == "gids_ws_allocs_total" && s.labels.size() == 2) {
+      found_bucket_series = true;
+    }
+  }
+  EXPECT_TRUE(found_bucket_series);
+  binding.Unbind();
+  EXPECT_GE(SnapshotValue(registry, "gids_ws_acquires_total", 1), 1.0);
+}
+
+}  // namespace
+}  // namespace gids::obs

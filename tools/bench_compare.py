@@ -7,11 +7,15 @@ Every bench binary prints one machine-readable line per result row:
                  "unit":"ms/iter", ...}
 
 The required keys are `experiment`, `label`, `measured`, and `unit`
-(`paper`, `wall_ms`, `host_threads`, `dedup_ratio` are optional); rows
-missing any required key fail the schema check. The `measured` values are
-*virtual-time* results — deterministic run to run — so any drift is a real
-behavior change, not noise. `wall_ms` is host wall-clock and is never
-compared.
+(`paper`, `wall_ms`, `host_threads`, `dedup_ratio`, `steady_state_allocs`
+are optional); rows missing any required key fail the schema check. The
+`measured` values are *virtual-time* results — deterministic run to run —
+so any drift is a real behavior change, not noise. `wall_ms` is host
+wall-clock and is never compared. `steady_state_allocs`, when present, is
+the workspace-pool allocation count observed during the measured phase
+(after warmup and Prewarm; DESIGN.md §11) and MUST be 0: the
+zero-allocation hot-path contract is absolute, so any nonzero value fails
+the gate regardless of tolerances.
 
 Usage:
 
@@ -69,6 +73,14 @@ def parse_rows(paths):
                     continue
                 if not isinstance(obj["measured"], (int, float)):
                     errors.append(f"{where}: 'measured' is not a number")
+                    continue
+                allocs = obj.get("steady_state_allocs")
+                if allocs is not None and allocs != 0:
+                    errors.append(
+                        f"{where}: steady_state_allocs={allocs!r} — the "
+                        f"workspace pool allocated during the measured "
+                        f"phase; the zero-allocation contract (DESIGN.md "
+                        f"§11) requires 0: {line}")
                     continue
                 key = (obj["experiment"], obj["label"])
                 if key in rows:

@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
 # Builds and tests every configuration: the default RelWithDebInfo tree,
 # the ASan/UBSan tree, and the ThreadSanitizer tree (CMakePresets.json).
-# The tsan preset builds only the concurrency test binary and runs the
-# `concurrency`-labelled tests (thread pool, sharded cache, parallel
-# gather, coalescing determinism, loader determinism, corruption-counter
-# determinism). The asan-ubsan preset additionally re-runs the
-# `integrity`-labelled tests (CRC32C, corruption repair, scrubber) and the
-# `coalescing`-labelled tests (page-coalescing gather determinism and
-# fault fan-out) on their own so checksum- and scatter-path memory errors
-# fail loudly. Also runs the documentation lint
+# The tsan preset builds the concurrency and workspace test binaries and
+# runs the `concurrency`- and `workspace`-labelled tests (thread pool,
+# sharded cache, parallel gather, coalescing determinism, loader
+# determinism, corruption-counter determinism, workspace-pool books and
+# zero-allocation steady state). The asan-ubsan preset additionally
+# re-runs the `integrity`-labelled tests (CRC32C, corruption repair,
+# scrubber), the `coalescing`-labelled tests (page-coalescing gather
+# determinism and fault fan-out), and the `workspace`-labelled tests
+# (pooled-scratch recycling) on their own so checksum-, scatter-, and
+# pool-path memory errors fail loudly. Also runs the documentation lint
 # (tools/docs_lint.sh: dead intra-repo markdown links, undocumented
 # GidsOptions / FaultOptions / IntegrityOptions fields, gids_cli flags).
 # The default preset additionally runs the bench regression gate: the
-# FIG03/FIG13 headline benches are replayed and their RESULT_JSON rows
-# diffed against bench/baselines/seed.json with tools/bench_compare.py
-# (virtual-time `measured` values are deterministic, so the gate fails on
-# any >10% drift, schema violation, or lost row).
+# FIG03/FIG13 headline benches and the HOSTPAR host-parallelism sweep are
+# replayed and their RESULT_JSON rows diffed against
+# bench/baselines/seed.json with tools/bench_compare.py (virtual-time
+# `measured` values are deterministic, so the gate fails on any >10%
+# drift, schema violation, or lost row; HOSTPAR rows additionally carry
+# `steady_state_allocs`, which must be exactly 0 — the zero-allocation
+# hot-path contract of DESIGN.md §11).
 # Run from the repository root:
 #
 #   tools/check.sh            # docs lint + all presets
@@ -44,14 +49,17 @@ for preset in "${presets[@]}"; do
     ctest --preset "$preset" -j "$jobs" -L integrity
     echo "=== [$preset] coalescing-labelled tests"
     ctest --preset "$preset" -j "$jobs" -L coalescing
+    echo "=== [$preset] workspace-labelled tests"
+    ctest --preset "$preset" -j "$jobs" -L workspace
   fi
   if [ "$preset" = "default" ]; then
     echo "=== [$preset] bench regression gate"
     benchlog=$(mktemp -d)
     build/bench/bench_fig03_request_rate > "$benchlog/fig03.log"
     build/bench/bench_fig13_e2e_samsung > "$benchlog/fig13.log"
+    build/bench/bench_host_parallelism > "$benchlog/hostpar.log"
     python3 tools/bench_compare.py --baseline bench/baselines/seed.json \
-      "$benchlog/fig03.log" "$benchlog/fig13.log"
+      "$benchlog/fig03.log" "$benchlog/fig13.log" "$benchlog/hostpar.log"
     rm -rf "$benchlog"
   fi
 done

@@ -12,6 +12,7 @@
 //                     [--no-accumulator] [--no-window] [--no-cpu-buffer]
 //                     [--cpu-buffer-frac 0.1] [--window-depth 8]
 //                     [--host-threads 8] [--prefetch-depth 1]
+//                     [--no-workspace-pool]
 //   gids_cli report   --in t.json [--report-top-k 5]
 //
 // `run` accepts either --dataset/--scale (generate on the fly) or
@@ -260,6 +261,10 @@ int CmdRun(const Flags& flags) {
     opts.prefetch_depth =
         static_cast<uint32_t>(flags.GetInt("prefetch-depth", 0));
     opts.coalesce_pages = flags.GetBool("coalesce-pages");
+    // Escape hatch for the size-bucketed workspace pool (DESIGN.md §11):
+    // every scratch acquire falls back to plain malloc/free. Results are
+    // bit-identical either way.
+    if (flags.GetBool("no-workspace-pool")) opts.workspace_pool = false;
     // Storage fault injection & retry policy (FAULTS.md).
     opts.fault_rate = flags.GetDouble("fault-rate", 0.0);
     opts.fault_seed =
@@ -533,6 +538,8 @@ void Usage() {
       "            --host-threads N (parallel data prep, bam/gids)\n"
       "            --prefetch-depth P (async group prefetch, bam/gids)\n"
       "            --coalesce-pages (one round-trip per distinct page)\n"
+      "            --no-workspace-pool (scratch via plain malloc/free;\n"
+      "             bit-identical escape hatch, DESIGN.md §11)\n"
       "            --fault-rate F --fault-seed N (storage fault injection)\n"
       "            --latency-spike-rate F --latency-spike-us U\n"
       "            --stuck-queue-rate F --offline-device D\n"
