@@ -19,11 +19,8 @@ const char* HotMetricName(HotMetric metric) {
   return "unknown";
 }
 
-ConstantCpuBuffer ConstantCpuBuffer::Build(const graph::CscGraph& graph,
-                                           const graph::FeatureStore& features,
-                                           uint64_t capacity_bytes,
-                                           HotMetric metric, uint64_t seed) {
-  GIDS_CHECK(graph.num_nodes() == features.num_nodes());
+std::vector<graph::NodeId> HotMetricRanking(const graph::CscGraph& graph,
+                                            HotMetric metric, uint64_t seed) {
   std::vector<graph::NodeId> order;
   switch (metric) {
     case HotMetric::kReversePageRank: {
@@ -43,13 +40,27 @@ ConstantCpuBuffer ConstantCpuBuffer::Build(const graph::CscGraph& graph,
       break;
     }
   }
+  return order;
+}
 
+ConstantCpuBuffer ConstantCpuBuffer::Build(const graph::CscGraph& graph,
+                                           const graph::FeatureStore& features,
+                                           uint64_t capacity_bytes,
+                                           HotMetric metric, uint64_t seed) {
+  GIDS_CHECK(graph.num_nodes() == features.num_nodes());
+  return FromRanking(features, HotMetricRanking(graph, metric, seed),
+                     capacity_bytes);
+}
+
+ConstantCpuBuffer ConstantCpuBuffer::FromRanking(
+    const graph::FeatureStore& features,
+    const std::vector<graph::NodeId>& hottest_first, uint64_t capacity_bytes) {
   uint64_t per_node = features.feature_bytes_per_node();
   uint64_t budget_nodes = per_node == 0 ? 0 : capacity_bytes / per_node;
-  budget_nodes = std::min<uint64_t>(budget_nodes, order.size());
+  budget_nodes = std::min<uint64_t>(budget_nodes, hottest_first.size());
 
   std::vector<bool> pinned(features.num_nodes(), false);
-  for (uint64_t i = 0; i < budget_nodes; ++i) pinned[order[i]] = true;
+  for (uint64_t i = 0; i < budget_nodes; ++i) pinned[hottest_first[i]] = true;
   return ConstantCpuBuffer(&features, std::move(pinned), budget_nodes);
 }
 

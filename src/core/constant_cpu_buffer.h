@@ -25,6 +25,14 @@ enum class HotMetric {
 
 const char* HotMetricName(HotMetric metric);
 
+/// Hottest-first node order under `metric` — the ranking
+/// ConstantCpuBuffer::Build pins from, exposed so cache policies can
+/// ingest the identical order (CACHING.md). `seed` only matters for
+/// HotMetric::kRandom.
+std::vector<graph::NodeId> HotMetricRanking(const graph::CscGraph& graph,
+                                            HotMetric metric,
+                                            uint64_t seed = 0xc0feb0f);
+
 /// The constant CPU buffer (§3.3): a user-sized region of pinned host
 /// memory holding the feature vectors of the hottest nodes. Feature
 /// gathers check it first; hits cross PCIe from DRAM instead of consuming
@@ -44,6 +52,15 @@ class ConstantCpuBuffer : public storage::HotNodeBuffer {
   static ConstantCpuBuffer FromNodeSet(
       const graph::FeatureStore& features,
       const std::vector<graph::NodeId>& nodes);
+
+  /// Pins the head of a hottest-first ranking until `capacity_bytes` of
+  /// feature data is pinned — the budget arithmetic of Build applied to a
+  /// caller-supplied order (a cache policy's HotNodeRanking, a presample
+  /// frequency ranking, ...).
+  static ConstantCpuBuffer FromRanking(
+      const graph::FeatureStore& features,
+      const std::vector<graph::NodeId>& hottest_first,
+      uint64_t capacity_bytes);
 
   bool Contains(graph::NodeId node) const override {
     return node < pinned_.size() && pinned_[node];

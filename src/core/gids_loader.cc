@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/presample.h"
 #include "obs/pool_metrics.h"
 #include "obs/workspace_metrics.h"
 #include "sim/aggregation_model.h"
@@ -67,12 +68,23 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   integrity.crc_verify_ns = options_.crc_verify_ns;
   storage_->EnableIntegrity(integrity);
 
+  // Replacement/admission policy (CACHING.md). A shared instance is used
+  // as-is (the sharing host already seeded its ranking); otherwise the
+  // loader owns one of the configured kind.
+  if (options_.shared_cache_policy != nullptr) {
+    policy_ = options_.shared_cache_policy;
+  } else {
+    owned_policy_ = storage::MakeCachePolicy(options_.cache_policy);
+    policy_ = owned_policy_.get();
+  }
+
   uint64_t cache_bytes = options_.gpu_cache_bytes != 0
                              ? options_.gpu_cache_bytes
                              : cfg.scaled_gpu_cache_bytes();
   cache_ = std::make_unique<storage::SoftwareCache>(
       cache_bytes, fs.page_bytes(), options_.seed ^ 0xcac4e,
-      /*store_payloads=*/!options_.counting_mode, options_.cache_shards);
+      /*store_payloads=*/!options_.counting_mode, options_.cache_shards,
+      policy_);
   if (integrity.verify_cache_fill || integrity.verify_cache_hit ||
       options_.scrub_pages_per_iter > 0) {
     cache_->EnableIntegrity(&storage_->checksummer(),
@@ -84,6 +96,27 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   if (options_.host_threads > 1 || options_.prefetch_depth > 0) {
     pool_ = std::make_unique<ThreadPool>(
         std::max<uint32_t>(1, options_.host_threads));
+  }
+
+  // Seed the owned policy's ranking. kPresample always runs its pass (the
+  // admission priorities need it even without a CPU buffer); kPageRankHot
+  // only computes the structural ranking when the buffer will consume it
+  // (an explicit hot_node_order supersedes it, exactly as before).
+  if (owned_policy_ != nullptr) {
+    if (policy_->kind() == storage::CachePolicyKind::kPresample) {
+      SeedCachePolicy(policy_, *dataset_, *sampler_, seeds_->batch_size(),
+                      options_.hot_metric, options_.seed ^ 0xb0f,
+                      options_.presample_seed, options_.presample_iterations,
+                      &live_freq_);
+      presample_live_rerank_ = options_.presample_rerank_groups > 0 &&
+                               policy_->ProvidesHotRanking();
+    } else if (policy_->kind() == storage::CachePolicyKind::kPageRankHot &&
+               options_.use_cpu_buffer &&
+               options_.hot_node_order == nullptr) {
+      SeedCachePolicy(policy_, *dataset_, *sampler_, seeds_->batch_size(),
+                      options_.hot_metric, options_.seed ^ 0xb0f,
+                      options_.presample_seed, 0, nullptr);
+    }
   }
 
   if (options_.use_cpu_buffer) {
@@ -98,6 +131,14 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
           options_.hot_node_order->begin() + budget_nodes);
       cpu_buffer_ = std::make_unique<ConstantCpuBuffer>(
           ConstantCpuBuffer::FromNodeSet(fs, pinned));
+    } else if (policy_->ProvidesHotRanking()) {
+      // Policy-ranked residency: the structural ranking for kPageRankHot
+      // (bit-identical to the Build path below), the observed-frequency
+      // ranking for kPresample, or whatever a shared policy was seeded
+      // with.
+      cpu_buffer_ = std::make_unique<ConstantCpuBuffer>(
+          ConstantCpuBuffer::FromRanking(fs, policy_->HotNodeRanking(),
+                                         buffer_bytes));
     } else {
       cpu_buffer_ = std::make_unique<ConstantCpuBuffer>(
           ConstantCpuBuffer::Build(dataset_->graph, fs, buffer_bytes,
@@ -135,6 +176,7 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
     obs::MetricRegistry* reg = options_.metrics;
     const obs::Labels& labels = observer_->labels();
     cache_->BindMetrics(reg, labels);
+    policy_->BindMetrics(reg, labels);
     storage_->BindMetrics(reg, labels,
                           /*attribution_series=*/options_.timeline != nullptr ||
                               options_.exemplars != nullptr);
@@ -375,6 +417,23 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
     st.training_ns = system_->gpu().TrainTime(st.input_nodes);
     group_sampling += st.sampling_ns;
     group_training += st.training_ns;
+  }
+
+  // kPresample live re-ranking: fold the group's batch composition into
+  // the cumulative frequency table and re-ingest on the configured
+  // cadence. Single-flight (like everything in this function), so the
+  // re-rank points are deterministic at any host_threads/prefetch_depth.
+  if (presample_live_rerank_) {
+    live_freq_.resize(dataset_->graph.num_nodes());
+    for (size_t i = 0; i < group; ++i) {
+      for (graph::NodeId v : pending_[i].batch.input_nodes()) {
+        ++live_freq_[v];
+      }
+    }
+    if (++groups_since_rerank_ >= options_.presample_rerank_groups) {
+      groups_since_rerank_ = 0;
+      policy_->IngestNodeFrequencies(live_freq_.span(), fs);
+    }
   }
 
   if (options_.coalesce_pages) {

@@ -57,6 +57,33 @@ struct GidsOptions {
   /// GPU software cache size; 0 uses the system config's (scaled) value.
   uint64_t gpu_cache_bytes = 0;
 
+  /// Replacement/admission policy for the software cache and the static
+  /// hot-buffer ranking (CACHING.md). The default names the paper's full
+  /// stack: random eviction + window pinning + a structurally ranked hot
+  /// buffer — bit-identical to the pre-framework behavior. kPresample
+  /// runs a presample pass at construction and ranks by observed
+  /// frequency instead; GidsOptions::Bam() selects kRandom.
+  storage::CachePolicyKind cache_policy =
+      storage::CachePolicyKind::kPageRankHot;
+  /// Externally owned policy instance shared across loaders (multi-GPU
+  /// shared-cache-policy mode, MultiGpuOptions::share_cache_policy).
+  /// Overrides cache_policy; must outlive the loader. The sharing host
+  /// seeds the ranking (SeedCachePolicy) — loaders never re-seed a policy
+  /// they do not own.
+  storage::CachePolicy* shared_cache_policy = nullptr;
+  /// Presample-pass length (sampler iterations) for kPresample; 0 skips
+  /// the pass (the buffer then falls back to hot_metric).
+  uint32_t presample_iterations = 32;
+  /// Seed of the presample pass's private shuffled seed stream (the
+  /// training epoch's seed order is untouched).
+  uint64_t presample_seed = 0x9e5a;
+  /// Re-rank cadence for kPresample: every N prepared accumulator groups
+  /// the loader re-ingests cumulative observed node frequencies
+  /// (presample counts + live batch composition) so the policy tracks
+  /// drift. 0 disables live re-ranking. Group-scoped and single-flight,
+  /// so re-ranking is deterministic at any host_threads/prefetch_depth.
+  uint32_t presample_rerank_groups = 0;
+
   /// IO queue-pair geometry (BaM defaults). The aggregate depth caps the
   /// outstanding storage accesses the accumulator can maintain.
   uint32_t io_queues = 128;
@@ -180,6 +207,7 @@ struct GidsOptions {
     o.use_accumulator = false;
     o.use_window_buffering = false;
     o.use_cpu_buffer = false;
+    o.cache_policy = storage::CachePolicyKind::kRandom;
     o.display_name = "BaM";
     return o;
   }
@@ -212,6 +240,8 @@ class GidsLoader : public loaders::DataLoader {
   /// Effective look-ahead depth (resolved on first use in auto mode).
   int window_depth() const { return resolved_window_depth_; }
   const ConstantCpuBuffer* cpu_buffer() const { return cpu_buffer_.get(); }
+  /// The plugged cache policy (owned unless shared_cache_policy was set).
+  const storage::CachePolicy& cache_policy() const { return *policy_; }
   const storage::StorageArray& storage_array() const { return *storage_; }
   /// The host data-preparation pool (null when host_threads == 1 and
   /// prefetch is off).
@@ -251,6 +281,8 @@ class GidsLoader : public loaders::DataLoader {
   GidsOptions options_;
 
   std::unique_ptr<storage::StorageArray> storage_;
+  std::unique_ptr<storage::CachePolicy> owned_policy_;
+  storage::CachePolicy* policy_ = nullptr;  // never null after the ctor
   std::unique_ptr<storage::SoftwareCache> cache_;
   std::unique_ptr<storage::BamArray> bam_;
   std::unique_ptr<ConstantCpuBuffer> cpu_buffer_;
@@ -282,6 +314,14 @@ class GidsLoader : public loaders::DataLoader {
   Workspace<storage::GatherSlice> gather_slices_;
   Workspace<storage::FeatureGatherCounts> slice_counts_;
   Workspace<storage::SoftwareCache::ScrubResult> scrub_results_;
+
+  // Live re-rank state for kPresample (presample_rerank_groups > 0):
+  // cumulative observed node frequencies (presample counts + every
+  // consumed batch's input-node composition) and the group countdown.
+  // Touched only by the single-flight group preparation.
+  Workspace<uint64_t> live_freq_;
+  uint64_t groups_since_rerank_ = 0;
+  bool presample_live_rerank_ = false;
 
   uint64_t next_sample_iteration_ = 0;
   int resolved_window_depth_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/presample.h"
 
 namespace gids::core {
 
@@ -38,9 +39,29 @@ StatusOr<MultiGpuResult> RunMultiGpu(const graph::Dataset& dataset,
         seed ^ (0x5a3e + g)));
     seed_iters.push_back(std::make_unique<sampling::SeedIterator>(
         shards[g], batch_size, seed ^ (0x5eed + g)));
+  }
+
+  // Shared-policy mode: one ranking/admission brain across every GPU's
+  // cache, seeded once before the loaders attach to it. The loaders see a
+  // pre-seeded external policy and never re-seed (shared_cache_policy
+  // contract in GidsOptions).
+  std::unique_ptr<storage::CachePolicy> shared_policy;
+  if (options.share_cache_policy) {
+    shared_policy = storage::MakeCachePolicy(options.loader.cache_policy);
+    SeedCachePolicy(shared_policy.get(), dataset, *samplers[0], batch_size,
+                    options.loader.hot_metric,
+                    (seed ^ 0x61d5) ^ 0xb0f,
+                    options.loader.presample_seed,
+                    options.loader.presample_iterations, nullptr);
+  }
+
+  for (int g = 0; g < gpus; ++g) {
     GidsOptions opts = options.loader;
     opts.seed = seed ^ (0x61d5 + g);
     opts.counting_mode = true;
+    if (shared_policy != nullptr) {
+      opts.shared_cache_policy = shared_policy.get();
+    }
     loaders.push_back(std::make_unique<GidsLoader>(
         &dataset, samplers[g].get(), seed_iters[g].get(), &system, opts));
   }
@@ -68,6 +89,11 @@ StatusOr<MultiGpuResult> RunMultiGpu(const graph::Dataset& dataset,
     result.rounds.push_back(round);
   }
   result.total_iterations = rounds * static_cast<uint64_t>(gpus);
+  if (shared_policy != nullptr) {
+    result.shared_policy_stats = shared_policy->stats();
+  }
+  // The loaders hold raw pointers into shared_policy; they must die first.
+  loaders.clear();
   return result;
 }
 

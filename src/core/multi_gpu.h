@@ -29,6 +29,14 @@ struct MultiGpuOptions {
   uint64_t model_bytes = 8ull << 20;  // gradient payload per all-reduce
   double interconnect_bps = 300e9;    // NVLink-class; use 32e9 for PCIe
   TimeNs allreduce_latency_ns = UsToNs(20);  // per-round launch/sync cost
+  /// Share one CachePolicy instance (of loader.cache_policy's kind)
+  /// across every GPU's cache instead of per-loader copies — the LSM-GNN
+  /// shared-intelligence direction (ROADMAP item 2) on the policy
+  /// abstraction: one ranking/admission brain, per-GPU line storage. The
+  /// policy is seeded once (GPU 0's sampler drives the presample pass)
+  /// before any loader is built; per-GPU victim streams stay independent
+  /// and deterministic (per-shard states are per-cache).
+  bool share_cache_policy = false;
 };
 
 struct MultiGpuRoundStats {
@@ -41,6 +49,9 @@ struct MultiGpuResult {
   std::vector<MultiGpuRoundStats> rounds;
   TimeNs total_ns = 0;
   uint64_t total_iterations = 0;  // num_gpus * rounds
+  /// Snapshot of the shared policy's decision counters at the end of the
+  /// run (zeros unless share_cache_policy was set).
+  storage::CachePolicyStats shared_policy_stats;
 
   double mean_round_ms() const {
     return rounds.empty() ? 0.0

@@ -25,9 +25,15 @@ uint32_t Log2Pow2(uint32_t v) {
 
 SoftwareCache::SoftwareCache(uint64_t capacity_bytes, uint32_t line_bytes,
                              uint64_t seed, bool store_payloads,
-                             uint32_t num_shards)
+                             uint32_t num_shards, CachePolicy* policy)
     : store_payloads_(store_payloads), line_bytes_(line_bytes) {
   GIDS_CHECK(line_bytes > 0);
+  if (policy == nullptr) {
+    owned_policy_ = std::make_unique<RandomEvictionPolicy>();
+    policy_ = owned_policy_.get();
+  } else {
+    policy_ = policy;
+  }
   total_lines_ = capacity_bytes / line_bytes;
   GIDS_CHECK(total_lines_ > 0);
 
@@ -54,7 +60,8 @@ SoftwareCache::SoftwareCache(uint64_t capacity_bytes, uint32_t line_bytes,
     sh->index.reserve(shard_lines * 2);
     sh->free_slots.reserve(shard_lines);
     for (size_t s = shard_lines; s-- > 0;) sh->free_slots.push_back(s);
-    sh->rng = Rng(seed + 0x9e3779b97f4a7c15ull * k);
+    sh->policy_state = policy_->MakeShardState(
+        k, seed + 0x9e3779b97f4a7c15ull * k, shard_lines);
     shards_.push_back(std::move(sh));
   }
 }
@@ -99,6 +106,7 @@ const std::byte* SoftwareCache::Lookup(uint64_t page) {
     // look-ahead window. Without this, miss-path counters never drain and
     // lines pin forever.
     ConsumeReuseLocked(sh, page, kNoSlot, 1);
+    policy_->OnAccess(page, 1, false);
     return nullptr;
   }
   if (verify_hit_ && LineCorruptLocked(sh, it->second)) {
@@ -108,10 +116,12 @@ const std::byte* SoftwareCache::Lookup(uint64_t page) {
     QuarantineLocked(sh, it->second);
     ++sh.stats.misses;
     ConsumeReuseLocked(sh, page, kNoSlot, 1);
+    policy_->OnAccess(page, 1, false);
     return nullptr;
   }
   ++sh.stats.hits;
   ConsumeReuseLocked(sh, page, it->second, 1);
+  policy_->OnAccess(page, 1, true);
   return sh.data.data() + it->second * line_bytes_;
 }
 
@@ -126,6 +136,7 @@ bool SoftwareCache::LookupInto(uint64_t page, std::span<std::byte> out,
   if (it == sh.index.end()) {
     ++sh.stats.misses;
     ConsumeReuseLocked(sh, page, kNoSlot, reuses);
+    policy_->OnAccess(page, reuses, false);
     return false;
   }
   if (verify_hit_ && LineCorruptLocked(sh, it->second)) {
@@ -133,10 +144,12 @@ bool SoftwareCache::LookupInto(uint64_t page, std::span<std::byte> out,
     QuarantineLocked(sh, it->second);
     ++sh.stats.misses;
     ConsumeReuseLocked(sh, page, kNoSlot, reuses);
+    policy_->OnAccess(page, reuses, false);
     return false;
   }
   ++sh.stats.hits;
   ConsumeReuseLocked(sh, page, it->second, reuses);
+  policy_->OnAccess(page, reuses, true);
   std::memcpy(out.data(), sh.data.data() + it->second * line_bytes_,
               line_bytes_);
   return true;
@@ -150,6 +163,7 @@ bool SoftwareCache::Touch(uint64_t page, uint32_t reuses) {
   if (it == sh.index.end()) {
     ++sh.stats.misses;
     ConsumeReuseLocked(sh, page, kNoSlot, reuses);
+    policy_->OnAccess(page, reuses, false);
     return false;
   }
   if (verify_hit_ && LineCorruptLocked(sh, it->second)) {
@@ -157,10 +171,12 @@ bool SoftwareCache::Touch(uint64_t page, uint32_t reuses) {
     QuarantineLocked(sh, it->second);
     ++sh.stats.misses;
     ConsumeReuseLocked(sh, page, kNoSlot, reuses);
+    policy_->OnAccess(page, reuses, false);
     return false;
   }
   ++sh.stats.hits;
   ConsumeReuseLocked(sh, page, it->second, reuses);
+  policy_->OnAccess(page, reuses, true);
   return true;
 }
 
@@ -213,24 +229,31 @@ size_t SoftwareCache::AcquireSlotLocked(Shard& sh, uint64_t page) {
     slot = sh.free_slots.back();
     sh.free_slots.pop_back();
   } else {
-    // Random eviction with bounded probing: skip USE (pinned) lines.
-    bool found = false;
-    slot = 0;
-    for (int probe = 0; probe < max_probes_; ++probe) {
-      size_t candidate = sh.rng.UniformInt(sh.lines.size());
-      if (sh.lines[candidate].state == LineState::kSafeToEvict) {
-        slot = candidate;
-        found = true;
-        break;
+    // Full shard: the plugged policy picks the victim (or refuses the
+    // admission). The host keeps the historical probe/bypass/eviction
+    // books so CacheStats means the same thing under every policy.
+    struct View final : CachePolicy::ShardLineView {
+      const std::vector<Line>* lines;
+      size_t num_lines() const override { return lines->size(); }
+      bool evictable(size_t s) const override {
+        return (*lines)[s].state == LineState::kSafeToEvict;
       }
-      ++sh.stats.pinned_probe_skips;
-    }
-    if (!found) {
+      uint64_t page(size_t s) const override { return (*lines)[s].page; }
+    };
+    View view;
+    view.lines = &sh.lines;
+    uint64_t skips = 0;
+    slot = policy_->SelectVictim(*sh.policy_state, view, page, max_probes_,
+                                 &skips);
+    sh.stats.pinned_probe_skips += skips;
+    if (slot == CachePolicy::kNoVictim) {
       ++sh.stats.bypasses;
       return kNoSlot;
     }
-    sh.index.erase(sh.lines[slot].page);
+    uint64_t victim_page = sh.lines[slot].page;
+    sh.index.erase(victim_page);
     ++sh.stats.evictions;
+    policy_->OnEvict(victim_page);
   }
   sh.lines[slot].page = page;
   sh.lines[slot].crc = 0;
@@ -242,6 +265,7 @@ size_t SoftwareCache::AcquireSlotLocked(Shard& sh, uint64_t page) {
       pending > 0 ? LineState::kUse : LineState::kSafeToEvict;
   sh.index.emplace(page, slot);
   ++sh.stats.insertions;
+  policy_->OnInsert(page);
   return slot;
 }
 
@@ -306,6 +330,10 @@ void SoftwareCache::AddFutureReuse(uint64_t page, uint32_t count) {
   if (it != sh.index.end()) {
     sh.lines[it->second].state = LineState::kUse;
   }
+  // The registration stream doubles as the policy's look-ahead feed: one
+  // entry per registered future access, in registration order (Belady
+  // builds its next-use queues from exactly this sequence).
+  for (uint32_t i = 0; i < count; ++i) policy_->IngestFutureAccess(page);
 }
 
 void SoftwareCache::ClearFutureReuse() {

@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "obs/metric_registry.h"
+#include "storage/cache_policy.h"
 #include "storage/page_integrity.h"
 
 namespace gids::storage {
@@ -86,9 +87,17 @@ class SoftwareCache {
   /// `num_shards` = 0 picks the shard count automatically (power of two,
   /// at least 256 lines per shard, at most 64 shards). Explicit values
   /// are clamped to a power of two no larger than the line capacity.
+  ///
+  /// `policy` plugs the replacement/admission strategy (CACHING.md). The
+  /// cache is a policy *host*: it owns lines, pins, stats, and integrity
+  /// state, and delegates only the victim/admission decision plus access
+  /// and look-ahead notifications. nullptr installs an internally owned
+  /// RandomEvictionPolicy, which reproduces the pre-framework eviction
+  /// stream bit for bit. External policies must outlive the cache and may
+  /// be shared across caches (multi-GPU shared-policy mode).
   SoftwareCache(uint64_t capacity_bytes, uint32_t line_bytes,
                 uint64_t seed = 0xcac4e, bool store_payloads = true,
-                uint32_t num_shards = 0);
+                uint32_t num_shards = 0, CachePolicy* policy = nullptr);
 
   /// Installs the integrity verify points (INTEGRITY.md). Each cache line
   /// carries the write-time checksum its payload arrived with (payload
@@ -206,7 +215,9 @@ class SoftwareCache {
 
   /// Window buffering: registers `count` future reuses of `page`. Applies
   /// to the resident line immediately, or is remembered and applied if the
-  /// page is inserted while reuses remain outstanding.
+  /// page is inserted while reuses remain outstanding. Also forwards
+  /// `count` look-ahead entries to the policy (CachePolicy::
+  /// IngestFutureAccess), so Belady-style policies see the window.
   void AddFutureReuse(uint64_t page, uint32_t count);
 
   /// Clears all future-reuse counters (dropping all pins).
@@ -220,6 +231,9 @@ class SoftwareCache {
 
   int max_probes() const { return max_probes_; }
   void set_max_probes(int p) { max_probes_ = p; }
+
+  /// The plugged replacement/admission policy (never null).
+  CachePolicy* policy() const { return policy_; }
 
   /// The automatic shard-count policy: double the shard count while every
   /// shard would keep at least 256 lines, clamped to [1, 64].
@@ -239,9 +253,10 @@ class SoftwareCache {
   };
 
   /// One lock stripe. Each shard is an independent mini-cache over a
-  /// contiguous slice of the line budget with its own eviction RNG, so
-  /// its decisions depend only on the sequence of operations applied to
-  /// it — never on sibling shards or on which thread issued the call.
+  /// contiguous slice of the line budget with its own policy shard state
+  /// (e.g. the eviction RNG), so its decisions depend only on the
+  /// sequence of operations applied to it — never on sibling shards or on
+  /// which thread issued the call.
   struct Shard {
     mutable std::mutex mu;
     std::vector<Line> lines;
@@ -250,7 +265,7 @@ class SoftwareCache {
     std::unordered_map<uint64_t, uint32_t> future_reuse;  // page -> count
     std::vector<size_t> free_slots;
     CacheStats stats;
-    Rng rng{0};
+    std::unique_ptr<CachePolicy::ShardState> policy_state;
     size_t scrub_cursor = 0;  // next line ScrubShard resumes from
   };
 
@@ -281,6 +296,8 @@ class SoftwareCache {
 
   bool store_payloads_;
   uint32_t line_bytes_;
+  std::unique_ptr<CachePolicy> owned_policy_;  // set when policy arg is null
+  CachePolicy* policy_ = nullptr;              // never null after the ctor
   const PageChecksummer* checksummer_ = nullptr;  // null = no payload verify
   bool verify_fill_ = false;
   bool verify_hit_ = false;

@@ -31,13 +31,19 @@ Usage:
 Baseline schema (JSON):
 
     {"tolerances": {"FIG13": 0.10, "default": 0.10},
+     "directions": {"ABL-CACHEPOLICY": "higher"},
      "rows": [{"experiment": ..., "label": ..., "measured": ..., "unit": ...}]}
 
 A row regresses when |measured - baseline| / |baseline| exceeds the
 experiment's tolerance (two-sided: silent speedups also fail, so the
-baseline stays honest). Rows present in the baseline but absent from the
-logs fail as lost coverage; rows only in the logs are reported but pass
-(the next --update picks them up).
+baseline stays honest). The optional `directions` map relaxes one side
+per experiment: "higher" means higher-is-better (only measured <
+baseline * (1 - tol) fails, e.g. hit-rate rows), "lower" means
+lower-is-better (only measured > baseline * (1 + tol) fails); the
+default "both" keeps the two-sided gate. Rows present in the baseline
+but absent from the logs fail as lost coverage; rows only in the logs
+are reported but pass (the next --update picks them up). --update
+preserves `tolerances` and `directions` from the existing baseline.
 """
 
 import argparse
@@ -93,12 +99,14 @@ def parse_rows(paths):
 
 def compare(rows, baseline):
     tolerances = baseline.get("tolerances", {})
+    directions = baseline.get("directions", {})
     default_tol = tolerances.get("default", DEFAULT_TOLERANCE)
     failures = []
     checked = 0
     for base in baseline.get("rows", []):
         key = (base["experiment"], base["label"])
         tol = tolerances.get(base["experiment"], default_tol)
+        direction = directions.get(base["experiment"], "both")
         row = rows.get(key)
         if row is None:
             failures.append(
@@ -112,20 +120,28 @@ def compare(rows, baseline):
                 failures.append(
                     f"REGRESS  [{key[0]}] {key[1]}: baseline 0, got {got:g}")
             continue
-        rel = abs(got - want) / abs(want)
-        if rel > tol:
+        rel = (got - want) / abs(want)
+        if direction == "higher":
+            bad = rel < -tol
+        elif direction == "lower":
+            bad = rel > tol
+        else:
+            bad = abs(rel) > tol
+        if bad:
             failures.append(
                 f"REGRESS  [{key[0]}] {key[1]}: measured {got:g} vs "
-                f"baseline {want:g} ({100 * rel:.1f}% > {100 * tol:.0f}%)")
+                f"baseline {want:g} ({100 * abs(rel):.1f}% > {100 * tol:.0f}%"
+                f", direction={direction})")
     new_rows = [k for k in rows if k not in
                 {(b["experiment"], b["label"]) for b in
                  baseline.get("rows", [])}]
     return failures, checked, new_rows
 
 
-def write_baseline(path, rows, tolerances):
+def write_baseline(path, rows, tolerances, directions):
     doc = {
         "tolerances": tolerances,
+        "directions": directions,
         "rows": [
             {"experiment": k[0], "label": k[1],
              "measured": rows[k]["measured"], "unit": rows[k]["unit"]}
@@ -158,14 +174,17 @@ def main():
 
     if args.update:
         tolerances = {"default": args.tolerance or DEFAULT_TOLERANCE}
+        directions = {}
         try:
             with open(args.baseline, "r", encoding="utf-8") as f:
-                tolerances = json.load(f).get("tolerances", tolerances)
+                prior = json.load(f)
+            tolerances = prior.get("tolerances", tolerances)
+            directions = prior.get("directions", directions)
         except (OSError, json.JSONDecodeError):
             pass
         if args.tolerance is not None:
             tolerances["default"] = args.tolerance
-        write_baseline(args.baseline, rows, tolerances)
+        write_baseline(args.baseline, rows, tolerances, directions)
         print(f"wrote {args.baseline} ({len(rows)} rows)")
         return 1 if errors else 0
 

@@ -8,7 +8,13 @@
 #      FaultOptions field (src/storage/fault_injector.h), every
 #      IntegrityOptions field (src/storage/page_integrity.h), and every
 #      gids_cli flag (tools/gids_cli.cc) must be mentioned in README.md,
-#      FAULTS.md or INTEGRITY.md, so new knobs cannot land undocumented.
+#      FAULTS.md, INTEGRITY.md or CACHING.md, so new knobs cannot land
+#      undocumented.
+#   3. Every cache-policy name in the parse table
+#      (src/storage/cache_policy.cc) must appear in the corpus, and the
+#      CachePolicyKind enum (src/storage/cache_policy.h) must have
+#      exactly as many enumerators as the parse table has names — a new
+#      policy cannot land unnamed or undocumented.
 #
 #   tools/docs_lint.sh            # lint everything
 set -euo pipefail
@@ -38,7 +44,7 @@ while IFS= read -r md; do
 done < <(git ls-files '*.md')
 
 # --- 2. every knob is documented ------------------------------------------
-doc_corpus=$(cat README.md FAULTS.md INTEGRITY.md)
+doc_corpus=$(cat README.md FAULTS.md INTEGRITY.md CACHING.md)
 
 # Option-struct fields: lines like "  <type> name = default;" inside the
 # struct. Take the identifier immediately left of '='.
@@ -70,6 +76,27 @@ for flag in $flags; do
     fail=1
   fi
 done
+
+# --- 3. cache policies are named and documented ---------------------------
+# Parse-table names in src/storage/cache_policy.cc: {CachePolicyKind::kX,
+# "name"} entries. Every name must appear in the doc corpus (CACHING.md is
+# the canonical home), and the CachePolicyKind enum must not have grown an
+# enumerator without a parse-table name.
+policy_names=$(grep -oE '\{CachePolicyKind::k[A-Za-z]+, "[a-z]+"\}' \
+    src/storage/cache_policy.cc | grep -oE '"[a-z]+"' | tr -d '"')
+for name in $policy_names; do
+  if ! grep -qw -- "$name" <<<"$doc_corpus"; then
+    echo "docs-lint: cache policy \"$name\" not documented in README.md or CACHING.md"
+    fail=1
+  fi
+done
+enum_count=$(awk '/^enum class CachePolicyKind/,/^\};/' \
+    src/storage/cache_policy.h | grep -cE '^  k[A-Za-z]+')
+name_count=$(wc -w <<<"$policy_names")
+if [ "$enum_count" -ne "$name_count" ]; then
+  echo "docs-lint: CachePolicyKind has $enum_count enumerators but the parse table in src/storage/cache_policy.cc names $name_count"
+  fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "docs-lint: FAILED"

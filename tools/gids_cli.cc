@@ -46,6 +46,7 @@
 #include "sampling/seed_iterator.h"
 #include "sim/pipeline_des.h"
 #include "sim/system_model.h"
+#include "storage/cache_policy.h"
 
 namespace {
 
@@ -288,7 +289,32 @@ int CmdRun(const Flags& flags) {
     opts.verify_cache_hit = flags.GetBool("verify-cache-hit");
     opts.scrub_pages_per_iter =
         static_cast<uint32_t>(flags.GetInt("scrub-pages-per-iter", 0));
-    if (opts.use_cpu_buffer) {
+    // Cache policy selection (CACHING.md). The default keeps the kind the
+    // loader preset chose (pagerank for gids, random for bam).
+    if (flags.Has("cache-policy")) {
+      std::string policy_name = flags.Get("cache-policy", "");
+      storage::CachePolicyKind policy_kind;
+      if (!storage::ParseCachePolicyKind(policy_name, &policy_kind)) {
+        std::fprintf(stderr,
+                     "unknown --cache-policy '%s' (random, window, "
+                     "pagerank, belady, presample)\n",
+                     policy_name.c_str());
+        return 2;
+      }
+      opts.cache_policy = policy_kind;
+      std::printf("cache policy: %s\n",
+                  storage::CachePolicyKindName(policy_kind));
+    }
+    opts.presample_iterations =
+        static_cast<uint32_t>(flags.GetInt("presample-iters", 32));
+    opts.presample_seed =
+        static_cast<uint64_t>(flags.GetInt("presample-seed", 0x9e5a));
+    opts.presample_rerank_groups =
+        static_cast<uint32_t>(flags.GetInt("presample-rerank-groups", 0));
+    if (opts.use_cpu_buffer &&
+        opts.cache_policy != storage::CachePolicyKind::kPresample) {
+      // The presample policy ranks the buffer itself; every other kind
+      // pins by the precomputed PageRank order, as before.
       auto score = graph::WeightedReversePageRank(dataset.graph, {});
       hot_order = graph::RankNodesByScore(score);
       opts.hot_node_order = &hot_order;
@@ -540,6 +566,10 @@ void Usage() {
       "            --coalesce-pages (one round-trip per distinct page)\n"
       "            --no-workspace-pool (scratch via plain malloc/free;\n"
       "             bit-identical escape hatch, DESIGN.md §11)\n"
+      "            --cache-policy random|window|pagerank|belady|presample\n"
+      "            --presample-iters N --presample-seed N\n"
+      "            --presample-rerank-groups G\n"
+      "            (cache replacement/admission policy; see CACHING.md)\n"
       "            --fault-rate F --fault-seed N (storage fault injection)\n"
       "            --latency-spike-rate F --latency-spike-us U\n"
       "            --stuck-queue-rate F --offline-device D\n"
