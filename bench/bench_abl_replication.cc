@@ -1,0 +1,169 @@
+// Ablation: durability & replication vs availability and overhead
+// (FAULTS.md "Durability & failover").
+//
+// Two sweeps over a 4-SSD array with a device forced offline mid-epoch:
+//
+//  - Availability: with replication off, reads striped onto the dark
+//    device exhaust their retries and zero-fill (degraded nodes); with
+//    replication_factor 2 every such read transparently fails over to
+//    the page's surviving replica, so the epoch completes with ZERO
+//    degraded nodes. The availability row is the fraction of gathered
+//    nodes served intact — gated one-sided (higher is better).
+//
+//  - Overhead: the journaled write path (feature updates + edge deltas
+//    per iteration, quorum durability) against the same workload with
+//    mutations off, reporting the e2e slowdown and the journal's write
+//    amplification. Deterministic like every sweep here: all rows are
+//    pure functions of the seeds.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+
+namespace gids::bench {
+namespace {
+
+struct AvailabilityRow {
+  double availability = 1.0;  // intact nodes / gathered nodes
+  double slowdown = 1.0;      // e2e vs healthy single-copy run
+  uint64_t degraded_nodes = 0;
+  uint64_t failovers = 0;
+};
+
+AvailabilityRow MeasureAvailability(int replication_factor, bool outage,
+                                    TimeNs* baseline_e2e) {
+  ProxyConfig cfg;
+  cfg.spec = graph::DatasetSpec::IgbFull();
+  cfg.n_ssd = 4;
+  Rig rig = BuildRig(cfg);
+  core::GidsOptions o;
+  o.replication_factor = replication_factor;
+  if (outage) {
+    // Take device 1 offline mid-epoch (after ~a third of the measured
+    // virtual time at this scale); the healthy baseline row keeps every
+    // device up to anchor the slowdown.
+    o.offline_devices = {1};
+    o.offline_at_ns = 2 * kNsPerMs;
+  }
+  auto loader = MakeLoader(LoaderKind::kGids, rig, &o);
+  core::TrainRunResult result =
+      RunProtocol(rig, *loader, /*warmup=*/10, /*measure=*/30);
+
+  AvailabilityRow row;
+  uint64_t gathered = 0;
+  for (const auto& it : result.per_iteration) {
+    row.degraded_nodes += it.gather.degraded_nodes;
+    gathered += it.input_nodes;
+    row.failovers += it.failovers;
+  }
+  row.availability =
+      gathered > 0 ? 1.0 - static_cast<double>(row.degraded_nodes) /
+                               static_cast<double>(gathered)
+                   : 1.0;
+  if (*baseline_e2e == 0) *baseline_e2e = result.measured_e2e_ns;
+  row.slowdown = static_cast<double>(result.measured_e2e_ns) /
+                 static_cast<double>(*baseline_e2e);
+  return row;
+}
+
+void BM_ReplicationAvailability(benchmark::State& state) {
+  // range 0: healthy single-copy baseline (anchors slowdown);
+  // range 1: single-copy with the outage; range 2/3: replicated.
+  const int factor = static_cast<int>(state.range(0));
+  static TimeNs baseline_e2e = 0;
+  AvailabilityRow row;
+  for (auto _ : state) {
+    row = MeasureAvailability(factor == 0 ? 1 : factor,
+                              /*outage=*/factor != 0, &baseline_e2e);
+  }
+  state.counters["degraded_nodes"] =
+      static_cast<double>(row.degraded_nodes);
+  state.counters["failovers"] = static_cast<double>(row.failovers);
+  char label[80];
+  std::snprintf(label, sizeof(label),
+                factor == 0 ? "IGB-Full/GIDS x4 healthy R=1"
+                            : "IGB-Full/GIDS x4 offline-mid-epoch R=%d",
+                factor);
+  ReportRow("ABL-REPLICATION-AVAIL", std::string(label) + " availability",
+            row.availability, 0, "frac");
+  ReportRow("ABL-REPLICATION", std::string(label) + " slowdown",
+            row.slowdown, 0, "x");
+}
+
+BENCHMARK(BM_ReplicationAvailability)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Journaled write path overhead: mutations per iteration at quorum
+// durability on a replicated array, vs the identical read-only run.
+struct OverheadRow {
+  double slowdown = 1.0;
+  double write_amplification = 0.0;
+  uint64_t applied = 0;
+};
+
+OverheadRow MeasureMutationOverhead(uint32_t updates_per_iter,
+                                    TimeNs* baseline_e2e) {
+  ProxyConfig cfg;
+  cfg.spec = graph::DatasetSpec::IgbFull();
+  cfg.n_ssd = 4;
+  Rig rig = BuildRig(cfg);
+  core::GidsOptions o;
+  o.replication_factor = 2;
+  o.updates_per_iter = updates_per_iter;
+  o.edge_ops_per_iter = updates_per_iter / 2;
+  auto loader = MakeLoader(LoaderKind::kGids, rig, &o);
+  core::TrainRunResult result =
+      RunProtocol(rig, *loader, /*warmup=*/10, /*measure=*/30);
+
+  OverheadRow row;
+  auto* gids = dynamic_cast<core::GidsLoader*>(loader.get());
+  const storage::StorageArray& array = gids->storage_array();
+  if (array.journal_enabled()) {
+    row.write_amplification = array.journal()->WriteAmplification();
+    row.applied = array.journal()->counters().applied.load();
+  }
+  if (updates_per_iter == 0) *baseline_e2e = result.measured_e2e_ns;
+  row.slowdown = *baseline_e2e > 0
+                     ? static_cast<double>(result.measured_e2e_ns) /
+                           static_cast<double>(*baseline_e2e)
+                     : 1.0;
+  return row;
+}
+
+void BM_MutationOverhead(benchmark::State& state) {
+  const uint32_t updates = static_cast<uint32_t>(state.range(0));
+  static TimeNs baseline_e2e = 0;  // filled by the updates-0 row
+  OverheadRow row;
+  for (auto _ : state) {
+    row = MeasureMutationOverhead(updates, &baseline_e2e);
+  }
+  state.counters["applied"] = static_cast<double>(row.applied);
+  char label[80];
+  std::snprintf(label, sizeof(label),
+                "IGB-Full/GIDS x4 R=2 updates/iter %u", updates);
+  ReportRow("ABL-REPLICATION", std::string(label) + " slowdown",
+            row.slowdown, 0, "x");
+  if (updates > 0) {
+    ReportRow("ABL-REPLICATION", std::string(label) + " write-amp",
+              row.write_amplification, 0, "x");
+  }
+}
+
+BENCHMARK(BM_MutationOverhead)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gids::bench
+
+BENCHMARK_MAIN();

@@ -99,7 +99,7 @@ ConstantCpuBuffer::ScrubResult ConstantCpuBuffer::ScrubRows(
     size_t idx = scrub_->cursor;
     scrub_->cursor = (scrub_->cursor + 1) % n;
     graph::NodeId node = scrub_->nodes[idx];
-    features_->FillFeature(node, std::span<float>(row));
+    features_->FillFeatureAt(node, RowVersion(node), std::span<float>(row));
     uint32_t crc = checksummer.Checksum(node, row.data(),
                                         row.size() * sizeof(float));
     if (!scrub_->crc_known[idx]) {
@@ -116,10 +116,36 @@ ConstantCpuBuffer::ScrubResult ConstantCpuBuffer::ScrubRows(
 
 void ConstantCpuBuffer::Fill(graph::NodeId node, std::span<float> out) const {
   GIDS_CHECK(Contains(node));
-  features_->FillFeature(node, out);
+  features_->FillFeatureAt(node, RowVersion(node), out);
   if (fills_total_ != nullptr) {
     fills_total_->Inc();
     bytes_served_total_->Inc(features_->feature_bytes_per_node());
+  }
+}
+
+uint64_t ConstantCpuBuffer::RowVersion(graph::NodeId node) const {
+  std::shared_lock<std::shared_mutex> lock(overrides_->mu);
+  if (overrides_->versions.empty()) return 0;
+  auto it = overrides_->versions.find(node);
+  return it == overrides_->versions.end() ? 0 : it->second;
+}
+
+void ConstantCpuBuffer::OverrideRow(graph::NodeId node, uint64_t version) {
+  GIDS_CHECK(node < pinned_.size());
+  {
+    std::unique_lock<std::shared_mutex> lock(overrides_->mu);
+    overrides_->versions[node] = version;
+  }
+  // The row's bytes legitimately changed: drop its scrub baseline so the
+  // next sweep re-baselines instead of flagging the update as corruption.
+  std::lock_guard<std::mutex> lock(scrub_->mu);
+  if (!scrub_->nodes.empty()) {
+    auto it = std::lower_bound(scrub_->nodes.begin(), scrub_->nodes.end(),
+                               node);
+    if (it != scrub_->nodes.end() && *it == node) {
+      scrub_->crc_known[static_cast<size_t>(it - scrub_->nodes.begin())] =
+          false;
+    }
   }
 }
 

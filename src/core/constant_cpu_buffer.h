@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
@@ -87,6 +89,19 @@ class ConstantCpuBuffer : public storage::HotNodeBuffer {
   ScrubResult ScrubRows(const storage::PageChecksummer& checksummer,
                         uint64_t max_rows);
 
+  /// Journaled-write-path hook (FAULTS.md "Durability & failover"): pins
+  /// node's row to feature version `version` (FeatureStore::
+  /// ExpectedElementAt). The applier calls this when a feature update of a
+  /// pinned node is checkpointed, so CPU-buffer hits serve the mutated row
+  /// — without it the buffer would keep serving version 0 forever. Also
+  /// invalidates the row's scrub baseline (the content change is a
+  /// legitimate update, not corruption). Called only from the
+  /// single-flight apply step; safe against concurrent Fill.
+  void OverrideRow(graph::NodeId node, uint64_t version);
+
+  /// Current feature version of `node`'s pinned row (0 = never updated).
+  uint64_t RowVersion(graph::NodeId node) const;
+
   /// Exposes the buffer through `registry`: pinned-set gauges plus
   /// redirect counters (nodes served and bytes crossing PCIe from host
   /// DRAM) that Fill drives on every functional hit. Counting-mode runs
@@ -118,6 +133,15 @@ class ConstantCpuBuffer : public storage::HotNodeBuffer {
     size_t cursor = 0;
   };
   std::unique_ptr<ScrubState> scrub_ = std::make_unique<ScrubState>();
+  /// Versioned-row overrides from the journal applier. Reader-heavy
+  /// (every Fill consults it); writes happen only inside the single-flight
+  /// apply step. Heap-allocated for the same movability reason as
+  /// ScrubState.
+  struct OverrideState {
+    mutable std::shared_mutex mu;
+    std::unordered_map<graph::NodeId, uint64_t> versions;
+  };
+  std::unique_ptr<OverrideState> overrides_ = std::make_unique<OverrideState>();
 };
 
 }  // namespace gids::core

@@ -50,9 +50,14 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   faults.latency_spike_ns = options_.latency_spike_ns;
   faults.stuck_queue_rate = options_.stuck_queue_rate;
   faults.offline_device = options_.offline_device;
+  faults.offline_devices = options_.offline_devices;
+  faults.offline_at_ns = options_.offline_at_ns;
   faults.corruption_rate = options_.corruption_rate;
   if (faults.enabled()) {
     GIDS_CHECK(options_.offline_device < cfg.n_ssd);
+    for (int d : options_.offline_devices) {
+      GIDS_CHECK(d >= 0 && d < cfg.n_ssd);
+    }
     storage::RetryPolicy retry;
     retry.max_retries = options_.io_max_retries;
     retry.backoff_initial_ns = options_.io_backoff_ns;
@@ -67,6 +72,39 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
   integrity.crc_seed = options_.crc_seed;
   integrity.crc_verify_ns = options_.crc_verify_ns;
   storage_->EnableIntegrity(integrity);
+
+  // Durability & replication (FAULTS.md "Durability & failover"). Order
+  // matters: replication before the journal (fan-out follows the replica
+  // set), both before metric binding (the journal/replica series exist
+  // only when enabled, keeping defaults-off metric output identical).
+  GIDS_CHECK(options_.replication_factor >= 1 &&
+             options_.replication_factor <= cfg.n_ssd);
+  if (options_.replication_factor > 1) {
+    storage::ReplicaOptions repl;
+    repl.replication_factor = options_.replication_factor;
+    repl.write_quorum = options_.write_quorum;
+    GIDS_CHECK(repl.write_quorum >= 0 &&
+               repl.write_quorum <= repl.replication_factor);
+    storage_->EnableReplication(repl);
+  }
+  MutationStreamOptions mut;
+  mut.updates_per_iter = options_.updates_per_iter;
+  mut.edge_ops_per_iter = options_.edge_ops_per_iter;
+  mut.seed = options_.mutation_seed;
+  if (mut.enabled() || options_.replication_factor > 1) {
+    storage::JournalOptions jopt;
+    GIDS_CHECK(
+        storage::ParseDurabilityLevel(options_.durability, &jopt.durability));
+    jopt.append_ns = options_.journal_append_ns;
+    jopt.fsync_ns = options_.journal_fsync_ns;
+    jopt.apply_ns = options_.journal_apply_ns;
+    storage_->EnableJournal(jopt);
+  }
+  if (mut.enabled()) {
+    mutations_ = std::make_unique<MutationStream>(&fs, mut);
+  } else {
+    GIDS_CHECK(options_.crash_at_group < 0);
+  }
 
   // Replacement/admission policy (CACHING.md). A shared instance is used
   // as-is (the sharing host already seeded its ranking); otherwise the
@@ -167,10 +205,11 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
       std::make_unique<StorageAccessAccumulator>(cfg.ssd, acc_params);
 
   if (options_.metrics != nullptr || options_.trace != nullptr ||
-      options_.timeline != nullptr || options_.exemplars != nullptr) {
+      options_.timeline != nullptr || options_.exemplars != nullptr ||
+      options_.failover_exemplars != nullptr) {
     observer_ = std::make_unique<loaders::LoaderObserver>(
         options_.metrics, options_.trace, options_.display_name,
-        options_.timeline, options_.exemplars);
+        options_.timeline, options_.exemplars, options_.failover_exemplars);
   }
   if (options_.metrics != nullptr) {
     obs::MetricRegistry* reg = options_.metrics;
@@ -218,6 +257,23 @@ GidsLoader::GidsLoader(const graph::Dataset* dataset,
                      ? static_cast<double>(gather_coalesced_total_) / requests
                      : 0.0;
         });
+    if (mutations_ != nullptr) {
+      // Mutation-stream series exist only with the journaled write path
+      // on, like the storage array's journal series — defaults-off metric
+      // output stays identical.
+      reg->RegisterCallback("gids_mutations_submitted_total", labels,
+                            MetricType::kCounter, [this] {
+                              return static_cast<double>(
+                                  mutations_->submitted_records());
+                            });
+      reg->RegisterCallback(
+          "gids_mutations_applied_total", labels, MetricType::kCounter,
+          [this] {
+            return static_cast<double>(mutations_->feature_updates_applied() +
+                                       mutations_->edge_inserts_applied() +
+                                       mutations_->edge_deletes_applied());
+          });
+    }
   }
 }
 
@@ -336,6 +392,12 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
   const graph::FeatureStore& fs = dataset_->features;
   const double pages_per_node = fs.PagesPerNode();
 
+  // Pin the storage array's virtual clock to the preparation clock — the
+  // sum of all previously prepared groups' e2e — so offline_at_ns onsets
+  // and every replica-health decision are pure functions of the group
+  // prefix, never of wall time or call interleaving.
+  storage_->AdvanceClock(prep_clock_ns_);
+
   if (resolved_window_depth_ == 0 && options_.use_window_buffering) {
     if (options_.auto_window_depth) {
       EnsureSampledAhead(1);
@@ -374,6 +436,53 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
   EnsureSampledAhead(group + lookahead);
   RegisterWindow(group + lookahead);
 
+  // --- Journaled write path (FAULTS.md "Durability & failover"): before
+  // the group's gathers, drive the mutation stream one group forward —
+  // crash/recover/resubmit at the configured group boundary, then
+  // submit -> sync -> apply. Runs inside the single-flight preparation,
+  // so the journal's entire history is a pure function of the group
+  // prefix and the seeds, and gathers always see an exact LSN-prefix of
+  // the mutation stream.
+  TimeNs group_mutation_ns = 0;
+  if (mutations_ != nullptr) {
+    const uint64_t mut_ns_before =
+        storage_->journal()->counters().mutation_ns.load(
+            std::memory_order_relaxed);
+    if (!crash_done_ && options_.crash_at_group >= 0 &&
+        groups_prepared_ ==
+            static_cast<uint64_t>(options_.crash_at_group)) {
+      crash_done_ = true;
+      storage_->CrashJournal(options_.crash_seed);
+      storage_->RecoverJournal();
+      mutations_->ResubmitMissing(storage_.get());
+    }
+    const uint64_t through_iter = pending_[group - 1].iteration + 1;
+    mutations_->SubmitThrough(storage_.get(), through_iter);
+    mutations_through_iter_ = through_iter;
+    storage_->SyncJournals();
+    storage_->ApplyJournal(
+        options_.journal_apply_budget,
+        [this](const storage::MutationRecord& rec,
+               std::span<const uint64_t> pages) {
+          mutations_->OnApplied(rec);
+          // Applied records change page ground truth: drop stale cache
+          // lines and refresh the pinned CPU-buffer row so every service
+          // path serves (and verifies against) the new version.
+          for (uint64_t page : pages) cache_->Invalidate(page);
+          if (rec.type == storage::MutationType::kFeatureUpdate &&
+              cpu_buffer_ != nullptr &&
+              cpu_buffer_->Contains(
+                  static_cast<graph::NodeId>(rec.key))) {
+            cpu_buffer_->OverrideRow(static_cast<graph::NodeId>(rec.key),
+                                     rec.arg);
+          }
+        });
+    group_mutation_ns = static_cast<TimeNs>(
+        storage_->journal()->counters().mutation_ns.load(
+            std::memory_order_relaxed) -
+        mut_ns_before);
+  }
+
   // --- Gather every merged iteration (conceptually one aggregation
   // kernel execution spanning the group).
   std::vector<loaders::LoaderBatch> group_batches(group);
@@ -406,6 +515,32 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
   TimeNs group_retry_penalty = 0;
   TimeNs group_crc_penalty = 0;
   TimeNs group_degraded_penalty = 0;
+
+  // Failover attribution (FAULTS.md "Durability & failover"): snapshot
+  // the replica-routing counters around the group's gathers; the deltas
+  // name how many reads failed over, the device most failed FROM, and
+  // the replica most failed TO. Group-scoped like the kernel phases; the
+  // whole delta is charged to the group's first iteration so per-run
+  // sums stay exact.
+  const bool track_failovers = storage_->replica_set() != nullptr;
+  // Attribution arrays are stack-fixed; devices past the cap still fail
+  // over correctly, they just can't win the argmax label.
+  const int n_ssd_track = std::min(system_->config().n_ssd, 64);
+  const int n_replicas_track =
+      track_failovers ? storage_->replica_set()->options().replication_factor
+                      : 0;
+  uint64_t fo_before = 0;
+  uint64_t fo_from_before[storage::ReplicaSet::kMaxReplicas * 8] = {};
+  uint64_t fo_by_before[storage::ReplicaSet::kMaxReplicas] = {};
+  if (track_failovers) {
+    fo_before = storage_->replica_failovers_total();
+    for (int d = 0; d < n_ssd_track; ++d) {
+      fo_from_before[d] = storage_->failovers_from_device(d);
+    }
+    for (int r = 0; r < n_replicas_track; ++r) {
+      fo_by_before[r] = storage_->reads_by_replica(r);
+    }
+  }
 
   for (size_t i = 0; i < group; ++i) {
     Pending& p = pending_[i];
@@ -520,6 +655,35 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
   }
   pending_.erase(pending_.begin(), pending_.begin() + group);
 
+  if (track_failovers) {
+    const uint64_t fo_delta = storage_->replica_failovers_total() - fo_before;
+    if (fo_delta > 0) {
+      int worst_device = 0;
+      uint64_t worst_device_n = 0;
+      for (int d = 0; d < n_ssd_track; ++d) {
+        const uint64_t n = storage_->failovers_from_device(d) -
+                           fo_from_before[d];
+        if (n > worst_device_n) {
+          worst_device_n = n;
+          worst_device = d;
+        }
+      }
+      int worst_replica = 0;
+      uint64_t worst_replica_n = 0;
+      for (int r = 1; r < n_replicas_track; ++r) {
+        const uint64_t n = storage_->reads_by_replica(r) - fo_by_before[r];
+        if (n > worst_replica_n) {
+          worst_replica_n = n;
+          worst_replica = r;
+        }
+      }
+      loaders::IterationStats& st0 = group_batches[0].stats;
+      st0.failovers = fo_delta;
+      st0.failover_device = worst_device;
+      st0.failover_replica = worst_replica;
+    }
+  }
+
   // --- Timing. One merged kernel with the accumulator; one kernel per
   // iteration without it.
   if (options_.use_accumulator) {
@@ -536,8 +700,10 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
     sim::AggregationTiming timing =
         sim::ComputeAggregationTiming(*system_, ac);
     // Retries, backoff, and latency spikes extend the merged kernel's
-    // storage phase (FAULTS.md); zero when fault injection is off.
-    timing.total_ns += group_retry_penalty;
+    // storage phase (FAULTS.md); zero when fault injection is off. The
+    // journaled write path's appends/fsyncs/applies extend it the same
+    // way (the mutation step runs inside the group's preparation).
+    timing.total_ns += group_retry_penalty + group_mutation_ns;
 
     // Preparation of future iterations and training of earlier ones
     // overlap the storage waits; GPU compute (sampling + training)
@@ -569,6 +735,7 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
       led.crc_verify_ns = group_crc_penalty / g;
       led.degraded_fill_ns = group_degraded_penalty / g;
       led.retry_backoff_ns = group_backoff_penalty / g;
+      led.mutation_ns = group_mutation_ns / g;
       led.overlap_credit_ns = led.PositiveSum() - lb.stats.e2e_ns;
     }
   } else {
@@ -584,7 +751,10 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
                                          storage_->queue_capacity());
       sim::AggregationTiming timing =
           sim::ComputeAggregationTiming(*system_, ac);
-      st.aggregation_ns = timing.total_ns + retry_penalty[i];
+      // The group-scoped mutation step is charged to the group's first
+      // iteration (group == 1 without the accumulator, so this is exact).
+      const TimeNs mutation_share = i == 0 ? group_mutation_ns : 0;
+      st.aggregation_ns = timing.total_ns + retry_penalty[i] + mutation_share;
       st.e2e_ns = st.sampling_ns + st.aggregation_ns + st.training_ns;
       st.effective_bandwidth_bps = timing.effective_bandwidth_bps;
       // Per-iteration kernel: the path times are iteration-scoped, so the
@@ -601,6 +771,7 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
       led.degraded_fill_ns = degraded_penalty[i];
       led.retry_backoff_ns =
           retry_penalty[i] - crc_penalty[i] - degraded_penalty[i];
+      led.mutation_ns = mutation_share;
       led.overlap_credit_ns = led.PositiveSum() - st.e2e_ns;
       // Without decoupled stages the link idles while the sampling kernel
       // runs, so the observed data-preparation ingress rate averages over
@@ -690,6 +861,14 @@ StatusOr<std::vector<loaders::LoaderBatch>> GidsLoader::PrepareGroupBatches() {
     }
     traced_evictions_ = evictions;
   }
+
+  // Advance the preparation clock past this group, so the next group's
+  // storage decisions (offline onsets, replica health) happen at the
+  // virtual instant this group's iterations end.
+  for (const loaders::LoaderBatch& lb : group_batches) {
+    prep_clock_ns_ += lb.stats.e2e_ns;
+  }
+  ++groups_prepared_;
 
   return group_batches;
 }

@@ -13,6 +13,7 @@
 #include "common/workspace_pool.h"
 #include "core/accumulator.h"
 #include "core/constant_cpu_buffer.h"
+#include "core/mutation_stream.h"
 #include "core/window_buffer.h"
 #include "graph/dataset.h"
 #include "loaders/dataloader.h"
@@ -146,8 +147,16 @@ struct GidsOptions {
   /// is abandoned at io_timeout_ns and retried).
   double stuck_queue_rate = 0.0;
   /// Striped SSD index to take offline (-1 = none); its pages always
-  /// exhaust retries and degrade.
+  /// exhaust retries and degrade (or fail over, with replication). Alias
+  /// for a single-entry offline_devices, kept for compatibility.
   int offline_device = -1;
+  /// Striped SSD indices to take offline (generalizes offline_device;
+  /// both combine). Empty = none.
+  std::vector<int> offline_devices;
+  /// Virtual-time onset of the outage: the offline set is healthy before
+  /// this loader-clock instant and dark from it onward. 0 = offline from
+  /// the start.
+  TimeNs offline_at_ns = 0;
   /// Retry policy: attempts = io_max_retries + 1; exponential backoff
   /// starting at io_backoff_ns (doubling, capped at io_backoff_cap_ns);
   /// per-attempt command timeout io_timeout_ns. All in virtual time.
@@ -182,6 +191,43 @@ struct GidsOptions {
   /// Modeled virtual-time cost of one checksum verification.
   TimeNs crc_verify_ns = 1 * kNsPerUs;
 
+  /// --- Durability & replication (FAULTS.md "Durability & failover").
+  /// All defaults keep the subsystem disabled: no replica routing, no
+  /// journals, no mutation stream, and RESULT_JSON bit-identical to the
+  /// pre-replication build.
+  /// Copies of every page across the striped devices (replica r of page p
+  /// lives on device (p + r) % n_ssd). 1 = single-copy (off); > 1 turns
+  /// on replica-aware read routing and write fan-out.
+  int replication_factor = 1;
+  /// Journal fan-outs that must fsync before a record is quorum-durable.
+  /// 0 = majority (factor / 2 + 1).
+  int write_quorum = 0;
+  /// Journaled feature-row overwrites submitted per training iteration.
+  /// > 0 enables the journaled write path (mutation stream + applier).
+  uint32_t updates_per_iter = 0;
+  /// Journaled edge insert/delete records submitted per iteration
+  /// (durably logged and counted; not folded into the CSC topology).
+  uint32_t edge_ops_per_iter = 0;
+  /// Seed the mutation stream is a pure function of.
+  uint64_t mutation_seed = 0x6d7574a73ull;
+  /// Durability level mutations are acknowledged at:
+  /// none | journaled | synced | quorum.
+  std::string durability = "quorum";
+  /// Records the background applier checkpoints into striped pages per
+  /// merged iteration (0 = apply every ready record each step).
+  uint64_t journal_apply_budget = 0;
+  /// Modeled virtual-time costs of the journaled write path.
+  TimeNs journal_append_ns = 500;
+  TimeNs journal_fsync_ns = 10 * kNsPerUs;
+  TimeNs journal_apply_ns = 2 * kNsPerUs;
+  /// Deterministic crash point: before preparing merged-iteration group
+  /// `crash_at_group` (0-based), the loader crashes the journals
+  /// (truncating unsynced tails at crash_seed-chosen cuts), recovers,
+  /// and resubmits lost records. -1 = never.
+  int crash_at_group = -1;
+  /// Seed of the per-device crash truncation cuts.
+  uint64_t crash_seed = 0xc4a54ull;
+
   /// Optional observability sinks (see OBSERVABILITY.md). When set, the
   /// loader binds every component (cache, storage array, CPU buffer,
   /// window buffer) into the registry under {loader=<display_name>} and
@@ -197,6 +243,11 @@ struct GidsOptions {
   /// the attribution layer. Must outlive the loader.
   obs::TimeSeries* timeline = nullptr;
   obs::ExemplarReservoir* exemplars = nullptr;
+  /// Optional failover-exemplar sink (rank it RankBy::kMostFailovers):
+  /// iterations whose gathers failed over to a replica are retained with
+  /// the device failed FROM and replica failed TO, so `gids_cli report`
+  /// explains outages without the trace. Fed only when failovers occur.
+  obs::ExemplarReservoir* failover_exemplars = nullptr;
 
   uint64_t seed = 0x61d5;
   std::string display_name = "GIDS";
@@ -327,6 +378,20 @@ class GidsLoader : public loaders::DataLoader {
   int resolved_window_depth_ = 0;
   TimeNs elapsed_ns_ = 0;
   uint64_t iterations_ = 0;
+
+  // Durability & replication (FAULTS.md "Durability & failover"). All
+  // touched only by the single-flight group preparation, except the
+  // storage array's virtual clock (atomic, advanced at prep start so
+  // offline_at_ns onsets are a pure function of groups prepared).
+  std::unique_ptr<MutationStream> mutations_;
+  /// Sum of the e2e_ns of every group prepared so far — the loader-clock
+  /// instant the NEXT group preparation starts at.
+  TimeNs prep_clock_ns_ = 0;
+  uint64_t groups_prepared_ = 0;
+  /// Iterations whose mutations have been submitted (the stream is
+  /// submitted through the group's last iteration before its gathers).
+  uint64_t mutations_through_iter_ = 0;
+  bool crash_done_ = false;
 
   // Prefetch hand-off: the pool task pushes prepared groups into staged_;
   // Next() drains them. stage_mu_ guards everything in this block.

@@ -37,9 +37,27 @@ float FeatureStore::ExpectedElement(NodeId v, uint32_t j) const {
   return static_cast<float>(h >> 40) * (1.0f / 16777216.0f) - 0.5f;
 }
 
+float FeatureStore::ExpectedElementAt(NodeId v, uint32_t j,
+                                      uint64_t version) const {
+  if (version == 0) return ExpectedElement(v, j);
+  // Fold the row version in through a second mix round so version v+1 is
+  // as decorrelated from version v as two unrelated nodes are.
+  uint64_t h = Mix(Mix(content_seed_ ^ (version * 0x9e3779b97f4a7c15ull)) ^
+                   (static_cast<uint64_t>(v) * feature_dim_ + j));
+  return static_cast<float>(h >> 40) * (1.0f / 16777216.0f) - 0.5f;
+}
+
 void FeatureStore::FillFeature(NodeId v, std::span<float> out) const {
   GIDS_CHECK(out.size() >= feature_dim_);
   for (uint32_t j = 0; j < feature_dim_; ++j) out[j] = ExpectedElement(v, j);
+}
+
+void FeatureStore::FillFeatureAt(NodeId v, uint64_t version,
+                                 std::span<float> out) const {
+  GIDS_CHECK(out.size() >= feature_dim_);
+  for (uint32_t j = 0; j < feature_dim_; ++j) {
+    out[j] = ExpectedElementAt(v, j, version);
+  }
 }
 
 void FeatureStore::FillPage(uint64_t page, std::span<std::byte> out) const {

@@ -74,8 +74,19 @@ class FeatureStore {
   /// [-0.5, 0.5).
   float ExpectedElement(NodeId v, uint32_t j) const;
 
+  /// Versioned variant for the journaled write path (FAULTS.md
+  /// "Durability & failover"): the synthetic value of element (v, j)
+  /// after `version` feature updates of node v. Version 0 is
+  /// ExpectedElement exactly; higher versions fold the version into the
+  /// mix, so every update writes a deterministic, distinct row that any
+  /// verifier can regenerate from (v, version) alone.
+  float ExpectedElementAt(NodeId v, uint32_t j, uint64_t version) const;
+
   /// Writes node v's full feature vector into `out` (size >= feature_dim).
   void FillFeature(NodeId v, std::span<float> out) const;
+
+  /// Versioned FillFeature (see ExpectedElementAt).
+  void FillFeatureAt(NodeId v, uint64_t version, std::span<float> out) const;
 
   /// Regenerates the raw bytes of storage page `page` into `out`
   /// (size == page_bytes). Bytes past the end of the feature file are

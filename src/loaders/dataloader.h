@@ -40,6 +40,14 @@ struct IterationStats {
   /// loader fills this so that ledger.Sum() == e2e_ns exactly.
   obs::IterationLedger ledger;
 
+  /// Replica-failover attribution (FAULTS.md "Durability & failover"):
+  /// reads served by a non-primary replica during this iteration's
+  /// gather, the striped device most failed FROM, and the replica index
+  /// most failed TO. All zero without replication.
+  uint64_t failovers = 0;
+  int failover_device = 0;
+  int failover_replica = 0;
+
   /// Folds `o` into this aggregate. Time and traffic fields sum; the
   /// rate fields combine as aggregation-time-weighted means (so the
   /// aggregate reports the run's average bandwidth, not a stale
@@ -66,6 +74,11 @@ struct IterationStats {
     sampled_edges += o.sampled_edges;
     input_nodes += o.input_nodes;
     ledger.Add(o.ledger);
+    if (o.failovers > 0 && failovers == 0) {
+      failover_device = o.failover_device;
+      failover_replica = o.failover_replica;
+    }
+    failovers += o.failovers;
   }
 };
 

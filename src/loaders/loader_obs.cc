@@ -16,11 +16,13 @@ LoaderObserver::LoaderObserver(obs::MetricRegistry* metrics,
                                obs::TraceRecorder* trace,
                                const std::string& loader_name,
                                obs::TimeSeries* timeline,
-                               obs::ExemplarReservoir* exemplars)
+                               obs::ExemplarReservoir* exemplars,
+                               obs::ExemplarReservoir* failover_exemplars)
     : metrics_(metrics),
       trace_(trace),
       timeline_(timeline),
       exemplars_(exemplars),
+      failover_exemplars_(failover_exemplars),
       attribution_(timeline != nullptr || exemplars != nullptr),
       labels_{{"loader", loader_name}} {
   if (metrics_ != nullptr && attribution_) {
@@ -137,7 +139,7 @@ void LoaderObserver::RecordIteration(const IterationStats& stats) {
     }
   }
 
-  if (attribution_) {
+  if (attribution_ || failover_exemplars_ != nullptr) {
     obs::IterationSample sample;
     sample.iteration = iteration_index_;
     sample.end_ns = clock_ + stats.e2e_ns;
@@ -146,8 +148,14 @@ void LoaderObserver::RecordIteration(const IterationStats& stats) {
     sample.cpu_buffer_hits = stats.gather.cpu_buffer_hits;
     sample.storage_reads = stats.gather.storage_reads;
     sample.ledger = stats.ledger;
+    sample.failovers = stats.failovers;
+    sample.failover_device = stats.failover_device;
+    sample.failover_replica = stats.failover_replica;
     if (timeline_ != nullptr) timeline_->Record(sample);
     if (exemplars_ != nullptr) exemplars_->Offer(sample);
+    if (failover_exemplars_ != nullptr && sample.failovers > 0) {
+      failover_exemplars_->Offer(sample);
+    }
   }
 
   clock_ += stats.e2e_ns;

@@ -52,7 +52,8 @@ class LoaderObserver {
   LoaderObserver(obs::MetricRegistry* metrics, obs::TraceRecorder* trace,
                  const std::string& loader_name,
                  obs::TimeSeries* timeline = nullptr,
-                 obs::ExemplarReservoir* exemplars = nullptr);
+                 obs::ExemplarReservoir* exemplars = nullptr,
+                 obs::ExemplarReservoir* failover_exemplars = nullptr);
 
   /// Records one delivered iteration: bumps the metric series and lays the
   /// iteration's spans onto the virtual-time timeline.
@@ -66,6 +67,9 @@ class LoaderObserver {
   obs::TraceRecorder* trace() const { return trace_; }
   obs::TimeSeries* timeline() const { return timeline_; }
   obs::ExemplarReservoir* exemplars() const { return exemplars_; }
+  obs::ExemplarReservoir* failover_exemplars() const {
+    return failover_exemplars_;
+  }
   const obs::Labels& labels() const { return labels_; }
 
   /// Virtual-time position where the next iteration's spans start (the sum
@@ -80,6 +84,11 @@ class LoaderObserver {
   obs::TraceRecorder* trace_;
   obs::TimeSeries* timeline_;
   obs::ExemplarReservoir* exemplars_;
+  // Failover exemplars (FAULTS.md "Durability & failover"): iterations
+  // whose gather failed over to a replica, ranked by failover count so
+  // `gids_cli report` can name the device failed FROM and replica failed
+  // TO for the worst offenders. Only fed when failovers > 0.
+  obs::ExemplarReservoir* failover_exemplars_;
   bool attribution_;  // either attribution sink present
   obs::Labels labels_;
 

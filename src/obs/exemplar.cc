@@ -7,13 +7,17 @@
 
 namespace gids::obs {
 
-ExemplarReservoir::ExemplarReservoir(size_t capacity) : capacity_(capacity) {
+ExemplarReservoir::ExemplarReservoir(size_t capacity, RankBy rank_by)
+    : capacity_(capacity), rank_by_(rank_by) {
   GIDS_CHECK(capacity_ > 0);
   heap_.reserve(capacity_);
 }
 
 bool ExemplarReservoir::Outranks(const IterationSample& a,
-                                 const IterationSample& b) {
+                                 const IterationSample& b) const {
+  if (rank_by_ == RankBy::kMostFailovers) {
+    if (a.failovers != b.failovers) return a.failovers > b.failovers;
+  }
   if (a.e2e_ns != b.e2e_ns) return a.e2e_ns > b.e2e_ns;
   return a.iteration < b.iteration;
 }
@@ -22,7 +26,7 @@ void ExemplarReservoir::Offer(const IterationSample& sample) {
   ++offered_;
   // std::push_heap with this comparator keeps the *weakest* retained
   // sample at heap_[0].
-  auto weaker = [](const IterationSample& a, const IterationSample& b) {
+  auto weaker = [this](const IterationSample& a, const IterationSample& b) {
     return Outranks(a, b);
   };
   if (heap_.size() < capacity_) {
@@ -38,7 +42,10 @@ void ExemplarReservoir::Offer(const IterationSample& sample) {
 
 std::vector<IterationSample> ExemplarReservoir::Snapshot() const {
   std::vector<IterationSample> out = heap_;
-  std::sort(out.begin(), out.end(), Outranks);
+  std::sort(out.begin(), out.end(),
+            [this](const IterationSample& a, const IterationSample& b) {
+              return Outranks(a, b);
+            });
   return out;
 }
 
@@ -54,6 +61,13 @@ std::string ExemplarReservoir::ToJson() const {
     out += ",\"dominant\":\"";
     out += IterationLedger::ComponentName(s.ledger.DominantComponent());
     out += "\",\"ledger\":" + s.ledger.ToJson();
+    if (s.failovers > 0) {
+      out += ",\"failovers\":" + JsonNumber(static_cast<double>(s.failovers));
+      out += ",\"failover_device\":" +
+             JsonNumber(static_cast<double>(s.failover_device));
+      out += ",\"failover_replica\":" +
+             JsonNumber(static_cast<double>(s.failover_replica));
+    }
     out += "}";
   }
   out += "]";

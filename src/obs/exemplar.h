@@ -21,7 +21,15 @@ namespace gids::obs {
 /// Not thread-safe: owned by one loader's observer, like TimeSeries.
 class ExemplarReservoir {
  public:
-  explicit ExemplarReservoir(size_t capacity);
+  /// Retention order. kSlowest keeps the highest-e2e iterations (the
+  /// default tail-latency reservoir); kMostFailovers keeps the iterations
+  /// that served the most reads from a non-primary replica (FAULTS.md
+  /// "Durability & failover"), so the failover report names concrete
+  /// iterations, devices, and replicas.
+  enum class RankBy { kSlowest, kMostFailovers };
+
+  explicit ExemplarReservoir(size_t capacity,
+                             RankBy rank_by = RankBy::kSlowest);
 
   /// Considers one completed iteration for retention.
   void Offer(const IterationSample& sample);
@@ -39,10 +47,12 @@ class ExemplarReservoir {
   std::string ToJson() const;
 
  private:
-  /// True when `a` outranks `b` (slower, or equally slow but earlier).
-  static bool Outranks(const IterationSample& a, const IterationSample& b);
+  /// True when `a` outranks `b` under rank_by_ (stronger on the ranking
+  /// key, or equal but earlier iteration).
+  bool Outranks(const IterationSample& a, const IterationSample& b) const;
 
   size_t capacity_;
+  RankBy rank_by_;
   uint64_t offered_ = 0;
   /// Min-heap on (e2e_ns, -iteration): heap_[0] is the weakest retained
   /// sample, the one the next faster-than-it offer evicts.

@@ -10,7 +10,7 @@ namespace {
 constexpr const char* kComponentNames[IterationLedger::kNumComponents] = {
     "sampling",      "cache_hit",  "cpu_buffer",    "storage",
     "retry_backoff", "crc_verify", "degraded_fill", "transfer",
-    "training",      "overlap_credit"};
+    "training",      "mutation",   "overlap_credit"};
 
 }  // namespace
 
@@ -30,7 +30,8 @@ TimeNs IterationLedger::component(int i) const {
     case 6: return degraded_fill_ns;
     case 7: return transfer_ns;
     case 8: return training_ns;
-    case 9: return overlap_credit_ns;
+    case 9: return mutation_ns;
+    case 10: return overlap_credit_ns;
   }
   GIDS_CHECK(false);
   return 0;

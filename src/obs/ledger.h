@@ -14,7 +14,7 @@ namespace gids::obs {
 ///
 ///   Sum() == e2e_ns   (exactly, in integer virtual nanoseconds)
 ///
-/// where Sum() is the sum of the nine positive components minus
+/// where Sum() is the sum of the ten positive components minus
 /// `overlap_credit_ns`. The positive components are *per-path* costs: the
 /// three gather service paths run concurrently in the GIDS aggregation
 /// kernel, so their times can legitimately add up to more than the
@@ -34,21 +34,22 @@ struct IterationLedger {
   TimeNs degraded_fill_ns = 0;  // penalty of dead-lettered reads (zero-filled)
   TimeNs transfer_ns = 0;       // PCIe batch transfer / shared-link floor
   TimeNs training_ns = 0;       // modeled GNN compute
+  TimeNs mutation_ns = 0;       // journal appends/fsyncs/applies (FAULTS.md)
   TimeNs overlap_credit_ns = 0; // concurrency savings; subtracted (signed)
 
   /// Component count including overlap_credit (always the last index).
-  static constexpr int kNumComponents = 10;
+  static constexpr int kNumComponents = 11;
   /// Stable metric-label name of component `i` ("sampling", "cache_hit",
   /// ..., "overlap_credit").
   static const char* ComponentName(int i);
   /// Value of component `i`, same order as ComponentName.
   TimeNs component(int i) const;
 
-  /// Sum of the nine positive components (everything but overlap_credit).
+  /// Sum of the ten positive components (everything but overlap_credit).
   TimeNs PositiveSum() const {
     return sampling_ns + cache_hit_ns + cpu_buffer_ns + storage_ns +
            retry_backoff_ns + crc_verify_ns + degraded_fill_ns + transfer_ns +
-           training_ns;
+           training_ns + mutation_ns;
   }
   /// The invariant quantity: PositiveSum() - overlap_credit_ns == e2e_ns.
   TimeNs Sum() const { return PositiveSum() - overlap_credit_ns; }
@@ -67,6 +68,7 @@ struct IterationLedger {
     degraded_fill_ns += o.degraded_fill_ns;
     transfer_ns += o.transfer_ns;
     training_ns += o.training_ns;
+    mutation_ns += o.mutation_ns;
     overlap_credit_ns += o.overlap_credit_ns;
   }
 
@@ -86,6 +88,14 @@ struct IterationSample {
   uint64_t cpu_buffer_hits = 0;
   uint64_t storage_reads = 0;
   IterationLedger ledger;
+  /// Replica-failover attribution (FAULTS.md "Durability & failover"):
+  /// reads this iteration served from a non-primary replica, the striped
+  /// device most failed FROM, and the replica index most failed TO.
+  /// All zero without replication; serializers emit them only when
+  /// failovers > 0, so defaults-off JSON is byte-identical.
+  uint64_t failovers = 0;
+  int failover_device = 0;
+  int failover_replica = 0;
 };
 
 }  // namespace gids::obs

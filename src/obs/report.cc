@@ -28,11 +28,18 @@ double NumberOr(const JsonValue* v, double fallback) {
 
 std::string TimelineDocToJson(const std::string& loader_name,
                               const TimeSeries& series,
-                              const ExemplarReservoir& exemplars) {
+                              const ExemplarReservoir& exemplars,
+                              const TimelineExtras* extras) {
   Histogram run = series.MergedHistogram();
   std::string out = "{\"loader\":\"" + JsonEscape(loader_name) + "\"";
   out += ",\"timeline\":" + series.ToJson();
   out += ",\"exemplars\":" + exemplars.ToJson();
+  if (extras != nullptr && extras->failover_exemplars != nullptr) {
+    out += ",\"failover_exemplars\":" + extras->failover_exemplars->ToJson();
+  }
+  if (extras != nullptr && !extras->journal_json.empty()) {
+    out += ",\"journal\":" + extras->journal_json;
+  }
   out += ",\"run\":{\"iterations\":" +
          JsonNumber(static_cast<double>(series.total_iterations()));
   out += ",\"e2e_ns\":" + run.ToJson() + "}}\n";
@@ -42,8 +49,10 @@ std::string TimelineDocToJson(const std::string& loader_name,
 Status WriteTimelineJson(const std::string& path,
                          const std::string& loader_name,
                          const TimeSeries& series,
-                         const ExemplarReservoir& exemplars) {
-  return WriteFile(path, TimelineDocToJson(loader_name, series, exemplars));
+                         const ExemplarReservoir& exemplars,
+                         const TimelineExtras* extras) {
+  return WriteFile(path,
+                   TimelineDocToJson(loader_name, series, exemplars, extras));
 }
 
 StatusOr<std::string> RenderTimelineReport(std::string_view timeline_json,
@@ -143,6 +152,53 @@ StatusOr<std::string> RenderTimelineReport(std::string_view timeline_json,
       out += buf;
     }
     out += ")\n";
+  }
+
+  // Durability & failover (FAULTS.md): optional sections, present only
+  // when the run carried the journaled write path / replica routing.
+  const JsonValue* journal = doc.Find("journal");
+  if (journal != nullptr && journal->is_object()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "journal: appends=%.0f fsyncs=%.0f applied=%.0f replayed=%.0f "
+        "truncated=%.0f torn=%.0f resubmitted=%.0f crashes=%.0f "
+        "write_amp=%.2f\n",
+        NumberOr(journal->Find("appends"), 0),
+        NumberOr(journal->Find("fsyncs"), 0),
+        NumberOr(journal->Find("applied"), 0),
+        NumberOr(journal->Find("replayed"), 0),
+        NumberOr(journal->Find("truncated"), 0),
+        NumberOr(journal->Find("torn"), 0),
+        NumberOr(journal->Find("resubmitted"), 0),
+        NumberOr(journal->Find("crashes"), 0),
+        NumberOr(journal->Find("write_amplification"), 0));
+    out += buf;
+  }
+  const JsonValue* failover = doc.Find("failover_exemplars");
+  if (failover != nullptr && failover->is_array() &&
+      !failover->array.empty()) {
+    size_t fo_shown = std::min(top_k, failover->array.size());
+    std::snprintf(buf, sizeof(buf),
+                  "failover iterations (top %zu by replica failovers):\n",
+                  fo_shown);
+    out += buf;
+    for (size_t i = 0; i < fo_shown; ++i) {
+      const JsonValue& ex = failover->array[i];
+      if (!ex.is_object()) {
+        return Status::InvalidArgument(
+            "failover exemplar entry is not an object");
+      }
+      std::snprintf(
+          buf, sizeof(buf),
+          "  #%-8.0f failovers=%-6.0f from_device=%.0f to_replica=%.0f "
+          "e2e=%8.3f ms\n",
+          NumberOr(ex.Find("iteration"), 0),
+          NumberOr(ex.Find("failovers"), 0),
+          NumberOr(ex.Find("failover_device"), 0),
+          NumberOr(ex.Find("failover_replica"), 0),
+          NsToMs(static_cast<TimeNs>(NumberOr(ex.Find("e2e_ns"), 0))));
+      out += buf;
+    }
   }
   return out;
 }

@@ -18,14 +18,30 @@ namespace gids::obs {
 ///    "timeline":{"window_ns":..,"windows":[...]},   // TimeSeries::ToJson
 ///    "exemplars":[...],                             // ExemplarReservoir
 ///    "run":{"iterations":..,"e2e_ns":{histogram}}}
+///
+/// With the durability subsystem on (FAULTS.md "Durability & failover")
+/// the document optionally carries two more keys — omitted entirely when
+/// unset, so defaults-off documents are byte-identical:
+///
+///   "failover_exemplars":[...]   // reservoir ranked by failover count
+///   "journal":{"appends":..,"fsyncs":..,"replayed":..,...}
+struct TimelineExtras {
+  /// Failover-exemplar reservoir (RankBy::kMostFailovers); null = omit.
+  const ExemplarReservoir* failover_exemplars = nullptr;
+  /// Pre-rendered journal-counter JSON object; empty = omit.
+  std::string journal_json;
+};
+
 std::string TimelineDocToJson(const std::string& loader_name,
                               const TimeSeries& series,
-                              const ExemplarReservoir& exemplars);
+                              const ExemplarReservoir& exemplars,
+                              const TimelineExtras* extras = nullptr);
 
 Status WriteTimelineJson(const std::string& path,
                          const std::string& loader_name,
                          const TimeSeries& series,
-                         const ExemplarReservoir& exemplars);
+                         const ExemplarReservoir& exemplars,
+                         const TimelineExtras* extras = nullptr);
 
 /// Renders a timeline document as the human-readable attribution report
 /// printed by `gids_cli report`: one line per window (throughput, hit

@@ -24,9 +24,10 @@ double FaultInjector::Draw(uint64_t page, uint32_t attempt,
 
 FaultInjector::Attempt FaultInjector::Peek(uint64_t page, int device,
                                            uint32_t attempt,
-                                           TimeNs base_latency_ns) const {
+                                           TimeNs base_latency_ns,
+                                           TimeNs now_ns) const {
   Attempt a;
-  if (options_.offline_device >= 0 && device == options_.offline_device) {
+  if (options_.DeviceOffline(device, now_ns)) {
     a.outcome = Outcome::kOffline;
     return a;
   }
@@ -69,8 +70,9 @@ FaultInjector::Attempt FaultInjector::Peek(uint64_t page, int device,
 
 FaultInjector::Attempt FaultInjector::Evaluate(uint64_t page, int device,
                                                uint32_t attempt,
-                                               TimeNs base_latency_ns) {
-  Attempt a = Peek(page, device, attempt, base_latency_ns);
+                                               TimeNs base_latency_ns,
+                                               TimeNs now_ns) {
+  Attempt a = Peek(page, device, attempt, base_latency_ns, now_ns);
   switch (a.outcome) {
     case Outcome::kTransient:
       faults_injected_.fetch_add(1, std::memory_order_relaxed);

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/random.h"
 #include "common/units.h"
@@ -53,9 +54,21 @@ struct FaultOptions {
   /// never completed and the issuer charges a full timeout before retrying.
   double stuck_queue_rate = 0.0;
   /// Striped device index that is offline (-1 = none). Every attempt
-  /// against a page owned by that device fails; reads of its pages always
-  /// exhaust their retries and degrade.
+  /// against a page owned by that device fails; without a replica set its
+  /// reads always exhaust their retries and degrade. Kept as a
+  /// single-device alias of `offline_devices` for existing configs.
   int offline_device = -1;
+  /// Additional offline striped device indices (set semantics; the
+  /// effective offline set is the union with `offline_device`). Lets
+  /// multi-device loss be expressed, e.g. to take a whole replica group
+  /// down and prove quorum-lost dead-lettering.
+  std::vector<int> offline_devices;
+  /// Virtual-time onset of the offline state: the devices in the offline
+  /// set only start failing once the storage array's virtual clock
+  /// (StorageArray::AdvanceClock) reaches this instant. The default of 0
+  /// takes them down from the first read, which is bit-identical to the
+  /// pre-onset behaviour of `offline_device`.
+  TimeNs offline_at_ns = 0;
   /// Probability that a *successful* attempt serves silently corrupted
   /// data: a short burst of bytes in the page is flipped and the command
   /// still completes OK (no error status, no timeout). Invisible without
@@ -65,10 +78,26 @@ struct FaultOptions {
   /// that already failed loudly never also corrupts.
   double corruption_rate = 0.0;
 
+  /// True when any device is configured offline (regardless of onset).
+  bool AnyOffline() const {
+    return offline_device >= 0 || !offline_devices.empty();
+  }
+
+  /// True when `device` is offline at virtual time `now_ns`. Pure function
+  /// of the options — health views built from it are identical at any
+  /// thread count or call order.
+  bool DeviceOffline(int device, TimeNs now_ns) const {
+    if (now_ns < offline_at_ns) return false;
+    if (offline_device >= 0 && device == offline_device) return true;
+    for (int d : offline_devices) {
+      if (d == device) return true;
+    }
+    return false;
+  }
+
   bool enabled() const {
     return fault_rate > 0.0 || latency_spike_rate > 0.0 ||
-           stuck_queue_rate > 0.0 || offline_device >= 0 ||
-           corruption_rate > 0.0;
+           stuck_queue_rate > 0.0 || AnyOffline() || corruption_rate > 0.0;
   }
 };
 
@@ -111,15 +140,17 @@ class FaultInjector {
   const RetryPolicy& retry() const { return retry_; }
 
   /// Decides the fate of attempt `attempt` (0-based) of a read of `page`
-  /// owned by striped device `device`, whose fault-free service latency is
-  /// `base_latency_ns`. Also advances the injection counters.
+  /// served by striped device `device` (the page's primary, or the replica
+  /// routing chose), whose fault-free service latency is `base_latency_ns`.
+  /// `now_ns` is the storage array's virtual clock, consulted only by the
+  /// offline-onset check. Also advances the injection counters.
   Attempt Evaluate(uint64_t page, int device, uint32_t attempt,
-                   TimeNs base_latency_ns);
+                   TimeNs base_latency_ns, TimeNs now_ns = 0);
 
   /// The decision Evaluate would make, without touching any counter. Used
   /// by tests to locate pages with a wanted outcome pattern.
   Attempt Peek(uint64_t page, int device, uint32_t attempt,
-               TimeNs base_latency_ns) const;
+               TimeNs base_latency_ns, TimeNs now_ns = 0) const;
 
   uint64_t faults_injected() const {
     return faults_injected_.load(std::memory_order_relaxed);

@@ -1,0 +1,219 @@
+#ifndef GIDS_STORAGE_JOURNAL_H_
+#define GIDS_STORAGE_JOURNAL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+#include "storage/page_integrity.h"
+#include "storage/replica_set.h"
+
+namespace gids::storage {
+
+/// When a submitted mutation is acknowledged to the writer
+/// (FAULTS.md "Durability & failover").
+enum class DurabilityLevel : uint8_t {
+  kNone = 0,      // acked at submit; may be lost before it ever journals
+  kJournaled = 1, // acked once appended to the in-memory journal tail
+  kSynced = 2,    // acked once the home primary's journal synced it
+  kQuorum = 3,    // acked once a write quorum of replica journals synced it
+};
+
+const char* DurabilityLevelName(DurabilityLevel level);
+/// Parses "none" / "journaled" / "synced" / "quorum"; returns false on an
+/// unknown name (level is left untouched).
+bool ParseDurabilityLevel(std::string_view name, DurabilityLevel* level);
+
+/// Kinds of journaled mutation records.
+enum class MutationType : uint8_t {
+  kFeatureUpdate = 0,  // overwrite one node's feature row
+  kEdgeInsert = 1,     // topology delta: add edge (key -> arg)
+  kEdgeDelete = 2,     // topology delta: remove edge (key -> arg)
+};
+
+/// One write-ahead-journal record. Feature updates carry the new row bytes
+/// in `payload` and their flat-file byte `offset`; edge records carry no
+/// payload (the graph-side consumer interprets key/arg as src/dst). Every
+/// record is CRC-tagged at append: the sum spans all header fields and the
+/// payload and is XORed with the checksummer's LSN tag, so a record
+/// replayed at the wrong LSN — or torn by a crash — fails verification.
+struct MutationRecord {
+  uint64_t lsn = 0;  // 0 at submit = assign the next LSN
+  MutationType type = MutationType::kFeatureUpdate;
+  uint64_t key = 0;     // node id (feature update) or edge source
+  uint64_t arg = 0;     // row version (feature update) or edge destination
+  uint64_t offset = 0;  // byte offset into the flat page space (features)
+  std::vector<std::byte> payload;
+  uint32_t crc = 0;
+
+  /// Replica-placement key: the first page the record touches (features)
+  /// or a deterministic hash page (edges). The record's journal fan-out
+  /// and write quorum are the replica set of this page.
+  uint64_t home_page = 0;
+};
+
+/// Knobs of the journaled write path. Virtual-time costs mirror the rest
+/// of the simulator: appends, fsyncs, and applies charge the mutation
+/// ledger, never the wall clock.
+struct JournalOptions {
+  DurabilityLevel durability = DurabilityLevel::kQuorum;
+  /// Modeled cost of appending one record to one device journal.
+  TimeNs append_ns = 500;
+  /// Modeled cost of one journal fsync (per device whose tail advanced).
+  TimeNs fsync_ns = 10 * kNsPerUs;
+  /// Modeled cost of applying one record into the striped pages.
+  TimeNs apply_ns = 2 * kNsPerUs;
+};
+
+/// Counters of the journal subsystem, all monotonically increasing and
+/// atomic (metric snapshots read them while the single-flight group
+/// preparation drives the journal).
+struct JournalCounters {
+  std::atomic<uint64_t> appends{0};          // per-device journal appends
+  std::atomic<uint64_t> append_failures{0};  // fan-out to an offline device
+  std::atomic<uint64_t> fsyncs{0};           // device syncs that advanced
+  std::atomic<uint64_t> synced_records{0};   // record-device sync events
+  std::atomic<uint64_t> applied{0};          // records applied to pages
+  std::atomic<uint64_t> replayed{0};         // survivors replayed by Recover
+  std::atomic<uint64_t> truncated{0};        // records lost to a crash
+  std::atomic<uint64_t> torn{0};             // crash-torn records (CRC fail)
+  std::atomic<uint64_t> resubmitted{0};      // lost records submitted again
+  std::atomic<uint64_t> quorum_stalls{0};    // apply steps blocked on quorum
+  std::atomic<uint64_t> crashes{0};
+  std::atomic<uint64_t> recovers{0};
+  std::atomic<uint64_t> journal_bytes{0};    // bytes appended across devices
+  std::atomic<uint64_t> logical_bytes{0};    // payload bytes submitted once
+  std::atomic<uint64_t> applied_page_bytes{0};  // page bytes written by apply
+  std::atomic<uint64_t> mutation_ns{0};      // total modeled journal time
+};
+
+/// The per-device write-ahead journal set and its apply/recovery state
+/// machine. One coordinator fronts `n_devices` journals: a submitted
+/// record fans out to every device in its home page's replica set, syncs
+/// advance per-device durable tails, and a strict-LSN-order applier moves
+/// durable records into the striped pages (via the caller's apply hook).
+///
+/// Determinism contract: every method is driven from the single-flight
+/// group-preparation step, and every decision — fan-out, sync, the crash
+/// truncation point, replay order — is a pure function of the submitted
+/// record stream and the seeds involved. Counters are atomic only so
+/// metric snapshots can race the applier safely.
+class JournalCoordinator {
+ public:
+  /// `replicas` may be null (single-copy mode: fan-out is the home page's
+  /// primary only, quorum 1). `checksummer` tags record CRCs by LSN and
+  /// must outlive the coordinator.
+  JournalCoordinator(int n_devices, const JournalOptions& options,
+                     const ReplicaSet* replicas,
+                     const PageChecksummer* checksummer);
+
+  const JournalOptions& options() const { return options_; }
+
+  /// Appends `rec` to every reachable journal of its home page's replica
+  /// set and tracks it for apply. A zero `rec.lsn` is assigned the next
+  /// LSN; a nonzero one must name a lost record being resubmitted after
+  /// recovery (counted separately). `online(device)` gates each fan-out
+  /// append. Returns the assigned LSN; the modeled cost is added to
+  /// `mutation_ns`.
+  uint64_t Submit(MutationRecord rec, const std::function<bool(int)>& online);
+
+  /// Syncs every reachable device journal: their durable tails advance to
+  /// the current end, making the covered records crash-proof (and, once a
+  /// quorum of a record's home devices synced it, durable). Returns the
+  /// number of device fsyncs that advanced a tail.
+  uint64_t SyncAll(const std::function<bool(int)>& online);
+
+  /// The background-applier step: applies up to `budget` durable records
+  /// (0 = every ready record) in strict LSN order. A record applies only
+  /// when (a) it is the next LSN after the applied watermark — journal
+  /// replay is prefix-ordered, so visible state is always a prefix of the
+  /// mutation stream — and (b) a write quorum of its home journals synced
+  /// it. `apply_fn` performs the page/graph-side mutation and runs once
+  /// per applied record, inside the caller's single-flight step.
+  uint64_t ApplyReady(uint64_t budget,
+                      const std::function<void(const MutationRecord&)>& apply_fn);
+
+  /// Deterministic crash: each device journal keeps its synced prefix plus
+  /// an injector-chosen prefix of its unsynced tail (the cut point is a
+  /// pure function of `crash_seed` and the device). The record at a cut
+  /// that landed mid-tail may additionally be torn — its CRC is damaged
+  /// and recovery will discard it. Records surviving on no device are
+  /// lost; the writer must resubmit them (MissingLsns) after Recover.
+  void Crash(uint64_t crash_seed);
+
+  /// Crash-recovery replay: verifies every surviving record's CRC
+  /// (discarding torn ones), marks survivors durable (they are on media),
+  /// and counts the records above the applied watermark as replayed. The
+  /// applied watermark itself is durable state (checkpointed pages) and
+  /// survives the crash untouched. Returns the number of replayed records.
+  uint64_t Recover();
+
+  /// LSNs in (applied watermark, through_lsn] that no surviving journal
+  /// holds — the records a writer must regenerate and resubmit to unblock
+  /// the strict-order applier after a crash.
+  std::vector<uint64_t> MissingLsns(uint64_t through_lsn) const;
+
+  /// Highest LSN ever assigned (0 = nothing submitted).
+  uint64_t last_lsn() const { return next_lsn_; }
+  /// Highest LSN applied into the striped pages.
+  uint64_t applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+  /// Records journaled but not yet applied.
+  uint64_t pending_records() const {
+    return pending_count_.load(std::memory_order_acquire);
+  }
+
+  const JournalCounters& counters() const { return counters_; }
+  /// Mutable counters, for the page-side applier to charge
+  /// applied_page_bytes (the checkpoint write amplification).
+  JournalCounters& mutable_counters() { return counters_; }
+
+  /// Write amplification so far: (journal bytes + applied page bytes) /
+  /// logical payload bytes. 0 before the first payload byte.
+  double WriteAmplification() const;
+
+  /// Verifies `rec`'s CRC against its recomputed sum.
+  bool VerifyRecord(const MutationRecord& rec) const;
+
+ private:
+  struct Entry {
+    MutationRecord rec;
+    uint32_t appended_mask = 0;  // devices holding the record
+    uint32_t synced_mask = 0;    // devices whose durable tail covers it
+    bool torn = false;           // crash-damaged; Recover discards it
+  };
+  struct DeviceJournal {
+    std::vector<uint64_t> lsns;  // append order
+    size_t synced_end = 0;       // records [0, synced_end) are durable
+  };
+
+  /// Home replica devices of `rec` (primary-only without a replica set).
+  void HomeDevices(const MutationRecord& rec, int* devices, int* count) const;
+  uint32_t RecordCrc(const MutationRecord& rec) const;
+  /// Serialized size charged per journal append (header + payload).
+  static uint64_t RecordBytes(const MutationRecord& rec) {
+    return 5 * sizeof(uint64_t) + sizeof(uint32_t) + rec.payload.size();
+  }
+
+  int n_devices_;
+  JournalOptions options_;
+  const ReplicaSet* replicas_;  // null = single copy
+  const PageChecksummer* checksummer_;
+  std::vector<DeviceJournal> journals_;
+  /// Journaled-but-unapplied records, keyed by LSN (apply order).
+  std::map<uint64_t, Entry> records_;
+  uint64_t next_lsn_ = 0;
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::atomic<uint64_t> pending_count_{0};
+  JournalCounters counters_;
+};
+
+}  // namespace gids::storage
+
+#endif  // GIDS_STORAGE_JOURNAL_H_

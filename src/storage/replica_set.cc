@@ -1,0 +1,32 @@
+#include "storage/replica_set.h"
+
+namespace gids::storage {
+
+int ReplicaSet::RouteAttempt(uint64_t page, uint32_t attempt,
+                             const std::function<bool(int)>& healthy,
+                             int* replica_out, bool* quorum_lost) const {
+  const int n = factor();
+  int preferred[kMaxReplicas];
+  int doomed[kMaxReplicas];
+  int n_preferred = 0;
+  int n_doomed = 0;
+  for (int r = 0; r < n; ++r) {
+    const int d = Device(page, r);
+    if (healthy(d) && IsFresh(page, d)) {
+      preferred[n_preferred++] = r;
+    } else {
+      doomed[n_doomed++] = r;
+    }
+  }
+  int r;
+  if (n_preferred > 0) {
+    r = preferred[attempt % static_cast<uint32_t>(n_preferred)];
+  } else {
+    r = doomed[attempt % static_cast<uint32_t>(n_doomed)];
+    if (quorum_lost != nullptr) *quorum_lost = true;
+  }
+  if (replica_out != nullptr) *replica_out = r;
+  return Device(page, r);
+}
+
+}  // namespace gids::storage

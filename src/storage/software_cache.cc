@@ -93,6 +93,15 @@ void SoftwareCache::QuarantineLocked(Shard& sh, size_t slot) {
   line = Line{};
 }
 
+bool SoftwareCache::Invalidate(uint64_t page) {
+  Shard& sh = shard_for(page);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.index.find(page);
+  if (it == sh.index.end()) return false;
+  QuarantineLocked(sh, it->second);
+  return true;
+}
+
 const std::byte* SoftwareCache::Lookup(uint64_t page) {
   GIDS_CHECK(store_payloads_);
   Shard& sh = shard_for(page);

@@ -213,6 +213,14 @@ class SoftwareCache {
               std::optional<uint32_t> crc = std::nullopt,
               bool corrupt_hint = false);
 
+  /// Drops `page`'s resident line (if any) without stats side effects:
+  /// the journal applier calls this for every storage page it rewrites,
+  /// so the next access re-reads the mutated bytes instead of serving the
+  /// stale cached copy. The page's future-reuse entry survives (like a
+  /// quarantine), so the re-read re-pins the line and window buffering
+  /// keeps its look-ahead guarantees. Returns true if a line was dropped.
+  bool Invalidate(uint64_t page);
+
   /// Window buffering: registers `count` future reuses of `page`. Applies
   /// to the resident line immediately, or is remembered and applied if the
   /// page is inserted while reuses remain outstanding. Also forwards

@@ -3,9 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
@@ -13,8 +17,10 @@
 #include "sim/ssd_model.h"
 #include "storage/block_device.h"
 #include "storage/fault_injector.h"
+#include "storage/journal.h"
 #include "storage/page_integrity.h"
 #include "storage/queue_manager.h"
+#include "storage/replica_set.h"
 
 namespace gids::storage {
 
@@ -58,6 +64,10 @@ class StorageArray {
     /// instead).
     uint32_t crc = 0;
     bool crc_known = false;
+    /// Replica index that served the winning attempt (0 = the page's
+    /// primary); only nonzero with replication enabled, where it marks a
+    /// failover read.
+    int served_replica = 0;
   };
 
   /// `num_queues`/`queue_depth` size the per-GPU IO queue pairs (BaM
@@ -89,9 +99,71 @@ class StorageArray {
   const IntegrityOptions& integrity() const { return integrity_; }
   const PageChecksummer& checksummer() const { return checksummer_; }
 
+  /// Installs the N-way replica set (FAULTS.md "Durability & failover"):
+  /// replica r of page p lives on device (p + r) mod n_ssd, and the read
+  /// path routes each attempt to the first healthy, fresh replica instead
+  /// of pinning the page to its primary. Call before issuing reads.
+  void EnableReplication(const ReplicaOptions& options);
+  const ReplicaSet* replica_set() const { return replicas_.get(); }
+
+  /// Installs the journaled write path: one CRC-tagged write-ahead journal
+  /// per device, coordinated across the replica fan-out. Call after
+  /// EnableIntegrity/EnableReplication and before issuing reads. Mutations
+  /// flow Submit -> Sync -> Apply (all from one single-flight driver);
+  /// reads see a mutation only once the applier checkpoints it into the
+  /// striped pages (the overlay).
+  void EnableJournal(const JournalOptions& options);
+  bool journal_enabled() const { return journal_ != nullptr; }
+  JournalCoordinator* journal() { return journal_.get(); }
+  const JournalCoordinator* journal() const { return journal_.get(); }
+
+  /// Advances the array's virtual clock (monotonic max). The offline-onset
+  /// check and replica health view read it; the loader advances it to the
+  /// group-preparation clock at every group boundary, so every routing
+  /// decision is a pure function of the prepared-group prefix.
+  void AdvanceClock(TimeNs now_ns) {
+    TimeNs cur = clock_ns_.load(std::memory_order_relaxed);
+    while (now_ns > cur && !clock_ns_.compare_exchange_weak(
+                               cur, now_ns, std::memory_order_relaxed)) {
+    }
+  }
+  TimeNs clock_ns() const { return clock_ns_.load(std::memory_order_relaxed); }
+
+  /// True when `device` is reachable at the current virtual clock.
+  bool DeviceOnline(int device) const {
+    return injector_ == nullptr ||
+           !injector_->options().DeviceOffline(device, clock_ns());
+  }
+
+  /// Submits one mutation to the journal (fan-out to its home page's
+  /// reachable replica journals). Returns the assigned LSN.
+  uint64_t SubmitMutation(MutationRecord rec);
+  /// Syncs every reachable device journal (group-boundary durability
+  /// point). Returns the number of journals whose durable tail advanced.
+  uint64_t SyncJournals();
+  /// The background-applier step: checkpoints up to `budget` durable
+  /// records (0 = all ready) into the striped pages, in strict LSN order.
+  /// `on_applied`, if given, runs once per record with the storage pages
+  /// the apply touched — the loader invalidates cache lines and refreshes
+  /// CPU-buffer rows from it. Returns the number of records applied.
+  uint64_t ApplyJournal(
+      uint64_t budget,
+      const std::function<void(const MutationRecord&,
+                               std::span<const uint64_t> pages)>& on_applied =
+          nullptr);
+  /// Deterministic crash at the current instant: un-synced journal tails
+  /// are truncated at a (crash_seed, device)-chosen point. Checkpointed
+  /// pages (the overlay) and synced journal prefixes survive.
+  void CrashJournal(uint64_t crash_seed);
+  /// Crash-recovery replay; returns the number of surviving records
+  /// replayed above the applied watermark (see JournalCoordinator).
+  uint64_t RecoverJournal();
+
   /// Write-time checksum of `page`'s clean contents, computed lazily from
-  /// the backing device (the device regenerates ground truth; corruption
-  /// is injected above it) and memoized. Thread-safe.
+  /// the backing device patched with the applied-mutation overlay (the
+  /// device regenerates pristine ground truth; corruption is injected
+  /// above it; applied journal records update it) and memoized. Thread-
+  /// safe; the applier invalidates the memo of every page it rewrites.
   uint32_t ExpectedChecksum(uint64_t page);
 
   /// Functional read of one page. Under fault injection, retries
@@ -193,6 +265,26 @@ class StorageArray {
     return data_loss_total_.load(std::memory_order_relaxed);
   }
 
+  /// Reads whose winning attempt was served by a non-primary replica
+  /// (failover reads). 0 without replication.
+  uint64_t replica_failovers_total() const {
+    return replica_failovers_total_.load(std::memory_order_relaxed);
+  }
+  /// Reads routed with no healthy, fresh replica left (they cycle the
+  /// doomed copies and, failing, dead-letter). Quorum-lost is the only
+  /// path on which a replicated read still zero-fills.
+  uint64_t replica_quorum_lost_total() const {
+    return replica_quorum_lost_total_.load(std::memory_order_relaxed);
+  }
+  /// Failover reads whose primary was device `d` (where reads failed FROM).
+  uint64_t failovers_from_device(int d) const {
+    return failovers_from_device_[d].load(std::memory_order_relaxed);
+  }
+  /// Successful reads served by replica index `r` (r = 0 is the primary).
+  uint64_t reads_by_replica(int r) const {
+    return reads_by_replica_[r].load(std::memory_order_relaxed);
+  }
+
   void ResetCounters();
 
   /// Exposes the array through `registry`: read counters (total and
@@ -211,11 +303,21 @@ class StorageArray {
   Status IssueRead(uint64_t page, std::span<std::byte> out, ReadOutcome* oc);
   /// Allocates the lazy expected-checksum table on first use.
   void EnsureChecksumTable();
-  /// Post-success bookkeeping shared by both modes.
-  void CountRead(uint64_t page) {
+  /// Ground-truth page contents: the backing device patched with the
+  /// applied-mutation overlay. Byte-for-byte the raw device read when the
+  /// journal is off or the page was never mutated.
+  Status ReadCleanPage(uint64_t page, std::span<std::byte> out) const;
+  /// Checkpoints one applied record's payload into the overlay pages,
+  /// refreshes their checksum memos, and appends the touched pages to
+  /// `pages` (cleared first).
+  void ApplyRecordToPages(const MutationRecord& rec,
+                          std::vector<uint64_t>* pages);
+  /// Post-success bookkeeping shared by both modes. `device` is the
+  /// striped device that served the read (the primary unless a replica
+  /// failover rerouted it).
+  void CountRead(uint64_t /*page*/, int device) {
     total_reads_.fetch_add(1, std::memory_order_relaxed);
-    per_device_reads_[DeviceFor(page)].fetch_add(1,
-                                                 std::memory_order_relaxed);
+    per_device_reads_[device].fetch_add(1, std::memory_order_relaxed);
     if (request_bytes_hist_ != nullptr) {
       request_bytes_hist_->Observe(page_bytes());
     }
@@ -249,6 +351,23 @@ class StorageArray {
   std::unique_ptr<std::atomic<uint64_t>[]> per_device_reads_;
   obs::HistogramMetric* request_bytes_hist_ = nullptr;   // registry-owned
   obs::HistogramMetric* retry_latency_hist_ = nullptr;   // registry-owned
+
+  /// Virtual clock of the array (monotonic; loader-advanced). Gates the
+  /// offline-device onset and the replica health view.
+  std::atomic<TimeNs> clock_ns_{0};
+  std::unique_ptr<ReplicaSet> replicas_;        // null = single copy
+  std::unique_ptr<JournalCoordinator> journal_; // null = read-only pages
+  /// Checkpointed page contents (pages the applier rewrote). The backing
+  /// FunctionBlockDevice regenerates pristine bytes only, so mutated pages
+  /// live here; ReadCleanPage patches reads through it. Reader-heavy:
+  /// gather threads take the shared lock, the single-flight applier the
+  /// exclusive one.
+  mutable std::shared_mutex overlay_mu_;
+  std::unordered_map<uint64_t, std::vector<std::byte>> overlay_;
+  std::atomic<uint64_t> replica_failovers_total_{0};
+  std::atomic<uint64_t> replica_quorum_lost_total_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> failovers_from_device_;
+  std::unique_ptr<std::atomic<uint64_t>[]> reads_by_replica_;
 };
 
 }  // namespace gids::storage

@@ -54,7 +54,8 @@ TEST(IterationLedgerTest, ComponentAccessorsMatchFields) {
   led.degraded_fill_ns = 7;
   led.transfer_ns = 8;
   led.training_ns = 9;
-  led.overlap_credit_ns = 10;
+  led.mutation_ns = 10;
+  led.overlap_credit_ns = 11;
   for (int i = 0; i < IterationLedger::kNumComponents; ++i) {
     EXPECT_EQ(led.component(i), i + 1);
     EXPECT_NE(IterationLedger::ComponentName(i), nullptr);

@@ -41,9 +41,13 @@ per experiment: "higher" means higher-is-better (only measured <
 baseline * (1 - tol) fails, e.g. hit-rate rows), "lower" means
 lower-is-better (only measured > baseline * (1 + tol) fails); the
 default "both" keeps the two-sided gate. Rows present in the baseline
-but absent from the logs fail as lost coverage; rows only in the logs
-are reported but pass (the next --update picks them up). --update
-preserves `tolerances` and `directions` from the existing baseline.
+but absent from the logs fail as lost coverage — unless the logs carry
+NO row at all for that experiment family, in which case the family is
+warned about and skipped (comparing a subset of bench logs, or landing a
+new bench family before its baseline rows exist, must not fail every
+unrelated row). Rows only in the logs are reported but pass (the next
+--update picks them up). --update preserves `tolerances` and
+`directions` from the existing baseline.
 """
 
 import argparse
@@ -102,13 +106,22 @@ def compare(rows, baseline):
     directions = baseline.get("directions", {})
     default_tol = tolerances.get("default", DEFAULT_TOLERANCE)
     failures = []
+    skipped_families = {}
     checked = 0
+    logged_experiments = {k[0] for k in rows}
     for base in baseline.get("rows", []):
         key = (base["experiment"], base["label"])
         tol = tolerances.get(base["experiment"], default_tol)
         direction = directions.get(base["experiment"], "both")
         row = rows.get(key)
         if row is None:
+            if base["experiment"] not in logged_experiments:
+                # The whole family was not run (subset compare, or a bench
+                # family newer than these logs): warn and skip instead of
+                # failing every row of it as lost coverage.
+                skipped_families[base["experiment"]] = (
+                    skipped_families.get(base["experiment"], 0) + 1)
+                continue
             failures.append(
                 f"MISSING  [{key[0]}] {key[1]}: in baseline but not in the "
                 f"logs (lost coverage)")
@@ -135,7 +148,7 @@ def compare(rows, baseline):
     new_rows = [k for k in rows if k not in
                 {(b["experiment"], b["label"]) for b in
                  baseline.get("rows", [])}]
-    return failures, checked, new_rows
+    return failures, checked, new_rows, skipped_families
 
 
 def write_baseline(path, rows, tolerances, directions):
@@ -197,9 +210,12 @@ def main():
 
     if args.tolerance is not None:
         baseline.setdefault("tolerances", {})["default"] = args.tolerance
-    failures, checked, new_rows = compare(rows, baseline)
+    failures, checked, new_rows, skipped = compare(rows, baseline)
     for f_ in failures:
         print(f_, file=sys.stderr)
+    for exp in sorted(skipped):
+        print(f"SKIP     [{exp}] family absent from the logs; skipped "
+              f"{skipped[exp]} baseline row(s)", file=sys.stderr)
     for k in sorted(new_rows):
         print(f"NEW      [{k[0]}] {k[1]}: not in baseline (run --update to "
               f"adopt)")

@@ -11,22 +11,26 @@
 # determinism and fault fan-out), the `workspace`-labelled tests
 # (pooled-scratch recycling), and the `cachepolicy`-labelled tests
 # (CachePolicy conformance suite, CACHING.md) on their own so checksum-,
-# scatter-, pool-, and policy-path memory errors fail loudly. Also runs
-# the documentation lint (tools/docs_lint.sh: dead intra-repo markdown
-# links, undocumented GidsOptions / FaultOptions / IntegrityOptions
-# fields, gids_cli flags, and cache-policy name/enum drift).
+# scatter-, pool-, and policy-path memory errors fail loudly, and the
+# `replication`-labelled tests (journal CRC/LSN/crash-replay, replica
+# routing, mutation-stream determinism; FAULTS.md "Durability &
+# failover"). Also runs the documentation lint (tools/docs_lint.sh: dead
+# intra-repo markdown links, undocumented GidsOptions / FaultOptions /
+# IntegrityOptions fields, gids_cli flags, and cache-policy name/enum
+# drift).
 # The default preset additionally runs the bench regression gate: the
-# FIG03/FIG13 headline benches, the HOSTPAR host-parallelism sweep, and
-# the ABL-CACHEPOLICY cache-policy ablation are replayed and their
-# RESULT_JSON rows diffed against bench/baselines/seed.json with
-# tools/bench_compare.py (virtual-time `measured` values are
-# deterministic, so the gate fails on any >10% drift, schema violation,
-# or lost row; HOSTPAR rows additionally carry `steady_state_allocs`,
-# which must be exactly 0 — the zero-allocation hot-path contract of
-# DESIGN.md §11; ABL-CACHEPOLICY hit-rate rows gate one-sided,
-# higher-is-better, via the baseline's `directions` map, so the
-# presample-vs-pagerank acceptance ratios of CACHING.md cannot silently
-# regress).
+# FIG03/FIG13 headline benches, the HOSTPAR host-parallelism sweep, the
+# ABL-CACHEPOLICY cache-policy ablation, and the ABL-REPLICATION
+# durability/availability sweep are replayed and their RESULT_JSON rows
+# diffed against bench/baselines/seed.json with tools/bench_compare.py
+# (virtual-time `measured` values are deterministic, so the gate fails on
+# any >10% drift, schema violation, or lost row; HOSTPAR rows
+# additionally carry `steady_state_allocs`, which must be exactly 0 — the
+# zero-allocation hot-path contract of DESIGN.md §11; ABL-CACHEPOLICY
+# hit-rate rows and ABL-REPLICATION-AVAIL availability rows gate
+# one-sided, higher-is-better, via the baseline's `directions` map, so
+# cache acceptance ratios and the replicated-outage availability floor
+# cannot silently regress).
 # Run from the repository root:
 #
 #   tools/check.sh            # docs lint + all presets
@@ -59,6 +63,8 @@ for preset in "${presets[@]}"; do
     ctest --preset "$preset" -j "$jobs" -L workspace
     echo "=== [$preset] cachepolicy-labelled tests"
     ctest --preset "$preset" -j "$jobs" -L cachepolicy
+    echo "=== [$preset] replication-labelled tests"
+    ctest --preset "$preset" -j "$jobs" -L replication
   fi
   if [ "$preset" = "default" ]; then
     echo "=== [$preset] bench regression gate"
@@ -67,9 +73,10 @@ for preset in "${presets[@]}"; do
     build/bench/bench_fig13_e2e_samsung > "$benchlog/fig13.log"
     build/bench/bench_host_parallelism > "$benchlog/hostpar.log"
     build/bench/bench_abl_cache_policy > "$benchlog/cachepolicy.log"
+    build/bench/bench_abl_replication > "$benchlog/replication.log"
     python3 tools/bench_compare.py --baseline bench/baselines/seed.json \
       "$benchlog/fig03.log" "$benchlog/fig13.log" "$benchlog/hostpar.log" \
-      "$benchlog/cachepolicy.log"
+      "$benchlog/cachepolicy.log" "$benchlog/replication.log"
     rm -rf "$benchlog"
   fi
 done

@@ -221,6 +221,7 @@ int CmdRun(const Flags& flags) {
       std::max<long>(1, flags.GetInt("report-top-k", 5)));
   std::unique_ptr<obs::TimeSeries> timeline;
   std::unique_ptr<obs::ExemplarReservoir> exemplars;
+  std::unique_ptr<obs::ExemplarReservoir> failover_exemplars;
   if (want_timeline) {
     timeline = std::make_unique<obs::TimeSeries>(
         UsToNs(flags.GetDouble("timeline-window-us", 1000.0)));
@@ -276,6 +277,10 @@ int CmdRun(const Flags& flags) {
     opts.stuck_queue_rate = flags.GetDouble("stuck-queue-rate", 0.0);
     opts.offline_device =
         static_cast<int>(flags.GetInt("offline-device", -1));
+    if (flags.Has("offline-devices")) {
+      opts.offline_devices = ParseFanout(flags.Get("offline-devices", ""));
+    }
+    opts.offline_at_ns = UsToNs(flags.GetDouble("offline-at-us", 0.0));
     opts.io_max_retries =
         static_cast<uint32_t>(flags.GetInt("io-max-retries", 4));
     opts.io_timeout_ns = UsToNs(flags.GetDouble("io-timeout-us", 1000.0));
@@ -289,6 +294,28 @@ int CmdRun(const Flags& flags) {
     opts.verify_cache_hit = flags.GetBool("verify-cache-hit");
     opts.scrub_pages_per_iter =
         static_cast<uint32_t>(flags.GetInt("scrub-pages-per-iter", 0));
+    // Durability & replication (FAULTS.md "Durability & failover").
+    opts.replication_factor =
+        static_cast<int>(flags.GetInt("replication-factor", 1));
+    opts.write_quorum = static_cast<int>(flags.GetInt("write-quorum", 0));
+    opts.updates_per_iter =
+        static_cast<uint32_t>(flags.GetInt("updates-per-iter", 0));
+    opts.edge_ops_per_iter =
+        static_cast<uint32_t>(flags.GetInt("edge-ops-per-iter", 0));
+    opts.mutation_seed = static_cast<uint64_t>(
+        flags.GetInt("mutation-seed", 0x6d7574a73ll));
+    opts.durability = flags.Get("durability", "quorum");
+    opts.journal_apply_budget =
+        static_cast<uint64_t>(flags.GetInt("journal-apply-budget", 0));
+    opts.crash_at_group =
+        static_cast<int>(flags.GetInt("crash-at-group", -1));
+    opts.crash_seed =
+        static_cast<uint64_t>(flags.GetInt("crash-seed", 0xc4a54));
+    if (want_timeline && opts.replication_factor > 1) {
+      failover_exemplars = std::make_unique<obs::ExemplarReservoir>(
+          report_top_k, obs::ExemplarReservoir::RankBy::kMostFailovers);
+      opts.failover_exemplars = failover_exemplars.get();
+    }
     // Cache policy selection (CACHING.md). The default keeps the kind the
     // loader preset chose (pagerank for gids, random for bam).
     if (flags.Has("cache-policy")) {
@@ -373,6 +400,7 @@ int CmdRun(const Flags& flags) {
                 "checksum mismatches (see INTEGRITY.md)\n",
                 static_cast<unsigned long long>(m.gather.corrupt_nodes));
   }
+  std::string journal_json;
   if (auto* gids = dynamic_cast<core::GidsLoader*>(loader.get());
       gids != nullptr) {
     const storage::StorageArray& sa = gids->storage_array();
@@ -385,6 +413,46 @@ int CmdRun(const Flags& flags) {
                   static_cast<unsigned long long>(
                       sa.integrity_repairs_total()),
                   static_cast<unsigned long long>(sa.data_loss_total()));
+    }
+    if (sa.replica_set() != nullptr) {
+      std::printf("replication:  factor %d, %llu reads failed over, "
+                  "%llu lost quorum (see FAULTS.md)\n",
+                  sa.replica_set()->options().replication_factor,
+                  static_cast<unsigned long long>(
+                      sa.replica_failovers_total()),
+                  static_cast<unsigned long long>(
+                      sa.replica_quorum_lost_total()));
+    }
+    if (sa.journal_enabled()) {
+      const storage::JournalCounters& jc = sa.journal()->counters();
+      std::printf("journal:      %llu appends, %llu fsyncs, %llu applied, "
+                  "%llu replayed, %llu resubmitted, write amp %.2f\n",
+                  static_cast<unsigned long long>(jc.appends.load()),
+                  static_cast<unsigned long long>(jc.fsyncs.load()),
+                  static_cast<unsigned long long>(jc.applied.load()),
+                  static_cast<unsigned long long>(jc.replayed.load()),
+                  static_cast<unsigned long long>(jc.resubmitted.load()),
+                  sa.journal()->WriteAmplification());
+      char jbuf[512];
+      std::snprintf(
+          jbuf, sizeof(jbuf),
+          "{\"appends\":%llu,\"fsyncs\":%llu,\"applied\":%llu,"
+          "\"replayed\":%llu,\"truncated\":%llu,\"torn\":%llu,"
+          "\"resubmitted\":%llu,\"quorum_stalls\":%llu,\"crashes\":%llu,"
+          "\"recovers\":%llu,\"pending\":%llu,\"write_amplification\":%.4f}",
+          static_cast<unsigned long long>(jc.appends.load()),
+          static_cast<unsigned long long>(jc.fsyncs.load()),
+          static_cast<unsigned long long>(jc.applied.load()),
+          static_cast<unsigned long long>(jc.replayed.load()),
+          static_cast<unsigned long long>(jc.truncated.load()),
+          static_cast<unsigned long long>(jc.torn.load()),
+          static_cast<unsigned long long>(jc.resubmitted.load()),
+          static_cast<unsigned long long>(jc.quorum_stalls.load()),
+          static_cast<unsigned long long>(jc.crashes.load()),
+          static_cast<unsigned long long>(jc.recovers.load()),
+          static_cast<unsigned long long>(sa.journal()->pending_records()),
+          sa.journal()->WriteAmplification());
+      journal_json = jbuf;
     }
   }
 
@@ -422,8 +490,11 @@ int CmdRun(const Flags& flags) {
   }
   if (flags.Has("timeline-json")) {
     std::string path = flags.Get("timeline-json", "timeline.json");
+    obs::TimelineExtras extras;
+    extras.failover_exemplars = failover_exemplars.get();
+    extras.journal_json = journal_json;
     Status s = obs::WriteTimelineJson(path, std::string(loader->name()),
-                                      *timeline, *exemplars);
+                                      *timeline, *exemplars, &extras);
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
@@ -573,8 +644,17 @@ void Usage() {
       "            --fault-rate F --fault-seed N (storage fault injection)\n"
       "            --latency-spike-rate F --latency-spike-us U\n"
       "            --stuck-queue-rate F --offline-device D\n"
+      "            --offline-devices D1,D2 --offline-at-us U\n"
+      "            (outage set + virtual-time onset; see FAULTS.md)\n"
       "            --io-max-retries R --io-timeout-us U --io-backoff-us U\n"
       "            (retry/degraded-mode policy; see FAULTS.md)\n"
+      "            --replication-factor R --write-quorum Q\n"
+      "            --updates-per-iter N --edge-ops-per-iter N\n"
+      "            --mutation-seed N --durability "
+      "none|journaled|synced|quorum\n"
+      "            --journal-apply-budget B --crash-at-group G "
+      "--crash-seed N\n"
+      "            (durability, replication & failover; FAULTS.md)\n"
       "            --corruption-rate F --crc-seed N --verify-reads\n"
       "            --verify-cache-fill --verify-cache-hit\n"
       "            --scrub-pages-per-iter P\n"
