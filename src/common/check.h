@@ -23,6 +23,16 @@ namespace gids::internal_check {
       ::gids::internal_check::CheckFailed(__FILE__, __LINE__, #cond); \
   } while (false)
 
+/// GIDS_CHECK with an explicit human-readable message instead of the raw
+/// expression text — for precondition failures whose cause is a caller
+/// mistake (e.g. constructing a SeedIterator with no train ids) where the
+/// stringified condition alone would not tell the caller what to fix.
+#define GIDS_CHECK_MSG(cond, msg)                                    \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::gids::internal_check::CheckFailed(__FILE__, __LINE__, msg);  \
+  } while (false)
+
 #define GIDS_CHECK_OK(status_expr)                                        \
   do {                                                                    \
     ::gids::Status _gids_chk = (status_expr);                             \

@@ -13,12 +13,50 @@ double Rng::Normal() {
   return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
 }
 
+double Rng::Exponential() {
+  double u = UniformDouble();  // in [0, 1); 1 - u in (0, 1] so log is finite
+  return -std::log(1.0 - u);
+}
+
+uint64_t Rng::Poisson(double mean) {
+  GIDS_CHECK(mean > 0.0);
+  // Knuth: count uniforms until their product drops below e^-mean.
+  const double limit = std::exp(-mean);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= UniformDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
 std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
                                                Rng& rng) {
   std::vector<uint64_t> result;
   result.reserve(std::min(n, k));
   SampleWithoutReplacementInto(n, k, rng, result);
   return result;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : s_(s) {
+  GIDS_CHECK_MSG(n > 0, "ZipfDistribution needs a non-empty rank domain");
+  GIDS_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail short
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;  // u rounding to >= cdf_.back()
+  return static_cast<uint64_t>(it - cdf_.begin());
 }
 
 }  // namespace gids

@@ -90,6 +90,15 @@ class Rng {
   /// Standard normal via Box-Muller (uncached; fine for our use).
   double Normal();
 
+  /// Exponential with mean 1 via inverse CDF (-log(1 - u)); scale by the
+  /// desired mean at the call site. Always finite and > 0.
+  double Exponential();
+
+  /// Poisson-distributed count with the given mean (> 0). Knuth's
+  /// product-of-uniforms method, O(mean) draws — fine for the per-step
+  /// arrival counts (mean of a few) the traffic generator needs.
+  uint64_t Poisson(double mean);
+
   /// Forks an independently-seeded child generator; children with distinct
   /// `stream` values produce decorrelated sequences.
   Rng Fork(uint64_t stream) const {
@@ -158,6 +167,28 @@ void SampleWithoutReplacementInto(uint64_t n, uint64_t k, Rng& rng,
 /// small k relative to n, reservoir-free and O(k) expected.
 std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k,
                                                Rng& rng);
+
+/// Zipf(s) distribution over ranks [0, n): P(rank = r) proportional to
+/// 1 / (r + 1)^s, rank 0 the most popular. s == 0 degenerates to uniform.
+/// Sampling is inverse-CDF via binary search over a precomputed table —
+/// O(n) memory once, O(log n) per draw, exact (no rejection, no harmonic
+/// approximation), and bit-deterministic for a given (n, s, rng stream).
+/// The serving traffic generator maps ranks onto seed-node ids so popular
+/// nodes recur across concurrent requests (the skew GatherGroup exploits).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+  /// Draws one rank in [0, n()).
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), cdf_.back() == 1.0
+};
 
 }  // namespace gids
 

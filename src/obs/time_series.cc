@@ -1,5 +1,6 @@
 #include "obs/time_series.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/check.h"
@@ -24,19 +25,38 @@ void TimeSeries::Record(const IterationSample& sample) {
   // filled, not the one it starts.
   TimeNs at = sample.end_ns > 0 ? sample.end_ns - 1 : 0;
   uint64_t index = static_cast<uint64_t>(at / window_ns_);
-  if (windows_.empty() || windows_.back().index != index) {
-    GIDS_CHECK(windows_.empty() || windows_.back().index < index);
-    Window w;
-    w.index = index;
-    windows_.push_back(std::move(w));
+  Window* w;
+  if (!windows_.empty() && windows_.back().index == index) {
+    // Common case: in-order completion landing in the current window.
+    w = &windows_.back();
+  } else if (windows_.empty() || windows_.back().index < index) {
+    // Clock moved forward past the last window: append sparsely.
+    Window nw;
+    nw.index = index;
+    windows_.push_back(std::move(nw));
+    w = &windows_.back();
+  } else {
+    // Out-of-order completion (concurrent requests retire in any order):
+    // fold the sample into its owning window, inserting it in sorted
+    // position if that window was skipped. Keeping `windows_` sorted by
+    // index preserves both sparse storage and the rolling-quantile merge
+    // invariant (ToJson/ToCsv merge windows front to back).
+    auto it = std::lower_bound(
+        windows_.begin(), windows_.end(), index,
+        [](const Window& win, uint64_t i) { return win.index < i; });
+    if (it == windows_.end() || it->index != index) {
+      Window nw;
+      nw.index = index;
+      it = windows_.insert(it, std::move(nw));
+    }
+    w = &*it;
   }
-  Window& w = windows_.back();
-  w.iterations++;
-  w.gpu_cache_hits += sample.gpu_cache_hits;
-  w.cpu_buffer_hits += sample.cpu_buffer_hits;
-  w.storage_reads += sample.storage_reads;
-  w.e2e_ns.Add(static_cast<uint64_t>(sample.e2e_ns));
-  w.ledger.Add(sample.ledger);
+  w->iterations++;
+  w->gpu_cache_hits += sample.gpu_cache_hits;
+  w->cpu_buffer_hits += sample.cpu_buffer_hits;
+  w->storage_reads += sample.storage_reads;
+  w->e2e_ns.Add(static_cast<uint64_t>(sample.e2e_ns));
+  w->ledger.Add(sample.ledger);
   total_iterations_++;
 }
 

@@ -45,8 +45,12 @@ class TimeSeries {
   explicit TimeSeries(TimeNs window_ns);
 
   /// Folds one completed iteration into the window containing its
-  /// completion time (`sample.end_ns`). Completion times must be
-  /// non-decreasing (the loader clock is monotone).
+  /// completion time (`sample.end_ns`). Completion times may arrive in any
+  /// order: epoch loaders record monotonically (the loader clock is
+  /// monotone), but the serving tier retires concurrent requests out of
+  /// order, and each sample is folded into its owning window regardless
+  /// (appending is O(1); a genuinely out-of-order sample pays a sorted
+  /// insert). `windows()` stays sorted by index either way.
   void Record(const IterationSample& sample);
 
   TimeNs window_ns() const { return window_ns_; }

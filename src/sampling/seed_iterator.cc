@@ -9,8 +9,17 @@ namespace gids::sampling {
 SeedIterator::SeedIterator(std::vector<graph::NodeId> train_ids,
                            uint32_t batch_size, uint64_t seed)
     : train_ids_(std::move(train_ids)), batch_size_(batch_size), rng_(seed) {
-  GIDS_CHECK(!train_ids_.empty());
-  GIDS_CHECK(batch_size_ > 0);
+  // Reject degenerate configurations at construction: an empty train-id
+  // set would serve empty batches forever while advancing epoch_ /
+  // batches_served_, and batch_size == 0 makes batches_per_epoch() divide
+  // by zero. Both are caller bugs, so they abort with an explicit message
+  // rather than silently looping.
+  GIDS_CHECK_MSG(!train_ids_.empty(),
+                 "SeedIterator requires a non-empty train-id set "
+                 "(an empty set would yield empty batches forever)");
+  GIDS_CHECK_MSG(batch_size_ > 0,
+                 "SeedIterator requires batch_size > 0 "
+                 "(batches_per_epoch() would divide by zero)");
   ShuffleEpoch();
 }
 

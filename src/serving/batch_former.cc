@@ -1,0 +1,52 @@
+#include "serving/batch_former.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace gids::serving {
+
+BatchFormer::BatchFormer(uint32_t max_requests, TimeNs window_ns)
+    : max_requests_(max_requests), window_ns_(window_ns) {
+  GIDS_CHECK_MSG(max_requests_ > 0,
+                 "BatchFormer requires max_requests > 0");
+  GIDS_CHECK_MSG(window_ns_ > 0, "BatchFormer requires window_ns > 0");
+}
+
+bool BatchFormer::Add(Request request, TimeNs now, FormedBatch* closed,
+                      bool* opened) {
+  *opened = false;
+  if (!has_open_) {
+    has_open_ = true;
+    ++generation_;
+    open_.id = next_batch_id_++;
+    open_.open_ns = now;
+    open_.close_ns = 0;
+    open_.requests.clear();
+    *opened = true;
+  }
+  open_.requests.push_back(std::move(request));
+  if (open_.requests.size() >= max_requests_) {
+    Close(now, closed);
+    return true;
+  }
+  return false;
+}
+
+bool BatchFormer::ExpireWindow(uint64_t generation, TimeNs now,
+                               FormedBatch* closed) {
+  if (!has_open_ || generation != generation_) return false;  // stale
+  Close(now, closed);
+  return true;
+}
+
+void BatchFormer::Close(TimeNs now, FormedBatch* closed) {
+  GIDS_CHECK(has_open_ && !open_.requests.empty());
+  open_.close_ns = now;
+  *closed = std::move(open_);
+  open_ = FormedBatch{};
+  has_open_ = false;
+  ++batches_formed_;
+}
+
+}  // namespace gids::serving

@@ -1,0 +1,61 @@
+#ifndef GIDS_SERVING_BATCH_FORMER_H_
+#define GIDS_SERVING_BATCH_FORMER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "serving/request.h"
+
+namespace gids::serving {
+
+/// Merges concurrent admitted requests into mini-batches under a
+/// batch-window/size policy: a batch opens when a request arrives with no
+/// batch open, and closes when it reaches `max_requests` (immediately, on
+/// the closing arrival) or when its oldest member has waited `window_ns`
+/// (on the window-expiry event the caller schedules at open + window).
+///
+/// Each opened batch gets a fresh `generation()`; the caller passes it
+/// back with the expiry event so an event raced by a size-cap close (the
+/// batch it was scheduled for no longer open) is recognized as stale and
+/// ignored. Purely virtual-time driven, hence deterministic.
+class BatchFormer {
+ public:
+  BatchFormer(uint32_t max_requests, TimeNs window_ns);
+
+  /// Adds one admitted request at virtual time `now`. Returns true when
+  /// this arrival closed the batch by size, moving it into `*closed`.
+  /// `*opened` is set true when the request opened a fresh batch — the
+  /// caller must then schedule a window-expiry event for `generation()`
+  /// at `now + window_ns()`.
+  bool Add(Request request, TimeNs now, FormedBatch* closed, bool* opened);
+
+  /// Window expiry for generation `generation` at time `now`. Returns
+  /// true when the open batch was closed into `*closed`; false when the
+  /// event is stale (that batch already closed by size).
+  bool ExpireWindow(uint64_t generation, TimeNs now, FormedBatch* closed);
+
+  TimeNs window_ns() const { return window_ns_; }
+  uint32_t max_requests() const { return max_requests_; }
+  /// Generation of the currently open batch (valid after *opened).
+  uint64_t generation() const { return generation_; }
+  uint32_t open_size() const {
+    return static_cast<uint32_t>(open_.requests.size());
+  }
+  uint64_t batches_formed() const { return batches_formed_; }
+
+ private:
+  void Close(TimeNs now, FormedBatch* closed);
+
+  uint32_t max_requests_;
+  TimeNs window_ns_;
+  FormedBatch open_;
+  bool has_open_ = false;
+  uint64_t generation_ = 0;       // bumps on every open
+  uint64_t next_batch_id_ = 0;
+  uint64_t batches_formed_ = 0;
+};
+
+}  // namespace gids::serving
+
+#endif  // GIDS_SERVING_BATCH_FORMER_H_

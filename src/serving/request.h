@@ -1,0 +1,48 @@
+#ifndef GIDS_SERVING_REQUEST_H_
+#define GIDS_SERVING_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "graph/types.h"
+
+namespace gids::serving {
+
+/// One user inference query: "embed these seed nodes" with a latency SLO.
+/// Requests are identified by a dense id assigned at generation time; the
+/// id doubles as the sampler iteration index, so each request samples from
+/// its own deterministic RNG stream no matter which batch it lands in or
+/// which lane executes it (the serving analogue of the loader's
+/// per-iteration streams).
+struct Request {
+  uint64_t id = 0;
+  TimeNs arrival_ns = 0;
+  TimeNs deadline_ns = 0;  // arrival + SLO budget
+  std::vector<graph::NodeId> seeds;
+};
+
+/// A closed mini-batch of concurrent requests, merged by the BatchFormer
+/// under its window/size policy and executed as one sampling + gather
+/// scope (so page coalescing spans the member requests).
+struct FormedBatch {
+  uint64_t id = 0;
+  TimeNs open_ns = 0;   // arrival of the first member
+  TimeNs close_ns = 0;  // when the size cap or window expiry closed it
+  std::vector<Request> requests;
+};
+
+/// Terminal accounting for one admitted request; the serving analogue of
+/// a loader IterationStats row. `completion_ns - arrival_ns` includes the
+/// queue/batch wait, not just service.
+struct RequestOutcome {
+  uint64_t id = 0;
+  uint64_t batch_id = 0;
+  TimeNs arrival_ns = 0;
+  TimeNs completion_ns = 0;
+  bool on_time = false;
+};
+
+}  // namespace gids::serving
+
+#endif  // GIDS_SERVING_REQUEST_H_

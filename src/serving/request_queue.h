@@ -1,0 +1,65 @@
+#ifndef GIDS_SERVING_REQUEST_QUEUE_H_
+#define GIDS_SERVING_REQUEST_QUEUE_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace gids::serving {
+
+/// Admission control for the serving tier: a bounded count of in-system
+/// requests (admitted but not yet completed — queued, batching, or
+/// executing). An arrival finding the system full is shed immediately and
+/// deterministically: shedding is a pure function of the virtual-time
+/// arrival/completion interleaving, never of wall-clock races, so the
+/// same traffic trace sheds the same request ids on every run.
+///
+/// Not thread-safe: the server's event loop is single-threaded (worker
+/// threads only parallelize inside a batch execution).
+class RequestQueue {
+ public:
+  explicit RequestQueue(uint32_t max_depth) : max_depth_(max_depth) {
+    GIDS_CHECK_MSG(max_depth_ > 0,
+                   "RequestQueue requires max_depth > 0 "
+                   "(a zero-depth queue would shed every request)");
+  }
+
+  /// Admission decision for one arrival: true and a slot is taken, or
+  /// false and the request is counted shed.
+  bool TryAdmit() {
+    ++offered_;
+    if (depth_ >= max_depth_) {
+      ++shed_;
+      return false;
+    }
+    ++depth_;
+    ++admitted_;
+    if (depth_ > max_depth_seen_) max_depth_seen_ = depth_;
+    return true;
+  }
+
+  /// Returns one admitted request's slot at completion time.
+  void Release() {
+    GIDS_CHECK(depth_ > 0);
+    --depth_;
+  }
+
+  uint32_t depth() const { return depth_; }
+  uint32_t max_depth() const { return max_depth_; }
+  uint32_t max_depth_seen() const { return max_depth_seen_; }
+  uint64_t offered() const { return offered_; }
+  uint64_t admitted() const { return admitted_; }
+  uint64_t shed() const { return shed_; }
+
+ private:
+  uint32_t max_depth_;
+  uint32_t depth_ = 0;
+  uint32_t max_depth_seen_ = 0;
+  uint64_t offered_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+};
+
+}  // namespace gids::serving
+
+#endif  // GIDS_SERVING_REQUEST_QUEUE_H_

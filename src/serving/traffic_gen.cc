@@ -1,0 +1,58 @@
+#include "serving/traffic_gen.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace gids::serving {
+
+TrafficGenerator::TrafficGenerator(TrafficOptions options,
+                                   std::vector<graph::NodeId> candidate_seeds)
+    : options_(options),
+      candidates_(std::move(candidate_seeds)),
+      zipf_(candidates_.empty() ? 1 : candidates_.size(), options.zipf_skew),
+      rng_(options.seed) {
+  GIDS_CHECK_MSG(!candidates_.empty(),
+                 "TrafficGenerator requires a non-empty candidate seed set");
+  GIDS_CHECK(options_.arrival_rate_rps > 0.0);
+  GIDS_CHECK(options_.seeds_per_request > 0);
+  GIDS_CHECK(options_.diurnal_amplitude >= 0.0 &&
+             options_.diurnal_amplitude < 1.0);
+  GIDS_CHECK(options_.diurnal_period_ns > 0);
+  GIDS_CHECK(options_.slo_deadline_ns > 0);
+}
+
+TimeNs TrafficGenerator::NextArrival() {
+  // Lewis-Shedler thinning: draw homogeneous arrivals at the peak rate
+  // rate_max = base * (1 + A), accept each with probability
+  // rate(t) / rate_max. A == 0 degenerates to plain exponential gaps
+  // (every candidate accepted on the Bernoulli(1) draw).
+  const double base = options_.arrival_rate_rps;
+  const double amp = options_.diurnal_amplitude;
+  const double rate_max = base * (1.0 + amp);
+  for (;;) {
+    double gap_sec = rng_.Exponential() / rate_max;
+    TimeNs gap = static_cast<TimeNs>(gap_sec * static_cast<double>(kNsPerSec));
+    clock_ns_ += gap > 0 ? gap : 1;  // virtual time strictly advances
+    double phase = 2.0 * 3.141592653589793 *
+                   (static_cast<double>(clock_ns_) /
+                    static_cast<double>(options_.diurnal_period_ns));
+    double rate = base * (1.0 + amp * std::sin(phase));
+    if (rng_.UniformDouble() * rate_max < rate) return clock_ns_;
+  }
+}
+
+Request TrafficGenerator::Next() {
+  Request r;
+  r.id = next_id_++;
+  r.arrival_ns = NextArrival();
+  r.deadline_ns = r.arrival_ns + options_.slo_deadline_ns;
+  r.seeds.reserve(options_.seeds_per_request);
+  for (uint32_t i = 0; i < options_.seeds_per_request; ++i) {
+    r.seeds.push_back(candidates_[zipf_.Sample(rng_)]);
+  }
+  return r;
+}
+
+}  // namespace gids::serving

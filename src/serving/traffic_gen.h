@@ -1,0 +1,66 @@
+#ifndef GIDS_SERVING_TRAFFIC_GEN_H_
+#define GIDS_SERVING_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "graph/types.h"
+#include "serving/request.h"
+
+namespace gids::serving {
+
+/// Knobs for the closed-form open-loop traffic model: Poisson arrivals
+/// (optionally diurnally modulated) of Zipf-skewed seed queries.
+struct TrafficOptions {
+  /// Mean arrival rate, requests per virtual second.
+  double arrival_rate_rps = 2000.0;
+  /// Zipf exponent over the candidate seed nodes (0 = uniform; >= 1.0 is
+  /// the hub-heavy regime where cross-request coalescing pays).
+  double zipf_skew = 1.1;
+  /// Seed nodes per request (a user asks about this many entities).
+  uint32_t seeds_per_request = 4;
+  /// Diurnal modulation amplitude in [0, 1): the instantaneous rate is
+  /// rate * (1 + amplitude * sin(2*pi*t / period)). 0 disables.
+  double diurnal_amplitude = 0.0;
+  /// Period of the diurnal modulation in virtual time.
+  TimeNs diurnal_period_ns = 1 * kNsPerSec;
+  /// Per-request latency SLO: deadline = arrival + slo_deadline_ns.
+  TimeNs slo_deadline_ns = 5 * kNsPerMs;
+  uint64_t seed = 0x7a4f1c;
+};
+
+/// Generates the deterministic virtual-time request stream the serving
+/// tier consumes: inter-arrival times from an (in)homogeneous Poisson
+/// process via Lewis-Shedler thinning against the peak rate, seed nodes
+/// Zipf-ranked over a candidate set so popular nodes recur across
+/// concurrent requests (the overlap GatherGroup coalesces), deadlines a
+/// fixed SLO budget past arrival. Pure function of (options, candidates):
+/// every run replays the identical trace.
+class TrafficGenerator {
+ public:
+  TrafficGenerator(TrafficOptions options,
+                   std::vector<graph::NodeId> candidate_seeds);
+
+  const TrafficOptions& options() const { return options_; }
+
+  /// The next request in arrival order; ids are dense from 0.
+  Request Next();
+
+  uint64_t generated() const { return next_id_; }
+
+ private:
+  TimeNs NextArrival();
+
+  TrafficOptions options_;
+  std::vector<graph::NodeId> candidates_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  TimeNs clock_ns_ = 0;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace gids::serving
+
+#endif  // GIDS_SERVING_TRAFFIC_GEN_H_

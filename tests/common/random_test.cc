@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -158,6 +159,90 @@ TEST_P(SampleSizesTest, AlwaysDistinct) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SampleSizesTest,
                          ::testing::Values(1, 2, 5, 50, 122, 123, 200));
+
+TEST(ExponentialTest, MeanOneAndPositive) {
+  Rng rng(41);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.Exponential();
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 1.0, 0.02);
+}
+
+TEST(PoissonTest, MatchesMeanAndVariance) {
+  Rng rng(42);
+  constexpr int kDraws = 20000;
+  for (double mean : {0.5, 2.0, 8.0}) {
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      double k = static_cast<double>(rng.Poisson(mean));
+      sum += k;
+      sq += k * k;
+    }
+    double m = sum / kDraws;
+    double var = sq / kDraws - m * m;
+    // Poisson: mean == variance.
+    EXPECT_NEAR(m, mean, 0.1 * mean + 0.05) << mean;
+    EXPECT_NEAR(var, mean, 0.15 * mean + 0.1) << mean;
+  }
+}
+
+TEST(PoissonTest, Deterministic) {
+  Rng a(43), b(43);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.Poisson(3.0), b.Poisson(3.0));
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(44);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Sample(rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kDraws), 0.1, 0.01);
+  }
+}
+
+TEST(ZipfTest, MarginalsMatchAnalyticPmf) {
+  constexpr uint64_t kN = 20;
+  constexpr double kSkew = 1.2;
+  ZipfDistribution zipf(kN, kSkew);
+  double total = 0.0;
+  std::vector<double> pmf(kN);
+  for (uint64_t r = 0; r < kN; ++r) {
+    pmf[r] = 1.0 / std::pow(static_cast<double>(r + 1), kSkew);
+    total += pmf[r];
+  }
+  for (double& p : pmf) p /= total;
+  Rng rng(45);
+  std::vector<int> counts(kN, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Sample(rng)]++;
+  for (uint64_t r = 0; r < kN; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(kDraws), pmf[r],
+                0.01 + 0.05 * pmf[r])
+        << "rank " << r;
+  }
+  // Rank 0 dominates: the skew GatherGroup coalescing exploits.
+  EXPECT_GT(counts[0], counts[kN - 1] * 5);
+}
+
+TEST(ZipfTest, SamplesInRangeAndDeterministic) {
+  ZipfDistribution zipf(7, 0.9);
+  Rng a(46), b(46);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t ra = zipf.Sample(a);
+    EXPECT_LT(ra, 7u);
+    EXPECT_EQ(ra, zipf.Sample(b));
+  }
+}
+
+TEST(ZipfDeathTest, EmptyDomainRejected) {
+  EXPECT_DEATH(ZipfDistribution(0, 1.0), "non-empty rank domain");
+}
 
 }  // namespace
 }  // namespace gids

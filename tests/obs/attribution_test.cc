@@ -3,6 +3,7 @@
 // (OBSERVABILITY.md "Tail-latency attribution").
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -182,6 +183,69 @@ TEST(TimeSeriesTest, RollingQuantilesConvergeToRunQuantiles) {
     }
     EXPECT_GT(w.Find("iterations")->number, 0.0);  // sparse storage
   }
+}
+
+// Regression: Record used to abort on any completion landing in an
+// earlier window than the last one recorded. Concurrent serving requests
+// retire out of order, so interleaved completion times are the norm —
+// they must fold into their owning windows.
+TEST(TimeSeriesTest, OutOfOrderCompletionsFoldIntoOwningWindow) {
+  TimeSeries ts(/*window_ns=*/1000);
+  ts.Record(MakeSample(0, 2500, 10));  // window 2 first
+  ts.Record(MakeSample(1, 500, 20));   // behind: window 0
+  ts.Record(MakeSample(2, 1500, 30));  // behind: window 1 (new, mid-insert)
+  ts.Record(MakeSample(3, 700, 40));   // window 0 again (existing, behind)
+  ts.Record(MakeSample(4, 2600, 50));  // back at the frontier
+  ts.Record(MakeSample(5, 9999, 60));  // sparse jump forward still works
+  ASSERT_EQ(ts.windows().size(), 4u);
+  EXPECT_EQ(ts.windows()[0].index, 0u);
+  EXPECT_EQ(ts.windows()[0].iterations, 2u);
+  EXPECT_EQ(ts.windows()[1].index, 1u);
+  EXPECT_EQ(ts.windows()[1].iterations, 1u);
+  EXPECT_EQ(ts.windows()[2].index, 2u);
+  EXPECT_EQ(ts.windows()[2].iterations, 2u);
+  EXPECT_EQ(ts.windows()[3].index, 9u);
+  EXPECT_EQ(ts.windows()[3].iterations, 1u);
+  EXPECT_EQ(ts.total_iterations(), 6u);
+}
+
+// The order samples arrive in must not matter: an interleaved completion
+// stream and its time-sorted permutation produce identical timelines
+// (same sparse windows, same merged histogram, same JSON/CSV export —
+// hence the same rolling quantiles).
+TEST(TimeSeriesTest, InterleavedCompletionsMatchSortedRecording) {
+  Rng rng(47);
+  std::vector<IterationSample> samples;
+  // Four "lanes" retiring concurrently: each lane's clock advances
+  // monotonically but the union interleaves heavily across windows.
+  TimeNs lane_clock[4] = {0, 0, 0, 0};
+  for (uint64_t i = 0; i < 800; ++i) {
+    int lane = static_cast<int>(rng.UniformInt(4));
+    TimeNs e2e = 200 + static_cast<TimeNs>(rng.UniformInt(4000));
+    lane_clock[lane] += e2e;
+    IterationSample s = MakeSample(i, lane_clock[lane], e2e);
+    s.gpu_cache_hits = rng.UniformInt(10);
+    s.storage_reads = rng.UniformInt(5);
+    samples.push_back(s);
+  }
+  TimeSeries interleaved(750);
+  for (const auto& s : samples) interleaved.Record(s);
+  std::sort(samples.begin(), samples.end(),
+            [](const IterationSample& a, const IterationSample& b) {
+              return a.end_ns < b.end_ns;
+            });
+  TimeSeries sorted(750);
+  for (const auto& s : samples) sorted.Record(s);
+  ASSERT_EQ(interleaved.windows().size(), sorted.windows().size());
+  for (size_t i = 0; i < sorted.windows().size(); ++i) {
+    EXPECT_EQ(interleaved.windows()[i].index, sorted.windows()[i].index);
+    EXPECT_EQ(interleaved.windows()[i].iterations,
+              sorted.windows()[i].iterations);
+  }
+  EXPECT_EQ(interleaved.MergedHistogram().count(),
+            sorted.MergedHistogram().count());
+  EXPECT_EQ(interleaved.ToJson(), sorted.ToJson());
+  EXPECT_EQ(interleaved.ToCsv(), sorted.ToCsv());
 }
 
 TEST(TimeSeriesTest, CsvHasHeaderAndOneRowPerWindow) {

@@ -70,5 +70,32 @@ TEST(SeedIteratorTest, BatchLargerThanIds) {
   EXPECT_EQ(it.batches_per_epoch(), 1u);
 }
 
+// Degenerate configurations must abort at construction with an explicit
+// message, not serve empty batches forever (empty id set) or divide by
+// zero in batches_per_epoch() (zero batch size).
+TEST(SeedIteratorDeathTest, EmptyTrainIdsRejectedAtConstruction) {
+  EXPECT_DEATH(SeedIterator(std::vector<NodeId>{}, 4),
+               "non-empty train-id set");
+}
+
+TEST(SeedIteratorDeathTest, ZeroBatchSizeRejectedAtConstruction) {
+  EXPECT_DEATH(SeedIterator(Ids(8), 0), "batch_size > 0");
+}
+
+// NextBatch is a thin wrapper over NextBatchInto; the two must draw the
+// same RNG stream and emit the same ids batch for batch, across epoch
+// boundaries (including the reshuffle), so the paths cannot drift.
+TEST(SeedIteratorTest, NextBatchMatchesNextBatchIntoBitIdentically) {
+  SeedIterator a(Ids(23), 5, 99);
+  SeedIterator b(Ids(23), 5, 99);
+  std::vector<NodeId> into;
+  for (int i = 0; i < 30; ++i) {  // > 6 epochs of 5 batches
+    b.NextBatchInto(into);
+    EXPECT_EQ(a.NextBatch(), into) << "batch " << i;
+  }
+  EXPECT_EQ(a.epoch(), b.epoch());
+  EXPECT_EQ(a.batches_served(), b.batches_served());
+}
+
 }  // namespace
 }  // namespace gids::sampling

@@ -1,0 +1,196 @@
+// Cross-request coalescing equivalence and determinism for the serving
+// tier — the serving mirror of tests/storage/coalescing_test.cc. The
+// contract: with coalescing on vs off, the admitted stream and batch
+// composition are identical (admission and forming depend only on the
+// arrival trace), total page demand is identical, serviced pages shrink,
+// and the fault/integrity books match the per-request uncoalesced path
+// per the PR-5 semantics (degraded/corrupt node sets equal; dead-letter
+// books equal without faults, coalesced <= uncoalesced with them — a
+// shared failed page is attempted once, not once per request). Also: the
+// whole run is bit-identical across host_threads, which is what makes it
+// meaningful under the tsan preset.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "graph/csc_graph.h"
+#include "graph/generator.h"
+#include "sampling/neighbor_sampler.h"
+#include "serving/inference_server.h"
+#include "serving/traffic_gen.h"
+
+namespace gids::serving {
+namespace {
+
+struct EquivRig {
+  EquivRig() {
+    Rng rng(21);
+    auto g = graph::GenerateUniform(4096, 32768, rng);
+    GIDS_CHECK(g.ok());
+    graph = std::make_unique<graph::CscGraph>(std::move(*g));
+    sampler = std::make_unique<sampling::NeighborSampler>(
+        graph.get(), sampling::NeighborSamplerOptions{{4, 4}}, /*seed=*/13);
+  }
+
+  ServingRunResult Run(ServingOptions opts, double zipf_skew = 1.2,
+                       uint64_t requests = 300) {
+    // An effectively unbounded admission queue: shedding depends on
+    // completion timing, which legitimately differs between coalesce
+    // modes, so the equivalence runs must never shed.
+    opts.max_queue_depth = 1u << 20;
+    TrafficOptions t;
+    t.arrival_rate_rps = 1.0e6;
+    t.zipf_skew = zipf_skew;
+    t.seeds_per_request = 4;
+    t.slo_deadline_ns = 2 * kNsPerMs;
+    InferenceServer server(graph.get(), sampler.get(), std::move(opts));
+    TrafficGenerator traffic(t, Candidates());
+    return server.Run(traffic, requests);
+  }
+
+  std::vector<graph::NodeId> Candidates() const {
+    std::vector<graph::NodeId> c(graph->num_nodes());
+    for (graph::NodeId i = 0; i < graph->num_nodes(); ++i) c[i] = i;
+    return c;
+  }
+
+  std::unique_ptr<graph::CscGraph> graph;
+  std::unique_ptr<sampling::NeighborSampler> sampler;
+};
+
+ServingOptions EquivServer() {
+  ServingOptions o;
+  o.max_batch_requests = 8;
+  o.batch_window_ns = 50 * kNsPerUs;
+  o.executor_lanes = 2;
+  o.gpu_cache_lines = 128;
+  return o;
+}
+
+TEST(ServingEquivalenceTest, CoalescingPreservesDemandAndShrinksService) {
+  EquivRig rig;
+  ServingOptions on = EquivServer();
+  on.coalesce_across_requests = true;
+  ServingOptions off = EquivServer();
+  off.coalesce_across_requests = false;
+  ServingRunResult a = rig.Run(on);
+  ServingRunResult b = rig.Run(off);
+
+  // Admission and forming see the same trace: identical books.
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.shed, 0u);
+  EXPECT_EQ(b.shed, 0u);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.gather.nodes, b.gather.nodes);
+
+  // Page *demand* is mode-independent; *serviced* pages shrink because
+  // popular pages are fetched once per batch window instead of once per
+  // request.
+  EXPECT_EQ(a.gather.total_page_requests(), b.gather.total_page_requests());
+  EXPECT_LT(a.gather.serviced_page_requests(),
+            b.gather.serviced_page_requests());
+  EXPECT_GT(a.gather.coalesced_requests, 0u);
+  EXPECT_EQ(b.gather.coalesced_requests, 0u);
+  EXPECT_GT(a.dedup_ratio(), 0.0);
+
+  // The uncoalesced path hits storage at least as often.
+  EXPECT_LE(a.storage_array_reads, b.storage_array_reads);
+
+  // No faults configured: the dead-letter books match exactly (both 0).
+  EXPECT_EQ(a.dead_letters, 0u);
+  EXPECT_EQ(b.dead_letters, 0u);
+  EXPECT_EQ(a.gather.degraded_nodes, 0u);
+  EXPECT_EQ(a.gather.corrupt_nodes, 0u);
+}
+
+TEST(ServingEquivalenceTest, FaultAndIntegrityBooksMatchUncoalescedPath) {
+  EquivRig rig;
+  ServingOptions on = EquivServer();
+  on.coalesce_across_requests = true;
+  on.fault_rate = 0.02;
+  on.corruption_rate = 0.01;
+  on.verify_reads = true;
+  ServingOptions off = on;
+  off.coalesce_across_requests = false;
+  ServingRunResult a = rig.Run(on);
+  ServingRunResult b = rig.Run(off);
+
+  // Per-node damage verdicts are scope-independent: the same rows end up
+  // degraded/corrupt whether their pages were fetched once per window or
+  // once per request.
+  EXPECT_EQ(a.gather.nodes, b.gather.nodes);
+  EXPECT_EQ(a.gather.degraded_nodes, b.gather.degraded_nodes);
+  EXPECT_EQ(a.gather.corrupt_nodes, b.gather.corrupt_nodes);
+  EXPECT_EQ(a.gather.total_page_requests(), b.gather.total_page_requests());
+
+  // Dead letters: a shared failed page books one letter per *attempt* —
+  // coalesced attempts it once per window, uncoalesced once per request.
+  EXPECT_LE(a.dead_letters, b.dead_letters);
+}
+
+TEST(ServingEquivalenceTest, BitIdenticalAcrossHostThreads) {
+  EquivRig rig;
+  ServingRunResult base;
+  bool have_base = false;
+  for (uint32_t threads : {1u, 4u, 8u}) {
+    ServingOptions o = EquivServer();
+    o.host_threads = threads;
+    ServingRunResult r = rig.Run(o);
+    if (!have_base) {
+      base = std::move(r);
+      have_base = true;
+      continue;
+    }
+    EXPECT_EQ(r.admitted, base.admitted) << "threads=" << threads;
+    EXPECT_EQ(r.batches, base.batches) << "threads=" << threads;
+    EXPECT_EQ(r.gather.nodes, base.gather.nodes);
+    EXPECT_EQ(r.gather.cpu_buffer_hits, base.gather.cpu_buffer_hits);
+    EXPECT_EQ(r.gather.gpu_cache_hits, base.gather.gpu_cache_hits);
+    EXPECT_EQ(r.gather.storage_reads, base.gather.storage_reads);
+    EXPECT_EQ(r.gather.coalesced_requests, base.gather.coalesced_requests);
+    EXPECT_EQ(r.gather.distinct_pages, base.gather.distinct_pages);
+    EXPECT_EQ(r.storage_array_reads, base.storage_array_reads);
+    EXPECT_EQ(r.last_completion_ns, base.last_completion_ns);
+    ASSERT_EQ(r.outcomes.size(), base.outcomes.size());
+    for (size_t i = 0; i < r.outcomes.size(); ++i) {
+      EXPECT_EQ(r.outcomes[i].id, base.outcomes[i].id);
+      EXPECT_EQ(r.outcomes[i].batch_id, base.outcomes[i].batch_id);
+      EXPECT_EQ(r.outcomes[i].completion_ns, base.outcomes[i].completion_ns);
+      EXPECT_EQ(r.outcomes[i].on_time, base.outcomes[i].on_time);
+    }
+  }
+}
+
+TEST(ServingEquivalenceTest, RepeatRunsAreBitIdentical) {
+  EquivRig rig;
+  ServingOptions o = EquivServer();
+  ServingRunResult a = rig.Run(o);
+  ServingRunResult b = rig.Run(o);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.on_time, b.on_time);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.last_completion_ns, b.last_completion_ns);
+  EXPECT_EQ(a.gather.storage_reads, b.gather.storage_reads);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].completion_ns, b.outcomes[i].completion_ns);
+  }
+}
+
+TEST(ServingEquivalenceTest, HigherSkewCoalescesMore) {
+  EquivRig rig;
+  ServingOptions o = EquivServer();
+  ServingRunResult mild = rig.Run(o, /*zipf_skew=*/0.4);
+  ServingRunResult hot = rig.Run(o, /*zipf_skew=*/1.5);
+  // Zipf concentration makes cross-request overlap — and therefore the
+  // dedup ratio — grow with skew.
+  EXPECT_GT(hot.dedup_ratio(), mild.dedup_ratio());
+}
+
+}  // namespace
+}  // namespace gids::serving

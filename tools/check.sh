@@ -11,26 +11,30 @@
 # determinism and fault fan-out), the `workspace`-labelled tests
 # (pooled-scratch recycling), and the `cachepolicy`-labelled tests
 # (CachePolicy conformance suite, CACHING.md) on their own so checksum-,
-# scatter-, pool-, and policy-path memory errors fail loudly, and the
+# scatter-, pool-, and policy-path memory errors fail loudly, the
 # `replication`-labelled tests (journal CRC/LSN/crash-replay, replica
 # routing, mutation-stream determinism; FAULTS.md "Durability &
-# failover"). Also runs the documentation lint (tools/docs_lint.sh: dead
-# intra-repo markdown links, undocumented GidsOptions / FaultOptions /
-# IntegrityOptions fields, gids_cli flags, and cache-policy name/enum
-# drift).
+# failover"), and the `serving`-labelled tests (online inference tier:
+# admission/shedding, batch forming, SLO scheduling, cross-request
+# coalescing equivalence; DESIGN.md §14). Also runs the documentation
+# lint (tools/docs_lint.sh: dead intra-repo markdown links, undocumented
+# GidsOptions / FaultOptions / IntegrityOptions / ServingOptions fields,
+# gids_cli flags, and cache-policy name/enum drift).
 # The default preset additionally runs the bench regression gate: the
 # FIG03/FIG13 headline benches, the HOSTPAR host-parallelism sweep, the
-# ABL-CACHEPOLICY cache-policy ablation, and the ABL-REPLICATION
-# durability/availability sweep are replayed and their RESULT_JSON rows
-# diffed against bench/baselines/seed.json with tools/bench_compare.py
-# (virtual-time `measured` values are deterministic, so the gate fails on
-# any >10% drift, schema violation, or lost row; HOSTPAR rows
-# additionally carry `steady_state_allocs`, which must be exactly 0 — the
-# zero-allocation hot-path contract of DESIGN.md §11; ABL-CACHEPOLICY
-# hit-rate rows and ABL-REPLICATION-AVAIL availability rows gate
-# one-sided, higher-is-better, via the baseline's `directions` map, so
-# cache acceptance ratios and the replicated-outage availability floor
-# cannot silently regress).
+# ABL-CACHEPOLICY cache-policy ablation, the ABL-REPLICATION
+# durability/availability sweep, and the SERVING latency/throughput
+# frontier are replayed and their RESULT_JSON rows diffed against
+# bench/baselines/seed.json with tools/bench_compare.py (virtual-time
+# `measured` values are deterministic, so the gate fails on any >10%
+# drift, schema violation, or lost row; HOSTPAR rows additionally carry
+# `steady_state_allocs`, which must be exactly 0 — the zero-allocation
+# hot-path contract of DESIGN.md §11; ABL-CACHEPOLICY hit-rate rows,
+# ABL-REPLICATION-AVAIL availability rows, and SERVING-GOODPUT rows gate
+# one-sided, higher-is-better, and SERVING-P99 latency rows one-sided,
+# lower-is-better, via the baseline's `directions` map, so cache
+# acceptance ratios, the replicated-outage availability floor, serving
+# goodput, and serving tail latency cannot silently regress).
 # Run from the repository root:
 #
 #   tools/check.sh            # docs lint + all presets
@@ -65,6 +69,8 @@ for preset in "${presets[@]}"; do
     ctest --preset "$preset" -j "$jobs" -L cachepolicy
     echo "=== [$preset] replication-labelled tests"
     ctest --preset "$preset" -j "$jobs" -L replication
+    echo "=== [$preset] serving-labelled tests"
+    ctest --preset "$preset" -j "$jobs" -L serving
   fi
   if [ "$preset" = "default" ]; then
     echo "=== [$preset] bench regression gate"
@@ -74,9 +80,11 @@ for preset in "${presets[@]}"; do
     build/bench/bench_host_parallelism > "$benchlog/hostpar.log"
     build/bench/bench_abl_cache_policy > "$benchlog/cachepolicy.log"
     build/bench/bench_abl_replication > "$benchlog/replication.log"
+    build/bench/bench_serving > "$benchlog/serving.log"
     python3 tools/bench_compare.py --baseline bench/baselines/seed.json \
       "$benchlog/fig03.log" "$benchlog/fig13.log" "$benchlog/hostpar.log" \
-      "$benchlog/cachepolicy.log" "$benchlog/replication.log"
+      "$benchlog/cachepolicy.log" "$benchlog/replication.log" \
+      "$benchlog/serving.log"
     rm -rf "$benchlog"
   fi
 done

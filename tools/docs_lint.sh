@@ -6,7 +6,8 @@
 #      links are skipped; "#section" fragments are stripped first).
 #   2. Every GidsOptions field (src/core/gids_loader.h), every
 #      FaultOptions field (src/storage/fault_injector.h), every
-#      IntegrityOptions field (src/storage/page_integrity.h), and every
+#      IntegrityOptions field (src/storage/page_integrity.h), every
+#      ServingOptions field (src/serving/inference_server.h), and every
 #      gids_cli flag (tools/gids_cli.cc) must be mentioned in README.md,
 #      FAULTS.md, INTEGRITY.md or CACHING.md, so new knobs cannot land
 #      undocumented.
@@ -56,7 +57,8 @@ struct_fields() {  # struct_fields <StructName> <header>
 fields=""
 for spec in "GidsOptions src/core/gids_loader.h" \
             "FaultOptions src/storage/fault_injector.h" \
-            "IntegrityOptions src/storage/page_integrity.h"; do
+            "IntegrityOptions src/storage/page_integrity.h" \
+            "ServingOptions src/serving/inference_server.h"; do
   set -- $spec
   for field in $(struct_fields "$1" "$2"); do
     fields="$fields $field"
